@@ -1,0 +1,99 @@
+//===- BenchUtil.h - Shared helpers for the table benchmarks ----*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the Figure-2/Figure-3 reproduction binaries: parsing
+/// workloads, running every engine on a label query, and printing aligned
+/// table rows. (The micro-benchmarks use google-benchmark; the paper-table
+/// binaries print rows that mirror the paper's layout instead, which is the
+/// deliverable.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BENCH_BENCHUTIL_H
+#define GETAFIX_BENCH_BENCHUTIL_H
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "reach/Baselines.h"
+#include "reach/SeqReach.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace getafix {
+namespace bench {
+
+struct ParsedProgram {
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg;
+};
+
+inline ParsedProgram parseOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  ParsedProgram P;
+  P.Prog = bp::parseProgram(Src, Diags);
+  if (!P.Prog) {
+    std::fprintf(stderr, "benchmark workload failed to parse:\n%s",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  P.Cfg = bp::buildCfg(*P.Prog);
+  return P;
+}
+
+/// Results of one engine on one workload.
+struct EngineRow {
+  bool Reachable = false;
+  double Seconds = 0.0;
+  size_t Nodes = 0;
+  uint64_t Iterations = 0;
+};
+
+inline EngineRow runAlgorithm(const bp::ProgramCfg &Cfg,
+                              const std::string &Label,
+                              reach::SeqAlgorithm Alg,
+                              bool EarlyStop = true) {
+  reach::SeqOptions Opts;
+  Opts.Alg = Alg;
+  Opts.EarlyStop = EarlyStop;
+  reach::SeqResult R = reach::checkReachabilityOfLabel(Cfg, Label, Opts);
+  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
+}
+
+inline EngineRow runMoped(const bp::ProgramCfg &Cfg,
+                          const std::string &Label) {
+  reach::BaselineResult R = reach::mopedPostStarLabel(Cfg, Label);
+  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
+}
+
+inline EngineRow runBebop(const bp::ProgramCfg &Cfg,
+                          const std::string &Label) {
+  reach::BaselineResult R = reach::bebopTabulateLabel(Cfg, Label);
+  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
+}
+
+/// Counts non-blank source lines (the paper's LOC column).
+inline unsigned countLoc(const std::string &Src) {
+  unsigned Loc = 0;
+  bool Blank = true;
+  for (char C : Src) {
+    if (C == '\n') {
+      Loc += !Blank;
+      Blank = true;
+    } else if (!isspace(static_cast<unsigned char>(C))) {
+      Blank = false;
+    }
+  }
+  return Loc + !Blank;
+}
+
+} // namespace bench
+} // namespace getafix
+
+#endif // GETAFIX_BENCH_BENCHUTIL_H

@@ -1,0 +1,129 @@
+//===- bench_bdd.cpp - BDD package micro-benchmarks ------------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+// google-benchmark microbenchmarks of the BDD substrate: the operations the
+// solver's inner loop lives on (apply, relational product, renaming,
+// quantification, garbage collection).
+//
+// Input construction note: the random functions are disjunctions of cubes
+// whose supports are *clustered* (a short window of adjacent variables).
+// Scattered supports make a DNF's BDD exponential in the number of cubes —
+// a property of BDDs, not of this package — which would benchmark the
+// blowup instead of the operations.
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace getafix;
+
+namespace {
+
+/// A pseudo-random function over variables [Lo, Hi): an OR of \p Terms
+/// cubes, each over a window of adjacent variables (locality keeps the
+/// BDD linear in Terms, like the transition relations the solver builds).
+Bdd randomFunction(BddManager &Mgr, Rng &R, unsigned Lo, unsigned Hi,
+                   unsigned Terms) {
+  Bdd F = Mgr.zero();
+  for (unsigned T = 0; T < Terms; ++T) {
+    unsigned Window = Lo + unsigned(R.below(Hi - Lo - 4));
+    Bdd Cube = Mgr.one();
+    for (unsigned I = 0; I < 4; ++I) {
+      unsigned V = Window + I;
+      Cube &= R.flip() ? Mgr.var(V) : Mgr.nvar(V);
+    }
+    F |= Cube;
+  }
+  return F;
+}
+
+void BM_BddApplyAnd(benchmark::State &State) {
+  BddManager Mgr(64);
+  Rng R(1);
+  Bdd A = randomFunction(Mgr, R, 0, 64, 48);
+  Bdd B = randomFunction(Mgr, R, 0, 64, 48);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A & B);
+  }
+}
+BENCHMARK(BM_BddApplyAnd);
+
+void BM_BddRelationalProduct(benchmark::State &State) {
+  // Image computation shape: T(x, x') over interleaved vars (current =
+  // even, next = odd levels), S(x) over the current vars.
+  BddManager Mgr(64);
+  Rng R(2);
+  Bdd Trans = Mgr.zero();
+  for (unsigned I = 0; I < 24; ++I) {
+    unsigned Window = 2 * unsigned(R.below(28));
+    Bdd Term = Mgr.one();
+    for (unsigned V = 0; V < 4; ++V) {
+      unsigned Cur = Window + 2 * V;
+      Term &= R.flip() ? Mgr.var(Cur) : Mgr.nvar(Cur);
+      Term &= R.flip() ? Mgr.var(Cur + 1) : Mgr.nvar(Cur + 1);
+    }
+    Trans |= Term;
+  }
+  Bdd States = randomFunction(Mgr, R, 0, 32, 16);
+  std::vector<unsigned> CurVars;
+  for (unsigned V = 0; V < 64; V += 2)
+    CurVars.push_back(V);
+  BddCube Cube = Mgr.makeCube(CurVars);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(States.andExists(Trans, Cube));
+  }
+}
+BENCHMARK(BM_BddRelationalProduct);
+
+void BM_BddRenameMonotone(benchmark::State &State) {
+  BddManager Mgr(64);
+  Rng R(3);
+  Bdd F = randomFunction(Mgr, R, 0, 32, 32);
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (unsigned V = 0; V < 32; ++V)
+    Pairs.emplace_back(V, V + 32);
+  BddPerm Perm = Mgr.makePermutation(Pairs);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.permute(Perm));
+  }
+}
+BENCHMARK(BM_BddRenameMonotone);
+
+void BM_BddExists(benchmark::State &State) {
+  BddManager Mgr(64);
+  Rng R(4);
+  Bdd F = randomFunction(Mgr, R, 0, 64, 64);
+  std::vector<unsigned> Vars;
+  for (unsigned V = 0; V < 64; V += 3)
+    Vars.push_back(V);
+  BddCube Cube = Mgr.makeCube(Vars);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(F.exists(Cube));
+  }
+}
+BENCHMARK(BM_BddExists);
+
+void BM_BddGc(benchmark::State &State) {
+  // One manager; each iteration litters the table with dead intermediates
+  // and collects them while a live function is held.
+  BddManager Mgr(48);
+  Mgr.setGcThreshold(0); // Collect only when asked.
+  Rng R(5);
+  Bdd Keep = randomFunction(Mgr, R, 0, 48, 32);
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (unsigned I = 0; I < 8; ++I)
+      randomFunction(Mgr, R, 0, 48, 8);
+    State.ResumeTiming();
+    Mgr.gc();
+    benchmark::DoNotOptimize(Keep.nodeCount());
+  }
+}
+BENCHMARK(BM_BddGc);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+//===- bench_regression.cpp - Figure 2, REGRESSION rows -------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+// Reproduces the REGRESSION block of Figure 2: the positive and negative
+// sub-suites, aggregated (average) per engine. The paper reports ~1s for
+// every tool; the shape to check is that all engines answer correctly and
+// in comparable, small time.
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "gen/Workloads.h"
+
+using namespace getafix;
+using namespace getafix::bench;
+
+int main() {
+  std::printf("=== Figure 2 / REGRESSION ===\n");
+  std::printf("%-10s %8s %9s %9s %9s %9s %9s %9s\n", "suite", "programs",
+              "avgLOC", "EF(s)", "EFopt(s)", "simple(s)", "moped(s)",
+              "bebop(s)");
+
+  for (bool Positive : {true, false}) {
+    double TEf = 0, TOpt = 0, TSimple = 0, TMoped = 0, TBebop = 0;
+    unsigned Count = 0, Loc = 0;
+    for (const gen::Workload &W : gen::regressionSuite()) {
+      if (W.ExpectReachable != Positive)
+        continue;
+      ParsedProgram P = parseOrDie(W.Source);
+      Loc += countLoc(W.Source);
+      auto Check = [&](const EngineRow &R, const char *Engine) {
+        if (R.Reachable != W.ExpectReachable)
+          std::fprintf(stderr, "WRONG ANSWER: %s on %s\n", Engine,
+                       W.Name.c_str());
+      };
+      EngineRow Ef =
+          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::EntryForwardSplit);
+      Check(Ef, "ef");
+      EngineRow Opt =
+          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::EntryForwardOpt);
+      Check(Opt, "ef-opt");
+      EngineRow Simple =
+          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::SummarySimple);
+      Check(Simple, "summary");
+      EngineRow Moped = runMoped(P.Cfg, W.TargetLabel);
+      Check(Moped, "moped");
+      EngineRow Bebop = runBebop(P.Cfg, W.TargetLabel);
+      Check(Bebop, "bebop");
+      TEf += Ef.Seconds;
+      TOpt += Opt.Seconds;
+      TSimple += Simple.Seconds;
+      TMoped += Moped.Seconds;
+      TBebop += Bebop.Seconds;
+      ++Count;
+    }
+    std::printf("%-10s %8u %9.0f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+                Positive ? "positive" : "negative", Count,
+                double(Loc) / Count, TEf / Count, TOpt / Count,
+                TSimple / Count, TMoped / Count, TBebop / Count);
+  }
+  return 0;
+}

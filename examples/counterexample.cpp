@@ -1,0 +1,83 @@
+//===- counterexample.cpp - Witness extraction walkthrough ----------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates counterexample extraction: a buggy lock-discipline model is
+/// checked, the engine reports the error *and* a concrete interprocedural
+/// run reaching it, and the run is independently validated by replaying it
+/// against the explicit statement semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "reach/Witness.h"
+
+#include <cstdio>
+
+using namespace getafix;
+
+int main() {
+  // A lock with a re-entrancy bug: `work` may call itself while holding
+  // the lock and acquires it again without checking. ERR marks the double
+  // acquire.
+  const char *Source = R"(
+decl locked;
+main() begin
+  locked := F;
+  call work(F);
+  return;
+end
+work(nested) begin
+  if (locked) then
+    ERR: skip;
+  else
+    locked := T;
+  fi
+  if (!nested) then
+    call work(T);
+  else
+    skip;
+  fi
+  locked := F;
+  return;
+end
+)";
+
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+
+  reach::SeqOptions Opts;
+  reach::WitnessResult R =
+      reach::checkReachabilityOfLabelWithWitness(Cfg, "ERR", Opts);
+  if (!R.TargetFound) {
+    std::fprintf(stderr, "label ERR not found\n");
+    return 1;
+  }
+
+  std::printf("double acquire reachable: %s\n", R.Reachable ? "YES" : "NO");
+  if (!R.Reachable)
+    return 0;
+
+  std::printf("\ncounterexample (%zu steps, %llu fixpoint rounds):\n%s",
+              R.Steps.size(), (unsigned long long)R.Iterations,
+              reach::formatWitness(Cfg, R.Steps).c_str());
+
+  // Replay the trace against the explicit semantics — an independent
+  // implementation — to confirm it is a real run of the program.
+  unsigned ProcId = 0, Pc = 0;
+  Cfg.findLabelPc("ERR", ProcId, Pc);
+  std::string Error;
+  bool Valid = reach::verifyWitness(Cfg, R.Steps, ProcId, Pc, &Error);
+  std::printf("\nreplay check: %s%s%s\n", Valid ? "valid" : "INVALID",
+              Error.empty() ? "" : " — ", Error.c_str());
+  return Valid ? 0 : 1;
+}

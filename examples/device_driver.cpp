@@ -1,0 +1,81 @@
+//===- device_driver.cpp - Driver-suite analysis walk-through -------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section-6.1 scenario at example scale: generate a SLAM-driver-shaped
+/// Boolean program (the kind predicate abstraction emits for device
+/// drivers), print the fixed-point formula Getafix would hand to the
+/// solver, then check a reachable and an unreachable target and show the
+/// algorithm comparison the paper's Figure 2 makes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "gen/Workloads.h"
+#include "reach/Baselines.h"
+#include "reach/SeqReach.h"
+
+#include <cstdio>
+
+using namespace getafix;
+
+int main() {
+  for (bool Reachable : {true, false}) {
+    gen::DriverParams Params;
+    Params.NumProcs = 12;
+    Params.NumGlobals = 5;
+    Params.LocalsPerProc = 4;
+    Params.StmtsPerProc = 10;
+    Params.Reachable = Reachable;
+    Params.Seed = 2026;
+    gen::Workload W = gen::driverProgram(Params);
+
+    DiagnosticEngine Diags;
+    auto Prog = bp::parseProgram(W.Source, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+
+    std::printf("=== %s (%u procedures, target %s) ===\n", W.Name.c_str(),
+                unsigned(Prog->Procs.size()),
+                Reachable ? "reachable" : "unreachable");
+    for (auto Alg : {reach::SeqAlgorithm::EntryForward,
+                     reach::SeqAlgorithm::EntryForwardSplit,
+                     reach::SeqAlgorithm::EntryForwardOpt}) {
+      reach::SeqOptions Opts;
+      Opts.Alg = Alg;
+      reach::SeqResult R =
+          reach::checkReachabilityOfLabel(Cfg, W.TargetLabel, Opts);
+      std::printf("  %-20s %-3s  %llu iterations  %zu BDD nodes  %.3fs\n",
+                  reach::algorithmName(Alg), R.Reachable ? "YES" : "NO",
+                  (unsigned long long)R.Iterations, R.SummaryNodes,
+                  R.Seconds);
+    }
+    reach::BaselineResult M = reach::mopedPostStarLabel(Cfg, W.TargetLabel);
+    std::printf("  %-20s %-3s  %llu rounds  %.3fs\n", "moped-poststar",
+                M.Reachable ? "YES" : "NO",
+                (unsigned long long)M.Iterations, M.Seconds);
+    std::printf("\n");
+  }
+
+  // Show the paper's deliverable: the whole checker as one page of
+  // formulae.
+  gen::DriverParams Tiny;
+  Tiny.NumProcs = 2;
+  Tiny.StmtsPerProc = 3;
+  gen::Workload W = gen::driverProgram(Tiny);
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(W.Source, Diags);
+  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+  std::printf("=== the entry-forward algorithm, as handed to the solver "
+              "===\n%s",
+              reach::formulaText(Cfg, reach::SeqAlgorithm::EntryForwardSplit)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- quickstart.cpp - Minimal end-to-end use of the library -------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: parse a recursive Boolean program, run all four fixed-point
+/// reachability algorithms plus the two baselines on a label query, and
+/// print what each engine reports. This is the whole public API surface a
+/// typical client needs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "reach/Baselines.h"
+#include "reach/SeqReach.h"
+
+#include <cstdio>
+
+using namespace getafix;
+
+int main() {
+  // A lock-discipline model: `locked` must alternate via acquire/release.
+  // The ERR label is reachable only if a double acquire is possible.
+  const char *Source = R"(
+decl locked, error;
+main() begin
+  decl n;
+  locked := F; error := F;
+  n := *;
+  while (n) do
+    call acquire();
+    if (*) then
+      call release();
+    fi;
+    n := *;
+  od;
+  if (error) then
+    ERR: skip;
+  fi;
+end
+acquire() begin
+  if (locked) then
+    error := T;
+  fi;
+  locked := T;
+end
+release() begin
+  locked := F;
+end
+)";
+
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+
+  std::printf("query: is label ERR reachable?\n\n");
+  for (auto Alg :
+       {reach::SeqAlgorithm::SummarySimple, reach::SeqAlgorithm::EntryForward,
+        reach::SeqAlgorithm::EntryForwardSplit,
+        reach::SeqAlgorithm::EntryForwardOpt}) {
+    reach::SeqOptions Opts;
+    Opts.Alg = Alg;
+    reach::SeqResult R = reach::checkReachabilityOfLabel(Cfg, "ERR", Opts);
+    std::printf("%-20s -> %-3s  (%llu iterations, %zu summary nodes, "
+                "%.3fs)\n",
+                reach::algorithmName(Alg), R.Reachable ? "YES" : "NO",
+                (unsigned long long)R.Iterations, R.SummaryNodes, R.Seconds);
+  }
+
+  reach::BaselineResult M = reach::mopedPostStarLabel(Cfg, "ERR");
+  std::printf("%-20s -> %-3s  (%llu rounds, %.3fs)\n", "moped-poststar",
+              M.Reachable ? "YES" : "NO", (unsigned long long)M.Iterations,
+              M.Seconds);
+  reach::BaselineResult B = reach::bebopTabulateLabel(Cfg, "ERR");
+  std::printf("%-20s -> %-3s  (%llu path edges, %.3fs)\n", "bebop-tabulate",
+              B.Reachable ? "YES" : "NO", (unsigned long long)B.Iterations,
+              B.Seconds);
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- round_robin.cpp - Scheduling policies on the Bluetooth model -------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares free context switching against round-robin scheduling (the
+/// Section-5 closing remark / Lal–Reps setting) on the Windows Bluetooth
+/// driver model: per context bound, whether the assertion violation is
+/// reachable under each policy and what the analysis costs. Round-robin
+/// pins the schedule vector to constants, so its state space is a slice of
+/// the free-schedule one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Parser.h"
+#include "concurrent/ConcReach.h"
+#include "gen/Workloads.h"
+
+#include <cstdio>
+
+using namespace getafix;
+
+int main() {
+  // One adder, two stoppers: the paper's Figure 3 reports the bug from
+  // three context switches under free scheduling.
+  std::string Source = gen::bluetoothModel(1, 2);
+
+  DiagnosticEngine Diags;
+  auto Conc = bp::parseConcurrentProgram(Source, Diags);
+  if (!Conc) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+
+  std::printf("Bluetooth driver, 1 adder + 2 stoppers\n");
+  std::printf("%8s %14s %14s\n", "switches", "free-schedule", "round-robin");
+  for (unsigned K = 1; K <= 5; ++K) {
+    conc::ConcResult Free, RR;
+    for (bool RoundRobin : {false, true}) {
+      conc::ConcOptions Opts;
+      Opts.MaxContextSwitches = K;
+      Opts.RoundRobin = RoundRobin;
+      auto R = conc::checkConcReachabilityOfLabel(*Conc, Cfgs,
+                                                  "ERR", Opts);
+      if (!R.TargetFound) {
+        std::fprintf(stderr, "label ERR not found\n");
+        return 1;
+      }
+      (RoundRobin ? RR : Free) = R;
+    }
+    std::printf("%8u %6s %6.2fs %6s %6.2fs\n", K,
+                Free.Reachable ? "BUG" : "safe", Free.Seconds,
+                RR.Reachable ? "BUG" : "safe", RR.Seconds);
+  }
+
+  std::printf("\nRound-robin explores a slice of the free schedules: a bug "
+              "it finds is real,\nbut freedom in the schedule may expose "
+              "bugs at lower bounds.\n");
+  return 0;
+}

@@ -1,0 +1,670 @@
+//===- Bdd.cpp - Reduced ordered binary decision diagrams -----------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace getafix;
+
+//===----------------------------------------------------------------------===//
+// Bdd handle
+//===----------------------------------------------------------------------===//
+
+Bdd::Bdd(BddManager *Mgr, uint32_t Idx) : Mgr(Mgr), Idx(Idx) {
+  if (Mgr)
+    Mgr->ref(Idx);
+}
+
+Bdd::Bdd(const Bdd &Other) : Mgr(Other.Mgr), Idx(Other.Idx) {
+  if (Mgr)
+    Mgr->ref(Idx);
+}
+
+Bdd::Bdd(Bdd &&Other) noexcept : Mgr(Other.Mgr), Idx(Other.Idx) {
+  Other.Mgr = nullptr;
+  Other.Idx = 0;
+}
+
+Bdd &Bdd::operator=(const Bdd &Other) {
+  if (this == &Other)
+    return *this;
+  if (Other.Mgr)
+    Other.Mgr->ref(Other.Idx);
+  if (Mgr)
+    Mgr->deref(Idx);
+  Mgr = Other.Mgr;
+  Idx = Other.Idx;
+  return *this;
+}
+
+Bdd &Bdd::operator=(Bdd &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Mgr)
+    Mgr->deref(Idx);
+  Mgr = Other.Mgr;
+  Idx = Other.Idx;
+  Other.Mgr = nullptr;
+  Other.Idx = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (Mgr)
+    Mgr->deref(Idx);
+}
+
+bool Bdd::isZero() const { return Mgr && Idx == 0; }
+bool Bdd::isOne() const { return Mgr && Idx == 1; }
+
+Bdd Bdd::operator&(const Bdd &Other) const {
+  assert(Mgr && Mgr == Other.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::And, Idx, Other.Idx));
+}
+
+Bdd Bdd::operator|(const Bdd &Other) const {
+  assert(Mgr && Mgr == Other.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Or, Idx, Other.Idx));
+}
+
+Bdd Bdd::operator^(const Bdd &Other) const {
+  assert(Mgr && Mgr == Other.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->applyRec(BddManager::Op::Xor, Idx, Other.Idx));
+}
+
+Bdd Bdd::operator!() const {
+  assert(Mgr && "null bdd");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->notRec(Idx));
+}
+
+Bdd Bdd::ite(const Bdd &Then, const Bdd &Else) const {
+  assert(Mgr && Mgr == Then.Mgr && Mgr == Else.Mgr &&
+         "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->iteRec(Idx, Then.Idx, Else.Idx));
+}
+
+Bdd Bdd::exists(BddCube Cube) const {
+  assert(Mgr && Cube.isValid() && "bad exists operands");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->existsRec(Idx, Cube.Id));
+}
+
+Bdd Bdd::forall(BddCube Cube) const {
+  assert(Mgr && Cube.isValid() && "bad forall operands");
+  // forall X. f == !(exists X. !f); both negations hit the NOT cache.
+  Mgr->maybeGc();
+  uint32_t NotF = Mgr->notRec(Idx);
+  uint32_t Ex = Mgr->existsRec(NotF, Cube.Id);
+  return Bdd(Mgr, Mgr->notRec(Ex));
+}
+
+Bdd Bdd::andExists(const Bdd &Other, BddCube Cube) const {
+  assert(Mgr && Mgr == Other.Mgr && Cube.isValid() &&
+         "bad andExists operands");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->andExistsRec(Idx, Other.Idx, Cube.Id));
+}
+
+Bdd Bdd::permute(BddPerm Perm) const {
+  assert(Mgr && Perm.isValid() && "bad permute operands");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->renameRec(Idx, Perm.Id));
+}
+
+Bdd Bdd::restrict(unsigned Var, bool Value) const {
+  assert(Mgr && Var < Mgr->numVars() && "bad restrict operands");
+  // f|_{v=c} == exists v. (f & lit(v,c)). Reuses the and-exists machinery.
+  BddCube Cube = Mgr->makeCube({Var});
+  Bdd Lit = Value ? Mgr->var(Var) : Mgr->nvar(Var);
+  return andExists(Lit, Cube);
+}
+
+double Bdd::satCount(unsigned NumVars) const {
+  assert(Mgr && "null bdd");
+  // Fraction of satisfying assignments, then scale by 2^NumVars.
+  std::unordered_map<uint32_t, double> Memo;
+  struct Walker {
+    BddManager *M;
+    std::unordered_map<uint32_t, double> &Memo;
+    double walk(uint32_t N) {
+      if (N == 0)
+        return 0.0;
+      if (N == 1)
+        return 1.0;
+      auto It = Memo.find(N);
+      if (It != Memo.end())
+        return It->second;
+      double R = 0.5 * (walk(M->lowOf(N)) + walk(M->highOf(N)));
+      Memo.emplace(N, R);
+      return R;
+    }
+  } W{Mgr, Memo};
+  double Fraction = W.walk(Idx);
+  double Scale = 1.0;
+  for (unsigned I = 0; I < NumVars; ++I)
+    Scale *= 2.0;
+  return Fraction * Scale;
+}
+
+size_t Bdd::nodeCount() const {
+  assert(Mgr && "null bdd");
+  if (Idx <= 1)
+    return 0;
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{Idx};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || !Seen.insert(N).second)
+      continue;
+    Stack.push_back(Mgr->lowOf(N));
+    Stack.push_back(Mgr->highOf(N));
+  }
+  return Seen.size();
+}
+
+std::vector<unsigned> Bdd::support() const {
+  assert(Mgr && "null bdd");
+  std::vector<bool> InSupport(Mgr->numVars(), false);
+  std::unordered_set<uint32_t> Seen;
+  std::vector<uint32_t> Stack{Idx};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || !Seen.insert(N).second)
+      continue;
+    InSupport[Mgr->varOf(N)] = true;
+    Stack.push_back(Mgr->lowOf(N));
+    Stack.push_back(Mgr->highOf(N));
+  }
+  std::vector<unsigned> Result;
+  for (unsigned V = 0; V < InSupport.size(); ++V)
+    if (InSupport[V])
+      Result.push_back(V);
+  return Result;
+}
+
+bool Bdd::eval(const std::vector<bool> &Assignment) const {
+  assert(Mgr && "null bdd");
+  uint32_t N = Idx;
+  while (N > 1) {
+    unsigned V = Mgr->varOf(N);
+    assert(V < Assignment.size() && "assignment too short");
+    N = Assignment[V] ? Mgr->highOf(N) : Mgr->lowOf(N);
+  }
+  return N == 1;
+}
+
+std::vector<int8_t> Bdd::onePath() const {
+  assert(Mgr && Idx != 0 && "onePath needs a satisfiable bdd");
+  std::vector<int8_t> Path(Mgr->numVars(), -1);
+  uint32_t N = Idx;
+  while (N > 1) {
+    unsigned V = Mgr->varOf(N);
+    if (Mgr->lowOf(N) != 0) {
+      Path[V] = 0;
+      N = Mgr->lowOf(N);
+    } else {
+      Path[V] = 1;
+      N = Mgr->highOf(N);
+    }
+  }
+  return Path;
+}
+
+//===----------------------------------------------------------------------===//
+// Manager: construction, variables, interning
+//===----------------------------------------------------------------------===//
+
+BddManager::BddManager(unsigned NumVars, unsigned CacheBits)
+    : NumVars(NumVars) {
+  Nodes.resize(2);
+  Nodes[0] = Node{TermVar, 0, 0, Invalid};
+  Nodes[1] = Node{TermVar, 1, 1, Invalid};
+  ExtRefs.resize(2, 1); // Terminals are permanently referenced.
+  Buckets.assign(1u << 12, Invalid);
+  Cache.resize(size_t(1) << CacheBits);
+  CacheMask = (uint64_t(1) << CacheBits) - 1;
+}
+
+BddManager::~BddManager() = default;
+
+unsigned BddManager::newVar() { return NumVars++; }
+
+Bdd BddManager::var(unsigned Var) {
+  assert(Var < NumVars && "variable out of range");
+  return Bdd(this, makeNode(Var, 0, 1));
+}
+
+Bdd BddManager::nvar(unsigned Var) {
+  assert(Var < NumVars && "variable out of range");
+  return Bdd(this, makeNode(Var, 1, 0));
+}
+
+BddCube BddManager::makeCube(const std::vector<unsigned> &Vars) {
+  CubeSet NewCube;
+  NewCube.Vars = Vars;
+  std::sort(NewCube.Vars.begin(), NewCube.Vars.end());
+  NewCube.Vars.erase(
+      std::unique(NewCube.Vars.begin(), NewCube.Vars.end()),
+      NewCube.Vars.end());
+  for (uint32_t Id = 0; Id < Cubes.size(); ++Id)
+    if (Cubes[Id].Vars == NewCube.Vars)
+      return BddCube{Id};
+  NewCube.InCube.assign(NumVars, 0);
+  for (unsigned V : NewCube.Vars) {
+    assert(V < NumVars && "cube variable out of range");
+    NewCube.InCube[V] = 1;
+    NewCube.MinVar = std::min<unsigned>(NewCube.MinVar, V);
+  }
+  Cubes.push_back(std::move(NewCube));
+  return BddCube{uint32_t(Cubes.size() - 1)};
+}
+
+BddPerm BddManager::makePermutation(
+    const std::vector<std::pair<unsigned, unsigned>> &Pairs) {
+  PermSet NewPerm;
+  NewPerm.Map.resize(NumVars);
+  for (unsigned V = 0; V < NumVars; ++V)
+    NewPerm.Map[V] = V;
+  for (auto [From, To] : Pairs) {
+    assert(From < NumVars && To < NumVars && "permutation var out of range");
+    NewPerm.Map[From] = To;
+  }
+  NewPerm.Monotone = true;
+  for (unsigned V = 1; V < NumVars; ++V)
+    if (NewPerm.Map[V - 1] >= NewPerm.Map[V]) {
+      NewPerm.Monotone = false;
+      break;
+    }
+  for (uint32_t Id = 0; Id < Perms.size(); ++Id)
+    if (Perms[Id].Map == NewPerm.Map)
+      return BddPerm{Id};
+  Perms.push_back(std::move(NewPerm));
+  return BddPerm{uint32_t(Perms.size() - 1)};
+}
+
+Bdd BddManager::cubeBdd(BddCube Cube) {
+  assert(Cube.Id < Cubes.size() && "invalid cube");
+  uint32_t Result = 1;
+  const CubeSet &C = Cubes[Cube.Id];
+  // Build bottom-up so each makeNode call has children below it.
+  for (auto It = C.Vars.rbegin(); It != C.Vars.rend(); ++It)
+    Result = makeNode(*It, 0, Result);
+  return Bdd(this, Result);
+}
+
+//===----------------------------------------------------------------------===//
+// Manager: node table
+//===----------------------------------------------------------------------===//
+
+uint64_t BddManager::hashTriple(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t(A) << 32) ^ (uint64_t(B) << 16) ^ C;
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H;
+}
+
+uint32_t BddManager::makeNode(uint32_t Var, uint32_t Low, uint32_t High) {
+  if (Low == High)
+    return Low;
+  assert(isTerminal(Low) || varOf(Low) > Var);
+  assert(isTerminal(High) || varOf(High) > Var);
+
+  size_t Bucket = hashTriple(Var, Low, High) & (Buckets.size() - 1);
+  for (uint32_t N = Buckets[Bucket]; N != Invalid; N = Nodes[N].Next)
+    if (Nodes[N].Var == Var && Nodes[N].Low == Low && Nodes[N].High == High)
+      return N;
+
+  uint32_t N = allocNode();
+  Nodes[N] = Node{Var, Low, High, Buckets[Bucket]};
+  Buckets[Bucket] = N;
+  ++Stats.NodesCreated;
+
+  size_t Live = Nodes.size() - 2 - NumFree;
+  Stats.PeakNodes = std::max(Stats.PeakNodes, Live);
+  if (Live > (Buckets.size() * 3) / 4)
+    growUniqueTable();
+  return N;
+}
+
+uint32_t BddManager::allocNode() {
+  if (FreeList != Invalid) {
+    uint32_t N = FreeList;
+    FreeList = Nodes[N].Low;
+    --NumFree;
+    ExtRefs[N] = 0;
+    return N;
+  }
+  Nodes.push_back(Node{});
+  ExtRefs.push_back(0);
+  return uint32_t(Nodes.size() - 1);
+}
+
+void BddManager::growUniqueTable() {
+  size_t NewSize = Buckets.size() * 2;
+  Buckets.assign(NewSize, Invalid);
+  for (uint32_t N = 2; N < Nodes.size(); ++N) {
+    if (Nodes[N].Var == TermVar) // Free node.
+      continue;
+    size_t Bucket =
+        hashTriple(Nodes[N].Var, Nodes[N].Low, Nodes[N].High) & (NewSize - 1);
+    Nodes[N].Next = Buckets[Bucket];
+    Buckets[Bucket] = N;
+  }
+}
+
+void BddManager::ref(uint32_t N) { ++ExtRefs[N]; }
+
+void BddManager::deref(uint32_t N) {
+  assert(ExtRefs[N] > 0 && "unbalanced deref");
+  --ExtRefs[N];
+}
+
+size_t BddManager::liveNodeCount() const { return Nodes.size() - 2 - NumFree; }
+
+void BddManager::maybeGc() {
+  if (GcThreshold != 0 && liveNodeCount() > GcThreshold)
+    gc();
+}
+
+void BddManager::gc() {
+  ++Stats.GcRuns;
+  std::vector<uint8_t> Marked(Nodes.size(), 0);
+  Marked[0] = Marked[1] = 1;
+  std::vector<uint32_t> Stack;
+  for (uint32_t N = 2; N < Nodes.size(); ++N)
+    if (ExtRefs[N] > 0 && Nodes[N].Var != TermVar)
+      Stack.push_back(N);
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    if (N <= 1 || Marked[N])
+      continue;
+    Marked[N] = 1;
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+
+  std::fill(Buckets.begin(), Buckets.end(), Invalid);
+  FreeList = Invalid;
+  NumFree = 0;
+  size_t Reclaimed = 0;
+  for (uint32_t N = 2; N < Nodes.size(); ++N) {
+    if (!Marked[N]) {
+      if (Nodes[N].Var != TermVar)
+        ++Reclaimed;
+      Nodes[N].Var = TermVar;
+      Nodes[N].Low = FreeList;
+      FreeList = N;
+      ++NumFree;
+      continue;
+    }
+    size_t Bucket =
+        hashTriple(Nodes[N].Var, Nodes[N].Low, Nodes[N].High) &
+        (Buckets.size() - 1);
+    Nodes[N].Next = Buckets[Bucket];
+    Buckets[Bucket] = N;
+  }
+  Stats.GcReclaimed += Reclaimed;
+  Stats.LiveNodes = liveNodeCount();
+  clearCache();
+
+  // If collection freed little, raise the threshold to avoid thrashing.
+  if (GcThreshold != 0 && Reclaimed * 4 < GcThreshold)
+    GcThreshold *= 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Manager: computed cache
+//===----------------------------------------------------------------------===//
+
+bool BddManager::cacheLookup(Op O, uint32_t F, uint32_t G, uint32_t H,
+                             uint32_t &Out) {
+  ++Stats.CacheLookups;
+  uint64_t Slot = (hashTriple(F, G, H) ^ (uint64_t(O) * 0x9e3779b9u)) &
+                  CacheMask;
+  const CacheEntry &E = Cache[Slot];
+  if (E.OpTag == uint32_t(O) && E.F == F && E.G == G && E.H == H) {
+    ++Stats.CacheHits;
+    Out = E.Result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cacheInsert(Op O, uint32_t F, uint32_t G, uint32_t H,
+                             uint32_t R) {
+  uint64_t Slot = (hashTriple(F, G, H) ^ (uint64_t(O) * 0x9e3779b9u)) &
+                  CacheMask;
+  Cache[Slot] = CacheEntry{F, G, H, uint32_t(O), R};
+}
+
+void BddManager::clearCache() {
+  std::fill(Cache.begin(), Cache.end(), CacheEntry{});
+}
+
+//===----------------------------------------------------------------------===//
+// Manager: recursive operation cores
+//===----------------------------------------------------------------------===//
+
+uint32_t BddManager::applyRec(Op O, uint32_t F, uint32_t G) {
+  // Terminal rules.
+  switch (O) {
+  case Op::And:
+    if (F == 0 || G == 0)
+      return 0;
+    if (F == 1)
+      return G;
+    if (G == 1)
+      return F;
+    if (F == G)
+      return F;
+    break;
+  case Op::Or:
+    if (F == 1 || G == 1)
+      return 1;
+    if (F == 0)
+      return G;
+    if (G == 0)
+      return F;
+    if (F == G)
+      return F;
+    break;
+  case Op::Xor:
+    if (F == G)
+      return 0;
+    if (F == 0)
+      return G;
+    if (G == 0)
+      return F;
+    if (F == 1)
+      return notRec(G);
+    if (G == 1)
+      return notRec(F);
+    break;
+  default:
+    assert(false && "applyRec only handles And/Or/Xor");
+  }
+
+  if (F > G)
+    std::swap(F, G); // All three ops are commutative.
+
+  uint32_t Result;
+  if (cacheLookup(O, F, G, 0, Result))
+    return Result;
+
+  uint32_t FVar = varOf(F), GVar = varOf(G);
+  uint32_t Top = std::min(FVar, GVar);
+  uint32_t F0 = FVar == Top ? lowOf(F) : F;
+  uint32_t F1 = FVar == Top ? highOf(F) : F;
+  uint32_t G0 = GVar == Top ? lowOf(G) : G;
+  uint32_t G1 = GVar == Top ? highOf(G) : G;
+
+  uint32_t Low = applyRec(O, F0, G0);
+  uint32_t High = applyRec(O, F1, G1);
+  Result = makeNode(Top, Low, High);
+  cacheInsert(O, F, G, 0, Result);
+  return Result;
+}
+
+uint32_t BddManager::notRec(uint32_t F) {
+  if (F == 0)
+    return 1;
+  if (F == 1)
+    return 0;
+  uint32_t Result;
+  if (cacheLookup(Op::Not, F, 0, 0, Result))
+    return Result;
+  Result = makeNode(varOf(F), notRec(lowOf(F)), notRec(highOf(F)));
+  cacheInsert(Op::Not, F, 0, 0, Result);
+  return Result;
+}
+
+uint32_t BddManager::iteRec(uint32_t F, uint32_t G, uint32_t H) {
+  if (F == 1)
+    return G;
+  if (F == 0)
+    return H;
+  if (G == H)
+    return G;
+  if (G == 1 && H == 0)
+    return F;
+  if (G == 0 && H == 1)
+    return notRec(F);
+
+  uint32_t Result;
+  if (cacheLookup(Op::Ite, F, G, H, Result))
+    return Result;
+
+  uint32_t Top = varOf(F);
+  if (!isTerminal(G))
+    Top = std::min(Top, varOf(G));
+  if (!isTerminal(H))
+    Top = std::min(Top, varOf(H));
+
+  auto Cofactor = [&](uint32_t N, bool High) {
+    if (isTerminal(N) || varOf(N) != Top)
+      return N;
+    return High ? highOf(N) : lowOf(N);
+  };
+
+  uint32_t Low = iteRec(Cofactor(F, false), Cofactor(G, false),
+                        Cofactor(H, false));
+  uint32_t High = iteRec(Cofactor(F, true), Cofactor(G, true),
+                         Cofactor(H, true));
+  Result = makeNode(Top, Low, High);
+  cacheInsert(Op::Ite, F, G, H, Result);
+  return Result;
+}
+
+uint32_t BddManager::existsRec(uint32_t F, uint32_t CubeId) {
+  if (isTerminal(F))
+    return F;
+  const CubeSet &C = Cubes[CubeId];
+  uint32_t V = varOf(F);
+  // All quantified variables are above this node: nothing to do.
+  if (!C.Vars.empty() && V > C.Vars.back())
+    return F;
+
+  uint32_t Result;
+  if (cacheLookup(Op::Exists, F, CubeId, 0, Result))
+    return Result;
+
+  if (V < C.InCube.size() && C.InCube[V]) {
+    uint32_t Low = existsRec(lowOf(F), CubeId);
+    if (Low == 1) {
+      Result = 1;
+    } else {
+      uint32_t High = existsRec(highOf(F), CubeId);
+      Result = applyRec(Op::Or, Low, High);
+    }
+  } else {
+    Result = makeNode(V, existsRec(lowOf(F), CubeId),
+                      existsRec(highOf(F), CubeId));
+  }
+  cacheInsert(Op::Exists, F, CubeId, 0, Result);
+  return Result;
+}
+
+uint32_t BddManager::andExistsRec(uint32_t F, uint32_t G, uint32_t CubeId) {
+  if (F == 0 || G == 0)
+    return 0;
+  if (F == 1 && G == 1)
+    return 1;
+  if (F == 1)
+    return existsRec(G, CubeId);
+  if (G == 1)
+    return existsRec(F, CubeId);
+  if (F == G)
+    return existsRec(F, CubeId);
+  if (F > G)
+    std::swap(F, G);
+
+  const CubeSet &C = Cubes[CubeId];
+  uint32_t Top = std::min(varOf(F), varOf(G));
+  // Below all quantified variables: plain conjunction.
+  if (!C.Vars.empty() && Top > C.Vars.back())
+    return applyRec(Op::And, F, G);
+
+  uint32_t Result;
+  if (cacheLookup(Op::AndExists, F, G, CubeId, Result))
+    return Result;
+
+  uint32_t F0 = varOf(F) == Top ? lowOf(F) : F;
+  uint32_t F1 = varOf(F) == Top ? highOf(F) : F;
+  uint32_t G0 = varOf(G) == Top ? lowOf(G) : G;
+  uint32_t G1 = varOf(G) == Top ? highOf(G) : G;
+
+  if (Top < C.InCube.size() && C.InCube[Top]) {
+    uint32_t Low = andExistsRec(F0, G0, CubeId);
+    if (Low == 1) {
+      Result = 1;
+    } else {
+      uint32_t High = andExistsRec(F1, G1, CubeId);
+      Result = applyRec(Op::Or, Low, High);
+    }
+  } else {
+    Result = makeNode(Top, andExistsRec(F0, G0, CubeId),
+                      andExistsRec(F1, G1, CubeId));
+  }
+  cacheInsert(Op::AndExists, F, G, CubeId, Result);
+  return Result;
+}
+
+uint32_t BddManager::renameRec(uint32_t F, uint32_t PermId) {
+  if (isTerminal(F))
+    return F;
+  uint32_t Result;
+  if (cacheLookup(Op::Rename, F, PermId, 0, Result))
+    return Result;
+
+  const PermSet &P = Perms[PermId];
+  uint32_t Low = renameRec(lowOf(F), PermId);
+  uint32_t High = renameRec(highOf(F), PermId);
+  uint32_t NewVar = P.Map[varOf(F)];
+  if (P.Monotone) {
+    Result = makeNode(NewVar, Low, High);
+  } else {
+    // The renamed variable may sit below variables of the children; rebuild
+    // with ite to restore ordering.
+    uint32_t Lit = makeNode(NewVar, 0, 1);
+    Result = iteRec(Lit, High, Low);
+  }
+  cacheInsert(Op::Rename, F, PermId, 0, Result);
+  return Result;
+}

@@ -1,0 +1,271 @@
+//===- Bdd.h - Reduced ordered binary decision diagrams ---------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch shared-node ROBDD package. This stands in for the BDD
+/// engine inside MUCKE (the paper's fixed-point solver) and provides the
+/// complete operation set the symbolic algorithms need:
+///
+///   - apply (and / or / xor), negation, if-then-else
+///   - existential and universal quantification over interned cubes
+///   - the and-exists relational product (the image-computation workhorse)
+///   - variable renaming via interned permutations (with a fast path for
+///     order-preserving permutations)
+///   - sat-counting, support computation, dag-size counting, evaluation
+///
+/// Memory is managed with external reference counts held by the RAII `Bdd`
+/// handle plus a mark-and-sweep collector that runs only at operation entry
+/// (never mid-recursion), so internal intermediate results are always safe.
+///
+/// Variable index == variable order level; the symbolic layer computes a
+/// good static order up front (as Getafix does) instead of reordering
+/// dynamically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BDD_BDD_H
+#define GETAFIX_BDD_BDD_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace getafix {
+
+class BddManager;
+
+/// Handle to an interned quantification cube (a set of variables).
+struct BddCube {
+  uint32_t Id = UINT32_MAX;
+  bool isValid() const { return Id != UINT32_MAX; }
+};
+
+/// Handle to an interned variable permutation.
+struct BddPerm {
+  uint32_t Id = UINT32_MAX;
+  bool isValid() const { return Id != UINT32_MAX; }
+};
+
+/// RAII handle to a BDD node. Copyable; keeps the node (and everything it
+/// reaches) alive across garbage collections.
+class Bdd {
+public:
+  Bdd() = default;
+  Bdd(const Bdd &Other);
+  Bdd(Bdd &&Other) noexcept;
+  Bdd &operator=(const Bdd &Other);
+  Bdd &operator=(Bdd &&Other) noexcept;
+  ~Bdd();
+
+  bool isNull() const { return Mgr == nullptr; }
+  bool isZero() const;
+  bool isOne() const;
+  bool isConst() const { return isZero() || isOne(); }
+
+  /// Structural equality: canonicity makes this semantic equivalence.
+  bool operator==(const Bdd &Other) const {
+    return Mgr == Other.Mgr && Idx == Other.Idx;
+  }
+  bool operator!=(const Bdd &Other) const { return !(*this == Other); }
+
+  Bdd operator&(const Bdd &Other) const;
+  Bdd operator|(const Bdd &Other) const;
+  Bdd operator^(const Bdd &Other) const;
+  Bdd operator!() const;
+  Bdd &operator&=(const Bdd &Other) { return *this = *this & Other; }
+  Bdd &operator|=(const Bdd &Other) { return *this = *this | Other; }
+  Bdd &operator^=(const Bdd &Other) { return *this = *this ^ Other; }
+
+  /// Boolean implication: (!*this) | Other.
+  Bdd implies(const Bdd &Other) const { return (!*this) | Other; }
+  /// Boolean equivalence: !(*this ^ Other).
+  Bdd iff(const Bdd &Other) const { return !(*this ^ Other); }
+
+  /// If-then-else with *this as the condition.
+  Bdd ite(const Bdd &Then, const Bdd &Else) const;
+
+  /// Existentially quantifies the variables of \p Cube.
+  Bdd exists(BddCube Cube) const;
+  /// Universally quantifies the variables of \p Cube.
+  Bdd forall(BddCube Cube) const;
+  /// Computes exists Cube. (*this & Other) without building the conjunction.
+  Bdd andExists(const Bdd &Other, BddCube Cube) const;
+  /// Renames variables according to the interned permutation.
+  Bdd permute(BddPerm Perm) const;
+  /// Cofactor: substitutes the constant \p Value for variable \p Var.
+  Bdd restrict(unsigned Var, bool Value) const;
+
+  /// Number of satisfying assignments over \p NumVars variables.
+  double satCount(unsigned NumVars) const;
+  /// Number of distinct nodes in this BDD's dag (terminals excluded).
+  size_t nodeCount() const;
+  /// Sorted list of variables this function depends on.
+  std::vector<unsigned> support() const;
+  /// Evaluates under a total assignment (indexed by variable).
+  bool eval(const std::vector<bool> &Assignment) const;
+  /// One satisfying partial assignment: -1 don't-care, 0 false, 1 true.
+  /// Requires a non-zero BDD.
+  std::vector<int8_t> onePath() const;
+
+  BddManager *manager() const { return Mgr; }
+  uint32_t rawIndex() const { return Idx; }
+
+private:
+  friend class BddManager;
+  Bdd(BddManager *Mgr, uint32_t Idx);
+
+  BddManager *Mgr = nullptr;
+  uint32_t Idx = 0;
+};
+
+/// Operation counters for benchmarking and regression tests.
+struct BddStats {
+  uint64_t CacheLookups = 0;
+  uint64_t CacheHits = 0;
+  uint64_t NodesCreated = 0;
+  uint64_t GcRuns = 0;
+  uint64_t GcReclaimed = 0;
+  size_t LiveNodes = 0;
+  size_t PeakNodes = 0;
+};
+
+/// Owns the shared node table, the unique table, and the computed cache.
+class BddManager {
+public:
+  /// \p CacheBits selects a computed cache of 2^CacheBits entries.
+  explicit BddManager(unsigned NumVars = 0, unsigned CacheBits = 18);
+  ~BddManager();
+
+  BddManager(const BddManager &) = delete;
+  BddManager &operator=(const BddManager &) = delete;
+
+  /// Appends a fresh variable at the bottom of the order; returns its index.
+  unsigned newVar();
+  unsigned numVars() const { return NumVars; }
+
+  Bdd zero() { return Bdd(this, 0); }
+  Bdd one() { return Bdd(this, 1); }
+  /// The literal for variable \p Var (must be < numVars()).
+  Bdd var(unsigned Var);
+  /// The negative literal for variable \p Var.
+  Bdd nvar(unsigned Var);
+
+  /// Interns a quantification cube. Variables may be unsorted; duplicates
+  /// are ignored. Equal sets share one id.
+  BddCube makeCube(const std::vector<unsigned> &Vars);
+  /// Interns a permutation given as (from, to) pairs. Unlisted variables map
+  /// to themselves. Both sides must be duplicate-free.
+  BddPerm makePermutation(
+      const std::vector<std::pair<unsigned, unsigned>> &Pairs);
+
+  /// Conjunction of positive literals of the cube's variables.
+  Bdd cubeBdd(BddCube Cube);
+
+  /// Runs mark-and-sweep now. Only call between operations (the public
+  /// operation entry points do this automatically when the table grows).
+  void gc();
+
+  /// Sets the live-node threshold that triggers automatic gc at operation
+  /// entry. Zero disables automatic collection.
+  void setGcThreshold(size_t Nodes) { GcThreshold = Nodes; }
+
+  const BddStats &stats() const { return Stats; }
+  size_t liveNodeCount() const;
+
+private:
+  friend class Bdd;
+
+  struct Node {
+    uint32_t Var;
+    uint32_t Low;
+    uint32_t High;
+    uint32_t Next; ///< Unique-table chain.
+  };
+
+  enum class Op : uint32_t {
+    None = 0,
+    And,
+    Or,
+    Xor,
+    Not,
+    Ite,
+    Exists,
+    AndExists,
+    Rename,
+  };
+
+  struct CacheEntry {
+    uint32_t F = UINT32_MAX;
+    uint32_t G = UINT32_MAX;
+    uint32_t H = UINT32_MAX; ///< Third operand (ite) or cube/perm id.
+    uint32_t OpTag = 0;      ///< Op::None means empty slot.
+    uint32_t Result = 0;
+  };
+
+  struct CubeSet {
+    std::vector<unsigned> Vars;   ///< Sorted.
+    std::vector<uint8_t> InCube;  ///< Indexed by variable.
+    unsigned MinVar = UINT32_MAX; ///< Smallest quantified variable.
+  };
+
+  struct PermSet {
+    std::vector<uint32_t> Map; ///< Indexed by variable; identity elsewhere.
+    bool Monotone = false;     ///< Globally order-preserving.
+  };
+
+  static constexpr uint32_t TermVar = UINT32_MAX;
+  static constexpr uint32_t Invalid = UINT32_MAX;
+
+  // Node access -----------------------------------------------------------
+  uint32_t varOf(uint32_t N) const { return Nodes[N].Var; }
+  uint32_t lowOf(uint32_t N) const { return Nodes[N].Low; }
+  uint32_t highOf(uint32_t N) const { return Nodes[N].High; }
+  bool isTerminal(uint32_t N) const { return N <= 1; }
+
+  uint32_t makeNode(uint32_t Var, uint32_t Low, uint32_t High);
+  uint32_t allocNode();
+  void growUniqueTable();
+  static uint64_t hashTriple(uint32_t A, uint32_t B, uint32_t C);
+
+  // Computed cache --------------------------------------------------------
+  bool cacheLookup(Op O, uint32_t F, uint32_t G, uint32_t H, uint32_t &Out);
+  void cacheInsert(Op O, uint32_t F, uint32_t G, uint32_t H, uint32_t R);
+  void clearCache();
+
+  // Recursive cores (raw indices; never trigger gc) ------------------------
+  uint32_t applyRec(Op O, uint32_t F, uint32_t G);
+  uint32_t notRec(uint32_t F);
+  uint32_t iteRec(uint32_t F, uint32_t G, uint32_t H);
+  uint32_t existsRec(uint32_t F, uint32_t CubeId);
+  uint32_t andExistsRec(uint32_t F, uint32_t G, uint32_t CubeId);
+  uint32_t renameRec(uint32_t F, uint32_t PermId);
+
+  void maybeGc();
+  void ref(uint32_t N);
+  void deref(uint32_t N);
+
+  // Data ------------------------------------------------------------------
+  std::vector<Node> Nodes;
+  std::vector<uint32_t> ExtRefs; ///< Parallel to Nodes.
+  std::vector<uint32_t> Buckets; ///< Unique table; power-of-two size.
+  uint32_t FreeList = Invalid;   ///< Chained through Node::Low.
+  size_t NumFree = 0;
+  unsigned NumVars = 0;
+
+  std::vector<CacheEntry> Cache;
+  uint64_t CacheMask = 0;
+
+  std::vector<CubeSet> Cubes;
+  std::vector<PermSet> Perms;
+
+  size_t GcThreshold = 1u << 22;
+  BddStats Stats;
+};
+
+} // namespace getafix
+
+#endif // GETAFIX_BDD_BDD_H

@@ -1,0 +1,193 @@
+//===- Ast.h - Boolean program abstract syntax ------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the Section-2 Boolean-program language: recursive procedures with
+/// call-by-value parameters and multi-value returns, variables over the
+/// Boolean domain, nondeterministic choice `*`, simultaneous assignment,
+/// if/while control flow, plus two mild extensions used throughout the
+/// Boolean-program literature: `assume(e)` statements and statement labels
+/// (reachability targets are named by label, as in the paper's `Goal`).
+/// Section-5 concurrent programs add `shared` globals and `thread ... end`
+/// blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_AST_H
+#define GETAFIX_BP_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace bp {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Resolved reference to a variable: either a program global or a local of
+/// the enclosing procedure (parameters are locals, occupying the first
+/// slots of the local frame).
+struct VarRef {
+  bool IsGlobal = false;
+  unsigned Index = 0;
+
+  bool operator==(const VarRef &O) const {
+    return IsGlobal == O.IsGlobal && Index == O.Index;
+  }
+};
+
+enum class ExprKind {
+  True,
+  False,
+  Nondet, ///< `*`: nondeterministically true or false.
+  Var,
+  Not,
+  And,
+  Or,
+};
+
+/// Boolean expression. Binary nodes have exactly two operands, Not has one.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  std::string VarName; ///< For Var, before resolution.
+  VarRef Ref;          ///< For Var, after resolution.
+
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+
+  explicit Expr(ExprKind Kind, SourceLoc Loc = {}) : Kind(Kind), Loc(Loc) {}
+
+  /// True if the expression contains a `*` somewhere.
+  bool hasNondet() const {
+    if (Kind == ExprKind::Nondet)
+      return true;
+    if (Lhs && Lhs->hasNondet())
+      return true;
+    return Rhs && Rhs->hasNondet();
+  }
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Skip,
+  Assume, ///< assume(e): blocks executions where e is false.
+  Assign, ///< x1,...,xm := e1,...,em (simultaneous).
+  Call,   ///< call f(e1,...,eh) — no return values.
+  CallAssign, ///< x1,...,xk := f(e1,...,eh).
+  Return, ///< return e1,...,ek.
+  If,
+  While,
+  Goto, ///< goto L: jump to the statement labelled L in this procedure.
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  std::string Label; ///< Optional `L:` prefix naming this statement.
+
+  // Assign / CallAssign targets.
+  std::vector<std::string> LhsNames;
+  std::vector<VarRef> LhsRefs;
+
+  // Assign right-hand sides, Return expressions, Call/CallAssign arguments.
+  std::vector<ExprPtr> Exprs;
+
+  // Call / CallAssign / Goto.
+  std::string CalleeName;
+  unsigned CalleeId = ~0u;
+
+  // If / While / Assume condition.
+  ExprPtr Cond;
+
+  // If bodies and While body.
+  std::vector<StmtPtr> ThenBody;
+  std::vector<StmtPtr> ElseBody;
+
+  explicit Stmt(StmtKind Kind, SourceLoc Loc = {}) : Kind(Kind), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Procedures and programs
+//===----------------------------------------------------------------------===//
+
+struct Proc {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<std::string> Params; ///< Formal parameters.
+  std::vector<std::string> Locals; ///< Declared locals (excludes params).
+  std::vector<StmtPtr> Body;
+  unsigned NumReturns = 0; ///< k: number of values this procedure returns.
+
+  /// Frame size: parameters followed by declared locals.
+  unsigned numLocalSlots() const {
+    return unsigned(Params.size() + Locals.size());
+  }
+
+  /// Name of local slot \p I (parameters first).
+  const std::string &localName(unsigned I) const {
+    assert(I < numLocalSlots() && "local slot out of range");
+    return I < Params.size() ? Params[I] : Locals[I - Params.size()];
+  }
+};
+
+/// A sequential Boolean program: globals plus procedures, entry `main`.
+struct Program {
+  std::vector<std::string> Globals;
+  std::vector<std::unique_ptr<Proc>> Procs;
+  std::map<std::string, unsigned> ProcIds;
+  unsigned MainId = ~0u;
+
+  const Proc &proc(unsigned Id) const {
+    assert(Id < Procs.size() && "procedure id out of range");
+    return *Procs[Id];
+  }
+  const Proc &main() const { return proc(MainId); }
+
+  unsigned numGlobals() const { return unsigned(Globals.size()); }
+
+  /// Largest local frame over all procedures (symbolic layout pads to it).
+  unsigned maxLocalSlots() const {
+    unsigned Max = 0;
+    for (const auto &P : Procs)
+      Max = std::max(Max, P->numLocalSlots());
+    return Max;
+  }
+
+  /// Finds the procedure and statement carrying \p Label; null if absent.
+  const Stmt *findLabel(const std::string &Label, unsigned *ProcId) const;
+};
+
+/// A concurrent Boolean program (Section 5): all globals are shared (the
+/// paper's simplifying assumption) and each thread is a sequential program
+/// over those globals.
+struct ConcurrentProgram {
+  std::vector<std::string> SharedGlobals;
+  std::vector<std::unique_ptr<Program>> Threads;
+
+  unsigned numThreads() const { return unsigned(Threads.size()); }
+};
+
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_AST_H

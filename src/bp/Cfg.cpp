@@ -1,0 +1,191 @@
+//===- Cfg.cpp - Control-flow graph construction --------------------------===//
+
+#include "bp/Cfg.h"
+
+using namespace getafix;
+using namespace getafix::bp;
+
+namespace {
+
+class CfgBuilder {
+public:
+  CfgBuilder(const Proc &P, unsigned ProcId) : P(P) {
+    Cfg.ProcId = ProcId;
+  }
+
+  ProcCfg build();
+
+private:
+  unsigned freshPc() { return NextPc++; }
+
+  unsigned lowerList(const std::vector<StmtPtr> &Body, unsigned Cur);
+  unsigned lowerStmt(const Stmt &S, unsigned Cur);
+
+  void addAssume(unsigned From, unsigned To, const Expr *Cond, bool Negate) {
+    CfgEdge E;
+    E.K = CfgEdge::Kind::Assume;
+    E.From = From;
+    E.To = To;
+    E.Cond = Cond;
+    E.NegateCond = Negate;
+    Cfg.Edges.push_back(std::move(E));
+  }
+
+  const Proc &P;
+  ProcCfg Cfg;
+  unsigned NextPc = 0;
+  /// Goto edges awaiting label resolution: (edge index, target label).
+  std::vector<std::pair<size_t, std::string>> PendingGotos;
+};
+
+} // namespace
+
+unsigned CfgBuilder::lowerList(const std::vector<StmtPtr> &Body,
+                               unsigned Cur) {
+  for (const StmtPtr &S : Body)
+    Cur = lowerStmt(*S, Cur);
+  return Cur;
+}
+
+unsigned CfgBuilder::lowerStmt(const Stmt &S, unsigned Cur) {
+  if (!S.Label.empty())
+    Cfg.LabelPcs[S.Label] = Cur;
+
+  switch (S.Kind) {
+  case StmtKind::Skip: {
+    unsigned Next = freshPc();
+    addAssume(Cur, Next, nullptr, false);
+    return Next;
+  }
+  case StmtKind::Assume: {
+    unsigned Next = freshPc();
+    addAssume(Cur, Next, S.Cond.get(), false);
+    return Next;
+  }
+  case StmtKind::Assign: {
+    unsigned Next = freshPc();
+    CfgEdge E;
+    E.K = CfgEdge::Kind::Assign;
+    E.From = Cur;
+    E.To = Next;
+    E.Lhs = S.LhsRefs;
+    for (const ExprPtr &Rhs : S.Exprs)
+      E.Rhs.push_back(Rhs.get());
+    Cfg.Edges.push_back(std::move(E));
+    return Next;
+  }
+  case StmtKind::Call:
+  case StmtKind::CallAssign: {
+    unsigned Next = freshPc();
+    CfgEdge E;
+    E.K = CfgEdge::Kind::Call;
+    E.From = Cur;
+    E.To = Next;
+    E.CalleeId = S.CalleeId;
+    E.Lhs = S.LhsRefs;
+    for (const ExprPtr &Arg : S.Exprs)
+      E.Rhs.push_back(Arg.get());
+    Cfg.Edges.push_back(std::move(E));
+    return Next;
+  }
+  case StmtKind::Return: {
+    CfgExit Exit;
+    Exit.Pc = Cur;
+    for (const ExprPtr &E : S.Exprs)
+      Exit.ReturnExprs.push_back(E.get());
+    Cfg.Exits.push_back(std::move(Exit));
+    // Anything after a return is unreachable; give it a fresh PC with no
+    // in-edge so downstream code can still index it.
+    return freshPc();
+  }
+  case StmtKind::Goto: {
+    CfgEdge E;
+    E.K = CfgEdge::Kind::Assume;
+    E.From = Cur;
+    E.To = 0; // Patched below.
+    Cfg.Edges.push_back(std::move(E));
+    PendingGotos.emplace_back(Cfg.Edges.size() - 1, S.CalleeName);
+    return freshPc();
+  }
+  case StmtKind::If: {
+    unsigned ThenStart = freshPc();
+    addAssume(Cur, ThenStart, S.Cond.get(), false);
+    unsigned ThenEnd = lowerList(S.ThenBody, ThenStart);
+    if (S.ElseBody.empty()) {
+      unsigned Join = freshPc();
+      addAssume(Cur, Join, S.Cond.get(), true);
+      addAssume(ThenEnd, Join, nullptr, false);
+      return Join;
+    }
+    unsigned ElseStart = freshPc();
+    addAssume(Cur, ElseStart, S.Cond.get(), true);
+    unsigned ElseEnd = lowerList(S.ElseBody, ElseStart);
+    unsigned Join = freshPc();
+    addAssume(ThenEnd, Join, nullptr, false);
+    addAssume(ElseEnd, Join, nullptr, false);
+    return Join;
+  }
+  case StmtKind::While: {
+    unsigned BodyStart = freshPc();
+    addAssume(Cur, BodyStart, S.Cond.get(), false);
+    unsigned BodyEnd = lowerList(S.ThenBody, BodyStart);
+    addAssume(BodyEnd, Cur, nullptr, false); // Back edge.
+    unsigned After = freshPc();
+    addAssume(Cur, After, S.Cond.get(), true);
+    return After;
+  }
+  }
+  assert(false && "unhandled statement kind");
+  return Cur;
+}
+
+ProcCfg CfgBuilder::build() {
+  unsigned Entry = freshPc();
+  assert(Entry == 0 && "entry PC must be 0");
+  (void)Entry;
+  unsigned End = lowerList(P.Body, 0);
+
+  // Implicit fall-through exit. If the procedure returns values, they are
+  // nondeterministic (the Bebop convention for a missing return).
+  CfgExit Implicit;
+  Implicit.Pc = End;
+  Implicit.Implicit = true;
+  for (unsigned I = 0; I < P.NumReturns; ++I) {
+    Cfg.OwnedExprs.push_back(std::make_unique<Expr>(ExprKind::Nondet));
+    Implicit.ReturnExprs.push_back(Cfg.OwnedExprs.back().get());
+  }
+  Cfg.Exits.push_back(std::move(Implicit));
+
+  for (auto &[EdgeIdx, Label] : PendingGotos) {
+    auto It = Cfg.LabelPcs.find(Label);
+    assert(It != Cfg.LabelPcs.end() && "sema guarantees goto targets exist");
+    Cfg.Edges[EdgeIdx].To = It->second;
+  }
+
+  Cfg.NumPcs = NextPc;
+  Cfg.OutEdges.assign(Cfg.NumPcs, {});
+  for (unsigned I = 0; I < Cfg.Edges.size(); ++I)
+    Cfg.OutEdges[Cfg.Edges[I].From].push_back(I);
+  return std::move(Cfg);
+}
+
+ProgramCfg bp::buildCfg(const Program &Prog) {
+  ProgramCfg Result;
+  Result.Prog = &Prog;
+  for (unsigned Id = 0; Id < Prog.Procs.size(); ++Id)
+    Result.Procs.push_back(CfgBuilder(Prog.proc(Id), Id).build());
+  return Result;
+}
+
+bool ProgramCfg::findLabelPc(const std::string &Label, unsigned &ProcId,
+                             unsigned &Pc) const {
+  for (const ProcCfg &P : Procs) {
+    auto It = P.LabelPcs.find(Label);
+    if (It != P.LabelPcs.end()) {
+      ProcId = P.ProcId;
+      Pc = It->second;
+      return true;
+    }
+  }
+  return false;
+}

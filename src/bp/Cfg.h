@@ -1,0 +1,114 @@
+//===- Cfg.h - Control-flow graphs for Boolean programs ---------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a resolved Boolean program to per-procedure control-flow graphs.
+/// Every program point gets a program counter (PC) local to its procedure,
+/// with PC 0 the procedure entry (as the paper's Appendix assumes). Edges
+/// are:
+///
+///   - Assume: guarded internal move (branches; `assume`; skip via a null
+///     condition),
+///   - Assign: simultaneous assignment,
+///   - Call: transition into a callee; `To` is the point the call returns
+///     to, so a Call edge doubles as the paper's `Across(u.pc, w.pc)` pair.
+///
+/// Exit points carry the return expressions evaluated at that exit; a
+/// procedure whose body can fall off the end gets an implicit exit that
+/// returns nondeterministic values (Bebop's convention for missing
+/// returns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_CFG_H
+#define GETAFIX_BP_CFG_H
+
+#include "bp/Ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace bp {
+
+struct CfgEdge {
+  enum class Kind { Assume, Assign, Call };
+
+  Kind K = Kind::Assume;
+  unsigned From = 0;
+  unsigned To = 0; ///< For Call edges: the return-to point (Across target).
+
+  /// Assume: guard (null means `true`). NegateCond selects else-branches.
+  const Expr *Cond = nullptr;
+  bool NegateCond = false;
+
+  /// Assign: targets; CallAssign: targets receiving returned values.
+  std::vector<VarRef> Lhs;
+  /// Assign: right-hand sides; Call: actual arguments.
+  std::vector<const Expr *> Rhs;
+
+  unsigned CalleeId = ~0u; ///< Call only.
+};
+
+/// One exit point of a procedure with the expressions it returns.
+struct CfgExit {
+  unsigned Pc = 0;
+  std::vector<const Expr *> ReturnExprs;
+  bool Implicit = false; ///< Fall-off-the-end exit (returns nondet values).
+};
+
+struct ProcCfg {
+  unsigned ProcId = 0;
+  unsigned NumPcs = 0; ///< PCs are 0..NumPcs-1; entry is 0.
+  std::vector<CfgEdge> Edges;
+  std::vector<CfgExit> Exits;
+  std::map<std::string, unsigned> LabelPcs;
+
+  /// Outgoing edge indices per PC.
+  std::vector<std::vector<unsigned>> OutEdges;
+
+  /// Expressions created during lowering (implicit nondet returns).
+  std::vector<ExprPtr> OwnedExprs;
+
+  bool isExit(unsigned Pc) const {
+    for (const CfgExit &E : Exits)
+      if (E.Pc == Pc)
+        return true;
+    return false;
+  }
+  const CfgExit *exitAt(unsigned Pc) const {
+    for (const CfgExit &E : Exits)
+      if (E.Pc == Pc)
+        return &E;
+    return nullptr;
+  }
+};
+
+struct ProgramCfg {
+  const Program *Prog = nullptr;
+  std::vector<ProcCfg> Procs;
+
+  /// Largest PC count over all procedures (the symbolic PC domain size).
+  unsigned maxPcs() const {
+    unsigned Max = 1;
+    for (const ProcCfg &P : Procs)
+      Max = std::max(Max, P.NumPcs);
+    return Max;
+  }
+
+  /// Locates the PC carrying \p Label. Returns false if absent.
+  bool findLabelPc(const std::string &Label, unsigned &ProcId,
+                   unsigned &Pc) const;
+};
+
+/// Lowers \p Prog (must be successfully analyzed) to CFGs.
+ProgramCfg buildCfg(const Program &Prog);
+
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_CFG_H

@@ -1,0 +1,208 @@
+//===- Lexer.cpp - Boolean program lexer ----------------------------------===//
+
+#include "bp/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace getafix;
+using namespace getafix::bp;
+
+void Lexer::advance() {
+  assert(Pos < Input.size() && "advancing past end");
+  if (Input[Pos] == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  ++Pos;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Input.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek2() == '/') {
+      while (Pos < Input.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek2() == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Input.size()) {
+        if (peek() == '*' && peek2() == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+static const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"decl", TokenKind::KwDecl},     {"begin", TokenKind::KwBegin},
+      {"end", TokenKind::KwEnd},       {"skip", TokenKind::KwSkip},
+      {"call", TokenKind::KwCall},     {"return", TokenKind::KwReturn},
+      {"if", TokenKind::KwIf},         {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},     {"fi", TokenKind::KwFi},
+      {"while", TokenKind::KwWhile},   {"do", TokenKind::KwDo},
+      {"od", TokenKind::KwOd},         {"assume", TokenKind::KwAssume},
+      {"dead", TokenKind::KwDead},
+      {"goto", TokenKind::KwGoto},     {"shared", TokenKind::KwShared},
+      {"thread", TokenKind::KwThread}, {"T", TokenKind::KwTrue},
+      {"F", TokenKind::KwFalse},
+  };
+  return Table;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  Token Tok;
+  Tok.Loc = loc();
+  if (Pos >= Input.size()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (Pos < Input.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+      Text += peek();
+      advance();
+    }
+    auto It = keywordTable().find(Text);
+    Tok.Kind = It != keywordTable().end() ? It->second : TokenKind::Identifier;
+    Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  advance();
+  switch (C) {
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case ';':
+    Tok.Kind = TokenKind::Semicolon;
+    return Tok;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    return Tok;
+  case '!':
+    Tok.Kind = TokenKind::Bang;
+    return Tok;
+  case '&':
+    Tok.Kind = TokenKind::Amp;
+    return Tok;
+  case '|':
+    Tok.Kind = TokenKind::Pipe;
+    return Tok;
+  case ':':
+    if (peek() == '=') {
+      advance();
+      Tok.Kind = TokenKind::Assign;
+    } else {
+      Tok.Kind = TokenKind::Colon;
+    }
+    return Tok;
+  default:
+    Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+    Tok.Kind = TokenKind::Error;
+    return Tok;
+  }
+}
+
+const char *Lexer::spelling(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "<eof>";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwDecl:
+    return "decl";
+  case TokenKind::KwBegin:
+    return "begin";
+  case TokenKind::KwEnd:
+    return "end";
+  case TokenKind::KwSkip:
+    return "skip";
+  case TokenKind::KwCall:
+    return "call";
+  case TokenKind::KwReturn:
+    return "return";
+  case TokenKind::KwIf:
+    return "if";
+  case TokenKind::KwThen:
+    return "then";
+  case TokenKind::KwElse:
+    return "else";
+  case TokenKind::KwFi:
+    return "fi";
+  case TokenKind::KwWhile:
+    return "while";
+  case TokenKind::KwDo:
+    return "do";
+  case TokenKind::KwOd:
+    return "od";
+  case TokenKind::KwAssume:
+    return "assume";
+  case TokenKind::KwDead:
+    return "dead";
+  case TokenKind::KwGoto:
+    return "goto";
+  case TokenKind::KwShared:
+    return "shared";
+  case TokenKind::KwThread:
+    return "thread";
+  case TokenKind::KwTrue:
+    return "T";
+  case TokenKind::KwFalse:
+    return "F";
+  case TokenKind::Assign:
+    return ":=";
+  case TokenKind::Comma:
+    return ",";
+  case TokenKind::Semicolon:
+    return ";";
+  case TokenKind::Colon:
+    return ":";
+  case TokenKind::LParen:
+    return "(";
+  case TokenKind::RParen:
+    return ")";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Bang:
+    return "!";
+  case TokenKind::Amp:
+    return "&";
+  case TokenKind::Pipe:
+    return "|";
+  case TokenKind::Error:
+    return "<error>";
+  }
+  return "<unknown>";
+}

@@ -1,0 +1,93 @@
+//===- Lexer.h - Boolean program lexer --------------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_LEXER_H
+#define GETAFIX_BP_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+
+namespace getafix {
+namespace bp {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  // Keywords.
+  KwDecl,
+  KwBegin,
+  KwEnd,
+  KwSkip,
+  KwCall,
+  KwReturn,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwFi,
+  KwWhile,
+  KwDo,
+  KwOd,
+  KwAssume,
+  KwDead, ///< `dead x, y;` havocs the listed variables.
+  KwGoto,
+  KwShared,
+  KwThread,
+  KwTrue,  ///< `T`
+  KwFalse, ///< `F`
+  // Punctuation and operators.
+  Assign, ///< `:=`
+  Comma,
+  Semicolon,
+  Colon,
+  LParen,
+  RParen,
+  Star, ///< `*`
+  Bang, ///< `!`
+  Amp,  ///< `&`
+  Pipe, ///< `|`
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Hand-written lexer. Supports `//` line comments and `/* */` block
+/// comments.
+class Lexer {
+public:
+  Lexer(std::string_view Input, DiagnosticEngine &Diags)
+      : Input(Input), Diags(Diags) {}
+
+  Token next();
+
+  /// Converts a keyword token kind back to its spelling (for diagnostics).
+  static const char *spelling(TokenKind Kind);
+
+private:
+  void skipWhitespaceAndComments();
+  char peek() const { return Pos < Input.size() ? Input[Pos] : '\0'; }
+  char peek2() const { return Pos + 1 < Input.size() ? Input[Pos + 1] : '\0'; }
+  void advance();
+  SourceLoc loc() const { return SourceLoc{Line, Column}; }
+
+  std::string_view Input;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_LEXER_H

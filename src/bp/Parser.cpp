@@ -1,0 +1,436 @@
+//===- Parser.cpp - Boolean program parser --------------------------------===//
+
+#include "bp/Parser.h"
+#include "bp/Sema.h"
+
+#include <algorithm>
+
+using namespace getafix;
+using namespace getafix::bp;
+using namespace getafix::bp::detail;
+
+//===----------------------------------------------------------------------===//
+// Token plumbing
+//===----------------------------------------------------------------------===//
+
+void Parser::bump() {
+  Cur = Ahead;
+  Ahead = Lex.next();
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (Cur.is(Kind)) {
+    bump();
+    return true;
+  }
+  Diags.error(Cur.Loc, std::string("expected '") + Lexer::spelling(Kind) +
+                           "' " + Context + ", found '" +
+                           (Cur.is(TokenKind::Identifier)
+                                ? Cur.Text
+                                : Lexer::spelling(Cur.Kind)) +
+                           "'");
+  return false;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (!Cur.is(Kind))
+    return false;
+  bump();
+  return true;
+}
+
+void Parser::skipToRecoveryPoint() {
+  while (!Cur.is(TokenKind::Eof) && !Cur.is(TokenKind::Semicolon) &&
+         !Cur.is(TokenKind::KwEnd))
+    bump();
+  consumeIf(TokenKind::Semicolon);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations and program structure
+//===----------------------------------------------------------------------===//
+
+void Parser::parseDeclList(std::vector<std::string> &Names) {
+  // Caller has consumed the `decl` keyword.
+  do {
+    if (!Cur.is(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier, "in variable declaration");
+      skipToRecoveryPoint();
+      return;
+    }
+    Names.push_back(Cur.Text);
+    bump();
+  } while (consumeIf(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "after variable declaration");
+}
+
+std::unique_ptr<Program> Parser::parseProgramBody(TokenKind EndKind) {
+  auto Prog = std::make_unique<Program>();
+  while (Cur.is(TokenKind::KwDecl)) {
+    bump();
+    parseDeclList(Prog->Globals);
+  }
+  while (Cur.is(TokenKind::Identifier)) {
+    if (auto P = parseProc())
+      Prog->Procs.push_back(std::move(P));
+    else
+      skipToRecoveryPoint();
+  }
+  if (!Cur.is(EndKind))
+    expect(EndKind, "after procedure list");
+  return Prog;
+}
+
+std::unique_ptr<Program> Parser::parseSequential() {
+  auto Prog = parseProgramBody(TokenKind::Eof);
+  return Prog;
+}
+
+std::unique_ptr<ConcurrentProgram> Parser::parseConcurrent() {
+  auto Conc = std::make_unique<ConcurrentProgram>();
+  expect(TokenKind::KwShared, "at start of concurrent program");
+  expect(TokenKind::KwDecl, "after 'shared'");
+  parseDeclList(Conc->SharedGlobals);
+  while (Cur.is(TokenKind::KwShared)) {
+    bump();
+    expect(TokenKind::KwDecl, "after 'shared'");
+    parseDeclList(Conc->SharedGlobals);
+  }
+  while (Cur.is(TokenKind::KwThread)) {
+    bump();
+    auto Thread = parseProgramBody(TokenKind::KwEnd);
+    expect(TokenKind::KwEnd, "to close thread");
+    if (!Thread->Globals.empty())
+      Diags.error(SourceLoc{}, "threads may not declare private globals; "
+                               "all globals are shared (Section 5)");
+    Thread->Globals = Conc->SharedGlobals;
+    Conc->Threads.push_back(std::move(Thread));
+  }
+  if (!Cur.is(TokenKind::Eof))
+    expect(TokenKind::Eof, "after thread list");
+  if (Conc->Threads.empty())
+    Diags.error(SourceLoc{}, "concurrent program has no threads");
+  return Conc;
+}
+
+std::unique_ptr<Proc> Parser::parseProc() {
+  auto P = std::make_unique<Proc>();
+  P->Name = Cur.Text;
+  P->Loc = Cur.Loc;
+  bump();
+  if (!expect(TokenKind::LParen, "after procedure name"))
+    return nullptr;
+  if (!Cur.is(TokenKind::RParen)) {
+    do {
+      if (!Cur.is(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier, "in parameter list");
+        return nullptr;
+      }
+      P->Params.push_back(Cur.Text);
+      bump();
+    } while (consumeIf(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameter list"))
+    return nullptr;
+  if (!expect(TokenKind::KwBegin, "to open procedure body"))
+    return nullptr;
+  while (Cur.is(TokenKind::KwDecl)) {
+    bump();
+    parseDeclList(P->Locals);
+  }
+  parseStmtList(P->Body, {TokenKind::KwEnd});
+  if (!expect(TokenKind::KwEnd, "to close procedure body"))
+    return nullptr;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Parser::parseStmtList(std::vector<StmtPtr> &Out,
+                           std::initializer_list<TokenKind> Terminators) {
+  auto AtTerminator = [&] {
+    if (Cur.is(TokenKind::Eof))
+      return true;
+    return std::any_of(Terminators.begin(), Terminators.end(),
+                       [&](TokenKind K) { return Cur.is(K); });
+  };
+  while (!AtTerminator()) {
+    StmtPtr S = parseStmt();
+    if (!S) {
+      skipToRecoveryPoint();
+      continue;
+    }
+    Out.push_back(std::move(S));
+  }
+}
+
+StmtPtr Parser::parseStmt() {
+  std::string Label;
+  SourceLoc LabelLoc;
+  if (Cur.is(TokenKind::Identifier) && Ahead.is(TokenKind::Colon)) {
+    Label = Cur.Text;
+    LabelLoc = Cur.Loc;
+    bump();
+    bump();
+  }
+  StmtPtr S = parseSimpleStmt();
+  if (S && !Label.empty()) {
+    S->Label = std::move(Label);
+    if (!LabelLoc.isValid())
+      S->Loc = LabelLoc;
+  }
+  return S;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  SourceLoc Loc = Cur.Loc;
+  switch (Cur.Kind) {
+  case TokenKind::KwSkip: {
+    bump();
+    expect(TokenKind::Semicolon, "after 'skip'");
+    return std::make_unique<Stmt>(StmtKind::Skip, Loc);
+  }
+  case TokenKind::KwAssume: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::Assume, Loc);
+    expect(TokenKind::LParen, "after 'assume'");
+    S->Cond = parseExpr();
+    expect(TokenKind::RParen, "after assume condition");
+    expect(TokenKind::Semicolon, "after 'assume'");
+    return S;
+  }
+  case TokenKind::KwDead: {
+    // `dead x, y;` — the TERMINATOR benchmarks' statement the paper had
+    // to model by hand (Figure 2's iterative/schoose rows): the listed
+    // variables are no longer used, so havoc them. Desugars to the
+    // simultaneous nondeterministic assignment `x, y := *, *`, which the
+    // rest of the pipeline (sema, CFG, encoders, oracles) already
+    // handles.
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+    while (true) {
+      if (!Cur.is(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier, "in dead variable list");
+        return nullptr;
+      }
+      S->LhsNames.push_back(Cur.Text);
+      bump();
+      auto Nondet = std::make_unique<Expr>(ExprKind::Nondet, Cur.Loc);
+      S->Exprs.push_back(std::move(Nondet));
+      if (!Cur.is(TokenKind::Comma))
+        break;
+      bump();
+    }
+    expect(TokenKind::Semicolon, "after dead variable list");
+    return S;
+  }
+  case TokenKind::KwGoto: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::Goto, Loc);
+    if (!Cur.is(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier, "after 'goto'");
+      return nullptr;
+    }
+    S->CalleeName = Cur.Text; // Reused as the target label.
+    bump();
+    expect(TokenKind::Semicolon, "after goto target");
+    return S;
+  }
+  case TokenKind::KwCall: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::Call, Loc);
+    if (!Cur.is(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier, "after 'call'");
+      return nullptr;
+    }
+    S->CalleeName = Cur.Text;
+    bump();
+    expect(TokenKind::LParen, "after callee name");
+    if (!Cur.is(TokenKind::RParen))
+      parseExprList(S->Exprs);
+    expect(TokenKind::RParen, "after call arguments");
+    expect(TokenKind::Semicolon, "after call");
+    return S;
+  }
+  case TokenKind::KwReturn: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::Return, Loc);
+    if (!Cur.is(TokenKind::Semicolon))
+      parseExprList(S->Exprs);
+    expect(TokenKind::Semicolon, "after return");
+    return S;
+  }
+  case TokenKind::KwIf: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::If, Loc);
+    expect(TokenKind::LParen, "after 'if'");
+    S->Cond = parseExpr();
+    expect(TokenKind::RParen, "after if condition");
+    expect(TokenKind::KwThen, "after if condition");
+    parseStmtList(S->ThenBody, {TokenKind::KwElse, TokenKind::KwFi});
+    if (consumeIf(TokenKind::KwElse))
+      parseStmtList(S->ElseBody, {TokenKind::KwFi});
+    expect(TokenKind::KwFi, "to close if");
+    consumeIf(TokenKind::Semicolon);
+    return S;
+  }
+  case TokenKind::KwWhile: {
+    bump();
+    auto S = std::make_unique<Stmt>(StmtKind::While, Loc);
+    expect(TokenKind::LParen, "after 'while'");
+    S->Cond = parseExpr();
+    expect(TokenKind::RParen, "after while condition");
+    expect(TokenKind::KwDo, "after while condition");
+    parseStmtList(S->ThenBody, {TokenKind::KwOd});
+    expect(TokenKind::KwOd, "to close while");
+    consumeIf(TokenKind::Semicolon);
+    return S;
+  }
+  case TokenKind::Identifier: {
+    // Assignment: identlist ':=' (call | exprlist).
+    auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+    do {
+      if (!Cur.is(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier, "in assignment target list");
+        return nullptr;
+      }
+      S->LhsNames.push_back(Cur.Text);
+      bump();
+    } while (consumeIf(TokenKind::Comma));
+    if (!expect(TokenKind::Assign, "in assignment"))
+      return nullptr;
+    if (Cur.is(TokenKind::Identifier) && Ahead.is(TokenKind::LParen)) {
+      S->Kind = StmtKind::CallAssign;
+      S->CalleeName = Cur.Text;
+      bump();
+      bump();
+      if (!Cur.is(TokenKind::RParen))
+        parseExprList(S->Exprs);
+      expect(TokenKind::RParen, "after call arguments");
+    } else {
+      parseExprList(S->Exprs);
+    }
+    expect(TokenKind::Semicolon, "after assignment");
+    return S;
+  }
+  default:
+    Diags.error(Loc, std::string("expected statement, found '") +
+                         Lexer::spelling(Cur.Kind) + "'");
+    bump();
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void Parser::parseExprList(std::vector<ExprPtr> &Out) {
+  do {
+    if (ExprPtr E = parseExpr())
+      Out.push_back(std::move(E));
+    else
+      return;
+  } while (consumeIf(TokenKind::Comma));
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseAndExpr();
+  while (Cur.is(TokenKind::Pipe)) {
+    SourceLoc Loc = Cur.Loc;
+    bump();
+    ExprPtr Rhs = parseAndExpr();
+    auto E = std::make_unique<Expr>(ExprKind::Or, Loc);
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAndExpr() {
+  ExprPtr Lhs = parseUnaryExpr();
+  while (Cur.is(TokenKind::Amp)) {
+    SourceLoc Loc = Cur.Loc;
+    bump();
+    ExprPtr Rhs = parseUnaryExpr();
+    auto E = std::make_unique<Expr>(ExprKind::And, Loc);
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnaryExpr() {
+  if (Cur.is(TokenKind::Bang)) {
+    SourceLoc Loc = Cur.Loc;
+    bump();
+    auto E = std::make_unique<Expr>(ExprKind::Not, Loc);
+    E->Lhs = parseUnaryExpr();
+    return E;
+  }
+  return parsePrimaryExpr();
+}
+
+ExprPtr Parser::parsePrimaryExpr() {
+  SourceLoc Loc = Cur.Loc;
+  switch (Cur.Kind) {
+  case TokenKind::KwTrue:
+    bump();
+    return std::make_unique<Expr>(ExprKind::True, Loc);
+  case TokenKind::KwFalse:
+    bump();
+    return std::make_unique<Expr>(ExprKind::False, Loc);
+  case TokenKind::Star:
+    bump();
+    return std::make_unique<Expr>(ExprKind::Nondet, Loc);
+  case TokenKind::Identifier: {
+    auto E = std::make_unique<Expr>(ExprKind::Var, Loc);
+    E->VarName = Cur.Text;
+    bump();
+    return E;
+  }
+  case TokenKind::LParen: {
+    bump();
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found '") +
+                         Lexer::spelling(Cur.Kind) + "'");
+    // Produce a placeholder so parsing can continue.
+    bump();
+    return std::make_unique<Expr>(ExprKind::False, Loc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> bp::parseProgram(std::string_view Input,
+                                          DiagnosticEngine &Diags) {
+  Parser P(Input, Diags);
+  auto Prog = P.parseSequential();
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!analyzeProgram(*Prog, Diags) || Diags.hasErrors())
+    return nullptr;
+  return Prog;
+}
+
+std::unique_ptr<ConcurrentProgram>
+bp::parseConcurrentProgram(std::string_view Input, DiagnosticEngine &Diags) {
+  Parser P(Input, Diags);
+  auto Conc = P.parseConcurrent();
+  if (Diags.hasErrors())
+    return nullptr;
+  for (auto &Thread : Conc->Threads)
+    if (!analyzeProgram(*Thread, Diags) || Diags.hasErrors())
+      return nullptr;
+  return Conc;
+}

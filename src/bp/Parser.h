@@ -1,0 +1,82 @@
+//===- Parser.h - Boolean program parser ------------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Boolean-program grammar of Section 2
+/// (with `assume`, `goto`, labels) and the Section-5 concurrent extension
+/// (`shared decl ...; thread ... end ...`). Parsing is followed by a
+/// semantic-analysis pass (Sema.h) that resolves names and checks arities;
+/// `parseProgram` / `parseConcurrentProgram` run both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_PARSER_H
+#define GETAFIX_BP_PARSER_H
+
+#include "bp/Ast.h"
+#include "bp/Lexer.h"
+
+#include <memory>
+#include <string_view>
+
+namespace getafix {
+namespace bp {
+
+/// Parses and analyzes a sequential Boolean program. Returns null when
+/// \p Diags has errors.
+std::unique_ptr<Program> parseProgram(std::string_view Input,
+                                      DiagnosticEngine &Diags);
+
+/// Parses and analyzes a concurrent Boolean program (leading `shared decl`).
+std::unique_ptr<ConcurrentProgram>
+parseConcurrentProgram(std::string_view Input, DiagnosticEngine &Diags);
+
+namespace detail {
+
+/// The parser proper; exposed for unit tests that exercise error recovery.
+class Parser {
+public:
+  Parser(std::string_view Input, DiagnosticEngine &Diags)
+      : Lex(Input, Diags), Diags(Diags) {
+    Cur = Lex.next();
+    Ahead = Lex.next();
+  }
+
+  std::unique_ptr<Program> parseSequential();
+  std::unique_ptr<ConcurrentProgram> parseConcurrent();
+
+private:
+  // Token plumbing.
+  void bump();
+  bool expect(TokenKind Kind, const char *Context);
+  bool consumeIf(TokenKind Kind);
+
+  // Grammar productions.
+  void parseDeclList(std::vector<std::string> &Names);
+  std::unique_ptr<Program> parseProgramBody(TokenKind EndKind);
+  std::unique_ptr<Proc> parseProc();
+  void parseStmtList(std::vector<StmtPtr> &Out,
+                     std::initializer_list<TokenKind> Terminators);
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseAndExpr();
+  ExprPtr parseUnaryExpr();
+  ExprPtr parsePrimaryExpr();
+  void parseExprList(std::vector<ExprPtr> &Out);
+  void skipToRecoveryPoint();
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Cur;
+  Token Ahead;
+};
+
+} // namespace detail
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_PARSER_H

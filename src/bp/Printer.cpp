@@ -1,0 +1,220 @@
+//===- Printer.cpp - Boolean program pretty-printer -----------------------===//
+
+#include "bp/Printer.h"
+
+using namespace getafix;
+using namespace getafix::bp;
+
+namespace {
+
+/// Precedence: Or < And < Not < atom.
+unsigned precedence(ExprKind Kind) {
+  switch (Kind) {
+  case ExprKind::Or:
+    return 1;
+  case ExprKind::And:
+    return 2;
+  case ExprKind::Not:
+    return 3;
+  default:
+    return 4;
+  }
+}
+
+void printExprInto(const Expr &E, std::string &Out, unsigned ParentPrec) {
+  unsigned Prec = precedence(E.Kind);
+  bool Paren = Prec < ParentPrec;
+  if (Paren)
+    Out += '(';
+  switch (E.Kind) {
+  case ExprKind::True:
+    Out += 'T';
+    break;
+  case ExprKind::False:
+    Out += 'F';
+    break;
+  case ExprKind::Nondet:
+    Out += '*';
+    break;
+  case ExprKind::Var:
+    Out += E.VarName;
+    break;
+  case ExprKind::Not:
+    Out += '!';
+    printExprInto(*E.Lhs, Out, Prec + 1);
+    break;
+  case ExprKind::And:
+    printExprInto(*E.Lhs, Out, Prec);
+    Out += " & ";
+    printExprInto(*E.Rhs, Out, Prec + 1);
+    break;
+  case ExprKind::Or:
+    printExprInto(*E.Lhs, Out, Prec);
+    Out += " | ";
+    printExprInto(*E.Rhs, Out, Prec + 1);
+    break;
+  }
+  if (Paren)
+    Out += ')';
+}
+
+class ProgramPrinter {
+public:
+  std::string print(const Program &Prog) {
+    for (const std::string &G : Prog.Globals)
+      line("decl " + G + ";");
+    for (const auto &P : Prog.Procs)
+      printProc(*P);
+    return std::move(Out);
+  }
+
+  void printProc(const Proc &P) {
+    std::string Header = P.Name + "(";
+    for (size_t I = 0; I < P.Params.size(); ++I) {
+      if (I)
+        Header += ", ";
+      Header += P.Params[I];
+    }
+    Header += ") begin";
+    line(Header);
+    ++Indent;
+    for (const std::string &L : P.Locals)
+      line("decl " + L + ";");
+    printStmts(P.Body);
+    --Indent;
+    line("end");
+  }
+
+  void printStmts(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body)
+      printStmt(*S);
+  }
+
+  void printStmt(const Stmt &S) {
+    std::string Prefix = S.Label.empty() ? "" : S.Label + ": ";
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      line(Prefix + "skip;");
+      return;
+    case StmtKind::Assume:
+      line(Prefix + "assume(" + printExpr(*S.Cond) + ");");
+      return;
+    case StmtKind::Goto:
+      line(Prefix + "goto " + S.CalleeName + ";");
+      return;
+    case StmtKind::Assign: {
+      std::string Text = Prefix + joinNames(S.LhsNames) + " := ";
+      Text += joinExprs(S.Exprs);
+      line(Text + ";");
+      return;
+    }
+    case StmtKind::CallAssign: {
+      std::string Text = Prefix + joinNames(S.LhsNames) + " := " +
+                         S.CalleeName + "(" + joinExprs(S.Exprs) + ");";
+      line(Text);
+      return;
+    }
+    case StmtKind::Call:
+      line(Prefix + "call " + S.CalleeName + "(" + joinExprs(S.Exprs) +
+           ");");
+      return;
+    case StmtKind::Return:
+      if (S.Exprs.empty())
+        line(Prefix + "return;");
+      else
+        line(Prefix + "return " + joinExprs(S.Exprs) + ";");
+      return;
+    case StmtKind::If:
+      line(Prefix + "if (" + printExpr(*S.Cond) + ") then");
+      ++Indent;
+      printStmts(S.ThenBody);
+      --Indent;
+      if (!S.ElseBody.empty()) {
+        line("else");
+        ++Indent;
+        printStmts(S.ElseBody);
+        --Indent;
+      }
+      line("fi;");
+      return;
+    case StmtKind::While:
+      line(Prefix + "while (" + printExpr(*S.Cond) + ") do");
+      ++Indent;
+      printStmts(S.ThenBody);
+      --Indent;
+      line("od;");
+      return;
+    }
+  }
+
+private:
+  static std::string joinNames(const std::vector<std::string> &Names) {
+    std::string Out;
+    for (size_t I = 0; I < Names.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Names[I];
+    }
+    return Out;
+  }
+
+  static std::string joinExprs(const std::vector<ExprPtr> &Exprs) {
+    std::string Out;
+    for (size_t I = 0; I < Exprs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*Exprs[I]);
+    }
+    return Out;
+  }
+
+  void line(const std::string &Text) {
+    for (unsigned I = 0; I < Indent; ++I)
+      Out += "  ";
+    Out += Text;
+    Out += '\n';
+  }
+
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+} // namespace
+
+std::string bp::printExpr(const Expr &E) {
+  std::string Out;
+  printExprInto(E, Out, 0);
+  return Out;
+}
+
+std::string bp::printProgram(const Program &Prog) {
+  return ProgramPrinter().print(Prog);
+}
+
+std::string bp::printConcurrentProgram(const ConcurrentProgram &Conc) {
+  std::string Out;
+  if (!Conc.SharedGlobals.empty()) {
+    Out += "shared decl ";
+    for (size_t I = 0; I < Conc.SharedGlobals.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Conc.SharedGlobals[I];
+    }
+    Out += ";\n";
+  }
+  for (const auto &Thread : Conc.Threads) {
+    Out += "thread\n";
+    // Thread programs carry the shared globals in Program::Globals, but the
+    // concrete syntax declares them only at the `shared` line: print the
+    // thread and drop its leading global decls.
+    std::string Full = printProgram(*Thread);
+    size_t Pos = 0;
+    while (Pos < Full.size() && Full.compare(Pos, 5, "decl ") == 0) {
+      size_t Eol = Full.find('\n', Pos);
+      Pos = Eol == std::string::npos ? Full.size() : Eol + 1;
+    }
+    Out += Full.substr(Pos);
+    Out += "end\n";
+  }
+  return Out;
+}

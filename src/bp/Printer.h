@@ -1,0 +1,31 @@
+//===- Printer.h - Boolean program pretty-printer ---------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ASTs back to the concrete syntax accepted by the parser. The
+/// workload generators build ASTs and print them, and the round-trip
+/// property (parse . print == id up to locations) is tested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_PRINTER_H
+#define GETAFIX_BP_PRINTER_H
+
+#include "bp/Ast.h"
+
+#include <string>
+
+namespace getafix {
+namespace bp {
+
+std::string printExpr(const Expr &E);
+std::string printProgram(const Program &Prog);
+std::string printConcurrentProgram(const ConcurrentProgram &Conc);
+
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_PRINTER_H

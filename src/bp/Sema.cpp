@@ -1,0 +1,288 @@
+//===- Sema.cpp - Boolean program semantic analysis -----------------------===//
+
+#include "bp/Sema.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace getafix;
+using namespace getafix::bp;
+
+namespace {
+
+class Analyzer {
+public:
+  Analyzer(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void collectProcs();
+  void inferReturnArity(Proc &P);
+  unsigned countReturns(const std::vector<StmtPtr> &Body,
+                        std::optional<unsigned> &Arity, const Proc &P);
+  void analyzeProc(Proc &P);
+  void analyzeStmts(std::vector<StmtPtr> &Body, Proc &P,
+                    const std::map<std::string, VarRef> &Scope,
+                    const std::set<std::string> &Labels);
+  void resolveExpr(Expr &E, const std::map<std::string, VarRef> &Scope);
+  void collectLabels(const std::vector<StmtPtr> &Body,
+                     std::set<std::string> &Labels, const Proc &P);
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+void Analyzer::collectProcs() {
+  for (unsigned Id = 0; Id < Prog.Procs.size(); ++Id) {
+    Proc &P = *Prog.Procs[Id];
+    auto [It, Inserted] = Prog.ProcIds.emplace(P.Name, Id);
+    (void)It;
+    if (!Inserted)
+      Diags.error(P.Loc, "redefinition of procedure '" + P.Name + "'");
+  }
+  auto MainIt = Prog.ProcIds.find("main");
+  if (MainIt == Prog.ProcIds.end()) {
+    Diags.error(SourceLoc{}, "program has no 'main' procedure");
+    return;
+  }
+  Prog.MainId = MainIt->second;
+  const Proc &Main = Prog.main();
+  if (!Main.Params.empty())
+    Diags.error(Main.Loc, "'main' must take no parameters");
+}
+
+unsigned Analyzer::countReturns(const std::vector<StmtPtr> &Body,
+                                std::optional<unsigned> &Arity,
+                                const Proc &P) {
+  unsigned Count = 0;
+  for (const StmtPtr &S : Body) {
+    switch (S->Kind) {
+    case StmtKind::Return: {
+      ++Count;
+      unsigned K = unsigned(S->Exprs.size());
+      if (!Arity) {
+        Arity = K;
+      } else if (*Arity != K) {
+        Diags.error(S->Loc, "procedure '" + P.Name +
+                                "' has return statements of differing "
+                                "arities (" +
+                                std::to_string(*Arity) + " vs " +
+                                std::to_string(K) + ")");
+      }
+      break;
+    }
+    case StmtKind::If:
+      Count += countReturns(S->ThenBody, Arity, P);
+      Count += countReturns(S->ElseBody, Arity, P);
+      break;
+    case StmtKind::While:
+      Count += countReturns(S->ThenBody, Arity, P);
+      break;
+    default:
+      break;
+    }
+  }
+  return Count;
+}
+
+void Analyzer::inferReturnArity(Proc &P) {
+  std::optional<unsigned> Arity;
+  countReturns(P.Body, Arity, P);
+  P.NumReturns = Arity.value_or(0);
+}
+
+void Analyzer::resolveExpr(Expr &E,
+                           const std::map<std::string, VarRef> &Scope) {
+  switch (E.Kind) {
+  case ExprKind::Var: {
+    auto It = Scope.find(E.VarName);
+    if (It == Scope.end()) {
+      Diags.error(E.Loc, "use of undeclared variable '" + E.VarName + "'");
+      return;
+    }
+    E.Ref = It->second;
+    return;
+  }
+  case ExprKind::Not:
+    resolveExpr(*E.Lhs, Scope);
+    return;
+  case ExprKind::And:
+  case ExprKind::Or:
+    resolveExpr(*E.Lhs, Scope);
+    resolveExpr(*E.Rhs, Scope);
+    return;
+  case ExprKind::True:
+  case ExprKind::False:
+  case ExprKind::Nondet:
+    return;
+  }
+}
+
+void Analyzer::collectLabels(const std::vector<StmtPtr> &Body,
+                             std::set<std::string> &Labels, const Proc &P) {
+  for (const StmtPtr &S : Body) {
+    if (!S->Label.empty() && !Labels.insert(S->Label).second)
+      Diags.error(S->Loc, "duplicate label '" + S->Label +
+                              "' in procedure '" + P.Name + "'");
+    if (S->Kind == StmtKind::If || S->Kind == StmtKind::While) {
+      collectLabels(S->ThenBody, Labels, P);
+      collectLabels(S->ElseBody, Labels, P);
+    }
+  }
+}
+
+void Analyzer::analyzeStmts(std::vector<StmtPtr> &Body, Proc &P,
+                            const std::map<std::string, VarRef> &Scope,
+                            const std::set<std::string> &Labels) {
+  for (StmtPtr &S : Body) {
+    for (ExprPtr &E : S->Exprs)
+      resolveExpr(*E, Scope);
+    if (S->Cond)
+      resolveExpr(*S->Cond, Scope);
+
+    switch (S->Kind) {
+    case StmtKind::Assign:
+    case StmtKind::CallAssign: {
+      std::set<std::string> SeenLhs;
+      for (const std::string &Name : S->LhsNames) {
+        auto It = Scope.find(Name);
+        if (It == Scope.end()) {
+          Diags.error(S->Loc, "assignment to undeclared variable '" + Name +
+                                  "'");
+          S->LhsRefs.push_back(VarRef{});
+        } else {
+          S->LhsRefs.push_back(It->second);
+        }
+        if (!SeenLhs.insert(Name).second)
+          Diags.error(S->Loc,
+                      "variable '" + Name +
+                          "' assigned twice in simultaneous assignment");
+      }
+      if (S->Kind == StmtKind::Assign &&
+          S->LhsNames.size() != S->Exprs.size())
+        Diags.error(S->Loc,
+                    "assignment arity mismatch: " +
+                        std::to_string(S->LhsNames.size()) + " targets, " +
+                        std::to_string(S->Exprs.size()) + " expressions");
+      break;
+    }
+    case StmtKind::Goto:
+      if (!Labels.count(S->CalleeName))
+        Diags.error(S->Loc, "goto to unknown label '" + S->CalleeName +
+                                "' in procedure '" + P.Name + "'");
+      break;
+    default:
+      break;
+    }
+
+    if (S->Kind == StmtKind::Call || S->Kind == StmtKind::CallAssign) {
+      auto It = Prog.ProcIds.find(S->CalleeName);
+      if (It == Prog.ProcIds.end()) {
+        Diags.error(S->Loc, "call to undefined procedure '" + S->CalleeName +
+                                "'");
+      } else {
+        S->CalleeId = It->second;
+        const Proc &Callee = Prog.proc(S->CalleeId);
+        if (S->CalleeId == Prog.MainId)
+          Diags.error(S->Loc, "'main' may not be called");
+        if (S->Exprs.size() != Callee.Params.size())
+          Diags.error(S->Loc, "call to '" + Callee.Name + "' passes " +
+                                  std::to_string(S->Exprs.size()) +
+                                  " arguments; expected " +
+                                  std::to_string(Callee.Params.size()));
+        if (S->Kind == StmtKind::Call && Callee.NumReturns != 0)
+          Diags.error(S->Loc, "'call' statement requires a procedure with "
+                              "no return values; '" +
+                                  Callee.Name + "' returns " +
+                                  std::to_string(Callee.NumReturns));
+        if (S->Kind == StmtKind::CallAssign &&
+            S->LhsNames.size() != Callee.NumReturns)
+          Diags.error(S->Loc, "call assignment expects " +
+                                  std::to_string(Callee.NumReturns) +
+                                  " values from '" + Callee.Name +
+                                  "'; got " +
+                                  std::to_string(S->LhsNames.size()) +
+                                  " targets");
+      }
+    }
+
+    if (S->Kind == StmtKind::Return && S->Exprs.size() != P.NumReturns)
+      Diags.error(S->Loc, "return arity mismatch in '" + P.Name + "'");
+
+    if (S->Kind == StmtKind::If || S->Kind == StmtKind::While) {
+      analyzeStmts(S->ThenBody, P, Scope, Labels);
+      analyzeStmts(S->ElseBody, P, Scope, Labels);
+    }
+  }
+}
+
+void Analyzer::analyzeProc(Proc &P) {
+  std::map<std::string, VarRef> Scope;
+  for (unsigned I = 0; I < Prog.Globals.size(); ++I) {
+    if (!Scope.emplace(Prog.Globals[I], VarRef{true, I}).second)
+      Diags.error(P.Loc, "duplicate global '" + Prog.Globals[I] + "'");
+  }
+  for (unsigned I = 0; I < P.numLocalSlots(); ++I) {
+    const std::string &Name = P.localName(I);
+    auto [It, Inserted] = Scope.emplace(Name, VarRef{false, I});
+    if (!Inserted) {
+      if (It->second.IsGlobal)
+        Diags.error(P.Loc, "local '" + Name + "' in '" + P.Name +
+                               "' shadows a global (globals and locals "
+                               "must be disjoint)");
+      else
+        Diags.error(P.Loc, "duplicate local '" + Name + "' in '" + P.Name +
+                               "'");
+    }
+  }
+  std::set<std::string> Labels;
+  collectLabels(P.Body, Labels, P);
+  analyzeStmts(P.Body, P, Scope, Labels);
+}
+
+bool Analyzer::run() {
+  collectProcs();
+  if (Diags.hasErrors())
+    return false;
+  for (auto &P : Prog.Procs)
+    inferReturnArity(*P);
+  for (auto &P : Prog.Procs)
+    analyzeProc(*P);
+  return !Diags.hasErrors();
+}
+
+const Stmt *Program::findLabel(const std::string &Label,
+                               unsigned *ProcId) const {
+  struct Finder {
+    const std::string &Label;
+    const Stmt *find(const std::vector<StmtPtr> &Body) {
+      for (const StmtPtr &S : Body) {
+        if (S->Label == Label)
+          return S.get();
+        if (S->Kind == StmtKind::If || S->Kind == StmtKind::While) {
+          if (const Stmt *Found = find(S->ThenBody))
+            return Found;
+          if (const Stmt *Found = find(S->ElseBody))
+            return Found;
+        }
+      }
+      return nullptr;
+    }
+  } F{Label};
+  for (unsigned Id = 0; Id < Procs.size(); ++Id)
+    if (const Stmt *Found = F.find(Procs[Id]->Body)) {
+      if (ProcId)
+        *ProcId = Id;
+      return Found;
+    }
+  return nullptr;
+}
+
+bool bp::analyzeProgram(Program &Prog, DiagnosticEngine &Diags) {
+  return Analyzer(Prog, Diags).run();
+}

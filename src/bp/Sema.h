@@ -1,0 +1,31 @@
+//===- Sema.h - Boolean program semantic analysis ---------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and well-formedness checks for parsed Boolean programs:
+/// resolves variable references and callee names, infers each procedure's
+/// return arity from its return statements, and enforces the Section-2
+/// restrictions (disjoint globals/locals, arity agreement at calls and
+/// returns, `main` exists and is never called, goto targets exist).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_BP_SEMA_H
+#define GETAFIX_BP_SEMA_H
+
+#include "bp/Ast.h"
+
+namespace getafix {
+namespace bp {
+
+/// Resolves and checks \p Prog in place. Returns false (with diagnostics in
+/// \p Diags) if the program is ill-formed.
+bool analyzeProgram(Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace bp
+} // namespace getafix
+
+#endif // GETAFIX_BP_SEMA_H

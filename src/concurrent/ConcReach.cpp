@@ -1,0 +1,489 @@
+//===- ConcReach.cpp - Bounded context-switching reachability -------------===//
+
+#include "concurrent/ConcReach.h"
+
+#include "fpcalc/Evaluator.h"
+#include "support/Timer.h"
+#include "symbolic/Encode.h"
+
+#include <cmath>
+
+using namespace getafix;
+using namespace getafix::conc;
+using namespace getafix::fpc;
+using namespace getafix::sym;
+
+std::vector<bp::ProgramCfg>
+conc::buildThreadCfgs(const bp::ConcurrentProgram &C) {
+  std::vector<bp::ProgramCfg> Cfgs;
+  Cfgs.reserve(C.numThreads());
+  for (const auto &Thread : C.Threads)
+    Cfgs.push_back(bp::buildCfg(*Thread));
+  return Cfgs;
+}
+
+namespace {
+
+class ConcEngine {
+public:
+  ConcEngine(const bp::ConcurrentProgram &Conc,
+             const std::vector<bp::ProgramCfg> &Cfgs,
+             const ConcOptions &Opts)
+      : Conc(Conc), Cfgs(Cfgs), K(Opts.MaxContextSwitches),
+        N(Conc.numThreads()), RoundRobin(Opts.RoundRobin), Factory(Sys) {
+    buildSystem();
+  }
+
+  ConcResult solve(unsigned Thread, unsigned ProcId, unsigned Pc,
+                   const ConcOptions &Opts);
+
+private:
+  void buildSystem();
+
+  /// Head argument vector with selected state components overridden.
+  std::vector<Term> reachArgs(Term Mod, Term Pc, Term CL, Term CG, Term ECL,
+                              Term ECG, Term Ecs, Term Cs) const;
+
+  /// OR over (context c, thread thr) of `cs==c && t_c==thr && Rel_thr(args)`
+  /// — the calculus rendering of "the active thread's relation". \p CsVar
+  /// selects which context variable tags the disjunction.
+  Formula *activeRel(VarId CsVar,
+                     const std::vector<RelId> &PerThread,
+                     const std::vector<VarId> &Args);
+  Formula *activeRelTerms(VarId CsVar, const std::vector<RelId> &PerThread,
+                          const std::vector<Term> &Args);
+
+  Formula *initClause();
+  Formula *internalClause();
+  Formula *callClause();
+  Formula *returnClause();
+  Formula *firstSwitchClause(unsigned C);
+  Formula *switchBackClause(unsigned C);
+
+  const bp::ConcurrentProgram &Conc;
+  const std::vector<bp::ProgramCfg> &Cfgs;
+  unsigned K;
+  unsigned N;
+  bool RoundRobin;
+
+  System Sys;
+  VarFactory Factory;
+  StateDomains Doms;
+  DomainId CsDom = 0, ThreadDom = 0;
+  std::vector<std::unique_ptr<ProgramEncoder>> Encs;
+
+  // Head tuple: Reach(S, Ecs, Cs, G[1..K], T[0..K]).
+  ConfVars S;
+  VarId Ecs = 0, Cs = 0;
+  std::vector<VarId> G; ///< G[1..K]; index 0 unused.
+  std::vector<VarId> T; ///< T[0..K].
+
+  // Quantified temporaries.
+  VarId XPc = 0, XL = 0, XG = 0;                    ///< Internal move.
+  VarId DMod = 0, DPc = 0, DL = 0, DEL = 0, DEG = 0; ///< Caller / prev.
+  VarId DEcs = 0;                                    ///< Quantified ecs'.
+  VarId CsP = 0;                                     ///< Quantified cs'.
+  VarId RTPc = 0, RTCL = 0, RTCG = 0;                ///< Return caller.
+  VarId RUMod = 0, RUPcX = 0, RULX = 0, RUGX = 0, RUECL = 0; ///< Callee.
+
+  // Per-thread relation id vectors (indexed by thread).
+  std::vector<RelId> RInt, RCall, RSkip, RRet1, RRet2, RExit, RInit;
+
+  RelId Reach = 0;
+};
+
+} // namespace
+
+std::vector<Term> ConcEngine::reachArgs(Term Mod, Term Pc, Term CL, Term CG,
+                                        Term ECL, Term ECG, Term Ecs_,
+                                        Term Cs_) const {
+  std::vector<Term> Args{Mod, Pc, CL, CG, ECL, ECG, Ecs_, Cs_};
+  for (unsigned I = 1; I <= K; ++I)
+    Args.push_back(Term::var(G[I]));
+  for (unsigned I = 0; I <= K; ++I)
+    Args.push_back(Term::var(T[I]));
+  return Args;
+}
+
+Formula *ConcEngine::activeRelTerms(VarId CsVar,
+                                    const std::vector<RelId> &PerThread,
+                                    const std::vector<Term> &Args) {
+  std::vector<Formula *> Disjuncts;
+  for (unsigned C = 0; C <= K; ++C)
+    for (unsigned Thr = 0; Thr < N; ++Thr)
+      Disjuncts.push_back(Sys.mkAnd({
+          Sys.eqConst(CsVar, C),
+          Sys.eqConst(T[C], Thr),
+          Sys.apply(PerThread[Thr], Args),
+      }));
+  return Sys.mkOr(std::move(Disjuncts));
+}
+
+Formula *ConcEngine::activeRel(VarId CsVar,
+                               const std::vector<RelId> &PerThread,
+                               const std::vector<VarId> &Args) {
+  std::vector<Term> Terms;
+  for (VarId V : Args)
+    Terms.push_back(Term::var(V));
+  return activeRelTerms(CsVar, PerThread, Terms);
+}
+
+/// [phi_init] cs = ecs = 0, u = v an entry of thread t_0's main.
+///
+/// Shared globals start all-false (deterministically). The Section-5 tuple
+/// records shared valuations only at switch points (g_1..g_k), so runs are
+/// stitched on the assumption that every thread portion starts either at a
+/// recorded g_i or at the *unique* initial valuation; a nondeterministic
+/// initial valuation would make the stitching unsound. Concurrent models
+/// (e.g. the Bluetooth driver) initialize their shared state explicitly.
+Formula *ConcEngine::initClause() {
+  std::vector<Formula *> InitDisjuncts;
+  for (unsigned Thr = 0; Thr < N; ++Thr)
+    InitDisjuncts.push_back(Sys.mkAnd({
+        Sys.eqConst(T[0], Thr),
+        Sys.apply(RInit[Thr],
+                  {Term::var(S.Mod), Term::var(S.Pc), Term::var(S.CL)}),
+    }));
+  return Sys.mkAnd({
+      Sys.eqConst(Cs, 0),
+      Sys.eqConst(Ecs, 0),
+      Sys.eqConst(S.CG, 0),
+      Sys.mkOr(std::move(InitDisjuncts)),
+      Sys.eqVar(S.CL, S.ECL),
+      Sys.eqVar(S.CG, S.ECG),
+  });
+}
+
+/// [phi_int] an internal move of the active thread.
+Formula *ConcEngine::internalClause() {
+  return Sys.exists(
+      {XPc, XL, XG},
+      Sys.mkAnd({
+          Sys.apply(Reach, reachArgs(Term::var(S.Mod), Term::var(XPc),
+                                     Term::var(XL), Term::var(XG),
+                                     Term::var(S.ECL), Term::var(S.ECG),
+                                     Term::var(Ecs), Term::var(Cs))),
+          activeRel(Cs, RInt,
+                    {S.Mod, XPc, S.Pc, XL, S.CL, XG, S.CG}),
+      }));
+}
+
+/// [phi_call] entering a procedure: the new summary's entry count is cs.
+Formula *ConcEngine::callClause() {
+  Formula *Witness = Sys.exists(
+      {DMod, DPc, DL, DEL, DEG, DEcs},
+      Sys.mkAnd({
+          Sys.apply(Reach, reachArgs(Term::var(DMod), Term::var(DPc),
+                                     Term::var(DL), Term::var(S.CG),
+                                     Term::var(DEL), Term::var(DEG),
+                                     Term::var(DEcs), Term::var(Cs))),
+          activeRel(Cs, RCall, {DMod, S.Mod, DPc, DL, S.CL, S.CG}),
+      }));
+  return Sys.mkAnd({
+      Sys.eqConst(S.Pc, 0),
+      Sys.eqVar(S.CL, S.ECL),
+      Sys.eqVar(S.CG, S.ECG),
+      Sys.eqVar(Ecs, Cs),
+      Witness,
+  });
+}
+
+/// [phi_ret] skipping a completed call: the caller may date from an earlier
+/// context cs' <= cs; the callee summary spans cs' to cs. Uses the split
+/// Return (Section 4.2's rewrite) with the shared link variables
+/// quantified at the top.
+Formula *ConcEngine::returnClause() {
+  // cs' <= cs: disjunction over value pairs of the small Cs domain.
+  std::vector<Formula *> LeqPairs;
+  for (unsigned A = 0; A <= K; ++A)
+    for (unsigned B = A; B <= K; ++B)
+      LeqPairs.push_back(
+          Sys.mkAnd({Sys.eqConst(CsP, A), Sys.eqConst(Cs, B)}));
+  Formula *CsLeq = Sys.mkOr(std::move(LeqPairs));
+
+  Formula *GroupA = Sys.exists(
+      {RTCL},
+      Sys.mkAnd({
+          Sys.apply(Reach, reachArgs(Term::var(S.Mod), Term::var(RTPc),
+                                     Term::var(RTCL), Term::var(RTCG),
+                                     Term::var(S.ECL), Term::var(S.ECG),
+                                     Term::var(Ecs), Term::var(CsP))),
+          activeRel(CsP, RSkip, {S.Mod, RTPc, S.Pc}),
+          activeRel(CsP, RRet1, {S.Mod, RUMod, RTPc, RTCL, S.CL}),
+          activeRel(CsP, RCall, {S.Mod, RUMod, RTPc, RTCL, RUECL, RTCG}),
+      }));
+
+  Formula *GroupB = Sys.exists(
+      {RULX, RUGX},
+      Sys.mkAnd({
+          Sys.apply(Reach, reachArgs(Term::var(RUMod), Term::var(RUPcX),
+                                     Term::var(RULX), Term::var(RUGX),
+                                     Term::var(RUECL), Term::var(RTCG),
+                                     Term::var(CsP), Term::var(Cs))),
+          activeRel(Cs, RExit, {RUMod, RUPcX}),
+          activeRel(Cs, RRet2,
+                    {S.Mod, RUMod, RTPc, RUPcX, RULX, S.CL, RUGX, S.CG}),
+      }));
+
+  return Sys.exists({RTPc, RTCG, RUMod, RUPcX, RUECL, CsP},
+                    Sys.mkAnd({CsLeq, GroupA, GroupB}));
+}
+
+/// [phi_1st_switch] context C starts the first run of thread t_C: globals
+/// continue from some reachable state of context C-1; locals are fresh.
+Formula *ConcEngine::firstSwitchClause(unsigned C) {
+  assert(C >= 1 && C <= K && "switch clauses start at context 1");
+
+  // First(t_C, C, t): no earlier context ran this thread.
+  std::vector<Formula *> FirstParts;
+  for (unsigned R = 0; R < C; ++R)
+    FirstParts.push_back(Sys.mkNot(Sys.eqVar(T[C], T[R])));
+
+  // Init(t_C, v.pc): v is the entry of the switched-to thread's main.
+  std::vector<Formula *> InitDisjuncts;
+  for (unsigned Thr = 0; Thr < N; ++Thr)
+    InitDisjuncts.push_back(Sys.mkAnd({
+        Sys.eqConst(T[C], Thr),
+        Sys.apply(RInit[Thr],
+                  {Term::var(S.Mod), Term::var(S.Pc), Term::var(S.CL)}),
+    }));
+
+  // Witness: some state of context C-1 with globals = g_C (= v.Global).
+  Formula *Witness = Sys.exists(
+      {DMod, DPc, DL, DEL, DEG, DEcs},
+      Sys.apply(Reach, reachArgs(Term::var(DMod), Term::var(DPc),
+                                 Term::var(DL), Term::var(S.CG),
+                                 Term::var(DEL), Term::var(DEG),
+                                 Term::var(DEcs), Term::constant(C - 1))));
+
+  std::vector<Formula *> Parts{Sys.eqConst(Cs, C), Sys.eqVar(Ecs, Cs),
+                               Sys.eqVar(S.CG, G[C]),
+                               Sys.eqVar(S.CL, S.ECL),
+                               Sys.eqVar(S.CG, S.ECG)};
+  for (Formula *P : FirstParts)
+    Parts.push_back(P);
+  Parts.push_back(Sys.mkOr(std::move(InitDisjuncts)));
+  Parts.push_back(Witness);
+  return Sys.mkAnd(std::move(Parts));
+}
+
+/// [phi_switch] context C resumes thread t_C where context R < C left it:
+/// control and locals come from the thread's own last tuple, globals from
+/// the interleaving (g_C).
+Formula *ConcEngine::switchBackClause(unsigned C) {
+  assert(C >= 1 && C <= K && "switch clauses start at context 1");
+
+  Formula *Witness = Sys.exists(
+      {DMod, DPc, DL, DEL, DEG, DEcs},
+      Sys.apply(Reach, reachArgs(Term::var(DMod), Term::var(DPc),
+                                 Term::var(DL), Term::var(S.CG),
+                                 Term::var(DEL), Term::var(DEG),
+                                 Term::var(DEcs), Term::constant(C - 1))));
+
+  // Consecutive(R, C, t) and the thread's own state at context R. The
+  // paused tuple's globals must equal g_{R+1}: a run is resumable at v'
+  // only if it *ended* context R there, i.e. the recorded valuation of
+  // switch R+1 is exactly v'.Global. (Quantifying the paused globals away
+  // instead lets the fixpoint resume from mid-context states whose
+  // continuation disagrees with the recorded interleaving — unsound, and
+  // caught by differential testing against the explicit oracle.)
+  std::vector<Formula *> ResumeDisjuncts;
+  for (unsigned R = 0; R < C; ++R) {
+    std::vector<Formula *> Parts{Sys.eqVar(T[C], T[R])};
+    for (unsigned I = R + 1; I < C; ++I)
+      Parts.push_back(Sys.mkNot(Sys.eqVar(T[I], T[C])));
+    Parts.push_back(
+        Sys.apply(Reach, reachArgs(Term::var(S.Mod), Term::var(S.Pc),
+                                   Term::var(S.CL), Term::var(G[R + 1]),
+                                   Term::var(S.ECL), Term::var(S.ECG),
+                                   Term::var(Ecs), Term::constant(R))));
+    ResumeDisjuncts.push_back(Sys.mkAnd(std::move(Parts)));
+  }
+
+  return Sys.mkAnd({
+      Sys.eqConst(Cs, C),
+      // A switch activates *another* program (Section 5 semantics).
+      Sys.mkNot(Sys.eqVar(T[C], T[C - 1])),
+      Sys.eqVar(S.CG, G[C]),
+      Witness,
+      Sys.mkOr(std::move(ResumeDisjuncts)),
+  });
+}
+
+void ConcEngine::buildSystem() {
+  assert(N >= 1 && "need at least one thread");
+
+  unsigned MaxProcs = 1, MaxPcs = 1, MaxLocals = 1;
+  for (unsigned I = 0; I < N; ++I) {
+    MaxProcs = std::max<unsigned>(MaxProcs, Conc.Threads[I]->Procs.size());
+    MaxPcs = std::max(MaxPcs, Cfgs[I].maxPcs());
+    MaxLocals = std::max(MaxLocals, Conc.Threads[I]->maxLocalSlots());
+  }
+  unsigned NumShared = std::max<unsigned>(Conc.SharedGlobals.size(), 1);
+  unsigned MaxChoice = 1;
+  for (const bp::ProgramCfg &Cfg : Cfgs)
+    MaxChoice = std::max(MaxChoice, ProgramEncoder::maxChoiceBits(Cfg));
+
+  Doms.Mod = Sys.addDomain("Module", MaxProcs);
+  Doms.Pc = Sys.addDomain("PrCount", MaxPcs);
+  Doms.GVec = Sys.addBitDomain("Global", NumShared);
+  Doms.LVec = Sys.addBitDomain("Local", MaxLocals);
+  CsDom = Sys.addDomain("Context", K + 1);
+  ThreadDom = Sys.addDomain("Thread", N);
+  DomainId ChoiceDom = Sys.addDomain("Choice", uint64_t(1) << MaxChoice);
+
+  for (unsigned I = 0; I < N; ++I) {
+    Encs.push_back(std::make_unique<ProgramEncoder>(
+        Sys, Factory, Doms, Cfgs[I], ChoiceDom, "_t" + std::to_string(I)));
+    RInt.push_back(Encs[I]->ProgramInt);
+    RCall.push_back(Encs[I]->ProgramCall);
+    RSkip.push_back(Encs[I]->SkipCall);
+    RRet1.push_back(Encs[I]->SetReturn1);
+    RRet2.push_back(Encs[I]->SetReturn2);
+    RExit.push_back(Encs[I]->ExitRel);
+    RInit.push_back(Encs[I]->InitRel);
+  }
+
+  S.Mod = Factory.makeVar("v.mod", Doms.Mod);
+  S.Pc = Factory.makeVar("v.pc", Doms.Pc);
+  S.CG = Factory.makeVar("v.CG", Doms.GVec);
+  S.CL = Factory.makeVar("v.CL", Doms.LVec);
+  S.ECG = Factory.makeVar("u.CG", Doms.GVec);
+  S.ECL = Factory.makeVar("u.CL", Doms.LVec);
+  Ecs = Factory.makeVar("ecs", CsDom);
+  Cs = Factory.makeVar("cs", CsDom);
+  G.resize(K + 1);
+  for (unsigned I = 1; I <= K; ++I)
+    G[I] = Factory.makeVar("g" + std::to_string(I), Doms.GVec);
+  T.resize(K + 1);
+  for (unsigned I = 0; I <= K; ++I)
+    T[I] = Factory.makeVar("t" + std::to_string(I), ThreadDom);
+
+  XPc = Factory.makeVar("x.pc", Doms.Pc);
+  XL = Factory.makeVar("x.CL", Doms.LVec);
+  XG = Factory.makeVar("x.CG", Doms.GVec);
+  DMod = Factory.makeVar("d.mod", Doms.Mod);
+  DPc = Factory.makeVar("d.pc", Doms.Pc);
+  DL = Factory.makeVar("d.CL", Doms.LVec);
+  DEL = Factory.makeVar("d.ECL", Doms.LVec);
+  DEG = Factory.makeVar("d.ECG", Doms.GVec);
+  DEcs = Factory.makeVar("d.ecs", CsDom);
+  CsP = Factory.makeVar("csP", CsDom);
+  RTPc = Factory.makeVar("t.pc", Doms.Pc);
+  RTCL = Factory.makeVar("t.CL", Doms.LVec);
+  RTCG = Factory.makeVar("t.CG", Doms.GVec);
+  RUMod = Factory.makeVar("w.mod", Doms.Mod);
+  RUPcX = Factory.makeVar("w.pc", Doms.Pc);
+  RULX = Factory.makeVar("w.CL", Doms.LVec);
+  RUGX = Factory.makeVar("w.CG", Doms.GVec);
+  RUECL = Factory.makeVar("w.ECL", Doms.LVec);
+
+  std::vector<VarId> Formals{S.Mod, S.Pc, S.CL, S.CG, S.ECL, S.ECG, Ecs, Cs};
+  for (unsigned I = 1; I <= K; ++I)
+    Formals.push_back(G[I]);
+  for (unsigned I = 0; I <= K; ++I)
+    Formals.push_back(T[I]);
+  Reach = Sys.declareRel("Reach", Formals);
+
+  std::vector<Formula *> Clauses{initClause(), internalClause(),
+                                 callClause(), returnClause()};
+  for (unsigned C = 1; C <= K; ++C) {
+    Clauses.push_back(firstSwitchClause(C));
+    Clauses.push_back(switchBackClause(C));
+  }
+  Formula *Def = Sys.mkOr(std::move(Clauses));
+
+  // Round-robin mode: restrict the fixpoint to the schedule t_i = i mod n.
+  // Every clause relates tuples over the *same* t vector (the Section-5
+  // invariant), so filtering the definition restricts the least fixed-point
+  // to exactly the round-robin tuples of the unrestricted one.
+  if (RoundRobin) {
+    std::vector<Formula *> Schedule;
+    for (unsigned I = 0; I <= K; ++I)
+      Schedule.push_back(Sys.eqConst(T[I], I % N));
+    Schedule.push_back(Def);
+    Def = Sys.mkAnd(std::move(Schedule));
+  }
+  Sys.define(Reach, Def);
+
+#ifndef NDEBUG
+  DiagnosticEngine Diags;
+  assert(Sys.validate(Diags) && "concurrent formulae must type-check");
+#endif
+}
+
+ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
+                             const ConcOptions &Opts) {
+  ConcResult Result;
+  Timer Tm;
+
+  BddManager Mgr(0, Opts.CacheBits);
+  Mgr.setGcThreshold(Opts.GcThreshold);
+  Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr));
+  for (unsigned I = 0; I < N; ++I)
+    Encs[I]->bind(Ev, I == Thread ? ProcId : ~0u, Pc);
+
+  // Target: v at (ProcId, Pc) while the target thread is active.
+  Bdd TargetStates = Mgr.zero();
+  for (unsigned C = 0; C <= K; ++C)
+    TargetStates |= Ev.encodeEqConst(Cs, C) &
+                    Ev.encodeEqConst(T[C], Thread) &
+                    Ev.encodeEqConst(S.Mod, ProcId) &
+                    Ev.encodeEqConst(S.Pc, Pc);
+
+  EvalOptions EOpts;
+  if (Opts.EarlyStop)
+    EOpts.EarlyStop = &TargetStates;
+
+  EvalResult R = Ev.evaluate(Reach, EOpts);
+  Result.Reachable = !(R.Value & TargetStates).isZero();
+  Result.ReachNodes = R.Value.nodeCount();
+
+  // Tuple count for Figure 3's "reachable set size". Components g_j / t_j
+  // with j beyond the tuple's own context count cs are semantically
+  // irrelevant (the formula never constrains them), so counting raw
+  // satisfying assignments would inflate the size by 2^|G|·n per unused
+  // slot; pin them to zero before counting.
+  unsigned TupleBits = 0;
+  for (VarId V : Sys.relation(Reach).Formals)
+    TupleBits += unsigned(Ev.layout().bits(V).size());
+  double States = 0;
+  for (unsigned C = 0; C <= K; ++C) {
+    Bdd Masked = R.Value & Ev.encodeEqConst(Cs, C);
+    for (unsigned J = C + 1; J <= K; ++J) {
+      Masked &= Ev.encodeEqConst(G[J], 0);
+      Masked &= Ev.encodeEqConst(T[J], 0);
+    }
+    States += Masked.satCount(Mgr.numVars()) /
+              std::pow(2.0, double(Mgr.numVars() - TupleBits));
+  }
+  Result.ReachStates = States;
+
+  auto StatsIt = Ev.stats().find("Reach");
+  if (StatsIt != Ev.stats().end())
+    Result.Iterations = StatsIt->second.Iterations;
+  Result.Seconds = Tm.seconds();
+  return Result;
+}
+
+ConcResult conc::checkConcReachability(const bp::ConcurrentProgram &Conc,
+                                       const std::vector<bp::ProgramCfg> &Cfgs,
+                                       unsigned Thread, unsigned ProcId,
+                                       unsigned Pc, const ConcOptions &Opts) {
+  ConcEngine Engine(Conc, Cfgs, Opts);
+  return Engine.solve(Thread, ProcId, Pc, Opts);
+}
+
+ConcResult conc::checkConcReachabilityOfLabel(
+    const bp::ConcurrentProgram &Conc,
+    const std::vector<bp::ProgramCfg> &Cfgs, const std::string &Label,
+    const ConcOptions &Opts) {
+  for (unsigned Thread = 0; Thread < Conc.numThreads(); ++Thread) {
+    unsigned ProcId = 0, Pc = 0;
+    if (Cfgs[Thread].findLabelPc(Label, ProcId, Pc))
+      return checkConcReachability(Conc, Cfgs, Thread, ProcId, Pc, Opts);
+  }
+  ConcResult Result;
+  Result.TargetFound = false;
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- LalReps.h - Lal-Reps eager sequentialization -------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eager Lal–Reps reduction [CAV'08] the paper compares its Section-5
+/// formulation against: a source-to-source transformation turning a
+/// concurrent Boolean program with a context-switch bound k into a
+/// *sequential* Boolean program. The sequential program
+///
+///   - guesses the schedule (one thread id per context) and the shared
+///     valuation at the start of every context,
+///   - runs each thread once, to completion, over all of its contexts —
+///     every statement may nondeterministically advance to the thread's
+///     next owned context (saving the working copy, loading the next
+///     guess),
+///   - finally *checks* that the guessed starts chain correctly (end of
+///     context i equals start of context i+1) before reporting the target.
+///
+/// The point of the comparison: this encoding carries O(k) *extra copies*
+/// of every shared variable (start + working copy per context, versus the
+/// k+1 copies in the paper's fixed-point), which is exactly the space blowup
+/// the paper's formulation avoids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_CONCURRENT_LALREPS_H
+#define GETAFIX_CONCURRENT_LALREPS_H
+
+#include "bp/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace getafix {
+namespace conc {
+
+/// The transformed program's goal label (reached iff the original label is
+/// reachable within the context bound).
+inline const char *lalRepsGoalLabel() { return "__LR_GOAL"; }
+
+/// Sequentializes \p Conc under \p MaxContextSwitches for the reachability
+/// query \p Label (a label in one of the threads). The result is analyzed
+/// and ready for CFG construction; query `lalRepsGoalLabel()` on it.
+/// Returns null (with diagnostics) if the label does not exist or the
+/// transformed program fails analysis.
+std::unique_ptr<bp::Program>
+lalRepsSequentialize(const bp::ConcurrentProgram &Conc,
+                     const std::string &Label, unsigned MaxContextSwitches,
+                     DiagnosticEngine &Diags);
+
+} // namespace conc
+} // namespace getafix
+
+#endif // GETAFIX_CONCURRENT_LALREPS_H

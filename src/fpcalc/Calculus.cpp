@@ -1,0 +1,373 @@
+//===- Calculus.cpp - First-order fixed-point calculus --------------------===//
+
+#include "fpcalc/Calculus.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace getafix;
+using namespace getafix::fpc;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+DomainId System::addDomain(std::string Name, uint64_t Size) {
+  assert(Size >= 1 && "domains must be non-empty");
+  Domains.push_back(Domain{std::move(Name), Size, 0});
+  return DomainId(Domains.size() - 1);
+}
+
+DomainId System::addBitDomain(std::string Name, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 4096 && "unreasonable bit-vector width");
+  uint64_t Size = Bits < 64 ? (uint64_t(1) << Bits) : ~uint64_t(0);
+  Domains.push_back(Domain{std::move(Name), Size, Bits});
+  return DomainId(Domains.size() - 1);
+}
+
+VarId System::addVar(std::string Name, DomainId Dom) {
+  assert(Dom < Domains.size() && "unknown domain");
+  Vars.push_back(Var{std::move(Name), Dom});
+  return VarId(Vars.size() - 1);
+}
+
+RelId System::declareRel(std::string Name, std::vector<VarId> Formals) {
+#ifndef NDEBUG
+  std::set<VarId> Unique(Formals.begin(), Formals.end());
+  assert(Unique.size() == Formals.size() && "formals must be distinct");
+  for (VarId V : Formals)
+    assert(V < Vars.size() && "unknown formal variable");
+#endif
+  Relation R;
+  R.Name = Name;
+  R.Formals = std::move(Formals);
+  Rels.push_back(std::move(R));
+  RelId Id = RelId(Rels.size() - 1);
+  auto [It, Inserted] = RelIds.emplace(std::move(Name), Id);
+  (void)It;
+  assert(Inserted && "duplicate relation name");
+  return Id;
+}
+
+void System::define(RelId Rel, Formula *Rhs) {
+  assert(Rel < Rels.size() && "unknown relation");
+  assert(!Rels[Rel].Def && "relation already defined");
+  assert(Rhs && "null definition");
+  Rels[Rel].Def = Rhs;
+}
+
+void System::defineNu(RelId Rel, Formula *Rhs) {
+  define(Rel, Rhs);
+  Rels[Rel].IsNu = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Formula builders
+//===----------------------------------------------------------------------===//
+
+Formula *System::make(FormulaKind Kind) {
+  Arena.push_back(std::make_unique<Formula>(Kind));
+  return Arena.back().get();
+}
+
+Formula *System::top() {
+  Formula *F = make(FormulaKind::Const);
+  F->ConstValue = true;
+  return F;
+}
+
+Formula *System::bottom() {
+  Formula *F = make(FormulaKind::Const);
+  F->ConstValue = false;
+  return F;
+}
+
+Formula *System::apply(RelId Rel, std::vector<Term> Args) {
+  Formula *F = make(FormulaKind::RelApp);
+  F->Rel = Rel;
+  F->Args = std::move(Args);
+  return F;
+}
+
+Formula *System::applyVars(RelId Rel, const std::vector<VarId> &Args) {
+  std::vector<Term> Terms;
+  Terms.reserve(Args.size());
+  for (VarId V : Args)
+    Terms.push_back(Term::var(V));
+  return apply(Rel, std::move(Terms));
+}
+
+Formula *System::eqVar(VarId Lhs, VarId Rhs) {
+  Formula *F = make(FormulaKind::EqVar);
+  F->Lhs = Lhs;
+  F->Rhs = Rhs;
+  return F;
+}
+
+Formula *System::eqConst(VarId Lhs, uint64_t Value) {
+  Formula *F = make(FormulaKind::EqConst);
+  F->Lhs = Lhs;
+  F->Value = Value;
+  return F;
+}
+
+Formula *System::mkNot(Formula *Body) {
+  Formula *F = make(FormulaKind::Not);
+  F->Children = {Body};
+  return F;
+}
+
+Formula *System::mkAnd(std::vector<Formula *> Children) {
+  assert(!Children.empty() && "empty conjunction; use top()");
+  if (Children.size() == 1)
+    return Children.front();
+  Formula *F = make(FormulaKind::And);
+  F->Children = std::move(Children);
+  return F;
+}
+
+Formula *System::mkOr(std::vector<Formula *> Children) {
+  assert(!Children.empty() && "empty disjunction; use bottom()");
+  if (Children.size() == 1)
+    return Children.front();
+  Formula *F = make(FormulaKind::Or);
+  F->Children = std::move(Children);
+  return F;
+}
+
+Formula *System::exists(std::vector<VarId> Bound, Formula *Body) {
+  Formula *F = make(FormulaKind::Exists);
+  F->Bound = std::move(Bound);
+  F->Body = Body;
+  return F;
+}
+
+Formula *System::forall(std::vector<VarId> Bound, Formula *Body) {
+  Formula *F = make(FormulaKind::Forall);
+  F->Bound = std::move(Bound);
+  F->Body = Body;
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+bool System::validateFormula(const Formula &F, DiagnosticEngine &Diags,
+                             const std::string &Context) const {
+  bool Ok = true;
+  switch (F.Kind) {
+  case FormulaKind::Const:
+    break;
+  case FormulaKind::RelApp: {
+    if (F.Rel >= Rels.size()) {
+      Diags.error({}, Context + ": application of unknown relation");
+      return false;
+    }
+    const Relation &R = Rels[F.Rel];
+    if (F.Args.size() != R.arity()) {
+      Diags.error({}, Context + ": '" + R.Name + "' applied to " +
+                          std::to_string(F.Args.size()) +
+                          " arguments; arity is " +
+                          std::to_string(R.arity()));
+      Ok = false;
+      break;
+    }
+    for (size_t I = 0; I < F.Args.size(); ++I) {
+      const Term &T = F.Args[I];
+      DomainId Expected = Vars[R.Formals[I]].Dom;
+      if (T.IsConst) {
+        if (T.Value >= Domains[Expected].Size) {
+          Diags.error({}, Context + ": constant " +
+                              std::to_string(T.Value) + " outside domain '" +
+                              Domains[Expected].Name + "' in '" + R.Name +
+                              "'");
+          Ok = false;
+        }
+      } else if (T.Variable >= Vars.size()) {
+        Diags.error({}, Context + ": unknown variable in application");
+        Ok = false;
+      } else if (Vars[T.Variable].Dom != Expected) {
+        Diags.error({}, Context + ": argument " + std::to_string(I) +
+                            " of '" + R.Name + "' has domain '" +
+                            Domains[Vars[T.Variable].Dom].Name +
+                            "'; expected '" + Domains[Expected].Name + "'");
+        Ok = false;
+      }
+    }
+    break;
+  }
+  case FormulaKind::EqVar:
+    if (F.Lhs >= Vars.size() || F.Rhs >= Vars.size()) {
+      Diags.error({}, Context + ": equality over unknown variable");
+      return false;
+    }
+    if (Vars[F.Lhs].Dom != Vars[F.Rhs].Dom) {
+      Diags.error({}, Context + ": equality between '" + Vars[F.Lhs].Name +
+                          "' and '" + Vars[F.Rhs].Name +
+                          "' of different domains");
+      Ok = false;
+    }
+    break;
+  case FormulaKind::EqConst:
+    if (F.Lhs >= Vars.size()) {
+      Diags.error({}, Context + ": equality over unknown variable");
+      return false;
+    }
+    if (F.Value >= Domains[Vars[F.Lhs].Dom].Size) {
+      Diags.error({}, Context + ": constant " + std::to_string(F.Value) +
+                          " outside domain of '" + Vars[F.Lhs].Name + "'");
+      Ok = false;
+    }
+    break;
+  case FormulaKind::Not:
+    assert(F.Children.size() == 1 && "negation is unary");
+    Ok &= validateFormula(*F.Children[0], Diags, Context);
+    break;
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      Ok &= validateFormula(*Child, Diags, Context);
+    break;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    for (VarId V : F.Bound)
+      if (V >= Vars.size()) {
+        Diags.error({}, Context + ": quantification over unknown variable");
+        Ok = false;
+      }
+    Ok &= validateFormula(*F.Body, Diags, Context);
+    break;
+  }
+  return Ok;
+}
+
+bool System::validate(DiagnosticEngine &Diags) const {
+  bool Ok = true;
+  for (const Relation &R : Rels)
+    if (R.Def)
+      Ok &= validateFormula(*R.Def, Diags, "in definition of '" + R.Name +
+                                               "'");
+  return Ok;
+}
+
+void System::collectRels(const Formula &F, std::vector<RelId> &Out) const {
+  switch (F.Kind) {
+  case FormulaKind::RelApp:
+    Out.push_back(F.Rel);
+    break;
+  case FormulaKind::Not:
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      collectRels(*Child, Out);
+    break;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    collectRels(*F.Body, Out);
+    break;
+  default:
+    break;
+  }
+}
+
+bool System::dependsOn(RelId Rel, RelId Target) const {
+  std::set<RelId> Visited;
+  std::vector<RelId> Stack{Rel};
+  while (!Stack.empty()) {
+    RelId Cur = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(Cur).second)
+      continue;
+    const Relation &R = Rels[Cur];
+    if (!R.Def)
+      continue;
+    std::vector<RelId> Used;
+    collectRels(*R.Def, Used);
+    for (RelId U : Used) {
+      if (U == Target)
+        return true;
+      Stack.push_back(U);
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing (MUCKE-like concrete syntax)
+//===----------------------------------------------------------------------===//
+
+std::string System::printFormula(const Formula &F) const {
+  switch (F.Kind) {
+  case FormulaKind::Const:
+    return F.ConstValue ? "true" : "false";
+  case FormulaKind::RelApp: {
+    std::string Out = Rels[F.Rel].Name + "(";
+    for (size_t I = 0; I < F.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      const Term &T = F.Args[I];
+      Out += T.IsConst ? std::to_string(T.Value) : Vars[T.Variable].Name;
+    }
+    return Out + ")";
+  }
+  case FormulaKind::EqVar:
+    return Vars[F.Lhs].Name + " = " + Vars[F.Rhs].Name;
+  case FormulaKind::EqConst:
+    return Vars[F.Lhs].Name + " = " + std::to_string(F.Value);
+  case FormulaKind::Not:
+    return "!(" + printFormula(*F.Children[0]) + ")";
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::string Sep = F.Kind == FormulaKind::And ? " & " : " | ";
+    std::string Out = "(";
+    for (size_t I = 0; I < F.Children.size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += printFormula(*F.Children[I]);
+    }
+    return Out + ")";
+  }
+  case FormulaKind::Exists:
+  case FormulaKind::Forall: {
+    std::string Out = F.Kind == FormulaKind::Exists ? "exists " : "forall ";
+    for (size_t I = 0; I < F.Bound.size(); ++I) {
+      if (I)
+        Out += ", ";
+      const Var &V = Vars[F.Bound[I]];
+      Out += Domains[V.Dom].Name + " " + V.Name;
+    }
+    return Out + ". (" + printFormula(*F.Body) + ")";
+  }
+  }
+  return "<?>";
+}
+
+std::string System::print() const {
+  std::string Out;
+  for (const Domain &D : Domains) {
+    if (D.ExplicitBits != 0)
+      Out += "domain " + D.Name + " [bits " + std::to_string(D.ExplicitBits) +
+             "];\n";
+    else
+      Out += "domain " + D.Name + " [" + std::to_string(D.Size) + "];\n";
+  }
+  Out += '\n';
+  for (const Relation &R : Rels) {
+    Out += R.Def ? (R.IsNu ? "nu bool " : "mu bool ") : "input bool ";
+    Out += R.Name + "(";
+    for (size_t I = 0; I < R.Formals.size(); ++I) {
+      if (I)
+        Out += ", ";
+      const Var &V = Vars[R.Formals[I]];
+      Out += Domains[V.Dom].Name + " " + V.Name;
+    }
+    Out += ")";
+    if (R.Def)
+      Out += " :=\n  " + printFormula(*R.Def) + ";\n";
+    else
+      Out += ";\n";
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,358 @@
+//===- Evaluator.cpp - Symbolic fixed-point evaluation --------------------===//
+
+#include "fpcalc/Evaluator.h"
+
+#include <algorithm>
+
+using namespace getafix;
+using namespace getafix::fpc;
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+Layout Layout::sequential(const System &Sys, BddManager &Mgr) {
+  Layout L;
+  L.Bits.resize(Sys.numVars());
+  for (VarId V = 0; V < Sys.numVars(); ++V) {
+    unsigned NumBits = Sys.domain(Sys.var(V).Dom).numBits();
+    for (unsigned B = 0; B < NumBits; ++B)
+      L.Bits[V].push_back(Mgr.newVar());
+  }
+  return L;
+}
+
+Layout Layout::interleaved(const System &Sys, BddManager &Mgr,
+                           const std::vector<std::vector<VarId>> &Groups) {
+  Layout L;
+  L.Bits.resize(Sys.numVars());
+  for (const std::vector<VarId> &Group : Groups) {
+    assert(!Group.empty() && "empty layout group");
+    unsigned NumBits = Sys.domain(Sys.var(Group.front()).Dom).numBits();
+#ifndef NDEBUG
+    for (VarId V : Group) {
+      assert(Sys.domain(Sys.var(V).Dom).numBits() == NumBits &&
+             "layout group members must share a domain width");
+      assert(L.Bits[V].empty() && "variable allocated twice");
+    }
+#endif
+    // Bit-major: bit 0 of every copy, then bit 1 of every copy, ...
+    for (unsigned B = 0; B < NumBits; ++B)
+      for (VarId V : Group)
+        L.Bits[V].push_back(Mgr.newVar());
+  }
+  for (VarId V = 0; V < Sys.numVars(); ++V) {
+    if (!L.Bits[V].empty())
+      continue;
+    unsigned NumBits = Sys.domain(Sys.var(V).Dom).numBits();
+    for (unsigned B = 0; B < NumBits; ++B)
+      L.Bits[V].push_back(Mgr.newVar());
+  }
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator: setup and encoding helpers
+//===----------------------------------------------------------------------===//
+
+Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L)
+    : Sys(Sys), Mgr(Mgr), L(std::move(L)) {}
+
+void Evaluator::bindInput(RelId Rel, Bdd Value) {
+  assert(Sys.relation(Rel).isInput() && "binding a defined relation");
+  Inputs[Rel] = std::move(Value);
+  StaticCache.clear(); // Cached composites may mention this relation.
+}
+
+void Evaluator::invalidate() {
+  Completed.clear();
+  StaticCache.clear();
+}
+
+bool Evaluator::isStatic(const Formula &F) {
+  auto It = StaticKind.find(&F);
+  if (It != StaticKind.end())
+    return It->second;
+  bool Static = true;
+  switch (F.Kind) {
+  case FormulaKind::RelApp:
+    Static = Sys.relation(F.Rel).isInput();
+    break;
+  case FormulaKind::Not:
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      Static = Static && isStatic(*Child);
+    break;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    Static = isStatic(*F.Body);
+    break;
+  default:
+    break;
+  }
+  StaticKind.emplace(&F, Static);
+  return Static;
+}
+
+Bdd Evaluator::bitVar(VarId V, unsigned Bit) {
+  const std::vector<unsigned> &Bits = L.bits(V);
+  assert(Bit < Bits.size() && "bit index out of range");
+  return Mgr.var(Bits[Bit]);
+}
+
+Bdd Evaluator::encodeEqConst(VarId V, uint64_t Value) {
+  const std::vector<unsigned> &Bits = L.bits(V);
+  assert(Value < Sys.domain(Sys.var(V).Dom).Size && "constant out of domain");
+  Bdd Result = Mgr.one();
+  for (unsigned B = 0; B < Bits.size(); ++B)
+    Result &= ((Value >> B) & 1) ? Mgr.var(Bits[B]) : Mgr.nvar(Bits[B]);
+  return Result;
+}
+
+Bdd Evaluator::encodeEqVar(VarId A, VarId B) {
+  assert(Sys.var(A).Dom == Sys.var(B).Dom &&
+         "equality between different domains");
+  const std::vector<unsigned> &ABits = L.bits(A);
+  const std::vector<unsigned> &BBits = L.bits(B);
+  Bdd Result = Mgr.one();
+  // Conjoin from the highest bit so the result grows bottom-up in the
+  // (typically interleaved) order.
+  for (size_t I = ABits.size(); I-- > 0;)
+    Result &= Mgr.var(ABits[I]).iff(Mgr.var(BBits[I]));
+  return Result;
+}
+
+Bdd Evaluator::domainConstraint(VarId V) {
+  const Domain &D = Sys.domain(Sys.var(V).Dom);
+  uint64_t Capacity = uint64_t(1) << L.bits(V).size();
+  if (D.Size == Capacity)
+    return Mgr.one();
+  // V < Size: disjunction over valid values would be linear in Size; use a
+  // bitwise comparison against Size-1 instead (V <= Size-1).
+  uint64_t Max = D.Size - 1;
+  const std::vector<unsigned> &Bits = L.bits(V);
+  // lessEq built from msb down: acc(i) = (v_i < m_i) | (v_i == m_i) & acc.
+  Bdd Acc = Mgr.one();
+  for (size_t I = 0; I < Bits.size(); ++I) {
+    bool MaxBit = (Max >> I) & 1;
+    Bdd Vi = Mgr.var(Bits[I]);
+    if (MaxBit)
+      Acc = (!Vi) | Acc;
+    else
+      Acc = (!Vi) & Acc;
+  }
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator: core
+//===----------------------------------------------------------------------===//
+
+bool Evaluator::dependsOnInFlight(RelId Rel) const {
+  for (const auto &[InFlightRel, Value] : InFlight) {
+    (void)Value;
+    if (Rel == InFlightRel || Sys.dependsOn(Rel, InFlightRel))
+      return true;
+  }
+  return false;
+}
+
+Bdd Evaluator::relValue(RelId Rel) {
+  auto FlightIt = InFlight.find(Rel);
+  if (FlightIt != InFlight.end())
+    return FlightIt->second;
+
+  const Relation &R = Sys.relation(Rel);
+  if (R.isInput()) {
+    auto It = Inputs.find(Rel);
+    assert(It != Inputs.end() && "input relation not bound");
+    return It->second;
+  }
+
+  // Defined relation used from another definition: per the algorithmic
+  // semantics it is re-solved under the current in-flight interpretations.
+  // Relations that cannot see any in-flight relation are memoized.
+  bool Volatile = dependsOnInFlight(Rel);
+  if (!Volatile) {
+    auto It = Completed.find(Rel);
+    if (It != Completed.end())
+      return It->second;
+  }
+  Bdd Value = evalFixpoint(Rel, nullptr, nullptr, nullptr);
+  if (!Volatile)
+    Completed[Rel] = Value;
+  return Value;
+}
+
+Bdd Evaluator::applyArgs(RelId Rel, const std::vector<Term> &Args,
+                         Bdd Value) {
+  const Relation &R = Sys.relation(Rel);
+  assert(Args.size() == R.Formals.size() && "arity mismatch");
+
+  // Constants first: cofactor the formal's bits.
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (!Args[I].IsConst)
+      continue;
+    const std::vector<unsigned> &Bits = L.bits(R.Formals[I]);
+    for (unsigned B = 0; B < Bits.size(); ++B)
+      Value = Value.restrict(Bits[B], (Args[I].Value >> B) & 1);
+  }
+
+  // Then rename formal bits to argument bits (a simultaneous substitution;
+  // repeated argument variables like R(u, u) are handled by the rename op).
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I].IsConst)
+      continue;
+    const std::vector<unsigned> &From = L.bits(R.Formals[I]);
+    const std::vector<unsigned> &To = L.bits(Args[I].Variable);
+    assert(From.size() == To.size() && "domain width mismatch");
+    for (size_t B = 0; B < From.size(); ++B)
+      if (From[B] != To[B])
+        Pairs.emplace_back(From[B], To[B]);
+  }
+  if (Pairs.empty())
+    return Value;
+  return Value.permute(Mgr.makePermutation(Pairs));
+}
+
+BddCube Evaluator::cubeFor(const std::vector<VarId> &Bound) {
+  std::vector<unsigned> Vars;
+  for (VarId V : Bound)
+    for (unsigned Bit : L.bits(V))
+      Vars.push_back(Bit);
+  return Mgr.makeCube(Vars);
+}
+
+Bdd Evaluator::evalFormula(const Formula &F) {
+  // Composite input-only subtrees are constant; compute them once. Leaves
+  // are cheap enough to rebuild (and hit the unique table anyway).
+  bool Composite = F.Kind == FormulaKind::Not || F.Kind == FormulaKind::And ||
+                   F.Kind == FormulaKind::Or ||
+                   F.Kind == FormulaKind::Exists ||
+                   F.Kind == FormulaKind::Forall;
+  if (Composite && isStatic(F)) {
+    auto It = StaticCache.find(&F);
+    if (It != StaticCache.end())
+      return It->second;
+    Bdd Value = evalFormulaUncached(F);
+    StaticCache.emplace(&F, Value);
+    return Value;
+  }
+  return evalFormulaUncached(F);
+}
+
+Bdd Evaluator::evalFormulaUncached(const Formula &F) {
+  switch (F.Kind) {
+  case FormulaKind::Const:
+    return F.ConstValue ? Mgr.one() : Mgr.zero();
+  case FormulaKind::RelApp:
+    return applyArgs(F.Rel, F.Args, relValue(F.Rel));
+  case FormulaKind::EqVar:
+    return encodeEqVar(F.Lhs, F.Rhs);
+  case FormulaKind::EqConst:
+    return encodeEqConst(F.Lhs, F.Value);
+  case FormulaKind::Not:
+    return !evalFormula(*F.Children[0]);
+  case FormulaKind::And: {
+    // Left-to-right: formula authors control conjunction scheduling, which
+    // is the point of the Section-4.2 clause-splitting rewrite.
+    Bdd Result = evalFormula(*F.Children[0]);
+    for (size_t I = 1; I < F.Children.size(); ++I) {
+      if (Result.isZero())
+        return Result;
+      Result &= evalFormula(*F.Children[I]);
+    }
+    return Result;
+  }
+  case FormulaKind::Or: {
+    Bdd Result = evalFormula(*F.Children[0]);
+    for (size_t I = 1; I < F.Children.size(); ++I) {
+      if (Result.isOne())
+        return Result;
+      Result |= evalFormula(*F.Children[I]);
+    }
+    return Result;
+  }
+  case FormulaKind::Exists: {
+    BddCube Cube = cubeFor(F.Bound);
+    const Formula &Body = *F.Body;
+    if (Body.Kind == FormulaKind::And && Body.Children.size() >= 2) {
+      // Relational-product scheduling: conjoin all but the last child,
+      // then fuse the last conjunction with the quantification.
+      Bdd Acc = evalFormula(*Body.Children[0]);
+      for (size_t I = 1; I + 1 < Body.Children.size(); ++I) {
+        if (Acc.isZero())
+          return Acc;
+        Acc &= evalFormula(*Body.Children[I]);
+      }
+      if (Acc.isZero())
+        return Acc;
+      return Acc.andExists(evalFormula(*Body.Children.back()), Cube);
+    }
+    return evalFormula(Body).exists(Cube);
+  }
+  case FormulaKind::Forall:
+    return evalFormula(*F.Body).forall(cubeFor(F.Bound));
+  }
+  assert(false && "unhandled formula kind");
+  return Mgr.zero();
+}
+
+Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
+                            bool *HitLimit, bool *Stopped) {
+  const Relation &R = Sys.relation(Rel);
+  assert(R.Def && "evaluating an undefined relation");
+  assert(!InFlight.count(Rel) && "relation already being solved");
+
+  RelStats &RS = Stats[R.Name];
+  ++RS.Evaluations;
+
+  // Least fixed-points start from the empty relation; greatest fixed-points
+  // from the top element, which is the set of *domain-valid* tuples (bits
+  // encoding values >= the domain size are excluded so they can never leak
+  // into a result).
+  Bdd S = Mgr.zero();
+  if (R.IsNu) {
+    S = Mgr.one();
+    for (VarId Formal : R.Formals)
+      S &= domainConstraint(Formal);
+  }
+  uint64_t Iter = 0;
+  while (true) {
+    InFlight[Rel] = S;
+    Bdd Next = evalFormula(*R.Def);
+    InFlight.erase(Rel);
+    ++Iter;
+    ++RS.Iterations;
+    if (Next == S)
+      break;
+    S = std::move(Next);
+    if (Opts && Opts->Rings)
+      Opts->Rings->push_back(S);
+    if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
+      if (Stopped)
+        *Stopped = true;
+      break;
+    }
+    if (Opts && Opts->MaxIterations != 0 && Iter >= Opts->MaxIterations) {
+      if (HitLimit)
+        *HitLimit = true;
+      break;
+    }
+  }
+  RS.FinalNodes = S.nodeCount();
+  return S;
+}
+
+EvalResult Evaluator::evaluate(RelId Rel, const EvalOptions &Opts) {
+  EvalResult Result;
+  Result.Value =
+      evalFixpoint(Rel, &Opts, &Result.HitIterationLimit,
+                   &Result.EarlyStopped);
+  // A complete top-level solve is a valid memo for later nested uses.
+  if (InFlight.empty() && !Result.HitIterationLimit && !Result.EarlyStopped)
+    Completed[Rel] = Result.Value;
+  return Result;
+}

@@ -1,0 +1,150 @@
+//===- Evaluator.h - Symbolic fixed-point evaluation ------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic (BDD-backed) evaluator for the fixed-point calculus — the
+/// MUCKE stand-in. It implements the paper's *algorithmic semantics*
+/// (Section 3, `Evaluate`): to solve `R = B`, iterate from the empty
+/// relation, and on every round re-evaluate each relation occurring in `B`
+/// under the current interpretation of the in-flight relations. For
+/// positive systems this converges to the least fixed-point
+/// (Knaster–Tarski); for non-positive systems (the optimized entry-forward
+/// algorithm) it is the paper's operational algorithm, and termination is
+/// the algorithm author's obligation.
+///
+/// Variables are mapped to blocks of BDD bits by a `Layout`; the
+/// `interleaved` layout places the same field's copies on adjacent levels,
+/// which is the variable-ordering style Getafix feeds MUCKE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_FPCALC_EVALUATOR_H
+#define GETAFIX_FPCALC_EVALUATOR_H
+
+#include "bdd/Bdd.h"
+#include "fpcalc/Calculus.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace fpc {
+
+/// Maps every calculus variable to its block of BDD variables (bit 0 is the
+/// least significant bit of the encoded value).
+class Layout {
+public:
+  /// Allocates variables in declaration order, bits consecutive.
+  static Layout sequential(const System &Sys, BddManager &Mgr);
+
+  /// Allocates the listed groups first, interleaving the bits of each
+  /// group's members (copies of the same field sit on adjacent levels);
+  /// remaining variables follow sequentially. All members of a group must
+  /// share a domain.
+  static Layout interleaved(const System &Sys, BddManager &Mgr,
+                            const std::vector<std::vector<VarId>> &Groups);
+
+  const std::vector<unsigned> &bits(VarId V) const {
+    assert(V < Bits.size() && "unknown variable in layout");
+    return Bits[V];
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Bits;
+};
+
+/// Per-relation evaluation statistics.
+struct RelStats {
+  uint64_t Iterations = 0;  ///< Outer Tarski rounds (accumulated).
+  uint64_t Evaluations = 0; ///< Full fixpoint solves (nested re-solves).
+  size_t FinalNodes = 0;    ///< Dag size of the last computed value.
+};
+
+struct EvalOptions {
+  /// When non-null, fixpoint iteration of the *requested* relation stops as
+  /// soon as the partial result intersects this set (reachability early
+  /// termination — the engineered form of the Appendix formula's first
+  /// disjunct).
+  const Bdd *EarlyStop = nullptr;
+  /// Safety valve for non-monotone systems; 0 means unlimited.
+  uint64_t MaxIterations = 0;
+  /// When non-null, receives the requested relation's value after every
+  /// outer Tarski round (the "onion rings" witness extraction walks
+  /// backwards through; see reach::checkReachabilityWithWitness).
+  std::vector<Bdd> *Rings = nullptr;
+};
+
+struct EvalResult {
+  Bdd Value;
+  bool HitIterationLimit = false;
+  bool EarlyStopped = false;
+};
+
+class Evaluator {
+public:
+  Evaluator(const System &Sys, BddManager &Mgr, Layout L);
+
+  /// Binds an input relation to its BDD over the formals' bits.
+  void bindInput(RelId Rel, Bdd Value);
+
+  /// The BDD bound to an input relation (must be bound).
+  const Bdd &input(RelId Rel) const {
+    auto It = Inputs.find(Rel);
+    assert(It != Inputs.end() && "input relation not bound");
+    return It->second;
+  }
+
+  /// Solves the defining equation of \p Rel per the algorithmic semantics.
+  EvalResult evaluate(RelId Rel, const EvalOptions &Opts = EvalOptions());
+
+  /// Resets memoized values of defined relations (bindings stay).
+  void invalidate();
+
+  const std::map<std::string, RelStats> &stats() const { return Stats; }
+  BddManager &manager() { return Mgr; }
+  const Layout &layout() const { return L; }
+
+  // Encoding helpers (used to build input-relation BDDs) ------------------
+  /// BDD for `V == Value`.
+  Bdd encodeEqConst(VarId V, uint64_t Value);
+  /// BDD for `A == B` (same domain).
+  Bdd encodeEqVar(VarId A, VarId B);
+  /// BDD constraining V to valid domain values (< domain size).
+  Bdd domainConstraint(VarId V);
+  /// Literal for bit \p Bit of variable \p V.
+  Bdd bitVar(VarId V, unsigned Bit);
+
+private:
+  Bdd evalFixpoint(RelId Rel, const EvalOptions *Opts, bool *HitLimit,
+                   bool *Stopped);
+  Bdd evalFormula(const Formula &F);
+  Bdd evalFormulaUncached(const Formula &F);
+  bool isStatic(const Formula &F);
+  Bdd relValue(RelId Rel);
+  Bdd applyArgs(RelId Rel, const std::vector<Term> &Args, Bdd Value);
+  BddCube cubeFor(const std::vector<VarId> &Bound);
+  bool dependsOnInFlight(RelId Rel) const;
+
+  const System &Sys;
+  BddManager &Mgr;
+  Layout L;
+
+  std::map<RelId, Bdd> Inputs;
+  std::map<RelId, Bdd> InFlight;  ///< Current interpretation per Section 3.
+  std::map<RelId, Bdd> Completed; ///< Memo for env-independent relations.
+  std::map<std::string, RelStats> Stats;
+
+  /// Subformulas mentioning only input relations are constant across
+  /// fixpoint rounds; their BDDs are memoized here.
+  std::map<const Formula *, Bdd> StaticCache;
+  std::map<const Formula *, bool> StaticKind;
+};
+
+} // namespace fpc
+} // namespace getafix
+
+#endif // GETAFIX_FPCALC_EVALUATOR_H

@@ -1,0 +1,646 @@
+//===- Parser.cpp - Textual front-end for the calculus --------------------===//
+
+#include "fpcalc/Parser.h"
+
+#include "fpcalc/Evaluator.h"
+
+#include <cctype>
+#include <map>
+
+using namespace getafix;
+using namespace getafix::fpc;
+
+namespace {
+
+enum class TokKind {
+  End,
+  Ident,
+  Number,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Eq,     // =
+  Define, // :=
+  Not,    // !
+  And,    // &
+  Or,     // |
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  uint64_t Value = 0;
+  SourceLoc Loc;
+};
+
+/// Tokenizes the whole buffer up front; the parser then makes two passes
+/// over the token vector (signatures first, bodies second) so relations can
+/// be referenced before their declaration.
+class Lexer {
+public:
+  Lexer(const std::string &Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  bool run(std::vector<Token> &Out) {
+    while (true) {
+      Token T = next();
+      if (Failed)
+        return false;
+      Out.push_back(T);
+      if (T.Kind == TokKind::End)
+        return true;
+    }
+  }
+
+private:
+  SourceLoc loc() const { return SourceLoc{Line, unsigned(Pos - LineStart + 1)}; }
+
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        LineStart = Pos;
+      } else if (std::isspace((unsigned char)C)) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+        size_t Close = Text.find("*/", Pos + 2);
+        if (Close == std::string::npos) {
+          Diags.error(loc(), "unterminated comment");
+          Failed = true;
+          return;
+        }
+        for (size_t I = Pos; I < Close; ++I)
+          if (Text[I] == '\n') {
+            ++Line;
+            LineStart = I + 1;
+          }
+        Pos = Close + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next() {
+    skipTrivia();
+    Token T;
+    T.Loc = loc();
+    if (Failed || Pos >= Text.size())
+      return T;
+    char C = Text[Pos];
+    if (std::isalpha((unsigned char)C) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size()) {
+        char D = Text[Pos];
+        if (std::isalnum((unsigned char)D) || D == '_') {
+          ++Pos;
+          continue;
+        }
+        // A dot continues the identifier only when an identifier character
+        // follows (`s.pc`); otherwise it is the quantifier separator.
+        if (D == '.' && Pos + 1 < Text.size() &&
+            (std::isalnum((unsigned char)Text[Pos + 1]) ||
+             Text[Pos + 1] == '_')) {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      T.Kind = TokKind::Ident;
+      T.Text = Text.substr(Start, Pos - Start);
+      return T;
+    }
+    if (std::isdigit((unsigned char)C)) {
+      uint64_t Value = 0;
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        Value = Value * 10 + uint64_t(Text[Pos++] - '0');
+      T.Kind = TokKind::Number;
+      T.Value = Value;
+      return T;
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      return T;
+    case ')':
+      T.Kind = TokKind::RParen;
+      return T;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      return T;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      return T;
+    case ',':
+      T.Kind = TokKind::Comma;
+      return T;
+    case ';':
+      T.Kind = TokKind::Semi;
+      return T;
+    case '.':
+      T.Kind = TokKind::Dot;
+      return T;
+    case '=':
+      T.Kind = TokKind::Eq;
+      return T;
+    case '!':
+      T.Kind = TokKind::Not;
+      return T;
+    case '&':
+      T.Kind = TokKind::And;
+      return T;
+    case '|':
+      T.Kind = TokKind::Or;
+      return T;
+    case ':':
+      if (Pos < Text.size() && Text[Pos] == '=') {
+        ++Pos;
+        T.Kind = TokKind::Define;
+        return T;
+      }
+      break;
+    default:
+      break;
+    }
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    Failed = true;
+    return T;
+  }
+
+  const std::string &Text;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+  bool Failed = false;
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags,
+         std::vector<Fact> *Facts)
+      : Tokens(std::move(Tokens)), Diags(Diags), Facts(Facts) {}
+
+  std::unique_ptr<System> run() {
+    auto Result = std::make_unique<System>();
+    Sys = Result.get();
+    // `System` pre-declares the Boolean domain; make it nameable.
+    DomainIds["bool"] = Sys->boolDomain();
+
+    if (!parseDeclarations(/*BodiesToo=*/false))
+      return nullptr;
+    Pos = 0;
+    if (!parseDeclarations(/*BodiesToo=*/true))
+      return nullptr;
+    if (!Sys->validate(Diags))
+      return nullptr;
+    return Result;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  Token take() { return Tokens[Pos++]; }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  bool atKeyword(const char *KW) const {
+    return peek().Kind == TokKind::Ident && peek().Text == KW;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (at(K)) {
+      ++Pos;
+      return true;
+    }
+    Diags.error(peek().Loc, std::string("expected ") + What);
+    return false;
+  }
+
+  bool expectKeyword(const char *KW) {
+    if (atKeyword(KW)) {
+      ++Pos;
+      return true;
+    }
+    Diags.error(peek().Loc, std::string("expected '") + KW + "'");
+    return false;
+  }
+
+  /// Returns (creating on first sight) the variable \p Name of domain
+  /// \p Dom. Rebinding an existing name at a different domain is an error
+  /// (the printer never produces it and it would silently alias storage).
+  bool bindVar(const std::string &Name, DomainId Dom, SourceLoc Loc,
+               VarId &Out) {
+    auto It = VarIds.find(Name);
+    if (It != VarIds.end()) {
+      if (Sys->var(It->second).Dom != Dom) {
+        Diags.error(Loc, "variable '" + Name +
+                             "' rebound at a different domain");
+        return false;
+      }
+      Out = It->second;
+      return true;
+    }
+    Out = Sys->addVar(Name, Dom);
+    VarIds[Name] = Out;
+    return true;
+  }
+
+  /// `NAME NAME (, NAME NAME)*` — used for relation formals and quantifier
+  /// binders. Empty lists are allowed for formals (`Stop()`), not binders.
+  bool parseBinders(std::vector<VarId> &Out, bool AllowEmpty,
+                    TokKind Terminator) {
+    if (AllowEmpty && at(Terminator))
+      return true;
+    while (true) {
+      if (!at(TokKind::Ident)) {
+        Diags.error(peek().Loc, "expected domain name");
+        return false;
+      }
+      Token DomTok = take();
+      auto DomIt = DomainIds.find(DomTok.Text);
+      if (DomIt == DomainIds.end()) {
+        Diags.error(DomTok.Loc, "unknown domain '" + DomTok.Text + "'");
+        return false;
+      }
+      if (!at(TokKind::Ident)) {
+        Diags.error(peek().Loc, "expected variable name");
+        return false;
+      }
+      Token VarTok = take();
+      VarId V = 0;
+      if (!bindVar(VarTok.Text, DomIt->second, VarTok.Loc, V))
+        return false;
+      Out.push_back(V);
+      if (!at(TokKind::Comma))
+        return true;
+      ++Pos;
+    }
+  }
+
+  bool parseDeclarations(bool BodiesToo) {
+    while (!at(TokKind::End)) {
+      if (atKeyword("domain")) {
+        if (!parseDomain(BodiesToo))
+          return false;
+      } else if (atKeyword("input") || atKeyword("mu") || atKeyword("nu")) {
+        if (!parseRelation(BodiesToo))
+          return false;
+      } else if (atKeyword("fact")) {
+        if (!parseFact(BodiesToo))
+          return false;
+      } else {
+        Diags.error(peek().Loc,
+                    "expected 'domain', 'input', 'mu', 'nu' or 'fact'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool parseDomain(bool SecondPass) {
+    ++Pos; // 'domain'
+    if (!at(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected domain name");
+      return false;
+    }
+    Token Name = take();
+    if (!expect(TokKind::LBracket, "'['"))
+      return false;
+    bool IsBits = atKeyword("bits");
+    if (IsBits)
+      ++Pos;
+    if (!at(TokKind::Number)) {
+      Diags.error(peek().Loc, "expected domain size");
+      return false;
+    }
+    Token Size = take();
+    if (!expect(TokKind::RBracket, "']'") || !expect(TokKind::Semi, "';'"))
+      return false;
+    if (SecondPass)
+      return true;
+    if (DomainIds.count(Name.Text)) {
+      // Re-declaring `bool [2]` is tolerated so printed systems (which
+      // always list the built-in domain) round-trip.
+      if (Name.Text == "bool" && !IsBits && Size.Value == 2)
+        return true;
+      Diags.error(Name.Loc, "duplicate domain '" + Name.Text + "'");
+      return false;
+    }
+    if (!IsBits && Size.Value == 0) {
+      Diags.error(Size.Loc, "domains must be non-empty");
+      return false;
+    }
+    if (IsBits && (Size.Value == 0 || Size.Value > 4096)) {
+      Diags.error(Size.Loc, "unreasonable bit-vector width");
+      return false;
+    }
+    DomainIds[Name.Text] = IsBits
+                               ? Sys->addBitDomain(Name.Text,
+                                                   unsigned(Size.Value))
+                               : Sys->addDomain(Name.Text, Size.Value);
+    return true;
+  }
+
+  /// `fact Name(c1, ..., cn);` — collected in the second pass, when all
+  /// relations (including ones declared after the fact) are known.
+  bool parseFact(bool SecondPass) {
+    Token Kw = take(); // 'fact'
+    if (!at(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected relation name");
+      return false;
+    }
+    Token Name = take();
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    std::vector<uint64_t> Values;
+    if (!at(TokKind::RParen)) {
+      while (true) {
+        if (!at(TokKind::Number)) {
+          Diags.error(peek().Loc, "facts take constant tuples");
+          return false;
+        }
+        Values.push_back(take().Value);
+        if (!at(TokKind::Comma))
+          break;
+        ++Pos;
+      }
+    }
+    if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+      return false;
+    if (!SecondPass)
+      return true;
+
+    if (!Facts) {
+      Diags.error(Kw.Loc, "facts are not allowed in this context");
+      return false;
+    }
+    if (!Sys->hasRel(Name.Text)) {
+      Diags.error(Name.Loc, "unknown relation '" + Name.Text + "'");
+      return false;
+    }
+    RelId Rel = Sys->relId(Name.Text);
+    const Relation &R = Sys->relation(Rel);
+    if (!R.isInput()) {
+      Diags.error(Name.Loc,
+                  "facts may only populate input relations, and '" +
+                      Name.Text + "' is defined by an equation");
+      return false;
+    }
+    if (Values.size() != R.arity()) {
+      Diags.error(Name.Loc, "relation '" + Name.Text + "' expects " +
+                                std::to_string(R.arity()) +
+                                " arguments, got " +
+                                std::to_string(Values.size()));
+      return false;
+    }
+    for (size_t I = 0; I < Values.size(); ++I) {
+      const Domain &D = Sys->domain(Sys->var(R.Formals[I]).Dom);
+      if (Values[I] >= D.Size) {
+        Diags.error(Name.Loc, "constant " + std::to_string(Values[I]) +
+                                  " outside domain of argument " +
+                                  std::to_string(I + 1));
+        return false;
+      }
+    }
+    Facts->push_back(Fact{Rel, std::move(Values)});
+    return true;
+  }
+
+  bool parseRelation(bool BodiesToo) {
+    Token Kind = take(); // input / mu / nu
+    if (!expectKeyword("bool"))
+      return false;
+    if (!at(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected relation name");
+      return false;
+    }
+    Token Name = take();
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+
+    if (!BodiesToo) {
+      if (Sys->hasRel(Name.Text)) {
+        Diags.error(Name.Loc, "duplicate relation '" + Name.Text + "'");
+        return false;
+      }
+      std::vector<VarId> Formals;
+      if (!parseBinders(Formals, /*AllowEmpty=*/true, TokKind::RParen))
+        return false;
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      Sys->declareRel(Name.Text, std::move(Formals));
+      if (Kind.Text == "input")
+        return expect(TokKind::Semi, "';'");
+      if (!expect(TokKind::Define, "':='"))
+        return false;
+      // Skip the body; pass 2 parses it with all relations known.
+      while (!at(TokKind::Semi) && !at(TokKind::End))
+        ++Pos;
+      return expect(TokKind::Semi, "';'");
+    }
+
+    // Second pass: skip the signature, parse the body.
+    while (!at(TokKind::RParen))
+      ++Pos;
+    ++Pos; // ')'
+    if (Kind.Text == "input")
+      return expect(TokKind::Semi, "';'");
+    ++Pos; // ':='
+    Formula *Body = parseFormula();
+    if (!Body)
+      return false;
+    RelId Rel = Sys->relId(Name.Text);
+    if (Kind.Text == "nu")
+      Sys->defineNu(Rel, Body);
+    else
+      Sys->define(Rel, Body);
+    return expect(TokKind::Semi, "';'");
+  }
+
+  // Formulas ---------------------------------------------------------------
+
+  Formula *parseFormula() { return parseOr(); }
+
+  Formula *parseOr() {
+    Formula *First = parseAnd();
+    if (!First)
+      return nullptr;
+    if (!at(TokKind::Or))
+      return First;
+    std::vector<Formula *> Children{First};
+    while (at(TokKind::Or)) {
+      ++Pos;
+      Formula *Next = parseAnd();
+      if (!Next)
+        return nullptr;
+      Children.push_back(Next);
+    }
+    return Sys->mkOr(std::move(Children));
+  }
+
+  Formula *parseAnd() {
+    Formula *First = parseNot();
+    if (!First)
+      return nullptr;
+    if (!at(TokKind::And))
+      return First;
+    std::vector<Formula *> Children{First};
+    while (at(TokKind::And)) {
+      ++Pos;
+      Formula *Next = parseNot();
+      if (!Next)
+        return nullptr;
+      Children.push_back(Next);
+    }
+    return Sys->mkAnd(std::move(Children));
+  }
+
+  Formula *parseNot() {
+    if (at(TokKind::Not)) {
+      ++Pos;
+      Formula *Body = parseNot();
+      return Body ? Sys->mkNot(Body) : nullptr;
+    }
+    return parseAtom();
+  }
+
+  Formula *parseAtom() {
+    if (at(TokKind::LParen)) {
+      ++Pos;
+      Formula *Inner = parseFormula();
+      if (!Inner || !expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return Inner;
+    }
+    if (atKeyword("true")) {
+      ++Pos;
+      return Sys->top();
+    }
+    if (atKeyword("false")) {
+      ++Pos;
+      return Sys->bottom();
+    }
+    if (atKeyword("exists") || atKeyword("forall")) {
+      bool IsExists = take().Text == "exists";
+      std::vector<VarId> Bound;
+      if (!parseBinders(Bound, /*AllowEmpty=*/false, TokKind::Dot))
+        return nullptr;
+      if (!expect(TokKind::Dot, "'.'"))
+        return nullptr;
+      Formula *Body = parseNot();
+      if (!Body)
+        return nullptr;
+      return IsExists ? Sys->exists(std::move(Bound), Body)
+                      : Sys->forall(std::move(Bound), Body);
+    }
+    if (!at(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected a formula");
+      return nullptr;
+    }
+    Token Name = take();
+    if (at(TokKind::LParen)) {
+      ++Pos;
+      if (!Sys->hasRel(Name.Text)) {
+        Diags.error(Name.Loc, "unknown relation '" + Name.Text + "'");
+        return nullptr;
+      }
+      RelId Rel = Sys->relId(Name.Text);
+      std::vector<Term> Args;
+      if (!at(TokKind::RParen)) {
+        while (true) {
+          if (at(TokKind::Number)) {
+            Args.push_back(Term::constant(take().Value));
+          } else if (at(TokKind::Ident)) {
+            Token Arg = take();
+            auto It = VarIds.find(Arg.Text);
+            if (It == VarIds.end()) {
+              Diags.error(Arg.Loc, "unbound variable '" + Arg.Text + "'");
+              return nullptr;
+            }
+            Args.push_back(Term::var(It->second));
+          } else {
+            Diags.error(peek().Loc, "expected argument");
+            return nullptr;
+          }
+          if (!at(TokKind::Comma))
+            break;
+          ++Pos;
+        }
+      }
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      if (Args.size() != Sys->relation(Rel).arity()) {
+        Diags.error(Name.Loc, "relation '" + Name.Text + "' expects " +
+                                  std::to_string(Sys->relation(Rel).arity()) +
+                                  " arguments, got " +
+                                  std::to_string(Args.size()));
+        return nullptr;
+      }
+      return Sys->apply(Rel, std::move(Args));
+    }
+    if (!expect(TokKind::Eq, "'=' or '('"))
+      return nullptr;
+    auto LhsIt = VarIds.find(Name.Text);
+    if (LhsIt == VarIds.end()) {
+      Diags.error(Name.Loc, "unbound variable '" + Name.Text + "'");
+      return nullptr;
+    }
+    if (at(TokKind::Number))
+      return Sys->eqConst(LhsIt->second, take().Value);
+    if (!at(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected variable or constant");
+      return nullptr;
+    }
+    Token Rhs = take();
+    auto RhsIt = VarIds.find(Rhs.Text);
+    if (RhsIt == VarIds.end()) {
+      Diags.error(Rhs.Loc, "unbound variable '" + Rhs.Text + "'");
+      return nullptr;
+    }
+    return Sys->eqVar(LhsIt->second, RhsIt->second);
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  std::vector<Fact> *Facts;
+  System *Sys = nullptr;
+  size_t Pos = 0;
+  std::map<std::string, DomainId> DomainIds;
+  std::map<std::string, VarId> VarIds;
+};
+
+} // namespace
+
+std::unique_ptr<System> fpc::parseSystem(const std::string &Text,
+                                         DiagnosticEngine &Diags,
+                                         std::vector<Fact> *Facts) {
+  std::vector<Token> Tokens;
+  if (!Lexer(Text, Diags).run(Tokens))
+    return nullptr;
+  return Parser(std::move(Tokens), Diags, Facts).run();
+}
+
+void fpc::bindFacts(Evaluator &Ev, const System &Sys,
+                    const std::vector<Fact> &Facts) {
+  BddManager &Mgr = Ev.manager();
+  std::map<RelId, Bdd> Values;
+  for (RelId Rel = 0; Rel < Sys.numRels(); ++Rel)
+    if (Sys.relation(Rel).isInput())
+      Values[Rel] = Mgr.zero();
+  for (const Fact &F : Facts) {
+    const Relation &R = Sys.relation(F.Rel);
+    assert(R.isInput() && F.Values.size() == R.arity() &&
+           "facts are validated at parse time");
+    Bdd Tuple = Mgr.one();
+    for (size_t I = 0; I < F.Values.size(); ++I)
+      Tuple &= Ev.encodeEqConst(R.Formals[I], F.Values[I]);
+    Values[F.Rel] |= Tuple;
+  }
+  for (auto &[Rel, Value] : Values)
+    Ev.bindInput(Rel, std::move(Value));
+}

@@ -1,0 +1,73 @@
+//===- Parser.h - Textual front-end for the calculus ------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the MUCKE-like concrete syntax that `System::print()` produces
+/// back into a `System`, so fixed-point algorithms can be written, stored
+/// and exchanged as *text* — the way Getafix ships its algorithms to MUCKE
+/// (Figure 1's "MUCKE file"). Grammar:
+///
+///   system  ::= decl*
+///   decl    ::= 'domain' NAME '[' NUM ']' ';'
+///             | 'domain' NAME '[' 'bits' NUM ']' ';'
+///             | 'input' 'bool' NAME '(' params ')' ';'
+///             | 'fact' NAME '(' NUM, ... ')' ';'
+///             | ('mu' | 'nu') 'bool' NAME '(' params ')' ':=' formula ';'
+///   params  ::= [ NAME NAME (',' NAME NAME)* ]          // domain var
+///   formula ::= or; or ::= and ('|' and)*; and ::= not ('&' not)*
+///   not     ::= '!' atom | atom
+///   atom    ::= 'true' | 'false' | '(' formula ')'
+///             | ('exists' | 'forall') params '.' atom
+///             | NAME '(' args ')' | NAME '=' (NAME | NUM)
+///
+/// Identifiers may contain dots (the printer emits `s.pc`-style names for
+/// flattened tuple fields). Relations may be referenced before their
+/// declaration (the parser makes two passes), so mutually recursive
+/// equation systems print/parse round-trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_FPCALC_PARSER_H
+#define GETAFIX_FPCALC_PARSER_H
+
+#include "fpcalc/Calculus.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace getafix {
+namespace fpc {
+
+/// One `fact R(c1, ..., cn);` declaration: a concrete tuple of an input
+/// relation. Facts make a textual system *self-contained* — a standalone
+/// solver (tools/fpsolve) can evaluate it without a host program binding
+/// the input relations, Datalog-style.
+struct Fact {
+  RelId Rel = 0;
+  std::vector<uint64_t> Values;
+};
+
+/// Parses \p Text into a System. Returns null after reporting into
+/// \p Diags on any lexical, syntactic or binding error (unknown domain,
+/// free variable, rebinding a variable at a different domain, duplicate
+/// relation, arity mismatch on application). `fact` declarations are
+/// collected into \p Facts; when \p Facts is null they are rejected.
+std::unique_ptr<System> parseSystem(const std::string &Text,
+                                    DiagnosticEngine &Diags,
+                                    std::vector<Fact> *Facts = nullptr);
+
+class Evaluator; // From Evaluator.h; binding facts needs a BDD backend.
+
+/// Binds every input relation of \p Sys in \p Ev: the disjunction of its
+/// fact tuples (the empty relation when it has none).
+void bindFacts(Evaluator &Ev, const System &Sys,
+               const std::vector<Fact> &Facts);
+
+} // namespace fpc
+} // namespace getafix
+
+#endif // GETAFIX_FPCALC_PARSER_H

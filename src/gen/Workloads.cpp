@@ -1,0 +1,542 @@
+//===- Workloads.cpp - Benchmark program generators -----------------------===//
+
+#include "gen/Workloads.h"
+#include "support/Rng.h"
+
+using namespace getafix;
+using namespace getafix::gen;
+
+//===----------------------------------------------------------------------===//
+// Regression suite
+//===----------------------------------------------------------------------===//
+
+std::vector<Workload> gen::regressionSuite() {
+  std::vector<Workload> Suite;
+  auto Add = [&](const char *Name, bool Reachable, std::string Source) {
+    Workload W;
+    W.Name = Name;
+    W.Source = std::move(Source);
+    W.ExpectReachable = Reachable;
+    Suite.push_back(std::move(W));
+  };
+
+  Add("straightline-pos", true, R"(
+decl g;
+main() begin
+  g := T;
+  if (g) then ERR: skip; fi;
+end
+)");
+  Add("straightline-neg", false, R"(
+decl g;
+main() begin
+  g := T;
+  if (!g) then ERR: skip; fi;
+end
+)");
+  Add("nondet-pos", true, R"(
+main() begin
+  decl x;
+  x := *;
+  if (x) then ERR: skip; fi;
+end
+)");
+  Add("and-or-neg", false, R"(
+main() begin
+  decl x, y;
+  x := *; y := !x;
+  if (x & y) then ERR: skip; fi;
+end
+)");
+  Add("multi-assign-pos", true, R"(
+decl a, b;
+main() begin
+  a, b := T, F;
+  a, b := b, a;
+  if (b & !a) then ERR: skip; fi;
+end
+)");
+  Add("multi-assign-swap-neg", false, R"(
+decl a, b;
+main() begin
+  a, b := *, *;
+  assume(a & !b);
+  a, b := b, a;
+  if (a) then ERR: skip; fi;
+end
+)");
+  Add("call-params-pos", true, R"(
+main() begin
+  decl r;
+  r := both(T, T);
+  if (r) then ERR: skip; fi;
+end
+both(x, y) begin
+  return x & y;
+end
+)");
+  Add("call-params-neg", false, R"(
+main() begin
+  decl r;
+  r := both(T, F);
+  if (r) then ERR: skip; fi;
+end
+both(x, y) begin
+  return x & y;
+end
+)");
+  Add("multi-return-pos", true, R"(
+main() begin
+  decl p, q;
+  p, q := split(T);
+  if (p & !q) then ERR: skip; fi;
+end
+split(x) begin
+  return x, !x;
+end
+)");
+  Add("global-side-effect-pos", true, R"(
+decl g;
+main() begin
+  g := F;
+  call set();
+  if (g) then ERR: skip; fi;
+end
+set() begin
+  g := T;
+end
+)");
+  Add("recursion-parity-pos", true, R"(
+main() begin
+  decl r;
+  r := flipN(T, T, T);
+  if (r) then ERR: skip; fi;
+end
+flipN(b2, b1, b0) begin
+  decl r;
+  if (!b2 & !b1 & !b0) then
+    return T;
+  fi;
+  if (b0) then
+    r := flipN(b2, b1, F);
+    return r;
+  fi;
+  if (b1) then
+    r := flipN(b2, F, T);
+    return r;
+  fi;
+  r := flipN(F, T, T);
+  return r;
+end
+)");
+  Add("recursion-unreachable-neg", false, R"(
+decl g;
+main() begin
+  g := F;
+  call down(T, T);
+  if (g) then ERR: skip; fi;
+end
+down(b1, b0) begin
+  if (b0) then
+    call down(b1, F);
+    return;
+  fi;
+  if (b1) then
+    call down(F, T);
+    return;
+  fi;
+end
+)");
+  Add("while-loop-pos", true, R"(
+decl g;
+main() begin
+  decl x;
+  g := F; x := *;
+  while (!g) do
+    g := x;
+    x := T;
+  od;
+  ERR: skip;
+end
+)");
+  Add("while-false-body-neg", false, R"(
+main() begin
+  while (F) do
+    ERR: skip;
+  od;
+end
+)");
+  Add("assume-blocks-neg", false, R"(
+main() begin
+  decl x;
+  x := *;
+  assume(x & !x);
+  ERR: skip;
+end
+)");
+  Add("goto-pos", true, R"(
+main() begin
+  decl x;
+  x := T;
+  goto Over;
+  x := F;
+Over:
+  if (x) then ERR: skip; fi;
+end
+)");
+  Add("goto-skips-neg", false, R"(
+decl g;
+main() begin
+  g := F;
+  goto Over;
+  g := T;
+Over:
+  if (g) then ERR: skip; fi;
+end
+)");
+  Add("nested-calls-pos", true, R"(
+decl g;
+main() begin
+  g := F;
+  call a();
+  if (g) then ERR: skip; fi;
+end
+a() begin
+  call b();
+end
+b() begin
+  call c();
+end
+c() begin
+  g := T;
+end
+)");
+  Add("callee-locals-fresh-neg", false, R"(
+main() begin
+  decl r;
+  r := probe();
+  if (r) then ERR: skip; fi;
+end
+probe() begin
+  decl x;
+  x := F;
+  return x;
+end
+)");
+  Add("mutual-recursion-pos", true, R"(
+main() begin
+  decl r;
+  r := even(T, F);
+  if (r) then ERR: skip; fi;
+end
+even(b1, b0) begin
+  decl r;
+  if (!b1 & !b0) then return T; fi;
+  r := odd(b1 & b0, !b0);
+  return r;
+end
+odd(b1, b0) begin
+  decl r;
+  if (!b1 & !b0) then return F; fi;
+  r := even(b1 & b0, !b0);
+  return r;
+end
+)");
+  Add("dead-branch-after-return-neg", false, R"(
+main() begin
+  decl x;
+  x := *;
+  call stop(x);
+end
+stop(x) begin
+  return;
+  ERR: skip;
+end
+)");
+  Add("implicit-return-nondet-pos", true, R"(
+main() begin
+  decl r;
+  r := maybe();
+  if (r) then ERR: skip; fi;
+end
+maybe() begin
+  decl unused;
+  unused := T;
+  if (*) then
+    return F;
+  fi;
+end
+)");
+  return Suite;
+}
+
+//===----------------------------------------------------------------------===//
+// SLAM-driver-shaped programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A random boolean expression over the given variable names.
+std::string randomExpr(Rng &R, const std::vector<std::string> &Vars,
+                       unsigned Depth, bool AllowNondet = true) {
+  if (Depth == 0 || R.chance(2, 5)) {
+    // Nondeterministic leaves are disallowed where an expression is
+    // duplicated textually (the driver generator's lock-step invariant
+    // update): two `*` occurrences draw independent values.
+    if (R.chance(1, 12) && AllowNondet)
+      return "*";
+    if (R.chance(1, 12))
+      return R.flip() ? "T" : "F";
+    std::string V = Vars[R.below(Vars.size())];
+    return R.chance(1, 3) ? "!" + V : V;
+  }
+  std::string L = randomExpr(R, Vars, Depth - 1, AllowNondet);
+  std::string Rhs = randomExpr(R, Vars, Depth - 1, AllowNondet);
+  return "(" + L + (R.flip() ? " & " : " | ") + Rhs + ")";
+}
+
+} // namespace
+
+Workload gen::driverProgram(const DriverParams &P) {
+  Rng R(P.Seed * 2654435761u + P.NumProcs);
+  std::string Src;
+
+  // Globals: g0.. plus the invariant pair used by negative targets.
+  std::vector<std::string> Globals;
+  for (unsigned I = 0; I < P.NumGlobals; ++I)
+    Globals.push_back("g" + std::to_string(I));
+  Globals.push_back("invA");
+  Globals.push_back("invB");
+  Src += "decl ";
+  for (size_t I = 0; I < Globals.size(); ++I)
+    Src += (I ? ", " : "") + Globals[I];
+  Src += ";\n";
+
+  auto ProcName = [](unsigned I) { return "proc" + std::to_string(I); };
+
+  // Procedures proc1..procN-1 form an acyclic call structure (procI calls
+  // only procJ with J > I), driver-style: status flags, guarded updates.
+  for (unsigned I = 1; I <= P.NumProcs; ++I) {
+    std::vector<std::string> Vars = Globals;
+    Vars.pop_back(); // The invariant pair is only written in lock-step.
+    Vars.pop_back();
+    Src += ProcName(I) + "(arg) begin\n";
+    std::vector<std::string> Locals{"arg"};
+    for (unsigned L = 0; L + 1 < P.LocalsPerProc; ++L) {
+      std::string Name = "l" + std::to_string(L);
+      Src += "  decl " + Name + ";\n";
+      Locals.push_back(Name);
+    }
+    for (const std::string &L : Locals)
+      Vars.push_back(L);
+
+    for (unsigned S = 0; S < P.StmtsPerProc; ++S) {
+      unsigned Kind = unsigned(R.below(10));
+      if (Kind < 4) {
+        // Guarded assignment, the dominant driver pattern.
+        Src += "  if (" + randomExpr(R, Vars, 2) + ") then\n";
+        Src += "    " + Vars[R.below(Vars.size())] +
+               " := " + randomExpr(R, Vars, 2) + ";\n";
+        Src += "  fi;\n";
+      } else if (Kind < 7) {
+        Src += "  " + Vars[R.below(Vars.size())] +
+               " := " + randomExpr(R, Vars, 2) + ";\n";
+      } else if (Kind < 8) {
+        // Lock-step invariant update (keeps invA == invB).
+        std::string E = randomExpr(R, Vars, 2, /*AllowNondet=*/false);
+        Src += "  invA, invB := " + E + ", " + E + ";\n";
+      } else if (I < P.NumProcs) {
+        // Call a later procedure.
+        unsigned Callee = unsigned(R.range(I + 1, P.NumProcs));
+        Src += "  " + Locals[R.below(Locals.size())] + " := " +
+               ProcName(Callee) + "(" + randomExpr(R, Vars, 1) + ");\n";
+      } else {
+        Src += "  skip;\n";
+      }
+    }
+    Src += "  return " + randomExpr(R, Vars, 1) + ";\n";
+    Src += "end\n";
+  }
+
+  // main: initialize the invariant pair, drive the call chain, then the
+  // target: directly reachable (positive) or behind the invariant
+  // violation (negative).
+  Src += "main() begin\n  decl status;\n";
+  Src += "  invA, invB := F, F;\n";
+  for (unsigned I = 0; I < 3 && I < P.NumProcs; ++I)
+    Src += "  status := " + ProcName(1 + I) + "(status);\n";
+  if (P.Reachable)
+    Src += "  if (status | !status) then\n    ERR: skip;\n  fi;\n";
+  else
+    Src += "  if (invA & !invB) then\n    ERR: skip;\n  fi;\n";
+  Src += "end\n";
+
+  Workload W;
+  W.Name = std::string("driver-") + (P.Reachable ? "pos" : "neg") + "-p" +
+           std::to_string(P.NumProcs) + "-s" + std::to_string(P.Seed);
+  W.Source = std::move(Src);
+  W.ExpectReachable = P.Reachable;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// TERMINATOR-shaped programs
+//===----------------------------------------------------------------------===//
+
+Workload gen::terminatorProgram(const TerminatorParams &P) {
+  Rng R(P.Seed * 0x9e3779b9u + P.CounterBits);
+  std::string Src;
+
+  std::string Decl = "decl par";
+  for (unsigned I = 0; I < P.CounterBits; ++I)
+    Decl += ", c" + std::to_string(I);
+  for (unsigned I = 0; I < P.NumDeadVars; ++I)
+    Decl += ", d" + std::to_string(I);
+  Src += Decl + ";\n";
+
+  auto AllOnes = [&] {
+    std::string E;
+    for (unsigned I = 0; I < P.CounterBits; ++I)
+      E += (I ? " & c" : "c") + std::to_string(I);
+    return E;
+  };
+
+  // Ripple-carry increment plus a parity witness.
+  Src += "inc() begin\n";
+  Src += "  par := !par;\n";
+  std::string Body;
+  for (unsigned I = P.CounterBits; I-- > 0;) {
+    std::string Bit = "c" + std::to_string(I);
+    std::string Inner = I + 1 < P.CounterBits ? Body : std::string("skip;\n");
+    Body = "if (!" + Bit + ") then\n" + Bit + " := T;\nelse\n" + Bit +
+           " := F;\n" + Inner + "fi;\n";
+  }
+  Src += Body;
+  Src += "end\n";
+
+  Src += "main() begin\n";
+  // Zero the counter and parity.
+  Src += "  par := F;\n";
+  for (unsigned I = 0; I < P.CounterBits; ++I)
+    Src += "  c" + std::to_string(I) + " := F;\n";
+  // Walk the counter to all-ones; the dead variables get correlated with
+  // counter bits and then killed in the style under test.
+  Src += "  while (!(" + AllOnes() + ")) do\n";
+  Src += "    call inc();\n";
+  for (unsigned I = 0; I < P.NumDeadVars; ++I) {
+    std::string D = "d" + std::to_string(I);
+    std::string CBit = "c" + std::to_string(R.below(P.CounterBits));
+    std::string CBit2 = "c" + std::to_string(R.below(P.CounterBits));
+    Src += "    " + D + " := " + CBit + " & !" + CBit2 + " | par;\n";
+    if (P.Style == DeadVarStyle::Iterative) {
+      // `dead d` modelled by iterated conditional nondet assignment.
+      Src += "    if (*) then\n      " + D + " := T;\n    else\n      " + D +
+             " := F;\n    fi;\n";
+    } else if (P.Style == DeadVarStyle::Schoose) {
+      Src += "    " + D + " := *;\n"; // schoose-style kill.
+    } else {
+      Src += "    dead " + D + ";\n"; // Native dead statement.
+    }
+  }
+  Src += "  od;\n";
+  // 2^B - 1 increments happened, so parity must be odd; the negative
+  // target sits behind the (provably false) even-parity claim.
+  if (P.Reachable)
+    Src += "  if (par) then\n    ERR: skip;\n  fi;\n";
+  else
+    Src += "  if (!par) then\n    ERR: skip;\n  fi;\n";
+  Src += "end\n";
+
+  Workload W;
+  W.Name = std::string("terminator-") +
+           (P.Style == DeadVarStyle::Iterative
+                ? "iter"
+                : P.Style == DeadVarStyle::Schoose ? "schoose" : "dead") +
+           "-b" +
+           std::to_string(P.CounterBits) + (P.Reachable ? "-pos" : "-neg");
+  W.Source = std::move(Src);
+  W.ExpectReachable = P.Reachable;
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Bluetooth driver model (Section 6.2 / Figure 3)
+//===----------------------------------------------------------------------===//
+
+std::string gen::bluetoothModel(unsigned NumAdders, unsigned NumStoppers) {
+  // Shared state: init latch, 2-bit pendingIo counter, stopping flag,
+  // stopping event, driver-stopped flag, plus two scratch flags to match
+  // the published model's 8 shared globals.
+  std::string Src = "shared decl ini, p0, p1, stopF, stopE, stopped, "
+                    "scr1, scr2;\n";
+
+  // Common procedure bodies. pendingIo starts at 1 (the driver's own
+  // reference); whichever thread runs first installs it. The install is a
+  // single simultaneous assignment (p := ini ? p : 1) so that a context
+  // switch cannot land between the test and the write — a non-atomic init
+  // would reintroduce a reset race that breaks the Figure-3 pattern.
+  const char *InitBlock =
+      "  ini, p0, p1 := T, (ini & p0) | !ini, ini & p1;\n";
+  // The increment path checks the stopping flag only *after* bumping the
+  // counter, and its failure path decrements — while the caller's shared
+  // exit path decrements again. That reference miscount is the bug that a
+  // second adder exposes (Figure 3's two-adders row).
+  const char *IoProcs = R"(ioInc() begin
+  if (!p0) then
+    p0 := T;
+  else
+    if (!p1) then
+      p0, p1 := F, T;
+    fi;
+  fi;
+  if (stopF) then
+    call ioDec();
+    return F;
+  fi;
+  return T;
+end
+ioDec() begin
+  if (p0) then
+    p0 := F;
+  else
+    if (p1) then
+      p0, p1 := T, F;
+    fi;
+  fi;
+  if (!p0 & !p1) then
+    stopE := T;
+  fi;
+end
+)";
+
+  for (unsigned I = 0; I < NumAdders; ++I) {
+    Src += "thread\n";
+    Src += "main() begin\n  decl status;\n";
+    Src += InitBlock;
+    Src += R"(  status := ioInc();
+  if (status) then
+    if (stopped) then
+      ERR: skip;
+    fi;
+  fi;
+  call ioDec();
+end
+)";
+    Src += IoProcs;
+    Src += "end\n";
+  }
+  for (unsigned I = 0; I < NumStoppers; ++I) {
+    Src += "thread\n";
+    Src += "main() begin\n";
+    Src += InitBlock;
+    Src += R"(  stopF := T;
+  call ioDec();
+  assume(stopE);
+  stopped := T;
+end
+)";
+    Src += IoProcs;
+    Src += "end\n";
+  }
+  return Src;
+}

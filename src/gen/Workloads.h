@@ -1,0 +1,84 @@
+//===- Workloads.h - Benchmark program generators ---------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators for the paper's benchmark families (DESIGN.md's
+/// substitution table):
+///
+///   - `regressionSuite()` — small feature-test programs with known
+///     positive/negative reachability (the SLAM regression suite's role).
+///   - `driverProgram()` — SLAM-device-driver-shaped programs: many
+///     procedures, flag-driven mostly-deterministic control, shallow data;
+///     reachable and unreachable targets by construction (an invariant pair
+///     of globals is kept equal; negative targets sit behind its violation).
+///   - `terminatorProgram()` — TERMINATOR-shaped programs: wide binary
+///     counters walked by loops, producing large BDDs; `dead`-variable
+///     modelling in the paper's two styles (`Iterative` nondet-kill chains
+///     vs a single `schoose`-style nondet assignment).
+///   - `bluetoothModel()` — the Windows NT Bluetooth driver model (adders /
+///     stoppers over pendingIo/stopping state) whose Figure-3 pattern the
+///     concurrent engine must reproduce.
+///
+/// All generators return concrete syntax (parse with bp::parseProgram) so
+/// benchmarks exercise the full front-end, and a designated target label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_GEN_WORKLOADS_H
+#define GETAFIX_GEN_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace gen {
+
+/// A generated benchmark case.
+struct Workload {
+  std::string Name;
+  std::string Source;
+  std::string TargetLabel = "ERR";
+  bool ExpectReachable = false;
+  bool ExpectKnown = true; ///< False when ground truth is left to oracles.
+};
+
+/// The regression family: pairs of positive and negative feature tests.
+std::vector<Workload> regressionSuite();
+
+struct DriverParams {
+  unsigned NumProcs = 20;
+  unsigned NumGlobals = 6;
+  unsigned LocalsPerProc = 4;
+  unsigned StmtsPerProc = 12;
+  bool Reachable = true;
+  uint64_t Seed = 1;
+};
+Workload driverProgram(const DriverParams &P);
+
+/// `dead`-statement modelling: the paper's two hand encodings (Figure 2's
+/// iterative / schoose rows) plus the native `dead` statement this
+/// front-end supports directly.
+enum class DeadVarStyle { Iterative, Schoose, Native };
+
+struct TerminatorParams {
+  unsigned CounterBits = 8; ///< Loop-walked binary counter width.
+  unsigned NumDeadVars = 6; ///< Variables "killed" between loop phases.
+  DeadVarStyle Style = DeadVarStyle::Schoose;
+  bool Reachable = false;
+  uint64_t Seed = 1;
+};
+Workload terminatorProgram(const TerminatorParams &P);
+
+/// Concurrent Bluetooth driver model: parse with parseConcurrentProgram.
+/// Figure-3 configurations: (1,1) safe; (1,2) fails at >= 3 switches;
+/// (2,1) fails at >= 4; (2,2) fails at >= 3.
+std::string bluetoothModel(unsigned NumAdders, unsigned NumStoppers);
+
+} // namespace gen
+} // namespace getafix
+
+#endif // GETAFIX_GEN_WORKLOADS_H

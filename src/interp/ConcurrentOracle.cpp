@@ -1,0 +1,319 @@
+//===- ConcurrentOracle.cpp - Explicit bounded-context search -------------===//
+
+#include "interp/ConcurrentOracle.h"
+#include "interp/Eval.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace getafix;
+using namespace getafix::interp;
+using namespace getafix::bp;
+
+namespace {
+
+struct Frame {
+  uint32_t Proc;
+  uint32_t Pc;
+  uint32_t Locals;
+
+  bool operator==(const Frame &O) const {
+    return Proc == O.Proc && Pc == O.Pc && Locals == O.Locals;
+  }
+};
+
+struct ThreadState {
+  bool Started = false;
+  std::vector<Frame> Stack; ///< Empty after main returns (finished).
+
+  bool finished() const { return Started && Stack.empty(); }
+};
+
+struct Config {
+  uint32_t Switches = 0;
+  uint32_t Active = 0;
+  uint32_t Shared = 0;
+  std::vector<ThreadState> Threads;
+};
+
+struct ConfigKey {
+  std::vector<uint32_t> Words;
+
+  bool operator==(const ConfigKey &O) const { return Words == O.Words; }
+};
+
+struct ConfigKeyHash {
+  size_t operator()(const ConfigKey &K) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint32_t W : K.Words) {
+      H ^= W;
+      H *= 0x100000001b3ull;
+    }
+    return size_t(H);
+  }
+};
+
+ConfigKey serialize(const Config &C) {
+  ConfigKey Key;
+  Key.Words.push_back(C.Switches);
+  Key.Words.push_back(C.Active);
+  Key.Words.push_back(C.Shared);
+  for (const ThreadState &T : C.Threads) {
+    Key.Words.push_back(T.Started ? 1 : 0);
+    Key.Words.push_back(uint32_t(T.Stack.size()));
+    for (const Frame &F : T.Stack) {
+      Key.Words.push_back(F.Proc);
+      Key.Words.push_back(F.Pc);
+      Key.Words.push_back(F.Locals);
+    }
+  }
+  return Key;
+}
+
+class Searcher {
+public:
+  Searcher(const ConcurrentProgram &Conc, const std::vector<ProgramCfg> &Cfgs,
+           const ConcurrentQuery &Query, const ConcurrentBounds &Bounds)
+      : Conc(Conc), Cfgs(Cfgs), Query(Query), Bounds(Bounds) {}
+
+  ConcurrentOracleResult run();
+
+private:
+  void enqueue(Config C);
+  void expand(const Config &C);
+  void stepActive(const Config &C);
+  void switchThread(const Config &C);
+  void startThreadConfigs(const Config &C, unsigned Thread);
+
+  const ConcurrentProgram &Conc;
+  const std::vector<ProgramCfg> &Cfgs;
+  ConcurrentQuery Query;
+  ConcurrentBounds Bounds;
+
+  std::deque<Config> Worklist;
+  std::unordered_set<ConfigKey, ConfigKeyHash> Seen;
+  bool Found = false;
+  bool BoundHit = false;
+};
+
+} // namespace
+
+void Searcher::enqueue(Config C) {
+  if (Found)
+    return;
+  if (Seen.size() >= Bounds.MaxConfigs) {
+    BoundHit = true;
+    return;
+  }
+  ConfigKey Key = serialize(C);
+  if (!Seen.insert(std::move(Key)).second)
+    return;
+
+  const ThreadState &Active = C.Threads[C.Active];
+  if (C.Active == Query.Thread && !Active.Stack.empty()) {
+    const Frame &Top = Active.Stack.back();
+    if (Top.Proc == Query.ProcId && Top.Pc == Query.Pc) {
+      Found = true;
+      return;
+    }
+  }
+  Worklist.push_back(std::move(C));
+}
+
+void Searcher::startThreadConfigs(const Config &C, unsigned Thread) {
+  const Program &Prog = *Conc.Threads[Thread];
+  const Proc &Main = Prog.main();
+  unsigned LocalBits = Main.numLocalSlots();
+  assert(LocalBits <= 16 && "too many locals for the explicit oracle");
+  for (uint32_t L = 0; L < (1u << LocalBits); ++L) {
+    Config Next = C;
+    Next.Switches = C.Switches + 1;
+    Next.Active = Thread;
+    Next.Threads[Thread].Started = true;
+    Next.Threads[Thread].Stack = {Frame{Prog.MainId, 0, L}};
+    enqueue(std::move(Next));
+  }
+}
+
+void Searcher::switchThread(const Config &C) {
+  if (C.Switches >= Query.MaxContextSwitches)
+    return;
+  for (unsigned T = 0; T < C.Threads.size(); ++T) {
+    if (T == C.Active)
+      continue;
+    // Round-robin: context i belongs to thread i mod n.
+    if (Query.RoundRobin && T != (C.Switches + 1) % C.Threads.size())
+      continue;
+    const ThreadState &Target = C.Threads[T];
+    if (!Target.Started) {
+      startThreadConfigs(C, T);
+      continue;
+    }
+    // Free scheduling never gains from handing a context to a finished
+    // thread (the globals pass through unchanged, so the run can be
+    // shortened); round-robin runs *must* pass through it.
+    if (Target.finished() && !Query.RoundRobin)
+      continue;
+    Config Next = C;
+    Next.Switches = C.Switches + 1;
+    Next.Active = T;
+    enqueue(std::move(Next));
+  }
+}
+
+void Searcher::stepActive(const Config &C) {
+  const ThreadState &Active = C.Threads[C.Active];
+  if (Active.Stack.empty())
+    return; // Finished thread: no local moves.
+
+  const Frame &Top = Active.Stack.back();
+  const ProgramCfg &Cfg = Cfgs[C.Active];
+  const ProcCfg &PC = Cfg.Procs[Top.Proc];
+  uint32_t Locals = Top.Locals;
+  uint32_t Shared = C.Shared;
+
+  // Return from the current procedure.
+  if (const CfgExit *Exit = PC.exitAt(Top.Pc)) {
+    unsigned NumChoices = countNondet(Exit->ReturnExprs);
+    for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+      std::vector<bool> Values =
+          evalExprs(Exit->ReturnExprs, Locals, Shared, Choice);
+      Config Next = C;
+      ThreadState &T = Next.Threads[C.Active];
+      T.Stack.pop_back();
+      if (!T.Stack.empty()) {
+        Frame &Caller = T.Stack.back();
+        const ProcCfg &CallerCfg = Cfg.Procs[Caller.Proc];
+        assert(CallerCfg.OutEdges[Caller.Pc].size() == 1 &&
+               "call sites have exactly one outgoing edge");
+        const CfgEdge &E =
+            CallerCfg.Edges[CallerCfg.OutEdges[Caller.Pc][0]];
+        assert(E.K == CfgEdge::Kind::Call && "resuming a non-call site");
+        for (size_t I = 0; I < E.Lhs.size(); ++I) {
+          const VarRef &Ref = E.Lhs[I];
+          if (Ref.IsGlobal)
+            Next.Shared = setBit(Next.Shared, Ref.Index, Values[I]);
+          else
+            Caller.Locals = setBit(Caller.Locals, Ref.Index, Values[I]);
+        }
+        Caller.Pc = E.To;
+      }
+      enqueue(std::move(Next));
+    }
+  }
+
+  for (unsigned EdgeIdx : PC.OutEdges[Top.Pc]) {
+    const CfgEdge &E = PC.Edges[EdgeIdx];
+    switch (E.K) {
+    case CfgEdge::Kind::Assume: {
+      unsigned NumChoices = E.Cond ? countNondet(*E.Cond) : 0;
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        bool Take = true;
+        if (E.Cond) {
+          unsigned ChoiceIdx = 0;
+          Take = evalExpr(*E.Cond, Locals, Shared, Choice, ChoiceIdx) !=
+                 E.NegateCond;
+        }
+        if (!Take)
+          continue;
+        Config Next = C;
+        Next.Threads[C.Active].Stack.back().Pc = E.To;
+        enqueue(std::move(Next));
+      }
+      break;
+    }
+    case CfgEdge::Kind::Assign: {
+      unsigned NumChoices = countNondet(E.Rhs);
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        std::vector<bool> Values = evalExprs(E.Rhs, Locals, Shared, Choice);
+        Config Next = C;
+        Frame &F = Next.Threads[C.Active].Stack.back();
+        for (size_t I = 0; I < E.Lhs.size(); ++I) {
+          const VarRef &Ref = E.Lhs[I];
+          if (Ref.IsGlobal)
+            Next.Shared = setBit(Next.Shared, Ref.Index, Values[I]);
+          else
+            F.Locals = setBit(F.Locals, Ref.Index, Values[I]);
+        }
+        F.Pc = E.To;
+        enqueue(std::move(Next));
+      }
+      break;
+    }
+    case CfgEdge::Kind::Call: {
+      if (Active.Stack.size() >= Bounds.MaxStackDepth) {
+        BoundHit = true;
+        break;
+      }
+      const Program &Prog = *Conc.Threads[C.Active];
+      const Proc &Callee = Prog.proc(E.CalleeId);
+      unsigned NumParams = unsigned(Callee.Params.size());
+      unsigned FreeBits = Callee.numLocalSlots() - NumParams;
+      unsigned NumChoices = countNondet(E.Rhs);
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        std::vector<bool> Args = evalExprs(E.Rhs, Locals, Shared, Choice);
+        uint32_t ParamVal = 0;
+        for (size_t I = 0; I < Args.size(); ++I)
+          ParamVal = setBit(ParamVal, unsigned(I), Args[I]);
+        for (uint32_t Free = 0; Free < (1u << FreeBits); ++Free) {
+          Config Next = C;
+          Next.Threads[C.Active].Stack.push_back(
+              Frame{E.CalleeId, 0, ParamVal | (Free << NumParams)});
+          enqueue(std::move(Next));
+        }
+      }
+      break;
+    }
+    }
+  }
+}
+
+void Searcher::expand(const Config &C) {
+  stepActive(C);
+  if (!Found)
+    switchThread(C);
+}
+
+ConcurrentOracleResult Searcher::run() {
+  // Initial configurations: any thread may own context 0; shared globals
+  // start all-false (deterministically — matching the symbolic engine's
+  // stitching requirement, see ConcReach.cpp); the first thread's locals
+  // are nondeterministic; other threads are unstarted (Section 5's lazy
+  // first-switch semantics).
+  unsigned FirstThreads = Query.RoundRobin ? 1 : Conc.numThreads();
+  for (unsigned T0 = 0; T0 < FirstThreads && !Found; ++T0) {
+    const Program &Prog = *Conc.Threads[T0];
+    unsigned LocalBits = Prog.main().numLocalSlots();
+    for (uint32_t L = 0; L < (1u << LocalBits) && !Found; ++L) {
+      Config C;
+      C.Switches = 0;
+      C.Active = T0;
+      C.Shared = 0;
+      C.Threads.resize(Conc.numThreads());
+      C.Threads[T0].Started = true;
+      C.Threads[T0].Stack = {Frame{Prog.MainId, 0, L}};
+      enqueue(std::move(C));
+    }
+  }
+
+  while (!Worklist.empty() && !Found) {
+    Config C = std::move(Worklist.front());
+    Worklist.pop_front();
+    expand(C);
+  }
+
+  ConcurrentOracleResult Result;
+  Result.Reachable = Found;
+  Result.Exhaustive = !BoundHit || Found;
+  Result.Configs = Seen.size();
+  return Result;
+}
+
+ConcurrentOracleResult
+interp::concurrentReachability(const ConcurrentProgram &Conc,
+                               const std::vector<ProgramCfg> &Cfgs,
+                               const ConcurrentQuery &Query,
+                               const ConcurrentBounds &Bounds) {
+  assert(Cfgs.size() == Conc.numThreads() && "one cfg per thread");
+  return Searcher(Conc, Cfgs, Query, Bounds).run();
+}

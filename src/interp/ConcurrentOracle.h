@@ -1,0 +1,66 @@
+//===- ConcurrentOracle.h - Explicit bounded-context search -----*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A brute-force explicit-state engine for k-bounded context-switching
+/// reachability of concurrent Boolean programs (Section 5 semantics:
+/// interleaved threads over shared globals, a context switch may happen
+/// between any two steps, threads start lazily with nondeterministic
+/// locals). Because recursion makes the explicit configuration space
+/// infinite, the search carries stack-depth and configuration-count bounds:
+/// within those bounds the answer "reachable" is exact, and "unreachable"
+/// is exact only when the search finished without hitting a bound (the
+/// `Exhaustive` flag). Property tests use it as ground truth on small
+/// programs against the symbolic fixed-point algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_INTERP_CONCURRENT_ORACLE_H
+#define GETAFIX_INTERP_CONCURRENT_ORACLE_H
+
+#include "bp/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace getafix {
+namespace interp {
+
+struct ConcurrentQuery {
+  unsigned Thread = 0; ///< Thread index owning the target.
+  unsigned ProcId = 0;
+  unsigned Pc = 0;
+  unsigned MaxContextSwitches = 2;
+  /// Restrict schedules to round-robin order (context i runs thread
+  /// i mod n). Unlike the free-schedule search, a finished thread may hold
+  /// its context as a no-op (the round must pass through it), matching the
+  /// symbolic round-robin semantics.
+  bool RoundRobin = false;
+};
+
+struct ConcurrentBounds {
+  unsigned MaxStackDepth = 8;
+  uint64_t MaxConfigs = 2'000'000;
+};
+
+struct ConcurrentOracleResult {
+  bool Reachable = false;
+  bool Exhaustive = false; ///< Search completed without hitting a bound.
+  uint64_t Configs = 0;    ///< Distinct configurations explored.
+};
+
+/// Runs the bounded explicit search. \p Cfgs must hold one ProgramCfg per
+/// thread of \p Conc, in order.
+ConcurrentOracleResult
+concurrentReachability(const bp::ConcurrentProgram &Conc,
+                       const std::vector<bp::ProgramCfg> &Cfgs,
+                       const ConcurrentQuery &Query,
+                       const ConcurrentBounds &Bounds = ConcurrentBounds());
+
+} // namespace interp
+} // namespace getafix
+
+#endif // GETAFIX_INTERP_CONCURRENT_ORACLE_H

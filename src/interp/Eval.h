@@ -1,0 +1,104 @@
+//===- Eval.h - Explicit expression evaluation ------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for explicit-state execution of Boolean programs. Valuations are
+/// bitmasks (bit i = variable slot i), which caps explicit engines at 32
+/// locals and 32 globals — plenty for oracle-sized inputs. Nondeterministic
+/// `*` subexpressions are resolved against an explicit choice vector; the
+/// engines enumerate all choice vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_INTERP_EVAL_H
+#define GETAFIX_INTERP_EVAL_H
+
+#include "bp/Ast.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace getafix {
+namespace interp {
+
+using Valuation = uint32_t;
+
+inline bool getVar(const bp::VarRef &Ref, Valuation Locals,
+                   Valuation Globals) {
+  Valuation Mask = 1u << Ref.Index;
+  return ((Ref.IsGlobal ? Globals : Locals) & Mask) != 0;
+}
+
+inline Valuation setBit(Valuation V, unsigned Index, bool Value) {
+  Valuation Mask = 1u << Index;
+  return Value ? (V | Mask) : (V & ~Mask);
+}
+
+/// Counts `*` occurrences in \p E.
+inline unsigned countNondet(const bp::Expr &E) {
+  unsigned N = E.Kind == bp::ExprKind::Nondet ? 1 : 0;
+  if (E.Lhs)
+    N += countNondet(*E.Lhs);
+  if (E.Rhs)
+    N += countNondet(*E.Rhs);
+  return N;
+}
+
+/// Evaluates \p E; `*` nodes consume successive bits of \p Choices starting
+/// at \p ChoiceIdx (advanced in traversal order).
+inline bool evalExpr(const bp::Expr &E, Valuation Locals, Valuation Globals,
+                     uint32_t Choices, unsigned &ChoiceIdx) {
+  switch (E.Kind) {
+  case bp::ExprKind::True:
+    return true;
+  case bp::ExprKind::False:
+    return false;
+  case bp::ExprKind::Nondet:
+    return ((Choices >> ChoiceIdx++) & 1) != 0;
+  case bp::ExprKind::Var:
+    return getVar(E.Ref, Locals, Globals);
+  case bp::ExprKind::Not:
+    return !evalExpr(*E.Lhs, Locals, Globals, Choices, ChoiceIdx);
+  case bp::ExprKind::And: {
+    // No short-circuit: both sides must consume their choice bits so that
+    // the traversal order stays aligned with countNondet.
+    bool L = evalExpr(*E.Lhs, Locals, Globals, Choices, ChoiceIdx);
+    bool R = evalExpr(*E.Rhs, Locals, Globals, Choices, ChoiceIdx);
+    return L && R;
+  }
+  case bp::ExprKind::Or: {
+    bool L = evalExpr(*E.Lhs, Locals, Globals, Choices, ChoiceIdx);
+    bool R = evalExpr(*E.Rhs, Locals, Globals, Choices, ChoiceIdx);
+    return L || R;
+  }
+  }
+  return false;
+}
+
+/// Total nondet bits across a list of expressions.
+inline unsigned countNondet(const std::vector<const bp::Expr *> &Exprs) {
+  unsigned N = 0;
+  for (const bp::Expr *E : Exprs)
+    N += countNondet(*E);
+  return N;
+}
+
+/// Evaluates a list of expressions under one choice vector.
+inline std::vector<bool> evalExprs(const std::vector<const bp::Expr *> &Exprs,
+                                   Valuation Locals, Valuation Globals,
+                                   uint32_t Choices) {
+  std::vector<bool> Values;
+  Values.reserve(Exprs.size());
+  unsigned ChoiceIdx = 0;
+  for (const bp::Expr *E : Exprs)
+    Values.push_back(evalExpr(*E, Locals, Globals, Choices, ChoiceIdx));
+  return Values;
+}
+
+} // namespace interp
+} // namespace getafix
+
+#endif // GETAFIX_INTERP_EVAL_H

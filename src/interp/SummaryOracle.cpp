@@ -1,0 +1,262 @@
+//===- SummaryOracle.cpp - Exact explicit summary reachability ------------===//
+
+#include "interp/SummaryOracle.h"
+
+#include <array>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace getafix;
+using namespace getafix::interp;
+using namespace getafix::bp;
+
+namespace {
+
+struct ArrayHash {
+  size_t operator()(const std::array<uint32_t, 6> &A) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint32_t V : A) {
+      H ^= V;
+      H *= 0x100000001b3ull;
+    }
+    return size_t(H);
+  }
+};
+
+/// (proc, entryLocals, entryGlobals) naming one procedure instantiation.
+using EntryKey = std::array<uint32_t, 3>;
+
+struct EntryKeyHash {
+  size_t operator()(const EntryKey &A) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint32_t V : A) {
+      H ^= V;
+      H *= 0x100000001b3ull;
+    }
+    return size_t(H);
+  }
+};
+
+/// A caller waiting for summaries of some callee instantiation.
+struct CallSite {
+  uint32_t Proc;
+  uint32_t EntryL;
+  uint32_t EntryG;
+  uint32_t EdgeIdx; ///< Call edge in the caller's CFG.
+  uint32_t Locals;  ///< Caller locals at the call.
+};
+
+/// An entry-to-exit summary of a callee instantiation.
+struct ExitState {
+  uint32_t ExitPc;
+  uint32_t Locals;
+  uint32_t Globals;
+};
+
+class Tabulator {
+public:
+  Tabulator(const ProgramCfg &Cfg, unsigned TargetProcId, unsigned TargetPc)
+      : Cfg(Cfg), Prog(*Cfg.Prog), TargetProcId(TargetProcId),
+        TargetPc(TargetPc) {}
+
+  OracleResult run();
+
+private:
+  void addPathEdge(uint32_t Proc, uint32_t EntryL, uint32_t EntryG,
+                   uint32_t Pc, uint32_t Locals, uint32_t Globals);
+  void process(const std::array<uint32_t, 6> &Edge);
+  void applyReturn(const CallSite &Site, const ExitState &Exit,
+                   uint32_t CalleeProc);
+
+  unsigned localBits(unsigned Proc) const {
+    return Prog.proc(Proc).numLocalSlots();
+  }
+
+  const ProgramCfg &Cfg;
+  const Program &Prog;
+  unsigned TargetProcId;
+  unsigned TargetPc;
+
+  std::unordered_set<std::array<uint32_t, 6>, ArrayHash> Seen;
+  std::deque<std::array<uint32_t, 6>> Worklist;
+  std::unordered_map<EntryKey, std::vector<CallSite>, EntryKeyHash> Callers;
+  std::unordered_map<EntryKey, std::vector<ExitState>, EntryKeyHash>
+      Summaries;
+  std::unordered_set<std::array<uint32_t, 6>, ArrayHash> SummarySet;
+  bool Found = false;
+  uint64_t NumSummaries = 0;
+};
+
+} // namespace
+
+void Tabulator::addPathEdge(uint32_t Proc, uint32_t EntryL, uint32_t EntryG,
+                            uint32_t Pc, uint32_t Locals, uint32_t Globals) {
+  std::array<uint32_t, 6> Edge = {Proc, EntryL, EntryG, Pc, Locals, Globals};
+  if (!Seen.insert(Edge).second)
+    return;
+  if (Proc == TargetProcId && Pc == TargetPc)
+    Found = true;
+  Worklist.push_back(Edge);
+}
+
+void Tabulator::applyReturn(const CallSite &Site, const ExitState &Exit,
+                            uint32_t CalleeProc) {
+  const ProcCfg &CalleeCfg = Cfg.Procs[CalleeProc];
+  const CfgExit *ExitInfo = CalleeCfg.exitAt(Exit.ExitPc);
+  assert(ExitInfo && "summary exit pc is not an exit");
+  const CfgEdge &CallEdge = Cfg.Procs[Site.Proc].Edges[Site.EdgeIdx];
+  assert(CallEdge.K == CfgEdge::Kind::Call && "call site edge mismatch");
+
+  unsigned NumChoices = countNondet(ExitInfo->ReturnExprs);
+  assert(NumChoices <= 20 && "too many nondet bits in return expressions");
+  for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+    std::vector<bool> Values =
+        evalExprs(ExitInfo->ReturnExprs, Exit.Locals, Exit.Globals, Choice);
+    assert(Values.size() == CallEdge.Lhs.size() &&
+           "return arity mismatch survived sema");
+    uint32_t NewLocals = Site.Locals;
+    uint32_t NewGlobals = Exit.Globals;
+    for (size_t I = 0; I < CallEdge.Lhs.size(); ++I) {
+      const VarRef &Ref = CallEdge.Lhs[I];
+      if (Ref.IsGlobal)
+        NewGlobals = setBit(NewGlobals, Ref.Index, Values[I]);
+      else
+        NewLocals = setBit(NewLocals, Ref.Index, Values[I]);
+    }
+    addPathEdge(Site.Proc, Site.EntryL, Site.EntryG, CallEdge.To, NewLocals,
+                NewGlobals);
+  }
+}
+
+void Tabulator::process(const std::array<uint32_t, 6> &Edge) {
+  auto [ProcId, EntryL, EntryG, Pc, Locals, Globals] =
+      std::tuple{Edge[0], Edge[1], Edge[2], Edge[3], Edge[4], Edge[5]};
+  const ProcCfg &PC = Cfg.Procs[ProcId];
+
+  // Exit: record a summary and resume waiting callers.
+  if (PC.isExit(Pc)) {
+    std::array<uint32_t, 6> Key = {ProcId, EntryL, EntryG, Pc, Locals,
+                                   Globals};
+    if (SummarySet.insert(Key).second) {
+      ++NumSummaries;
+      ExitState Exit{Pc, Locals, Globals};
+      EntryKey EK{ProcId, EntryL, EntryG};
+      Summaries[EK].push_back(Exit);
+      for (const CallSite &Site : Callers[EK])
+        applyReturn(Site, Exit, ProcId);
+    }
+  }
+
+  for (unsigned EdgeIdx : PC.OutEdges[Pc]) {
+    const CfgEdge &E = PC.Edges[EdgeIdx];
+    switch (E.K) {
+    case CfgEdge::Kind::Assume: {
+      if (!E.Cond) {
+        addPathEdge(ProcId, EntryL, EntryG, E.To, Locals, Globals);
+        break;
+      }
+      unsigned NumChoices = countNondet(*E.Cond);
+      assert(NumChoices <= 20 && "too many nondet bits in condition");
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        unsigned ChoiceIdx = 0;
+        bool Value = evalExpr(*E.Cond, Locals, Globals, Choice, ChoiceIdx);
+        if (Value != E.NegateCond)
+          addPathEdge(ProcId, EntryL, EntryG, E.To, Locals, Globals);
+      }
+      break;
+    }
+    case CfgEdge::Kind::Assign: {
+      unsigned NumChoices = countNondet(E.Rhs);
+      assert(NumChoices <= 20 && "too many nondet bits in assignment");
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        std::vector<bool> Values = evalExprs(E.Rhs, Locals, Globals, Choice);
+        uint32_t NewLocals = Locals;
+        uint32_t NewGlobals = Globals;
+        for (size_t I = 0; I < E.Lhs.size(); ++I) {
+          const VarRef &Ref = E.Lhs[I];
+          if (Ref.IsGlobal)
+            NewGlobals = setBit(NewGlobals, Ref.Index, Values[I]);
+          else
+            NewLocals = setBit(NewLocals, Ref.Index, Values[I]);
+        }
+        addPathEdge(ProcId, EntryL, EntryG, E.To, NewLocals, NewGlobals);
+      }
+      break;
+    }
+    case CfgEdge::Kind::Call: {
+      uint32_t Callee = E.CalleeId;
+      const Proc &CalleeProc = Prog.proc(Callee);
+      unsigned NumParams = unsigned(CalleeProc.Params.size());
+      unsigned NumSlots = CalleeProc.numLocalSlots();
+      unsigned FreeBits = NumSlots - NumParams;
+      assert(FreeBits <= 20 && "too many uninitialized callee locals");
+      unsigned NumChoices = countNondet(E.Rhs);
+      assert(NumChoices <= 20 && "too many nondet bits in call arguments");
+
+      for (uint32_t Choice = 0; Choice < (1u << NumChoices); ++Choice) {
+        std::vector<bool> Args = evalExprs(E.Rhs, Locals, Globals, Choice);
+        uint32_t ParamVal = 0;
+        for (size_t I = 0; I < Args.size(); ++I)
+          ParamVal = setBit(ParamVal, unsigned(I), Args[I]);
+        // Uninitialized callee locals take every value (nondet).
+        for (uint32_t Free = 0; Free < (1u << FreeBits); ++Free) {
+          uint32_t CalleeLocals = ParamVal | (Free << NumParams);
+          EntryKey EK{Callee, CalleeLocals, Globals};
+          CallSite Site{ProcId, EntryL, EntryG, EdgeIdx, Locals};
+          Callers[EK].push_back(Site);
+          addPathEdge(Callee, CalleeLocals, Globals, 0, CalleeLocals,
+                      Globals);
+          for (const ExitState &Exit : Summaries[EK])
+            applyReturn(Site, Exit, Callee);
+        }
+      }
+      break;
+    }
+    }
+    if (Found)
+      return;
+  }
+}
+
+OracleResult Tabulator::run() {
+  const Proc &Main = Prog.main();
+  unsigned GlobalBits = Prog.numGlobals();
+  unsigned MainLocalBits = Main.numLocalSlots();
+  assert(GlobalBits <= 20 && MainLocalBits <= 20 &&
+         "oracle requires small variable counts");
+
+  // Initial states: Init constrains only the program counter (Section 4);
+  // globals and main's locals start nondeterministic.
+  for (uint32_t G = 0; G < (1u << GlobalBits); ++G)
+    for (uint32_t L = 0; L < (1u << MainLocalBits); ++L)
+      addPathEdge(Prog.MainId, L, G, 0, L, G);
+
+  while (!Worklist.empty() && !Found) {
+    std::array<uint32_t, 6> Edge = Worklist.front();
+    Worklist.pop_front();
+    process(Edge);
+  }
+
+  OracleResult Result;
+  Result.Reachable = Found;
+  Result.PathEdges = Seen.size();
+  Result.Summaries = NumSummaries;
+  return Result;
+}
+
+OracleResult interp::summaryReachability(const ProgramCfg &Cfg,
+                                         unsigned TargetProcId,
+                                         unsigned TargetPc) {
+  return Tabulator(Cfg, TargetProcId, TargetPc).run();
+}
+
+OracleResult
+interp::summaryReachabilityOfLabel(const ProgramCfg &Cfg,
+                                   const std::string &Label) {
+  unsigned ProcId = 0, Pc = 0;
+  if (!Cfg.findLabelPc(Label, ProcId, Pc))
+    return OracleResult{};
+  return summaryReachability(Cfg, ProcId, Pc);
+}

@@ -1,0 +1,60 @@
+//===- SummaryOracle.h - Exact explicit summary reachability ----*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact, terminating, explicit-state reachability engine for recursive
+/// Boolean programs built on the classical summary/tabulation algorithm
+/// (Sharir–Pnueli / RHPS path edges + summary edges — the algorithm inside
+/// Bebop). It explores only states reachable from main's entry, so it is
+/// simultaneously:
+///
+///   - the ground-truth oracle the property tests compare the symbolic
+///     engines against, and
+///   - the explicit core of the "Bebop" baseline column of Figure 2.
+///
+/// Valuations are bitmasks, so programs must have at most 32 globals and 32
+/// local slots per procedure, and at most 20 nondet choice bits per edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_INTERP_SUMMARY_ORACLE_H
+#define GETAFIX_INTERP_SUMMARY_ORACLE_H
+
+#include "bp/Cfg.h"
+#include "interp/Eval.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace getafix {
+namespace interp {
+
+/// Result of an oracle run.
+struct OracleResult {
+  bool Reachable = false;
+  uint64_t PathEdges = 0;   ///< Distinct (entry, state) pairs discovered.
+  uint64_t Summaries = 0;   ///< Distinct entry-to-exit summaries.
+};
+
+/// Exact reachability: is (ProcId, Pc) reachable in \p Cfg's program?
+///
+/// When \p TargetProcId is ~0u the engine runs to completion and reports
+/// statistics only (Reachable stays false).
+OracleResult summaryReachability(const bp::ProgramCfg &Cfg,
+                                 unsigned TargetProcId = ~0u,
+                                 unsigned TargetPc = 0);
+
+/// Convenience: reachability of a statement label. Returns false if the
+/// label does not exist.
+OracleResult summaryReachabilityOfLabel(const bp::ProgramCfg &Cfg,
+                                        const std::string &Label);
+
+} // namespace interp
+} // namespace getafix
+
+#endif // GETAFIX_INTERP_SUMMARY_ORACLE_H

@@ -1,0 +1,107 @@
+//===- SeqEngine.h - Shared sequential-engine internals ---------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header shared by SeqReach.cpp and Witness.cpp: the engine that
+/// builds the fixed-point equation system for one sequential algorithm over
+/// one program. Not part of the public API — include bp/Cfg.h and
+/// reach/SeqReach.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_REACH_SEQENGINE_H
+#define GETAFIX_REACH_SEQENGINE_H
+
+#include "reach/SeqReach.h"
+#include "symbolic/Encode.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace reach {
+
+/// Builds the equation system for one algorithm over one program and runs
+/// the solver. Witness extraction (Witness.cpp) reuses the construction to
+/// re-solve with ring recording and query the input-relation BDDs.
+class SeqEngine {
+public:
+  SeqEngine(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg)
+      : Cfg(Cfg), Alg(Alg), Factory(Sys) {
+    buildSystem();
+  }
+
+  SeqResult solve(unsigned ProcId, unsigned Pc, const SeqOptions &Opts);
+  std::string text() const { return Sys.print(); }
+
+  // Accessors for witness reconstruction -----------------------------------
+  const fpc::System &system() const { return Sys; }
+  const sym::VarFactory &factory() const { return Factory; }
+  sym::ProgramEncoder &encoder() { return *Enc; }
+  const sym::ConfVars &conf() const { return S; }
+  fpc::RelId mainRel() const { return Main; }
+  const bp::ProgramCfg &cfg() const { return Cfg; }
+
+  /// Scratch variables of the return clause (t.*, u.*) and the entry-
+  /// discovery clause (d.*); witness queries rebind relation BDDs onto
+  /// them so joint predecessor queries can be expressed directly.
+  struct ScratchVars {
+    fpc::VarId TPc, TCL, TCG;
+    fpc::VarId UMod, UPcX, ULX, UGX, UECL;
+    fpc::VarId DMod, DPc, DL, DEL, DEG;
+  };
+  ScratchVars scratch() const {
+    return {RTPc,  RTCL, RTCG, RUMod, RUPcX, RULX, RUGX,
+            RUECL, DMod, DPc,  DL,    DEL,   DEG};
+  }
+
+private:
+  void buildSystem();
+  sym::ConfVars addConf(const std::string &Prefix);
+
+  // Clause builders shared by the algorithms. `Head` is the relation the
+  // clause recurses on; `Mark` adds a leading fr-argument when >= 0.
+  std::vector<fpc::Term> headArgs(const sym::ConfVars &C, int Mark) const;
+  fpc::Formula *initClause(fpc::RelId Head, int Mark);
+  fpc::Formula *internalClause(fpc::RelId Head, int Mark);
+  fpc::Formula *entryDiscoveryClause(fpc::RelId Head, int Mark,
+                                     bool RelevantGuard);
+  fpc::Formula *returnClauseUnsplit(fpc::RelId Head, int Mark);
+  fpc::Formula *returnClauseSplit(fpc::RelId Head, int Mark,
+                                  bool RelevantGuard);
+  fpc::Formula *allEntriesClause();
+
+  const bp::ProgramCfg &Cfg;
+  SeqAlgorithm Alg;
+  fpc::System Sys;
+  sym::VarFactory Factory;
+  sym::StateDomains Doms;
+  fpc::DomainId ChoiceDom = 0;
+  std::unique_ptr<sym::ProgramEncoder> Enc;
+
+  sym::ConfVars S;                     ///< Head state tuple.
+  fpc::VarId Fr = 0;                   ///< Mark bit (EntryForwardOpt).
+  fpc::VarId RvMod = 0, RvPc = 0;      ///< Relevant's formals.
+
+  // Quantified temporaries.
+  fpc::VarId TPcF = 0, TLF = 0, TGF = 0;          ///< Internal clause.
+  fpc::VarId DMod = 0, DPc = 0, DL = 0, DEL = 0,
+             DEG = 0;                             ///< Entry discovery.
+  fpc::VarId RTPc = 0, RTCL = 0, RTCG = 0;        ///< Return: caller t.
+  fpc::VarId RUMod = 0, RUPcX = 0, RULX = 0, RUGX = 0,
+             RUECL = 0;                           ///< Callee u.
+
+  fpc::RelId Main = 0;     ///< The head relation of the chosen algorithm.
+  fpc::RelId Relevant = 0; ///< EntryForwardOpt only.
+  fpc::RelId New1 = 0, New2 = 0;
+  fpc::RelId ReachEntry = 0; ///< SummarySimple only.
+};
+
+} // namespace reach
+} // namespace getafix
+
+#endif // GETAFIX_REACH_SEQENGINE_H

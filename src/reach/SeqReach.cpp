@@ -1,0 +1,402 @@
+//===- SeqReach.cpp - Sequential reachability algorithms ------------------===//
+
+#include "reach/SeqReach.h"
+
+#include "fpcalc/Evaluator.h"
+#include "reach/SeqEngine.h"
+#include "support/Timer.h"
+#include "symbolic/Encode.h"
+
+using namespace getafix;
+using namespace getafix::reach;
+using namespace getafix::fpc;
+using namespace getafix::sym;
+
+const char *reach::algorithmName(SeqAlgorithm Alg) {
+  switch (Alg) {
+  case SeqAlgorithm::SummarySimple:
+    return "summary-simple";
+  case SeqAlgorithm::EntryForward:
+    return "entry-forward";
+  case SeqAlgorithm::EntryForwardSplit:
+    return "entry-forward-split";
+  case SeqAlgorithm::EntryForwardOpt:
+    return "entry-forward-opt";
+  }
+  return "?";
+}
+
+ConfVars SeqEngine::addConf(const std::string &Prefix) {
+  ConfVars C;
+  C.Mod = Factory.makeVar(Prefix + ".mod", Doms.Mod);
+  C.Pc = Factory.makeVar(Prefix + ".pc", Doms.Pc);
+  C.CG = Factory.makeVar(Prefix + ".CG", Doms.GVec);
+  C.CL = Factory.makeVar(Prefix + ".CL", Doms.LVec);
+  C.ECG = Factory.makeVar(Prefix + ".ECG", Doms.GVec);
+  C.ECL = Factory.makeVar(Prefix + ".ECL", Doms.LVec);
+  return C;
+}
+
+std::vector<Term> SeqEngine::headArgs(const ConfVars &C, int Mark) const {
+  std::vector<Term> Args;
+  if (Mark >= 0)
+    Args.push_back(Mark == 2 ? Term::var(Fr) : Term::constant(Mark));
+  for (VarId V : {C.Mod, C.Pc, C.CL, C.CG, C.ECL, C.ECG})
+    Args.push_back(Term::var(V));
+  return Args;
+}
+
+/// [Init] fr=1 ∧ Init(s.mod, s.pc, s.CL) ∧ s.CL=s.ECL ∧ s.CG=s.ECG.
+Formula *SeqEngine::initClause(RelId Head, int Mark) {
+  (void)Head;
+  (void)Mark;
+  return Sys.mkAnd({
+      Sys.apply(Enc->InitRel,
+                {Term::var(S.Mod), Term::var(S.Pc), Term::var(S.CL)}),
+      Sys.eqVar(S.CL, S.ECL),
+      Sys.eqVar(S.CG, S.ECG),
+  });
+}
+
+/// [All entries, Section 4.1] every entry of every module is a summary
+/// seed, reachable or not.
+Formula *SeqEngine::allEntriesClause() {
+  return Sys.mkAnd({
+      Sys.apply(Enc->EntryRel,
+                {Term::var(S.Mod), Term::var(S.Pc), Term::var(S.CL)}),
+      Sys.eqVar(S.CL, S.ECL),
+      Sys.eqVar(S.CG, S.ECG),
+  });
+}
+
+/// [Internal] ∃x. Head(.., x) ∧ programInt(x → s).
+Formula *SeqEngine::internalClause(RelId Head, int Mark) {
+  ConfVars X = S;
+  X.Pc = TPcF;
+  X.CL = TLF;
+  X.CG = TGF;
+  return Sys.exists(
+      {TPcF, TLF, TGF},
+      Sys.mkAnd({
+          Sys.apply(Head, headArgs(X, Mark)),
+          Sys.applyVars(Enc->ProgramInt,
+                        {S.Mod, TPcF, S.Pc, TLF, S.CL, TGF, S.CG}),
+      }));
+}
+
+/// [Entry discovery, Section 4.2's third clause] s is an entry whose
+/// instantiation is witnessed by a reachable caller state at a call.
+Formula *SeqEngine::entryDiscoveryClause(RelId Head, int Mark,
+                                         bool RelevantGuard) {
+  ConfVars Caller;
+  Caller.Mod = DMod;
+  Caller.Pc = DPc;
+  Caller.CL = DL;
+  Caller.CG = S.CG; // Globals are shared across the call boundary.
+  Caller.ECL = DEL;
+  Caller.ECG = DEG;
+
+  std::vector<Formula *> Body;
+  if (RelevantGuard)
+    Body.push_back(Sys.applyVars(Relevant, {DMod, DPc}));
+  Body.push_back(Sys.apply(Head, headArgs(Caller, Mark)));
+  Body.push_back(Sys.applyVars(Enc->ProgramCall,
+                               {DMod, S.Mod, DPc, DL, S.CL, S.CG}));
+
+  return Sys.mkAnd({
+      Sys.eqConst(S.Pc, 0),
+      Sys.eqVar(S.CL, S.ECL),
+      Sys.eqVar(S.CG, S.ECG),
+      Sys.exists({DMod, DPc, DL, DEL, DEG}, Sys.mkAnd(Body)),
+  });
+}
+
+/// [Return, unsplit] one big relational product combining the caller
+/// summary, the callee summary and the full Return relation — the form the
+/// paper identifies as the conjunction bottleneck.
+Formula *SeqEngine::returnClauseUnsplit(RelId Head, int Mark) {
+  ConfVars Caller = S;
+  Caller.Pc = RTPc;
+  Caller.CL = RTCL;
+  Caller.CG = RTCG;
+
+  ConfVars Callee;
+  Callee.Mod = RUMod;
+  Callee.Pc = RUPcX;
+  Callee.CL = RULX;
+  Callee.CG = RUGX;
+  Callee.ECL = RUECL;
+  Callee.ECG = RTCG;
+
+  return Sys.exists(
+      {RTPc, RTCL, RTCG, RUMod, RUPcX, RULX, RUGX, RUECL},
+      Sys.mkAnd({
+          Sys.apply(Head, headArgs(Caller, Mark)),
+          Sys.applyVars(Enc->ProgramCall,
+                        {S.Mod, RUMod, RTPc, RTCL, RUECL, RTCG}),
+          Sys.apply(Head, headArgs(Callee, Mark)),
+          Sys.applyVars(Enc->ExitRel, {RUMod, RUPcX}),
+          Sys.applyVars(Enc->SkipCall, {S.Mod, RTPc, S.Pc}),
+          Sys.applyVars(Enc->SetReturn, {S.Mod, RUMod, RTPc, RUPcX, RTCL,
+                                         RULX, RUGX, S.CL, S.CG}),
+      }));
+}
+
+/// [Return, split — the Appendix formula] groups (A) caller-side and (B)
+/// exit-side constraints so each summary BDD first meets only small
+/// relations; the two groups share {tPc, tCG, uMod, uPcX, uECL}.
+Formula *SeqEngine::returnClauseSplit(RelId Head, int Mark,
+                                      bool RelevantGuard) {
+  ConfVars Caller = S;
+  Caller.Pc = RTPc;
+  Caller.CL = RTCL;
+  Caller.CG = RTCG;
+
+  ConfVars Callee;
+  Callee.Mod = RUMod;
+  Callee.Pc = RUPcX;
+  Callee.CL = RULX;
+  Callee.CG = RUGX;
+  Callee.ECL = RUECL;
+  Callee.ECG = RTCG;
+
+  Formula *GroupA = Sys.exists(
+      {RTCL},
+      Sys.mkAnd({
+          Sys.apply(Head, headArgs(Caller, Mark)),
+          Sys.applyVars(Enc->SkipCall, {S.Mod, RTPc, S.Pc}),
+          Sys.applyVars(Enc->SetReturn1,
+                        {S.Mod, RUMod, RTPc, RTCL, S.CL}),
+          Sys.applyVars(Enc->ProgramCall,
+                        {S.Mod, RUMod, RTPc, RTCL, RUECL, RTCG}),
+      }));
+
+  Formula *GroupB = Sys.exists(
+      {RULX, RUGX},
+      Sys.mkAnd({
+          Sys.apply(Head, headArgs(Callee, Mark)),
+          Sys.applyVars(Enc->ExitRel, {RUMod, RUPcX}),
+          Sys.applyVars(Enc->SetReturn2, {S.Mod, RUMod, RTPc, RUPcX, RULX,
+                                          S.CL, RUGX, S.CG}),
+      }));
+
+  std::vector<Formula *> Outer{GroupA, GroupB};
+  if (RelevantGuard)
+    Outer.push_back(Sys.mkOr({Sys.applyVars(Relevant, {S.Mod, RTPc}),
+                              Sys.applyVars(Relevant, {RUMod, RUPcX})}));
+
+  return Sys.exists({RTPc, RTCG, RUMod, RUPcX, RUECL}, Sys.mkAnd(Outer));
+}
+
+void SeqEngine::buildSystem() {
+  const bp::Program &Prog = *Cfg.Prog;
+  unsigned MaxLocals = Prog.maxLocalSlots();
+  unsigned NumGlobals = Prog.numGlobals();
+
+  Doms.Mod = Sys.addDomain("Module", Prog.Procs.size());
+  Doms.Pc = Sys.addDomain("PrCount", Cfg.maxPcs());
+  Doms.GVec = Sys.addBitDomain("Global", std::max(NumGlobals, 1u));
+  Doms.LVec = Sys.addBitDomain("Local", std::max(MaxLocals, 1u));
+  ChoiceDom = Sys.addDomain("Choice",
+                            uint64_t(1) << ProgramEncoder::maxChoiceBits(Cfg));
+
+  Enc = std::make_unique<ProgramEncoder>(Sys, Factory, Doms, Cfg, ChoiceDom);
+
+  S = addConf("s");
+  Fr = Factory.makeVar("fr", Sys.boolDomain());
+  RvMod = Factory.makeVar("rv.mod", Doms.Mod);
+  RvPc = Factory.makeVar("rv.pc", Doms.Pc);
+  TPcF = Factory.makeVar("x.pc", Doms.Pc);
+  TLF = Factory.makeVar("x.CL", Doms.LVec);
+  TGF = Factory.makeVar("x.CG", Doms.GVec);
+  DMod = Factory.makeVar("d.mod", Doms.Mod);
+  DPc = Factory.makeVar("d.pc", Doms.Pc);
+  DL = Factory.makeVar("d.CL", Doms.LVec);
+  DEL = Factory.makeVar("d.ECL", Doms.LVec);
+  DEG = Factory.makeVar("d.ECG", Doms.GVec);
+  RTPc = Factory.makeVar("t.pc", Doms.Pc);
+  RTCL = Factory.makeVar("t.CL", Doms.LVec);
+  RTCG = Factory.makeVar("t.CG", Doms.GVec);
+  RUMod = Factory.makeVar("u.mod", Doms.Mod);
+  RUPcX = Factory.makeVar("u.pc", Doms.Pc);
+  RULX = Factory.makeVar("u.CL", Doms.LVec);
+  RUGX = Factory.makeVar("u.CG", Doms.GVec);
+  RUECL = Factory.makeVar("u.ECL", Doms.LVec);
+
+  std::vector<VarId> ConfFormals{S.Mod, S.Pc, S.CL, S.CG, S.ECL, S.ECG};
+
+  switch (Alg) {
+  case SeqAlgorithm::SummarySimple: {
+    Main = Sys.declareRel("Summary", ConfFormals);
+    Sys.define(Main, Sys.mkOr({
+                         allEntriesClause(),
+                         internalClause(Main, -1),
+                         returnClauseUnsplit(Main, -1),
+                     }));
+    // Reachable module instantiations: ReachEntry(mod, entryL, entryG).
+    ReachEntry = Sys.declareRel("ReachEntry", {S.Mod, S.ECL, S.ECG});
+    Formula *Seed = Sys.apply(
+        Enc->InitRel,
+        {Term::var(S.Mod), Term::constant(0), Term::var(S.ECL)});
+    // A callee instantiation is reachable if some reachable caller
+    // instantiation has a summary state at a call into it.
+    ConfVars Caller;
+    Caller.Mod = DMod;
+    Caller.Pc = DPc;
+    Caller.CL = DL;
+    Caller.CG = S.ECG; // Callee entry globals = caller globals at call.
+    Caller.ECL = DEL;
+    Caller.ECG = DEG;
+    Formula *Step = Sys.exists(
+        {DMod, DPc, DL, DEL, DEG},
+        Sys.mkAnd({
+            Sys.applyVars(ReachEntry, {DMod, DEL, DEG}),
+            Sys.apply(Main, headArgs(Caller, -1)),
+            Sys.applyVars(Enc->ProgramCall,
+                          {DMod, S.Mod, DPc, DL, S.ECL, S.ECG}),
+        }));
+    Sys.define(ReachEntry, Sys.mkOr({Seed, Step}));
+    break;
+  }
+  case SeqAlgorithm::EntryForward:
+  case SeqAlgorithm::EntryForwardSplit: {
+    bool Split = Alg == SeqAlgorithm::EntryForwardSplit;
+    Main = Sys.declareRel("SummaryEF", ConfFormals);
+    Sys.define(Main,
+               Sys.mkOr({
+                   initClause(Main, -1),
+                   internalClause(Main, -1),
+                   entryDiscoveryClause(Main, -1, false),
+                   Split ? returnClauseSplit(Main, -1, false)
+                         : returnClauseUnsplit(Main, -1),
+               }));
+    break;
+  }
+  case SeqAlgorithm::EntryForwardOpt: {
+    std::vector<VarId> MarkedFormals{Fr};
+    MarkedFormals.insert(MarkedFormals.end(), ConfFormals.begin(),
+                         ConfFormals.end());
+    Main = Sys.declareRel("SummaryEFopt", MarkedFormals);
+    Relevant = Sys.declareRel("Relevant", {RvMod, RvPc});
+    New1 = Sys.declareRel("New1", ConfFormals);
+    New2 = Sys.declareRel("New2", ConfFormals);
+
+    // Relevant(mod, pc): PCs of states discovered in the last round —
+    // marked 1 but not yet 0. The negation makes the system non-monotone;
+    // the algorithmic semantics (Section 3) is what gives it meaning.
+    {
+      ConfVars R = S;
+      R.Mod = RvMod;
+      R.Pc = RvPc;
+      Formula *Pos = Sys.apply(Main, headArgs(R, 1));
+      Formula *Neg = Sys.mkNot(Sys.apply(Main, headArgs(R, 0)));
+      Sys.define(Relevant, Sys.exists({R.CL, R.CG, R.ECL, R.ECG},
+                                      Sys.mkAnd({Pos, Neg})));
+    }
+
+    // New1: image-closure of the relevant states under internal moves
+    // (clauses 5 and 6).
+    {
+      Formula *Seeds = Sys.mkAnd({
+          Sys.apply(Main, headArgs(S, 1)),
+          Sys.applyVars(Relevant, {S.Mod, S.Pc}),
+      });
+      Sys.define(New1, Sys.mkOr({Seeds, internalClause(New1, -1)}));
+    }
+
+    // New2: one round of call discoveries and returns touching a relevant
+    // PC (clauses 7-11).
+    Sys.define(New2, Sys.mkOr({
+                         entryDiscoveryClause(Main, 1, true),
+                         returnClauseSplit(Main, 1, true),
+                     }));
+
+    // SummaryEFopt (clauses 1-3): re-seed init, demote last round's marks,
+    // admit the new states with fr=1.
+    {
+      Formula *C1 = Sys.mkAnd({Sys.eqConst(Fr, 1), initClause(Main, -1)});
+      Formula *C2 = Sys.apply(Main, headArgs(S, 1)); // fr unconstrained.
+      Formula *C3 = Sys.mkAnd({
+          Sys.eqConst(Fr, 1),
+          Sys.mkOr({Sys.applyVars(New1, {S.Mod, S.Pc, S.CL, S.CG, S.ECL,
+                                         S.ECG}),
+                    Sys.applyVars(New2, {S.Mod, S.Pc, S.CL, S.CG, S.ECL,
+                                         S.ECG})}),
+      });
+      Sys.define(Main, Sys.mkOr({C1, C2, C3}));
+    }
+    break;
+  }
+  }
+
+#ifndef NDEBUG
+  DiagnosticEngine Diags;
+  assert(Sys.validate(Diags) && "algorithm formulae must type-check");
+#endif
+}
+
+SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
+                           const SeqOptions &Opts) {
+  SeqResult Result;
+  Timer T;
+
+  BddManager Mgr(0, Opts.CacheBits);
+  Mgr.setGcThreshold(Opts.GcThreshold);
+  Layout L = Factory.makeLayout(Mgr);
+  Evaluator Ev(Sys, Mgr, std::move(L));
+  Enc->bind(Ev, ProcId, Pc);
+
+  // Target states over the head tuple (plus don't-care fr for the opt
+  // algorithm, whose head has the mark in front).
+  Bdd TargetStates =
+      Ev.encodeEqConst(S.Mod, ProcId) & Ev.encodeEqConst(S.Pc, Pc);
+
+  EvalOptions EOpts;
+  if (Opts.EarlyStop && Alg != SeqAlgorithm::SummarySimple)
+    EOpts.EarlyStop = &TargetStates;
+
+  if (Alg == SeqAlgorithm::SummarySimple) {
+    // Query: ∃s. ReachEntry(s.mod, s.ECL, s.ECG) ∧ Summary(s) ∧ target.
+    // Summary is solved first; ReachEntry reuses it as a memoized nested
+    // relation.
+    EvalResult Summaries = Ev.evaluate(Main);
+    EvalResult Entries = Ev.evaluate(ReachEntry);
+    Bdd Hits = (Summaries.Value & Entries.Value) & TargetStates;
+    Result.Reachable = !Hits.isZero();
+    Result.SummaryNodes = Summaries.Value.nodeCount();
+  } else {
+    EvalResult R = Ev.evaluate(Main, EOpts);
+    Result.Reachable = !(R.Value & TargetStates).isZero();
+    Result.SummaryNodes = R.Value.nodeCount();
+  }
+
+  auto StatsIt = Ev.stats().find(Sys.relation(Main).Name);
+  if (StatsIt != Ev.stats().end())
+    Result.Iterations = StatsIt->second.Iterations;
+  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
+  Result.Seconds = T.seconds();
+  return Result;
+}
+
+SeqResult reach::checkReachability(const bp::ProgramCfg &Cfg, unsigned ProcId,
+                                   unsigned Pc, const SeqOptions &Opts) {
+  SeqEngine Engine(Cfg, Opts.Alg);
+  return Engine.solve(ProcId, Pc, Opts);
+}
+
+SeqResult reach::checkReachabilityOfLabel(const bp::ProgramCfg &Cfg,
+                                          const std::string &Label,
+                                          const SeqOptions &Opts) {
+  unsigned ProcId = 0, Pc = 0;
+  if (!Cfg.findLabelPc(Label, ProcId, Pc)) {
+    SeqResult Result;
+    Result.TargetFound = false;
+    return Result;
+  }
+  return checkReachability(Cfg, ProcId, Pc, Opts);
+}
+
+std::string reach::formulaText(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg) {
+  SeqEngine Engine(Cfg, Alg);
+  return Engine.text();
+}

@@ -1,0 +1,85 @@
+//===- SeqReach.h - Sequential reachability algorithms ----------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's three algorithms for reachability in recursive Boolean
+/// programs, each *written as a fixed-point formula* (the paper's central
+/// thesis) and solved by the fpcalc evaluator:
+///
+///   - `SummarySimple`   — Section 4.1: summaries from *all* entries
+///     (sound/complete but explores unreachable entries), completed with a
+///     reachable-entries fixpoint so arbitrary targets can be queried.
+///   - `EntryForward`    — Section 4.2: init-restricted summaries with the
+///     entry-discovery clause; only reachable states are ever represented.
+///   - `EntryForwardSplit` — Section 4.2's rewrite of the return clause
+///     that splits `Return` into ReturnA/ReturnB so the two large summary
+///     BDDs are each first conjoined with small relations (the Appendix
+///     formula).
+///   - `EntryForwardOpt` — Section 4.3: the frontier-restricted algorithm
+///     with the `fr` mark bit and the non-monotone `Relevant` relation,
+///     closing internal transitions per round (`New1`) and admitting one
+///     round of calls/returns (`New2`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_REACH_SEQREACH_H
+#define GETAFIX_REACH_SEQREACH_H
+
+#include "bp/Cfg.h"
+
+#include <cstdint>
+#include <string>
+
+namespace getafix {
+namespace reach {
+
+enum class SeqAlgorithm {
+  SummarySimple,
+  EntryForward,
+  EntryForwardSplit,
+  EntryForwardOpt,
+};
+
+const char *algorithmName(SeqAlgorithm Alg);
+
+struct SeqOptions {
+  SeqAlgorithm Alg = SeqAlgorithm::EntryForwardSplit;
+  /// Stop iterating as soon as the target is found (the Appendix formula's
+  /// early-termination disjunct, implemented at the solver level).
+  bool EarlyStop = true;
+  /// Computed-cache size for the BDD manager (2^CacheBits entries).
+  unsigned CacheBits = 18;
+  /// Automatic garbage-collection threshold (live nodes); 0 disables.
+  size_t GcThreshold = 1u << 22;
+};
+
+struct SeqResult {
+  bool Reachable = false;
+  bool TargetFound = true;   ///< False if the label did not exist.
+  uint64_t Iterations = 0;   ///< Outer fixpoint rounds of the main relation.
+  size_t SummaryNodes = 0;   ///< Dag size of the final summary BDD.
+  size_t PeakLiveNodes = 0;  ///< Peak BDD nodes in the manager.
+  double Seconds = 0.0;      ///< Wall-clock solve time (excludes parsing).
+};
+
+/// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.
+SeqResult checkReachability(const bp::ProgramCfg &Cfg, unsigned ProcId,
+                            unsigned Pc, const SeqOptions &Opts);
+
+/// Checks whether the statement labelled \p Label is reachable.
+SeqResult checkReachabilityOfLabel(const bp::ProgramCfg &Cfg,
+                                   const std::string &Label,
+                                   const SeqOptions &Opts);
+
+/// Renders the fixed-point equation system the given algorithm would solve
+/// for \p Cfg (the paper's "one page of formulae"), for documentation and
+/// golden tests.
+std::string formulaText(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg);
+
+} // namespace reach
+} // namespace getafix
+
+#endif // GETAFIX_REACH_SEQREACH_H

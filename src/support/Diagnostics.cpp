@@ -1,0 +1,36 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace getafix;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::str() const {
+  const char *KindStr = "note";
+  switch (Kind) {
+  case DiagKind::Error:
+    KindStr = "error";
+    break;
+  case DiagKind::Warning:
+    KindStr = "warning";
+    break;
+  case DiagKind::Note:
+    KindStr = "note";
+    break;
+  }
+  return Loc.str() + ": " + KindStr + ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- Diagnostics.h - Source locations and error reporting ----*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostics plumbing shared by the Boolean-program and
+/// fixed-point-calculus front-ends. We do not use exceptions (LLVM rules);
+/// parsers collect diagnostics into a DiagnosticEngine and callers check
+/// hasErrors() before consuming the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_DIAGNOSTICS_H
+#define GETAFIX_SUPPORT_DIAGNOSTICS_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace getafix {
+
+/// A position in an input buffer, 1-based; line 0 means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one input.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message) {
+    if (Kind == DiagKind::Error)
+      ++NumErrors;
+    Diags.push_back(Diagnostic{Kind, Loc, std::move(Message)});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, for CLI output and tests.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,82 @@
+//===- Rng.h - Deterministic random number generator ------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (xoshiro256**) used by the workload
+/// generators and property tests. Determinism matters: every benchmark run
+/// and every property test must see the same programs for a given seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_RNG_H
+#define GETAFIX_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace getafix {
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t *S = State;
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() needs a positive bound");
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the small bounds the generators use.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  bool flip() { return (next() & 1) != 0; }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "invalid probability");
+    return below(Den) < Num;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_RNG_H

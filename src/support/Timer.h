@@ -1,0 +1,35 @@
+//===- Timer.h - Wall-clock timing helper -----------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_TIMER_H
+#define GETAFIX_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace getafix {
+
+/// Measures wall-clock time from construction (or the last reset()).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_TIMER_H

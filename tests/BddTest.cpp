@@ -1,0 +1,338 @@
+//===- BddTest.cpp - BDD package tests ------------------------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace getafix;
+
+namespace {
+
+/// A brute-force boolean function over N variables: 2^N truth-table bits.
+class TruthTable {
+public:
+  explicit TruthTable(unsigned NumVars, uint64_t Bits = 0)
+      : NumVars(NumVars), Bits(Bits) {
+    assert(NumVars <= 6 && "truth table capped at 6 vars");
+  }
+
+  static TruthTable var(unsigned NumVars, unsigned V) {
+    TruthTable T(NumVars);
+    for (unsigned Row = 0; Row < (1u << NumVars); ++Row)
+      if ((Row >> V) & 1)
+        T.Bits |= uint64_t(1) << Row;
+    return T;
+  }
+
+  bool eval(unsigned Row) const { return (Bits >> Row) & 1; }
+  unsigned rows() const { return 1u << NumVars; }
+
+  TruthTable operator&(const TruthTable &O) const {
+    return TruthTable(NumVars, Bits & O.Bits);
+  }
+  TruthTable operator|(const TruthTable &O) const {
+    return TruthTable(NumVars, Bits | O.Bits);
+  }
+  TruthTable operator^(const TruthTable &O) const {
+    return TruthTable(NumVars, Bits ^ O.Bits);
+  }
+  TruthTable operator!() const {
+    uint64_t Mask = rows() == 64 ? ~uint64_t(0)
+                                 : ((uint64_t(1) << rows()) - 1);
+    return TruthTable(NumVars, ~Bits & Mask);
+  }
+
+  TruthTable exists(unsigned V) const {
+    TruthTable R(NumVars);
+    for (unsigned Row = 0; Row < rows(); ++Row) {
+      unsigned Lo = Row & ~(1u << V), Hi = Row | (1u << V);
+      if (eval(Lo) || eval(Hi))
+        R.Bits |= uint64_t(1) << Row;
+    }
+    return R;
+  }
+
+  unsigned NumVars;
+  uint64_t Bits;
+};
+
+/// Checks that a BDD and a truth table agree on every assignment.
+void expectEqual(const Bdd &B, const TruthTable &T, const char *What) {
+  for (unsigned Row = 0; Row < T.rows(); ++Row) {
+    std::vector<bool> Assignment(T.NumVars);
+    for (unsigned V = 0; V < T.NumVars; ++V)
+      Assignment[V] = (Row >> V) & 1;
+    ASSERT_EQ(B.eval(Assignment), T.eval(Row))
+        << What << " differs on row " << Row;
+  }
+}
+
+/// Builds a random (Bdd, TruthTable) pair over NumVars variables.
+std::pair<Bdd, TruthTable> randomFunction(BddManager &Mgr, Rng &R,
+                                          unsigned NumVars, unsigned Ops) {
+  Bdd B = R.flip() ? Mgr.one() : Mgr.zero();
+  TruthTable T(NumVars, B.isOne() ? ~uint64_t(0) >> (64 - (1u << NumVars))
+                                  : 0);
+  for (unsigned I = 0; I < Ops; ++I) {
+    unsigned V = unsigned(R.below(NumVars));
+    Bdd Lit = Mgr.var(V);
+    TruthTable LitT = TruthTable::var(NumVars, V);
+    switch (R.below(3)) {
+    case 0:
+      B = B & Lit;
+      T = T & LitT;
+      break;
+    case 1:
+      B = B | Lit;
+      T = T | LitT;
+      break;
+    default:
+      B = B ^ Lit;
+      T = T ^ LitT;
+      break;
+    }
+    if (R.chance(1, 4)) {
+      B = !B;
+      T = !T;
+    }
+  }
+  return {B, T};
+}
+
+class BddPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST(BddTest, TerminalBasics) {
+  BddManager Mgr(4);
+  EXPECT_TRUE(Mgr.one().isOne());
+  EXPECT_TRUE(Mgr.zero().isZero());
+  EXPECT_EQ(Mgr.one() & Mgr.zero(), Mgr.zero());
+  EXPECT_EQ(Mgr.one() | Mgr.zero(), Mgr.one());
+  EXPECT_EQ(!Mgr.one(), Mgr.zero());
+  EXPECT_EQ(Mgr.one() ^ Mgr.one(), Mgr.zero());
+}
+
+TEST(BddTest, VarAndNvarAreComplements) {
+  BddManager Mgr(3);
+  for (unsigned V = 0; V < 3; ++V) {
+    EXPECT_EQ(!Mgr.var(V), Mgr.nvar(V));
+    EXPECT_EQ(Mgr.var(V) & Mgr.nvar(V), Mgr.zero());
+    EXPECT_EQ(Mgr.var(V) | Mgr.nvar(V), Mgr.one());
+  }
+}
+
+TEST(BddTest, HashConsingCanonicity) {
+  BddManager Mgr(4);
+  Bdd A = (Mgr.var(0) & Mgr.var(1)) | Mgr.var(2);
+  Bdd B = Mgr.var(2) | (Mgr.var(1) & Mgr.var(0));
+  EXPECT_EQ(A, B) << "equivalent functions must share one node";
+}
+
+TEST(BddTest, IteMatchesDefinition) {
+  BddManager Mgr(4);
+  Rng R(7);
+  for (unsigned Trial = 0; Trial < 50; ++Trial) {
+    auto [F, FT] = randomFunction(Mgr, R, 4, 4);
+    auto [G, GT] = randomFunction(Mgr, R, 4, 4);
+    auto [H, HT] = randomFunction(Mgr, R, 4, 4);
+    Bdd Ite = F.ite(G, H);
+    Bdd Expected = (F & G) | (!F & H);
+    EXPECT_EQ(Ite, Expected);
+    (void)FT;
+    (void)GT;
+    (void)HT;
+  }
+}
+
+TEST_P(BddPropertyTest, OpsMatchTruthTables) {
+  BddManager Mgr(5);
+  Rng R(GetParam());
+  for (unsigned Trial = 0; Trial < 40; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 5, 6);
+    auto [B, BT] = randomFunction(Mgr, R, 5, 6);
+    expectEqual(A & B, AT & BT, "and");
+    expectEqual(A | B, AT | BT, "or");
+    expectEqual(A ^ B, AT ^ BT, "xor");
+    expectEqual(!A, !AT, "not");
+    expectEqual(A.implies(B), (!AT) | BT, "implies");
+    expectEqual(A.iff(B), !(AT ^ BT), "iff");
+  }
+}
+
+TEST_P(BddPropertyTest, QuantificationMatchesTruthTables) {
+  BddManager Mgr(5);
+  Rng R(GetParam() ^ 0x5555);
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 5, 6);
+    unsigned V1 = unsigned(R.below(5));
+    unsigned V2 = unsigned(R.below(5));
+    BddCube Cube = Mgr.makeCube({V1, V2});
+    TruthTable ExT = AT.exists(V1).exists(V2);
+    expectEqual(A.exists(Cube), ExT, "exists");
+    TruthTable FaT = !(((!AT).exists(V1)).exists(V2));
+    expectEqual(A.forall(Cube), FaT, "forall");
+  }
+}
+
+TEST_P(BddPropertyTest, AndExistsIsFusedRelationalProduct) {
+  BddManager Mgr(5);
+  Rng R(GetParam() ^ 0xabcdef);
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 5, 6);
+    auto [B, BT] = randomFunction(Mgr, R, 5, 6);
+    (void)AT;
+    (void)BT;
+    unsigned V1 = unsigned(R.below(5));
+    unsigned V2 = unsigned(R.below(5));
+    BddCube Cube = Mgr.makeCube({V1, V2});
+    EXPECT_EQ(A.andExists(B, Cube), (A & B).exists(Cube));
+  }
+}
+
+TEST_P(BddPropertyTest, PermuteMatchesSubstitution) {
+  BddManager Mgr(6);
+  Rng R(GetParam() ^ 0x1234);
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 3, 5);
+    (void)AT;
+    // Rename 0,1,2 -> 3,4,5 (monotone) and 0,1,2 -> 5,4,3 (reversing).
+    BddPerm Up = Mgr.makePermutation({{0, 3}, {1, 4}, {2, 5}});
+    BddPerm Rev = Mgr.makePermutation({{0, 5}, {1, 4}, {2, 3}});
+    Bdd AUp = A.permute(Up);
+    Bdd ARev = A.permute(Rev);
+    for (unsigned Row = 0; Row < 8; ++Row) {
+      std::vector<bool> Orig(6, false), UpA(6, false), RevA(6, false);
+      for (unsigned V = 0; V < 3; ++V) {
+        bool Bit = (Row >> V) & 1;
+        Orig[V] = Bit;
+        UpA[3 + V] = Bit;
+        RevA[5 - V] = Bit;
+      }
+      EXPECT_EQ(AUp.eval(UpA), A.eval(Orig));
+      EXPECT_EQ(ARev.eval(RevA), A.eval(Orig));
+    }
+  }
+}
+
+TEST(BddTest, NonInjectiveRenameDiagonalizes) {
+  BddManager Mgr(3);
+  // f = x0 ^ x1; rename both onto x2: f[x0:=x2, x1:=x2] == false.
+  Bdd F = Mgr.var(0) ^ Mgr.var(1);
+  BddPerm Diag = Mgr.makePermutation({{0, 2}, {1, 2}});
+  EXPECT_EQ(F.permute(Diag), Mgr.zero());
+  Bdd G = Mgr.var(0) & Mgr.var(1);
+  EXPECT_EQ(G.permute(Diag), Mgr.var(2));
+}
+
+TEST(BddTest, RestrictIsCofactor) {
+  BddManager Mgr(4);
+  Rng R(99);
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 4, 5);
+    unsigned V = unsigned(R.below(4));
+    Bdd Hi = A.restrict(V, true);
+    Bdd Lo = A.restrict(V, false);
+    // Shannon expansion: f == (v & f|v=1) | (!v & f|v=0).
+    EXPECT_EQ(A, (Mgr.var(V) & Hi) | (Mgr.nvar(V) & Lo));
+    (void)AT;
+  }
+}
+
+TEST(BddTest, SatCount) {
+  BddManager Mgr(4);
+  EXPECT_DOUBLE_EQ(Mgr.one().satCount(4), 16.0);
+  EXPECT_DOUBLE_EQ(Mgr.zero().satCount(4), 0.0);
+  EXPECT_DOUBLE_EQ(Mgr.var(0).satCount(4), 8.0);
+  EXPECT_DOUBLE_EQ((Mgr.var(0) & Mgr.var(1)).satCount(4), 4.0);
+  EXPECT_DOUBLE_EQ((Mgr.var(0) | Mgr.var(1)).satCount(4), 12.0);
+  EXPECT_DOUBLE_EQ((Mgr.var(0) ^ Mgr.var(1)).satCount(4), 8.0);
+}
+
+TEST(BddTest, SupportAndNodeCount) {
+  BddManager Mgr(5);
+  Bdd F = (Mgr.var(0) & Mgr.var(2)) | Mgr.var(4);
+  std::vector<unsigned> Expected{0, 2, 4};
+  EXPECT_EQ(F.support(), Expected);
+  EXPECT_GT(F.nodeCount(), 0u);
+  EXPECT_EQ(Mgr.one().nodeCount(), 0u);
+}
+
+TEST(BddTest, OnePathSatisfies) {
+  BddManager Mgr(4);
+  Rng R(5);
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    auto [A, AT] = randomFunction(Mgr, R, 4, 5);
+    (void)AT;
+    if (A.isZero())
+      continue;
+    std::vector<int8_t> Path = A.onePath();
+    std::vector<bool> Assignment(4);
+    for (unsigned V = 0; V < 4; ++V)
+      Assignment[V] = Path[V] == 1;
+    EXPECT_TRUE(A.eval(Assignment));
+  }
+}
+
+TEST(BddTest, CubeBddIsConjunction) {
+  BddManager Mgr(4);
+  BddCube Cube = Mgr.makeCube({3, 1});
+  EXPECT_EQ(Mgr.cubeBdd(Cube), Mgr.var(1) & Mgr.var(3));
+}
+
+TEST(BddTest, CubeInterningDeduplicates) {
+  BddManager Mgr(4);
+  BddCube A = Mgr.makeCube({1, 2});
+  BddCube B = Mgr.makeCube({2, 1, 2});
+  EXPECT_EQ(A.Id, B.Id);
+}
+
+TEST(BddTest, GcPreservesLiveHandles) {
+  BddManager Mgr(8);
+  Rng R(11);
+  auto [Keep, KeepT] = randomFunction(Mgr, R, 6, 10);
+  size_t KeepNodes = Keep.nodeCount();
+  // Create and drop lots of garbage.
+  for (unsigned I = 0; I < 200; ++I) {
+    auto [Tmp, TmpT] = randomFunction(Mgr, R, 8, 12);
+    (void)Tmp;
+    (void)TmpT;
+  }
+  size_t Before = Mgr.liveNodeCount();
+  Mgr.gc();
+  EXPECT_LT(Mgr.liveNodeCount(), Before);
+  EXPECT_EQ(Keep.nodeCount(), KeepNodes);
+  // The function still evaluates correctly after collection.
+  expectEqual(Keep, KeepT, "post-gc");
+  // And new operations still work.
+  EXPECT_EQ(Keep & Mgr.one(), Keep);
+}
+
+TEST(BddTest, GcStatsAccumulate) {
+  BddManager Mgr(4);
+  { Bdd Garbage = Mgr.var(0) & Mgr.var(1) & Mgr.var(2); }
+  Mgr.gc();
+  EXPECT_GE(Mgr.stats().GcRuns, 1u);
+  EXPECT_GE(Mgr.stats().GcReclaimed, 1u);
+}
+
+TEST(BddTest, NewVarGrowsManager) {
+  BddManager Mgr(0);
+  unsigned V0 = Mgr.newVar();
+  unsigned V1 = Mgr.newVar();
+  EXPECT_EQ(V0, 0u);
+  EXPECT_EQ(V1, 1u);
+  EXPECT_EQ(Mgr.numVars(), 2u);
+  EXPECT_EQ(Mgr.var(V0) & Mgr.var(V1), Mgr.var(V1) & Mgr.var(V0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

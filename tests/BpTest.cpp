@@ -1,0 +1,311 @@
+//===- BpTest.cpp - Boolean program front-end tests -----------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Lexer.h"
+#include "bp/Parser.h"
+#include "bp/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace getafix;
+using namespace getafix::bp;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const char *Src) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+unsigned countErrors(const char *Src) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(Src, Diags);
+  EXPECT_EQ(Prog, nullptr);
+  return Diags.errorCount();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, TokensAndComments) {
+  DiagnosticEngine Diags;
+  Lexer Lex("decl x; // comment\n x := T & !y | (*) ; /* block\n */ fi",
+            Diags);
+  std::vector<TokenKind> Kinds;
+  for (Token Tok = Lex.next(); !Tok.is(TokenKind::Eof); Tok = Lex.next())
+    Kinds.push_back(Tok.Kind);
+  std::vector<TokenKind> Expected{
+      TokenKind::KwDecl, TokenKind::Identifier, TokenKind::Semicolon,
+      TokenKind::Identifier, TokenKind::Assign, TokenKind::KwTrue,
+      TokenKind::Amp, TokenKind::Bang, TokenKind::Identifier,
+      TokenKind::Pipe, TokenKind::LParen, TokenKind::Star,
+      TokenKind::RParen, TokenKind::Semicolon, TokenKind::KwFi};
+  EXPECT_EQ(Kinds, Expected);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TracksLocations) {
+  DiagnosticEngine Diags;
+  Lexer Lex("a\n  b", Diags);
+  Token A = Lex.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  Token B = Lex.next();
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(B.Loc.Column, 3u);
+}
+
+TEST(LexerTest, ReportsUnknownCharacters) {
+  DiagnosticEngine Diags;
+  Lexer Lex("a $ b", Diags);
+  while (!Lex.next().is(TokenKind::Eof))
+    ;
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser + Sema
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, FullFeatureProgram) {
+  auto Prog = parseOk(R"(
+decl g1, g2;
+main() begin
+  decl a, b;
+  a, b := f(g1, !g2);
+  while (a) do
+    call p(a & b);
+    a := *;
+  od;
+  if (b) then L1: skip; else goto L2; fi;
+  L2: assume(g1 | g2);
+end
+f(x, y) begin
+  return x & y, x | y;
+end
+p(z) begin
+  g1 := z;
+end
+)");
+  EXPECT_EQ(Prog->numGlobals(), 2u);
+  EXPECT_EQ(Prog->Procs.size(), 3u);
+  EXPECT_EQ(Prog->proc(Prog->ProcIds.at("f")).NumReturns, 2u);
+  EXPECT_EQ(Prog->proc(Prog->ProcIds.at("p")).NumReturns, 0u);
+  unsigned ProcId = ~0u;
+  EXPECT_NE(Prog->findLabel("L1", &ProcId), nullptr);
+  EXPECT_EQ(ProcId, Prog->MainId);
+}
+
+TEST(ParserTest, SemaRejectsUndeclaredVariable) {
+  EXPECT_GE(countErrors("main() begin x := T; end"), 1u);
+}
+
+TEST(ParserTest, SemaRejectsMissingMain) {
+  EXPECT_GE(countErrors("f() begin skip; end"), 1u);
+}
+
+TEST(ParserTest, SemaRejectsCallToMain) {
+  EXPECT_GE(countErrors("main() begin call main(); end"), 1u);
+}
+
+TEST(ParserTest, SemaRejectsArityMismatch) {
+  EXPECT_GE(countErrors(R"(
+main() begin decl r; r := f(T, F); end
+f(x) begin return x; end
+)"),
+            1u);
+}
+
+TEST(ParserTest, SemaRejectsReturnArityDisagreement) {
+  EXPECT_GE(countErrors(R"(
+main() begin skip; end
+f(x) begin
+  if (x) then return x; fi;
+  return x, x;
+end
+)"),
+            1u);
+}
+
+TEST(ParserTest, SemaRejectsCallStatementWithReturnValues) {
+  EXPECT_GE(countErrors(R"(
+main() begin call f(); end
+f() begin return T; end
+)"),
+            1u);
+}
+
+TEST(ParserTest, SemaRejectsShadowingGlobal) {
+  EXPECT_GE(countErrors(R"(
+decl g;
+main() begin decl g; skip; end
+)"),
+            1u);
+}
+
+TEST(ParserTest, SemaRejectsGotoUnknownLabel) {
+  EXPECT_GE(countErrors("main() begin goto Nowhere; end"), 1u);
+}
+
+TEST(ParserTest, SemaRejectsDuplicateAssignTarget) {
+  EXPECT_GE(countErrors(R"(
+decl a;
+main() begin a, a := T, F; end
+)"),
+            1u);
+}
+
+TEST(ParserTest, ConcurrentSharedAndThreads) {
+  DiagnosticEngine Diags;
+  auto Conc = parseConcurrentProgram(R"(
+shared decl s1, s2;
+thread
+main() begin s1 := T; end
+end
+thread
+main() begin
+  if (s1) then s2 := T; fi;
+end
+end
+)",
+                                     Diags);
+  ASSERT_TRUE(Conc != nullptr) << Diags.str();
+  EXPECT_EQ(Conc->numThreads(), 2u);
+  EXPECT_EQ(Conc->SharedGlobals.size(), 2u);
+  EXPECT_EQ(Conc->Threads[1]->Globals, Conc->SharedGlobals);
+}
+
+TEST(ParserTest, RoundTripPrintParsePrint) {
+  const char *Src = R"(
+decl g;
+main() begin
+  decl a;
+  a := *;
+  while (a & !g) do
+    a := f(a);
+  od;
+  if (g) then E: skip; fi;
+end
+f(x) begin
+  return !x;
+end
+)";
+  auto Prog = parseOk(Src);
+  std::string Printed = printProgram(*Prog);
+  DiagnosticEngine Diags;
+  auto Reparsed = parseProgram(Printed, Diags);
+  ASSERT_TRUE(Reparsed != nullptr) << Diags.str() << "\n" << Printed;
+  EXPECT_EQ(printProgram(*Reparsed), Printed)
+      << "printing must be a fixed point of parse-print";
+}
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+TEST(CfgTest, EntryIsPcZeroAndExitsExist) {
+  auto Prog = parseOk(R"(
+main() begin
+  skip;
+end
+f(x) begin
+  if (x) then return T; fi;
+  return F;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  ASSERT_EQ(Cfg.Procs.size(), 2u);
+  // f has two explicit exits plus the implicit fall-through exit.
+  const ProcCfg &F = Cfg.Procs[Prog->ProcIds.at("f")];
+  EXPECT_EQ(F.Exits.size(), 3u);
+  unsigned ImplicitCount = 0;
+  for (const CfgExit &X : F.Exits)
+    ImplicitCount += X.Implicit;
+  EXPECT_EQ(ImplicitCount, 1u);
+}
+
+TEST(CfgTest, WhileProducesBackEdge) {
+  auto Prog = parseOk(R"(
+decl g;
+main() begin
+  while (g) do
+    g := F;
+  od;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  const ProcCfg &Main = Cfg.Procs[Prog->MainId];
+  bool HasBackEdge = false;
+  for (const CfgEdge &E : Main.Edges)
+    if (E.To < E.From)
+      HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(CfgTest, CallEdgeCarriesAcrossPair) {
+  auto Prog = parseOk(R"(
+main() begin
+  decl r;
+  r := f(T);
+  skip;
+end
+f(x) begin
+  return x;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  const ProcCfg &Main = Cfg.Procs[Prog->MainId];
+  unsigned NumCalls = 0;
+  for (const CfgEdge &E : Main.Edges)
+    if (E.K == CfgEdge::Kind::Call) {
+      ++NumCalls;
+      EXPECT_EQ(E.CalleeId, Prog->ProcIds.at("f"));
+      EXPECT_EQ(E.Lhs.size(), 1u);
+      EXPECT_GT(E.To, E.From) << "return point follows the call";
+    }
+  EXPECT_EQ(NumCalls, 1u);
+}
+
+TEST(CfgTest, GotoTargetsResolve) {
+  auto Prog = parseOk(R"(
+main() begin
+  goto Down;
+  skip;
+Down:
+  skip;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  unsigned ProcId = 0, Pc = 0;
+  ASSERT_TRUE(Cfg.findLabelPc("Down", ProcId, Pc));
+  const ProcCfg &Main = Cfg.Procs[Prog->MainId];
+  bool Jumps = false;
+  for (const CfgEdge &E : Main.Edges)
+    if (E.From == 0 && E.To == Pc && E.K == CfgEdge::Kind::Assume)
+      Jumps = true;
+  EXPECT_TRUE(Jumps);
+}
+
+TEST(CfgTest, LabelLookupAcrossProcs) {
+  auto Prog = parseOk(R"(
+main() begin
+  call f();
+end
+f() begin
+  Deep: skip;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  unsigned ProcId = 0, Pc = 0;
+  ASSERT_TRUE(Cfg.findLabelPc("Deep", ProcId, Pc));
+  EXPECT_EQ(ProcId, Prog->ProcIds.at("f"));
+  EXPECT_FALSE(Cfg.findLabelPc("Missing", ProcId, Pc));
+}

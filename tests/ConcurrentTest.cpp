@@ -1,0 +1,235 @@
+//===- ConcurrentTest.cpp - Bounded context-switching tests ---------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/Parser.h"
+#include "concurrent/ConcReach.h"
+#include "concurrent/LalReps.h"
+#include "gen/Workloads.h"
+#include "interp/ConcurrentOracle.h"
+#include "reach/SeqReach.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace getafix;
+
+namespace {
+
+std::unique_ptr<bp::ConcurrentProgram> parseConc(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto Conc = bp::parseConcurrentProgram(Src, Diags);
+  EXPECT_TRUE(Conc != nullptr) << Diags.str() << "\nsource:\n" << Src;
+  return Conc;
+}
+
+/// Generates a small random concurrent program: straight-line and branchy
+/// threads over a few shared flags, with an ERR guarded by a shared
+/// condition. Ground truth comes from the explicit oracle.
+std::string randomConcurrentSource(uint64_t Seed) {
+  Rng R(Seed * 0x2545F4914F6CDD1Dull + 1);
+  unsigned NumShared = 2 + unsigned(R.below(2));
+  std::string Src = "shared decl s0";
+  for (unsigned I = 1; I < NumShared; ++I)
+    Src += ", s" + std::to_string(I);
+  Src += ";\n";
+
+  auto Var = [&] { return "s" + std::to_string(R.below(NumShared)); };
+  auto Literal = [&]() -> std::string {
+    std::string V = Var();
+    return R.flip() ? "!" + V : V;
+  };
+
+  unsigned NumThreads = 2 + unsigned(R.below(2));
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Src += "thread\nmain() begin\n";
+    unsigned Stmts = 2 + unsigned(R.below(4));
+    for (unsigned S = 0; S < Stmts; ++S) {
+      switch (R.below(3)) {
+      case 0:
+        Src += "  " + Var() + " := " + Literal() + ";\n";
+        break;
+      case 1:
+        Src += "  if (" + Literal() + ") then " + Var() + " := " +
+               (R.flip() ? "T" : "F") + "; fi;\n";
+        break;
+      default:
+        Src += "  " + Var() + " := " + Literal() +
+               (R.flip() ? " & " : " | ") + Literal() + ";\n";
+        break;
+      }
+    }
+    if (T == 0)
+      Src += "  if (" + Literal() + " & " + Literal() +
+             ") then ERR: skip; fi;\n";
+    Src += "end\nend\n";
+  }
+  return Src;
+}
+
+class ConcDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+class LalRepsTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST(ConcurrentTest, TwoPhaseHandshakeNeedsThreeSwitches) {
+  // Thread 1 must observe a&!b then b: impossible below 3 switches.
+  auto Conc = parseConc(R"(
+shared decl a, b;
+thread
+main() begin
+  a := T;
+  b := T;
+end
+end
+thread
+main() begin
+  decl seen;
+  seen := F;
+  if (a & !b) then seen := T; fi;
+  if (seen & b) then ERR: skip; fi;
+end
+end
+)");
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  for (unsigned K = 0; K <= 4; ++K) {
+    conc::ConcOptions Opts;
+    Opts.MaxContextSwitches = K;
+    conc::ConcResult R =
+        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+    ASSERT_TRUE(R.TargetFound);
+    EXPECT_EQ(R.Reachable, K >= 3) << "k=" << K;
+  }
+}
+
+TEST(ConcurrentTest, ReachSetGrowsWithContextBound) {
+  auto Conc = parseConc(gen::bluetoothModel(1, 1));
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  double Prev = 0;
+  for (unsigned K = 1; K <= 3; ++K) {
+    conc::ConcOptions Opts;
+    Opts.MaxContextSwitches = K;
+    Opts.EarlyStop = false;
+    conc::ConcResult R =
+        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+    EXPECT_GT(R.ReachStates, Prev) << "k=" << K;
+    Prev = R.ReachStates;
+  }
+}
+
+TEST(ConcurrentTest, MissingLabelReported) {
+  auto Conc = parseConc("shared decl s;\nthread\nmain() begin s := T; end\n"
+                        "end\n");
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  conc::ConcOptions Opts;
+  conc::ConcResult R =
+      conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "NOPE", Opts);
+  EXPECT_FALSE(R.TargetFound);
+}
+
+TEST(ConcurrentTest, RecursiveThreadsWithinBound) {
+  // The active thread may recurse unboundedly between switches; summaries
+  // must still converge.
+  auto Conc = parseConc(R"(
+shared decl flag, done;
+thread
+main() begin
+  call dig();
+  done := T;
+end
+dig() begin
+  if (*) then call dig(); else flag := T; fi;
+end
+end
+thread
+main() begin
+  if (flag & done) then ERR: skip; fi;
+end
+end
+)");
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  conc::ConcOptions Opts;
+  Opts.MaxContextSwitches = 1;
+  EXPECT_TRUE(conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts)
+                  .Reachable);
+}
+
+TEST_P(ConcDifferentialTest, SymbolicMatchesExplicitOracle) {
+  std::string Src = randomConcurrentSource(GetParam());
+  auto Conc = parseConc(Src);
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  unsigned ProcId = 0, Pc = 0;
+  ASSERT_TRUE(Cfgs[0].findLabelPc("ERR", ProcId, Pc)) << Src;
+
+  for (unsigned K = 0; K <= 3; ++K) {
+    interp::ConcurrentQuery Q;
+    Q.Thread = 0;
+    Q.ProcId = ProcId;
+    Q.Pc = Pc;
+    Q.MaxContextSwitches = K;
+    interp::ConcurrentOracleResult O =
+        interp::concurrentReachability(*Conc, Cfgs, Q);
+    ASSERT_TRUE(O.Exhaustive) << "oracle bound too small\n" << Src;
+
+    conc::ConcOptions Opts;
+    Opts.MaxContextSwitches = K;
+    conc::ConcResult R =
+        conc::checkConcReachability(*Conc, Cfgs, 0, ProcId, Pc, Opts);
+    EXPECT_EQ(R.Reachable, O.Reachable) << "k=" << K << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST_P(LalRepsTest, EagerReductionAgreesWithFixpoint) {
+  std::string Src = randomConcurrentSource(GetParam());
+  auto Conc = parseConc(Src);
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  for (unsigned K = 1; K <= 2; ++K) {
+    conc::ConcOptions Opts;
+    Opts.MaxContextSwitches = K;
+    conc::ConcResult Ours =
+        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+
+    DiagnosticEngine Diags;
+    auto Seq = conc::lalRepsSequentialize(*Conc, "ERR", K, Diags);
+    ASSERT_TRUE(Seq != nullptr) << Diags.str() << "\n" << Src;
+    bp::ProgramCfg SeqCfg = bp::buildCfg(*Seq);
+    reach::SeqOptions SO;
+    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
+    reach::SeqResult LR = reach::checkReachabilityOfLabel(
+        SeqCfg, conc::lalRepsGoalLabel(), SO);
+    ASSERT_TRUE(LR.TargetFound);
+    EXPECT_EQ(LR.Reachable, Ours.Reachable) << "k=" << K << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LalRepsTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(BluetoothTest, Figure3Pattern) {
+  // The paper's Figure 3 Reach? column: (adders, stoppers) -> first k with
+  // a reachable assertion failure (0 = never within the tested bounds).
+  struct Row {
+    unsigned Adders, Stoppers, FirstBadK;
+  } Rows[] = {{1, 1, 0}, {1, 2, 3}, {2, 1, 4}, {2, 2, 3}};
+
+  for (const Row &Cfg : Rows) {
+    auto Conc = parseConc(gen::bluetoothModel(Cfg.Adders, Cfg.Stoppers));
+    auto Cfgs = conc::buildThreadCfgs(*Conc);
+    unsigned MaxK = std::max(4u, Cfg.FirstBadK);
+    for (unsigned K = 1; K <= MaxK; ++K) {
+      conc::ConcOptions Opts;
+      Opts.MaxContextSwitches = K;
+      conc::ConcResult R =
+          conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+      bool Expected = Cfg.FirstBadK != 0 && K >= Cfg.FirstBadK;
+      EXPECT_EQ(R.Reachable, Expected)
+          << Cfg.Adders << " adders, " << Cfg.Stoppers << " stoppers, k="
+          << K;
+    }
+  }
+}

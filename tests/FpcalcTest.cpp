@@ -1,0 +1,311 @@
+//===- FpcalcTest.cpp - Fixed-point calculus tests -------------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpcalc/Calculus.h"
+#include "fpcalc/Evaluator.h"
+
+#include <gtest/gtest.h>
+
+using namespace getafix;
+using namespace getafix::fpc;
+
+namespace {
+
+/// Fixture with a small graph-reachability system: the Section-3 example
+///   Reach(u) = Init(u) | exists x. (Reach(x) & Trans(x, u)).
+struct GraphFixture {
+  System Sys;
+  DomainId Node;
+  VarId U, X;
+  RelId Init, Trans, Reach;
+
+  explicit GraphFixture(uint64_t NumNodes = 8) {
+    Node = Sys.addDomain("Node", NumNodes);
+    U = Sys.addVar("u", Node);
+    X = Sys.addVar("x", Node);
+    Init = Sys.declareRel("Init", {U});
+    Trans = Sys.declareRel("Trans", {X, U});
+    Reach = Sys.declareRel("Reach", {U});
+    Sys.define(Reach,
+               Sys.mkOr({Sys.applyVars(Init, {U}),
+                         Sys.exists({X}, Sys.mkAnd({
+                                             Sys.applyVars(Reach, {X}),
+                                             Sys.applyVars(Trans, {X, U}),
+                                         }))}));
+  }
+
+  /// Solves reachability for the given edge list and initial node.
+  std::vector<bool> solve(const std::vector<std::pair<unsigned, unsigned>>
+                              &Edges,
+                          unsigned InitNode, uint64_t NumNodes = 8) {
+    BddManager Mgr;
+    Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+    Ev.bindInput(Init, Ev.encodeEqConst(U, InitNode));
+    Bdd TransBdd = Mgr.zero();
+    for (auto [From, To] : Edges)
+      TransBdd |= Ev.encodeEqConst(X, From) & Ev.encodeEqConst(U, To);
+    Ev.bindInput(Trans, TransBdd);
+    Bdd Result = Ev.evaluate(Reach).Value;
+    std::vector<bool> Out;
+    for (unsigned N = 0; N < NumNodes; ++N)
+      Out.push_back(!(Result & Ev.encodeEqConst(U, N)).isZero());
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(CalculusTest, DomainBits) {
+  Domain D1{"d", 1, 0};
+  EXPECT_EQ(D1.numBits(), 1u);
+  Domain D2{"d", 2, 0};
+  EXPECT_EQ(D2.numBits(), 1u);
+  Domain D5{"d", 5, 0};
+  EXPECT_EQ(D5.numBits(), 3u);
+  Domain Wide{"d", ~uint64_t(0), 100};
+  EXPECT_EQ(Wide.numBits(), 100u);
+}
+
+TEST(CalculusTest, ValidateCatchesArityAndDomainErrors) {
+  System Sys;
+  DomainId D3 = Sys.addDomain("three", 3);
+  VarId A = Sys.addVar("a", D3);
+  VarId B = Sys.addVar("b", Sys.boolDomain());
+  RelId R = Sys.declareRel("R", {A});
+
+  // Wrong arity.
+  RelId Bad1 = Sys.declareRel("Bad1", {B});
+  Sys.define(Bad1, Sys.apply(R, {Term::var(A), Term::var(A)}));
+  // Wrong argument domain.
+  RelId Bad2 = Sys.declareRel("Bad2", {B});
+  Sys.define(Bad2, Sys.apply(R, {Term::var(B)}));
+  // Constant outside the domain.
+  RelId Bad3 = Sys.declareRel("Bad3", {A});
+  Sys.define(Bad3, Sys.apply(R, {Term::constant(7)}));
+  // Equality across domains.
+  RelId Bad4 = Sys.declareRel("Bad4", {A, B});
+  Sys.define(Bad4, Sys.eqVar(A, B));
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Sys.validate(Diags));
+  EXPECT_GE(Diags.errorCount(), 4u);
+}
+
+TEST(CalculusTest, DependsOnIsTransitive) {
+  System Sys;
+  VarId X = Sys.addVar("x", Sys.boolDomain());
+  RelId A = Sys.declareRel("A", {X});
+  RelId B = Sys.declareRel("B", {X});
+  RelId C = Sys.declareRel("C", {X});
+  RelId In = Sys.declareRel("In", {X});
+  Sys.define(A, Sys.applyVars(B, {X}));
+  Sys.define(B, Sys.applyVars(C, {X}));
+  Sys.define(C, Sys.applyVars(In, {X}));
+  EXPECT_TRUE(Sys.dependsOn(A, C));
+  EXPECT_TRUE(Sys.dependsOn(A, In));
+  EXPECT_FALSE(Sys.dependsOn(C, A));
+}
+
+TEST(CalculusTest, PrintRendersMuckeStyle) {
+  GraphFixture G;
+  std::string Text = G.Sys.print();
+  EXPECT_NE(Text.find("mu bool Reach(Node u)"), std::string::npos);
+  EXPECT_NE(Text.find("input bool Trans(Node x, Node u)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("exists Node x."), std::string::npos);
+}
+
+TEST(EvaluatorTest, GraphReachabilityChain) {
+  GraphFixture G;
+  // 0 -> 1 -> 2 -> 3, plus an unreachable component 5 -> 6.
+  auto R = G.solve({{0, 1}, {1, 2}, {2, 3}, {5, 6}}, 0);
+  std::vector<bool> Expected{true, true, true, true,
+                             false, false, false, false};
+  EXPECT_EQ(R, Expected);
+}
+
+TEST(EvaluatorTest, GraphReachabilityCycle) {
+  GraphFixture G;
+  auto R = G.solve({{1, 2}, {2, 3}, {3, 1}}, 2);
+  EXPECT_FALSE(R[0]);
+  EXPECT_TRUE(R[1] && R[2] && R[3]);
+}
+
+TEST(EvaluatorTest, EarlyStopTerminatesBeforeFullFixpoint) {
+  GraphFixture G;
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  Ev.bindInput(G.Init, Ev.encodeEqConst(G.U, 0));
+  // A long chain 0 -> 1 -> ... -> 7.
+  Bdd TransBdd = Mgr.zero();
+  for (unsigned N = 0; N + 1 < 8; ++N)
+    TransBdd |= Ev.encodeEqConst(G.X, N) & Ev.encodeEqConst(G.U, N + 1);
+  Ev.bindInput(G.Trans, TransBdd);
+
+  Bdd Stop = Ev.encodeEqConst(G.U, 2);
+  EvalOptions Opts;
+  Opts.EarlyStop = &Stop;
+  EvalResult R = Ev.evaluate(G.Reach, Opts);
+  EXPECT_TRUE(R.EarlyStopped);
+  EXPECT_FALSE((R.Value & Stop).isZero());
+  // Node 7 must not have been computed yet.
+  EXPECT_TRUE((R.Value & Ev.encodeEqConst(G.U, 7)).isZero());
+}
+
+TEST(EvaluatorTest, MaxIterationsIsHonored) {
+  GraphFixture G;
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  Ev.bindInput(G.Init, Ev.encodeEqConst(G.U, 0));
+  Bdd TransBdd = Mgr.zero();
+  for (unsigned N = 0; N + 1 < 8; ++N)
+    TransBdd |= Ev.encodeEqConst(G.X, N) & Ev.encodeEqConst(G.U, N + 1);
+  Ev.bindInput(G.Trans, TransBdd);
+  EvalOptions Opts;
+  Opts.MaxIterations = 2;
+  EvalResult R = Ev.evaluate(G.Reach, Opts);
+  EXPECT_TRUE(R.HitIterationLimit);
+}
+
+TEST(EvaluatorTest, ConstantRelationArguments) {
+  System Sys;
+  DomainId D4 = Sys.addDomain("four", 4);
+  VarId A = Sys.addVar("a", D4);
+  VarId B = Sys.addVar("b", D4);
+  RelId Pair = Sys.declareRel("Pair", {A, B});
+  RelId Sel = Sys.declareRel("Sel", {B});
+  Sys.define(Sel, Sys.apply(Pair, {Term::constant(2), Term::var(B)}));
+
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Bdd PairBdd = (Ev.encodeEqConst(A, 2) & Ev.encodeEqConst(B, 3)) |
+                (Ev.encodeEqConst(A, 1) & Ev.encodeEqConst(B, 0));
+  Ev.bindInput(Pair, PairBdd);
+  Bdd R = Ev.evaluate(Sel).Value;
+  EXPECT_EQ(R, Ev.encodeEqConst(B, 3));
+}
+
+TEST(EvaluatorTest, RepeatedArgumentDiagonal) {
+  System Sys;
+  DomainId D4 = Sys.addDomain("four", 4);
+  VarId A = Sys.addVar("a", D4);
+  VarId B = Sys.addVar("b", D4);
+  RelId Pair = Sys.declareRel("Pair", {A, B});
+  RelId Diag = Sys.declareRel("Diag", {A});
+  Sys.define(Diag, Sys.apply(Pair, {Term::var(A), Term::var(A)}));
+
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Bdd PairBdd = (Ev.encodeEqConst(A, 2) & Ev.encodeEqConst(B, 2)) |
+                (Ev.encodeEqConst(A, 1) & Ev.encodeEqConst(B, 3));
+  Ev.bindInput(Pair, PairBdd);
+  EXPECT_EQ(Ev.evaluate(Diag).Value, Ev.encodeEqConst(A, 2));
+}
+
+TEST(EvaluatorTest, NestedRelationsReEvaluatedPerOuterRound) {
+  // Frontier-style system: Outer iterates; Inner depends on Outer and is
+  // re-solved every round (the Section-3 algorithmic semantics). Checks
+  // the non-monotone "newly discovered" idiom used by EF-opt.
+  System Sys;
+  DomainId Node = Sys.addDomain("Node", 8);
+  VarId U = Sys.addVar("u", Node);
+  VarId X = Sys.addVar("x", Node);
+  RelId Trans = Sys.declareRel("Trans", {X, U});
+  RelId Init = Sys.declareRel("Init", {U});
+  RelId Outer = Sys.declareRel("Outer", {U});
+  RelId Step = Sys.declareRel("Step", {U});
+  // Step(u) = exists x. Outer(x) & Trans(x,u); Outer = Init | Step.
+  Sys.define(Step, Sys.exists({X}, Sys.mkAnd({Sys.applyVars(Outer, {X}),
+                                              Sys.applyVars(Trans, {X, U})})));
+  Sys.define(Outer, Sys.mkOr({Sys.applyVars(Init, {U}),
+                              Sys.applyVars(Step, {U})}));
+
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Ev.bindInput(Init, Ev.encodeEqConst(U, 0));
+  Bdd TransBdd = Mgr.zero();
+  for (unsigned N = 0; N + 1 < 5; ++N)
+    TransBdd |= Ev.encodeEqConst(X, N) & Ev.encodeEqConst(U, N + 1);
+  Ev.bindInput(Trans, TransBdd);
+
+  Bdd R = Ev.evaluate(Outer).Value;
+  for (unsigned N = 0; N < 5; ++N)
+    EXPECT_FALSE((R & Ev.encodeEqConst(U, N)).isZero()) << N;
+  EXPECT_TRUE((R & Ev.encodeEqConst(U, 6)).isZero());
+  // Step must have been re-evaluated once per outer round.
+  EXPECT_GE(Ev.stats().at("Step").Evaluations, 5u);
+}
+
+TEST(EvaluatorTest, NonMonotoneNegationUnderAlgorithmicSemantics) {
+  // Fresh(u) = Outer(u) & !Done(u); Done tracks the previous round via a
+  // second relation. Not a least fixed-point — but the operational
+  // semantics assigns it a meaning, which we pin here: with Done == Init,
+  // Fresh is exactly Outer \ Init once Outer converges.
+  System Sys;
+  DomainId Node = Sys.addDomain("Node", 8);
+  VarId U = Sys.addVar("u", Node);
+  VarId X = Sys.addVar("x", Node);
+  RelId Trans = Sys.declareRel("Trans", {X, U});
+  RelId Init = Sys.declareRel("Init", {U});
+  RelId Outer = Sys.declareRel("Outer", {U});
+  RelId Fresh = Sys.declareRel("Fresh", {U});
+  Sys.define(Outer,
+             Sys.mkOr({Sys.applyVars(Init, {U}),
+                       Sys.exists({X}, Sys.mkAnd({
+                                           Sys.applyVars(Outer, {X}),
+                                           Sys.applyVars(Trans, {X, U}),
+                                       }))}));
+  Sys.define(Fresh, Sys.mkAnd({Sys.applyVars(Outer, {U}),
+                               Sys.mkNot(Sys.applyVars(Init, {U}))}));
+
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Ev.bindInput(Init, Ev.encodeEqConst(U, 3));
+  Ev.bindInput(Trans,
+               Ev.encodeEqConst(X, 3) & Ev.encodeEqConst(U, 4));
+  Bdd R = Ev.evaluate(Fresh).Value;
+  EXPECT_EQ(R, Ev.encodeEqConst(U, 4));
+}
+
+TEST(EvaluatorTest, DomainConstraintExcludesPadding) {
+  System Sys;
+  DomainId D5 = Sys.addDomain("five", 5); // 3 bits, values 0..4.
+  VarId A = Sys.addVar("a", D5);
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Bdd Valid = Ev.domainConstraint(A);
+  EXPECT_DOUBLE_EQ(Valid.satCount(Mgr.numVars()), 5.0);
+  for (uint64_t V = 0; V < 5; ++V)
+    EXPECT_FALSE((Valid & Ev.encodeEqConst(A, V)).isZero());
+}
+
+TEST(EvaluatorTest, InterleavedLayoutKeepsCopiesAdjacent) {
+  System Sys;
+  DomainId D16 = Sys.addDomain("d16", 16);
+  VarId A = Sys.addVar("a", D16);
+  VarId B = Sys.addVar("b", D16);
+  BddManager Mgr;
+  Layout L = Layout::interleaved(Sys, Mgr, {{A, B}});
+  for (unsigned Bit = 0; Bit < 4; ++Bit) {
+    EXPECT_EQ(L.bits(A)[Bit] + 1, L.bits(B)[Bit])
+        << "copies must sit on adjacent levels";
+  }
+}
+
+TEST(EvaluatorTest, ZeroArityRelation) {
+  System Sys;
+  VarId X = Sys.addVar("x", Sys.boolDomain());
+  RelId In = Sys.declareRel("In", {X});
+  RelId Any = Sys.declareRel("Any", {});
+  Sys.define(Any, Sys.exists({X}, Sys.applyVars(In, {X})));
+  BddManager Mgr;
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Ev.bindInput(In, Mgr.zero());
+  EXPECT_TRUE(Ev.evaluate(Any).Value.isZero());
+  Ev.invalidate();
+  Ev.bindInput(In, Ev.encodeEqConst(X, 1));
+  EXPECT_TRUE(Ev.evaluate(Any).Value.isOne());
+}

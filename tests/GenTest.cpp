@@ -1,0 +1,167 @@
+//===- GenTest.cpp - Workload-generator ground-truth tests ----------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth tests for the benchmark generators beyond shape checks
+/// (which WorkloadsTest in BpTest covers): the reachability answers the
+/// generators *promise* must hold under the symbolic engine, and the two
+/// TERMINATOR dead-variable modelling styles (iterative nondet-kill vs
+/// schoose) must be observationally equivalent — they model the same
+/// `dead` statement, exactly as the paper's Figure 2 runs both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "gen/Workloads.h"
+#include "reach/SeqReach.h"
+
+#include <gtest/gtest.h>
+
+using namespace getafix;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg;
+};
+
+Parsed parse(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Parsed P;
+  P.Prog = bp::parseProgram(Src, Diags);
+  EXPECT_TRUE(P.Prog != nullptr) << Diags.str();
+  if (!P.Prog)
+    P.Prog = bp::parseProgram("main() begin end", Diags);
+  P.Cfg = bp::buildCfg(*P.Prog);
+  return P;
+}
+
+bool solve(const Parsed &P, const std::string &Label) {
+  reach::SeqOptions Opts;
+  auto R = reach::checkReachabilityOfLabel(P.Cfg, Label, Opts);
+  EXPECT_TRUE(R.TargetFound);
+  return R.Reachable;
+}
+
+class TerminatorEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, uint64_t>> {
+};
+
+class DriverTruthTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint64_t>> {};
+
+} // namespace
+
+TEST_P(TerminatorEquivalenceTest, IterativeAndSchooseStylesAgree) {
+  auto [Bits, Reachable, Seed] = GetParam();
+  gen::TerminatorParams P;
+  P.CounterBits = Bits;
+  P.NumDeadVars = 3;
+  P.Reachable = Reachable;
+  P.Seed = Seed;
+
+  P.Style = gen::DeadVarStyle::Iterative;
+  gen::Workload Iter = gen::terminatorProgram(P);
+  P.Style = gen::DeadVarStyle::Schoose;
+  gen::Workload Schoose = gen::terminatorProgram(P);
+  P.Style = gen::DeadVarStyle::Native;
+  gen::Workload Native = gen::terminatorProgram(P);
+
+  // Three modellings of `dead` — the paper's two hand encodings and the
+  // native statement — same program semantics.
+  auto IterParsed = parse(Iter.Source);
+  auto SchooseParsed = parse(Schoose.Source);
+  auto NativeParsed = parse(Native.Source);
+  bool IterReach = solve(IterParsed, Iter.TargetLabel);
+  bool SchooseReach = solve(SchooseParsed, Schoose.TargetLabel);
+  bool NativeReach = solve(NativeParsed, Native.TargetLabel);
+  EXPECT_EQ(IterReach, SchooseReach);
+  EXPECT_EQ(IterReach, NativeReach);
+  EXPECT_EQ(IterReach, Iter.ExpectReachable);
+  EXPECT_EQ(Iter.ExpectReachable, Reachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TerminatorEquivalenceTest,
+    ::testing::Combine(::testing::Values(3u, 4u, 5u),
+                       ::testing::Bool(),
+                       ::testing::Values(uint64_t(1), uint64_t(7))));
+
+TEST_P(DriverTruthTest, GeneratedExpectationHolds) {
+  auto [Reachable, Seed] = GetParam();
+  gen::DriverParams P;
+  P.NumProcs = 6;
+  P.NumGlobals = 4;
+  P.LocalsPerProc = 3;
+  P.StmtsPerProc = 8;
+  P.Reachable = Reachable;
+  P.Seed = Seed;
+  gen::Workload W = gen::driverProgram(P);
+
+  auto Parsed = parse(W.Source);
+  EXPECT_EQ(solve(Parsed, W.TargetLabel), W.ExpectReachable) << W.Name;
+  EXPECT_EQ(W.ExpectReachable, Reachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DriverTruthTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(uint64_t(2), uint64_t(3),
+                                         uint64_t(5), uint64_t(8))));
+
+TEST(GenTest, NativeDeadStatementHavocsVariables) {
+  // After `dead a, b;` every valuation of a, b is possible.
+  auto P = parse(R"(
+decl g;
+main() begin
+  decl a, b;
+  a, b := T, F;
+  dead a, b;
+  if (a & b) then ERR: skip; else skip; fi
+  return;
+end
+)");
+  EXPECT_TRUE(solve(P, "ERR"));
+}
+
+TEST(GenTest, DeadStatementListRequiresIdentifiers) {
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(
+      "main() begin dead 1; return; end", Diags);
+  EXPECT_TRUE(Prog == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(GenTest, BluetoothConfigurationsParseWithExpectedThreads) {
+  for (auto [Adders, Stoppers] :
+       std::vector<std::pair<unsigned, unsigned>>{
+           {1, 1}, {1, 2}, {2, 1}, {2, 2}}) {
+    std::string Src = gen::bluetoothModel(Adders, Stoppers);
+    DiagnosticEngine Diags;
+    auto Conc = bp::parseConcurrentProgram(Src, Diags);
+    ASSERT_TRUE(Conc != nullptr) << Diags.str();
+    EXPECT_EQ(Conc->numThreads(), Adders + Stoppers);
+  }
+}
+
+TEST(GenTest, RegressionSuiteNamesAreUnique) {
+  std::vector<gen::Workload> Suite = gen::regressionSuite();
+  std::set<std::string> Names;
+  for (const gen::Workload &W : Suite)
+    EXPECT_TRUE(Names.insert(W.Name).second) << "duplicate: " << W.Name;
+}
+
+TEST(GenTest, TerminatorLocGrowsWithCounterWidth) {
+  gen::TerminatorParams P;
+  P.Style = gen::DeadVarStyle::Iterative;
+  P.CounterBits = 4;
+  size_t Small = gen::terminatorProgram(P).Source.size();
+  P.CounterBits = 8;
+  size_t Large = gen::terminatorProgram(P).Source.size();
+  EXPECT_GT(Large, Small);
+}

@@ -1,0 +1,167 @@
+//===- OracleTest.cpp - Explicit-engine and generator tests ---------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "gen/Workloads.h"
+#include "concurrent/ConcReach.h"
+#include "interp/ConcurrentOracle.h"
+#include "interp/SummaryOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace getafix;
+
+namespace {
+
+bp::ProgramCfg parseCfg(const std::string &Src,
+                        std::unique_ptr<bp::Program> &Keep) {
+  DiagnosticEngine Diags;
+  Keep = bp::parseProgram(Src, Diags);
+  EXPECT_TRUE(Keep != nullptr) << Diags.str();
+  if (!Keep) // Keep the runner alive; the EXPECT above already failed.
+    Keep = bp::parseProgram("main() begin end", Diags);
+  return bp::buildCfg(*Keep);
+}
+
+} // namespace
+
+TEST(SummaryOracleTest, CountsPathEdgesDeterministically) {
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg = parseCfg(R"(
+decl g;
+main() begin
+  g := T;
+  if (!g) then ERR: skip; fi;
+end
+)",
+                                Prog);
+  interp::OracleResult A = interp::summaryReachabilityOfLabel(Cfg, "ERR");
+  interp::OracleResult B = interp::summaryReachabilityOfLabel(Cfg, "ERR");
+  EXPECT_FALSE(A.Reachable);
+  EXPECT_EQ(A.PathEdges, B.PathEdges);
+  EXPECT_GT(A.PathEdges, 0u);
+}
+
+TEST(SummaryOracleTest, SummariesRecordedPerInstantiation) {
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg = parseCfg(R"(
+main() begin
+  decl a, b;
+  a := id(T);
+  b := id(F);
+end
+id(x) begin
+  return x;
+end
+)",
+                                Prog);
+  interp::OracleResult R = interp::summaryReachability(Cfg);
+  // id is instantiated with x=T and x=F: at least two summaries.
+  EXPECT_GE(R.Summaries, 2u);
+}
+
+TEST(SummaryOracleTest, NondetLocalsAtEntry) {
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg = parseCfg(R"(
+main() begin
+  decl x;
+  if (x) then ERR: skip; fi;
+end
+)",
+                                Prog);
+  // Uninitialized locals are nondeterministic: ERR is reachable.
+  EXPECT_TRUE(interp::summaryReachabilityOfLabel(Cfg, "ERR").Reachable);
+}
+
+TEST(ConcurrentOracleTest, SwitchCountSemantics) {
+  DiagnosticEngine Diags;
+  auto Conc = bp::parseConcurrentProgram(R"(
+shared decl s;
+thread
+main() begin
+  s := T;
+end
+end
+thread
+main() begin
+  if (s) then ERR: skip; fi;
+end
+end
+)",
+                                         Diags);
+  ASSERT_TRUE(Conc != nullptr) << Diags.str();
+  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  unsigned ProcId = 0, Pc = 0;
+  ASSERT_TRUE(Cfgs[1].findLabelPc("ERR", ProcId, Pc));
+  // Needs thread 0 to run, then one switch into thread 1.
+  for (unsigned K = 0; K <= 2; ++K) {
+    interp::ConcurrentQuery Q{1, ProcId, Pc, K};
+    auto R = interp::concurrentReachability(*Conc, Cfgs, Q);
+    EXPECT_TRUE(R.Exhaustive);
+    EXPECT_EQ(R.Reachable, K >= 1) << "k=" << K;
+  }
+}
+
+TEST(WorkloadsTest, RegressionSuiteParsesAndHasBothPolarities) {
+  auto Suite = gen::regressionSuite();
+  EXPECT_GE(Suite.size(), 20u);
+  unsigned Positive = 0;
+  for (const gen::Workload &W : Suite) {
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
+    unsigned ProcId = 0, Pc = 0;
+    EXPECT_TRUE(Cfg.findLabelPc(W.TargetLabel, ProcId, Pc)) << W.Name;
+    Positive += W.ExpectReachable;
+  }
+  EXPECT_GT(Positive, 5u);
+  EXPECT_LT(Positive, Suite.size() - 5);
+}
+
+TEST(WorkloadsTest, DriverGeneratorIsDeterministic) {
+  gen::DriverParams P;
+  P.Seed = 17;
+  EXPECT_EQ(gen::driverProgram(P).Source, gen::driverProgram(P).Source);
+  gen::DriverParams P2 = P;
+  P2.Seed = 18;
+  EXPECT_NE(gen::driverProgram(P).Source, gen::driverProgram(P2).Source);
+}
+
+TEST(WorkloadsTest, DriverNegativeInvariantHolds) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    gen::DriverParams P;
+    P.NumProcs = 4;
+    P.NumGlobals = 3;
+    P.LocalsPerProc = 3;
+    P.StmtsPerProc = 5;
+    P.Reachable = false;
+    P.Seed = Seed;
+    gen::Workload W = gen::driverProgram(P);
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
+    EXPECT_FALSE(
+        interp::summaryReachabilityOfLabel(Cfg, W.TargetLabel).Reachable)
+        << W.Name;
+  }
+}
+
+TEST(WorkloadsTest, TerminatorScalesWithBits) {
+  gen::TerminatorParams Small;
+  Small.CounterBits = 2;
+  gen::TerminatorParams Large;
+  Large.CounterBits = 6;
+  EXPECT_LT(gen::terminatorProgram(Small).Source.size(),
+            gen::terminatorProgram(Large).Source.size());
+}
+
+TEST(WorkloadsTest, BluetoothModelShape) {
+  std::string Src = gen::bluetoothModel(2, 2);
+  DiagnosticEngine Diags;
+  auto Conc = bp::parseConcurrentProgram(Src, Diags);
+  ASSERT_TRUE(Conc != nullptr) << Diags.str();
+  EXPECT_EQ(Conc->numThreads(), 4u);
+  EXPECT_EQ(Conc->SharedGlobals.size(), 8u) << "Figure 3's 8 globals";
+}

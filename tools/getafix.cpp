@@ -1,0 +1,226 @@
+//===- getafix.cpp - The Getafix command-line checker ---------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tool of Figure 1: reads a (possibly concurrent) Boolean program,
+/// translates it and the selected fixed-point algorithm into the calculus,
+/// and answers a label-reachability query YES/NO.
+///
+///   getafix [options] <program.bp>
+///     --label <L>        target label (default ERR)
+///     --algo <name>      summary | ef | ef-split | ef-opt | moped | bebop
+///     --context-bound k  concurrent programs: max context switches
+///     --rounds r         concurrent: round-robin with r rounds (implies
+///                        --round-robin; overrides --context-bound)
+///     --round-robin      concurrent: restrict schedules to round-robin
+///     --witness          sequential: print a counterexample trace when
+///                        the target is reachable
+///     --print-formula    dump the fixed-point equation system and exit
+///     --stats            print solver statistics
+///
+//===----------------------------------------------------------------------===//
+
+#include "bp/Cfg.h"
+#include "bp/Parser.h"
+#include "concurrent/ConcReach.h"
+#include "reach/Baselines.h"
+#include "reach/SeqReach.h"
+#include "reach/Witness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace getafix;
+
+namespace {
+
+struct CliOptions {
+  std::string File;
+  std::string Label = "ERR";
+  std::string Algo = "ef-opt";
+  unsigned ContextBound = 2;
+  unsigned Rounds = 0; ///< 0 means "not given".
+  bool RoundRobin = false;
+  bool Witness = false;
+  bool PrintFormula = false;
+  bool Stats = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: getafix [--label L] [--algo summary|ef|ef-split|"
+               "ef-opt|moped|bebop]\n"
+               "               [--context-bound k] [--rounds r] "
+               "[--round-robin] [--witness]\n"
+               "               [--print-formula] [--stats] <program.bp>\n");
+  return 2;
+}
+
+bool isConcurrentSource(const std::string &Text) {
+  // The concurrent grammar starts with `shared`; skip whitespace/comments
+  // crudely by searching for the first keyword.
+  size_t Pos = Text.find_first_not_of(" \t\r\n");
+  return Pos != std::string::npos && Text.compare(Pos, 6, "shared") == 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--label") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.Label = V;
+    } else if (Arg == "--algo") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.Algo = V;
+    } else if (Arg == "--context-bound") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.ContextBound = unsigned(std::atoi(V));
+    } else if (Arg == "--rounds") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.Rounds = unsigned(std::atoi(V));
+      Opts.RoundRobin = true;
+    } else if (Arg == "--round-robin") {
+      Opts.RoundRobin = true;
+    } else if (Arg == "--witness") {
+      Opts.Witness = true;
+    } else if (Arg == "--print-formula") {
+      Opts.PrintFormula = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      Opts.File = Arg;
+    }
+  }
+  if (Opts.File.empty())
+    return usage();
+
+  std::ifstream In(Opts.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Opts.File.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  DiagnosticEngine Diags;
+
+  if (isConcurrentSource(Text)) {
+    auto Conc = bp::parseConcurrentProgram(Text, Diags);
+    if (!Conc) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 2;
+    }
+    auto Cfgs = conc::buildThreadCfgs(*Conc);
+    conc::ConcOptions CO;
+    CO.MaxContextSwitches =
+        Opts.Rounds != 0
+            ? conc::contextSwitchesForRounds(Opts.Rounds, Conc->numThreads())
+            : Opts.ContextBound;
+    CO.RoundRobin = Opts.RoundRobin;
+    auto R = conc::checkConcReachabilityOfLabel(*Conc, Cfgs, Opts.Label, CO);
+    if (!R.TargetFound) {
+      std::fprintf(stderr, "error: label '%s' not found\n",
+                   Opts.Label.c_str());
+      return 2;
+    }
+    std::printf("%s\n", R.Reachable ? "YES" : "NO");
+    if (Opts.Stats)
+      std::printf("iterations=%llu reach-bdd-nodes=%zu "
+                  "reach-states=%.0f time=%.3fs\n",
+                  (unsigned long long)R.Iterations, R.ReachNodes,
+                  R.ReachStates, R.Seconds);
+    return R.Reachable ? 0 : 1;
+  }
+
+  auto Prog = bp::parseProgram(Text, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+  auto Cfg = bp::buildCfg(*Prog);
+
+  if (Opts.Algo == "moped" || Opts.Algo == "bebop") {
+    auto R = Opts.Algo == "moped"
+                 ? reach::mopedPostStarLabel(Cfg, Opts.Label)
+                 : reach::bebopTabulateLabel(Cfg, Opts.Label);
+    if (!R.TargetFound) {
+      std::fprintf(stderr, "error: label '%s' not found\n",
+                   Opts.Label.c_str());
+      return 2;
+    }
+    std::printf("%s\n", R.Reachable ? "YES" : "NO");
+    if (Opts.Stats)
+      std::printf("iterations=%llu time=%.3fs\n",
+                  (unsigned long long)R.Iterations, R.Seconds);
+    return R.Reachable ? 0 : 1;
+  }
+
+  reach::SeqOptions SO;
+  if (Opts.Algo == "summary")
+    SO.Alg = reach::SeqAlgorithm::SummarySimple;
+  else if (Opts.Algo == "ef")
+    SO.Alg = reach::SeqAlgorithm::EntryForward;
+  else if (Opts.Algo == "ef-split")
+    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
+  else if (Opts.Algo == "ef-opt")
+    SO.Alg = reach::SeqAlgorithm::EntryForwardOpt;
+  else
+    return usage();
+
+  if (Opts.PrintFormula) {
+    std::printf("%s", reach::formulaText(Cfg, SO.Alg).c_str());
+    return 0;
+  }
+
+  if (Opts.Witness) {
+    auto R = reach::checkReachabilityOfLabelWithWitness(Cfg, Opts.Label, SO);
+    if (!R.TargetFound) {
+      std::fprintf(stderr, "error: label '%s' not found\n",
+                   Opts.Label.c_str());
+      return 2;
+    }
+    std::printf("%s\n", R.Reachable ? "YES" : "NO");
+    if (R.Reachable)
+      std::printf("%s", reach::formatWitness(Cfg, R.Steps).c_str());
+    if (Opts.Stats)
+      std::printf("iterations=%llu steps=%zu\n",
+                  (unsigned long long)R.Iterations, R.Steps.size());
+    return R.Reachable ? 0 : 1;
+  }
+
+  auto R = reach::checkReachabilityOfLabel(Cfg, Opts.Label, SO);
+  if (!R.TargetFound) {
+    std::fprintf(stderr, "error: label '%s' not found\n", Opts.Label.c_str());
+    return 2;
+  }
+  std::printf("%s\n", R.Reachable ? "YES" : "NO");
+  if (Opts.Stats)
+    std::printf("iterations=%llu summary-bdd-nodes=%zu peak-nodes=%zu "
+                "time=%.3fs\n",
+                (unsigned long long)R.Iterations, R.SummaryNodes,
+                R.PeakLiveNodes, R.Seconds);
+  return R.Reachable ? 0 : 1;
+}
