@@ -6,20 +6,20 @@
 ///
 /// \file
 /// Helpers shared by the Figure-2/Figure-3 reproduction binaries: parsing
-/// workloads, running every engine on a label query, and printing aligned
-/// table rows. (The micro-benchmarks use google-benchmark; the paper-table
-/// binaries print rows that mirror the paper's layout instead, which is the
-/// deliverable.)
+/// workloads, running engines by registry name through the `Solver`
+/// facade, and printing aligned table rows. (The micro-benchmarks use
+/// google-benchmark; the paper-table binaries print rows that mirror the
+/// paper's layout instead, which is the deliverable.)
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GETAFIX_BENCH_BENCHUTIL_H
 #define GETAFIX_BENCH_BENCHUTIL_H
 
+#include "api/Solver.h"
 #include "bp/Cfg.h"
 #include "bp/Parser.h"
-#include "reach/Baselines.h"
-#include "reach/SeqReach.h"
+#include "concurrent/ConcReach.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,35 +47,66 @@ inline ParsedProgram parseOrDie(const std::string &Src) {
   return P;
 }
 
-/// Results of one engine on one workload.
+struct ParsedConcProgram {
+  std::unique_ptr<bp::ConcurrentProgram> Conc;
+  std::vector<bp::ProgramCfg> Cfgs;
+};
+
+inline ParsedConcProgram parseConcOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  ParsedConcProgram P;
+  P.Conc = bp::parseConcurrentProgram(Src, Diags);
+  if (!P.Conc) {
+    std::fprintf(stderr, "benchmark workload failed to parse:\n%s",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  P.Cfgs = conc::buildThreadCfgs(*P.Conc);
+  return P;
+}
+
+/// Results of one engine on one workload (a view of SolveResult that the
+/// table printers index).
 struct EngineRow {
   bool Reachable = false;
   double Seconds = 0.0;
   size_t Nodes = 0;
   uint64_t Iterations = 0;
+  double ReachStates = 0.0;
+  size_t TransformedGlobals = 0;
 };
 
-inline EngineRow runAlgorithm(const bp::ProgramCfg &Cfg,
-                              const std::string &Label,
-                              reach::SeqAlgorithm Alg,
-                              bool EarlyStop = true) {
-  reach::SeqOptions Opts;
-  Opts.Alg = Alg;
+inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
+  if (!R.ok()) {
+    std::fprintf(stderr, "engine '%s' failed: %s\n", Engine,
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return EngineRow{R.Reachable,  R.Seconds,     R.SummaryNodes,
+                   R.Iterations, R.ReachStates, R.TransformedGlobals};
+}
+
+/// Runs the engine \p Engine (a registry name) on a sequential label query.
+inline EngineRow runEngine(const bp::ProgramCfg &Cfg,
+                           const std::string &Label, const char *Engine,
+                           bool EarlyStop = true) {
+  SolverOptions Opts;
+  Opts.Engine = Engine;
   Opts.EarlyStop = EarlyStop;
-  reach::SeqResult R = reach::checkReachabilityOfLabel(Cfg, Label, Opts);
-  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
+  return rowOrDie(Solver::solve(Query::fromCfg(Cfg).target(Label), Opts),
+                  Engine);
 }
 
-inline EngineRow runMoped(const bp::ProgramCfg &Cfg,
-                          const std::string &Label) {
-  reach::BaselineResult R = reach::mopedPostStarLabel(Cfg, Label);
-  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
-}
-
-inline EngineRow runBebop(const bp::ProgramCfg &Cfg,
-                          const std::string &Label) {
-  reach::BaselineResult R = reach::bebopTabulateLabel(Cfg, Label);
-  return EngineRow{R.Reachable, R.Seconds, R.SummaryNodes, R.Iterations};
+/// Runs \p Engine on a concurrent label query under \p Opts (which carries
+/// the context bound / scheduling policy).
+inline EngineRow runConcEngine(const ParsedConcProgram &P,
+                               const std::string &Label, const char *Engine,
+                               SolverOptions Opts) {
+  Opts.Engine = Engine;
+  return rowOrDie(
+      Solver::solve(Query::fromConcurrent(*P.Conc, &P.Cfgs).target(Label),
+                    Opts),
+      Engine);
 }
 
 /// Counts non-blank source lines (the paper's LOC column).

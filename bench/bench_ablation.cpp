@@ -30,14 +30,10 @@ int main() {
     gen::Workload W = gen::terminatorProgram(P);
     ParsedProgram Parsed = parseOrDie(W.Source);
 
-    EngineRow Unsplit = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                     reach::SeqAlgorithm::EntryForward);
-    EngineRow Split = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                   reach::SeqAlgorithm::EntryForwardSplit);
-    EngineRow Opt = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                 reach::SeqAlgorithm::EntryForwardOpt);
-    EngineRow Simple = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                    reach::SeqAlgorithm::SummarySimple);
+    EngineRow Unsplit = runEngine(Parsed.Cfg, W.TargetLabel, "ef");
+    EngineRow Split = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split");
+    EngineRow Opt = runEngine(Parsed.Cfg, W.TargetLabel, "ef-opt");
+    EngineRow Simple = runEngine(Parsed.Cfg, W.TargetLabel, "summary");
     std::printf("%-24s %9.3fs %9.3fs %9.3fs %11.3fs\n", W.Name.c_str(),
                 Unsplit.Seconds, Split.Seconds, Opt.Seconds,
                 Simple.Seconds);
@@ -53,12 +49,10 @@ int main() {
     P.Seed = Seed;
     gen::Workload W = gen::driverProgram(P);
     ParsedProgram Parsed = parseOrDie(W.Source);
-    EngineRow Fast = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                  reach::SeqAlgorithm::EntryForwardSplit,
-                                  /*EarlyStop=*/true);
-    EngineRow Full = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                  reach::SeqAlgorithm::EntryForwardSplit,
-                                  /*EarlyStop=*/false);
+    EngineRow Fast = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
+                               /*EarlyStop=*/true);
+    EngineRow Full = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
+                               /*EarlyStop=*/false);
     std::printf("%-24s %11.3fs %11.3fs\n", W.Name.c_str(), Fast.Seconds,
                 Full.Seconds);
   }

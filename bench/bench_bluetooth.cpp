@@ -9,14 +9,11 @@
 // with k (steeply for the 4-thread configuration).
 //===----------------------------------------------------------------------===//
 
-#include "bp/Parser.h"
-#include "concurrent/ConcReach.h"
+#include "bench/BenchUtil.h"
 #include "gen/Workloads.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 using namespace getafix;
+using namespace getafix::bench;
 
 int main() {
   std::printf("=== Figure 3 / Bluetooth driver ===\n");
@@ -34,22 +31,15 @@ int main() {
     std::printf("\n%s\n", C.Title);
     std::printf("%8s %10s %14s %10s\n", "switches", "Reachable",
                 "reach-set", "time(s)");
-    std::string Src = gen::bluetoothModel(C.Adders, C.Stoppers);
-    DiagnosticEngine Diags;
-    auto Conc = bp::parseConcurrentProgram(Src, Diags);
-    if (!Conc) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
-    }
-    auto Cfgs = conc::buildThreadCfgs(*Conc);
+    ParsedConcProgram P =
+        parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
     unsigned NumThreads = C.Adders + C.Stoppers;
     unsigned MaxK = NumThreads >= 4 ? 4u : (NumThreads == 3 ? 5u : 6u);
     for (unsigned K = 1; K <= MaxK; ++K) {
-      conc::ConcOptions Opts;
-      Opts.MaxContextSwitches = K;
+      SolverOptions Opts;
+      Opts.ContextBound = K;
       Opts.EarlyStop = false; // Figure 3 reports the full reachable set.
-      conc::ConcResult R =
-          conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+      EngineRow R = runConcEngine(P, "ERR", "conc", Opts);
       std::printf("%8u %10s %14.1fk %10.2f\n", K,
                   R.Reachable ? "Yes" : "No", R.ReachStates / 1000.0,
                   R.Seconds);

@@ -4,15 +4,13 @@
 //
 // Compares the paper's k+1-copy fixed-point formulation against the eager
 // Lal-Reps sequentialization (O(k) extra copies of every shared variable
-// inside the program itself). Shape to check: the fixed-point engine's time
-// grows gently with k while the eager reduction blows up quickly — the
-// Section-5 claim about economic use of global-variable copies.
+// inside the program itself), both as registry engines answering the same
+// query. Shape to check: the fixed-point engine's time grows gently with k
+// while the eager reduction blows up quickly — the Section-5 claim about
+// economic use of global-variable copies.
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
-#include "concurrent/ConcReach.h"
-#include "concurrent/LalReps.h"
-#include "gen/Workloads.h"
 
 using namespace getafix;
 using namespace getafix::bench;
@@ -41,43 +39,25 @@ main() begin
 end
 end
 )";
-  DiagnosticEngine Diags;
-  auto Conc = bp::parseConcurrentProgram(Src, Diags);
-  if (!Conc) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
+  ParsedConcProgram P = parseConcOrDie(Src);
 
   for (unsigned K = 1; K <= 3; ++K) {
-    conc::ConcOptions Opts;
-    Opts.MaxContextSwitches = K;
-    conc::ConcResult Ours =
-        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+    SolverOptions Opts;
+    Opts.ContextBound = K;
+    EngineRow Ours = runConcEngine(P, "ERR", "conc", Opts);
 
     // Round-robin mode (the Section-5 closing remark / the Lal-Reps
     // scheduling assumption): the schedule variables become constants.
-    conc::ConcOptions RROpts = Opts;
+    SolverOptions RROpts = Opts;
     RROpts.RoundRobin = true;
-    conc::ConcResult RR =
-        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", RROpts);
+    EngineRow RR = runConcEngine(P, "ERR", "conc", RROpts);
 
-    DiagnosticEngine D2;
-    auto Seq = conc::lalRepsSequentialize(*Conc, "ERR", K, D2);
-    if (!Seq) {
-      std::fprintf(stderr, "%s", D2.str().c_str());
-      return 1;
-    }
-    bp::ProgramCfg SeqCfg = bp::buildCfg(*Seq);
-    reach::SeqOptions SO;
-    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
-    reach::SeqResult LR =
-        reach::checkReachabilityOfLabel(SeqCfg, conc::lalRepsGoalLabel(), SO);
+    EngineRow LR = runConcEngine(P, "ERR", "lal-reps", Opts);
     if (LR.Reachable != Ours.Reachable)
       std::fprintf(stderr, "DISAGREEMENT at k=%u\n", K);
 
-    std::printf("%8u %12.3f %12.3f %12.3f %14u\n", K, Ours.Seconds,
-                RR.Seconds, LR.Seconds, Seq->numGlobals());
+    std::printf("%8u %12.3f %12.3f %12.3f %14zu\n", K, Ours.Seconds,
+                RR.Seconds, LR.Seconds, LR.TransformedGlobals);
   }
   std::printf("(eager columns grow with k while the fixed-point engine "
               "stays flat)\n");

@@ -33,18 +33,15 @@ int main() {
           std::fprintf(stderr, "WRONG ANSWER: %s on %s\n", Engine,
                        W.Name.c_str());
       };
-      EngineRow Ef =
-          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::EntryForwardSplit);
-      Check(Ef, "ef");
-      EngineRow Opt =
-          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::EntryForwardOpt);
+      EngineRow Ef = runEngine(P.Cfg, W.TargetLabel, "ef-split");
+      Check(Ef, "ef-split");
+      EngineRow Opt = runEngine(P.Cfg, W.TargetLabel, "ef-opt");
       Check(Opt, "ef-opt");
-      EngineRow Simple =
-          runAlgorithm(P.Cfg, W.TargetLabel, reach::SeqAlgorithm::SummarySimple);
+      EngineRow Simple = runEngine(P.Cfg, W.TargetLabel, "summary");
       Check(Simple, "summary");
-      EngineRow Moped = runMoped(P.Cfg, W.TargetLabel);
+      EngineRow Moped = runEngine(P.Cfg, W.TargetLabel, "moped");
       Check(Moped, "moped");
-      EngineRow Bebop = runBebop(P.Cfg, W.TargetLabel);
+      EngineRow Bebop = runEngine(P.Cfg, W.TargetLabel, "bebop");
       Check(Bebop, "bebop");
       TEf += Ef.Seconds;
       TOpt += Opt.Seconds;

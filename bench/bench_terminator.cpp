@@ -49,15 +49,13 @@ int main() {
       gen::Workload W = gen::terminatorProgram(P);
       ParsedProgram Parsed = parseOrDie(W.Source);
 
-      EngineRow Ef = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                  reach::SeqAlgorithm::EntryForwardSplit);
-      EngineRow Opt = runAlgorithm(Parsed.Cfg, W.TargetLabel,
-                                   reach::SeqAlgorithm::EntryForwardOpt);
-      EngineRow Moped = runMoped(Parsed.Cfg, W.TargetLabel);
+      EngineRow Ef = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split");
+      EngineRow Opt = runEngine(Parsed.Cfg, W.TargetLabel, "ef-opt");
+      EngineRow Moped = runEngine(Parsed.Cfg, W.TargetLabel, "moped");
       EngineRow Bebop;
       bool RanBebop = T.RunBebop;
       if (RanBebop)
-        Bebop = runBebop(Parsed.Cfg, W.TargetLabel);
+        Bebop = runEngine(Parsed.Cfg, W.TargetLabel, "bebop");
 
       if (Ef.Reachable != W.ExpectReachable ||
           Opt.Reachable != W.ExpectReachable)

@@ -7,12 +7,13 @@
 /// \file
 /// Section-6.2 walkthrough: build the Windows NT Bluetooth driver model
 /// (adder and stopper threads over shared pendingIo/stopping state) and
-/// sweep the context-switch bound, printing the Figure-3 style rows:
-/// whether the assertion violation is reachable, the size of the reachable
-/// set, and the solve time.
+/// sweep the context-switch bound through the Solver facade, printing the
+/// Figure-3 style rows: whether the assertion violation is reachable, the
+/// size of the reachable set, and the solve time.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Parser.h"
 #include "concurrent/ConcReach.h"
 #include "gen/Workloads.h"
@@ -28,19 +29,25 @@ int main() {
 
   for (auto [Adders, Stoppers] : Configs) {
     std::printf("--- %u adder(s), %u stopper(s) ---\n", Adders, Stoppers);
-    std::string Source = gen::bluetoothModel(Adders, Stoppers);
+    // Parse once per configuration; the k-sweep reuses the built CFGs.
     DiagnosticEngine Diags;
-    auto Conc = bp::parseConcurrentProgram(Source, Diags);
+    auto Conc = bp::parseConcurrentProgram(
+        gen::bluetoothModel(Adders, Stoppers), Diags);
     if (!Conc) {
       std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
       return 1;
     }
     auto Cfgs = conc::buildThreadCfgs(*Conc);
+    Query Q = Query::fromConcurrent(*Conc, &Cfgs).target("ERR");
     for (unsigned K = 1; K <= 4; ++K) {
-      conc::ConcOptions Opts;
-      Opts.MaxContextSwitches = K;
-      conc::ConcResult R =
-          conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+      SolverOptions Opts;
+      Opts.Engine = "conc";
+      Opts.ContextBound = K;
+      SolveResult R = Solver::solve(Q, Opts);
+      if (!R.ok()) {
+        std::fprintf(stderr, "solve failed: %s\n", R.Error.c_str());
+        return 1;
+      }
       std::printf("  k=%u  reachable=%-3s  reach-set=%8.0f tuples  "
                   "%.2fs\n",
                   K, R.Reachable ? "YES" : "no", R.ReachStates, R.Seconds);

@@ -5,14 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Demonstrates counterexample extraction: a buggy lock-discipline model is
-/// checked, the engine reports the error *and* a concrete interprocedural
-/// run reaching it, and the run is independently validated by replaying it
-/// against the explicit statement semantics.
+/// Demonstrates counterexample extraction through the facade: a buggy
+/// lock-discipline model is checked with a witness request, the engine
+/// reports the error *and* a concrete interprocedural run reaching it, and
+/// the run is independently validated by replaying it against the explicit
+/// statement semantics.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bp/Cfg.h"
+#include "api/Solver.h"
 #include "bp/Parser.h"
 #include "reach/Witness.h"
 
@@ -47,6 +48,8 @@ work(nested) begin
 end
 )";
 
+  // Build the CFG ourselves (rather than handing the facade the source
+  // text) so the replay check below can use it too.
   DiagnosticEngine Diags;
   auto Prog = bp::parseProgram(Source, Diags);
   if (!Prog) {
@@ -55,11 +58,10 @@ end
   }
   bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
 
-  reach::SeqOptions Opts;
-  reach::WitnessResult R =
-      reach::checkReachabilityOfLabelWithWitness(Cfg, "ERR", Opts);
-  if (!R.TargetFound) {
-    std::fprintf(stderr, "label ERR not found\n");
+  SolveResult R = Solver::solve(Query::fromCfg(Cfg).target("ERR").witness(),
+                                SolverOptions());
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s\n", R.Error.c_str());
     return 1;
   }
 
@@ -68,15 +70,15 @@ end
     return 0;
 
   std::printf("\ncounterexample (%zu steps, %llu fixpoint rounds):\n%s",
-              R.Steps.size(), (unsigned long long)R.Iterations,
-              reach::formatWitness(Cfg, R.Steps).c_str());
+              R.Witness.size(), (unsigned long long)R.Iterations,
+              R.WitnessText.c_str());
 
   // Replay the trace against the explicit semantics — an independent
   // implementation — to confirm it is a real run of the program.
   unsigned ProcId = 0, Pc = 0;
   Cfg.findLabelPc("ERR", ProcId, Pc);
   std::string Error;
-  bool Valid = reach::verifyWitness(Cfg, R.Steps, ProcId, Pc, &Error);
+  bool Valid = reach::verifyWitness(Cfg, R.Witness, ProcId, Pc, &Error);
   std::printf("\nreplay check: %s%s%s\n", Valid ? "valid" : "INVALID",
               Error.empty() ? "" : " — ", Error.c_str());
   return Valid ? 0 : 1;

@@ -7,17 +7,15 @@
 /// \file
 /// The Section-6.1 scenario at example scale: generate a SLAM-driver-shaped
 /// Boolean program (the kind predicate abstraction emits for device
-/// drivers), print the fixed-point formula Getafix would hand to the
-/// solver, then check a reachable and an unreachable target and show the
-/// algorithm comparison the paper's Figure 2 makes.
+/// drivers), check a reachable and an unreachable target through every
+/// sequential engine in the registry (the comparison the paper's Figure 2
+/// makes), then print the fixed-point formula Getafix would hand to the
+/// solver.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bp/Cfg.h"
-#include "bp/Parser.h"
+#include "api/Solver.h"
 #include "gen/Workloads.h"
-#include "reach/Baselines.h"
-#include "reach/SeqReach.h"
 
 #include <cstdio>
 
@@ -34,33 +32,22 @@ int main() {
     Params.Seed = 2026;
     gen::Workload W = gen::driverProgram(Params);
 
-    DiagnosticEngine Diags;
-    auto Prog = bp::parseProgram(W.Source, Diags);
-    if (!Prog) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
-    }
-    bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
-
-    std::printf("=== %s (%u procedures, target %s) ===\n", W.Name.c_str(),
-                unsigned(Prog->Procs.size()),
+    std::printf("=== %s (target %s) ===\n", W.Name.c_str(),
                 Reachable ? "reachable" : "unreachable");
-    for (auto Alg : {reach::SeqAlgorithm::EntryForward,
-                     reach::SeqAlgorithm::EntryForwardSplit,
-                     reach::SeqAlgorithm::EntryForwardOpt}) {
-      reach::SeqOptions Opts;
-      Opts.Alg = Alg;
-      reach::SeqResult R =
-          reach::checkReachabilityOfLabel(Cfg, W.TargetLabel, Opts);
+    Query Q = Query::fromSource(W.Source).target(W.TargetLabel);
+    for (const char *Engine : {"ef", "ef-split", "ef-opt", "moped"}) {
+      SolverOptions Opts;
+      Opts.Engine = Engine;
+      SolveResult R = Solver::solve(Q, Opts);
+      if (!R.ok()) {
+        std::fprintf(stderr, "%s\n", R.Error.c_str());
+        return 1;
+      }
       std::printf("  %-20s %-3s  %llu iterations  %zu BDD nodes  %.3fs\n",
-                  reach::algorithmName(Alg), R.Reachable ? "YES" : "NO",
+                  Engine, R.Reachable ? "YES" : "NO",
                   (unsigned long long)R.Iterations, R.SummaryNodes,
                   R.Seconds);
     }
-    reach::BaselineResult M = reach::mopedPostStarLabel(Cfg, W.TargetLabel);
-    std::printf("  %-20s %-3s  %llu rounds  %.3fs\n", "moped-poststar",
-                M.Reachable ? "YES" : "NO",
-                (unsigned long long)M.Iterations, M.Seconds);
     std::printf("\n");
   }
 
@@ -70,12 +57,17 @@ int main() {
   Tiny.NumProcs = 2;
   Tiny.StmtsPerProc = 3;
   gen::Workload W = gen::driverProgram(Tiny);
-  DiagnosticEngine Diags;
-  auto Prog = bp::parseProgram(W.Source, Diags);
-  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+  SolverOptions Opts;
+  Opts.Engine = "ef-split";
+  std::string Error;
+  std::string Text = Solver::formulaText(
+      Query::fromSource(W.Source).target(W.TargetLabel), Opts, &Error);
+  if (Text.empty()) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
   std::printf("=== the entry-forward algorithm, as handed to the solver "
               "===\n%s",
-              reach::formulaText(Cfg, reach::SeqAlgorithm::EntryForwardSplit)
-                  .c_str());
+              Text.c_str());
   return 0;
 }

@@ -7,18 +7,16 @@
 /// \file
 /// Figure 1 of the paper shows Getafix emitting a "MUCKE file": the input
 /// program's template relations plus the reachability algorithm, all as one
-/// textual fixed-point formula. This example regenerates that artifact —
-/// the complete equation system for the entry-forward algorithm over a
-/// small program — and then feeds the text back through the calculus
-/// parser to show that the algorithms really are exchangeable as plain
-/// text (print -> parse -> print is a fixed point).
+/// textual fixed-point formula. This example regenerates that artifact
+/// through the facade — the complete equation system the `ef-split` engine
+/// would solve over a small program — and then feeds the text back through
+/// the calculus parser to show that the algorithms really are exchangeable
+/// as plain text (print -> parse -> print is a fixed point).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bp/Cfg.h"
-#include "bp/Parser.h"
+#include "api/Solver.h"
 #include "fpcalc/Parser.h"
-#include "reach/SeqReach.h"
 
 #include <cstdio>
 
@@ -39,18 +37,17 @@ toggle(x) begin
 end
 )";
 
-  DiagnosticEngine Diags;
-  auto Prog = bp::parseProgram(Source, Diags);
-  if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
-
   // The "MUCKE file": input-relation declarations plus the one-page
   // algorithm formula (here Section 4.2's entry-forward algorithm).
-  std::string Text =
-      reach::formulaText(Cfg, reach::SeqAlgorithm::EntryForwardSplit);
+  SolverOptions Opts;
+  Opts.Engine = "ef-split";
+  std::string Error;
+  std::string Text = Solver::formulaText(
+      Query::fromSource(Source).target("ERR"), Opts, &Error);
+  if (Text.empty()) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
   std::printf("%s", Text.c_str());
 
   // Round-trip through the textual front-end.

@@ -5,17 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quickstart: parse a recursive Boolean program, run all four fixed-point
-/// reachability algorithms plus the two baselines on a label query, and
-/// print what each engine reports. This is the whole public API surface a
-/// typical client needs.
+/// Quickstart: one `Query`, one `Solver::solve` call per engine. The
+/// engine list comes from the registry, so this program automatically
+/// covers every reachability algorithm the library ships — the whole
+/// public API surface a typical client needs.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bp/Cfg.h"
-#include "bp/Parser.h"
-#include "reach/Baselines.h"
-#include "reach/SeqReach.h"
+#include "api/Solver.h"
 
 #include <cstdio>
 
@@ -52,35 +49,24 @@ release() begin
 end
 )";
 
-  DiagnosticEngine Diags;
-  auto Prog = bp::parseProgram(Source, Diags);
-  if (!Prog) {
-    std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
-    return 1;
-  }
-  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
-
   std::printf("query: is label ERR reachable?\n\n");
-  for (auto Alg :
-       {reach::SeqAlgorithm::SummarySimple, reach::SeqAlgorithm::EntryForward,
-        reach::SeqAlgorithm::EntryForwardSplit,
-        reach::SeqAlgorithm::EntryForwardOpt}) {
-    reach::SeqOptions Opts;
-    Opts.Alg = Alg;
-    reach::SeqResult R = reach::checkReachabilityOfLabel(Cfg, "ERR", Opts);
-    std::printf("%-20s -> %-3s  (%llu iterations, %zu summary nodes, "
-                "%.3fs)\n",
-                reach::algorithmName(Alg), R.Reachable ? "YES" : "NO",
-                (unsigned long long)R.Iterations, R.SummaryNodes, R.Seconds);
-  }
 
-  reach::BaselineResult M = reach::mopedPostStarLabel(Cfg, "ERR");
-  std::printf("%-20s -> %-3s  (%llu rounds, %.3fs)\n", "moped-poststar",
-              M.Reachable ? "YES" : "NO", (unsigned long long)M.Iterations,
-              M.Seconds);
-  reach::BaselineResult B = reach::bebopTabulateLabel(Cfg, "ERR");
-  std::printf("%-20s -> %-3s  (%llu path edges, %.3fs)\n", "bebop-tabulate",
-              B.Reachable ? "YES" : "NO", (unsigned long long)B.Iterations,
-              B.Seconds);
+  Query Q = Query::fromSource(Source).target("ERR");
+  for (const api::Engine *E : Solver::engines()) {
+    if (E->handlesConcurrent())
+      continue; // The lock model is sequential.
+    SolverOptions Opts;
+    Opts.Engine = E->name();
+    SolveResult R = Solver::solve(Q, Opts);
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", E->name(), R.Error.c_str());
+      return 1;
+    }
+    std::printf("%-10s -> %-3s  (%llu iterations, %zu nodes, peak %zu, "
+                "%.3fs)\n",
+                E->name(), R.Reachable ? "YES" : "NO",
+                (unsigned long long)R.Iterations, R.SummaryNodes,
+                R.PeakLiveNodes, R.Seconds);
+  }
   return 0;
 }

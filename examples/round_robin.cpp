@@ -10,10 +10,11 @@
 /// driver model: per context bound, whether the assertion violation is
 /// reachable under each policy and what the analysis costs. Round-robin
 /// pins the schedule vector to constants, so its state space is a slice of
-/// the free-schedule one.
+/// the free-schedule one. Both policies are one `SolverOptions` flag apart.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Parser.h"
 #include "concurrent/ConcReach.h"
 #include "gen/Workloads.h"
@@ -24,29 +25,29 @@ using namespace getafix;
 
 int main() {
   // One adder, two stoppers: the paper's Figure 3 reports the bug from
-  // three context switches under free scheduling.
-  std::string Source = gen::bluetoothModel(1, 2);
-
+  // three context switches under free scheduling. Parse once; the sweep
+  // reuses the built CFGs.
   DiagnosticEngine Diags;
-  auto Conc = bp::parseConcurrentProgram(Source, Diags);
+  auto Conc = bp::parseConcurrentProgram(gen::bluetoothModel(1, 2), Diags);
   if (!Conc) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
     return 1;
   }
   auto Cfgs = conc::buildThreadCfgs(*Conc);
+  Query Q = Query::fromConcurrent(*Conc, &Cfgs).target("ERR");
 
   std::printf("Bluetooth driver, 1 adder + 2 stoppers\n");
   std::printf("%8s %14s %14s\n", "switches", "free-schedule", "round-robin");
   for (unsigned K = 1; K <= 5; ++K) {
-    conc::ConcResult Free, RR;
+    SolveResult Free, RR;
     for (bool RoundRobin : {false, true}) {
-      conc::ConcOptions Opts;
-      Opts.MaxContextSwitches = K;
+      SolverOptions Opts;
+      Opts.Engine = "conc";
+      Opts.ContextBound = K;
       Opts.RoundRobin = RoundRobin;
-      auto R = conc::checkConcReachabilityOfLabel(*Conc, Cfgs,
-                                                  "ERR", Opts);
-      if (!R.TargetFound) {
-        std::fprintf(stderr, "label ERR not found\n");
+      SolveResult R = Solver::solve(Q, Opts);
+      if (!R.ok()) {
+        std::fprintf(stderr, "solve failed: %s\n", R.Error.c_str());
         return 1;
       }
       (RoundRobin ? RR : Free) = R;

@@ -1,0 +1,271 @@
+//===- Solver.cpp - Facade dispatch and query compilation -----------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Solver.h"
+
+#include "bp/Parser.h"
+#include "concurrent/ConcReach.h"
+
+#include <cstdio>
+#include <utility>
+
+using namespace getafix;
+using namespace getafix::api;
+
+//===----------------------------------------------------------------------===//
+// EngineRegistry
+//===----------------------------------------------------------------------===//
+
+EngineRegistry &EngineRegistry::instance() {
+  static EngineRegistry Registry;
+  // Deliberately outside the registry's own initializer: builtin
+  // registration calls back into `Registry.add`.
+  static bool BuiltinsRegistered =
+      (detail::registerBuiltinEngines(Registry), true);
+  (void)BuiltinsRegistered;
+  return Registry;
+}
+
+void EngineRegistry::add(std::unique_ptr<Engine> E) {
+  for (std::unique_ptr<Engine> &Existing : Engines)
+    if (std::string(Existing->name()) == E->name()) {
+      Existing = std::move(E);
+      return;
+    }
+  Engines.push_back(std::move(E));
+}
+
+const Engine *EngineRegistry::lookup(const std::string &Name) const {
+  for (const std::unique_ptr<Engine> &E : Engines)
+    if (Name == E->name())
+      return E.get();
+  return nullptr;
+}
+
+std::vector<const Engine *> EngineRegistry::engines() const {
+  std::vector<const Engine *> Out;
+  Out.reserve(Engines.size());
+  for (const std::unique_ptr<Engine> &E : Engines)
+    Out.push_back(E.get());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Query compilation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The concurrent grammar starts with `shared`; skip leading whitespace and
+/// look for the keyword (the same sniff the CLI used to hand-roll).
+bool isConcurrentSource(const std::string &Text) {
+  size_t Pos = Text.find_first_not_of(" \t\r\n");
+  if (Pos == std::string::npos || Text.compare(Pos, 6, "shared") != 0)
+    return false;
+  if (Pos + 6 == Text.size())
+    return true;
+  // Keyword boundary: reject identifiers like `shared_init`.
+  char Next = Text[Pos + 6];
+  return !isalnum(static_cast<unsigned char>(Next)) && Next != '_';
+}
+
+Solver::Compilation fail(SolveStatus Status, std::string Error) {
+  Solver::Compilation C;
+  C.Status = Status;
+  C.Error = std::move(Error);
+  return C;
+}
+
+} // namespace
+
+Solver::Compilation Solver::compile(const Query &Q, bool RequireTarget) {
+  Compilation C;
+  C.Query = std::make_unique<CompiledQuery>();
+  CompiledQuery &CQ = *C.Query;
+  CQ.WantWitness = Q.WantWitness;
+
+  if (Q.Cfg) {
+    CQ.Cfg = Q.Cfg;
+  } else if (Q.Conc) {
+    CQ.Conc = Q.Conc;
+    if (Q.ThreadCfgs) {
+      CQ.ThreadCfgs = Q.ThreadCfgs;
+    } else {
+      CQ.OwnedThreadCfgs = conc::buildThreadCfgs(*Q.Conc);
+      CQ.ThreadCfgs = &CQ.OwnedThreadCfgs;
+    }
+  } else if (!Q.Source.empty()) {
+    DiagnosticEngine Diags;
+    if (isConcurrentSource(Q.Source)) {
+      CQ.OwnedConc = bp::parseConcurrentProgram(Q.Source, Diags);
+      if (!CQ.OwnedConc)
+        return fail(SolveStatus::ParseError, Diags.str());
+      CQ.Conc = CQ.OwnedConc.get();
+      CQ.OwnedThreadCfgs = conc::buildThreadCfgs(*CQ.Conc);
+      CQ.ThreadCfgs = &CQ.OwnedThreadCfgs;
+    } else {
+      CQ.OwnedProg = bp::parseProgram(Q.Source, Diags);
+      if (!CQ.OwnedProg)
+        return fail(SolveStatus::ParseError, Diags.str());
+      CQ.OwnedCfg =
+          std::make_unique<bp::ProgramCfg>(bp::buildCfg(*CQ.OwnedProg));
+      CQ.Cfg = CQ.OwnedCfg.get();
+    }
+  } else {
+    return fail(SolveStatus::BadQuery,
+                "query carries no program (source, Cfg, or Conc)");
+  }
+
+  // Resolve the target to a concrete (thread,) proc, pc.
+  if (CQ.isConcurrent()) {
+    const std::vector<bp::ProgramCfg> &Cfgs = CQ.threadCfgs();
+    if (Q.UsePoint) {
+      if (Q.Thread >= Cfgs.size() ||
+          Q.ProcId >= Cfgs[Q.Thread].Procs.size() ||
+          Q.Pc >= Cfgs[Q.Thread].Procs[Q.ProcId].NumPcs)
+        return fail(SolveStatus::TargetNotFound,
+                    "target point (thread " + std::to_string(Q.Thread) +
+                        ", " + std::to_string(Q.ProcId) + ", " +
+                        std::to_string(Q.Pc) + ") out of range");
+      CQ.Thread = Q.Thread;
+      CQ.ProcId = Q.ProcId;
+      CQ.Pc = Q.Pc;
+      return C;
+    }
+    for (unsigned Thread = 0; Thread < Cfgs.size(); ++Thread)
+      if (Cfgs[Thread].findLabelPc(Q.Label, CQ.ProcId, CQ.Pc)) {
+        CQ.Thread = Thread;
+        CQ.Label = Q.Label;
+        return C;
+      }
+    if (!RequireTarget)
+      return C;
+    return fail(SolveStatus::TargetNotFound,
+                "label '" + Q.Label + "' not found");
+  }
+
+  if (Q.UsePoint) {
+    if (Q.ProcId >= CQ.cfg().Procs.size() ||
+        Q.Pc >= CQ.cfg().Procs[Q.ProcId].NumPcs)
+      return fail(SolveStatus::TargetNotFound,
+                  "target point (" + std::to_string(Q.ProcId) + ", " +
+                      std::to_string(Q.Pc) + ") out of range");
+    CQ.ProcId = Q.ProcId;
+    CQ.Pc = Q.Pc;
+    return C;
+  }
+  if (!CQ.cfg().findLabelPc(Q.Label, CQ.ProcId, CQ.Pc)) {
+    if (!RequireTarget)
+      return C;
+    return fail(SolveStatus::TargetNotFound,
+                "label '" + Q.Label + "' not found");
+  }
+  CQ.Label = Q.Label;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves `Opts.Engine` (empty = per-kind default) against the registry
+/// and the query kind. Null with \p Out filled on failure.
+const Engine *selectEngine(const CompiledQuery &Q, const SolverOptions &Opts,
+                           SolveResult &Out) {
+  std::string Name = Opts.Engine;
+  if (Name.empty())
+    Name = Q.isConcurrent() ? "conc" : "ef-opt";
+  const Engine *E = Solver::findEngine(Name);
+  if (!E) {
+    Out.Status = SolveStatus::UnknownEngine;
+    Out.Error = "unknown engine '" + Name + "' (have: " +
+                Solver::engineList(", ") + ")";
+    return nullptr;
+  }
+  if (E->handlesConcurrent() != Q.isConcurrent()) {
+    Out.Status = SolveStatus::BadQuery;
+    Out.Error = std::string("engine '") + E->name() + "' answers " +
+                (E->handlesConcurrent() ? "concurrent" : "sequential") +
+                " queries, but the program is " +
+                (Q.isConcurrent() ? "concurrent" : "sequential");
+    return nullptr;
+  }
+  return E;
+}
+
+} // namespace
+
+SolveResult Solver::solve(const Query &Q, const SolverOptions &Opts) {
+  Compilation C = compile(Q);
+  SolveResult R;
+  if (!C.Query) {
+    R.Status = C.Status;
+    R.Error = std::move(C.Error);
+    return R;
+  }
+  const Engine *E = selectEngine(*C.Query, Opts, R);
+  if (!E)
+    return R;
+  return E->run(*C.Query, Opts);
+}
+
+std::string Solver::formulaText(const Query &Q, const SolverOptions &Opts,
+                                std::string *Error) {
+  // The equation system does not depend on the target, so a missing label
+  // must not block printing it.
+  Compilation C = compile(Q, /*RequireTarget=*/false);
+  if (!C.Query) {
+    if (Error)
+      *Error = C.Error;
+    return "";
+  }
+  SolveResult R;
+  const Engine *E = selectEngine(*C.Query, Opts, R);
+  if (!E) {
+    if (Error)
+      *Error = R.Error;
+    return "";
+  }
+  std::string Text = E->formulaText(*C.Query);
+  if (Text.empty() && Error)
+    *Error = std::string("engine '") + E->name() +
+             "' does not expose its equation system";
+  return Text;
+}
+
+const Engine *Solver::findEngine(const std::string &Name) {
+  return EngineRegistry::instance().lookup(Name);
+}
+
+std::vector<const Engine *> Solver::engines() {
+  return EngineRegistry::instance().engines();
+}
+
+std::string Solver::engineList(const char *Sep) {
+  std::string Out;
+  for (const Engine *E : engines()) {
+    if (!Out.empty())
+      Out += Sep;
+    Out += E->name();
+  }
+  return Out;
+}
+
+std::string Solver::engineTable() {
+  size_t Width = 0;
+  for (const Engine *E : engines())
+    Width = std::max(Width, std::string(E->name()).size());
+  std::string Out;
+  for (const Engine *E : engines()) {
+    std::string Name = E->name();
+    Out += "  " + Name + std::string(Width - Name.size() + 2, ' ') +
+           (E->handlesConcurrent() ? "concurrent  " : "sequential  ") +
+           E->description() + "\n";
+  }
+  return Out;
+}

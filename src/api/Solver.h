@@ -1,0 +1,350 @@
+//===- Solver.h - Unified reachability-solver facade ------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one entry point the paper's thesis calls for: every reachability
+/// algorithm in this repository — the four fixed-point formulations of
+/// Sections 4.1–4.3, the two natively-coded baselines, the Section-5
+/// bounded context-switching engine, and the Lal–Reps eager
+/// sequentialization — answers the same `Query` through `Solver::solve`.
+///
+///   - `Query`        — the program (source text or a pre-built
+///     `bp::ProgramCfg` / `bp::ConcurrentProgram`), the target (a label or
+///     an explicit (thread, proc, pc) point), and an optional witness
+///     request.
+///   - `SolverOptions` — engine name plus the union of all engine knobs
+///     (BDD cache/GC, early stop, context bound, round-robin/rounds).
+///   - `SolveResult`  — status + the union of every engine's statistics,
+///     plus the witness trace when one was requested and extracted.
+///   - `Engine`       — the pluggable backend interface; implementations
+///     self-register into the `EngineRegistry` keyed by name, which is also
+///     where CLI `--algo` help and `--list-algos` come from.
+///
+/// Clients never translate between per-module Options/Result structs or
+/// hand-roll string→algorithm dispatch; that lives here, once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_API_SOLVER_H
+#define GETAFIX_API_SOLVER_H
+
+#include "bp/Ast.h"
+#include "bp/Cfg.h"
+#include "reach/Witness.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace getafix {
+namespace api {
+
+//===----------------------------------------------------------------------===//
+// Query
+//===----------------------------------------------------------------------===//
+
+/// One reachability question: a program, a target, and whether a
+/// counterexample trace is wanted. Build with the named constructors and
+/// chain the target/witness setters:
+///
+///   auto R = Solver::solve(Query::fromSource(Text).target("ERR"), Opts);
+///
+/// Pre-built-program queries borrow the CFG/program; the caller keeps it
+/// alive for the duration of the solve.
+struct Query {
+  /// Program source; parsed (and auto-detected as sequential or concurrent)
+  /// when no pre-built program is given.
+  std::string Source;
+  /// Pre-built sequential program.
+  const bp::ProgramCfg *Cfg = nullptr;
+  /// Pre-built concurrent program, with optional pre-built per-thread CFGs
+  /// (built on demand otherwise).
+  const bp::ConcurrentProgram *Conc = nullptr;
+  const std::vector<bp::ProgramCfg> *ThreadCfgs = nullptr;
+
+  /// Target label (ignored when `UsePoint`).
+  std::string Label = "ERR";
+  /// Explicit target point; `Thread` is meaningful for concurrent queries.
+  bool UsePoint = false;
+  unsigned Thread = 0;
+  unsigned ProcId = 0;
+  unsigned Pc = 0;
+
+  /// Request a counterexample trace (engines that cannot extract one leave
+  /// `SolveResult::Witness` empty and `HasWitness` false).
+  bool WantWitness = false;
+
+  static Query fromSource(std::string Text) {
+    Query Q;
+    Q.Source = std::move(Text);
+    return Q;
+  }
+  static Query fromCfg(const bp::ProgramCfg &Cfg) {
+    Query Q;
+    Q.Cfg = &Cfg;
+    return Q;
+  }
+  static Query
+  fromConcurrent(const bp::ConcurrentProgram &Conc,
+                 const std::vector<bp::ProgramCfg> *ThreadCfgs = nullptr) {
+    Query Q;
+    Q.Conc = &Conc;
+    Q.ThreadCfgs = ThreadCfgs;
+    return Q;
+  }
+
+  Query &target(std::string TargetLabel) {
+    Label = std::move(TargetLabel);
+    UsePoint = false;
+    return *this;
+  }
+  Query &targetPoint(unsigned TargetProcId, unsigned TargetPc,
+                     unsigned TargetThread = 0) {
+    UsePoint = true;
+    ProcId = TargetProcId;
+    Pc = TargetPc;
+    Thread = TargetThread;
+    return *this;
+  }
+  Query &witness(bool Want = true) {
+    WantWitness = Want;
+    return *this;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Options and result
+//===----------------------------------------------------------------------===//
+
+/// The union of every engine's knobs. Engines read what applies to them and
+/// ignore the rest, so one options struct configures any engine.
+struct SolverOptions {
+  /// Registry key of the engine to run. Empty selects the default for the
+  /// query kind: `ef-opt` for sequential programs, `conc` for concurrent.
+  std::string Engine;
+
+  // Shared symbolic-solver knobs.
+  bool EarlyStop = true;          ///< Stop as soon as the target is hit.
+  unsigned CacheBits = 18;        ///< BDD computed cache of 2^CacheBits.
+  size_t GcThreshold = 1u << 22;  ///< BDD auto-GC threshold; 0 disables.
+
+  // Concurrent knobs.
+  unsigned ContextBound = 2; ///< Max context switches k.
+  /// When nonzero: analyze this many round-robin rounds (implies
+  /// `RoundRobin` and overrides `ContextBound`).
+  unsigned Rounds = 0;
+  bool RoundRobin = false; ///< Restrict schedules to round-robin order.
+};
+
+enum class SolveStatus {
+  Ok,             ///< The engine answered the query.
+  ParseError,     ///< The program source failed to parse/analyze.
+  UnknownEngine,  ///< No registered engine has the requested name.
+  TargetNotFound, ///< The target label does not exist in the program.
+  BadQuery,       ///< Query/engine mismatch (see `Error`).
+};
+
+/// The union of every engine's statistics; fields an engine does not
+/// produce keep their zero defaults.
+struct SolveResult {
+  SolveStatus Status = SolveStatus::Ok;
+  std::string Error; ///< Human-readable detail when `Status != Ok`.
+
+  bool Reachable = false;
+  uint64_t Iterations = 0;  ///< Fixpoint rounds / worklist steps.
+  size_t SummaryNodes = 0;  ///< Final BDD size of the main relation.
+  size_t PeakLiveNodes = 0; ///< Peak BDD nodes (0 for non-BDD engines).
+  double ReachStates = 0.0; ///< Concurrent: sat-count of Reach (Figure 3).
+  /// Lal–Reps: globals in the sequentialized program (the O(k) copy blowup
+  /// the paper's formulation avoids).
+  size_t TransformedGlobals = 0;
+  double Seconds = 0.0; ///< Wall-clock solve time (excludes parsing).
+
+  /// Witness trace, when requested and the engine supports extraction.
+  bool HasWitness = false;
+  std::vector<reach::WitnessStep> Witness;
+  std::string WitnessText; ///< `reach::formatWitness` rendering.
+
+  bool ok() const { return Status == SolveStatus::Ok; }
+};
+
+//===----------------------------------------------------------------------===//
+// Compiled queries
+//===----------------------------------------------------------------------===//
+
+/// A `Query` resolved against a concrete program: source parsed, CFGs
+/// built, the target located. This is what engines consume; building it
+/// once here is what deletes the per-caller parse/lookup boilerplate.
+/// Not movable: engines hold pointers into the owned storage.
+class CompiledQuery {
+public:
+  CompiledQuery() = default;
+  CompiledQuery(const CompiledQuery &) = delete;
+  CompiledQuery &operator=(const CompiledQuery &) = delete;
+
+  bool isConcurrent() const { return Conc != nullptr; }
+  const bp::ProgramCfg &cfg() const { return *Cfg; }
+  const bp::ConcurrentProgram &concurrent() const { return *Conc; }
+  const std::vector<bp::ProgramCfg> &threadCfgs() const { return *ThreadCfgs; }
+
+  unsigned thread() const { return Thread; }
+  unsigned procId() const { return ProcId; }
+  unsigned pc() const { return Pc; }
+  /// The queried label; empty for point queries on unlabelled points.
+  const std::string &label() const { return Label; }
+  bool wantWitness() const { return WantWitness; }
+
+private:
+  friend class Solver;
+
+  // Borrowed views (into owned storage below, or the caller's objects).
+  const bp::ProgramCfg *Cfg = nullptr;
+  const bp::ConcurrentProgram *Conc = nullptr;
+  const std::vector<bp::ProgramCfg> *ThreadCfgs = nullptr;
+
+  // Owned storage for source-text queries / on-demand thread CFGs.
+  std::unique_ptr<bp::Program> OwnedProg;
+  std::unique_ptr<bp::ConcurrentProgram> OwnedConc;
+  std::unique_ptr<bp::ProgramCfg> OwnedCfg;
+  std::vector<bp::ProgramCfg> OwnedThreadCfgs;
+
+  unsigned Thread = 0;
+  unsigned ProcId = 0;
+  unsigned Pc = 0;
+  std::string Label;
+  bool WantWitness = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Engines
+//===----------------------------------------------------------------------===//
+
+/// A pluggable reachability backend. Implementations translate
+/// `SolverOptions` to their native knobs, solve the compiled query, and map
+/// their native results into `SolveResult`. Register instances with
+/// `RegisterEngine` (the built-in eight live in Engines.cpp).
+class Engine {
+public:
+  virtual ~Engine() = default;
+
+  /// Registry key (`--algo` value), e.g. "ef-split".
+  virtual const char *name() const = 0;
+  /// One-line description for `--list-algos`.
+  virtual const char *description() const = 0;
+  /// Whether this engine answers concurrent (vs sequential) queries.
+  virtual bool handlesConcurrent() const = 0;
+  /// Whether this engine can extract a counterexample trace.
+  virtual bool supportsWitness() const { return false; }
+
+  /// Solves \p Q. The query kind is pre-checked against
+  /// `handlesConcurrent()` by the dispatcher.
+  virtual SolveResult run(const CompiledQuery &Q,
+                          const SolverOptions &Opts) const = 0;
+
+  /// The fixed-point equation system this engine would solve for \p Q (the
+  /// paper's "one page of formulae"); empty for natively-coded engines.
+  virtual std::string formulaText(const CompiledQuery &Q) const {
+    (void)Q;
+    return "";
+  }
+};
+
+/// Name-keyed engine registry. `instance()` registers the built-in engines
+/// on first use, so they are available even when the api library is linked
+/// statically and nothing else references Engines.cpp.
+class EngineRegistry {
+public:
+  static EngineRegistry &instance();
+
+  /// Takes ownership. A later registration under an existing name replaces
+  /// the earlier engine (last one wins).
+  void add(std::unique_ptr<Engine> E);
+  /// Null when no engine has that name.
+  const Engine *lookup(const std::string &Name) const;
+  /// All engines, in registration order.
+  std::vector<const Engine *> engines() const;
+
+private:
+  std::vector<std::unique_ptr<Engine>> Engines;
+};
+
+/// Static-object helper for self-registration:
+///   static RegisterEngine X(std::make_unique<MyEngine>());
+struct RegisterEngine {
+  explicit RegisterEngine(std::unique_ptr<Engine> E) {
+    EngineRegistry::instance().add(std::move(E));
+  }
+};
+
+namespace detail {
+/// Defined in Engines.cpp; called once by `EngineRegistry::instance()`.
+void registerBuiltinEngines(EngineRegistry &R);
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Solver
+//===----------------------------------------------------------------------===//
+
+/// The facade. Stateless apart from default options; all the work is
+/// compile (parse + resolve target) then dispatch through the registry.
+class Solver {
+public:
+  Solver() = default;
+  explicit Solver(SolverOptions Defaults) : Defaults(std::move(Defaults)) {}
+
+  const SolverOptions &options() const { return Defaults; }
+
+  /// Solves with this solver's default options.
+  SolveResult solve(const Query &Q) const { return solve(Q, Defaults); }
+
+  /// Compiles \p Q and dispatches it to the engine `Opts.Engine` names.
+  static SolveResult solve(const Query &Q, const SolverOptions &Opts);
+
+  /// The equation system the selected engine would solve for \p Q; empty
+  /// (with \p Error set when non-null) on failure or for natively-coded
+  /// engines.
+  static std::string formulaText(const Query &Q, const SolverOptions &Opts,
+                                 std::string *Error = nullptr);
+
+  /// Result of `compile`: a resolved query, or a status + message.
+  struct Compilation {
+    std::unique_ptr<CompiledQuery> Query; ///< Null when compilation failed.
+    SolveStatus Status = SolveStatus::Ok;
+    std::string Error;
+  };
+
+  /// Parses/resolves \p Q without running an engine. With
+  /// \p RequireTarget false, a missing target label is not an error — the
+  /// compiled query's target fields stay zero (used by `formulaText`,
+  /// whose output does not depend on the target).
+  static Compilation compile(const Query &Q, bool RequireTarget = true);
+
+  /// Registry conveniences (also usable via EngineRegistry directly).
+  static const Engine *findEngine(const std::string &Name);
+  static std::vector<const Engine *> engines();
+  /// "summary|ef|ef-split|..." — for usage strings.
+  static std::string engineList(const char *Sep = "|");
+  /// Aligned name/kind/description table — for `--list-algos`.
+  static std::string engineTable();
+
+private:
+  SolverOptions Defaults;
+};
+
+} // namespace api
+
+// The facade types are the public API of the library; export them into the
+// top-level namespace.
+using api::Query;
+using api::SolveResult;
+using api::Solver;
+using api::SolverOptions;
+using api::SolveStatus;
+
+} // namespace getafix
+
+#endif // GETAFIX_API_SOLVER_H

@@ -462,6 +462,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   auto StatsIt = Ev.stats().find("Reach");
   if (StatsIt != Ev.stats().end())
     Result.Iterations = StatsIt->second.Iterations;
+  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
   Result.Seconds = Tm.seconds();
   return Result;
 }

@@ -56,6 +56,7 @@ struct ConcResult {
   bool TargetFound = true;
   uint64_t Iterations = 0;
   size_t ReachNodes = 0;    ///< Final BDD size of the Reach relation.
+  size_t PeakLiveNodes = 0; ///< Peak BDD nodes in the manager.
   double ReachStates = 0.0; ///< Sat-count of Reach over its tuple bits
                             ///< (the "reachable set size" of Figure 3).
   double Seconds = 0.0;
@@ -78,8 +79,14 @@ std::vector<bp::ProgramCfg> buildThreadCfgs(const bp::ConcurrentProgram &C);
 
 /// The context-switch bound covering \p Rounds full round-robin rounds of
 /// \p Threads threads (each round runs every thread once, in order).
+/// Zero arguments are clamped to one — defined behavior in every build
+/// mode, where `0 * N - 1` used to underflow to ~4 billion context
+/// switches under NDEBUG.
 inline unsigned contextSwitchesForRounds(unsigned Rounds, unsigned Threads) {
-  assert(Rounds >= 1 && Threads >= 1 && "need at least one round/thread");
+  if (Rounds < 1)
+    Rounds = 1;
+  if (Threads < 1)
+    Threads = 1;
   return Rounds * Threads - 1;
 }
 

@@ -459,6 +459,12 @@ conc::lalRepsSequentialize(const ConcurrentProgram &Conc,
                            const std::string &Label,
                            unsigned MaxContextSwitches,
                            DiagnosticEngine &Diags) {
+  // One thread admits no context switch (a switch activates *another*
+  // thread), so the guessed schedule's adjacent-contexts-differ constraint
+  // would be unsatisfiable for k >= 1 and block every execution. Bounded
+  // reachability then equals sequential reachability: transform with k = 0.
+  if (Conc.numThreads() == 1)
+    MaxContextSwitches = 0;
   Sequentializer Seq(Conc, Label, MaxContextSwitches);
   return Seq.run(Diags);
 }

@@ -230,6 +230,7 @@ BaselineResult PostStarSolver::run() {
   if (!Result.Reachable)
     Result.Reachable = !(Reach & TargetStates).isZero();
   Result.SummaryNodes = Reach.nodeCount();
+  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
   Result.Seconds = T.seconds();
   return Result;
 }

@@ -36,8 +36,10 @@ namespace reach {
 struct BaselineResult {
   bool Reachable = false;
   bool TargetFound = true;
-  uint64_t Iterations = 0; ///< Fixpoint rounds / worklist steps.
-  size_t SummaryNodes = 0; ///< Final BDD size (moped only).
+  uint64_t Iterations = 0;  ///< Fixpoint rounds / worklist steps.
+  size_t SummaryNodes = 0;  ///< Final BDD size (moped only).
+  size_t PeakLiveNodes = 0; ///< Peak BDD nodes (moped only; bebop is
+                            ///< enumerative and reports 0).
   double Seconds = 0.0;
 };
 

@@ -4,12 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Parser.h"
 #include "concurrent/ConcReach.h"
-#include "concurrent/LalReps.h"
 #include "gen/Workloads.h"
 #include "interp/ConcurrentOracle.h"
-#include "reach/SeqReach.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -18,11 +17,30 @@ using namespace getafix;
 
 namespace {
 
-std::unique_ptr<bp::ConcurrentProgram> parseConc(const std::string &Src) {
+struct ParsedConc {
+  std::unique_ptr<bp::ConcurrentProgram> Conc;
+  std::vector<bp::ProgramCfg> Cfgs;
+};
+
+ParsedConc parseConc(const std::string &Src) {
   DiagnosticEngine Diags;
-  auto Conc = bp::parseConcurrentProgram(Src, Diags);
-  EXPECT_TRUE(Conc != nullptr) << Diags.str() << "\nsource:\n" << Src;
-  return Conc;
+  ParsedConc P;
+  P.Conc = bp::parseConcurrentProgram(Src, Diags);
+  EXPECT_TRUE(P.Conc != nullptr) << Diags.str() << "\nsource:\n" << Src;
+  if (P.Conc)
+    P.Cfgs = conc::buildThreadCfgs(*P.Conc);
+  return P;
+}
+
+SolveResult solveConc(const ParsedConc &P, const std::string &Label,
+                      unsigned K, const char *Engine = "conc",
+                      bool EarlyStop = true) {
+  SolverOptions Opts;
+  Opts.Engine = Engine;
+  Opts.ContextBound = K;
+  Opts.EarlyStop = EarlyStop;
+  return Solver::solve(
+      Query::fromConcurrent(*P.Conc, &P.Cfgs).target(Label), Opts);
 }
 
 /// Generates a small random concurrent program: straight-line and branchy
@@ -93,27 +111,19 @@ main() begin
 end
 end
 )");
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
   for (unsigned K = 0; K <= 4; ++K) {
-    conc::ConcOptions Opts;
-    Opts.MaxContextSwitches = K;
-    conc::ConcResult R =
-        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
-    ASSERT_TRUE(R.TargetFound);
+    SolveResult R = solveConc(Conc, "ERR", K);
+    ASSERT_TRUE(R.ok()) << R.Error;
     EXPECT_EQ(R.Reachable, K >= 3) << "k=" << K;
   }
 }
 
 TEST(ConcurrentTest, ReachSetGrowsWithContextBound) {
   auto Conc = parseConc(gen::bluetoothModel(1, 1));
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
   double Prev = 0;
   for (unsigned K = 1; K <= 3; ++K) {
-    conc::ConcOptions Opts;
-    Opts.MaxContextSwitches = K;
-    Opts.EarlyStop = false;
-    conc::ConcResult R =
-        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+    SolveResult R = solveConc(Conc, "ERR", K, "conc", /*EarlyStop=*/false);
+    ASSERT_TRUE(R.ok()) << R.Error;
     EXPECT_GT(R.ReachStates, Prev) << "k=" << K;
     Prev = R.ReachStates;
   }
@@ -122,11 +132,8 @@ TEST(ConcurrentTest, ReachSetGrowsWithContextBound) {
 TEST(ConcurrentTest, MissingLabelReported) {
   auto Conc = parseConc("shared decl s;\nthread\nmain() begin s := T; end\n"
                         "end\n");
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
-  conc::ConcOptions Opts;
-  conc::ConcResult R =
-      conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "NOPE", Opts);
-  EXPECT_FALSE(R.TargetFound);
+  SolveResult R = solveConc(Conc, "NOPE", 2);
+  EXPECT_EQ(R.Status, SolveStatus::TargetNotFound);
 }
 
 TEST(ConcurrentTest, RecursiveThreadsWithinBound) {
@@ -149,19 +156,14 @@ main() begin
 end
 end
 )");
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
-  conc::ConcOptions Opts;
-  Opts.MaxContextSwitches = 1;
-  EXPECT_TRUE(conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts)
-                  .Reachable);
+  EXPECT_TRUE(solveConc(Conc, "ERR", 1).Reachable);
 }
 
 TEST_P(ConcDifferentialTest, SymbolicMatchesExplicitOracle) {
   std::string Src = randomConcurrentSource(GetParam());
   auto Conc = parseConc(Src);
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
   unsigned ProcId = 0, Pc = 0;
-  ASSERT_TRUE(Cfgs[0].findLabelPc("ERR", ProcId, Pc)) << Src;
+  ASSERT_TRUE(Conc.Cfgs[0].findLabelPc("ERR", ProcId, Pc)) << Src;
 
   for (unsigned K = 0; K <= 3; ++K) {
     interp::ConcurrentQuery Q;
@@ -170,13 +172,18 @@ TEST_P(ConcDifferentialTest, SymbolicMatchesExplicitOracle) {
     Q.Pc = Pc;
     Q.MaxContextSwitches = K;
     interp::ConcurrentOracleResult O =
-        interp::concurrentReachability(*Conc, Cfgs, Q);
+        interp::concurrentReachability(*Conc.Conc, Conc.Cfgs, Q);
     ASSERT_TRUE(O.Exhaustive) << "oracle bound too small\n" << Src;
 
-    conc::ConcOptions Opts;
-    Opts.MaxContextSwitches = K;
-    conc::ConcResult R =
-        conc::checkConcReachability(*Conc, Cfgs, 0, ProcId, Pc, Opts);
+    // Point query through the facade, against the explicit oracle.
+    SolverOptions Opts;
+    Opts.Engine = "conc";
+    Opts.ContextBound = K;
+    SolveResult R = Solver::solve(
+        Query::fromConcurrent(*Conc.Conc, &Conc.Cfgs)
+            .targetPoint(ProcId, Pc, /*Thread=*/0),
+        Opts);
+    ASSERT_TRUE(R.ok()) << R.Error;
     EXPECT_EQ(R.Reachable, O.Reachable) << "k=" << K << "\n" << Src;
   }
 }
@@ -187,23 +194,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ConcDifferentialTest,
 TEST_P(LalRepsTest, EagerReductionAgreesWithFixpoint) {
   std::string Src = randomConcurrentSource(GetParam());
   auto Conc = parseConc(Src);
-  auto Cfgs = conc::buildThreadCfgs(*Conc);
   for (unsigned K = 1; K <= 2; ++K) {
-    conc::ConcOptions Opts;
-    Opts.MaxContextSwitches = K;
-    conc::ConcResult Ours =
-        conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
-
-    DiagnosticEngine Diags;
-    auto Seq = conc::lalRepsSequentialize(*Conc, "ERR", K, Diags);
-    ASSERT_TRUE(Seq != nullptr) << Diags.str() << "\n" << Src;
-    bp::ProgramCfg SeqCfg = bp::buildCfg(*Seq);
-    reach::SeqOptions SO;
-    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
-    reach::SeqResult LR = reach::checkReachabilityOfLabel(
-        SeqCfg, conc::lalRepsGoalLabel(), SO);
-    ASSERT_TRUE(LR.TargetFound);
+    SolveResult Ours = solveConc(Conc, "ERR", K, "conc");
+    SolveResult LR = solveConc(Conc, "ERR", K, "lal-reps");
+    ASSERT_TRUE(Ours.ok()) << Ours.Error << "\n" << Src;
+    ASSERT_TRUE(LR.ok()) << LR.Error << "\n" << Src;
     EXPECT_EQ(LR.Reachable, Ours.Reachable) << "k=" << K << "\n" << Src;
+    // The eager reduction's global-copy blowup is visible in the stats.
+    EXPECT_GT(LR.TransformedGlobals, Conc.Conc->SharedGlobals.size());
   }
 }
 
@@ -219,13 +217,10 @@ TEST(BluetoothTest, Figure3Pattern) {
 
   for (const Row &Cfg : Rows) {
     auto Conc = parseConc(gen::bluetoothModel(Cfg.Adders, Cfg.Stoppers));
-    auto Cfgs = conc::buildThreadCfgs(*Conc);
     unsigned MaxK = std::max(4u, Cfg.FirstBadK);
     for (unsigned K = 1; K <= MaxK; ++K) {
-      conc::ConcOptions Opts;
-      Opts.MaxContextSwitches = K;
-      conc::ConcResult R =
-          conc::checkConcReachabilityOfLabel(*Conc, Cfgs, "ERR", Opts);
+      SolveResult R = solveConc(Conc, "ERR", K);
+      ASSERT_TRUE(R.ok()) << R.Error;
       bool Expected = Cfg.FirstBadK != 0 && K >= Cfg.FirstBadK;
       EXPECT_EQ(R.Reachable, Expected)
           << Cfg.Adders << " adders, " << Cfg.Stoppers << " stoppers, k="

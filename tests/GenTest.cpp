@@ -14,10 +14,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Cfg.h"
 #include "bp/Parser.h"
 #include "gen/Workloads.h"
-#include "reach/SeqReach.h"
 
 #include <gtest/gtest.h>
 
@@ -42,9 +42,9 @@ Parsed parse(const std::string &Src) {
 }
 
 bool solve(const Parsed &P, const std::string &Label) {
-  reach::SeqOptions Opts;
-  auto R = reach::checkReachabilityOfLabel(P.Cfg, Label, Opts);
-  EXPECT_TRUE(R.TargetFound);
+  SolveResult R =
+      Solver::solve(Query::fromCfg(P.Cfg).target(Label), SolverOptions());
+  EXPECT_TRUE(R.ok()) << R.Error;
   return R.Reachable;
 }
 

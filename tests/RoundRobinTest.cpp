@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Parser.h"
 #include "concurrent/ConcReach.h"
 #include "interp/ConcurrentOracle.h"
@@ -100,11 +101,13 @@ end
 
 bool symbolic(const ParsedConc &P, const std::string &Label, unsigned K,
               bool RoundRobin) {
-  conc::ConcOptions Opts;
-  Opts.MaxContextSwitches = K;
+  SolverOptions Opts;
+  Opts.Engine = "conc";
+  Opts.ContextBound = K;
   Opts.RoundRobin = RoundRobin;
-  auto R = conc::checkConcReachabilityOfLabel(*P.Conc, P.Cfgs, Label, Opts);
-  EXPECT_TRUE(R.TargetFound);
+  SolveResult R = Solver::solve(
+      Query::fromConcurrent(*P.Conc, &P.Cfgs).target(Label), Opts);
+  EXPECT_TRUE(R.ok()) << R.Error;
   return R.Reachable;
 }
 
@@ -133,6 +136,11 @@ TEST(RoundRobinTest, ContextSwitchesForRounds) {
   EXPECT_EQ(conc::contextSwitchesForRounds(1, 4), 3u);
   EXPECT_EQ(conc::contextSwitchesForRounds(3, 3), 8u);
   EXPECT_EQ(conc::contextSwitchesForRounds(5, 1), 4u);
+  // Zero arguments clamp to one round/thread instead of underflowing to
+  // ~4 billion context switches (the old NDEBUG behavior).
+  EXPECT_EQ(conc::contextSwitchesForRounds(0, 2), 1u);
+  EXPECT_EQ(conc::contextSwitchesForRounds(2, 0), 1u);
+  EXPECT_EQ(conc::contextSwitchesForRounds(0, 0), 0u);
 }
 
 TEST(RoundRobinTest, ThreeHopSeparatesSchedules) {

@@ -5,19 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Differential tests: every symbolic algorithm and both baselines must
-/// agree with the explicit tabulation oracle on the regression suite and on
-/// randomly generated driver-shaped programs. This is the main correctness
-/// net for the whole pipeline (parser -> CFG -> encoder -> calculus ->
-/// solver).
+/// Differential tests: every symbolic engine and both baselines must agree
+/// with the explicit tabulation oracle on the regression suite and on
+/// randomly generated driver-shaped programs. All engines are dispatched
+/// by registry name through the `Solver` facade, so this is the main
+/// correctness net for the whole pipeline (parser -> CFG -> encoder ->
+/// calculus -> solver) *and* for the facade's dispatch.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Solver.h"
 #include "bp/Cfg.h"
 #include "bp/Parser.h"
 #include "gen/Workloads.h"
 #include "interp/SummaryOracle.h"
-#include "reach/Baselines.h"
 #include "reach/SeqReach.h"
 
 #include <gtest/gtest.h>
@@ -36,17 +37,20 @@ bp::ProgramCfg parseCfg(const std::string &Src,
   return bp::buildCfg(*Keep);
 }
 
-const reach::SeqAlgorithm AllAlgorithms[] = {
-    reach::SeqAlgorithm::SummarySimple,
-    reach::SeqAlgorithm::EntryForward,
-    reach::SeqAlgorithm::EntryForwardSplit,
-    reach::SeqAlgorithm::EntryForwardOpt,
-};
+/// The four fixed-point engines of Sections 4.1–4.3, by registry name.
+const char *AllEngines[] = {"summary", "ef", "ef-split", "ef-opt"};
 
-/// Regression workload x algorithm.
+SolveResult solveVia(const bp::ProgramCfg &Cfg, const std::string &Label,
+                     const char *Engine, bool EarlyStop = true) {
+  SolverOptions Opts;
+  Opts.Engine = Engine;
+  Opts.EarlyStop = EarlyStop;
+  return Solver::solve(Query::fromCfg(Cfg).target(Label), Opts);
+}
+
+/// Regression workload x engine.
 class RegressionTest
-    : public ::testing::TestWithParam<
-          std::tuple<size_t, reach::SeqAlgorithm>> {};
+    : public ::testing::TestWithParam<std::tuple<size_t, const char *>> {};
 
 /// Seed for random-program differential testing.
 class DriverDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
@@ -54,18 +58,14 @@ class DriverDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 } // namespace
 
 TEST_P(RegressionTest, MatchesExpectation) {
-  auto [Index, Alg] = GetParam();
+  auto [Index, Engine] = GetParam();
   gen::Workload W = gen::regressionSuite()[Index];
   std::unique_ptr<bp::Program> Prog;
   bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
 
-  reach::SeqOptions Opts;
-  Opts.Alg = Alg;
-  reach::SeqResult R =
-      reach::checkReachabilityOfLabel(Cfg, W.TargetLabel, Opts);
-  ASSERT_TRUE(R.TargetFound) << W.Name;
-  EXPECT_EQ(R.Reachable, W.ExpectReachable)
-      << W.Name << " via " << reach::algorithmName(Alg);
+  SolveResult R = solveVia(Cfg, W.TargetLabel, Engine);
+  ASSERT_TRUE(R.ok()) << W.Name << ": " << R.Error;
+  EXPECT_EQ(R.Reachable, W.ExpectReachable) << W.Name << " via " << Engine;
 
   // The oracle must concur (guards the expectations themselves).
   interp::OracleResult O =
@@ -76,12 +76,11 @@ TEST_P(RegressionTest, MatchesExpectation) {
 namespace {
 
 std::string regressionCaseName(
-    const ::testing::TestParamInfo<std::tuple<size_t, reach::SeqAlgorithm>>
+    const ::testing::TestParamInfo<std::tuple<size_t, const char *>>
         &Info) {
   size_t Index = std::get<0>(Info.param);
-  reach::SeqAlgorithm Alg = std::get<1>(Info.param);
   std::string Name = gen::regressionSuite()[Index].Name + "_" +
-                     reach::algorithmName(Alg);
+                     std::get<1>(Info.param);
   for (char &C : Name)
     if (!isalnum(static_cast<unsigned char>(C)))
       C = '_';
@@ -94,17 +93,17 @@ INSTANTIATE_TEST_SUITE_P(
     Suite, RegressionTest,
     ::testing::Combine(::testing::Range<size_t>(
                            0, gen::regressionSuite().size()),
-                       ::testing::ValuesIn(AllAlgorithms)),
+                       ::testing::ValuesIn(AllEngines)),
     regressionCaseName);
 
 TEST(RegressionBaselinesTest, BaselinesMatchExpectations) {
   for (const gen::Workload &W : gen::regressionSuite()) {
     std::unique_ptr<bp::Program> Prog;
     bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
-    EXPECT_EQ(reach::mopedPostStarLabel(Cfg, W.TargetLabel).Reachable,
+    EXPECT_EQ(solveVia(Cfg, W.TargetLabel, "moped").Reachable,
               W.ExpectReachable)
         << W.Name << " (moped)";
-    EXPECT_EQ(reach::bebopTabulateLabel(Cfg, W.TargetLabel).Reachable,
+    EXPECT_EQ(solveVia(Cfg, W.TargetLabel, "bebop").Reachable,
               W.ExpectReachable)
         << W.Name << " (bebop)";
   }
@@ -127,17 +126,13 @@ TEST_P(DriverDifferentialTest, AllEnginesAgreeOnRandomPrograms) {
     interp::OracleResult O =
         interp::summaryReachabilityOfLabel(Cfg, W.TargetLabel);
 
-    for (reach::SeqAlgorithm Alg : AllAlgorithms) {
-      reach::SeqOptions Opts;
-      Opts.Alg = Alg;
-      reach::SeqResult R =
-          reach::checkReachabilityOfLabel(Cfg, W.TargetLabel, Opts);
+    for (const char *Engine : AllEngines) {
+      SolveResult R = solveVia(Cfg, W.TargetLabel, Engine);
+      ASSERT_TRUE(R.ok()) << R.Error;
       EXPECT_EQ(R.Reachable, O.Reachable)
-          << W.Name << " disagreement: " << reach::algorithmName(Alg)
-          << "\n" << W.Source;
+          << W.Name << " disagreement: " << Engine << "\n" << W.Source;
     }
-    EXPECT_EQ(reach::mopedPostStarLabel(Cfg, W.TargetLabel).Reachable,
-              O.Reachable)
+    EXPECT_EQ(solveVia(Cfg, W.TargetLabel, "moped").Reachable, O.Reachable)
         << W.Name << " (moped)\n" << W.Source;
   }
 }
@@ -154,20 +149,15 @@ TEST(SeqReachTest, EarlyStopAndFullSearchAgree) {
   std::unique_ptr<bp::Program> Prog;
   bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
 
-  reach::SeqOptions Fast;
-  Fast.EarlyStop = true;
-  reach::SeqOptions Full;
-  Full.EarlyStop = false;
-  EXPECT_EQ(reach::checkReachabilityOfLabel(Cfg, "ERR", Fast).Reachable,
-            reach::checkReachabilityOfLabel(Cfg, "ERR", Full).Reachable);
+  EXPECT_EQ(solveVia(Cfg, "ERR", "ef-split", /*EarlyStop=*/true).Reachable,
+            solveVia(Cfg, "ERR", "ef-split", /*EarlyStop=*/false).Reachable);
 }
 
 TEST(SeqReachTest, MissingLabelReported) {
   std::unique_ptr<bp::Program> Prog;
   bp::ProgramCfg Cfg = parseCfg("main() begin skip; end", Prog);
-  reach::SeqOptions Opts;
-  reach::SeqResult R = reach::checkReachabilityOfLabel(Cfg, "NOPE", Opts);
-  EXPECT_FALSE(R.TargetFound);
+  SolveResult R = solveVia(Cfg, "NOPE", "ef-opt");
+  EXPECT_EQ(R.Status, SolveStatus::TargetNotFound);
 }
 
 TEST(SeqReachTest, FormulaTextShowsAlgorithmStructure) {
@@ -201,10 +191,7 @@ TEST(SeqReachTest, TerminatorParityNegativesAreProven) {
       gen::Workload W = gen::terminatorProgram(P);
       std::unique_ptr<bp::Program> Prog;
       bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
-      reach::SeqOptions Opts;
-      Opts.Alg = reach::SeqAlgorithm::EntryForwardOpt;
-      EXPECT_EQ(reach::checkReachabilityOfLabel(Cfg, "ERR", Opts).Reachable,
-                Reachable)
+      EXPECT_EQ(solveVia(Cfg, "ERR", "ef-opt").Reachable, Reachable)
           << W.Name;
     }
 }
@@ -229,10 +216,6 @@ end
 )";
   std::unique_ptr<bp::Program> Prog;
   bp::ProgramCfg Cfg = parseCfg(Src, Prog);
-  for (reach::SeqAlgorithm Alg : AllAlgorithms) {
-    reach::SeqOptions Opts;
-    Opts.Alg = Alg;
-    EXPECT_TRUE(reach::checkReachabilityOfLabel(Cfg, "ERR", Opts).Reachable)
-        << reach::algorithmName(Alg);
-  }
+  for (const char *Engine : AllEngines)
+    EXPECT_TRUE(solveVia(Cfg, "ERR", Engine).Reachable) << Engine;
 }

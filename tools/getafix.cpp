@@ -5,33 +5,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The tool of Figure 1: reads a (possibly concurrent) Boolean program,
-/// translates it and the selected fixed-point algorithm into the calculus,
-/// and answers a label-reachability query YES/NO.
+/// The tool of Figure 1: reads a (possibly concurrent) Boolean program and
+/// answers a label-reachability query YES/NO. All parsing, dispatch, and
+/// engine selection goes through the `getafix::Solver` facade; the engine
+/// list in `--algo` and `--list-algos` is generated from the registry.
 ///
 ///   getafix [options] <program.bp>
 ///     --label <L>        target label (default ERR)
-///     --algo <name>      summary | ef | ef-split | ef-opt | moped | bebop
+///     --algo <name>      engine to run (see --list-algos; default: ef-opt
+///                        for sequential programs, conc for concurrent)
+///     --list-algos       print the registered engines and exit
 ///     --context-bound k  concurrent programs: max context switches
 ///     --rounds r         concurrent: round-robin with r rounds (implies
 ///                        --round-robin; overrides --context-bound)
 ///     --round-robin      concurrent: restrict schedules to round-robin
-///     --witness          sequential: print a counterexample trace when
-///                        the target is reachable
+///     --witness          print a counterexample trace when the target is
+///                        reachable (engines that support extraction)
 ///     --print-formula    dump the fixed-point equation system and exit
 ///     --stats            print solver statistics
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bp/Cfg.h"
-#include "bp/Parser.h"
-#include "concurrent/ConcReach.h"
-#include "reach/Baselines.h"
-#include "reach/SeqReach.h"
-#include "reach/Witness.h"
+#include "api/Solver.h"
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -43,7 +41,7 @@ namespace {
 struct CliOptions {
   std::string File;
   std::string Label = "ERR";
-  std::string Algo = "ef-opt";
+  std::string Algo; ///< Empty: the facade picks the query-kind default.
   unsigned ContextBound = 2;
   unsigned Rounds = 0; ///< 0 means "not given".
   bool RoundRobin = false;
@@ -54,19 +52,39 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: getafix [--label L] [--algo summary|ef|ef-split|"
-               "ef-opt|moped|bebop]\n"
-               "               [--context-bound k] [--rounds r] "
-               "[--round-robin] [--witness]\n"
-               "               [--print-formula] [--stats] <program.bp>\n");
+               "usage: getafix [--label L] [--algo %s]\n"
+               "               [--list-algos] [--context-bound k] "
+               "[--rounds r] [--round-robin]\n"
+               "               [--witness] [--print-formula] [--stats] "
+               "<program.bp>\n",
+               Solver::engineList("|").c_str());
   return 2;
 }
 
-bool isConcurrentSource(const std::string &Text) {
-  // The concurrent grammar starts with `shared`; skip whitespace/comments
-  // crudely by searching for the first keyword.
-  size_t Pos = Text.find_first_not_of(" \t\r\n");
-  return Pos != std::string::npos && Text.compare(Pos, 6, "shared") == 0;
+int listAlgos() {
+  std::printf("registered engines:\n%s", Solver::engineTable().c_str());
+  return 0;
+}
+
+void printStats(const SolveResult &R) {
+  std::string Line = "iterations=" + std::to_string(R.Iterations);
+  if (R.SummaryNodes)
+    Line += " bdd-nodes=" + std::to_string(R.SummaryNodes);
+  if (R.PeakLiveNodes)
+    Line += " peak-nodes=" + std::to_string(R.PeakLiveNodes);
+  if (R.ReachStates) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " reach-states=%.0f", R.ReachStates);
+    Line += Buf;
+  }
+  if (R.TransformedGlobals)
+    Line += " transformed-globals=" + std::to_string(R.TransformedGlobals);
+  if (R.HasWitness)
+    Line += " witness-steps=" + std::to_string(R.Witness.size());
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), " time=%.3fs", R.Seconds);
+  Line += Buf;
+  std::printf("%s\n", Line.c_str());
 }
 
 } // namespace
@@ -88,6 +106,8 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage();
       Opts.Algo = V;
+    } else if (Arg == "--list-algos") {
+      return listAlgos();
     } else if (Arg == "--context-bound") {
       const char *V = Next();
       if (!V)
@@ -123,104 +143,37 @@ int main(int Argc, char **Argv) {
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
-  std::string Text = Buffer.str();
 
-  DiagnosticEngine Diags;
-
-  if (isConcurrentSource(Text)) {
-    auto Conc = bp::parseConcurrentProgram(Text, Diags);
-    if (!Conc) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 2;
-    }
-    auto Cfgs = conc::buildThreadCfgs(*Conc);
-    conc::ConcOptions CO;
-    CO.MaxContextSwitches =
-        Opts.Rounds != 0
-            ? conc::contextSwitchesForRounds(Opts.Rounds, Conc->numThreads())
-            : Opts.ContextBound;
-    CO.RoundRobin = Opts.RoundRobin;
-    auto R = conc::checkConcReachabilityOfLabel(*Conc, Cfgs, Opts.Label, CO);
-    if (!R.TargetFound) {
-      std::fprintf(stderr, "error: label '%s' not found\n",
-                   Opts.Label.c_str());
-      return 2;
-    }
-    std::printf("%s\n", R.Reachable ? "YES" : "NO");
-    if (Opts.Stats)
-      std::printf("iterations=%llu reach-bdd-nodes=%zu "
-                  "reach-states=%.0f time=%.3fs\n",
-                  (unsigned long long)R.Iterations, R.ReachNodes,
-                  R.ReachStates, R.Seconds);
-    return R.Reachable ? 0 : 1;
-  }
-
-  auto Prog = bp::parseProgram(Text, Diags);
-  if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 2;
-  }
-  auto Cfg = bp::buildCfg(*Prog);
-
-  if (Opts.Algo == "moped" || Opts.Algo == "bebop") {
-    auto R = Opts.Algo == "moped"
-                 ? reach::mopedPostStarLabel(Cfg, Opts.Label)
-                 : reach::bebopTabulateLabel(Cfg, Opts.Label);
-    if (!R.TargetFound) {
-      std::fprintf(stderr, "error: label '%s' not found\n",
-                   Opts.Label.c_str());
-      return 2;
-    }
-    std::printf("%s\n", R.Reachable ? "YES" : "NO");
-    if (Opts.Stats)
-      std::printf("iterations=%llu time=%.3fs\n",
-                  (unsigned long long)R.Iterations, R.Seconds);
-    return R.Reachable ? 0 : 1;
-  }
-
-  reach::SeqOptions SO;
-  if (Opts.Algo == "summary")
-    SO.Alg = reach::SeqAlgorithm::SummarySimple;
-  else if (Opts.Algo == "ef")
-    SO.Alg = reach::SeqAlgorithm::EntryForward;
-  else if (Opts.Algo == "ef-split")
-    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
-  else if (Opts.Algo == "ef-opt")
-    SO.Alg = reach::SeqAlgorithm::EntryForwardOpt;
-  else
-    return usage();
+  Query Q = Query::fromSource(Buffer.str())
+                .target(Opts.Label)
+                .witness(Opts.Witness);
+  SolverOptions SO;
+  SO.Engine = Opts.Algo;
+  SO.ContextBound = Opts.ContextBound;
+  SO.Rounds = Opts.Rounds;
+  SO.RoundRobin = Opts.RoundRobin;
 
   if (Opts.PrintFormula) {
-    std::printf("%s", reach::formulaText(Cfg, SO.Alg).c_str());
+    std::string Error;
+    std::string Text = Solver::formulaText(Q, SO, &Error);
+    if (Text.empty()) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    std::printf("%s", Text.c_str());
     return 0;
   }
 
-  if (Opts.Witness) {
-    auto R = reach::checkReachabilityOfLabelWithWitness(Cfg, Opts.Label, SO);
-    if (!R.TargetFound) {
-      std::fprintf(stderr, "error: label '%s' not found\n",
-                   Opts.Label.c_str());
-      return 2;
-    }
-    std::printf("%s\n", R.Reachable ? "YES" : "NO");
-    if (R.Reachable)
-      std::printf("%s", reach::formatWitness(Cfg, R.Steps).c_str());
-    if (Opts.Stats)
-      std::printf("iterations=%llu steps=%zu\n",
-                  (unsigned long long)R.Iterations, R.Steps.size());
-    return R.Reachable ? 0 : 1;
-  }
-
-  auto R = reach::checkReachabilityOfLabel(Cfg, Opts.Label, SO);
-  if (!R.TargetFound) {
-    std::fprintf(stderr, "error: label '%s' not found\n", Opts.Label.c_str());
+  SolveResult R = Solver::solve(Q, SO);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return 2;
   }
+
   std::printf("%s\n", R.Reachable ? "YES" : "NO");
+  if (R.HasWitness)
+    std::printf("%s", R.WitnessText.c_str());
   if (Opts.Stats)
-    std::printf("iterations=%llu summary-bdd-nodes=%zu peak-nodes=%zu "
-                "time=%.3fs\n",
-                (unsigned long long)R.Iterations, R.SummaryNodes,
-                R.PeakLiveNodes, R.Seconds);
+    printStats(R);
   return R.Reachable ? 0 : 1;
 }
