@@ -74,6 +74,8 @@ struct EngineRow {
   uint64_t Iterations = 0;
   double ReachStates = 0.0;
   size_t TransformedGlobals = 0;
+  uint64_t NodesCreated = 0; ///< Total BDD nodes allocated (op-count proxy).
+  uint64_t DeltaRounds = 0;  ///< Rounds run in frontier (delta) mode.
 };
 
 inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
@@ -82,17 +84,22 @@ inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
                  R.Error.c_str());
     std::exit(1);
   }
-  return EngineRow{R.Reachable,  R.Seconds,     R.SummaryNodes,
-                   R.Iterations, R.ReachStates, R.TransformedGlobals};
+  return EngineRow{R.Reachable,       R.Seconds,
+                   R.SummaryNodes,    R.Iterations,
+                   R.ReachStates,     R.TransformedGlobals,
+                   R.BddNodesCreated, R.DeltaRounds};
 }
 
 /// Runs the engine \p Engine (a registry name) on a sequential label query.
 inline EngineRow runEngine(const bp::ProgramCfg &Cfg,
                            const std::string &Label, const char *Engine,
-                           bool EarlyStop = true) {
+                           bool EarlyStop = true,
+                           fpc::EvalStrategy Strategy =
+                               fpc::EvalStrategy::SemiNaive) {
   SolverOptions Opts;
   Opts.Engine = Engine;
   Opts.EarlyStop = EarlyStop;
+  Opts.Strategy = Strategy;
   return rowOrDie(Solver::solve(Query::fromCfg(Cfg).target(Label), Opts),
                   Engine);
 }

@@ -7,21 +7,64 @@
 //     conjoining the two summary BDDs directly,
 //   - Section 4.3: the Relevant-PC frontier restriction versus plain
 //     entry-forward iteration,
-//   - solver-level early termination on positive instances.
+//   - solver-level early termination on positive instances,
+//   - the evaluator's semi-naive (delta) core versus the paper's literal
+//     naive semantics, on the terminator and bluetooth suites.
+//
+// Pass --smoke to shrink every workload for a seconds-long CI run.
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "gen/Workloads.h"
 
+#include <cstring>
+
 using namespace getafix;
 using namespace getafix::bench;
 
-int main() {
+namespace {
+
+/// One naive-vs-semi-naive comparison row. NodesCreated is the BDD-op
+/// proxy the acceptance criterion counts; both rows must agree on the
+/// verdict and the number of Tarski rounds (the delta core computes the
+/// identical per-round sequence, just cheaper).
+void printStrategyRow(const char *Name, const EngineRow &Naive,
+                      const EngineRow &Semi) {
+  if (Naive.Reachable != Semi.Reachable ||
+      Naive.Iterations != Semi.Iterations) {
+    std::fprintf(stderr,
+                 "%s: strategy ablation DISAGREES (verdict %d/%d, "
+                 "rounds %llu/%llu)\n",
+                 Name, Naive.Reachable, Semi.Reachable,
+                 (unsigned long long)Naive.Iterations,
+                 (unsigned long long)Semi.Iterations);
+    std::exit(1);
+  }
+  double NodeRatio = Semi.NodesCreated
+                         ? double(Naive.NodesCreated) /
+                               double(Semi.NodesCreated)
+                         : 0.0;
+  std::printf("%-26s %9.3fs %9.3fs %11llu %11llu %7.2fx %6llu/%llu\n",
+              Name, Naive.Seconds, Semi.Seconds,
+              (unsigned long long)Naive.NodesCreated,
+              (unsigned long long)Semi.NodesCreated, NodeRatio,
+              (unsigned long long)Semi.DeltaRounds,
+              (unsigned long long)Semi.Iterations);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
   std::printf("=== Ablations (Sections 4.2 / 4.3) ===\n");
   std::printf("%-24s %10s %10s %10s %12s\n", "case", "EF-unsplit",
               "EF-split", "EF-opt", "simple-4.1");
 
-  for (unsigned Bits : {4u, 5u, 6u}) {
+  for (unsigned Bits : Smoke ? std::vector<unsigned>{4u}
+                             : std::vector<unsigned>{4u, 5u, 6u}) {
     gen::TerminatorParams P;
     P.CounterBits = Bits;
     P.NumDeadVars = 4;
@@ -41,10 +84,11 @@ int main() {
 
   std::printf("\n--- early termination (positive driver instances) ---\n");
   std::printf("%-24s %12s %12s\n", "case", "early-stop", "full-fixpoint");
-  for (uint64_t Seed : {7u, 8u, 9u}) {
+  for (uint64_t Seed : Smoke ? std::vector<unsigned>{7u}
+                             : std::vector<unsigned>{7u, 8u, 9u}) {
     gen::DriverParams P;
-    P.NumProcs = 24;
-    P.StmtsPerProc = 14;
+    P.NumProcs = Smoke ? 12 : 24;
+    P.StmtsPerProc = Smoke ? 10 : 14;
     P.Reachable = true;
     P.Seed = Seed;
     gen::Workload W = gen::driverProgram(P);
@@ -55,6 +99,58 @@ int main() {
                                /*EarlyStop=*/false);
     std::printf("%-24s %11.3fs %11.3fs\n", W.Name.c_str(), Fast.Seconds,
                 Full.Seconds);
+  }
+
+  // Naive vs semi-naive: the delta core must agree on verdict and round
+  // count while allocating fewer BDD nodes and finishing sooner. The
+  // terminator rows are negative instances (a full fixpoint is forced);
+  // the bluetooth rows are Figure-3 configurations of the concurrent
+  // engine at a bound where the Reach system iterates long enough for the
+  // per-round frontier to shrink well below the accumulated relation.
+  std::printf("\n--- evaluation strategy (naive vs semi-naive) ---\n");
+  std::printf("%-26s %10s %10s %11s %11s %8s %8s\n", "case", "naive",
+              "semi", "nodes-nv", "nodes-sn", "ratio", "delta/it");
+  for (unsigned Bits : Smoke ? std::vector<unsigned>{4u}
+                             : std::vector<unsigned>{4u, 5u, 6u}) {
+    gen::TerminatorParams P;
+    P.CounterBits = Bits;
+    P.NumDeadVars = 4;
+    P.Style = gen::DeadVarStyle::Iterative;
+    P.Reachable = false;
+    gen::Workload W = gen::terminatorProgram(P);
+    ParsedProgram Parsed = parseOrDie(W.Source);
+    EngineRow Naive = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
+                                /*EarlyStop=*/true,
+                                fpc::EvalStrategy::Naive);
+    EngineRow Semi = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
+                               /*EarlyStop=*/true,
+                               fpc::EvalStrategy::SemiNaive);
+    printStrategyRow(W.Name.c_str(), Naive, Semi);
+  }
+  {
+    // (1,1,4) is the light two-thread row; (2,2,4) is the heavy Figure-3
+    // configuration whose rounds overflow the computed cache — the regime
+    // where the narrow (minimized-difference) frontier pays off.
+    struct BtConfig {
+      unsigned Adders, Stoppers, Switches;
+    } Configs[] = {{1, 1, 4}, {2, 2, 4}};
+    for (const BtConfig &C : Configs) {
+      if (Smoke && C.Adders + C.Stoppers > 2)
+        continue;
+      ParsedConcProgram P =
+          parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
+      SolverOptions Opts;
+      Opts.ContextBound = C.Switches;
+      Opts.EarlyStop = false; // Figure 3 reports the full reachable set.
+      Opts.Strategy = fpc::EvalStrategy::Naive;
+      EngineRow Naive = runConcEngine(P, "ERR", "conc", Opts);
+      Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+      EngineRow Semi = runConcEngine(P, "ERR", "conc", Opts);
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "bluetooth-%ua%us-k%u", C.Adders,
+                    C.Stoppers, C.Switches);
+      printStrategyRow(Name, Naive, Semi);
+    }
   }
   return 0;
 }

@@ -53,7 +53,9 @@ public:
                   const SolverOptions &Opts) const override {
     reach::SeqOptions SO;
     SO.Alg = Alg;
+    SO.Strategy = Opts.Strategy;
     SO.EarlyStop = Opts.EarlyStop;
+    SO.MaxIterations = Opts.MaxIterations;
     SO.CacheBits = Opts.CacheBits;
     SO.GcThreshold = Opts.GcThreshold;
 
@@ -64,7 +66,15 @@ public:
           reach::checkReachabilityWithWitness(Q.cfg(), Q.procId(), Q.pc(),
                                               SO);
       Out.Reachable = W.Reachable;
+      Out.HitIterationLimit = W.HitIterationLimit;
       Out.Iterations = W.Iterations;
+      Out.DeltaRounds = W.DeltaRounds;
+      Out.SummaryNodes = W.SummaryNodes;
+      Out.PeakLiveNodes = W.PeakLiveNodes;
+      Out.BddNodesCreated = W.BddNodesCreated;
+      Out.BddCacheLookups = W.BddCacheLookups;
+      Out.BddCacheHits = W.BddCacheHits;
+      Out.Relations = std::move(W.Relations);
       Out.Seconds = T.seconds();
       if (W.Reachable) {
         Out.HasWitness = true;
@@ -77,9 +87,15 @@ public:
     reach::SeqResult R =
         reach::checkReachability(Q.cfg(), Q.procId(), Q.pc(), SO);
     Out.Reachable = R.Reachable;
+    Out.HitIterationLimit = R.HitIterationLimit;
     Out.Iterations = R.Iterations;
+    Out.DeltaRounds = R.DeltaRounds;
     Out.SummaryNodes = R.SummaryNodes;
     Out.PeakLiveNodes = R.PeakLiveNodes;
+    Out.BddNodesCreated = R.BddNodesCreated;
+    Out.BddCacheLookups = R.BddCacheLookups;
+    Out.BddCacheHits = R.BddCacheHits;
+    Out.Relations = std::move(R.Relations);
     Out.Seconds = R.Seconds;
     return Out;
   }
@@ -119,6 +135,9 @@ public:
     Out.Iterations = R.Iterations;
     Out.SummaryNodes = R.SummaryNodes;
     Out.PeakLiveNodes = R.PeakLiveNodes;
+    Out.BddNodesCreated = R.BddNodesCreated;
+    Out.BddCacheLookups = R.BddCacheLookups;
+    Out.BddCacheHits = R.BddCacheHits;
     Out.Seconds = R.Seconds;
     return Out;
   }
@@ -173,7 +192,9 @@ public:
     CO.MaxContextSwitches =
         effectiveContextBound(Opts, Q.concurrent().numThreads());
     CO.RoundRobin = Opts.RoundRobin || Opts.Rounds != 0;
+    CO.Strategy = Opts.Strategy;
     CO.EarlyStop = Opts.EarlyStop;
+    CO.MaxIterations = Opts.MaxIterations;
     CO.CacheBits = Opts.CacheBits;
     CO.GcThreshold = Opts.GcThreshold;
     conc::ConcResult R =
@@ -181,9 +202,15 @@ public:
                                     Q.thread(), Q.procId(), Q.pc(), CO);
     SolveResult Out;
     Out.Reachable = R.Reachable;
+    Out.HitIterationLimit = R.HitIterationLimit;
     Out.Iterations = R.Iterations;
+    Out.DeltaRounds = R.DeltaRounds;
     Out.SummaryNodes = R.ReachNodes;
     Out.PeakLiveNodes = R.PeakLiveNodes;
+    Out.BddNodesCreated = R.BddNodesCreated;
+    Out.BddCacheLookups = R.BddCacheLookups;
+    Out.BddCacheHits = R.BddCacheHits;
+    Out.Relations = std::move(R.Relations);
     Out.ReachStates = R.ReachStates;
     Out.Seconds = R.Seconds;
     return Out;
@@ -235,16 +262,24 @@ public:
 
     reach::SeqOptions SO;
     SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
+    SO.Strategy = Opts.Strategy;
     SO.EarlyStop = Opts.EarlyStop;
+    SO.MaxIterations = Opts.MaxIterations;
     SO.CacheBits = Opts.CacheBits;
     SO.GcThreshold = Opts.GcThreshold;
     reach::SeqResult R =
         reach::checkReachabilityOfLabel(SeqCfg, conc::lalRepsGoalLabel(), SO);
 
     Out.Reachable = R.Reachable;
+    Out.HitIterationLimit = R.HitIterationLimit;
     Out.Iterations = R.Iterations;
+    Out.DeltaRounds = R.DeltaRounds;
     Out.SummaryNodes = R.SummaryNodes;
     Out.PeakLiveNodes = R.PeakLiveNodes;
+    Out.BddNodesCreated = R.BddNodesCreated;
+    Out.BddCacheLookups = R.BddCacheLookups;
+    Out.BddCacheHits = R.BddCacheHits;
+    Out.Relations = std::move(R.Relations);
     Out.TransformedGlobals = Seq->numGlobals();
     Out.Seconds = T.seconds(); // Transform + solve: the cost being compared.
     return Out;

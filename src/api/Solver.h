@@ -33,9 +33,11 @@
 
 #include "bp/Ast.h"
 #include "bp/Cfg.h"
+#include "fpcalc/Calculus.h"
 #include "reach/Witness.h"
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -128,7 +130,17 @@ struct SolverOptions {
   std::string Engine;
 
   // Shared symbolic-solver knobs.
+  /// Fixed-point iteration scheme of the calculus evaluator. Semi-naive
+  /// (the default) joins only each round's frontier through distributive
+  /// clauses; `Naive` is the paper's literal re-evaluate-everything
+  /// semantics. Verdicts, iteration counts, and witnesses are identical;
+  /// the knob exists for ablation and debugging.
+  fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   bool EarlyStop = true;          ///< Stop as soon as the target is hit.
+  /// Cap on fixpoint rounds of the main relation; 0 = unlimited. When the
+  /// cap fires the result carries `HitIterationLimit` and the verdict only
+  /// reflects the states discovered so far.
+  uint64_t MaxIterations = 0;
   unsigned CacheBits = 18;        ///< BDD computed cache of 2^CacheBits.
   size_t GcThreshold = 1u << 22;  ///< BDD auto-GC threshold; 0 disables.
 
@@ -155,10 +167,22 @@ struct SolveResult {
   std::string Error; ///< Human-readable detail when `Status != Ok`.
 
   bool Reachable = false;
+  /// The solver stopped at `SolverOptions::MaxIterations` before reaching
+  /// a fixed point: `Reachable` is then only a lower bound (states found
+  /// so far), not a verdict.
+  bool HitIterationLimit = false;
   uint64_t Iterations = 0;  ///< Fixpoint rounds / worklist steps.
+  uint64_t DeltaRounds = 0; ///< Rounds the main relation ran in delta mode.
   size_t SummaryNodes = 0;  ///< Final BDD size of the main relation.
   size_t PeakLiveNodes = 0; ///< Peak BDD nodes (0 for non-BDD engines).
+  uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated.
+  uint64_t BddCacheLookups = 0; ///< BDD computed-cache probes.
+  uint64_t BddCacheHits = 0;    ///< BDD computed-cache hits.
   double ReachStates = 0.0; ///< Concurrent: sat-count of Reach (Figure 3).
+  /// Per-relation evaluator statistics (fixed-point engines only), keyed
+  /// by relation name — iterations, delta rounds, nested evaluations,
+  /// final BDD sizes.
+  std::map<std::string, fpc::RelStats> Relations;
   /// Lal–Reps: globals in the sequentialized program (the O(k) copy blowup
   /// the paper's formulation avoids).
   size_t TransformedGlobals = 0;
@@ -170,6 +194,13 @@ struct SolveResult {
   std::string WitnessText; ///< `reach::formatWitness` rendering.
 
   bool ok() const { return Status == SolveStatus::Ok; }
+
+  /// BDD computed-cache hit rate in [0, 1]; 0 when nothing was probed.
+  double bddCacheHitRate() const {
+    return BddCacheLookups != 0
+               ? double(BddCacheHits) / double(BddCacheLookups)
+               : 0.0;
+  }
 };
 
 //===----------------------------------------------------------------------===//

@@ -130,6 +130,12 @@ Bdd Bdd::restrict(unsigned Var, bool Value) const {
   return andExists(Lit, Cube);
 }
 
+Bdd Bdd::frontier(const Bdd &Old) const {
+  assert(Mgr && Mgr == Old.Mgr && "operands from different managers");
+  Mgr->maybeGc();
+  return Bdd(Mgr, Mgr->frontierRec(Idx, Old.Idx));
+}
+
 double Bdd::satCount(unsigned NumVars) const {
   assert(Mgr && "null bdd");
   // Fraction of satisfying assignments, then scale by 2^NumVars.
@@ -519,6 +525,33 @@ uint32_t BddManager::applyRec(Op O, uint32_t F, uint32_t G) {
   uint32_t High = applyRec(O, F1, G1);
   Result = makeNode(Top, Low, High);
   cacheInsert(O, F, G, 0, Result);
+  return Result;
+}
+
+uint32_t BddManager::frontierRec(uint32_t F, uint32_t G) {
+  // Interval choice `F \ G ⊆ R ⊆ F`, minimized structurally: every rule
+  // below stays inside the interval of its subproblem, and the invariant
+  // composes through makeNode cofactor-by-cofactor.
+  if (F == G || F == 0 || G == 1)
+    return 0; // Nothing new here (or nothing at all): empty is in range.
+  if (G == 0 || F == 1)
+    return F; // All of F is (or may be reported as) new: F is in range.
+
+  uint32_t Result;
+  if (cacheLookup(Op::Frontier, F, G, 0, Result))
+    return Result;
+
+  uint32_t FVar = varOf(F), GVar = varOf(G);
+  uint32_t Top = std::min(FVar, GVar);
+  uint32_t F0 = FVar == Top ? lowOf(F) : F;
+  uint32_t F1 = FVar == Top ? highOf(F) : F;
+  uint32_t G0 = GVar == Top ? lowOf(G) : G;
+  uint32_t G1 = GVar == Top ? highOf(G) : G;
+
+  uint32_t Low = frontierRec(F0, G0);
+  uint32_t High = frontierRec(F1, G1);
+  Result = makeNode(Top, Low, High);
+  cacheInsert(Op::Frontier, F, G, 0, Result);
   return Result;
 }
 

@@ -98,6 +98,15 @@ public:
   Bdd permute(BddPerm Perm) const;
   /// Cofactor: substitutes the constant \p Value for variable \p Var.
   Bdd restrict(unsigned Var, bool Value) const;
+  /// A don't-care-minimized frontier: some set R with
+  /// `*this \ Old ⊆ R ⊆ *this`, chosen to be structurally small (shared
+  /// subgraphs of the two operands are pruned to the empty set wholesale,
+  /// and subgraphs where \p Old is empty are returned as-is rather than
+  /// rebuilt). Fixpoint engines use this instead of an exact set
+  /// difference: joining already-known tuples again is harmless under
+  /// union accumulation, while the exact difference of two similar BDDs
+  /// is often *larger* than either operand.
+  Bdd frontier(const Bdd &Old) const;
 
   /// Number of satisfying assignments over \p NumVars variables.
   double satCount(unsigned NumVars) const;
@@ -173,6 +182,10 @@ public:
   /// entry. Zero disables automatic collection.
   void setGcThreshold(size_t Nodes) { GcThreshold = Nodes; }
 
+  /// Number of computed-cache slots (2^CacheBits). Callers that adapt
+  /// their algorithms to cache pressure compare working-set sizes to this.
+  size_t cacheSlots() const { return Cache.size(); }
+
   const BddStats &stats() const { return Stats; }
   size_t liveNodeCount() const;
 
@@ -196,6 +209,7 @@ private:
     Exists,
     AndExists,
     Rename,
+    Frontier,
   };
 
   struct CacheEntry {
@@ -243,6 +257,7 @@ private:
   uint32_t existsRec(uint32_t F, uint32_t CubeId);
   uint32_t andExistsRec(uint32_t F, uint32_t G, uint32_t CubeId);
   uint32_t renameRec(uint32_t F, uint32_t PermId);
+  uint32_t frontierRec(uint32_t F, uint32_t G);
 
   void maybeGc();
   void ref(uint32_t N);

@@ -419,7 +419,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
 
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
-  Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr));
+  Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy);
   for (unsigned I = 0; I < N; ++I)
     Encs[I]->bind(Ev, I == Thread ? ProcId : ~0u, Pc);
 
@@ -432,10 +432,12 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
                     Ev.encodeEqConst(S.Pc, Pc);
 
   EvalOptions EOpts;
+  EOpts.MaxIterations = Opts.MaxIterations;
   if (Opts.EarlyStop)
     EOpts.EarlyStop = &TargetStates;
 
   EvalResult R = Ev.evaluate(Reach, EOpts);
+  Result.HitIterationLimit = R.HitIterationLimit;
   Result.Reachable = !(R.Value & TargetStates).isZero();
   Result.ReachNodes = R.Value.nodeCount();
 
@@ -459,10 +461,16 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   }
   Result.ReachStates = States;
 
-  auto StatsIt = Ev.stats().find("Reach");
-  if (StatsIt != Ev.stats().end())
+  Result.Relations = Ev.stats();
+  auto StatsIt = Result.Relations.find("Reach");
+  if (StatsIt != Result.Relations.end()) {
     Result.Iterations = StatsIt->second.Iterations;
+    Result.DeltaRounds = StatsIt->second.DeltaRounds;
+  }
   Result.PeakLiveNodes = Mgr.stats().PeakNodes;
+  Result.BddNodesCreated = Mgr.stats().NodesCreated;
+  Result.BddCacheLookups = Mgr.stats().CacheLookups;
+  Result.BddCacheHits = Mgr.stats().CacheHits;
   Result.Seconds = Tm.seconds();
   return Result;
 }

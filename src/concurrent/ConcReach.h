@@ -29,8 +29,10 @@
 #define GETAFIX_CONCURRENT_CONCREACH_H
 
 #include "bp/Cfg.h"
+#include "fpcalc/Calculus.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,12 @@ struct ConcOptions {
   /// round-robin schedule is unchanged.
   bool RoundRobin = false;
   bool EarlyStop = true;
+  /// Fixed-point iteration scheme; the Section-5 Reach system is monotone
+  /// and fully distributive, so the semi-naive default joins only the
+  /// per-round frontier through every clause.
+  fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
+  /// Cap on outer fixpoint rounds of Reach; 0 = unlimited.
+  uint64_t MaxIterations = 0;
   unsigned CacheBits = 18;
   size_t GcThreshold = 1u << 22;
 };
@@ -54,12 +62,20 @@ struct ConcOptions {
 struct ConcResult {
   bool Reachable = false;
   bool TargetFound = true;
+  /// Stopped at ConcOptions::MaxIterations before converging.
+  bool HitIterationLimit = false;
   uint64_t Iterations = 0;
+  uint64_t DeltaRounds = 0; ///< Rounds Reach ran in delta mode.
   size_t ReachNodes = 0;    ///< Final BDD size of the Reach relation.
   size_t PeakLiveNodes = 0; ///< Peak BDD nodes in the manager.
+  uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated.
+  uint64_t BddCacheLookups = 0; ///< Computed-cache probes.
+  uint64_t BddCacheHits = 0;    ///< Computed-cache hits.
   double ReachStates = 0.0; ///< Sat-count of Reach over its tuple bits
                             ///< (the "reachable set size" of Figure 3).
   double Seconds = 0.0;
+  /// Per-relation evaluator statistics, keyed by relation name.
+  std::map<std::string, fpc::RelStats> Relations;
 };
 
 /// Is (Thread, ProcId, Pc) reachable within k context switches?

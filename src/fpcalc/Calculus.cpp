@@ -294,6 +294,343 @@ bool System::dependsOn(RelId Rel, RelId Target) const {
 }
 
 //===----------------------------------------------------------------------===//
+// Dependency analysis
+//===----------------------------------------------------------------------===//
+
+const char *fpc::strategyName(EvalStrategy S) {
+  return S == EvalStrategy::Naive ? "naive" : "semi-naive";
+}
+
+namespace {
+
+/// Collects the relations applied in \p F, split by the parity of the
+/// negations above each occurrence. Forall is monotone and does not flip.
+void collectByPolarity(const Formula &F, bool Negated,
+                       std::vector<RelId> &Pos, std::vector<RelId> &Neg) {
+  switch (F.Kind) {
+  case FormulaKind::RelApp:
+    (Negated ? Neg : Pos).push_back(F.Rel);
+    break;
+  case FormulaKind::Not:
+    collectByPolarity(*F.Children[0], !Negated, Pos, Neg);
+    break;
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      collectByPolarity(*Child, Negated, Pos, Neg);
+    break;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    collectByPolarity(*F.Body, Negated, Pos, Neg);
+    break;
+  default:
+    break;
+  }
+}
+
+void sortUnique(std::vector<RelId> &V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+/// Iterative Tarjan SCC over the dependency edges. Emits SCCs in reverse
+/// topological order (callees before callers), which is exactly the
+/// scheduling order the evaluator wants.
+struct TarjanScc {
+  const std::vector<std::vector<RelId>> &Deps;
+  std::vector<unsigned> Index, Low;
+  std::vector<bool> OnStack;
+  std::vector<RelId> Stack;
+  unsigned Counter = 0;
+  std::vector<unsigned> SccIndex;
+  std::vector<std::vector<RelId>> Sccs;
+
+  explicit TarjanScc(const std::vector<std::vector<RelId>> &Deps)
+      : Deps(Deps), Index(Deps.size(), UINT32_MAX), Low(Deps.size(), 0),
+        OnStack(Deps.size(), false), SccIndex(Deps.size(), 0) {
+    for (RelId R = 0; R < Deps.size(); ++R)
+      if (Index[R] == UINT32_MAX)
+        run(R);
+  }
+
+  void run(RelId Root) {
+    // Explicit DFS stack: (node, next child position).
+    std::vector<std::pair<RelId, size_t>> Work{{Root, 0}};
+    while (!Work.empty()) {
+      auto &[R, Child] = Work.back();
+      if (Child == 0) {
+        Index[R] = Low[R] = Counter++;
+        Stack.push_back(R);
+        OnStack[R] = true;
+      }
+      if (Child < Deps[R].size()) {
+        RelId Next = Deps[R][Child++];
+        if (Index[Next] == UINT32_MAX) {
+          Work.emplace_back(Next, 0);
+        } else if (OnStack[Next]) {
+          Low[R] = std::min(Low[R], Index[Next]);
+        }
+        continue;
+      }
+      if (Low[R] == Index[R]) {
+        std::vector<RelId> Scc;
+        RelId Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          SccIndex[Member] = unsigned(Sccs.size());
+          Scc.push_back(Member);
+        } while (Member != R);
+        Sccs.push_back(std::move(Scc));
+      }
+      RelId Done = R;
+      Work.pop_back();
+      if (!Work.empty())
+        Low[Work.back().first] =
+            std::min(Low[Work.back().first], Low[Done]);
+    }
+  }
+};
+
+} // namespace
+
+DependencyGraph::DependencyGraph(const System &Sys) : Sys(Sys) {
+  unsigned N = Sys.numRels();
+  Deps.resize(N);
+  NegDeps.resize(N);
+  Recursive.assign(N, false);
+  MonotoneSelf.assign(N, true);
+  Closure.resize(N);
+
+  for (RelId R = 0; R < N; ++R) {
+    const Relation &Rel = Sys.relation(R);
+    if (!Rel.Def)
+      continue;
+    std::vector<RelId> Pos, Neg;
+    collectByPolarity(*Rel.Def, false, Pos, Neg);
+    // Dependencies are on *defined* relations only; inputs are constants.
+    auto OnlyDefined = [&](std::vector<RelId> &V) {
+      V.erase(std::remove_if(V.begin(), V.end(),
+                             [&](RelId T) {
+                               return Sys.relation(T).isInput();
+                             }),
+              V.end());
+      sortUnique(V);
+    };
+    // NegDeps keeps input relations too? No: monotonicity cycles can only
+    // pass through defined relations, and inputs never close a cycle.
+    OnlyDefined(Pos);
+    OnlyDefined(Neg);
+    Deps[R] = Pos;
+    for (RelId T : Neg)
+      if (std::find(Deps[R].begin(), Deps[R].end(), T) == Deps[R].end())
+        Deps[R].push_back(T);
+    sortUnique(Deps[R]);
+    NegDeps[R] = std::move(Neg);
+  }
+
+  TarjanScc Scc(Deps);
+  SccIndex = std::move(Scc.SccIndex);
+  SccMembers = std::move(Scc.Sccs);
+
+  // Transitive closure, SCC order (callees first): Closure[R] = direct
+  // deps plus their closures.
+  for (const std::vector<RelId> &Members : SccMembers)
+    for (RelId R : Members) {
+      std::vector<RelId> Out = Deps[R];
+      for (RelId D : Deps[R]) {
+        // Same-SCC members may not be closed yet; the loop below patches
+        // intra-SCC reachability wholesale.
+        Out.insert(Out.end(), Closure[D].begin(), Closure[D].end());
+      }
+      sortUnique(Out);
+      Closure[R] = std::move(Out);
+    }
+  // Within an SCC every member reaches every other (and itself).
+  for (const std::vector<RelId> &Members : SccMembers) {
+    if (Members.size() == 1) {
+      RelId R = Members.front();
+      Recursive[R] = std::binary_search(Closure[R].begin(),
+                                        Closure[R].end(), R);
+      continue;
+    }
+    std::vector<RelId> Union;
+    for (RelId R : Members)
+      Union.insert(Union.end(), Closure[R].begin(), Closure[R].end());
+    Union.insert(Union.end(), Members.begin(), Members.end());
+    sortUnique(Union);
+    for (RelId R : Members) {
+      Closure[R] = Union;
+      Recursive[R] = true;
+    }
+  }
+
+  // MonotoneSelf[R]: no negative edge (Q -neg-> T) lies on a cycle through
+  // R, i.e. R reaches Q and T reaches R.
+  for (RelId R = 0; R < N; ++R) {
+    if (!Recursive[R])
+      continue; // Trivially monotone: nothing iterates.
+    bool Ok = true;
+    for (RelId Q = 0; Q < N && Ok; ++Q) {
+      if (NegDeps[Q].empty())
+        continue;
+      bool RReachesQ = Q == R || reaches(R, Q);
+      if (!RReachesQ)
+        continue;
+      for (RelId T : NegDeps[Q])
+        if (T == R || reaches(T, R)) {
+          Ok = false;
+          break;
+        }
+    }
+    MonotoneSelf[R] = Ok;
+  }
+}
+
+bool DependencyGraph::reaches(RelId Rel, RelId Target) const {
+  return std::binary_search(Closure[Rel].begin(), Closure[Rel].end(),
+                            Target);
+}
+
+std::vector<RelId> DependencyGraph::scheduleFor(RelId Rel) const {
+  std::vector<RelId> Out;
+  unsigned Home = SccIndex[Rel];
+  // SCC numbering is callees-first, so a single ascending sweep over the
+  // SCCs that Rel depends on yields a valid topological schedule.
+  for (unsigned S = 0; S < SccMembers.size(); ++S) {
+    if (S == Home)
+      continue;
+    for (RelId Member : SccMembers[S]) {
+      if (Member == Rel || Sys.relation(Member).isInput())
+        continue;
+      if (reaches(Rel, Member))
+        Out.push_back(Member);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Does \p F transitively depend on \p Rel? (Direct application, or an
+/// application of a defined relation that reaches \p Rel.)
+bool formulaDependsOn(const System &Sys, const DependencyGraph &G,
+                      const Formula &F, RelId Rel) {
+  switch (F.Kind) {
+  case FormulaKind::RelApp:
+    return F.Rel == Rel ||
+           (!Sys.relation(F.Rel).isInput() && G.reaches(F.Rel, Rel));
+  case FormulaKind::Not:
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      if (formulaDependsOn(Sys, G, *Child, Rel))
+        return true;
+    return false;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    return formulaDependsOn(Sys, G, *F.Body, Rel);
+  default:
+    return false;
+  }
+}
+
+/// Classifies one disjunct: walks it through And/Or/Exists; every
+/// \p Rel-dependent subformula must be a direct application of \p Rel for
+/// the disjunct to distribute. Returns false (opaque) otherwise.
+/// \p Path holds the nodes from the disjunct root to the current one.
+bool classifyDistributive(const System &Sys, const DependencyGraph &G,
+                          const Formula &F, RelId Rel,
+                          std::vector<const Formula *> &Path,
+                          std::vector<SelfOccurrence> &Occurrences) {
+  Path.push_back(&F);
+  bool Ok = true;
+  switch (F.Kind) {
+  case FormulaKind::RelApp:
+    if (F.Rel == Rel)
+      Occurrences.push_back(SelfOccurrence{&F, Path});
+    else
+      // A different defined relation that reaches Rel would be re-solved
+      // under the round's interpretation: not distributive.
+      Ok = Sys.relation(F.Rel).isInput() || !G.reaches(F.Rel, Rel);
+    break;
+  case FormulaKind::And:
+  case FormulaKind::Or:
+    for (const Formula *Child : F.Children)
+      if (!classifyDistributive(Sys, G, *Child, Rel, Path, Occurrences)) {
+        Ok = false;
+        break;
+      }
+    break;
+  case FormulaKind::Exists:
+    Ok = classifyDistributive(Sys, G, *F.Body, Rel, Path, Occurrences);
+    break;
+  case FormulaKind::Not:
+  case FormulaKind::Forall:
+    // Not breaks monotonicity, Forall breaks distributivity over union —
+    // unless nothing below depends on Rel at all.
+    Ok = !formulaDependsOn(Sys, G, F, Rel);
+    break;
+  default:
+    break; // Const / EqVar / EqConst.
+  }
+  Path.pop_back();
+  return Ok;
+}
+
+} // namespace
+
+EquationPlan fpc::planEquation(const System &Sys, const DependencyGraph &G,
+                               RelId Rel) {
+  const Relation &R = Sys.relation(Rel);
+  assert(R.Def && "planning an input relation");
+
+  EquationPlan Plan;
+  // Union accumulation requires an increasing Tarski chain: mu equations
+  // whose self-cycles are negation-free. Everything else runs naively.
+  Plan.SemiNaive = !R.IsNu && G.isMonotoneSelf(Rel);
+
+  std::vector<const Formula *> Disjuncts;
+  if (R.Def->Kind == FormulaKind::Or)
+    for (const Formula *Child : R.Def->Children)
+      Disjuncts.push_back(Child);
+  else
+    Disjuncts.push_back(R.Def);
+
+  for (const Formula *D : Disjuncts) {
+    DisjunctPlan DP;
+    DP.Node = D;
+    std::vector<const Formula *> Path;
+    if (!formulaDependsOn(Sys, G, *D, Rel)) {
+      DP.Kind = DisjunctKind::NonRecursive;
+    } else if (classifyDistributive(Sys, G, *D, Rel, Path,
+                                    DP.Occurrences)) {
+      DP.Kind = DisjunctKind::Distributive;
+      assert(!DP.Occurrences.empty() &&
+             "dependent disjunct with no self-app");
+      // A RelApp node shared between two tree positions would make one
+      // frontier pass substitute both at once (losing the Δ×S cross
+      // terms); builders do not share nodes today, but stay sound if one
+      // ever does.
+      std::vector<const Formula *> Apps;
+      for (const SelfOccurrence &Occ : DP.Occurrences)
+        Apps.push_back(Occ.App);
+      std::sort(Apps.begin(), Apps.end());
+      if (std::adjacent_find(Apps.begin(), Apps.end()) != Apps.end()) {
+        DP.Kind = DisjunctKind::Opaque;
+        DP.Occurrences.clear();
+      }
+    } else {
+      DP.Kind = DisjunctKind::Opaque;
+      DP.Occurrences.clear();
+    }
+    Plan.Disjuncts.push_back(std::move(DP));
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
 // Printing (MUCKE-like concrete syntax)
 //===----------------------------------------------------------------------===//
 

@@ -33,6 +33,7 @@
 #include "support/Diagnostics.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -197,6 +198,149 @@ public:
   }
   bool hasRel(const std::string &Name) const { return RelIds.count(Name); }
 };
+
+//===----------------------------------------------------------------------===//
+// Dependency analysis
+//===----------------------------------------------------------------------===//
+
+/// How the evaluator iterates equations to their fixed points.
+enum class EvalStrategy {
+  /// The paper's Section-3 `Evaluate` semantics, literally: every round
+  /// re-evaluates the whole body under the current interpretation.
+  Naive,
+  /// Semi-naive (delta-driven) evaluation: per round, distributive
+  /// disjuncts are joined only against the newly discovered frontier
+  /// (`Delta = New \ Old`); non-distributive disjuncts fall back to full
+  /// re-evaluation, and non-monotone or `nu` equations fall back to the
+  /// naive scheme wholesale. Produces the identical per-round value
+  /// sequence (hence identical iteration counts, early stops, and witness
+  /// rings) for every system the naive scheme solves.
+  SemiNaive,
+};
+
+const char *strategyName(EvalStrategy S);
+
+/// Per-relation evaluation statistics (lives here rather than next to the
+/// evaluator so result structs up the stack can carry it without seeing
+/// the BDD package).
+struct RelStats {
+  uint64_t Iterations = 0;  ///< Outer Tarski rounds (accumulated).
+  uint64_t Evaluations = 0; ///< Full fixpoint solves (nested re-solves).
+  uint64_t DeltaRounds = 0; ///< Rounds run in frontier (delta) mode.
+  size_t FinalNodes = 0;    ///< Dag size of the last computed value.
+};
+
+/// The relation dependency graph of an equation system, with its SCC
+/// condensation and occurrence-polarity summary. Built once per `System`
+/// (after all `define` calls) and consulted by the evaluator for
+/// scheduling and for the semi-naive applicability checks.
+class DependencyGraph {
+public:
+  explicit DependencyGraph(const System &Sys);
+
+  /// Defined relations referenced directly by \p Rel's body (deduplicated;
+  /// input relations are not dependencies). Empty for input relations.
+  const std::vector<RelId> &directDeps(RelId Rel) const {
+    return Deps[Rel];
+  }
+
+  /// Does \p Rel's value (transitively) depend on \p Target?
+  bool reaches(RelId Rel, RelId Target) const;
+
+  /// Is \p Rel part of a dependency cycle (including self-loops)?
+  bool isRecursive(RelId Rel) const { return Recursive[Rel]; }
+
+  /// Index of \p Rel's SCC in the condensation. SCCs are numbered in
+  /// *reverse* topological order: sccOf(R) > sccOf(T) whenever R depends
+  /// on T across SCCs, so solving SCC 0, 1, ... visits callees first.
+  unsigned sccOf(RelId Rel) const { return SccIndex[Rel]; }
+
+  /// Members of each SCC, indexed by SCC number (callees-first order).
+  const std::vector<std::vector<RelId>> &sccs() const { return SccMembers; }
+
+  /// The defined relations \p Rel transitively depends on (excluding
+  /// \p Rel's own SCC), SCC-by-SCC in topological (callees-first) order —
+  /// the schedule the evaluator pre-solves before iterating \p Rel.
+  std::vector<RelId> scheduleFor(RelId Rel) const;
+
+  /// No occurrence of \p Rel inside any dependency cycle through \p Rel
+  /// sits under a negation: the self-iteration of \p Rel is monotone, so
+  /// its Tarski sequence is an increasing chain and union-accumulating
+  /// semi-naive evaluation is exact. (Forall preserves monotonicity and
+  /// does not count; conservatively, *any* negative edge on a cycle
+  /// through \p Rel disqualifies it.)
+  bool isMonotoneSelf(RelId Rel) const { return MonotoneSelf[Rel]; }
+
+private:
+  const System &Sys;
+  std::vector<std::vector<RelId>> Deps;
+  /// NegativeEdge[R] = targets R's body applies under an odd number of
+  /// negations (directly or anywhere below a Not).
+  std::vector<std::vector<RelId>> NegDeps;
+  std::vector<bool> Recursive;
+  std::vector<bool> MonotoneSelf;
+  std::vector<unsigned> SccIndex;
+  std::vector<std::vector<RelId>> SccMembers;
+  /// Reachability closure, as per-relation sorted vectors.
+  std::vector<std::vector<RelId>> Closure;
+};
+
+/// Classification of one top-level disjunct of a defining equation, with
+/// respect to the relation being iterated.
+enum class DisjunctKind {
+  /// No transitive dependency on the iterated relation: its value is fixed
+  /// for the whole solve, so it is evaluated once, on the first round.
+  NonRecursive,
+  /// Every subformula depending on the iterated relation is a direct,
+  /// positive application of it reached through And/Or/Exists only — the
+  /// disjunct distributes over union in each occurrence, so per round it
+  /// is joined once per occurrence against the frontier.
+  Distributive,
+  /// Anything else (occurrences under Not/Forall, or dependencies routed
+  /// through other defined relations that must be re-solved): re-evaluated
+  /// in full every round.
+  Opaque,
+};
+
+/// One delta-able self-application inside a distributive disjunct.
+struct SelfOccurrence {
+  const Formula *App = nullptr;
+  /// All nodes from the disjunct root down to (and including) App. When
+  /// this occurrence reads the frontier, `Or` nodes on the path evaluate
+  /// only their on-path child: sibling branches either carry no
+  /// self-application (their value is constant and already accumulated) or
+  /// carry other occurrences (covered by their own frontier passes), so
+  /// pruning them keeps the round exact while skipping re-evaluation.
+  std::vector<const Formula *> Path;
+};
+
+struct DisjunctPlan {
+  const Formula *Node = nullptr;
+  DisjunctKind Kind = DisjunctKind::Opaque;
+  /// The direct self-applications, for Distributive disjuncts.
+  std::vector<SelfOccurrence> Occurrences;
+};
+
+/// The evaluation plan for one equation: whether union-accumulating
+/// semi-naive iteration applies at all, and the per-disjunct schedule.
+struct EquationPlan {
+  /// False for `nu` equations and for non-monotone systems — the evaluator
+  /// must fall back to the naive scheme for this relation.
+  bool SemiNaive = false;
+  std::vector<DisjunctPlan> Disjuncts;
+
+  unsigned count(DisjunctKind K) const {
+    unsigned N = 0;
+    for (const DisjunctPlan &D : Disjuncts)
+      N += D.Kind == K;
+    return N;
+  }
+};
+
+/// Plans the semi-naive evaluation of \p Rel's equation (top-level `Or`
+/// children are the disjuncts; any other body is one disjunct).
+EquationPlan planEquation(const System &Sys, const DependencyGraph &G,
+                          RelId Rel);
 
 } // namespace fpc
 } // namespace getafix

@@ -55,18 +55,43 @@ Layout Layout::interleaved(const System &Sys, BddManager &Mgr,
 // Evaluator: setup and encoding helpers
 //===----------------------------------------------------------------------===//
 
-Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L)
-    : Sys(Sys), Mgr(Mgr), L(std::move(L)) {}
+Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L,
+                     EvalStrategy Strategy)
+    : Sys(Sys), Mgr(Mgr), L(std::move(L)), Strategy(Strategy) {}
 
 void Evaluator::bindInput(RelId Rel, Bdd Value) {
   assert(Sys.relation(Rel).isInput() && "binding a defined relation");
-  Inputs[Rel] = std::move(Value);
+  assert(InFlight.empty() && "rebinding an input mid-evaluation");
+  auto [It, Inserted] = Inputs.emplace(Rel, Value);
+  if (!Inserted) {
+    if (It->second == Value)
+      return; // Same binding: every memo is still valid.
+    It->second = std::move(Value);
+    // Both memo layers may hold BDDs built from the old binding: the
+    // static-subformula cache mentions inputs directly, and a Completed
+    // defined relation was solved under them. Serving either after a
+    // rebind would silently answer the old query.
+    Completed.clear();
+  }
   StaticCache.clear(); // Cached composites may mention this relation.
 }
 
 void Evaluator::invalidate() {
   Completed.clear();
   StaticCache.clear();
+}
+
+const DependencyGraph &Evaluator::dependencies() {
+  if (!Graph)
+    Graph = std::make_unique<DependencyGraph>(Sys);
+  return *Graph;
+}
+
+const EquationPlan &Evaluator::plan(RelId Rel) {
+  auto It = Plans.find(Rel);
+  if (It == Plans.end())
+    It = Plans.emplace(Rel, planEquation(Sys, dependencies(), Rel)).first;
+  return It->second;
 }
 
 bool Evaluator::isStatic(const Formula &F) {
@@ -240,6 +265,22 @@ Bdd Evaluator::evalFormula(const Formula &F) {
     StaticCache.emplace(&F, Value);
     return Value;
   }
+  // Inside a delta round, any subformula off the current occurrence path
+  // evaluates under the same environment in every pass (the in-flight S
+  // is fixed for the round), so its value is shared across the round's
+  // passes. This also holds for applications of nested defined relations:
+  // the round-level memo re-solves them once per round, which is the
+  // naive scheme's per-round cadence.
+  if (InDeltaRound && !Composite && F.Kind != FormulaKind::RelApp)
+    return evalFormulaUncached(F);
+  if (InDeltaRound && !onDeltaPath(&F)) {
+    auto It = RoundCache.find(&F);
+    if (It != RoundCache.end())
+      return It->second;
+    Bdd Value = evalFormulaUncached(F);
+    RoundCache.emplace(&F, Value);
+    return Value;
+  }
   return evalFormulaUncached(F);
 }
 
@@ -248,6 +289,10 @@ Bdd Evaluator::evalFormulaUncached(const Formula &F) {
   case FormulaKind::Const:
     return F.ConstValue ? Mgr.one() : Mgr.zero();
   case FormulaKind::RelApp:
+    // Semi-naive delta substitution: this one occurrence reads the
+    // frontier instead of the full in-flight value.
+    if (&F == DeltaApp)
+      return applyArgs(F.Rel, F.Args, DeltaValue);
     return applyArgs(F.Rel, F.Args, relValue(F.Rel));
   case FormulaKind::EqVar:
     return encodeEqVar(F.Lhs, F.Rhs);
@@ -267,6 +312,15 @@ Bdd Evaluator::evalFormulaUncached(const Formula &F) {
     return Result;
   }
   case FormulaKind::Or: {
+    // Frontier pass through an on-path Or: only the branch leading to the
+    // delta occurrence is live; sibling branches carry either constants
+    // (accumulated on round 1) or other occurrences (their own passes).
+    if (onDeltaPath(&F)) {
+      for (const Formula *Child : F.Children)
+        if (onDeltaPath(Child))
+          return evalFormula(*Child);
+      assert(false && "delta path skips this Or's children");
+    }
     Bdd Result = evalFormula(*F.Children[0]);
     for (size_t I = 1; I < F.Children.size(); ++I) {
       if (Result.isOne())
@@ -300,6 +354,18 @@ Bdd Evaluator::evalFormulaUncached(const Formula &F) {
   return Mgr.zero();
 }
 
+void Evaluator::scheduleDependencies(RelId Rel) {
+  // Pre-solve the lower SCCs in topological (callees-first) order. Same-SCC
+  // members are excluded: they see Rel in flight and must be re-solved per
+  // round (the paper's algorithmic semantics). Relations that can see an
+  // *outer* in-flight relation stay lazy for the same reason.
+  for (RelId T : dependencies().scheduleFor(Rel)) {
+    if (Completed.count(T) || dependsOnInFlight(T))
+      continue;
+    Completed[T] = evalFixpoint(T, nullptr, nullptr, nullptr);
+  }
+}
+
 Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
                             bool *HitLimit, bool *Stopped) {
   const Relation &R = Sys.relation(Rel);
@@ -309,6 +375,48 @@ Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
   RelStats &RS = Stats[R.Name];
   ++RS.Evaluations;
 
+  // A nested re-solve (a volatile relation applied inside a caller's
+  // round) iterates its own relation: the caller's delta context — the
+  // occurrence substitution and the per-round memo — is neither valid
+  // here nor allowed to be clobbered by this solve's own delta rounds.
+  const Formula *SavedApp = DeltaApp;
+  const std::vector<const Formula *> *SavedPath = DeltaPath;
+  Bdd SavedValue = DeltaValue;
+  bool SavedInRound = InDeltaRound;
+  std::map<const Formula *, Bdd> SavedRoundCache;
+  SavedRoundCache.swap(RoundCache);
+  DeltaApp = nullptr;
+  DeltaPath = nullptr;
+  DeltaValue = Bdd();
+  InDeltaRound = false;
+
+  Bdd S;
+  if (Strategy == EvalStrategy::SemiNaive) {
+    scheduleDependencies(Rel);
+    // Non-monotone or nu equations run the exact naive scheme; monotone mu
+    // equations take the delta-propagating core (which degrades gracefully
+    // to per-round full evaluation for opaque disjuncts).
+    if (plan(Rel).SemiNaive)
+      S = evalFixpointSemiNaive(Rel, Opts, HitLimit, Stopped, RS);
+    else
+      S = evalFixpointNaive(Rel, Opts, HitLimit, Stopped, RS);
+  } else {
+    S = evalFixpointNaive(Rel, Opts, HitLimit, Stopped, RS);
+  }
+  RS.FinalNodes = S.nodeCount();
+
+  DeltaApp = SavedApp;
+  DeltaPath = SavedPath;
+  DeltaValue = std::move(SavedValue);
+  InDeltaRound = SavedInRound;
+  RoundCache.swap(SavedRoundCache);
+  return S;
+}
+
+Bdd Evaluator::evalFixpointNaive(RelId Rel, const EvalOptions *Opts,
+                                 bool *HitLimit, bool *Stopped,
+                                 RelStats &RS) {
+  const Relation &R = Sys.relation(Rel);
   // Least fixed-points start from the empty relation; greatest fixed-points
   // from the top element, which is the set of *domain-valid* tuples (bits
   // encoding values >= the domain size are excluded so they can never leak
@@ -342,7 +450,127 @@ Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
       break;
     }
   }
-  RS.FinalNodes = S.nodeCount();
+  return S;
+}
+
+/// The delta-propagating core. Per round r >= 2 it computes
+///
+///   S_r = S_{r-1}  ∪  ⋃_{opaque D} D(S_{r-1})
+///                  ∪  ⋃_{distributive D} ⋃_{occ i} D[occ_i ↦ Δ_{r-1}]
+///
+/// with Δ_{r-1} ⊇ S_{r-1} \ S_{r-2} and the other occurrences of the
+/// iterated relation reading the full S_{r-1}. For a monotone mu equation
+/// this telescopes to exactly the naive sequence S_r = Body(S_{r-1}):
+/// distributivity of And/Or/Exists over union gives
+/// D(S_{r-2} ∪ Δ) = D(S_{r-2}) ∪ ⋃_i D[occ_i ↦ Δ], and monotonicity makes
+/// the chain increasing so the accumulated union adds nothing extra.
+/// The frontier need not be the *exact* difference: any Δ with
+/// S_{r-1} \ S_{r-2} ⊆ Δ ⊆ S_{r-1} yields the same union (the surplus is
+/// tuples already in S_{r-1}, whose images are already in S_r). That
+/// freedom is used twice: `Bdd::frontier` don't-care-minimizes the narrow
+/// frontier, and rounds whose working set still fits the computed cache
+/// take Δ = S_{r-1} wholesale (see below).
+/// Hence rounds, early stops, iteration limits, and witness rings are all
+/// bit-identical to the naive evaluator — only the work per round shrinks.
+Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
+                                     bool *HitLimit, bool *Stopped,
+                                     RelStats &RS) {
+  const Relation &R = Sys.relation(Rel);
+  const EquationPlan &P = plan(Rel);
+  assert(P.SemiNaive && "delta core on a naive-only equation");
+  assert(!R.IsNu && "delta core iterates from the empty relation");
+
+  // Frontier-width policy. A BDD evaluator is in a different cost regime
+  // than an explicit Datalog engine: as long as one round's
+  // subcomputations fit the computed cache, evaluating a clause against
+  // the full (structurally stable) S is already incremental — the cache
+  // cuts every traversal off at the unchanged substructure — while a
+  // narrow frontier BDD shares nothing between rounds and makes every
+  // image start cold, *creating* distinct nodes the wide join never
+  // builds. The narrow frontier starts to win exactly when the per-round
+  // working set outgrows the cache and the warm-path assumption
+  // collapses. Rounds allocating more than this many fresh nodes switch
+  // the next round's frontier to the minimized difference.
+  const uint64_t NarrowAt = Mgr.cacheSlots() / 4;
+  // In narrow rounds, delta-substitute only linear disjuncts: a disjunct
+  // with k occurrences needs k passes whose cross terms read the full S,
+  // so its delta decomposition does strictly more conjunction work than
+  // one whole evaluation under a warm cache.
+  const size_t MaxDeltaOccurrences = 1;
+
+  Bdd S = Mgr.zero();
+  Bdd Delta;
+  uint64_t Iter = 0;
+  while (true) {
+    InFlight[Rel] = S;
+    uint64_t RoundStart = Mgr.stats().NodesCreated;
+    Bdd Next;
+    if (Iter == 0) {
+      // Round 1 evaluates the full body once — this is both the naive
+      // round 1 and the seeding of the frontier (everything is new).
+      Next = evalFormula(*R.Def);
+    } else {
+      bool Wide = Delta == S;
+      // The per-round memo only pays off when narrow passes re-walk the
+      // disjuncts; a wide round touches each disjunct exactly once.
+      InDeltaRound = !Wide;
+      RoundCache.clear();
+      Next = S;
+      for (const DisjunctPlan &D : P.Disjuncts) {
+        switch (D.Kind) {
+        case DisjunctKind::NonRecursive:
+          // Fixed for the whole solve; already folded in by round 1.
+          break;
+        case DisjunctKind::Opaque:
+          Next |= evalFormula(*D.Node);
+          break;
+        case DisjunctKind::Distributive:
+          if (Wide || D.Occurrences.size() > MaxDeltaOccurrences) {
+            // Δ == S makes every occurrence pass evaluate the identical
+            // D(S), so one evaluation covers them all; and a nonlinear
+            // disjunct's cross-term passes (every other occurrence at the
+            // full S) each cost a full-size conjunction of their own, so
+            // joining it whole is the cheaper exact choice too.
+            Next |= evalFormula(*D.Node);
+            break;
+          }
+          for (const SelfOccurrence &Occ : D.Occurrences) {
+            DeltaApp = Occ.App;
+            DeltaPath = &Occ.Path;
+            DeltaValue = Delta;
+            Next |= evalFormula(*D.Node);
+          }
+          DeltaApp = nullptr;
+          DeltaPath = nullptr;
+          DeltaValue = Bdd();
+          break;
+        }
+      }
+      RoundCache.clear();
+      InDeltaRound = false;
+      ++RS.DeltaRounds;
+    }
+    InFlight.erase(Rel);
+    ++Iter;
+    ++RS.Iterations;
+    if (Next == S)
+      break;
+    bool Narrow = Mgr.stats().NodesCreated - RoundStart >= NarrowAt;
+    Delta = Narrow ? Next.frontier(S) : Next;
+    S = std::move(Next);
+    if (Opts && Opts->Rings)
+      Opts->Rings->push_back(S);
+    if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
+      if (Stopped)
+        *Stopped = true;
+      break;
+    }
+    if (Opts && Opts->MaxIterations != 0 && Iter >= Opts->MaxIterations) {
+      if (HitLimit)
+        *HitLimit = true;
+      break;
+    }
+  }
   return S;
 }
 

@@ -27,7 +27,9 @@
 #include "bdd/Bdd.h"
 #include "fpcalc/Calculus.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,13 +59,6 @@ private:
   std::vector<std::vector<unsigned>> Bits;
 };
 
-/// Per-relation evaluation statistics.
-struct RelStats {
-  uint64_t Iterations = 0;  ///< Outer Tarski rounds (accumulated).
-  uint64_t Evaluations = 0; ///< Full fixpoint solves (nested re-solves).
-  size_t FinalNodes = 0;    ///< Dag size of the last computed value.
-};
-
 struct EvalOptions {
   /// When non-null, fixpoint iteration of the *requested* relation stops as
   /// soon as the partial result intersects this set (reachability early
@@ -86,9 +81,14 @@ struct EvalResult {
 
 class Evaluator {
 public:
-  Evaluator(const System &Sys, BddManager &Mgr, Layout L);
+  Evaluator(const System &Sys, BddManager &Mgr, Layout L,
+            EvalStrategy Strategy = EvalStrategy::SemiNaive);
 
-  /// Binds an input relation to its BDD over the formals' bits.
+  EvalStrategy strategy() const { return Strategy; }
+
+  /// Binds an input relation to its BDD over the formals' bits. Rebinding
+  /// an already-bound input drops every memo built from the old binding
+  /// (the static-subformula cache *and* completed defined relations).
   void bindInput(RelId Rel, Bdd Value);
 
   /// The BDD bound to an input relation (must be bound).
@@ -118,9 +118,23 @@ public:
   /// Literal for bit \p Bit of variable \p V.
   Bdd bitVar(VarId V, unsigned Bit);
 
+  /// The dependency analysis of the system (built lazily on the first
+  /// solve, after all definitions are in place).
+  const DependencyGraph &dependencies();
+  /// The evaluation plan for \p Rel's equation (memoized).
+  const EquationPlan &plan(RelId Rel);
+
 private:
   Bdd evalFixpoint(RelId Rel, const EvalOptions *Opts, bool *HitLimit,
                    bool *Stopped);
+  Bdd evalFixpointNaive(RelId Rel, const EvalOptions *Opts, bool *HitLimit,
+                        bool *Stopped, RelStats &RS);
+  Bdd evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
+                            bool *HitLimit, bool *Stopped, RelStats &RS);
+  /// Pre-solves (and memoizes) the defined relations \p Rel depends on
+  /// that cannot see any in-flight relation, SCC-by-SCC in topological
+  /// order, so the main iteration never discovers them mid-round.
+  void scheduleDependencies(RelId Rel);
   Bdd evalFormula(const Formula &F);
   Bdd evalFormulaUncached(const Formula &F);
   bool isStatic(const Formula &F);
@@ -132,6 +146,7 @@ private:
   const System &Sys;
   BddManager &Mgr;
   Layout L;
+  EvalStrategy Strategy;
 
   std::map<RelId, Bdd> Inputs;
   std::map<RelId, Bdd> InFlight;  ///< Current interpretation per Section 3.
@@ -142,6 +157,33 @@ private:
   /// fixpoint rounds; their BDDs are memoized here.
   std::map<const Formula *, Bdd> StaticCache;
   std::map<const Formula *, bool> StaticKind;
+
+  /// Built on first use; safe to cache because definitions are frozen once
+  /// evaluation starts (System::define asserts single definition).
+  std::unique_ptr<DependencyGraph> Graph;
+  std::map<RelId, EquationPlan> Plans;
+
+  /// Delta-substitution state: while non-null, this specific RelApp node
+  /// is evaluated against DeltaValue instead of the in-flight value, and
+  /// `Or` nodes on the root-to-occurrence path evaluate only their on-path
+  /// child (see SelfOccurrence::Path).
+  const Formula *DeltaApp = nullptr;
+  const std::vector<const Formula *> *DeltaPath = nullptr;
+  Bdd DeltaValue;
+
+  /// Per-round memo, live only inside a delta round (InDeltaRound). A
+  /// subformula off the current occurrence path sees the same environment
+  /// (the full in-flight S) in every pass of the round, so its value is
+  /// computed once per round — without this, a disjunct with n occurrences
+  /// re-evaluates its big S-reading subtrees n times per round, which is
+  /// exactly the work semi-naive exists to avoid. Cleared at round start.
+  bool InDeltaRound = false;
+  std::map<const Formula *, Bdd> RoundCache;
+
+  bool onDeltaPath(const Formula *F) const {
+    return DeltaPath && std::find(DeltaPath->begin(), DeltaPath->end(), F) !=
+                            DeltaPath->end();
+  }
 };
 
 } // namespace fpc

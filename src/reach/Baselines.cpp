@@ -231,6 +231,9 @@ BaselineResult PostStarSolver::run() {
     Result.Reachable = !(Reach & TargetStates).isZero();
   Result.SummaryNodes = Reach.nodeCount();
   Result.PeakLiveNodes = Mgr.stats().PeakNodes;
+  Result.BddNodesCreated = Mgr.stats().NodesCreated;
+  Result.BddCacheLookups = Mgr.stats().CacheLookups;
+  Result.BddCacheHits = Mgr.stats().CacheHits;
   Result.Seconds = T.seconds();
   return Result;
 }

@@ -40,6 +40,9 @@ struct BaselineResult {
   size_t SummaryNodes = 0;  ///< Final BDD size (moped only).
   size_t PeakLiveNodes = 0; ///< Peak BDD nodes (moped only; bebop is
                             ///< enumerative and reports 0).
+  uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated (moped only).
+  uint64_t BddCacheLookups = 0; ///< Computed-cache probes (moped only).
+  uint64_t BddCacheHits = 0;    ///< Computed-cache hits (moped only).
   double Seconds = 0.0;
 };
 

@@ -61,6 +61,13 @@ public:
 
 private:
   void buildSystem();
+#ifndef NDEBUG
+  /// Debug-only cross-check: the dependency analysis must classify each
+  /// algorithm's disjuncts exactly as the clause builders intend
+  /// (distributive image clauses, non-recursive seeds, and the deliberate
+  /// non-monotonicity of EF-opt's Relevant).
+  void verifyEquationPlan() const;
+#endif
   sym::ConfVars addConf(const std::string &Prefix);
 
   // Clause builders shared by the algorithms. `Head` is the relation the

@@ -332,8 +332,53 @@ void SeqEngine::buildSystem() {
 #ifndef NDEBUG
   DiagnosticEngine Diags;
   assert(Sys.validate(Diags) && "algorithm formulae must type-check");
+  verifyEquationPlan();
 #endif
 }
+
+#ifndef NDEBUG
+/// Cross-checks the dependency analysis against what each algorithm's
+/// construction promises: which disjuncts of the main equation distribute
+/// over union (and therefore run in delta mode), and whether the system is
+/// monotone. A drift here means either a clause builder or the classifier
+/// changed semantics.
+void SeqEngine::verifyEquationPlan() const {
+  using fpc::DisjunctKind;
+  fpc::DependencyGraph G(Sys);
+  fpc::EquationPlan P = fpc::planEquation(Sys, G, Main);
+
+  switch (Alg) {
+  case SeqAlgorithm::SummarySimple:
+    // [all-entries | internal | return]: seed is non-recursive, the image
+    // clauses distribute (the return clause bilinearly, 2 occurrences).
+    assert(P.SemiNaive && "summary system must be monotone");
+    assert(P.Disjuncts.size() == 3);
+    assert(P.Disjuncts[0].Kind == DisjunctKind::NonRecursive);
+    assert(P.Disjuncts[1].Kind == DisjunctKind::Distributive);
+    assert(P.Disjuncts[2].Kind == DisjunctKind::Distributive);
+    assert(P.Disjuncts[2].Occurrences.size() == 2);
+    break;
+  case SeqAlgorithm::EntryForward:
+  case SeqAlgorithm::EntryForwardSplit:
+    // [init | internal | entry-discovery | return].
+    assert(P.SemiNaive && "entry-forward system must be monotone");
+    assert(P.Disjuncts.size() == 4);
+    assert(P.Disjuncts[0].Kind == DisjunctKind::NonRecursive);
+    for (unsigned I = 1; I < 4; ++I)
+      assert(P.Disjuncts[I].Kind == DisjunctKind::Distributive);
+    assert(P.Disjuncts[3].Occurrences.size() == 2);
+    break;
+  case SeqAlgorithm::EntryForwardOpt:
+    // Relevant negates the main relation inside a cycle: the optimized
+    // system is non-monotone by design, and must run the exact naive
+    // scheme (the paper's Section-3 operational semantics).
+    assert(!P.SemiNaive &&
+           "EF-opt must fall back to naive (non-monotone Relevant)");
+    assert(!G.isMonotoneSelf(Main));
+    break;
+  }
+}
+#endif
 
 SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
                            const SeqOptions &Opts) {
@@ -343,7 +388,7 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
   Layout L = Factory.makeLayout(Mgr);
-  Evaluator Ev(Sys, Mgr, std::move(L));
+  Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy);
   Enc->bind(Ev, ProcId, Pc);
 
   // Target states over the head tuple (plus don't-care fr for the opt
@@ -352,28 +397,39 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
       Ev.encodeEqConst(S.Mod, ProcId) & Ev.encodeEqConst(S.Pc, Pc);
 
   EvalOptions EOpts;
+  EOpts.MaxIterations = Opts.MaxIterations;
   if (Opts.EarlyStop && Alg != SeqAlgorithm::SummarySimple)
     EOpts.EarlyStop = &TargetStates;
 
   if (Alg == SeqAlgorithm::SummarySimple) {
     // Query: ∃s. ReachEntry(s.mod, s.ECL, s.ECG) ∧ Summary(s) ∧ target.
     // Summary is solved first; ReachEntry reuses it as a memoized nested
-    // relation.
-    EvalResult Summaries = Ev.evaluate(Main);
-    EvalResult Entries = Ev.evaluate(ReachEntry);
+    // relation. EOpts carries no EarlyStop in this branch, so it is the
+    // right options set for both solves.
+    EvalResult Summaries = Ev.evaluate(Main, EOpts);
+    EvalResult Entries = Ev.evaluate(ReachEntry, EOpts);
+    Result.HitIterationLimit =
+        Summaries.HitIterationLimit || Entries.HitIterationLimit;
     Bdd Hits = (Summaries.Value & Entries.Value) & TargetStates;
     Result.Reachable = !Hits.isZero();
     Result.SummaryNodes = Summaries.Value.nodeCount();
   } else {
     EvalResult R = Ev.evaluate(Main, EOpts);
+    Result.HitIterationLimit = R.HitIterationLimit;
     Result.Reachable = !(R.Value & TargetStates).isZero();
     Result.SummaryNodes = R.Value.nodeCount();
   }
 
-  auto StatsIt = Ev.stats().find(Sys.relation(Main).Name);
-  if (StatsIt != Ev.stats().end())
+  Result.Relations = Ev.stats();
+  auto StatsIt = Result.Relations.find(Sys.relation(Main).Name);
+  if (StatsIt != Result.Relations.end()) {
     Result.Iterations = StatsIt->second.Iterations;
+    Result.DeltaRounds = StatsIt->second.DeltaRounds;
+  }
   Result.PeakLiveNodes = Mgr.stats().PeakNodes;
+  Result.BddNodesCreated = Mgr.stats().NodesCreated;
+  Result.BddCacheLookups = Mgr.stats().CacheLookups;
+  Result.BddCacheHits = Mgr.stats().CacheHits;
   Result.Seconds = T.seconds();
   return Result;
 }

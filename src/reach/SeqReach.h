@@ -29,8 +29,10 @@
 #define GETAFIX_REACH_SEQREACH_H
 
 #include "bp/Cfg.h"
+#include "fpcalc/Calculus.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace getafix {
@@ -47,9 +49,15 @@ const char *algorithmName(SeqAlgorithm Alg);
 
 struct SeqOptions {
   SeqAlgorithm Alg = SeqAlgorithm::EntryForwardSplit;
+  /// How the fixed-point solver iterates: semi-naive (delta-driven, the
+  /// default) or the paper's literal naive semantics. Both produce the
+  /// identical per-round value sequence; the knob exists for ablation.
+  fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   /// Stop iterating as soon as the target is found (the Appendix formula's
   /// early-termination disjunct, implemented at the solver level).
   bool EarlyStop = true;
+  /// Cap on outer fixpoint rounds of the queried relation; 0 = unlimited.
+  uint64_t MaxIterations = 0;
   /// Computed-cache size for the BDD manager (2^CacheBits entries).
   unsigned CacheBits = 18;
   /// Automatic garbage-collection threshold (live nodes); 0 disables.
@@ -59,10 +67,19 @@ struct SeqOptions {
 struct SeqResult {
   bool Reachable = false;
   bool TargetFound = true;   ///< False if the label did not exist.
+  /// The solver stopped at SeqOptions::MaxIterations before converging;
+  /// `Reachable` then only reflects the states found so far.
+  bool HitIterationLimit = false;
   uint64_t Iterations = 0;   ///< Outer fixpoint rounds of the main relation.
+  uint64_t DeltaRounds = 0;  ///< Rounds the main relation ran in delta mode.
   size_t SummaryNodes = 0;   ///< Dag size of the final summary BDD.
   size_t PeakLiveNodes = 0;  ///< Peak BDD nodes in the manager.
+  uint64_t BddNodesCreated = 0;  ///< Total BDD nodes allocated.
+  uint64_t BddCacheLookups = 0;  ///< Computed-cache probes.
+  uint64_t BddCacheHits = 0;     ///< Computed-cache hits.
   double Seconds = 0.0;      ///< Wall-clock solve time (excludes parsing).
+  /// Per-relation evaluator statistics, keyed by relation name.
+  std::map<std::string, fpc::RelStats> Relations;
 };
 
 /// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.

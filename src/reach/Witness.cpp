@@ -32,7 +32,7 @@ struct InstState {
 class WitnessExtractor {
 public:
   WitnessExtractor(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
-      : Engine(Cfg, SeqAlgorithm::EntryForward),
+      : Engine(Cfg, SeqAlgorithm::EntryForward), Opts(Opts),
         Mgr(0, Opts.CacheBits), S(Engine.conf()), X(Engine.scratch()),
         F(Engine.encoder().formals()) {
     Mgr.setGcThreshold(Opts.GcThreshold);
@@ -119,6 +119,7 @@ private:
   bool appendEntryChain(unsigned Mod, uint64_t EntryL, uint64_t EntryG);
 
   SeqEngine Engine;
+  SeqOptions Opts;
   BddManager Mgr;
   std::unique_ptr<Evaluator> Ev;
   std::vector<Bdd> Rings;
@@ -321,13 +322,32 @@ WitnessResult WitnessExtractor::run(unsigned ProcId, unsigned Pc) {
   WitnessResult Result;
 
   Layout L = Engine.factory().makeLayout(Mgr);
-  Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L));
+  Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
+                                   Opts.Strategy);
   Engine.encoder().bind(*Ev, ProcId, Pc);
 
-  EvalOptions Opts;
-  Opts.Rings = &Rings;
-  EvalResult Solved = Ev->evaluate(Engine.mainRel(), Opts);
+  // The "onion rings" are the per-round values of the summary relation;
+  // the semi-naive core produces the identical ring sequence (it computes
+  // the same S_r per round, only cheaper), so reconstruction is oblivious
+  // to the strategy.
+  EvalOptions EOpts;
+  EOpts.Rings = &Rings;
+  EOpts.MaxIterations = Opts.MaxIterations;
+  EvalResult Solved = Ev->evaluate(Engine.mainRel(), EOpts);
+  Result.HitIterationLimit = Solved.HitIterationLimit;
   Result.Iterations = Rings.size();
+  Result.SummaryNodes = Solved.Value.nodeCount();
+  Result.Relations = Ev->stats();
+  auto StatsIt = Result.Relations.find(
+      Engine.system().relation(Engine.mainRel()).Name);
+  if (StatsIt != Result.Relations.end())
+    Result.DeltaRounds = StatsIt->second.DeltaRounds;
+  // Counters cover the ring-recording solve (reconstruction below only
+  // walks the recorded rings).
+  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
+  Result.BddNodesCreated = Mgr.stats().NodesCreated;
+  Result.BddCacheLookups = Mgr.stats().CacheLookups;
+  Result.BddCacheHits = Mgr.stats().CacheHits;
 
   Bdd Domains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
   Bdd Hits = Solved.Value & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & Domains;

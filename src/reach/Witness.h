@@ -31,6 +31,7 @@
 #include "reach/SeqReach.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,8 +59,19 @@ struct WitnessStep {
 struct WitnessResult {
   bool Reachable = false;
   bool TargetFound = true;            ///< False if the label did not exist.
+  /// The ring-recording solve stopped at SeqOptions::MaxIterations before
+  /// converging; `Reachable` then only reflects the rings recorded so far.
+  bool HitIterationLimit = false;
   std::vector<WitnessStep> Steps;     ///< Empty when unreachable.
   uint64_t Iterations = 0;            ///< Fixpoint rounds recorded.
+  uint64_t DeltaRounds = 0;           ///< Rounds run in delta mode.
+  size_t SummaryNodes = 0;            ///< Dag size of the solved summary.
+  size_t PeakLiveNodes = 0;           ///< Peak BDD nodes in the manager.
+  uint64_t BddNodesCreated = 0;       ///< Total BDD nodes allocated.
+  uint64_t BddCacheLookups = 0;       ///< Computed-cache probes.
+  uint64_t BddCacheHits = 0;          ///< Computed-cache hits.
+  /// Per-relation evaluator statistics, keyed by relation name.
+  std::map<std::string, fpc::RelStats> Relations;
 };
 
 /// Decides reachability of (ProcId, Pc) and, when reachable, extracts a

@@ -17,6 +17,7 @@
 #include "api/Solver.h"
 
 #include "bp/Parser.h"
+#include "gen/Workloads.h"
 #include "reach/Witness.h"
 
 #include <gtest/gtest.h>
@@ -259,6 +260,128 @@ TEST(ApiTest, FormulaTextComesThroughTheFacade) {
                              Opts, &Error);
   EXPECT_TRUE(Text.empty());
   EXPECT_FALSE(Error.empty());
+}
+
+TEST(ApiTest, MaxIterationsSurfacesThroughTheFacade) {
+  SolverOptions Opts;
+  Opts.Engine = "ef-split";
+  Opts.EarlyStop = false;
+  Opts.MaxIterations = 1;
+  SolveResult R =
+      Solver::solve(Query::fromSource(seqFixture()).target("ERR"), Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.HitIterationLimit);
+  EXPECT_EQ(R.Iterations, 1u);
+  // The fixture needs more than one round, so the truncated result must
+  // not claim reachability.
+  EXPECT_FALSE(R.Reachable);
+
+  Opts.MaxIterations = 0; // Unlimited again.
+  R = Solver::solve(Query::fromSource(seqFixture()).target("ERR"), Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.HitIterationLimit);
+  EXPECT_TRUE(R.Reachable);
+}
+
+TEST(ApiTest, StrategiesAgreeAcrossAllEngines) {
+  // The tentpole differential: every registered engine must answer both
+  // fixture queries identically under the naive and the semi-naive
+  // strategy, with identical iterations-to-fixpoint for the fixed-point
+  // engines (the delta core computes the same per-round sequence).
+  for (const std::string &Label : {std::string("ERR"), std::string("SAFE")}) {
+    for (const api::Engine *E : Solver::engines()) {
+      std::string Src =
+          E->handlesConcurrent() ? concFixture() : seqFixture();
+      SolverOptions Opts;
+      Opts.Engine = E->name();
+      Opts.Strategy = fpc::EvalStrategy::Naive;
+      SolveResult Naive =
+          Solver::solve(Query::fromSource(Src).target(Label), Opts);
+      Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+      SolveResult Semi =
+          Solver::solve(Query::fromSource(Src).target(Label), Opts);
+      ASSERT_TRUE(Naive.ok()) << E->name() << ": " << Naive.Error;
+      ASSERT_TRUE(Semi.ok()) << E->name() << ": " << Semi.Error;
+      EXPECT_EQ(Naive.Reachable, Semi.Reachable)
+          << E->name() << " on " << Label;
+      EXPECT_EQ(Naive.Iterations, Semi.Iterations)
+          << E->name() << " on " << Label;
+    }
+  }
+}
+
+TEST(ApiTest, StrategiesAgreeOnWitnesses) {
+  // Witness extraction replays the per-round onion rings; the semi-naive
+  // core must record the identical ring sequence, hence the identical
+  // trace, for every witness-capable engine.
+  for (const api::Engine *E : Solver::engines()) {
+    if (!E->supportsWitness() || E->handlesConcurrent())
+      continue;
+    SolverOptions Opts;
+    Opts.Engine = E->name();
+    Opts.Strategy = fpc::EvalStrategy::Naive;
+    SolveResult Naive = Solver::solve(
+        Query::fromSource(seqFixture()).target("ERR").witness(), Opts);
+    Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+    SolveResult Semi = Solver::solve(
+        Query::fromSource(seqFixture()).target("ERR").witness(), Opts);
+    ASSERT_TRUE(Naive.ok() && Semi.ok()) << E->name();
+    ASSERT_TRUE(Naive.HasWitness && Semi.HasWitness) << E->name();
+    EXPECT_EQ(Naive.Iterations, Semi.Iterations) << E->name();
+    EXPECT_EQ(Naive.WitnessText, Semi.WitnessText) << E->name();
+  }
+}
+
+TEST(ApiTest, StrategiesAgreeOnRandomizedWorkloads) {
+  // Generated driver/terminator programs (known ground truth) through the
+  // default sequential engine under both strategies; verdicts, iteration
+  // counts, and the expected answer must all line up.
+  for (uint64_t Seed : {2u, 5u}) {
+    for (bool Reachable : {true, false}) {
+      gen::DriverParams P;
+      P.NumProcs = 8;
+      P.StmtsPerProc = 8;
+      P.Reachable = Reachable;
+      P.Seed = Seed;
+      gen::Workload W = gen::driverProgram(P);
+      SolverOptions Opts;
+      Opts.Engine = "ef-split";
+      Opts.Strategy = fpc::EvalStrategy::Naive;
+      SolveResult Naive = Solver::solve(
+          Query::fromSource(W.Source).target(W.TargetLabel), Opts);
+      Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+      SolveResult Semi = Solver::solve(
+          Query::fromSource(W.Source).target(W.TargetLabel), Opts);
+      ASSERT_TRUE(Naive.ok()) << W.Name << ": " << Naive.Error;
+      ASSERT_TRUE(Semi.ok()) << W.Name << ": " << Semi.Error;
+      EXPECT_EQ(Naive.Reachable, Semi.Reachable) << W.Name;
+      EXPECT_EQ(Naive.Iterations, Semi.Iterations) << W.Name;
+      if (W.ExpectKnown) {
+        EXPECT_EQ(Semi.Reachable, W.ExpectReachable) << W.Name;
+      }
+    }
+  }
+  gen::TerminatorParams T;
+  T.CounterBits = 4;
+  T.NumDeadVars = 2;
+  T.Reachable = false;
+  gen::Workload W = gen::terminatorProgram(T);
+  SolverOptions Opts;
+  Opts.Engine = "ef-split";
+  Opts.Strategy = fpc::EvalStrategy::Naive;
+  SolveResult Naive =
+      Solver::solve(Query::fromSource(W.Source).target(W.TargetLabel), Opts);
+  Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+  SolveResult Semi =
+      Solver::solve(Query::fromSource(W.Source).target(W.TargetLabel), Opts);
+  ASSERT_TRUE(Naive.ok() && Semi.ok());
+  EXPECT_FALSE(Semi.Reachable);
+  EXPECT_EQ(Naive.Reachable, Semi.Reachable);
+  EXPECT_EQ(Naive.Iterations, Semi.Iterations);
+  // The semi-naive run reports its delta rounds and per-relation stats.
+  EXPECT_GT(Semi.DeltaRounds, 0u);
+  EXPECT_FALSE(Semi.Relations.empty());
+  EXPECT_GT(Semi.BddCacheLookups, 0u);
 }
 
 TEST(ApiTest, LalRepsAgreesWithConcOnTransformedStats) {

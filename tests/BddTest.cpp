@@ -300,9 +300,11 @@ TEST(BddTest, GcPreservesLiveHandles) {
   Rng R(11);
   auto [Keep, KeepT] = randomFunction(Mgr, R, 6, 10);
   size_t KeepNodes = Keep.nodeCount();
-  // Create and drop lots of garbage.
+  // Create and drop lots of garbage. (Stay within TruthTable's 6-variable
+  // cap: the manager has 8 variables, but the helper shadows every random
+  // function with a 2^N-bit truth table.)
   for (unsigned I = 0; I < 200; ++I) {
-    auto [Tmp, TmpT] = randomFunction(Mgr, R, 8, 12);
+    auto [Tmp, TmpT] = randomFunction(Mgr, R, 6, 12);
     (void)Tmp;
     (void)TmpT;
   }
@@ -322,6 +324,29 @@ TEST(BddTest, GcStatsAccumulate) {
   Mgr.gc();
   EXPECT_GE(Mgr.stats().GcRuns, 1u);
   EXPECT_GE(Mgr.stats().GcReclaimed, 1u);
+}
+
+TEST(BddTest, FrontierStaysInInterval) {
+  // frontier(F, G) must lie between F \ G and F; random pairs probe the
+  // interval bound, and the two structural guarantees are pinned exactly:
+  // equal operands collapse to zero, and a zero old set returns F itself.
+  BddManager Mgr(6);
+  Rng R(23);
+  for (unsigned Trial = 0; Trial < 40; ++Trial) {
+    auto [F, FT] = randomFunction(Mgr, R, 6, 8);
+    auto [G, GT] = randomFunction(Mgr, R, 6, 8);
+    Bdd Frontier = F.frontier(G);
+    // F \ G <= Frontier <= F, i.e. both inclusions hold.
+    EXPECT_TRUE(((F & !G) & !Frontier).isZero()) << "lost new tuples";
+    EXPECT_TRUE((Frontier & !F).isZero()) << "invented tuples";
+    (void)FT;
+    (void)GT;
+  }
+  Bdd F = Mgr.var(0) | Mgr.var(1);
+  EXPECT_TRUE(F.frontier(F).isZero());
+  EXPECT_EQ(F.frontier(Mgr.zero()), F);
+  EXPECT_TRUE(F.frontier(Mgr.one()).isZero());
+  EXPECT_EQ(Mgr.one().frontier(Mgr.zero()), Mgr.one());
 }
 
 TEST(BddTest, NewVarGrowsManager) {

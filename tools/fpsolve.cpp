@@ -13,9 +13,10 @@
 /// analysis expressible in the calculus can be run directly, Datalog-style.
 ///
 ///   fpsolve [options] <system.mu>
-///     --eval <R>    relation to solve (default: the last defined one)
-///     --count       print only the tuple count
-///     --stats       print iteration counts per relation
+///     --eval <R>      relation to solve (default: the last defined one)
+///     --count         print only the tuple count
+///     --stats         print iteration/delta counts per relation
+///     --strategy <s>  naive or semi-naive (default) fixpoint iteration
 ///
 /// Exit code: 0 if the solved relation is non-empty, 1 if empty, 2 on
 /// usage or input errors.
@@ -38,8 +39,8 @@ using namespace getafix::fpc;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: fpsolve [--eval R] [--count] [--stats] <system.mu>\n");
+  std::fprintf(stderr, "usage: fpsolve [--eval R] [--count] [--stats] "
+                       "[--strategy naive|semi-naive] <system.mu>\n");
   return 2;
 }
 
@@ -95,6 +96,7 @@ uint64_t printTuples(Evaluator &Ev, const System &Sys, RelId Rel,
 int main(int Argc, char **Argv) {
   std::string File, EvalRel;
   bool CountOnly = false, Stats = false;
+  EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--eval") {
@@ -105,6 +107,16 @@ int main(int Argc, char **Argv) {
       CountOnly = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--strategy") {
+      if (I + 1 >= Argc)
+        return usage();
+      std::string V = Argv[++I];
+      if (V == "naive")
+        Strategy = EvalStrategy::Naive;
+      else if (V == "semi-naive")
+        Strategy = EvalStrategy::SemiNaive;
+      else
+        return usage();
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -158,7 +170,7 @@ int main(int Argc, char **Argv) {
   }
 
   BddManager Mgr;
-  Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr));
+  Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy);
   bindFacts(Ev, *Sys, Facts);
 
   EvalResult Result = Ev.evaluate(Rel);
@@ -188,8 +200,10 @@ int main(int Argc, char **Argv) {
 
   if (Stats)
     for (const auto &[Name, RS] : Ev.stats())
-      std::printf("# %s: %llu iterations, %llu solves, %zu nodes\n",
+      std::printf("# %s: %llu iterations (%llu delta rounds), %llu solves, "
+                  "%zu nodes\n",
                   Name.c_str(), (unsigned long long)RS.Iterations,
+                  (unsigned long long)RS.DeltaRounds,
                   (unsigned long long)RS.Evaluations, RS.FinalNodes);
 
   return Count > 0 ? 0 : 1;

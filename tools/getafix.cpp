@@ -19,10 +19,16 @@
 ///     --rounds r         concurrent: round-robin with r rounds (implies
 ///                        --round-robin; overrides --context-bound)
 ///     --round-robin      concurrent: restrict schedules to round-robin
+///     --strategy <s>     fixed-point iteration scheme: semi-naive
+///                        (default) or naive (the paper's literal
+///                        Section-3 semantics; ablation/debugging)
+///     --max-iterations n cap fixpoint rounds; a hit limit prints UNKNOWN
+///                        (exit 3) unless the target was already found
 ///     --witness          print a counterexample trace when the target is
 ///                        reachable (engines that support extraction)
 ///     --print-formula    dump the fixed-point equation system and exit
-///     --stats            print solver statistics
+///     --stats            print solver statistics as a JSON object (cache
+///                        hit-rate, per-relation iteration/delta counts)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +50,8 @@ struct CliOptions {
   std::string Algo; ///< Empty: the facade picks the query-kind default.
   unsigned ContextBound = 2;
   unsigned Rounds = 0; ///< 0 means "not given".
+  uint64_t MaxIterations = 0;
+  fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   bool RoundRobin = false;
   bool Witness = false;
   bool PrintFormula = false;
@@ -55,6 +63,8 @@ int usage() {
                "usage: getafix [--label L] [--algo %s]\n"
                "               [--list-algos] [--context-bound k] "
                "[--rounds r] [--round-robin]\n"
+               "               [--strategy naive|semi-naive] "
+               "[--max-iterations n]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
                Solver::engineList("|").c_str());
@@ -66,25 +76,67 @@ int listAlgos() {
   return 0;
 }
 
-void printStats(const SolveResult &R) {
-  std::string Line = "iterations=" + std::to_string(R.Iterations);
-  if (R.SummaryNodes)
-    Line += " bdd-nodes=" + std::to_string(R.SummaryNodes);
-  if (R.PeakLiveNodes)
-    Line += " peak-nodes=" + std::to_string(R.PeakLiveNodes);
-  if (R.ReachStates) {
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), " reach-states=%.0f", R.ReachStates);
-    Line += Buf;
+/// `--stats` output: one JSON object on stdout. Strings that reach this
+/// are engine/relation identifiers (no exotic characters), but escape the
+/// usual suspects anyway so the output is always well-formed.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
   }
+  return Out;
+}
+
+void printStatsJson(const CliOptions &Opts, const std::string &Engine,
+                    const SolveResult &R) {
+  std::printf("{\n");
+  std::printf("  \"engine\": \"%s\",\n", jsonEscape(Engine).c_str());
+  std::printf("  \"strategy\": \"%s\",\n", fpc::strategyName(Opts.Strategy));
+  std::printf("  \"reachable\": %s,\n", R.Reachable ? "true" : "false");
+  std::printf("  \"hit_iteration_limit\": %s,\n",
+              R.HitIterationLimit ? "true" : "false");
+  std::printf("  \"iterations\": %llu,\n",
+              (unsigned long long)R.Iterations);
+  std::printf("  \"delta_rounds\": %llu,\n",
+              (unsigned long long)R.DeltaRounds);
+  std::printf("  \"summary_nodes\": %zu,\n", R.SummaryNodes);
+  std::printf("  \"peak_live_nodes\": %zu,\n", R.PeakLiveNodes);
+  std::printf("  \"bdd_nodes_created\": %llu,\n",
+              (unsigned long long)R.BddNodesCreated);
+  std::printf("  \"bdd_cache_lookups\": %llu,\n",
+              (unsigned long long)R.BddCacheLookups);
+  std::printf("  \"bdd_cache_hits\": %llu,\n",
+              (unsigned long long)R.BddCacheHits);
+  std::printf("  \"bdd_cache_hit_rate\": %.4f,\n", R.bddCacheHitRate());
+  if (R.ReachStates != 0.0)
+    std::printf("  \"reach_states\": %.0f,\n", R.ReachStates);
   if (R.TransformedGlobals)
-    Line += " transformed-globals=" + std::to_string(R.TransformedGlobals);
+    std::printf("  \"transformed_globals\": %zu,\n", R.TransformedGlobals);
   if (R.HasWitness)
-    Line += " witness-steps=" + std::to_string(R.Witness.size());
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), " time=%.3fs", R.Seconds);
-  Line += Buf;
-  std::printf("%s\n", Line.c_str());
+    std::printf("  \"witness_steps\": %zu,\n", R.Witness.size());
+  std::printf("  \"seconds\": %.6f,\n", R.Seconds);
+  std::printf("  \"relations\": {");
+  bool First = true;
+  for (const auto &[Name, RS] : R.Relations) {
+    std::printf("%s\n    \"%s\": {\"iterations\": %llu, "
+                "\"delta_rounds\": %llu, \"evaluations\": %llu, "
+                "\"final_nodes\": %zu}",
+                First ? "" : ",", jsonEscape(Name).c_str(),
+                (unsigned long long)RS.Iterations,
+                (unsigned long long)RS.DeltaRounds,
+                (unsigned long long)RS.Evaluations, RS.FinalNodes);
+    First = false;
+  }
+  std::printf("%s}\n", First ? "" : "\n  ");
+  std::printf("}\n");
 }
 
 } // namespace
@@ -121,6 +173,21 @@ int main(int Argc, char **Argv) {
       Opts.RoundRobin = true;
     } else if (Arg == "--round-robin") {
       Opts.RoundRobin = true;
+    } else if (Arg == "--strategy") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      if (std::string(V) == "naive")
+        Opts.Strategy = fpc::EvalStrategy::Naive;
+      else if (std::string(V) == "semi-naive")
+        Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+      else
+        return usage();
+    } else if (Arg == "--max-iterations") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.MaxIterations = uint64_t(std::atoll(V));
     } else if (Arg == "--witness") {
       Opts.Witness = true;
     } else if (Arg == "--print-formula") {
@@ -152,6 +219,8 @@ int main(int Argc, char **Argv) {
   SO.ContextBound = Opts.ContextBound;
   SO.Rounds = Opts.Rounds;
   SO.RoundRobin = Opts.RoundRobin;
+  SO.Strategy = Opts.Strategy;
+  SO.MaxIterations = Opts.MaxIterations;
 
   if (Opts.PrintFormula) {
     std::string Error;
@@ -170,10 +239,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::printf("%s\n", R.Reachable ? "YES" : "NO");
+  // A hit iteration limit with no hit target is inconclusive: the solver
+  // only explored MaxIterations rounds' worth of states. A reachable
+  // verdict stays valid (the partial result is a lower bound).
+  bool Unknown = R.HitIterationLimit && !R.Reachable;
+  std::printf("%s\n", Unknown     ? "UNKNOWN (iteration limit)"
+                      : R.Reachable ? "YES"
+                                    : "NO");
   if (R.HasWitness)
     std::printf("%s", R.WitnessText.c_str());
   if (Opts.Stats)
-    printStats(R);
-  return R.Reachable ? 0 : 1;
+    printStatsJson(Opts, Opts.Algo.empty() ? "(default)" : Opts.Algo, R);
+  return Unknown ? 3 : R.Reachable ? 0 : 1;
 }
