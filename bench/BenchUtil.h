@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace getafix {
 namespace bench {
@@ -76,6 +77,8 @@ struct EngineRow {
   size_t TransformedGlobals = 0;
   uint64_t NodesCreated = 0; ///< Total BDD nodes allocated (op-count proxy).
   uint64_t DeltaRounds = 0;  ///< Rounds run in frontier (delta) mode.
+  size_t PeakLiveNodes = 0;  ///< Peak BDD nodes in the manager.
+  double CacheHitRate = 0.0; ///< Computed-cache hit rate of the solve.
 };
 
 inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
@@ -84,10 +87,22 @@ inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
                  R.Error.c_str());
     std::exit(1);
   }
-  return EngineRow{R.Reachable,       R.Seconds,
-                   R.SummaryNodes,    R.Iterations,
-                   R.ReachStates,     R.TransformedGlobals,
-                   R.BddNodesCreated, R.DeltaRounds};
+  EngineRow Row{R.Reachable,       R.Seconds,
+                R.SummaryNodes,    R.Iterations,
+                R.ReachStates,     R.TransformedGlobals,
+                R.BddNodesCreated, R.DeltaRounds,
+                R.PeakLiveNodes,   R.bddCacheHitRate()};
+  return Row;
+}
+
+/// Runs \p Engine on a sequential label query with fully specified options
+/// (the ablation drivers vary cache size and the constrain knob this way).
+inline EngineRow runEngine(const bp::ProgramCfg &Cfg,
+                           const std::string &Label, const char *Engine,
+                           SolverOptions Opts) {
+  Opts.Engine = Engine;
+  return rowOrDie(Solver::solve(Query::fromCfg(Cfg).target(Label), Opts),
+                  Engine);
 }
 
 /// Runs the engine \p Engine (a registry name) on a sequential label query.
@@ -97,11 +112,9 @@ inline EngineRow runEngine(const bp::ProgramCfg &Cfg,
                            fpc::EvalStrategy Strategy =
                                fpc::EvalStrategy::SemiNaive) {
   SolverOptions Opts;
-  Opts.Engine = Engine;
   Opts.EarlyStop = EarlyStop;
   Opts.Strategy = Strategy;
-  return rowOrDie(Solver::solve(Query::fromCfg(Cfg).target(Label), Opts),
-                  Engine);
+  return runEngine(Cfg, Label, Engine, std::move(Opts));
 }
 
 /// Runs \p Engine on a concurrent label query under \p Opts (which carries
@@ -115,6 +128,84 @@ inline EngineRow runConcEngine(const ParsedConcProgram &P,
                     Opts),
       Engine);
 }
+
+/// Flat-row JSON recorder for the `BENCH_*.json` files the CI uploads as
+/// artifacts and diffs for verdict drift. Rows are objects of
+/// string/number/bool fields, emitted as `{"rows": [...]}`. Keys and
+/// string values here are benchmark identifiers (no escaping needed
+/// beyond quotes/backslashes).
+class JsonReport {
+public:
+  class Row {
+  public:
+    Row &field(const char *Key, const std::string &Value) {
+      add(Key, '"' + escape(Value) + '"');
+      return *this;
+    }
+    Row &field(const char *Key, const char *Value) {
+      return field(Key, std::string(Value));
+    }
+    Row &field(const char *Key, double Value) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.6f", Value);
+      add(Key, Buf);
+      return *this;
+    }
+    Row &field(const char *Key, uint64_t Value) {
+      add(Key, std::to_string(Value));
+      return *this;
+    }
+    Row &field(const char *Key, unsigned Value) {
+      return field(Key, uint64_t(Value));
+    }
+    Row &field(const char *Key, bool Value) {
+      add(Key, Value ? "true" : "false");
+      return *this;
+    }
+
+  private:
+    friend class JsonReport;
+    static std::string escape(const std::string &S) {
+      std::string Out;
+      for (char C : S) {
+        if (C == '"' || C == '\\')
+          Out += '\\';
+        Out += C;
+      }
+      return Out;
+    }
+    void add(const char *Key, const std::string &Rendered) {
+      if (!Buf.empty())
+        Buf += ", ";
+      Buf += '"';
+      Buf += escape(Key);
+      Buf += "\": ";
+      Buf += Rendered;
+    }
+    std::string Buf;
+  };
+
+  void add(const Row &R) { Rows.push_back(R.Buf); }
+
+  /// Writes the report; exits loudly on I/O failure so CI cannot mistake
+  /// a missing artifact for an empty one.
+  void write(const std::string &Path) const {
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(Out, "{\"rows\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(Out, "  {%s}%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(Out, "]}\n");
+    std::fclose(Out);
+  }
+
+private:
+  std::vector<std::string> Rows;
+};
 
 /// Counts non-blank source lines (the paper's LOC column).
 inline unsigned countLoc(const std::string &Src) {

@@ -9,9 +9,15 @@
 //     entry-forward iteration,
 //   - solver-level early termination on positive instances,
 //   - the evaluator's semi-naive (delta) core versus the paper's literal
-//     naive semantics, on the terminator and bluetooth suites.
+//     naive semantics, on the terminator and bluetooth suites,
+//   - the Coudert–Madre constrain-based frontier product versus the plain
+//     relational product (same semi-naive core, knob off).
 //
-// Pass --smoke to shrink every workload for a seconds-long CI run.
+// Pass --smoke to shrink every workload for a seconds-long CI run,
+// --cache-bits n to size the BDD computed cache for every solve, and
+// --json FILE to additionally record every row (verdict, rounds, node and
+// peak counters) as a BENCH_*.json report — CI runs the smoke at two cache
+// sizes and fails on any verdict drift between the reports.
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -23,6 +29,29 @@ using namespace getafix;
 using namespace getafix::bench;
 
 namespace {
+
+/// Knobs shared by every solve in this driver.
+unsigned CacheBits = 18;
+JsonReport Report;
+bool WantJson = false;
+
+void recordRow(const char *Section, const char *Case_, const char *Variant,
+               const EngineRow &R) {
+  if (!WantJson)
+    return;
+  JsonReport::Row Row;
+  Row.field("section", Section)
+      .field("case", Case_)
+      .field("variant", Variant)
+      .field("reachable", R.Reachable)
+      .field("iterations", R.Iterations)
+      .field("delta_rounds", R.DeltaRounds)
+      .field("nodes_created", R.NodesCreated)
+      .field("peak_live_nodes", R.PeakLiveNodes)
+      .field("cache_hit_rate", R.CacheHitRate)
+      .field("seconds", R.Seconds);
+  Report.add(Row);
+}
 
 /// One naive-vs-semi-naive comparison row. NodesCreated is the BDD-op
 /// proxy the acceptance criterion counts; both rows must agree on the
@@ -56,9 +85,27 @@ void printStrategyRow(const char *Name, const EngineRow &Naive,
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
-  for (int I = 1; I < Argc; ++I)
-    if (std::strcmp(Argv[I], "--smoke") == 0)
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;
+    } else if (std::strcmp(Argv[I], "--cache-bits") == 0 && I + 1 < Argc) {
+      int Bits = std::atoi(Argv[++I]);
+      if (Bits < 2 || Bits > 30) {
+        std::fprintf(stderr, "--cache-bits must be in [2, 30]\n");
+        return 2;
+      }
+      CacheBits = unsigned(Bits);
+    } else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      WantJson = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ablation [--smoke] [--cache-bits n] "
+                   "[--json FILE]\n");
+      return 2;
+    }
+  }
   std::printf("=== Ablations (Sections 4.2 / 4.3) ===\n");
   std::printf("%-24s %10s %10s %10s %12s\n", "case", "EF-unsplit",
               "EF-split", "EF-opt", "simple-4.1");
@@ -73,13 +120,19 @@ int main(int Argc, char **Argv) {
     gen::Workload W = gen::terminatorProgram(P);
     ParsedProgram Parsed = parseOrDie(W.Source);
 
-    EngineRow Unsplit = runEngine(Parsed.Cfg, W.TargetLabel, "ef");
-    EngineRow Split = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split");
-    EngineRow Opt = runEngine(Parsed.Cfg, W.TargetLabel, "ef-opt");
-    EngineRow Simple = runEngine(Parsed.Cfg, W.TargetLabel, "summary");
+    SolverOptions Opts;
+    Opts.CacheBits = CacheBits;
+    EngineRow Unsplit = runEngine(Parsed.Cfg, W.TargetLabel, "ef", Opts);
+    EngineRow Split = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+    EngineRow Opt = runEngine(Parsed.Cfg, W.TargetLabel, "ef-opt", Opts);
+    EngineRow Simple = runEngine(Parsed.Cfg, W.TargetLabel, "summary", Opts);
     std::printf("%-24s %9.3fs %9.3fs %9.3fs %11.3fs\n", W.Name.c_str(),
                 Unsplit.Seconds, Split.Seconds, Opt.Seconds,
                 Simple.Seconds);
+    recordRow("algorithms", W.Name.c_str(), "ef", Unsplit);
+    recordRow("algorithms", W.Name.c_str(), "ef-split", Split);
+    recordRow("algorithms", W.Name.c_str(), "ef-opt", Opt);
+    recordRow("algorithms", W.Name.c_str(), "summary", Simple);
   }
 
   std::printf("\n--- early termination (positive driver instances) ---\n");
@@ -93,12 +146,15 @@ int main(int Argc, char **Argv) {
     P.Seed = Seed;
     gen::Workload W = gen::driverProgram(P);
     ParsedProgram Parsed = parseOrDie(W.Source);
-    EngineRow Fast = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
-                               /*EarlyStop=*/true);
-    EngineRow Full = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
-                               /*EarlyStop=*/false);
+    SolverOptions Opts;
+    Opts.CacheBits = CacheBits;
+    EngineRow Fast = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+    Opts.EarlyStop = false;
+    EngineRow Full = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
     std::printf("%-24s %11.3fs %11.3fs\n", W.Name.c_str(), Fast.Seconds,
                 Full.Seconds);
+    recordRow("early-stop", W.Name.c_str(), "early", Fast);
+    recordRow("early-stop", W.Name.c_str(), "full", Full);
   }
 
   // Naive vs semi-naive: the delta core must agree on verdict and round
@@ -119,13 +175,15 @@ int main(int Argc, char **Argv) {
     P.Reachable = false;
     gen::Workload W = gen::terminatorProgram(P);
     ParsedProgram Parsed = parseOrDie(W.Source);
-    EngineRow Naive = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
-                                /*EarlyStop=*/true,
-                                fpc::EvalStrategy::Naive);
-    EngineRow Semi = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split",
-                               /*EarlyStop=*/true,
-                               fpc::EvalStrategy::SemiNaive);
+    SolverOptions Opts;
+    Opts.CacheBits = CacheBits;
+    Opts.Strategy = fpc::EvalStrategy::Naive;
+    EngineRow Naive = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+    Opts.Strategy = fpc::EvalStrategy::SemiNaive;
+    EngineRow Semi = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
     printStrategyRow(W.Name.c_str(), Naive, Semi);
+    recordRow("strategy", W.Name.c_str(), "naive", Naive);
+    recordRow("strategy", W.Name.c_str(), "semi-naive", Semi);
   }
   {
     // (1,1,4) is the light two-thread row; (2,2,4) is the heavy Figure-3
@@ -140,6 +198,7 @@ int main(int Argc, char **Argv) {
       ParsedConcProgram P =
           parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
       SolverOptions Opts;
+      Opts.CacheBits = CacheBits;
       Opts.ContextBound = C.Switches;
       Opts.EarlyStop = false; // Figure 3 reports the full reachable set.
       Opts.Strategy = fpc::EvalStrategy::Naive;
@@ -150,7 +209,90 @@ int main(int Argc, char **Argv) {
       std::snprintf(Name, sizeof(Name), "bluetooth-%ua%us-k%u", C.Adders,
                     C.Stoppers, C.Switches);
       printStrategyRow(Name, Naive, Semi);
+      recordRow("strategy", Name, "naive", Naive);
+      recordRow("strategy", Name, "semi-naive", Semi);
     }
   }
+
+  // Constrain-based frontier product: same semi-naive core with the
+  // Coudert–Madre care-set minimization on (the default) versus off. This
+  // is the measured ablation gating the evaluator's nonlinear-disjunct
+  // widening: with constrain off, bilinear delta passes are a loss and
+  // MaxDeltaOccurrences stays 1; with it on, they tip profitable. Both
+  // variants must agree on verdict, rounds, and (bit-identical products)
+  // the final summary size.
+  std::printf("\n--- frontier product (constrain vs plain) ---\n");
+  std::printf("%-26s %10s %10s %11s %11s %10s %10s\n", "case", "plain",
+              "constr", "nodes-pl", "nodes-co", "peak-pl", "peak-co");
+  {
+    struct BtConfig {
+      unsigned Adders, Stoppers, Switches;
+    } Configs[] = {{1, 1, 4}, {2, 2, 4}};
+    for (const BtConfig &C : Configs) {
+      if (Smoke && C.Adders + C.Stoppers > 2)
+        continue;
+      ParsedConcProgram P =
+          parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
+      SolverOptions Opts;
+      Opts.CacheBits = CacheBits;
+      Opts.ContextBound = C.Switches;
+      Opts.EarlyStop = false;
+      Opts.ConstrainFrontier = false;
+      EngineRow Plain = runConcEngine(P, "ERR", "conc", Opts);
+      Opts.ConstrainFrontier = true;
+      EngineRow Constr = runConcEngine(P, "ERR", "conc", Opts);
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "bluetooth-%ua%us-k%u", C.Adders,
+                    C.Stoppers, C.Switches);
+      if (Plain.Reachable != Constr.Reachable ||
+          Plain.Iterations != Constr.Iterations ||
+          Plain.Nodes != Constr.Nodes) {
+        std::fprintf(stderr, "%s: constrain ablation DISAGREES\n", Name);
+        std::exit(1);
+      }
+      std::printf("%-26s %9.3fs %9.3fs %11llu %11llu %10zu %10zu\n", Name,
+                  Plain.Seconds, Constr.Seconds,
+                  (unsigned long long)Plain.NodesCreated,
+                  (unsigned long long)Constr.NodesCreated,
+                  Plain.PeakLiveNodes, Constr.PeakLiveNodes);
+      recordRow("constrain", Name, "plain", Plain);
+      recordRow("constrain", Name, "constrain", Constr);
+    }
+    for (unsigned Bits : Smoke ? std::vector<unsigned>{4u}
+                               : std::vector<unsigned>{5u, 6u}) {
+      gen::TerminatorParams P;
+      P.CounterBits = Bits;
+      P.NumDeadVars = 4;
+      P.Style = gen::DeadVarStyle::Iterative;
+      P.Reachable = false;
+      gen::Workload W = gen::terminatorProgram(P);
+      ParsedProgram Parsed = parseOrDie(W.Source);
+      SolverOptions Opts;
+      Opts.CacheBits = CacheBits;
+      Opts.ConstrainFrontier = false;
+      EngineRow Plain =
+          runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      Opts.ConstrainFrontier = true;
+      EngineRow Constr =
+          runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      if (Plain.Reachable != Constr.Reachable ||
+          Plain.Iterations != Constr.Iterations ||
+          Plain.Nodes != Constr.Nodes) {
+        std::fprintf(stderr, "%s: constrain ablation DISAGREES\n",
+                     W.Name.c_str());
+        std::exit(1);
+      }
+      std::printf("%-26s %9.3fs %9.3fs %11llu %11llu %10zu %10zu\n",
+                  W.Name.c_str(), Plain.Seconds, Constr.Seconds,
+                  (unsigned long long)Plain.NodesCreated,
+                  (unsigned long long)Constr.NodesCreated,
+                  Plain.PeakLiveNodes, Constr.PeakLiveNodes);
+      recordRow("constrain", W.Name.c_str(), "plain", Plain);
+      recordRow("constrain", W.Name.c_str(), "constrain", Constr);
+    }
+  }
+
+  if (WantJson)
+    Report.write(JsonPath);
   return 0;
 }

@@ -106,6 +106,122 @@ void BM_BddExists(benchmark::State &State) {
 }
 BENCHMARK(BM_BddExists);
 
+/// Cache-associativity ablation: the same op mix at a fixed slot budget,
+/// direct-mapped versus 4-way. The working set (several relational
+/// products cycling through a function pool) deliberately exceeds the
+/// 2^10-slot cache so replacement policy, not capacity, is what differs.
+void CacheAssociativity(benchmark::State &State, unsigned Ways) {
+  BddManager Mgr(64, /*CacheBits=*/10, Ways);
+  Rng R(6);
+  std::vector<Bdd> Pool;
+  for (unsigned I = 0; I < 8; ++I)
+    Pool.push_back(randomFunction(Mgr, R, 0, 64, 40));
+  std::vector<unsigned> Vars;
+  for (unsigned V = 0; V < 64; V += 2)
+    Vars.push_back(V);
+  BddCube Cube = Mgr.makeCube(Vars);
+  unsigned I = 0;
+  for (auto _ : State) {
+    const Bdd &A = Pool[I % Pool.size()];
+    const Bdd &B = Pool[(I + 3) % Pool.size()];
+    benchmark::DoNotOptimize(A.andExists(B, Cube));
+    ++I;
+  }
+  State.counters["hit_rate"] = benchmark::Counter(
+      Mgr.stats().CacheLookups
+          ? double(Mgr.stats().CacheHits) / double(Mgr.stats().CacheLookups)
+          : 0.0);
+}
+
+void BM_BddCacheDirectMapped(benchmark::State &State) {
+  CacheAssociativity(State, 1);
+}
+BENCHMARK(BM_BddCacheDirectMapped);
+
+void BM_BddCache4Way(benchmark::State &State) {
+  CacheAssociativity(State, 4);
+}
+BENCHMARK(BM_BddCache4Way);
+
+/// The transition-relation shapes the solver builds: T(x, x') over
+/// interleaved variables, imaged from a narrow state set. This is the
+/// bench for the constrain-based frontier product: `S.andExists(T, cube)`
+/// versus `S.andExists(T.constrain(S), cube)` (identical results, the
+/// latter walks a care-set-minimized operand), plus the `restrict`
+/// sibling.
+struct TransitionFixture {
+  BddManager Mgr{64};
+  Bdd Trans;
+  Bdd Narrow;
+  BddCube Cube;
+
+  TransitionFixture() {
+    Rng R(7);
+    Trans = Mgr.zero();
+    for (unsigned I = 0; I < 48; ++I) {
+      unsigned Window = 2 * unsigned(R.below(28));
+      Bdd Term = Mgr.one();
+      for (unsigned V = 0; V < 4; ++V) {
+        unsigned Cur = Window + 2 * V;
+        Term &= R.flip() ? Mgr.var(Cur) : Mgr.nvar(Cur);
+        Term &= R.flip() ? Mgr.var(Cur + 1) : Mgr.nvar(Cur + 1);
+      }
+      Trans |= Term;
+    }
+    // A frontier-like state set: a handful of near-disjoint cubes over the
+    // current variables — small support, few satisfying points.
+    Narrow = Mgr.zero();
+    for (unsigned I = 0; I < 3; ++I) {
+      Bdd CubeF = Mgr.one();
+      for (unsigned V = 0; V < 12; V += 2)
+        CubeF &= ((I >> (V / 2)) & 1) ? Mgr.var(V) : Mgr.nvar(V);
+      Narrow |= CubeF;
+    }
+    std::vector<unsigned> CurVars;
+    for (unsigned V = 0; V < 64; V += 2)
+      CurVars.push_back(V);
+    Cube = Mgr.makeCube(CurVars);
+  }
+};
+
+void BM_BddProductPlain(benchmark::State &State) {
+  TransitionFixture F;
+  for (auto _ : State) {
+    F.Mgr.clearComputedCache(); // Cold products: the narrow-round regime.
+    benchmark::DoNotOptimize(F.Narrow.andExists(F.Trans, F.Cube));
+  }
+}
+BENCHMARK(BM_BddProductPlain);
+
+void BM_BddProductConstrained(benchmark::State &State) {
+  TransitionFixture F;
+  for (auto _ : State) {
+    F.Mgr.clearComputedCache();
+    benchmark::DoNotOptimize(
+        F.Narrow.andExists(F.Trans.constrain(F.Narrow), F.Cube));
+  }
+}
+BENCHMARK(BM_BddProductConstrained);
+
+void BM_BddProductRestricted(benchmark::State &State) {
+  TransitionFixture F;
+  for (auto _ : State) {
+    F.Mgr.clearComputedCache();
+    benchmark::DoNotOptimize(
+        F.Narrow.andExists(F.Trans.restrict(F.Narrow), F.Cube));
+  }
+}
+BENCHMARK(BM_BddProductRestricted);
+
+void BM_BddConstrain(benchmark::State &State) {
+  TransitionFixture F;
+  for (auto _ : State) {
+    F.Mgr.clearComputedCache();
+    benchmark::DoNotOptimize(F.Trans.constrain(F.Narrow));
+  }
+}
+BENCHMARK(BM_BddConstrain);
+
 void BM_BddGc(benchmark::State &State) {
   // One manager; each iteration litters the table with dead intermediates
   // and collects them while a live function is held.

@@ -6,15 +6,33 @@
 // sub-suites, aggregated (average) per engine. The paper reports ~1s for
 // every tool; the shape to check is that all engines answer correctly and
 // in comparable, small time.
+//
+// Pass `--json FILE` to also record one row per (workload, engine) —
+// verdict, expectation, timing — as a BENCH_*.json report for the CI
+// artifact/drift machinery.
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "gen/Workloads.h"
 
+#include <cstring>
+
 using namespace getafix;
 using namespace getafix::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: bench_regression [--json FILE]\n");
+      return 2;
+    }
+  }
+  JsonReport Report;
+  bool AnyWrong = false;
+
   std::printf("=== Figure 2 / REGRESSION ===\n");
   std::printf("%-10s %8s %9s %9s %9s %9s %9s %9s\n", "suite", "programs",
               "avgLOC", "EF(s)", "EFopt(s)", "simple(s)", "moped(s)",
@@ -29,9 +47,22 @@ int main() {
       ParsedProgram P = parseOrDie(W.Source);
       Loc += countLoc(W.Source);
       auto Check = [&](const EngineRow &R, const char *Engine) {
-        if (R.Reachable != W.ExpectReachable)
+        if (R.Reachable != W.ExpectReachable) {
           std::fprintf(stderr, "WRONG ANSWER: %s on %s\n", Engine,
                        W.Name.c_str());
+          AnyWrong = true; // Fail the process so CI fails with it.
+        }
+        if (!JsonPath.empty()) {
+          JsonReport::Row Row;
+          Row.field("section", "regression")
+              .field("case", W.Name)
+              .field("variant", Engine)
+              .field("reachable", R.Reachable)
+              .field("expected", W.ExpectReachable)
+              .field("iterations", R.Iterations)
+              .field("seconds", R.Seconds);
+          Report.add(Row);
+        }
       };
       EngineRow Ef = runEngine(P.Cfg, W.TargetLabel, "ef-split");
       Check(Ef, "ef-split");
@@ -55,5 +86,7 @@ int main() {
                 double(Loc) / Count, TEf / Count, TOpt / Count,
                 TSimple / Count, TMoped / Count, TBebop / Count);
   }
-  return 0;
+  if (!JsonPath.empty())
+    Report.write(JsonPath);
+  return AnyWrong ? 1 : 0;
 }

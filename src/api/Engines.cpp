@@ -58,6 +58,7 @@ public:
     SO.MaxIterations = Opts.MaxIterations;
     SO.CacheBits = Opts.CacheBits;
     SO.GcThreshold = Opts.GcThreshold;
+    SO.ConstrainFrontier = Opts.ConstrainFrontier;
 
     SolveResult Out;
     if (Q.wantWitness()) {
@@ -74,6 +75,7 @@ public:
       Out.BddNodesCreated = W.BddNodesCreated;
       Out.BddCacheLookups = W.BddCacheLookups;
       Out.BddCacheHits = W.BddCacheHits;
+      Out.Bdd = W.Bdd;
       Out.Relations = std::move(W.Relations);
       Out.Seconds = T.seconds();
       if (W.Reachable) {
@@ -95,6 +97,7 @@ public:
     Out.BddNodesCreated = R.BddNodesCreated;
     Out.BddCacheLookups = R.BddCacheLookups;
     Out.BddCacheHits = R.BddCacheHits;
+    Out.Bdd = R.Bdd;
     Out.Relations = std::move(R.Relations);
     Out.Seconds = R.Seconds;
     return Out;
@@ -138,6 +141,7 @@ public:
     Out.BddNodesCreated = R.BddNodesCreated;
     Out.BddCacheLookups = R.BddCacheLookups;
     Out.BddCacheHits = R.BddCacheHits;
+    Out.Bdd = R.Bdd;
     Out.Seconds = R.Seconds;
     return Out;
   }
@@ -197,6 +201,7 @@ public:
     CO.MaxIterations = Opts.MaxIterations;
     CO.CacheBits = Opts.CacheBits;
     CO.GcThreshold = Opts.GcThreshold;
+    CO.ConstrainFrontier = Opts.ConstrainFrontier;
     conc::ConcResult R =
         conc::checkConcReachability(Q.concurrent(), Q.threadCfgs(),
                                     Q.thread(), Q.procId(), Q.pc(), CO);
@@ -210,6 +215,7 @@ public:
     Out.BddNodesCreated = R.BddNodesCreated;
     Out.BddCacheLookups = R.BddCacheLookups;
     Out.BddCacheHits = R.BddCacheHits;
+    Out.Bdd = R.Bdd;
     Out.Relations = std::move(R.Relations);
     Out.ReachStates = R.ReachStates;
     Out.Seconds = R.Seconds;
@@ -267,6 +273,7 @@ public:
     SO.MaxIterations = Opts.MaxIterations;
     SO.CacheBits = Opts.CacheBits;
     SO.GcThreshold = Opts.GcThreshold;
+    SO.ConstrainFrontier = Opts.ConstrainFrontier;
     reach::SeqResult R =
         reach::checkReachabilityOfLabel(SeqCfg, conc::lalRepsGoalLabel(), SO);
 
@@ -279,6 +286,7 @@ public:
     Out.BddNodesCreated = R.BddNodesCreated;
     Out.BddCacheLookups = R.BddCacheLookups;
     Out.BddCacheHits = R.BddCacheHits;
+    Out.Bdd = R.Bdd;
     Out.Relations = std::move(R.Relations);
     Out.TransformedGlobals = Seq->numGlobals();
     Out.Seconds = T.seconds(); // Transform + solve: the cost being compared.

@@ -31,6 +31,7 @@
 #ifndef GETAFIX_API_SOLVER_H
 #define GETAFIX_API_SOLVER_H
 
+#include "bdd/Bdd.h"
 #include "bp/Ast.h"
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
@@ -143,6 +144,10 @@ struct SolverOptions {
   uint64_t MaxIterations = 0;
   unsigned CacheBits = 18;        ///< BDD computed cache of 2^CacheBits.
   size_t GcThreshold = 1u << 22;  ///< BDD auto-GC threshold; 0 disables.
+  /// Coudert–Madre care-set minimization of relational-product operands
+  /// in the evaluator's narrow delta rounds. Bit-identical results either
+  /// way (`f.constrain(c) & c == f & c`); the knob exists for ablation.
+  bool ConstrainFrontier = true;
 
   // Concurrent knobs.
   unsigned ContextBound = 2; ///< Max context switches k.
@@ -178,6 +183,10 @@ struct SolveResult {
   uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated.
   uint64_t BddCacheLookups = 0; ///< BDD computed-cache probes.
   uint64_t BddCacheHits = 0;    ///< BDD computed-cache hits.
+  /// Full BDD-manager counter snapshot: the computed-cache probes/hits
+  /// split per operation (`BddOp` indexed), GC runs and reclaim totals,
+  /// and peak live nodes. Zero-initialized for non-BDD engines.
+  BddStats Bdd;
   double ReachStates = 0.0; ///< Concurrent: sat-count of Reach (Figure 3).
   /// Per-relation evaluator statistics (fixed-point engines only), keyed
   /// by relation name — iterations, delta rounds, nested evaluations,

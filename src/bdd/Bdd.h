@@ -12,6 +12,8 @@
 ///   - apply (and / or / xor), negation, if-then-else
 ///   - existential and universal quantification over interned cubes
 ///   - the and-exists relational product (the image-computation workhorse)
+///   - Coudert–Madre generalized cofactors (`constrain` and `restrict`)
+///     for care-set minimization of relational-product operands
 ///   - variable renaming via interned permutations (with a fast path for
 ///     order-preserving permutations)
 ///   - sat-counting, support computation, dag-size counting, evaluation
@@ -49,6 +51,28 @@ struct BddPerm {
   uint32_t Id = UINT32_MAX;
   bool isValid() const { return Id != UINT32_MAX; }
 };
+
+/// The cached BDD operations, in computed-cache tag order. Public so the
+/// per-op cache counters in `BddStats` can be indexed and named by
+/// callers (`getafix --stats`, the benchmark drivers).
+enum class BddOp : uint32_t {
+  And = 0,
+  Or,
+  Xor,
+  Not,
+  Ite,
+  Exists,
+  AndExists,
+  Rename,
+  Frontier,
+  Constrain,
+  Restrict,
+};
+
+constexpr unsigned NumBddOps = 11;
+
+/// Short stable name for \p Op ("And", "AndExists", ...).
+const char *bddOpName(BddOp Op);
 
 /// RAII handle to a BDD node. Copyable; keeps the node (and everything it
 /// reaches) alive across garbage collections.
@@ -98,6 +122,22 @@ public:
   Bdd permute(BddPerm Perm) const;
   /// Cofactor: substitutes the constant \p Value for variable \p Var.
   Bdd restrict(unsigned Var, bool Value) const;
+  /// Coudert–Madre generalized cofactor `*this ↓ Care`: agrees with *this
+  /// everywhere Care holds, and maps every assignment outside Care to the
+  /// closest (in the variable order's branch metric) assignment inside it.
+  /// The defining identity is `f.constrain(c) & c == f & c`, so conjoining
+  /// the result against the care set is always exact; the point is that
+  /// `f ↓ c` is usually much smaller than `f` when `c` is narrow. Requires
+  /// a non-zero care set. Note the result's support may *grow* beyond
+  /// `f`'s (the cost of maximal simplification).
+  Bdd constrain(const Bdd &Care) const;
+  /// Coudert–Madre restrict: like `constrain`, but care-set variables
+  /// above `f`'s top variable are existentially dropped instead of pulled
+  /// into the result, so `support(f.restrict(c)) ⊆ support(f)`. Satisfies
+  /// the same identity `f.restrict(c) & c == f & c`; simplifies less than
+  /// `constrain` but never blows up the support. Requires a non-zero care
+  /// set.
+  Bdd restrict(const Bdd &Care) const;
   /// A don't-care-minimized frontier: some set R with
   /// `*this \ Old ⊆ R ⊆ *this`, chosen to be structurally small (shared
   /// subgraphs of the two operands are pruned to the empty set wholesale,
@@ -133,8 +173,13 @@ private:
 
 /// Operation counters for benchmarking and regression tests.
 struct BddStats {
-  uint64_t CacheLookups = 0;
-  uint64_t CacheHits = 0;
+  uint64_t CacheLookups = 0; ///< Aggregate over all ops.
+  uint64_t CacheHits = 0;    ///< Aggregate over all ops.
+  /// Per-operation computed-cache probe/hit counters, indexed by `BddOp`.
+  /// `CacheLookups`/`CacheHits` stay the running totals so existing
+  /// consumers keep working; these split the same events by operation.
+  uint64_t OpLookups[NumBddOps] = {};
+  uint64_t OpHits[NumBddOps] = {};
   uint64_t NodesCreated = 0;
   uint64_t GcRuns = 0;
   uint64_t GcReclaimed = 0;
@@ -145,8 +190,17 @@ struct BddStats {
 /// Owns the shared node table, the unique table, and the computed cache.
 class BddManager {
 public:
-  /// \p CacheBits selects a computed cache of 2^CacheBits entries.
-  explicit BddManager(unsigned NumVars = 0, unsigned CacheBits = 18);
+  /// \p CacheBits selects a computed cache of 2^CacheBits entries total,
+  /// organized as a set-associative cache of \p CacheWays ways per bucket
+  /// (power of two; 1 = direct-mapped, 4 = the default). Buckets age by
+  /// transposition promotion: new entries enter the back (probation) way,
+  /// a hit moves its entry one way toward the front, and insertion
+  /// replaces the back way (or a generation-stale one). Re-used results
+  /// therefore survive conflict pressure instead of being evicted by
+  /// whatever hashed onto their slot last — the direct-mapped failure
+  /// mode that cost heavy solves a round's working set per round.
+  explicit BddManager(unsigned NumVars = 0, unsigned CacheBits = 18,
+                      unsigned CacheWays = 4);
   ~BddManager();
 
   BddManager(const BddManager &) = delete;
@@ -184,9 +238,27 @@ public:
 
   /// Number of computed-cache slots (2^CacheBits). Callers that adapt
   /// their algorithms to cache pressure compare working-set sizes to this.
-  size_t cacheSlots() const { return Cache.size(); }
+  size_t cacheSlots() const { return CacheSlots; }
+  /// Associativity of the computed cache (ways per bucket).
+  unsigned cacheWays() const { return CacheWays; }
 
-  const BddStats &stats() const { return Stats; }
+  /// Invalidates every computed-cache entry by bumping the cache
+  /// generation (an O(1) operation — entries stamped with an older
+  /// generation read as empty). Results computed before and after the
+  /// bump are identical; this only exists so tests and callers can shed
+  /// a cold working set without paying a memset.
+  void clearComputedCache() { clearCache(); }
+
+  /// Counter snapshot. The hot path maintains only the per-op cache
+  /// counters; the aggregate CacheLookups/CacheHits are summed here.
+  BddStats stats() const {
+    BddStats S = Stats;
+    for (unsigned I = 0; I < NumBddOps; ++I) {
+      S.CacheLookups += S.OpLookups[I];
+      S.CacheHits += S.OpHits[I];
+    }
+    return S;
+  }
   size_t liveNodeCount() const;
 
 private:
@@ -199,26 +271,29 @@ private:
     uint32_t Next; ///< Unique-table chain.
   };
 
-  enum class Op : uint32_t {
-    None = 0,
-    And,
-    Or,
-    Xor,
-    Not,
-    Ite,
-    Exists,
-    AndExists,
-    Rename,
-    Frontier,
-  };
+  using Op = BddOp;
 
+  /// One computed-cache entry, packed to 16 bytes so a 4-way bucket is
+  /// exactly one 64-byte cache line (the probe path is memory-bound; a
+  /// wider entry made every bucket scan touch two lines and cost more
+  /// than the associativity saved). Node/cube/perm indices realistically
+  /// stay far below 2^27 (2 GB of node table); keys mentioning larger
+  /// indices are simply not cached, which frees the top 5 bits of each
+  /// operand word: W0 carries the op tag, W1/W2 carry the 10-bit cache
+  /// generation. An entry is valid only when its generation matches the
+  /// manager's — comparing the packed words checks operands, op, and
+  /// generation in the same three compares the unpacked layout needed.
   struct CacheEntry {
-    uint32_t F = UINT32_MAX;
-    uint32_t G = UINT32_MAX;
-    uint32_t H = UINT32_MAX; ///< Third operand (ite) or cube/perm id.
-    uint32_t OpTag = 0;      ///< Op::None means empty slot.
+    uint32_t W0 = 0; ///< F | op << IdxBits.
+    uint32_t W1 = 0; ///< G | (gen & 31) << IdxBits.
+    uint32_t W2 = 0; ///< H | (gen >> 5) << IdxBits; H is the third
+                     ///< operand (ite) or cube/perm id.
     uint32_t Result = 0;
   };
+
+  static constexpr unsigned IdxBits = 27;
+  static constexpr uint32_t IdxMask = (1u << IdxBits) - 1;
+  static constexpr uint32_t GenPeriod = 1u << 10; ///< 5+5 stolen bits.
 
   struct CubeSet {
     std::vector<unsigned> Vars;   ///< Sorted.
@@ -258,6 +333,8 @@ private:
   uint32_t andExistsRec(uint32_t F, uint32_t G, uint32_t CubeId);
   uint32_t renameRec(uint32_t F, uint32_t PermId);
   uint32_t frontierRec(uint32_t F, uint32_t G);
+  uint32_t constrainRec(uint32_t F, uint32_t C);
+  uint32_t restrictRec(uint32_t F, uint32_t C);
 
   void maybeGc();
   void ref(uint32_t N);
@@ -271,8 +348,16 @@ private:
   size_t NumFree = 0;
   unsigned NumVars = 0;
 
+  /// Backing storage, over-allocated by up to one bucket so `CacheBase`
+  /// can sit on a 64-byte boundary — `operator new` only guarantees
+  /// 16-byte alignment, and a misaligned 4-way bucket straddles two cache
+  /// lines, which measurably slows the (memory-bound) probe path.
   std::vector<CacheEntry> Cache;
-  uint64_t CacheMask = 0;
+  CacheEntry *CacheBase = nullptr;     ///< 64-byte-aligned first bucket.
+  size_t CacheSlots = 0;               ///< 2^CacheBits usable entries.
+  uint64_t CacheBucketMask = 0; ///< Bucket index mask (buckets × ways = size).
+  unsigned CacheWays = 4;
+  uint32_t CacheGeneration = 1; ///< Entries with an older gen are empty.
 
   std::vector<CubeSet> Cubes;
   std::vector<PermSet> Perms;

@@ -419,7 +419,8 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
 
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
-  Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy);
+  Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy,
+               Opts.ConstrainFrontier);
   for (unsigned I = 0; I < N; ++I)
     Encs[I]->bind(Ev, I == Thread ? ProcId : ~0u, Pc);
 
@@ -467,10 +468,11 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
     Result.Iterations = StatsIt->second.Iterations;
     Result.DeltaRounds = StatsIt->second.DeltaRounds;
   }
-  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
-  Result.BddNodesCreated = Mgr.stats().NodesCreated;
-  Result.BddCacheLookups = Mgr.stats().CacheLookups;
-  Result.BddCacheHits = Mgr.stats().CacheHits;
+  Result.Bdd = Mgr.stats();
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = Tm.seconds();
   return Result;
 }

@@ -28,6 +28,7 @@
 #ifndef GETAFIX_CONCURRENT_CONCREACH_H
 #define GETAFIX_CONCURRENT_CONCREACH_H
 
+#include "bdd/Bdd.h"
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
 
@@ -57,6 +58,9 @@ struct ConcOptions {
   uint64_t MaxIterations = 0;
   unsigned CacheBits = 18;
   size_t GcThreshold = 1u << 22;
+  /// Coudert–Madre care-set minimization of relational-product operands
+  /// in narrow delta rounds (bit-identical results; ablation knob).
+  bool ConstrainFrontier = true;
 };
 
 struct ConcResult {
@@ -71,6 +75,8 @@ struct ConcResult {
   uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated.
   uint64_t BddCacheLookups = 0; ///< Computed-cache probes.
   uint64_t BddCacheHits = 0;    ///< Computed-cache hits.
+  /// Full BDD-manager counter snapshot (per-op split, GC, peak nodes).
+  BddStats Bdd;
   double ReachStates = 0.0; ///< Sat-count of Reach over its tuple bits
                             ///< (the "reachable set size" of Figure 3).
   double Seconds = 0.0;

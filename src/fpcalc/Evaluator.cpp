@@ -56,8 +56,9 @@ Layout Layout::interleaved(const System &Sys, BddManager &Mgr,
 //===----------------------------------------------------------------------===//
 
 Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L,
-                     EvalStrategy Strategy)
-    : Sys(Sys), Mgr(Mgr), L(std::move(L)), Strategy(Strategy) {}
+                     EvalStrategy Strategy, bool ConstrainFrontier)
+    : Sys(Sys), Mgr(Mgr), L(std::move(L)), Strategy(Strategy),
+      UseConstrain(ConstrainFrontier) {}
 
 void Evaluator::bindInput(RelId Rel, Bdd Value) {
   assert(Sys.relation(Rel).isInput() && "binding a defined relation");
@@ -343,7 +344,26 @@ Bdd Evaluator::evalFormulaUncached(const Formula &F) {
       }
       if (Acc.isZero())
         return Acc;
-      return Acc.andExists(evalFormula(*Body.Children.back()), Cube);
+      const Formula *LastChild = Body.Children.back();
+      Bdd Last = evalFormula(*LastChild);
+      // Frontier-aware relational product (Coudert–Madre): in a narrow
+      // delta round the conjunct chain holding the Δ occurrence denotes a
+      // small care set, so generalized-cofactor the *other* operand —
+      // typically the transition/body relation, whose traversal dominates
+      // the product — against it first. `f.constrain(c) & c == f & c`
+      // makes the product's result bit-identical; only the operand the
+      // recursion walks shrinks. Off-path products see the full S on both
+      // sides (no narrow care set) and are already deduped per round by
+      // the RoundCache, so the extra constrain traversal is not paid
+      // there.
+      if (UseConstrain && InDeltaRound && onDeltaPath(&F) &&
+          !Acc.isConst() && !Last.isConst()) {
+        if (onDeltaPath(LastChild))
+          Acc = Acc.constrain(Last);
+        else
+          Last = Last.constrain(Acc);
+      }
+      return Acc.andExists(Last, Cube);
     }
     return evalFormula(Body).exists(Cube);
   }
@@ -491,11 +511,25 @@ Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
   // working set outgrows the cache and the warm-path assumption
   // collapses. Rounds allocating more than this many fresh nodes switch
   // the next round's frontier to the minimized difference.
-  const uint64_t NarrowAt = Mgr.cacheSlots() / 4;
+  //
+  // The crossover was re-measured when the computed cache became 4-way
+  // set-associative with promotion-based aging: direct-mapped, conflict
+  // evictions cost a round its working set well before the cache was
+  // actually full (the old `cacheSlots()/4` margin priced that in); with
+  // hot entries protected by promotion, nearly the whole capacity stays
+  // useful and the wide regime extends to half the slot count. Measured
+  // on bluetooth 2a2s/k4 (the heavy Figure-3 row): /2 gives the lowest
+  // peak live nodes and equal-best wall-clock; the terminator negatives
+  // are insensitive between /4 and /2.
+  const uint64_t NarrowAt = Mgr.cacheSlots() / 2;
   // In narrow rounds, delta-substitute only linear disjuncts: a disjunct
   // with k occurrences needs k passes whose cross terms read the full S,
   // so its delta decomposition does strictly more conjunction work than
-  // one whole evaluation under a warm cache.
+  // one whole evaluation under a warm cache. Re-measured with the
+  // constrain-based product in the hope the cofactored cross terms would
+  // tip bilinear disjuncts (split return clauses) into profitability:
+  // they do not — bluetooth 2a2s/k4 still loses ~70% wall-clock and ~25%
+  // extra node allocations at k = 2 (see ROADMAP), so the bound stays 1.
   const size_t MaxDeltaOccurrences = 1;
 
   Bdd S = Mgr.zero();

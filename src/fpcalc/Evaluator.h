@@ -81,10 +81,18 @@ struct EvalResult {
 
 class Evaluator {
 public:
+  /// \p ConstrainFrontier enables the Coudert–Madre frontier-aware
+  /// relational product: in narrow delta rounds, the transition/body
+  /// operand of `andExists` is generalized-cofactored against the
+  /// frontier-bearing conjunct chain before the product. Purely a
+  /// performance knob — `f.constrain(c) & c == f & c` makes every
+  /// product's result bit-identical; it exists for ablation.
   Evaluator(const System &Sys, BddManager &Mgr, Layout L,
-            EvalStrategy Strategy = EvalStrategy::SemiNaive);
+            EvalStrategy Strategy = EvalStrategy::SemiNaive,
+            bool ConstrainFrontier = true);
 
   EvalStrategy strategy() const { return Strategy; }
+  bool constrainFrontier() const { return UseConstrain; }
 
   /// Binds an input relation to its BDD over the formals' bits. Rebinding
   /// an already-bound input drops every memo built from the old binding
@@ -147,6 +155,7 @@ private:
   BddManager &Mgr;
   Layout L;
   EvalStrategy Strategy;
+  bool UseConstrain;
 
   std::map<RelId, Bdd> Inputs;
   std::map<RelId, Bdd> InFlight;  ///< Current interpretation per Section 3.

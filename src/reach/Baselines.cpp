@@ -230,10 +230,11 @@ BaselineResult PostStarSolver::run() {
   if (!Result.Reachable)
     Result.Reachable = !(Reach & TargetStates).isZero();
   Result.SummaryNodes = Reach.nodeCount();
-  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
-  Result.BddNodesCreated = Mgr.stats().NodesCreated;
-  Result.BddCacheLookups = Mgr.stats().CacheLookups;
-  Result.BddCacheHits = Mgr.stats().CacheHits;
+  Result.Bdd = Mgr.stats();
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = T.seconds();
   return Result;
 }

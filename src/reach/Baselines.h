@@ -25,6 +25,7 @@
 #ifndef GETAFIX_REACH_BASELINES_H
 #define GETAFIX_REACH_BASELINES_H
 
+#include "bdd/Bdd.h"
 #include "bp/Cfg.h"
 
 #include <cstdint>
@@ -43,6 +44,9 @@ struct BaselineResult {
   uint64_t BddNodesCreated = 0; ///< Total BDD nodes allocated (moped only).
   uint64_t BddCacheLookups = 0; ///< Computed-cache probes (moped only).
   uint64_t BddCacheHits = 0;    ///< Computed-cache hits (moped only).
+  /// Full BDD-manager counter snapshot (per-op split, GC, peak nodes;
+  /// moped only).
+  BddStats Bdd;
   double Seconds = 0.0;
 };
 

@@ -388,7 +388,8 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
   Layout L = Factory.makeLayout(Mgr);
-  Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy);
+  Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy,
+               Opts.ConstrainFrontier);
   Enc->bind(Ev, ProcId, Pc);
 
   // Target states over the head tuple (plus don't-care fr for the opt
@@ -426,10 +427,11 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
     Result.Iterations = StatsIt->second.Iterations;
     Result.DeltaRounds = StatsIt->second.DeltaRounds;
   }
-  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
-  Result.BddNodesCreated = Mgr.stats().NodesCreated;
-  Result.BddCacheLookups = Mgr.stats().CacheLookups;
-  Result.BddCacheHits = Mgr.stats().CacheHits;
+  Result.Bdd = Mgr.stats();
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = T.seconds();
   return Result;
 }

@@ -28,6 +28,7 @@
 #ifndef GETAFIX_REACH_SEQREACH_H
 #define GETAFIX_REACH_SEQREACH_H
 
+#include "bdd/Bdd.h"
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
 
@@ -62,6 +63,10 @@ struct SeqOptions {
   unsigned CacheBits = 18;
   /// Automatic garbage-collection threshold (live nodes); 0 disables.
   size_t GcThreshold = 1u << 22;
+  /// Coudert–Madre care-set minimization of relational-product operands
+  /// in narrow delta rounds. Results are bit-identical either way; the
+  /// knob exists for ablation.
+  bool ConstrainFrontier = true;
 };
 
 struct SeqResult {
@@ -77,6 +82,10 @@ struct SeqResult {
   uint64_t BddNodesCreated = 0;  ///< Total BDD nodes allocated.
   uint64_t BddCacheLookups = 0;  ///< Computed-cache probes.
   uint64_t BddCacheHits = 0;     ///< Computed-cache hits.
+  /// Full BDD-manager counter snapshot (per-op cache hit/miss split,
+  /// GC reclaim totals, peak nodes). The scalar fields above remain the
+  /// common subset consumers already index.
+  BddStats Bdd;
   double Seconds = 0.0;      ///< Wall-clock solve time (excludes parsing).
   /// Per-relation evaluator statistics, keyed by relation name.
   std::map<std::string, fpc::RelStats> Relations;

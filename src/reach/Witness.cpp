@@ -323,7 +323,7 @@ WitnessResult WitnessExtractor::run(unsigned ProcId, unsigned Pc) {
 
   Layout L = Engine.factory().makeLayout(Mgr);
   Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
-                                   Opts.Strategy);
+                                   Opts.Strategy, Opts.ConstrainFrontier);
   Engine.encoder().bind(*Ev, ProcId, Pc);
 
   // The "onion rings" are the per-round values of the summary relation;
@@ -344,10 +344,11 @@ WitnessResult WitnessExtractor::run(unsigned ProcId, unsigned Pc) {
     Result.DeltaRounds = StatsIt->second.DeltaRounds;
   // Counters cover the ring-recording solve (reconstruction below only
   // walks the recorded rings).
-  Result.PeakLiveNodes = Mgr.stats().PeakNodes;
-  Result.BddNodesCreated = Mgr.stats().NodesCreated;
-  Result.BddCacheLookups = Mgr.stats().CacheLookups;
-  Result.BddCacheHits = Mgr.stats().CacheHits;
+  Result.Bdd = Mgr.stats();
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
 
   Bdd Domains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
   Bdd Hits = Solved.Value & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & Domains;

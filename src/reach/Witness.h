@@ -70,6 +70,8 @@ struct WitnessResult {
   uint64_t BddNodesCreated = 0;       ///< Total BDD nodes allocated.
   uint64_t BddCacheLookups = 0;       ///< Computed-cache probes.
   uint64_t BddCacheHits = 0;          ///< Computed-cache hits.
+  /// Full BDD-manager counter snapshot (per-op split, GC, peak nodes).
+  BddStats Bdd;
   /// Per-relation evaluator statistics, keyed by relation name.
   std::map<std::string, fpc::RelStats> Relations;
 };

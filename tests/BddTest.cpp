@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -357,6 +358,184 @@ TEST(BddTest, NewVarGrowsManager) {
   EXPECT_EQ(V1, 1u);
   EXPECT_EQ(Mgr.numVars(), 2u);
   EXPECT_EQ(Mgr.var(V0) & Mgr.var(V1), Mgr.var(V1) & Mgr.var(V0));
+}
+
+TEST_P(BddPropertyTest, ConstrainRestrictAlgebraicIdentities) {
+  BddManager Mgr(5);
+  Rng R(GetParam() * 71u);
+  for (unsigned Trial = 0; Trial < 40; ++Trial) {
+    auto [F, FT] = randomFunction(Mgr, R, 5, 6);
+    auto [C, CT] = randomFunction(Mgr, R, 5, 6);
+    (void)FT;
+    (void)CT;
+    if (C.isZero())
+      continue; // Both ops require a non-empty care set.
+
+    Bdd Con = F.constrain(C);
+    Bdd Res = F.restrict(C);
+
+    // The defining identity of a generalized cofactor.
+    EXPECT_EQ(Con & C, F & C) << "constrain breaks f↓c & c == f & c";
+    EXPECT_EQ(Res & C, F & C) << "restrict breaks f⇓c & c == f & c";
+
+    // Constrain is a projection: applying it twice changes nothing.
+    EXPECT_EQ(Con.constrain(C), Con) << "constrain not idempotent";
+
+    // The two simplifiers agree wherever the care set holds.
+    EXPECT_TRUE(((Con ^ Res) & C).isZero())
+        << "constrain and restrict disagree inside the care set";
+
+    // A full care set is a no-op.
+    EXPECT_EQ(F.constrain(Mgr.one()), F);
+    EXPECT_EQ(F.restrict(Mgr.one()), F);
+
+    // Restrict never adds variables (constrain may).
+    std::vector<unsigned> FSup = F.support();
+    for (unsigned V : Res.support())
+      EXPECT_TRUE(std::find(FSup.begin(), FSup.end(), V) != FSup.end())
+          << "restrict pulled variable " << V << " into the support";
+  }
+}
+
+TEST(BddTest, ConstrainCollapsesAgainstItsOwnCareSet) {
+  BddManager Mgr(4);
+  Bdd F = Mgr.var(0) & Mgr.var(1);
+  // f ↓ f == 1: every point maps to a satisfying one.
+  EXPECT_TRUE(F.constrain(F).isOne());
+  EXPECT_TRUE(F.restrict(F).isOne());
+  // Care set disjoint from f: the conjunction is empty, so the cofactor
+  // may be anything on a zero care set — pin the canonical choice.
+  EXPECT_TRUE(F.constrain(Mgr.nvar(0)).isZero());
+}
+
+TEST(BddTest, ConstrainShrinksTransitionAgainstNarrowCareSet) {
+  // The evaluator's use case: a wide "transition" conjoined with a narrow
+  // frontier. The constrained operand must stay small (here: collapse to
+  // the cofactor) while the relational product is unchanged.
+  BddManager Mgr(6);
+  Rng R(99);
+  auto [T1, TT1] = randomFunction(Mgr, R, 6, 10);
+  (void)TT1;
+  Bdd Care = Mgr.var(0) & Mgr.nvar(1) & Mgr.var(2); // One cube: 3 fixed bits.
+  Bdd Constrained = T1.constrain(Care);
+  std::vector<unsigned> Vars{0, 1, 2, 3};
+  BddCube Cube = Mgr.makeCube(Vars);
+  EXPECT_EQ(Care.andExists(Constrained, Cube), Care.andExists(T1, Cube))
+      << "constraining the transition changed the relational product";
+  EXPECT_LE(Constrained.nodeCount(), T1.nodeCount())
+      << "cube care set must not grow the operand";
+}
+
+/// One deterministic pseudo-random operation script, re-runnable against
+/// managers with different cache geometries. Returns a per-step
+/// fingerprint (sat counts and dag sizes) that must be identical for any
+/// cache size/associativity, and across mid-script cache clears: the
+/// computed cache affects only speed, never results.
+std::vector<double> runCacheScript(BddManager &Mgr, bool MidScriptClear) {
+  Rng R(4242);
+  std::vector<double> Trace;
+  std::vector<Bdd> Pool;
+  for (unsigned I = 0; I < 6; ++I)
+    Pool.push_back(randomFunction(Mgr, R, 6, 8).first);
+  std::vector<unsigned> EvenVars{0, 2, 4};
+  BddCube Cube = Mgr.makeCube(EvenVars);
+  for (unsigned Step = 0; Step < 60; ++Step) {
+    if (MidScriptClear && Step == 30)
+      Mgr.clearComputedCache();
+    const Bdd &A = Pool[R.below(Pool.size())];
+    const Bdd &B = Pool[R.below(Pool.size())];
+    Bdd Out;
+    switch (R.below(5)) {
+    case 0:
+      Out = A & B;
+      break;
+    case 1:
+      Out = A | B;
+      break;
+    case 2:
+      Out = A.andExists(B, Cube);
+      break;
+    case 3:
+      Out = B.isZero() ? !A : A.constrain(B);
+      break;
+    default:
+      Out = B.isZero() ? (A ^ B) : A.restrict(B);
+      break;
+    }
+    Pool[R.below(Pool.size())] = Out;
+    Trace.push_back(Out.satCount(6) * 1000.0 + double(Out.nodeCount()));
+  }
+  return Trace;
+}
+
+TEST(BddTest, CacheStressResultsIdenticalAcrossGeometries) {
+  // Identical op scripts must produce identical results at every cache
+  // size (8 vs 18 bits), at every associativity (direct-mapped vs 4-way),
+  // and across a mid-script generation bump. CacheBits 8 with 60 steps of
+  // 6 shared functions keeps the cache under real replacement pressure.
+  BddManager Reference(6, 18, 4);
+  std::vector<double> Expected = runCacheScript(Reference, false);
+
+  struct Geometry {
+    unsigned Bits, Ways;
+    bool MidClear;
+  } Geometries[] = {{8, 4, false}, {8, 1, false}, {18, 1, false},
+                    {8, 4, true},  {18, 4, true}};
+  for (const Geometry &G : Geometries) {
+    BddManager Mgr(6, G.Bits, G.Ways);
+    EXPECT_EQ(runCacheScript(Mgr, G.MidClear), Expected)
+        << "cache bits " << G.Bits << " ways " << G.Ways << " midclear "
+        << G.MidClear;
+  }
+}
+
+TEST(BddTest, PerOpCacheCountersSplitTheAggregate) {
+  BddManager Mgr(6);
+  Rng R(17);
+  Bdd A = randomFunction(Mgr, R, 6, 8).first;
+  Bdd B = randomFunction(Mgr, R, 6, 8).first;
+  std::vector<unsigned> Vars{1, 3};
+  BddCube Cube = Mgr.makeCube(Vars);
+  Bdd P = A.andExists(B, Cube);
+  Bdd Q = A.andExists(B, Cube); // Warm repeat: must hit the AndExists op.
+  EXPECT_EQ(P, Q);
+  const BddStats &S = Mgr.stats();
+  uint64_t SumLookups = 0, SumHits = 0;
+  for (unsigned Op = 0; Op < NumBddOps; ++Op) {
+    SumLookups += S.OpLookups[Op];
+    SumHits += S.OpHits[Op];
+    EXPECT_LE(S.OpHits[Op], S.OpLookups[Op]);
+  }
+  EXPECT_EQ(SumLookups, S.CacheLookups);
+  EXPECT_EQ(SumHits, S.CacheHits);
+  EXPECT_GT(S.OpHits[unsigned(BddOp::AndExists)], 0u)
+      << "repeated andExists did not hit its per-op cache";
+}
+
+TEST(BddTest, GenerationClearDropsWarmEntries) {
+  BddManager Mgr(6);
+  Rng R(23);
+  Bdd A = randomFunction(Mgr, R, 6, 8).first;
+  Bdd B = randomFunction(Mgr, R, 6, 8).first;
+  Bdd First = A & B;
+  uint64_t Lookups = Mgr.stats().CacheLookups;
+  uint64_t Hits = Mgr.stats().CacheHits;
+  Bdd Warm = A & B; // Top-level repeat: one probe, served from the cache.
+  EXPECT_EQ(First, Warm);
+  EXPECT_EQ(Mgr.stats().CacheLookups, Lookups + 1);
+  EXPECT_EQ(Mgr.stats().CacheHits, Hits + 1);
+  Mgr.clearComputedCache();
+  Lookups = Mgr.stats().CacheLookups;
+  Hits = Mgr.stats().CacheHits;
+  Bdd Cold = A & B; // Same op after the bump: recomputed, same result.
+  EXPECT_EQ(First, Cold);
+  uint64_t LookupsDelta = Mgr.stats().CacheLookups - Lookups;
+  uint64_t HitsDelta = Mgr.stats().CacheHits - Hits;
+  EXPECT_GT(LookupsDelta, 1u)
+      << "generation bump did not force recomputation";
+  // The recomputation may re-hit subproblems it inserts along the way,
+  // but the very first probe runs against an empty generation.
+  EXPECT_LT(HitsDelta, LookupsDelta);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,

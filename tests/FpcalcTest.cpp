@@ -447,9 +447,11 @@ StrategyRun runGraph(GraphFixture &G,
                      const std::vector<std::pair<unsigned, unsigned>> &Edges,
                      unsigned InitNode, EvalStrategy Strategy,
                      unsigned CacheBits, bool WithEarlyStop = false,
-                     uint64_t MaxIterations = 0, uint64_t NumNodes = 8) {
+                     uint64_t MaxIterations = 0, uint64_t NumNodes = 8,
+                     bool ConstrainFrontier = true) {
   BddManager Mgr(0, CacheBits);
-  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr), Strategy);
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr), Strategy,
+               ConstrainFrontier);
   Ev.bindInput(G.Init, Ev.encodeEqConst(G.U, InitNode));
   Bdd TransBdd = Mgr.zero();
   for (auto [From, To] : Edges)
@@ -505,6 +507,33 @@ TEST(StrategyDifferentialTest, RandomGraphsAgreeOnEverything) {
           << "seed " << Seed << " cache " << CacheBits;
       EXPECT_EQ(Naive.DeltaRounds, 0u);
       EXPECT_GT(Semi.DeltaRounds, 0u);
+    }
+  }
+}
+
+TEST(StrategyDifferentialTest, ConstrainKnobChangesNothingObservable) {
+  // The Coudert–Madre frontier product rewrites an andExists operand only
+  // within its care set, so every observable — ring sizes per round, sat
+  // count, iteration and delta-round counts — must be identical with the
+  // knob on and off, at a cache small enough to force narrow rounds and
+  // at the default size.
+  for (uint64_t Seed : {9u, 23u}) {
+    GraphFixture G(64);
+    Rng R(Seed);
+    auto Edges = randomEdges(R, 64, 96);
+    for (unsigned N = 0; N + 1 < 64; N += 1)
+      Edges.emplace_back(N, N + 1);
+    for (unsigned CacheBits : {6u, 18u}) {
+      StrategyRun On = runGraph(G, Edges, 0, EvalStrategy::SemiNaive,
+                                CacheBits, false, 0, 64, true);
+      StrategyRun Off = runGraph(G, Edges, 0, EvalStrategy::SemiNaive,
+                                 CacheBits, false, 0, 64, false);
+      EXPECT_EQ(On.Iterations, Off.Iterations)
+          << "seed " << Seed << " cache " << CacheBits;
+      EXPECT_EQ(On.DeltaRounds, Off.DeltaRounds)
+          << "seed " << Seed << " cache " << CacheBits;
+      EXPECT_EQ(On.RingCounts, Off.RingCounts)
+          << "seed " << Seed << " cache " << CacheBits;
     }
   }
 }

@@ -17,6 +17,8 @@
 ///     --count         print only the tuple count
 ///     --stats         print iteration/delta counts per relation
 ///     --strategy <s>  naive or semi-naive (default) fixpoint iteration
+///     --cache-bits n  BDD computed cache of 2^n entries (default 18)
+///     --no-constrain  disable care-set minimization (ablation)
 ///
 /// Exit code: 0 if the solved relation is non-empty, 1 if empty, 2 on
 /// usage or input errors.
@@ -40,7 +42,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr, "usage: fpsolve [--eval R] [--count] [--stats] "
-                       "[--strategy naive|semi-naive] <system.mu>\n");
+                       "[--strategy naive|semi-naive] [--cache-bits n] "
+                       "[--no-constrain] <system.mu>\n");
   return 2;
 }
 
@@ -95,7 +98,8 @@ uint64_t printTuples(Evaluator &Ev, const System &Sys, RelId Rel,
 
 int main(int Argc, char **Argv) {
   std::string File, EvalRel;
-  bool CountOnly = false, Stats = false;
+  bool CountOnly = false, Stats = false, ConstrainFrontier = true;
+  unsigned CacheBits = 18;
   EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -117,6 +121,15 @@ int main(int Argc, char **Argv) {
         Strategy = EvalStrategy::SemiNaive;
       else
         return usage();
+    } else if (Arg == "--cache-bits") {
+      if (I + 1 >= Argc)
+        return usage();
+      int Bits = std::atoi(Argv[++I]);
+      if (Bits < 2 || Bits > 30)
+        return usage();
+      CacheBits = unsigned(Bits);
+    } else if (Arg == "--no-constrain") {
+      ConstrainFrontier = false;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -169,8 +182,9 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  BddManager Mgr;
-  Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy);
+  BddManager Mgr(0, CacheBits);
+  Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy,
+               ConstrainFrontier);
   bindFacts(Ev, *Sys, Facts);
 
   EvalResult Result = Ev.evaluate(Rel);

@@ -24,11 +24,15 @@
 ///                        Section-3 semantics; ablation/debugging)
 ///     --max-iterations n cap fixpoint rounds; a hit limit prints UNKNOWN
 ///                        (exit 3) unless the target was already found
+///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
+///     --no-constrain     disable the Coudert–Madre frontier-aware
+///                        relational product (ablation; results identical)
 ///     --witness          print a counterexample trace when the target is
 ///                        reachable (engines that support extraction)
 ///     --print-formula    dump the fixed-point equation system and exit
 ///     --stats            print solver statistics as a JSON object (cache
-///                        hit-rate, per-relation iteration/delta counts)
+///                        hit-rate split per BDD operation, GC/peak-node
+///                        counters, per-relation iteration/delta counts)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +55,8 @@ struct CliOptions {
   unsigned ContextBound = 2;
   unsigned Rounds = 0; ///< 0 means "not given".
   uint64_t MaxIterations = 0;
+  unsigned CacheBits = 18;
+  bool ConstrainFrontier = true;
   fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   bool RoundRobin = false;
   bool Witness = false;
@@ -65,6 +71,7 @@ int usage() {
                "[--rounds r] [--round-robin]\n"
                "               [--strategy naive|semi-naive] "
                "[--max-iterations n]\n"
+               "               [--cache-bits n] [--no-constrain]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
                Solver::engineList("|").c_str());
@@ -116,6 +123,25 @@ void printStatsJson(const CliOptions &Opts, const std::string &Engine,
   std::printf("  \"bdd_cache_hits\": %llu,\n",
               (unsigned long long)R.BddCacheHits);
   std::printf("  \"bdd_cache_hit_rate\": %.4f,\n", R.bddCacheHitRate());
+  // Per-operation split of the aggregate probe/hit counters, so ablation
+  // drivers no longer re-derive them from deltas between runs. Ops the
+  // solve never issued are omitted.
+  std::printf("  \"bdd_cache_ops\": {");
+  bool FirstOp = true;
+  for (unsigned OpIdx = 0; OpIdx < NumBddOps; ++OpIdx) {
+    if (R.Bdd.OpLookups[OpIdx] == 0)
+      continue;
+    std::printf("%s\n    \"%s\": {\"lookups\": %llu, \"hits\": %llu}",
+                FirstOp ? "" : ",", bddOpName(BddOp(OpIdx)),
+                (unsigned long long)R.Bdd.OpLookups[OpIdx],
+                (unsigned long long)R.Bdd.OpHits[OpIdx]);
+    FirstOp = false;
+  }
+  std::printf("%s},\n", FirstOp ? "" : "\n  ");
+  std::printf("  \"gc_runs\": %llu,\n", (unsigned long long)R.Bdd.GcRuns);
+  std::printf("  \"gc_reclaimed\": %llu,\n",
+              (unsigned long long)R.Bdd.GcReclaimed);
+  std::printf("  \"peak_nodes\": %zu,\n", R.Bdd.PeakNodes);
   if (R.ReachStates != 0.0)
     std::printf("  \"reach_states\": %.0f,\n", R.ReachStates);
   if (R.TransformedGlobals)
@@ -188,6 +214,16 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage();
       Opts.MaxIterations = uint64_t(std::atoll(V));
+    } else if (Arg == "--cache-bits") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      int Bits = std::atoi(V);
+      if (Bits < 2 || Bits > 30)
+        return usage();
+      Opts.CacheBits = unsigned(Bits);
+    } else if (Arg == "--no-constrain") {
+      Opts.ConstrainFrontier = false;
     } else if (Arg == "--witness") {
       Opts.Witness = true;
     } else if (Arg == "--print-formula") {
@@ -221,6 +257,8 @@ int main(int Argc, char **Argv) {
   SO.RoundRobin = Opts.RoundRobin;
   SO.Strategy = Opts.Strategy;
   SO.MaxIterations = Opts.MaxIterations;
+  SO.CacheBits = Opts.CacheBits;
+  SO.ConstrainFrontier = Opts.ConstrainFrontier;
 
   if (Opts.PrintFormula) {
     std::string Error;
