@@ -79,6 +79,21 @@ struct EngineRow {
   uint64_t DeltaRounds = 0;  ///< Rounds run in frontier (delta) mode.
   size_t PeakLiveNodes = 0;  ///< Peak BDD nodes in the manager.
   double CacheHitRate = 0.0; ///< Computed-cache hit rate of the solve.
+  /// Narrow-round cofactor counters (restrict-vs-constrain A/B).
+  uint64_t CofactorApplications = 0;
+  uint64_t CofactorSupportBefore = 0;
+  uint64_t CofactorSupportAfter = 0;
+  /// Session mode: rounds served from persisted state vs newly evaluated.
+  uint64_t SummariesReused = 0;
+  uint64_t SummariesRecomputed = 0;
+
+  /// Average operand support growth factor of the cofactor rewrite
+  /// (restrict is ≤ 1 by construction; constrain may exceed 1).
+  double cofactorSupportGrowth() const {
+    return CofactorSupportBefore
+               ? double(CofactorSupportAfter) / double(CofactorSupportBefore)
+               : 0.0;
+  }
 };
 
 inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
@@ -87,11 +102,22 @@ inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
                  R.Error.c_str());
     std::exit(1);
   }
-  EngineRow Row{R.Reachable,       R.Seconds,
-                R.SummaryNodes,    R.Iterations,
-                R.ReachStates,     R.TransformedGlobals,
-                R.BddNodesCreated, R.DeltaRounds,
-                R.PeakLiveNodes,   R.bddCacheHitRate()};
+  EngineRow Row;
+  Row.Reachable = R.Reachable;
+  Row.Seconds = R.Seconds;
+  Row.Nodes = R.SummaryNodes;
+  Row.Iterations = R.Iterations;
+  Row.ReachStates = R.ReachStates;
+  Row.TransformedGlobals = R.TransformedGlobals;
+  Row.NodesCreated = R.BddNodesCreated;
+  Row.DeltaRounds = R.DeltaRounds;
+  Row.PeakLiveNodes = R.PeakLiveNodes;
+  Row.CacheHitRate = R.bddCacheHitRate();
+  Row.CofactorApplications = R.Cofactor.Applications;
+  Row.CofactorSupportBefore = R.Cofactor.SupportBefore;
+  Row.CofactorSupportAfter = R.Cofactor.SupportAfter;
+  Row.SummariesReused = R.SummariesReused;
+  Row.SummariesRecomputed = R.SummariesRecomputed;
   return Row;
 }
 

@@ -214,17 +214,41 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Constrain-based frontier product: same semi-naive core with the
-  // Coudert–Madre care-set minimization on (the default) versus off. This
-  // is the measured ablation gating the evaluator's nonlinear-disjunct
-  // widening: with constrain off, bilinear delta passes are a loss and
-  // MaxDeltaOccurrences stays 1; with it on, they tip profitable. Both
-  // variants must agree on verdict, rounds, and (bit-identical products)
-  // the final summary size.
-  std::printf("\n--- frontier product (constrain vs plain) ---\n");
-  std::printf("%-26s %10s %10s %11s %11s %10s %10s\n", "case", "plain",
-              "constr", "nodes-pl", "nodes-co", "peak-pl", "peak-co");
+  // Frontier-cofactor A/B: the same semi-naive core with the narrow-round
+  // generalized cofactor off, as Coudert–Madre constrain (maximal
+  // simplification, may grow the operand's support), and as Coudert–Madre
+  // restrict (simplifies less, support never grows). All three are
+  // bit-identical by construction — verdict, rounds, and final summary
+  // size are asserted — so the columns worth reading are wall-clock,
+  // allocated nodes, and the measured support-growth factor of the
+  // cofactored operand (restrict ≤ 1.00 by construction).
+  std::printf("\n--- frontier cofactor (off / constrain / restrict) ---\n");
+  std::printf("%-26s %10s %10s %10s %11s %11s %8s %8s\n", "case", "off",
+              "constr", "restr", "nodes-co", "nodes-re", "grow-co",
+              "grow-re");
   {
+    auto checkAgree = [](const char *Name, const EngineRow &A,
+                         const EngineRow &B) {
+      if (A.Reachable != B.Reachable || A.Iterations != B.Iterations ||
+          A.Nodes != B.Nodes) {
+        std::fprintf(stderr, "%s: cofactor ablation DISAGREES\n", Name);
+        std::exit(1);
+      }
+    };
+    auto printCofactorRow = [&](const char *Name, const EngineRow &Off,
+                                const EngineRow &Con, const EngineRow &Res) {
+      checkAgree(Name, Off, Con);
+      checkAgree(Name, Off, Res);
+      std::printf("%-26s %9.3fs %9.3fs %9.3fs %11llu %11llu %8.2f %8.2f\n",
+                  Name, Off.Seconds, Con.Seconds, Res.Seconds,
+                  (unsigned long long)Con.NodesCreated,
+                  (unsigned long long)Res.NodesCreated,
+                  Con.cofactorSupportGrowth(), Res.cofactorSupportGrowth());
+      recordRow("cofactor", Name, "off", Off);
+      recordRow("cofactor", Name, "constrain", Con);
+      recordRow("cofactor", Name, "restrict", Res);
+    };
+
     struct BtConfig {
       unsigned Adders, Stoppers, Switches;
     } Configs[] = {{1, 1, 4}, {2, 2, 4}};
@@ -237,26 +261,16 @@ int main(int Argc, char **Argv) {
       Opts.CacheBits = CacheBits;
       Opts.ContextBound = C.Switches;
       Opts.EarlyStop = false;
-      Opts.ConstrainFrontier = false;
-      EngineRow Plain = runConcEngine(P, "ERR", "conc", Opts);
-      Opts.ConstrainFrontier = true;
-      EngineRow Constr = runConcEngine(P, "ERR", "conc", Opts);
+      Opts.FrontierCofactor = fpc::CofactorMode::Off;
+      EngineRow Off = runConcEngine(P, "ERR", "conc", Opts);
+      Opts.FrontierCofactor = fpc::CofactorMode::Constrain;
+      EngineRow Con = runConcEngine(P, "ERR", "conc", Opts);
+      Opts.FrontierCofactor = fpc::CofactorMode::Restrict;
+      EngineRow Res = runConcEngine(P, "ERR", "conc", Opts);
       char Name[64];
       std::snprintf(Name, sizeof(Name), "bluetooth-%ua%us-k%u", C.Adders,
                     C.Stoppers, C.Switches);
-      if (Plain.Reachable != Constr.Reachable ||
-          Plain.Iterations != Constr.Iterations ||
-          Plain.Nodes != Constr.Nodes) {
-        std::fprintf(stderr, "%s: constrain ablation DISAGREES\n", Name);
-        std::exit(1);
-      }
-      std::printf("%-26s %9.3fs %9.3fs %11llu %11llu %10zu %10zu\n", Name,
-                  Plain.Seconds, Constr.Seconds,
-                  (unsigned long long)Plain.NodesCreated,
-                  (unsigned long long)Constr.NodesCreated,
-                  Plain.PeakLiveNodes, Constr.PeakLiveNodes);
-      recordRow("constrain", Name, "plain", Plain);
-      recordRow("constrain", Name, "constrain", Constr);
+      printCofactorRow(Name, Off, Con, Res);
     }
     for (unsigned Bits : Smoke ? std::vector<unsigned>{4u}
                                : std::vector<unsigned>{5u, 6u}) {
@@ -269,26 +283,142 @@ int main(int Argc, char **Argv) {
       ParsedProgram Parsed = parseOrDie(W.Source);
       SolverOptions Opts;
       Opts.CacheBits = CacheBits;
-      Opts.ConstrainFrontier = false;
-      EngineRow Plain =
-          runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
-      Opts.ConstrainFrontier = true;
-      EngineRow Constr =
-          runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
-      if (Plain.Reachable != Constr.Reachable ||
-          Plain.Iterations != Constr.Iterations ||
-          Plain.Nodes != Constr.Nodes) {
-        std::fprintf(stderr, "%s: constrain ablation DISAGREES\n",
-                     W.Name.c_str());
+      Opts.FrontierCofactor = fpc::CofactorMode::Off;
+      EngineRow Off = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      Opts.FrontierCofactor = fpc::CofactorMode::Constrain;
+      EngineRow Con = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      Opts.FrontierCofactor = fpc::CofactorMode::Restrict;
+      EngineRow Res = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      printCofactorRow(W.Name.c_str(), Off, Con, Res);
+    }
+  }
+
+  // Cross-query sessions: N targets over one program, solved as N fresh
+  // facade calls versus one SolverSession::solveAll. The session saturates
+  // the summary once (driven by the hardest target) and replays the
+  // recorded rounds for the rest, so the acceptance criterion is a
+  // measurable speedup at bit-identical per-target verdicts and rounds —
+  // the drift check here mirrors the SessionTest differential.
+  std::printf("\n--- cross-query sessions (solveAll vs N fresh solves) ---\n");
+  std::printf("%-26s %3s %11s %11s %8s %16s\n", "case", "n", "fresh-total",
+              "session", "speedup", "reused/recomp");
+  {
+    struct SessionCase {
+      std::string Name;
+      std::string Source;
+      std::vector<Query> Queries;
+      SolverOptions Opts;
+    };
+    std::vector<SessionCase> Cases;
+
+    // Terminator: a negative instance (first query saturates) plus point
+    // targets spread through procedure 0.
+    {
+      gen::TerminatorParams P;
+      P.CounterBits = Smoke ? 4 : 6;
+      P.NumDeadVars = 4;
+      P.Style = gen::DeadVarStyle::Iterative;
+      P.Reachable = false;
+      gen::Workload W = gen::terminatorProgram(P);
+      ParsedProgram Parsed = parseOrDie(W.Source);
+      SessionCase C;
+      C.Name = W.Name + "-multi";
+      C.Source = W.Source;
+      C.Opts.CacheBits = CacheBits;
+      C.Queries.push_back(Query::fromSource("").target(W.TargetLabel));
+      unsigned NumPcs = Parsed.Cfg.Procs[0].NumPcs;
+      for (unsigned I = 1; I <= 5; ++I)
+        C.Queries.push_back(
+            Query::fromSource("").targetPoint(0, (I * NumPcs) / 7));
+      Cases.push_back(std::move(C));
+    }
+
+    // Bluetooth: the Figure-3 concurrent model, targets across threads.
+    // Figure 3 reports full reachable sets (no early stop), which is also
+    // the query-server shape: every fresh solve saturates, the session
+    // saturates once.
+    {
+      SessionCase C;
+      C.Name = Smoke ? "bluetooth-1a1s-k3-multi" : "bluetooth-1a1s-k4-multi";
+      C.Source = gen::bluetoothModel(1, 1);
+      C.Opts.CacheBits = CacheBits;
+      C.Opts.EarlyStop = false;
+      C.Opts.ContextBound = Smoke ? 3 : 4;
+      C.Queries.push_back(Query::fromSource("").target("ERR"));
+      C.Queries.push_back(Query::fromSource("").targetPoint(0, 1, 0));
+      C.Queries.push_back(Query::fromSource("").targetPoint(0, 2, 0));
+      C.Queries.push_back(Query::fromSource("").targetPoint(0, 1, 1));
+      C.Queries.push_back(Query::fromSource("").targetPoint(0, 2, 1));
+      Cases.push_back(std::move(C));
+    }
+
+    for (SessionCase &C : Cases) {
+      // N fresh facade calls.
+      std::vector<SolveResult> Fresh;
+      double FreshTotal = 0;
+      for (const Query &Q : C.Queries) {
+        Query FQ = Q;
+        FQ.Source = C.Source;
+        SolveResult R = Solver::solve(FQ, C.Opts);
+        if (!R.ok()) {
+          std::fprintf(stderr, "%s: fresh solve failed: %s\n",
+                       C.Name.c_str(), R.Error.c_str());
+          std::exit(1);
+        }
+        FreshTotal += R.Seconds;
+        Fresh.push_back(std::move(R));
+      }
+
+      // One session, one batch.
+      std::unique_ptr<SolverSession> S =
+          Solver::open(Query::fromSource(C.Source), C.Opts);
+      if (!S->ok()) {
+        std::fprintf(stderr, "%s: open failed: %s\n", C.Name.c_str(),
+                     S->error().c_str());
         std::exit(1);
       }
-      std::printf("%-26s %9.3fs %9.3fs %11llu %11llu %10zu %10zu\n",
-                  W.Name.c_str(), Plain.Seconds, Constr.Seconds,
-                  (unsigned long long)Plain.NodesCreated,
-                  (unsigned long long)Constr.NodesCreated,
-                  Plain.PeakLiveNodes, Constr.PeakLiveNodes);
-      recordRow("constrain", W.Name.c_str(), "plain", Plain);
-      recordRow("constrain", W.Name.c_str(), "constrain", Constr);
+      std::vector<SolveResult> Sess = S->solveAll(C.Queries);
+      double SessTotal = 0;
+      uint64_t Reused = 0, Recomputed = 0;
+      for (size_t I = 0; I < Sess.size(); ++I) {
+        const SolveResult &F = Fresh[I];
+        const SolveResult &R = Sess[I];
+        if (!R.ok() || F.Reachable != R.Reachable ||
+            F.Iterations != R.Iterations) {
+          std::fprintf(stderr,
+                       "%s target %zu: session DISAGREES with fresh "
+                       "(verdict %d/%d, rounds %llu/%llu)\n",
+                       C.Name.c_str(), I, F.Reachable, R.Reachable,
+                       (unsigned long long)F.Iterations,
+                       (unsigned long long)R.Iterations);
+          std::exit(1);
+        }
+        SessTotal += R.Seconds;
+        Reused += R.SummariesReused;
+        Recomputed += R.SummariesRecomputed;
+        char Target[48];
+        std::snprintf(Target, sizeof(Target), "%s#t%zu", C.Name.c_str(), I);
+        recordRow("session", Target, "fresh", rowOrDie(F, "fresh"));
+        recordRow("session", Target, "session", rowOrDie(R, "session"));
+      }
+      double Speedup = SessTotal > 0 ? FreshTotal / SessTotal : 0.0;
+      std::printf("%-26s %3zu %10.3fs %10.3fs %7.2fx %10llu/%llu\n",
+                  C.Name.c_str(), C.Queries.size(), FreshTotal, SessTotal,
+                  Speedup, (unsigned long long)Reused,
+                  (unsigned long long)Recomputed);
+      if (WantJson) {
+        JsonReport::Row Row;
+        Row.field("section", "session-total")
+            .field("case", C.Name)
+            .field("variant", "totals")
+            .field("targets", uint64_t(C.Queries.size()))
+            .field("fresh_seconds", FreshTotal)
+            .field("session_seconds", SessTotal)
+            .field("speedup", Speedup)
+            .field("summaries_reused", Reused)
+            .field("summaries_recomputed", Recomputed);
+        Report.add(Row);
+      }
     }
   }
 

@@ -143,6 +143,99 @@ void BM_BddCache4Way(benchmark::State &State) {
 }
 BENCHMARK(BM_BddCache4Way);
 
+/// The computed-cache key hash, replicated from BddManager::cacheLookup so
+/// the conflict workload below can *target* buckets instead of waiting for
+/// birthday collisions. Purely a workload-construction device: if the
+/// manager's hash changes, this workload degrades into a random one (the
+/// benchmark stays valid, just less adversarial).
+uint64_t cacheHashTriple(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t(A) << 32) ^ (uint64_t(B) << 16) ^ C;
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H;
+}
+
+/// Conflict-heavy hot-set workload at a 2^10-slot cache: a small set of
+/// *hot* AND pairs is re-queried every round while a stream of single-use
+/// pairs — selected to hash into the hot pairs' buckets — pounds the same
+/// slots. This is the regime the ROADMAP's associativity item names: a
+/// direct-mapped cache evicts a hot entry on every colliding insert, so
+/// the hot set misses once per round; the 4-way cache's transposition
+/// promotion migrates re-used entries to the protected front ways and the
+/// streaming entries churn the probation way among themselves.
+void CacheConflictHotSet(benchmark::State &State, unsigned Ways) {
+  BddManager Mgr(64, /*CacheBits=*/10, Ways);
+  Rng R(11);
+  // Hot operands are large (expensive to recompute); stream operands are
+  // small cubes (cheap, but their inserts land where the hot results
+  // live).
+  std::vector<Bdd> HotFns, StreamFns;
+  for (unsigned I = 0; I < 48; ++I)
+    HotFns.push_back(randomFunction(Mgr, R, 0, 64, 40));
+  for (unsigned I = 0; I < 512; ++I)
+    StreamFns.push_back(randomFunction(Mgr, R, 0, 64, 3));
+
+  struct OpPair {
+    const Bdd *A, *B;
+  };
+  std::vector<OpPair> Hot;
+  for (unsigned I = 0; I + 1 < HotFns.size(); I += 2)
+    Hot.push_back({&HotFns[I], &HotFns[I + 1]});
+
+  // Bucket index of an And key under this manager's geometry (op And has
+  // tag 0, third operand 0).
+  const uint64_t BucketMask = Mgr.cacheSlots() / Mgr.cacheWays() - 1;
+  auto bucketOf = [&](const Bdd &A, const Bdd &B) {
+    return cacheHashTriple(A.rawIndex(), B.rawIndex(), 0) & BucketMask;
+  };
+  std::vector<uint8_t> IsHotBucket(BucketMask + 1, 0);
+  for (const OpPair &P : Hot)
+    IsHotBucket[bucketOf(*P.A, *P.B)] = 1;
+
+  // Streaming pairs targeted at the hot results' buckets.
+  std::vector<OpPair> Stream;
+  for (unsigned I = 0; I < StreamFns.size() && Stream.size() < 512; ++I)
+    for (unsigned J = I + 1; J < StreamFns.size() && Stream.size() < 512;
+         ++J)
+      if (IsHotBucket[bucketOf(StreamFns[I], StreamFns[J])])
+        Stream.push_back({&StreamFns[I], &StreamFns[J]});
+
+  // Two hot passes per round: the first re-derives whatever the stream
+  // evicted (and re-inserts it in the probation way), the second re-hits
+  // it — which under transposition promotion is what moves a hot entry
+  // out of the way the stream churns. Direct-mapped has no protected way:
+  // the colliding stream inserts evict the hot results every round, and
+  // the first pass pays the full recomputation again.
+  size_t StreamIdx = 0;
+  for (auto _ : State) {
+    for (unsigned Pass = 0; Pass < 2; ++Pass)
+      for (const OpPair &P : Hot)
+        benchmark::DoNotOptimize(*P.A & *P.B);
+    for (unsigned K = 0; K < 16 && !Stream.empty(); ++K) {
+      const OpPair &P = Stream[StreamIdx++ % Stream.size()];
+      benchmark::DoNotOptimize(*P.A & *P.B);
+    }
+  }
+  State.counters["hit_rate"] = benchmark::Counter(
+      Mgr.stats().CacheLookups
+          ? double(Mgr.stats().CacheHits) / double(Mgr.stats().CacheLookups)
+          : 0.0);
+  State.counters["stream_pairs"] = benchmark::Counter(double(Stream.size()));
+}
+
+void BM_BddCacheConflictHotSetDirect(benchmark::State &State) {
+  CacheConflictHotSet(State, 1);
+}
+BENCHMARK(BM_BddCacheConflictHotSetDirect);
+
+void BM_BddCacheConflictHotSet4Way(benchmark::State &State) {
+  CacheConflictHotSet(State, 4);
+}
+BENCHMARK(BM_BddCacheConflictHotSet4Way);
+
 /// The transition-relation shapes the solver builds: T(x, x') over
 /// interleaved variables, imaged from a narrow state set. This is the
 /// bench for the constrain-based frontier product: `S.andExists(T, cube)`

@@ -17,6 +17,13 @@
 ///     run as a real engine: transform, solve the sequential program with
 ///     ef-split, and map the result back.
 ///
+/// The fixed-point engines additionally implement `Engine::open`: their
+/// session objects wrap `reach::SeqSession` / `conc::ConcSession`, which
+/// persist the compiled calculus, BDD manager, and solved summary rounds
+/// across queries. The natively-coded baselines and the (target-dependent)
+/// Lal–Reps transformation keep the null default, so `SolverSession` falls
+/// back to fresh per-query solves for them.
+///
 //===----------------------------------------------------------------------===//
 
 #include "api/Solver.h"
@@ -25,6 +32,7 @@
 #include "concurrent/LalReps.h"
 #include "reach/Baselines.h"
 #include "reach/SeqReach.h"
+#include "reach/Witness.h"
 #include "support/Timer.h"
 
 #include <memory>
@@ -35,8 +43,96 @@ using namespace getafix::api;
 namespace {
 
 //===----------------------------------------------------------------------===//
+// Option / result mapping shared by the one-shot and session paths
+//===----------------------------------------------------------------------===//
+
+reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
+                                const SolverOptions &Opts) {
+  reach::SeqOptions SO;
+  SO.Alg = Alg;
+  SO.Strategy = Opts.Strategy;
+  SO.EarlyStop = Opts.EarlyStop;
+  SO.MaxIterations = Opts.MaxIterations;
+  SO.CacheBits = Opts.CacheBits;
+  SO.GcThreshold = Opts.GcThreshold;
+  SO.FrontierCofactor = Opts.FrontierCofactor;
+  SO.ReuseSolvedState = Opts.SessionReuse;
+  return SO;
+}
+
+void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
+  Out.Reachable = R.Reachable;
+  Out.HitIterationLimit = R.HitIterationLimit;
+  Out.Iterations = R.Iterations;
+  Out.DeltaRounds = R.DeltaRounds;
+  Out.SummaryNodes = R.SummaryNodes;
+  Out.PeakLiveNodes = R.PeakLiveNodes;
+  Out.BddNodesCreated = R.BddNodesCreated;
+  Out.BddCacheLookups = R.BddCacheLookups;
+  Out.BddCacheHits = R.BddCacheHits;
+  Out.Bdd = R.Bdd;
+  Out.Relations = std::move(R.Relations);
+  Out.Cofactor = R.Cofactor;
+  Out.SummariesReused = R.SummariesReused;
+  Out.SummariesRecomputed = R.SummariesRecomputed;
+  Out.Seconds = R.Seconds;
+}
+
+void fillFromWitness(SolveResult &Out, const bp::ProgramCfg &Cfg,
+                     reach::WitnessResult &&W, double Seconds) {
+  Out.Reachable = W.Reachable;
+  Out.HitIterationLimit = W.HitIterationLimit;
+  Out.Iterations = W.Iterations;
+  Out.DeltaRounds = W.DeltaRounds;
+  Out.SummaryNodes = W.SummaryNodes;
+  Out.PeakLiveNodes = W.PeakLiveNodes;
+  Out.BddNodesCreated = W.BddNodesCreated;
+  Out.BddCacheLookups = W.BddCacheLookups;
+  Out.BddCacheHits = W.BddCacheHits;
+  Out.Bdd = W.Bdd;
+  Out.Relations = std::move(W.Relations);
+  Out.Seconds = Seconds;
+  if (W.Reachable) {
+    Out.HasWitness = true;
+    Out.Witness = std::move(W.Steps);
+    Out.WitnessText = reach::formatWitness(Cfg, Out.Witness);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Sequential fixed-point engines (Sections 4.1–4.3)
 //===----------------------------------------------------------------------===//
+
+/// Session adapter over `reach::SeqSession` (+ a lazy witness session it
+/// creates internally): one per `Solver::open` on a sequential fixed-point
+/// engine.
+class SeqEngineSession : public EngineSession {
+public:
+  SeqEngineSession(const bp::ProgramCfg &Cfg, reach::SeqOptions SO)
+      : Cfg(Cfg), Session(Cfg, SO) {}
+
+  SolveResult solve(const CompiledQuery &Q) override {
+    SolveResult Out;
+    if (Q.wantWitness()) {
+      Timer T;
+      reach::WitnessResult W = Session.solveWithWitness(Q.procId(), Q.pc());
+      fillFromWitness(Out, Cfg, std::move(W), T.seconds());
+      return Out;
+    }
+    fillFromSeq(Out, Session.solve(Q.procId(), Q.pc()));
+    return Out;
+  }
+
+  bool answersFromState(const CompiledQuery &Q) override {
+    return Session.answersFromState(Q.procId(), Q.pc(), Q.wantWitness());
+  }
+
+  void clearComputedCache() override { Session.clearComputedCache(); }
+
+private:
+  const bp::ProgramCfg &Cfg;
+  reach::SeqSession Session;
+};
 
 class SeqFixpointEngine : public Engine {
 public:
@@ -51,14 +147,7 @@ public:
 
   SolveResult run(const CompiledQuery &Q,
                   const SolverOptions &Opts) const override {
-    reach::SeqOptions SO;
-    SO.Alg = Alg;
-    SO.Strategy = Opts.Strategy;
-    SO.EarlyStop = Opts.EarlyStop;
-    SO.MaxIterations = Opts.MaxIterations;
-    SO.CacheBits = Opts.CacheBits;
-    SO.GcThreshold = Opts.GcThreshold;
-    SO.ConstrainFrontier = Opts.ConstrainFrontier;
+    reach::SeqOptions SO = seqOptionsFor(Alg, Opts);
 
     SolveResult Out;
     if (Q.wantWitness()) {
@@ -66,41 +155,20 @@ public:
       reach::WitnessResult W =
           reach::checkReachabilityWithWitness(Q.cfg(), Q.procId(), Q.pc(),
                                               SO);
-      Out.Reachable = W.Reachable;
-      Out.HitIterationLimit = W.HitIterationLimit;
-      Out.Iterations = W.Iterations;
-      Out.DeltaRounds = W.DeltaRounds;
-      Out.SummaryNodes = W.SummaryNodes;
-      Out.PeakLiveNodes = W.PeakLiveNodes;
-      Out.BddNodesCreated = W.BddNodesCreated;
-      Out.BddCacheLookups = W.BddCacheLookups;
-      Out.BddCacheHits = W.BddCacheHits;
-      Out.Bdd = W.Bdd;
-      Out.Relations = std::move(W.Relations);
-      Out.Seconds = T.seconds();
-      if (W.Reachable) {
-        Out.HasWitness = true;
-        Out.Witness = std::move(W.Steps);
-        Out.WitnessText = reach::formatWitness(Q.cfg(), Out.Witness);
-      }
+      fillFromWitness(Out, Q.cfg(), std::move(W), T.seconds());
       return Out;
     }
 
-    reach::SeqResult R =
-        reach::checkReachability(Q.cfg(), Q.procId(), Q.pc(), SO);
-    Out.Reachable = R.Reachable;
-    Out.HitIterationLimit = R.HitIterationLimit;
-    Out.Iterations = R.Iterations;
-    Out.DeltaRounds = R.DeltaRounds;
-    Out.SummaryNodes = R.SummaryNodes;
-    Out.PeakLiveNodes = R.PeakLiveNodes;
-    Out.BddNodesCreated = R.BddNodesCreated;
-    Out.BddCacheLookups = R.BddCacheLookups;
-    Out.BddCacheHits = R.BddCacheHits;
-    Out.Bdd = R.Bdd;
-    Out.Relations = std::move(R.Relations);
-    Out.Seconds = R.Seconds;
+    fillFromSeq(Out, reach::checkReachability(Q.cfg(), Q.procId(), Q.pc(),
+                                              SO));
     return Out;
+  }
+
+  std::unique_ptr<EngineSession>
+  open(const CompiledQuery &Program,
+       const SolverOptions &Opts) const override {
+    return std::make_unique<SeqEngineSession>(Program.cfg(),
+                                              seqOptionsFor(Alg, Opts));
   }
 
   std::string formulaText(const CompiledQuery &Q) const override {
@@ -181,6 +249,62 @@ unsigned effectiveContextBound(const SolverOptions &Opts,
   return Opts.ContextBound;
 }
 
+conc::ConcOptions concOptionsFor(const SolverOptions &Opts,
+                                 unsigned NumThreads) {
+  conc::ConcOptions CO;
+  CO.MaxContextSwitches = effectiveContextBound(Opts, NumThreads);
+  CO.RoundRobin = Opts.RoundRobin || Opts.Rounds != 0;
+  CO.Strategy = Opts.Strategy;
+  CO.EarlyStop = Opts.EarlyStop;
+  CO.MaxIterations = Opts.MaxIterations;
+  CO.CacheBits = Opts.CacheBits;
+  CO.GcThreshold = Opts.GcThreshold;
+  CO.FrontierCofactor = Opts.FrontierCofactor;
+  CO.ReuseSolvedState = Opts.SessionReuse;
+  return CO;
+}
+
+void fillFromConc(SolveResult &Out, conc::ConcResult &&R) {
+  Out.Reachable = R.Reachable;
+  Out.HitIterationLimit = R.HitIterationLimit;
+  Out.Iterations = R.Iterations;
+  Out.DeltaRounds = R.DeltaRounds;
+  Out.SummaryNodes = R.ReachNodes;
+  Out.PeakLiveNodes = R.PeakLiveNodes;
+  Out.BddNodesCreated = R.BddNodesCreated;
+  Out.BddCacheLookups = R.BddCacheLookups;
+  Out.BddCacheHits = R.BddCacheHits;
+  Out.Bdd = R.Bdd;
+  Out.Relations = std::move(R.Relations);
+  Out.Cofactor = R.Cofactor;
+  Out.SummariesReused = R.SummariesReused;
+  Out.SummariesRecomputed = R.SummariesRecomputed;
+  Out.ReachStates = R.ReachStates;
+  Out.Seconds = R.Seconds;
+}
+
+/// Session adapter over `conc::ConcSession`.
+class ConcEngineSession : public EngineSession {
+public:
+  ConcEngineSession(const CompiledQuery &Program, conc::ConcOptions CO)
+      : Session(Program.concurrent(), Program.threadCfgs(), CO) {}
+
+  SolveResult solve(const CompiledQuery &Q) override {
+    SolveResult Out;
+    fillFromConc(Out, Session.solve(Q.thread(), Q.procId(), Q.pc()));
+    return Out;
+  }
+
+  bool answersFromState(const CompiledQuery &Q) override {
+    return Session.answersFromState(Q.thread(), Q.procId(), Q.pc());
+  }
+
+  void clearComputedCache() override { Session.clearComputedCache(); }
+
+private:
+  conc::ConcSession Session;
+};
+
 class ConcFixpointEngine : public Engine {
 public:
   const char *name() const override { return "conc"; }
@@ -192,34 +316,21 @@ public:
 
   SolveResult run(const CompiledQuery &Q,
                   const SolverOptions &Opts) const override {
-    conc::ConcOptions CO;
-    CO.MaxContextSwitches =
-        effectiveContextBound(Opts, Q.concurrent().numThreads());
-    CO.RoundRobin = Opts.RoundRobin || Opts.Rounds != 0;
-    CO.Strategy = Opts.Strategy;
-    CO.EarlyStop = Opts.EarlyStop;
-    CO.MaxIterations = Opts.MaxIterations;
-    CO.CacheBits = Opts.CacheBits;
-    CO.GcThreshold = Opts.GcThreshold;
-    CO.ConstrainFrontier = Opts.ConstrainFrontier;
-    conc::ConcResult R =
-        conc::checkConcReachability(Q.concurrent(), Q.threadCfgs(),
-                                    Q.thread(), Q.procId(), Q.pc(), CO);
+    conc::ConcOptions CO =
+        concOptionsFor(Opts, Q.concurrent().numThreads());
     SolveResult Out;
-    Out.Reachable = R.Reachable;
-    Out.HitIterationLimit = R.HitIterationLimit;
-    Out.Iterations = R.Iterations;
-    Out.DeltaRounds = R.DeltaRounds;
-    Out.SummaryNodes = R.ReachNodes;
-    Out.PeakLiveNodes = R.PeakLiveNodes;
-    Out.BddNodesCreated = R.BddNodesCreated;
-    Out.BddCacheLookups = R.BddCacheLookups;
-    Out.BddCacheHits = R.BddCacheHits;
-    Out.Bdd = R.Bdd;
-    Out.Relations = std::move(R.Relations);
-    Out.ReachStates = R.ReachStates;
-    Out.Seconds = R.Seconds;
+    fillFromConc(Out,
+                 conc::checkConcReachability(Q.concurrent(), Q.threadCfgs(),
+                                             Q.thread(), Q.procId(), Q.pc(),
+                                             CO));
     return Out;
+  }
+
+  std::unique_ptr<EngineSession>
+  open(const CompiledQuery &Program,
+       const SolverOptions &Opts) const override {
+    return std::make_unique<ConcEngineSession>(
+        Program, concOptionsFor(Opts, Program.concurrent().numThreads()));
   }
 };
 
@@ -231,6 +342,10 @@ public:
            "(O(k) global copies)";
   }
   bool handlesConcurrent() const override { return true; }
+
+  // No session mode: the sequentialization rewrites the program around the
+  // *target* label, so there is no target-independent solver state to
+  // persist — `SolverSession` falls back to fresh per-query solves.
 
   SolveResult run(const CompiledQuery &Q,
                   const SolverOptions &Opts) const override {
@@ -266,28 +381,12 @@ public:
     }
     bp::ProgramCfg SeqCfg = bp::buildCfg(*Seq);
 
-    reach::SeqOptions SO;
-    SO.Alg = reach::SeqAlgorithm::EntryForwardSplit;
-    SO.Strategy = Opts.Strategy;
-    SO.EarlyStop = Opts.EarlyStop;
-    SO.MaxIterations = Opts.MaxIterations;
-    SO.CacheBits = Opts.CacheBits;
-    SO.GcThreshold = Opts.GcThreshold;
-    SO.ConstrainFrontier = Opts.ConstrainFrontier;
+    reach::SeqOptions SO =
+        seqOptionsFor(reach::SeqAlgorithm::EntryForwardSplit, Opts);
     reach::SeqResult R =
         reach::checkReachabilityOfLabel(SeqCfg, conc::lalRepsGoalLabel(), SO);
 
-    Out.Reachable = R.Reachable;
-    Out.HitIterationLimit = R.HitIterationLimit;
-    Out.Iterations = R.Iterations;
-    Out.DeltaRounds = R.DeltaRounds;
-    Out.SummaryNodes = R.SummaryNodes;
-    Out.PeakLiveNodes = R.PeakLiveNodes;
-    Out.BddNodesCreated = R.BddNodesCreated;
-    Out.BddCacheLookups = R.BddCacheLookups;
-    Out.BddCacheHits = R.BddCacheHits;
-    Out.Bdd = R.Bdd;
-    Out.Relations = std::move(R.Relations);
+    fillFromSeq(Out, std::move(R));
     Out.TransformedGlobals = Seq->numGlobals();
     Out.Seconds = T.seconds(); // Transform + solve: the cost being compared.
     return Out;

@@ -9,6 +9,7 @@
 #include "bp/Parser.h"
 #include "concurrent/ConcReach.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <utility>
 
@@ -212,6 +213,197 @@ SolveResult Solver::solve(const Query &Q, const SolverOptions &Opts) {
   if (!E)
     return R;
   return E->run(*C.Query, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// SolverSession
+//===----------------------------------------------------------------------===//
+
+Solver::Compilation Solver::retarget(const CompiledQuery &Program,
+                                     const Query &Q) {
+  // Share compile()'s resolution logic by synthesizing a query that
+  // borrows the session's prebuilt program views; only the target and
+  // witness fields of \p Q matter.
+  Query Borrowed = Q;
+  Borrowed.Source.clear();
+  Borrowed.Cfg = nullptr;
+  Borrowed.Conc = nullptr;
+  Borrowed.ThreadCfgs = nullptr;
+  if (Program.isConcurrent()) {
+    Borrowed.Conc = &Program.concurrent();
+    Borrowed.ThreadCfgs = &Program.threadCfgs();
+  } else {
+    Borrowed.Cfg = &Program.cfg();
+  }
+  return compile(Borrowed);
+}
+
+std::unique_ptr<SolverSession> Solver::open(const Query &Program,
+                                            const SolverOptions &Opts) {
+  std::unique_ptr<SolverSession> S(new SolverSession());
+  S->Opts = Opts;
+  // The program may lack the (per-query) target; that is not an error.
+  Compilation C = compile(Program, /*RequireTarget=*/false);
+  if (!C.Query) {
+    S->Status = C.Status;
+    S->Error = std::move(C.Error);
+    return S;
+  }
+  SolveResult R;
+  const Engine *E = selectEngine(*C.Query, Opts, R);
+  if (!E) {
+    S->Status = R.Status;
+    S->Error = std::move(R.Error);
+    return S;
+  }
+  S->Program = std::move(C.Query);
+  S->Eng = E;
+  return S;
+}
+
+SolverSession::~SolverSession() = default;
+
+SolveResult SolverSession::failResult() const {
+  SolveResult R;
+  R.Status = Status;
+  R.Error = Error;
+  return R;
+}
+
+SolveResult SolverSession::solve(const Query &Q) {
+  ++Stats.Queries;
+  if (!ok())
+    return failResult();
+  Solver::Compilation C = Solver::retarget(*Program, Q);
+  if (!C.Query) {
+    SolveResult R;
+    R.Status = C.Status;
+    R.Error = std::move(C.Error);
+    return R;
+  }
+  return solveCompiled(*C.Query);
+}
+
+SolveResult SolverSession::solveCompiled(const CompiledQuery &Q) {
+  if (Opts.SessionReuse && !OpenAttempted) {
+    OpenAttempted = true;
+    Session = Eng->open(*Program, Opts);
+  }
+
+  SolveResult R;
+  if (Session) {
+    ++Stats.SessionSolves;
+    R = Session->solve(Q);
+  } else {
+    ++Stats.FreshSolves;
+    R = Eng->run(Q, Opts);
+  }
+  Stats.SummariesReused += R.SummariesReused;
+  Stats.SummariesRecomputed += R.SummariesRecomputed;
+  return R;
+}
+
+std::vector<SolveResult>
+SolverSession::solveAll(const std::vector<Query> &Qs) {
+  std::vector<SolveResult> Results(Qs.size());
+
+  // Duplicate targets are pure repeats (results are a function of the
+  // resolved target and the fixed session options), so each distinct
+  // target is solved once and copied to its twins.
+  auto keyOf = [](const Query &Q) {
+    std::string Key = Q.WantWitness ? "w|" : "-|";
+    if (Q.UsePoint)
+      Key += "p|" + std::to_string(Q.Thread) + "|" +
+             std::to_string(Q.ProcId) + "|" + std::to_string(Q.Pc);
+    else
+      Key += "l|" + Q.Label;
+    return Key;
+  };
+  std::map<std::string, size_t> FirstOf;
+  std::vector<size_t> Twin(Qs.size(), SIZE_MAX);
+  std::vector<size_t> Distinct;
+  for (size_t I = 0; I < Qs.size(); ++I) {
+    auto [It, Inserted] = FirstOf.emplace(keyOf(Qs[I]), I);
+    if (Inserted)
+      Distinct.push_back(I);
+    else
+      Twin[I] = It->second;
+  }
+
+  // Compile each distinct target once up front; failed compilations
+  // report their error in place and take no further part.
+  std::vector<std::unique_ptr<CompiledQuery>> Compiled(Qs.size());
+  std::vector<bool> Done(Qs.size(), false);
+  size_t Remaining = 0;
+  for (size_t I : Distinct) {
+    ++Stats.Queries;
+    if (!ok()) {
+      Results[I] = failResult();
+      Done[I] = true;
+      continue;
+    }
+    Solver::Compilation C = Solver::retarget(*Program, Qs[I]);
+    if (!C.Query) {
+      Results[I].Status = C.Status;
+      Results[I].Error = std::move(C.Error);
+      Done[I] = true;
+      continue;
+    }
+    Compiled[I] = std::move(C.Query);
+    ++Remaining;
+  }
+
+  // Two passes over the distinct targets: queries the engine answers
+  // entirely from already-solved state go first (cheap replays), then the
+  // remaining ones in input order — each of those extends the state, so
+  // the scan re-runs until none is answerable without new rounds. Order
+  // never changes any result (state only accumulates rounds of the one
+  // deterministic sequence); it only front-loads the free answers.
+  auto solveOne = [&](size_t I) {
+    Results[I] = solveCompiled(*Compiled[I]);
+    Done[I] = true;
+    --Remaining;
+  };
+  if (Opts.SessionReuse && ok() && !OpenAttempted) {
+    OpenAttempted = true;
+    Session = Eng->open(*Program, Opts);
+  }
+  while (Remaining != 0) {
+    bool Progress = false;
+    if (Session)
+      for (size_t I : Distinct) {
+        if (Done[I])
+          continue;
+        if (Session->answersFromState(*Compiled[I])) {
+          solveOne(I);
+          Progress = true;
+        }
+      }
+    if (Remaining == 0)
+      break;
+    if (!Progress || !Session) {
+      // Nothing is answerable from state: advance with the first pending
+      // query (its solve extends the state), then rescan.
+      for (size_t I : Distinct)
+        if (!Done[I]) {
+          solveOne(I);
+          break;
+        }
+    }
+  }
+
+  for (size_t I = 0; I < Qs.size(); ++I)
+    if (Twin[I] != SIZE_MAX) {
+      ++Stats.Queries;
+      ++Stats.DedupHits;
+      Results[I] = Results[Twin[I]];
+    }
+  return Results;
+}
+
+void SolverSession::clearComputedCache() {
+  if (Session)
+    Session->clearComputedCache();
 }
 
 std::string Solver::formulaText(const Query &Q, const SolverOptions &Opts,

@@ -145,9 +145,16 @@ struct SolverOptions {
   unsigned CacheBits = 18;        ///< BDD computed cache of 2^CacheBits.
   size_t GcThreshold = 1u << 22;  ///< BDD auto-GC threshold; 0 disables.
   /// Coudert–Madre care-set minimization of relational-product operands
-  /// in the evaluator's narrow delta rounds. Bit-identical results either
-  /// way (`f.constrain(c) & c == f & c`); the knob exists for ablation.
-  bool ConstrainFrontier = true;
+  /// in the evaluator's narrow delta rounds: off, `constrain` (maximal
+  /// simplification, the default), or `restrict` (never grows the
+  /// operand's support). Bit-identical results under all three
+  /// (`f ↓ c & c == f & c`); the knob exists for ablation.
+  fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
+  /// `SolverSession` only: serve queries from state solved by earlier
+  /// queries on the same session. Off = every session query pays a fresh
+  /// solve (the differential-testing / ablation baseline). One-shot
+  /// `Solver::solve` calls ignore this.
+  bool SessionReuse = true;
 
   // Concurrent knobs.
   unsigned ContextBound = 2; ///< Max context switches k.
@@ -195,6 +202,14 @@ struct SolveResult {
   /// Lal–Reps: globals in the sequentialized program (the O(k) copy blowup
   /// the paper's formulation avoids).
   size_t TransformedGlobals = 0;
+  /// Narrow-round generalized-cofactor counters (the restrict-vs-constrain
+  /// A/B): applications and summed operand support sizes before/after.
+  fpc::CofactorStats Cofactor;
+  /// Session mode: fixpoint rounds of this query served from state solved
+  /// by earlier queries on the same session, vs rounds newly evaluated.
+  /// One-shot solves report (0, Iterations) for fixed-point engines.
+  uint64_t SummariesReused = 0;
+  uint64_t SummariesRecomputed = 0;
   double Seconds = 0.0; ///< Wall-clock solve time (excludes parsing).
 
   /// Witness trace, when requested and the engine supports extraction.
@@ -263,6 +278,34 @@ private:
 // Engines
 //===----------------------------------------------------------------------===//
 
+/// Persistent per-program solver state an engine holds across queries: the
+/// compiled equation system, BDD manager, and the summary rounds solved so
+/// far. Obtained from `Engine::open`; consumed by `SolverSession`. Every
+/// `solve` must produce results bit-identical to a fresh `Engine::run` of
+/// the same query — reuse is a pure performance property, enforced by the
+/// session differential tests.
+class EngineSession {
+public:
+  virtual ~EngineSession() = default;
+
+  /// Solves one query against the session's program (the target fields of
+  /// \p Q are resolved against that program by the caller).
+  virtual SolveResult solve(const CompiledQuery &Q) = 0;
+
+  /// Would `solve` answer \p Q entirely from already-solved state, without
+  /// evaluating new fixpoint rounds? Batch drivers (`solveAll`) serve such
+  /// queries first. Non-const: probing may encode the target over the
+  /// session's BDD manager. Conservative default: unknown, treated as no.
+  virtual bool answersFromState(const CompiledQuery &Q) {
+    (void)Q;
+    return false;
+  }
+
+  /// Drops BDD computed caches (a memory valve for long-lived sessions);
+  /// solved state is kept and later queries stay bit-identical.
+  virtual void clearComputedCache() {}
+};
+
 /// A pluggable reachability backend. Implementations translate
 /// `SolverOptions` to their native knobs, solve the compiled query, and map
 /// their native results into `SolveResult`. Register instances with
@@ -284,6 +327,17 @@ public:
   /// `handlesConcurrent()` by the dispatcher.
   virtual SolveResult run(const CompiledQuery &Q,
                           const SolverOptions &Opts) const = 0;
+
+  /// Opens persistent solver state over \p Program (whose target fields
+  /// are ignored) for cross-query reuse. Engines without a session mode
+  /// return null — `SolverSession` then falls back to a fresh `run` per
+  /// query, so every registry engine works in session mode either way.
+  virtual std::unique_ptr<EngineSession>
+  open(const CompiledQuery &Program, const SolverOptions &Opts) const {
+    (void)Program;
+    (void)Opts;
+    return nullptr;
+  }
 
   /// The fixed-point equation system this engine would solve for \p Q (the
   /// paper's "one page of formulae"); empty for natively-coded engines.
@@ -326,6 +380,83 @@ void registerBuiltinEngines(EngineRegistry &R);
 } // namespace detail
 
 //===----------------------------------------------------------------------===//
+// SolverSession
+//===----------------------------------------------------------------------===//
+
+/// A program opened for many queries: holds the compiled program plus the
+/// selected engine's persistent solver state (compiled calculus, BDD
+/// manager, solved summary rounds), so each `solve` reuses everything
+/// earlier queries paid for. Obtained from `Solver::open`; check `ok()`
+/// (a failed open reports its error from every subsequent `solve`).
+///
+/// The contract is bit-identical results: for any query and any query
+/// order, `session.solve(Q)` returns the same verdict, iteration count,
+/// and witness as a fresh `Solver::solve(Q, Opts)` — reuse shows up only
+/// in wall-clock and in the `SummariesReused` statistics. Engines without
+/// session support transparently fall back to fresh per-query solves.
+///
+/// Queries carry only the target (label or point) and the witness flag;
+/// their program fields are ignored — the session's program is the one
+/// answered against. Options are fixed at `open`.
+class SolverSession {
+public:
+  ~SolverSession();
+  SolverSession(const SolverSession &) = delete;
+  SolverSession &operator=(const SolverSession &) = delete;
+
+  bool ok() const { return Status == SolveStatus::Ok; }
+  SolveStatus status() const { return Status; }
+  const std::string &error() const { return Error; }
+  const SolverOptions &options() const { return Opts; }
+  /// The engine answering this session's queries.
+  const Engine *engine() const { return Eng; }
+
+  SolveResult solve(const Query &Q);
+
+  /// Answers a batch, ordered to maximize reuse: duplicate targets are
+  /// solved once and copied, and queries answerable entirely from
+  /// already-solved state are served before queries that must extend it.
+  /// Results come back in input order and are bit-identical to issuing
+  /// the `solve` calls individually (in any order).
+  std::vector<SolveResult> solveAll(const std::vector<Query> &Qs);
+
+  /// Drops the engine's BDD computed caches (a memory valve for
+  /// long-lived sessions); solved state is kept and later queries stay
+  /// bit-identical.
+  void clearComputedCache();
+
+  /// Cross-query bookkeeping.
+  struct SessionStats {
+    uint64_t Queries = 0;       ///< Total queries answered.
+    uint64_t SessionSolves = 0; ///< Served by persistent engine state.
+    uint64_t FreshSolves = 0;   ///< Fell back to one-shot Engine::run.
+    uint64_t DedupHits = 0;     ///< solveAll duplicates copied, not solved.
+    uint64_t SummariesReused = 0;     ///< Sum over queries.
+    uint64_t SummariesRecomputed = 0; ///< Sum over queries.
+  };
+  const SessionStats &stats() const { return Stats; }
+
+private:
+  friend class Solver;
+  SolverSession() = default;
+
+  /// The dispatch half of `solve`, for callers that already retargeted.
+  SolveResult solveCompiled(const CompiledQuery &Q);
+  SolveResult failResult() const;
+
+  SolveStatus Status = SolveStatus::Ok;
+  std::string Error;
+  SolverOptions Opts;
+  const Engine *Eng = nullptr;
+  /// The session's program (target fields unresolved).
+  std::unique_ptr<CompiledQuery> Program;
+  /// The engine's persistent state; null for fresh-fallback engines.
+  std::unique_ptr<EngineSession> Session;
+  bool OpenAttempted = false;
+  SessionStats Stats;
+};
+
+//===----------------------------------------------------------------------===//
 // Solver
 //===----------------------------------------------------------------------===//
 
@@ -343,6 +474,13 @@ public:
 
   /// Compiles \p Q and dispatches it to the engine `Opts.Engine` names.
   static SolveResult solve(const Query &Q, const SolverOptions &Opts);
+
+  /// Opens \p Program (a query whose target fields are ignored) for
+  /// cross-query solving under \p Opts. Never returns null; a failed open
+  /// (parse error, unknown engine, kind mismatch) is reported through the
+  /// session's `ok()`/`error()` and by every subsequent `solve`.
+  static std::unique_ptr<SolverSession> open(const Query &Program,
+                                             const SolverOptions &Opts);
 
   /// The equation system the selected engine would solve for \p Q; empty
   /// (with \p Error set when non-null) on failure or for natively-coded
@@ -372,6 +510,13 @@ public:
   static std::string engineTable();
 
 private:
+  friend class SolverSession;
+
+  /// Builds a compiled query that borrows \p Program's program views and
+  /// resolves \p Q's target (label or point) against it — the per-query
+  /// half of `compile`, for sessions that compiled the program once.
+  static Compilation retarget(const CompiledQuery &Program, const Query &Q);
+
   SolverOptions Defaults;
 };
 
@@ -383,6 +528,7 @@ using api::Query;
 using api::SolveResult;
 using api::Solver;
 using api::SolverOptions;
+using api::SolverSession;
 using api::SolveStatus;
 
 } // namespace getafix

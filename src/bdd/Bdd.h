@@ -185,6 +185,23 @@ struct BddStats {
   uint64_t GcReclaimed = 0;
   size_t LiveNodes = 0;
   size_t PeakNodes = 0;
+
+  /// The counter delta `*this - Before` for the monotonically increasing
+  /// counters; gauges (LiveNodes, PeakNodes) keep this snapshot's values.
+  /// Query sessions report per-query work on a shared manager this way.
+  BddStats since(const BddStats &Before) const {
+    BddStats D = *this;
+    D.CacheLookups -= Before.CacheLookups;
+    D.CacheHits -= Before.CacheHits;
+    for (unsigned I = 0; I < NumBddOps; ++I) {
+      D.OpLookups[I] -= Before.OpLookups[I];
+      D.OpHits[I] -= Before.OpHits[I];
+    }
+    D.NodesCreated -= Before.NodesCreated;
+    D.GcRuns -= Before.GcRuns;
+    D.GcReclaimed -= Before.GcReclaimed;
+    return D;
+  }
 };
 
 /// Owns the shared node table, the unique table, and the computed cache.

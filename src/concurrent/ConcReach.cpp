@@ -37,6 +37,17 @@ public:
   ConcResult solve(unsigned Thread, unsigned ProcId, unsigned Pc,
                    const ConcOptions &Opts);
 
+  // Shared by the one-shot solve and ConcSession, so both compute the
+  // identical target set and reachable-set statistic.
+  void bindInputs(Evaluator &Ev, unsigned Thread, unsigned ProcId,
+                  unsigned Pc);
+  Bdd targetStates(Evaluator &Ev, unsigned Thread, unsigned ProcId,
+                   unsigned Pc);
+  double reachStatesOf(Evaluator &Ev, const Bdd &Value);
+  RelId reachRel() const { return Reach; }
+  Layout makeLayout(BddManager &Mgr) const { return Factory.makeLayout(Mgr); }
+  const System &system() const { return Sys; }
+
 private:
   void buildSystem();
 
@@ -412,6 +423,45 @@ void ConcEngine::buildSystem() {
 #endif
 }
 
+void ConcEngine::bindInputs(Evaluator &Ev, unsigned Thread, unsigned ProcId,
+                            unsigned Pc) {
+  for (unsigned I = 0; I < N; ++I)
+    Encs[I]->bind(Ev, I == Thread ? ProcId : ~0u, Pc);
+}
+
+Bdd ConcEngine::targetStates(Evaluator &Ev, unsigned Thread, unsigned ProcId,
+                             unsigned Pc) {
+  // Target: v at (ProcId, Pc) while the target thread is active.
+  Bdd Target = Ev.manager().zero();
+  for (unsigned C = 0; C <= K; ++C)
+    Target |= Ev.encodeEqConst(Cs, C) & Ev.encodeEqConst(T[C], Thread) &
+              Ev.encodeEqConst(S.Mod, ProcId) & Ev.encodeEqConst(S.Pc, Pc);
+  return Target;
+}
+
+double ConcEngine::reachStatesOf(Evaluator &Ev, const Bdd &Value) {
+  // Tuple count for Figure 3's "reachable set size". Components g_j / t_j
+  // with j beyond the tuple's own context count cs are semantically
+  // irrelevant (the formula never constrains them), so counting raw
+  // satisfying assignments would inflate the size by 2^|G|·n per unused
+  // slot; pin them to zero before counting.
+  BddManager &Mgr = Ev.manager();
+  unsigned TupleBits = 0;
+  for (VarId V : Sys.relation(Reach).Formals)
+    TupleBits += unsigned(Ev.layout().bits(V).size());
+  double States = 0;
+  for (unsigned C = 0; C <= K; ++C) {
+    Bdd Masked = Value & Ev.encodeEqConst(Cs, C);
+    for (unsigned J = C + 1; J <= K; ++J) {
+      Masked &= Ev.encodeEqConst(G[J], 0);
+      Masked &= Ev.encodeEqConst(T[J], 0);
+    }
+    States += Masked.satCount(Mgr.numVars()) /
+              std::pow(2.0, double(Mgr.numVars() - TupleBits));
+  }
+  return States;
+}
+
 ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
                              const ConcOptions &Opts) {
   ConcResult Result;
@@ -420,17 +470,10 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
   Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy,
-               Opts.ConstrainFrontier);
-  for (unsigned I = 0; I < N; ++I)
-    Encs[I]->bind(Ev, I == Thread ? ProcId : ~0u, Pc);
+               Opts.FrontierCofactor);
+  bindInputs(Ev, Thread, ProcId, Pc);
 
-  // Target: v at (ProcId, Pc) while the target thread is active.
-  Bdd TargetStates = Mgr.zero();
-  for (unsigned C = 0; C <= K; ++C)
-    TargetStates |= Ev.encodeEqConst(Cs, C) &
-                    Ev.encodeEqConst(T[C], Thread) &
-                    Ev.encodeEqConst(S.Mod, ProcId) &
-                    Ev.encodeEqConst(S.Pc, Pc);
+  Bdd TargetStates = targetStates(Ev, Thread, ProcId, Pc);
 
   EvalOptions EOpts;
   EOpts.MaxIterations = Opts.MaxIterations;
@@ -441,26 +484,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   Result.HitIterationLimit = R.HitIterationLimit;
   Result.Reachable = !(R.Value & TargetStates).isZero();
   Result.ReachNodes = R.Value.nodeCount();
-
-  // Tuple count for Figure 3's "reachable set size". Components g_j / t_j
-  // with j beyond the tuple's own context count cs are semantically
-  // irrelevant (the formula never constrains them), so counting raw
-  // satisfying assignments would inflate the size by 2^|G|·n per unused
-  // slot; pin them to zero before counting.
-  unsigned TupleBits = 0;
-  for (VarId V : Sys.relation(Reach).Formals)
-    TupleBits += unsigned(Ev.layout().bits(V).size());
-  double States = 0;
-  for (unsigned C = 0; C <= K; ++C) {
-    Bdd Masked = R.Value & Ev.encodeEqConst(Cs, C);
-    for (unsigned J = C + 1; J <= K; ++J) {
-      Masked &= Ev.encodeEqConst(G[J], 0);
-      Masked &= Ev.encodeEqConst(T[J], 0);
-    }
-    States += Masked.satCount(Mgr.numVars()) /
-              std::pow(2.0, double(Mgr.numVars() - TupleBits));
-  }
-  Result.ReachStates = States;
+  Result.ReachStates = reachStatesOf(Ev, R.Value);
 
   Result.Relations = Ev.stats();
   auto StatsIt = Result.Relations.find("Reach");
@@ -468,11 +492,13 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
     Result.Iterations = StatsIt->second.Iterations;
     Result.DeltaRounds = StatsIt->second.DeltaRounds;
   }
+  Result.Cofactor = Ev.cofactorStats();
   Result.Bdd = Mgr.stats();
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
   Result.BddCacheHits = Result.Bdd.CacheHits;
+  Result.SummariesRecomputed = Result.Iterations;
   Result.Seconds = Tm.seconds();
   return Result;
 }
@@ -493,6 +519,106 @@ ConcResult conc::checkConcReachabilityOfLabel(
     unsigned ProcId = 0, Pc = 0;
     if (Cfgs[Thread].findLabelPc(Label, ProcId, Pc))
       return checkConcReachability(Conc, Cfgs, Thread, ProcId, Pc, Opts);
+  }
+  ConcResult Result;
+  Result.TargetFound = false;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// ConcSession: cross-query incremental solving
+//===----------------------------------------------------------------------===//
+
+struct ConcSession::Impl {
+  const bp::ConcurrentProgram &Conc;
+  const std::vector<bp::ProgramCfg> &Cfgs;
+  ConcOptions Opts;
+  ConcEngine Engine;
+  BddManager Mgr;
+  Evaluator Ev;
+  IncrementalFixpoint Fix;
+
+  Impl(const bp::ConcurrentProgram &Conc,
+       const std::vector<bp::ProgramCfg> &Cfgs, const ConcOptions &Opts)
+      : Conc(Conc), Cfgs(Cfgs), Opts(Opts), Engine(Conc, Cfgs, Opts),
+        Mgr(0, Opts.CacheBits),
+        Ev(Engine.system(), Mgr, Engine.makeLayout(Mgr), Opts.Strategy,
+           Opts.FrontierCofactor) {
+    Mgr.setGcThreshold(Opts.GcThreshold);
+    // Targetless binding: the per-thread target relations are read by no
+    // clause, so one binding serves every query of the session.
+    Engine.bindInputs(Ev, ~0u, ~0u, 0);
+  }
+};
+
+ConcSession::ConcSession(const bp::ConcurrentProgram &Conc,
+                         const std::vector<bp::ProgramCfg> &Cfgs,
+                         const ConcOptions &Opts)
+    : I(std::make_unique<Impl>(Conc, Cfgs, Opts)) {}
+
+ConcSession::~ConcSession() = default;
+
+const ConcOptions &ConcSession::options() const { return I->Opts; }
+
+void ConcSession::clearComputedCache() { I->Mgr.clearComputedCache(); }
+
+ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
+  Impl &S = *I;
+  if (!S.Opts.ReuseSolvedState)
+    return checkConcReachability(S.Conc, S.Cfgs, Thread, ProcId, Pc, S.Opts);
+
+  ConcResult Result;
+  Timer Tm;
+  BddStats Before = S.Mgr.stats();
+  fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
+
+  Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
+  IncrementalFixpoint::Answer A =
+      S.Fix.query(S.Ev, S.Engine.reachRel(), TargetStates, S.Opts.EarlyStop,
+                  S.Opts.MaxIterations);
+  Result.Reachable = A.Reachable;
+  Result.HitIterationLimit = A.HitIterationLimit;
+  Result.Iterations = A.Iterations;
+  Result.ReachNodes = A.Value.nodeCount();
+  Result.ReachStates = S.Engine.reachStatesOf(S.Ev, A.Value);
+  // The Section-5 Reach system is monotone and fully distributive, so a
+  // fresh solve's delta-round count is Iterations - 1 under the
+  // semi-naive strategy and 0 under naive.
+  bool DeltaCore = S.Opts.Strategy == EvalStrategy::SemiNaive &&
+                   S.Ev.plan(S.Engine.reachRel()).SemiNaive;
+  Result.DeltaRounds = DeltaCore && A.Iterations > 0 ? A.Iterations - 1 : 0;
+  Result.SummariesReused = A.RoundsReused;
+  Result.SummariesRecomputed = A.RoundsComputed;
+
+  Result.Relations = S.Ev.stats();
+  Result.Cofactor = S.Ev.cofactorStats();
+  Result.Cofactor.Applications -= CfBefore.Applications;
+  Result.Cofactor.SupportBefore -= CfBefore.SupportBefore;
+  Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
+  Result.Bdd = S.Mgr.stats().since(Before);
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
+  Result.Seconds = Tm.seconds();
+  return Result;
+}
+
+bool ConcSession::answersFromState(unsigned Thread, unsigned ProcId,
+                                   unsigned Pc) {
+  Impl &S = *I;
+  if (!S.Opts.ReuseSolvedState)
+    return false;
+  Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
+  return S.Fix.answersFromState(TargetStates, S.Opts.EarlyStop,
+                                S.Opts.MaxIterations);
+}
+
+ConcResult ConcSession::solveLabel(const std::string &Label) {
+  for (unsigned Thread = 0; Thread < I->Conc.numThreads(); ++Thread) {
+    unsigned ProcId = 0, Pc = 0;
+    if (I->Cfgs[Thread].findLabelPc(Label, ProcId, Pc))
+      return solve(Thread, ProcId, Pc);
   }
   ConcResult Result;
   Result.TargetFound = false;

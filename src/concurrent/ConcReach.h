@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,8 +60,13 @@ struct ConcOptions {
   unsigned CacheBits = 18;
   size_t GcThreshold = 1u << 22;
   /// Coudert–Madre care-set minimization of relational-product operands
-  /// in narrow delta rounds (bit-identical results; ablation knob).
-  bool ConstrainFrontier = true;
+  /// in narrow delta rounds: off, `constrain`, or `restrict`
+  /// (bit-identical results under all three; ablation knob).
+  fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
+  /// Session mode (`ConcSession`): reuse rounds solved by earlier
+  /// queries. Off = every query re-solves from scratch (ablation /
+  /// differential baseline). One-shot solves ignore this.
+  bool ReuseSolvedState = true;
 };
 
 struct ConcResult {
@@ -82,6 +88,13 @@ struct ConcResult {
   double Seconds = 0.0;
   /// Per-relation evaluator statistics, keyed by relation name.
   std::map<std::string, fpc::RelStats> Relations;
+  /// Narrow-round generalized-cofactor counters (restrict-vs-constrain
+  /// A/B).
+  fpc::CofactorStats Cofactor;
+  /// Session mode only: fixpoint rounds served from state persisted by
+  /// earlier queries, vs rounds newly evaluated for this query.
+  uint64_t SummariesReused = 0;
+  uint64_t SummariesRecomputed = 0;
 };
 
 /// Is (Thread, ProcId, Pc) reachable within k context switches?
@@ -98,6 +111,45 @@ ConcResult checkConcReachabilityOfLabel(
 
 /// Builds one ProgramCfg per thread.
 std::vector<bp::ProgramCfg> buildThreadCfgs(const bp::ConcurrentProgram &C);
+
+/// Cross-query incremental solving of the Section-5 Reach fixpoint over
+/// one concurrent program: the equation system, BDD manager, and the
+/// rounds computed so far persist across queries. Each `solve` replays the
+/// recorded rounds against the new target (the early-stop target only
+/// decides when iteration stops; round values are target-independent) and
+/// resumes live iteration only when the answer needs rounds beyond the
+/// recorded state — so verdicts, iteration counts, and reachable-set
+/// statistics are bit-identical to fresh `checkConcReachability` calls.
+/// The caller keeps \p Conc and \p Cfgs alive for the session's lifetime;
+/// options (including the context bound) are fixed at construction.
+class ConcSession {
+public:
+  ConcSession(const bp::ConcurrentProgram &Conc,
+              const std::vector<bp::ProgramCfg> &Cfgs,
+              const ConcOptions &Opts);
+  ~ConcSession();
+  ConcSession(const ConcSession &) = delete;
+  ConcSession &operator=(const ConcSession &) = delete;
+
+  ConcResult solve(unsigned Thread, unsigned ProcId, unsigned Pc);
+  /// Label query; searches all threads. `TargetFound` false when absent.
+  ConcResult solveLabel(const std::string &Label);
+
+  /// Would a solve of this target be answered entirely from already-solved
+  /// rounds? (Non-const: probing encodes the target over the session's
+  /// manager.)
+  bool answersFromState(unsigned Thread, unsigned ProcId, unsigned Pc);
+
+  /// Drops the BDD computed cache; all solved state is kept (performance
+  /// valve, bit-identical results).
+  void clearComputedCache();
+
+  const ConcOptions &options() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// The context-switch bound covering \p Rounds full round-robin rounds of
 /// \p Threads threads (each round runs every thread once, in order).

@@ -301,6 +301,28 @@ const char *fpc::strategyName(EvalStrategy S) {
   return S == EvalStrategy::Naive ? "naive" : "semi-naive";
 }
 
+const char *fpc::cofactorModeName(CofactorMode M) {
+  switch (M) {
+  case CofactorMode::Off:
+    return "off";
+  case CofactorMode::Constrain:
+    return "constrain";
+  case CofactorMode::Restrict:
+    return "restrict";
+  }
+  return "?";
+}
+
+bool fpc::parseCofactorMode(const std::string &Name, CofactorMode &Out) {
+  for (CofactorMode M : {CofactorMode::Off, CofactorMode::Constrain,
+                         CofactorMode::Restrict})
+    if (Name == cofactorModeName(M)) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
 namespace {
 
 /// Collects the relations applied in \p F, split by the parity of the

@@ -220,6 +220,34 @@ enum class EvalStrategy {
 
 const char *strategyName(EvalStrategy S);
 
+/// Which Coudert–Madre generalized cofactor the evaluator applies to the
+/// non-frontier operand of narrow-round relational products. All three
+/// settings produce bit-identical results (`f ↓ c & c == f & c` for both
+/// cofactors); the knob exists for the restrict-vs-constrain A/B the
+/// frontier product invites: `constrain` simplifies maximally but may grow
+/// the operand's support, `restrict` never grows the support but
+/// simplifies less.
+enum class CofactorMode {
+  Off,       ///< Plain relational product.
+  Constrain, ///< `Bdd::constrain` (maximal simplification; the default).
+  Restrict,  ///< `Bdd::restrict` (support never grows).
+};
+
+/// Short stable name ("off", "constrain", "restrict").
+const char *cofactorModeName(CofactorMode M);
+/// Parses a `cofactorModeName` string; false when \p Name is none of them.
+bool parseCofactorMode(const std::string &Name, CofactorMode &Out);
+
+/// Counters for the narrow-round generalized-cofactor rewrites (the
+/// restrict-vs-constrain A/B of the frontier product). Support sizes are
+/// summed over applications so drivers can report the average growth
+/// factor of the cofactored operand.
+struct CofactorStats {
+  uint64_t Applications = 0;
+  uint64_t SupportBefore = 0; ///< Sum of operand support sizes, pre.
+  uint64_t SupportAfter = 0;  ///< Sum of operand support sizes, post.
+};
+
 /// Per-relation evaluation statistics (lives here rather than next to the
 /// evaluator so result structs up the stack can carry it without seeing
 /// the BDD package).

@@ -56,9 +56,9 @@ Layout Layout::interleaved(const System &Sys, BddManager &Mgr,
 //===----------------------------------------------------------------------===//
 
 Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L,
-                     EvalStrategy Strategy, bool ConstrainFrontier)
+                     EvalStrategy Strategy, CofactorMode Cofactor)
     : Sys(Sys), Mgr(Mgr), L(std::move(L)), Strategy(Strategy),
-      UseConstrain(ConstrainFrontier) {}
+      Cofactor(Cofactor) {}
 
 void Evaluator::bindInput(RelId Rel, Bdd Value) {
   assert(Sys.relation(Rel).isInput() && "binding a defined relation");
@@ -356,12 +356,16 @@ Bdd Evaluator::evalFormulaUncached(const Formula &F) {
       // sides (no narrow care set) and are already deduped per round by
       // the RoundCache, so the extra constrain traversal is not paid
       // there.
-      if (UseConstrain && InDeltaRound && onDeltaPath(&F) &&
+      if (Cofactor != CofactorMode::Off && InDeltaRound && onDeltaPath(&F) &&
           !Acc.isConst() && !Last.isConst()) {
-        if (onDeltaPath(LastChild))
-          Acc = Acc.constrain(Last);
-        else
-          Last = Last.constrain(Acc);
+        Bdd &Operand = onDeltaPath(LastChild) ? Acc : Last;
+        const Bdd &Care = onDeltaPath(LastChild) ? Last : Acc;
+        ++CfStats.Applications;
+        CfStats.SupportBefore += Operand.support().size();
+        Operand = Cofactor == CofactorMode::Constrain
+                      ? Operand.constrain(Care)
+                      : Operand.restrict(Care);
+        CfStats.SupportAfter += Operand.support().size();
       }
       return Acc.andExists(Last, Cube);
     }
@@ -410,52 +414,61 @@ Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
   DeltaValue = Bdd();
   InDeltaRound = false;
 
-  Bdd S;
+  FixpointState St;
   if (Strategy == EvalStrategy::SemiNaive) {
     scheduleDependencies(Rel);
     // Non-monotone or nu equations run the exact naive scheme; monotone mu
     // equations take the delta-propagating core (which degrades gracefully
     // to per-round full evaluation for opaque disjuncts).
     if (plan(Rel).SemiNaive)
-      S = evalFixpointSemiNaive(Rel, Opts, HitLimit, Stopped, RS);
+      runFixpointSemiNaive(Rel, St, Opts, HitLimit, Stopped, RS);
     else
-      S = evalFixpointNaive(Rel, Opts, HitLimit, Stopped, RS);
+      runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
   } else {
-    S = evalFixpointNaive(Rel, Opts, HitLimit, Stopped, RS);
+    runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
   }
-  RS.FinalNodes = S.nodeCount();
+  RS.FinalNodes = St.Value.nodeCount();
 
   DeltaApp = SavedApp;
   DeltaPath = SavedPath;
   DeltaValue = std::move(SavedValue);
   InDeltaRound = SavedInRound;
   RoundCache.swap(SavedRoundCache);
-  return S;
+  return St.Value;
 }
 
-Bdd Evaluator::evalFixpointNaive(RelId Rel, const EvalOptions *Opts,
-                                 bool *HitLimit, bool *Stopped,
-                                 RelStats &RS) {
+void Evaluator::runFixpointNaive(RelId Rel, FixpointState &St,
+                                 const EvalOptions *Opts, bool *HitLimit,
+                                 bool *Stopped, RelStats &RS) {
   const Relation &R = Sys.relation(Rel);
-  // Least fixed-points start from the empty relation; greatest fixed-points
-  // from the top element, which is the set of *domain-valid* tuples (bits
-  // encoding values >= the domain size are excluded so they can never leak
-  // into a result).
-  Bdd S = Mgr.zero();
-  if (R.IsNu) {
-    S = Mgr.one();
-    for (VarId Formal : R.Formals)
-      S &= domainConstraint(Formal);
+  if (St.Saturated)
+    return;
+  Bdd S;
+  if (St.Rounds == 0) {
+    // Least fixed-points start from the empty relation; greatest
+    // fixed-points from the top element, which is the set of
+    // *domain-valid* tuples (bits encoding values >= the domain size are
+    // excluded so they can never leak into a result).
+    S = Mgr.zero();
+    if (R.IsNu) {
+      S = Mgr.one();
+      for (VarId Formal : R.Formals)
+        S &= domainConstraint(Formal);
+    }
+  } else {
+    S = St.Value;
   }
-  uint64_t Iter = 0;
+  uint64_t Iter = St.Rounds;
   while (true) {
     InFlight[Rel] = S;
     Bdd Next = evalFormula(*R.Def);
     InFlight.erase(Rel);
     ++Iter;
     ++RS.Iterations;
-    if (Next == S)
+    if (Next == S) {
+      St.Saturated = true;
       break;
+    }
     S = std::move(Next);
     if (Opts && Opts->Rings)
       Opts->Rings->push_back(S);
@@ -470,7 +483,8 @@ Bdd Evaluator::evalFixpointNaive(RelId Rel, const EvalOptions *Opts,
       break;
     }
   }
-  return S;
+  St.Value = std::move(S);
+  St.Rounds = Iter;
 }
 
 /// The delta-propagating core. Per round r >= 2 it computes
@@ -492,13 +506,15 @@ Bdd Evaluator::evalFixpointNaive(RelId Rel, const EvalOptions *Opts,
 /// take Δ = S_{r-1} wholesale (see below).
 /// Hence rounds, early stops, iteration limits, and witness rings are all
 /// bit-identical to the naive evaluator — only the work per round shrinks.
-Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
-                                     bool *HitLimit, bool *Stopped,
-                                     RelStats &RS) {
+void Evaluator::runFixpointSemiNaive(RelId Rel, FixpointState &St,
+                                     const EvalOptions *Opts, bool *HitLimit,
+                                     bool *Stopped, RelStats &RS) {
   const Relation &R = Sys.relation(Rel);
   const EquationPlan &P = plan(Rel);
   assert(P.SemiNaive && "delta core on a naive-only equation");
   assert(!R.IsNu && "delta core iterates from the empty relation");
+  if (St.Saturated)
+    return;
 
   // Frontier-width policy. A BDD evaluator is in a different cost regime
   // than an explicit Datalog engine: as long as one round's
@@ -534,7 +550,11 @@ Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
 
   Bdd S = Mgr.zero();
   Bdd Delta;
-  uint64_t Iter = 0;
+  uint64_t Iter = St.Rounds;
+  if (Iter != 0) {
+    S = St.Value;
+    Delta = St.Delta;
+  }
   while (true) {
     InFlight[Rel] = S;
     uint64_t RoundStart = Mgr.stats().NodesCreated;
@@ -587,8 +607,10 @@ Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
     InFlight.erase(Rel);
     ++Iter;
     ++RS.Iterations;
-    if (Next == S)
+    if (Next == S) {
+      St.Saturated = true;
       break;
+    }
     bool Narrow = Mgr.stats().NodesCreated - RoundStart >= NarrowAt;
     Delta = Narrow ? Next.frontier(S) : Next;
     S = std::move(Next);
@@ -605,16 +627,131 @@ Bdd Evaluator::evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
       break;
     }
   }
-  return S;
+  St.Value = std::move(S);
+  St.Delta = std::move(Delta);
+  St.Rounds = Iter;
 }
 
 EvalResult Evaluator::evaluate(RelId Rel, const EvalOptions &Opts) {
   EvalResult Result;
+  // A previously completed solve answers a repeat top-level query
+  // outright — this is what lets one evaluator serve many queries
+  // (fpsolve --eval R,S): a later query over an already-solved relation
+  // costs nothing. Only when the caller asks for per-round observables
+  // (rings, early stop, an iteration cap) must the iteration re-run.
+  if (InFlight.empty() && !Opts.EarlyStop && !Opts.Rings &&
+      Opts.MaxIterations == 0) {
+    auto It = Completed.find(Rel);
+    if (It != Completed.end()) {
+      Result.Value = It->second;
+      return Result;
+    }
+  }
   Result.Value =
       evalFixpoint(Rel, &Opts, &Result.HitIterationLimit,
                    &Result.EarlyStopped);
   // A complete top-level solve is a valid memo for later nested uses.
   if (InFlight.empty() && !Result.HitIterationLimit && !Result.EarlyStopped)
     Completed[Rel] = Result.Value;
+  return Result;
+}
+
+bool IncrementalFixpoint::tryReplay(const Bdd &Target, bool EarlyStop,
+                                    uint64_t MaxIterations,
+                                    Answer &A) const {
+  // The per-round checks in a fresh solve run in this order: a changed
+  // round first tests the early-stop target, then the iteration cap. The
+  // saturation round (no change) breaks before either check. Replaying the
+  // identical checks against the recorded ring values reproduces the fresh
+  // stop round and verdict exactly.
+  for (size_t Ri = 0; Ri < Rings.size(); ++Ri) {
+    uint64_t Round = Ri + 1;
+    if (EarlyStop && !(Rings[Ri] & Target).isZero()) {
+      A.Iterations = Round;
+      A.Reachable = true;
+      A.EarlyStopped = true;
+      A.Value = Rings[Ri];
+      A.RoundsReused = Round;
+      return true;
+    }
+    if (MaxIterations != 0 && Round >= MaxIterations) {
+      A.Iterations = Round;
+      A.Reachable = !(Rings[Ri] & Target).isZero();
+      A.HitIterationLimit = true;
+      A.Value = Rings[Ri];
+      A.RoundsReused = Round;
+      return true;
+    }
+  }
+  if (St.Saturated) {
+    A.Iterations = St.Rounds;
+    A.Reachable = !(St.Value & Target).isZero();
+    A.Value = St.Value;
+    A.RoundsReused = St.Rounds;
+    return true;
+  }
+  return false;
+}
+
+bool IncrementalFixpoint::answersFromState(const Bdd &Target, bool EarlyStop,
+                                           uint64_t MaxIterations) const {
+  Answer A;
+  return tryReplay(Target, EarlyStop, MaxIterations, A);
+}
+
+IncrementalFixpoint::Answer
+IncrementalFixpoint::query(Evaluator &Ev, RelId Rel, const Bdd &Target,
+                           bool EarlyStop, uint64_t MaxIterations) {
+  Answer A;
+  if (tryReplay(Target, EarlyStop, MaxIterations, A))
+    return A;
+
+  uint64_t Before = St.Rounds;
+  EvalOptions Opts;
+  Opts.MaxIterations = MaxIterations;
+  if (EarlyStop)
+    Opts.EarlyStop = &Target;
+  Opts.Rings = &Rings;
+  EvalResult R = Ev.resume(Rel, St, Opts);
+  A.Iterations = St.Rounds;
+  A.Reachable = !(R.Value & Target).isZero();
+  A.EarlyStopped = R.EarlyStopped;
+  A.HitIterationLimit = R.HitIterationLimit;
+  A.Value = R.Value;
+  A.RoundsReused = Before;
+  A.RoundsComputed = St.Rounds - Before;
+  return A;
+}
+
+EvalResult Evaluator::resume(RelId Rel, FixpointState &State,
+                             const EvalOptions &Opts) {
+  const Relation &R = Sys.relation(Rel);
+  assert(R.Def && "resuming an undefined relation");
+  assert(InFlight.empty() &&
+         "resume is a top-level entry; no nested evaluation may be live");
+
+  RelStats &RS = Stats[R.Name];
+  if (!State.Saturated)
+    ++RS.Evaluations;
+
+  EvalResult Result;
+  if (Strategy == EvalStrategy::SemiNaive) {
+    scheduleDependencies(Rel);
+    if (plan(Rel).SemiNaive)
+      runFixpointSemiNaive(Rel, State, &Opts, &Result.HitIterationLimit,
+                           &Result.EarlyStopped, RS);
+    else
+      runFixpointNaive(Rel, State, &Opts, &Result.HitIterationLimit,
+                       &Result.EarlyStopped, RS);
+  } else {
+    runFixpointNaive(Rel, State, &Opts, &Result.HitIterationLimit,
+                     &Result.EarlyStopped, RS);
+  }
+  RS.FinalNodes = State.Value.nodeCount();
+  Result.Value = State.Value;
+  // A saturated state is a complete solve: a valid memo for nested uses by
+  // other relations evaluated against this same session state.
+  if (State.Saturated)
+    Completed[Rel] = State.Value;
   return Result;
 }

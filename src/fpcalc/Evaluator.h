@@ -79,20 +79,84 @@ struct EvalResult {
   bool EarlyStopped = false;
 };
 
+/// The persistent half of one relation's fixpoint iteration: everything a
+/// later continuation needs to carry on exactly where a previous
+/// (early-stopped or iteration-capped) solve left off. The fixpoint round
+/// sequence is deterministic, so `resume` extends the identical Tarski
+/// chain a single uninterrupted solve would have produced — this is what
+/// lets a query session stop at one target's round and pick up from there
+/// for the next target, bit-identically to solving each query fresh.
+struct FixpointState {
+  Bdd Value;  ///< S_r: the accumulated relation after `Rounds` rounds.
+  Bdd Delta;  ///< Frontier feeding the next semi-naive round.
+  /// Body evaluations performed so far (the final, no-change round of a
+  /// saturated solve included — matching the `Iterations` a fresh solve
+  /// reports).
+  uint64_t Rounds = 0;
+  bool Saturated = false; ///< `Value` is the fixpoint; resume is a no-op.
+};
+
+class Evaluator;
+
+/// A `FixpointState` bundled with its recorded per-round values (the
+/// "onion rings") and the cross-query replay logic: given a new target,
+/// `query` first re-runs the per-round stop checks a fresh solve performs
+/// — early-stop intersection, then iteration cap — against the *recorded*
+/// rings, answering entirely from state whenever a fresh solve would have
+/// stopped within the rounds already computed; only when the answer needs
+/// rounds beyond the recorded state does it resume live iteration. Since
+/// ring values are target-independent and the round sequence is
+/// deterministic, every answer (verdict, stop round, stopped-at value) is
+/// bit-identical to a fresh uninterrupted solve under the same options.
+class IncrementalFixpoint {
+public:
+  struct Answer {
+    uint64_t Iterations = 0; ///< The round a fresh solve would stop at.
+    bool Reachable = false;  ///< Target intersects the stopped-at value.
+    bool EarlyStopped = false;
+    bool HitIterationLimit = false;
+    Bdd Value;               ///< The value a fresh solve would return.
+    uint64_t RoundsReused = 0;   ///< Rounds served from recorded state.
+    uint64_t RoundsComputed = 0; ///< Rounds evaluated live for this query.
+  };
+
+  /// Answers one reachability query over \p Rel, replaying recorded
+  /// rounds first and resuming \p Ev only as needed.
+  Answer query(Evaluator &Ev, RelId Rel, const Bdd &Target, bool EarlyStop,
+               uint64_t MaxIterations);
+
+  /// Would `query` answer without evaluating any new round? (Used by
+  /// batch drivers to serve state-answerable targets first.)
+  bool answersFromState(const Bdd &Target, bool EarlyStop,
+                        uint64_t MaxIterations) const;
+
+  const std::vector<Bdd> &rings() const { return Rings; }
+  const FixpointState &state() const { return St; }
+
+private:
+  /// Replay core: true when the recorded state determines the answer.
+  bool tryReplay(const Bdd &Target, bool EarlyStop, uint64_t MaxIterations,
+                 Answer &A) const;
+
+  FixpointState St;
+  std::vector<Bdd> Rings;
+};
+
 class Evaluator {
 public:
-  /// \p ConstrainFrontier enables the Coudert–Madre frontier-aware
-  /// relational product: in narrow delta rounds, the transition/body
-  /// operand of `andExists` is generalized-cofactored against the
-  /// frontier-bearing conjunct chain before the product. Purely a
-  /// performance knob — `f.constrain(c) & c == f & c` makes every
-  /// product's result bit-identical; it exists for ablation.
+  /// \p Cofactor selects the Coudert–Madre frontier-aware relational
+  /// product: in narrow delta rounds, the transition/body operand of
+  /// `andExists` is generalized-cofactored against the frontier-bearing
+  /// conjunct chain before the product. Purely a performance knob —
+  /// `f ↓ c & c == f & c` for both cofactors makes every product's result
+  /// bit-identical; it exists for the restrict-vs-constrain ablation.
   Evaluator(const System &Sys, BddManager &Mgr, Layout L,
             EvalStrategy Strategy = EvalStrategy::SemiNaive,
-            bool ConstrainFrontier = true);
+            CofactorMode Cofactor = CofactorMode::Constrain);
 
   EvalStrategy strategy() const { return Strategy; }
-  bool constrainFrontier() const { return UseConstrain; }
+  CofactorMode cofactorMode() const { return Cofactor; }
+  const CofactorStats &cofactorStats() const { return CfStats; }
 
   /// Binds an input relation to its BDD over the formals' bits. Rebinding
   /// an already-bound input drops every memo built from the old binding
@@ -108,6 +172,19 @@ public:
 
   /// Solves the defining equation of \p Rel per the algorithmic semantics.
   EvalResult evaluate(RelId Rel, const EvalOptions &Opts = EvalOptions());
+
+  /// Continues (or begins, when \p State is fresh) the fixpoint iteration
+  /// of \p Rel from the caller-held \p State, honoring this call's
+  /// early-stop target, iteration cap (counted against the *total* rounds
+  /// in \p State), and ring recording. Returns when the iteration
+  /// saturates, hits the caller's target, or hits the cap; \p State then
+  /// holds everything needed to continue under different per-query
+  /// options. Because the round sequence is deterministic, the rounds a
+  /// resumed iteration appends are exactly the rounds a fresh
+  /// uninterrupted solve would have computed. Top-level use only (no
+  /// nested evaluation may be in flight).
+  EvalResult resume(RelId Rel, FixpointState &State,
+                    const EvalOptions &Opts = EvalOptions());
 
   /// Resets memoized values of defined relations (bindings stay).
   void invalidate();
@@ -135,10 +212,13 @@ public:
 private:
   Bdd evalFixpoint(RelId Rel, const EvalOptions *Opts, bool *HitLimit,
                    bool *Stopped);
-  Bdd evalFixpointNaive(RelId Rel, const EvalOptions *Opts, bool *HitLimit,
-                        bool *Stopped, RelStats &RS);
-  Bdd evalFixpointSemiNaive(RelId Rel, const EvalOptions *Opts,
-                            bool *HitLimit, bool *Stopped, RelStats &RS);
+  /// The two iteration cores, operating on caller-held persistent state
+  /// (fresh local state for one-shot solves, session state for `resume`).
+  void runFixpointNaive(RelId Rel, FixpointState &St, const EvalOptions *Opts,
+                        bool *HitLimit, bool *Stopped, RelStats &RS);
+  void runFixpointSemiNaive(RelId Rel, FixpointState &St,
+                            const EvalOptions *Opts, bool *HitLimit,
+                            bool *Stopped, RelStats &RS);
   /// Pre-solves (and memoizes) the defined relations \p Rel depends on
   /// that cannot see any in-flight relation, SCC-by-SCC in topological
   /// order, so the main iteration never discovers them mid-round.
@@ -155,7 +235,8 @@ private:
   BddManager &Mgr;
   Layout L;
   EvalStrategy Strategy;
-  bool UseConstrain;
+  CofactorMode Cofactor;
+  CofactorStats CfStats;
 
   std::map<RelId, Bdd> Inputs;
   std::map<RelId, Bdd> InFlight;  ///< Current interpretation per Section 3.

@@ -44,6 +44,9 @@ public:
   sym::ProgramEncoder &encoder() { return *Enc; }
   const sym::ConfVars &conf() const { return S; }
   fpc::RelId mainRel() const { return Main; }
+  /// SummarySimple's reachable-entries relation (0 for other algorithms).
+  fpc::RelId reachEntryRel() const { return ReachEntry; }
+  SeqAlgorithm algorithm() const { return Alg; }
   const bp::ProgramCfg &cfg() const { return Cfg; }
 
   /// Scratch variables of the return clause (t.*, u.*) and the entry-

@@ -4,6 +4,7 @@
 
 #include "fpcalc/Evaluator.h"
 #include "reach/SeqEngine.h"
+#include "reach/Witness.h"
 #include "support/Timer.h"
 #include "symbolic/Encode.h"
 
@@ -389,7 +390,7 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   Mgr.setGcThreshold(Opts.GcThreshold);
   Layout L = Factory.makeLayout(Mgr);
   Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy,
-               Opts.ConstrainFrontier);
+               Opts.FrontierCofactor);
   Enc->bind(Ev, ProcId, Pc);
 
   // Target states over the head tuple (plus don't-care fr for the opt
@@ -427,13 +428,190 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
     Result.Iterations = StatsIt->second.Iterations;
     Result.DeltaRounds = StatsIt->second.DeltaRounds;
   }
+  Result.Cofactor = Ev.cofactorStats();
   Result.Bdd = Mgr.stats();
+  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+  Result.BddNodesCreated = Result.Bdd.NodesCreated;
+  Result.BddCacheLookups = Result.Bdd.CacheLookups;
+  Result.BddCacheHits = Result.Bdd.CacheHits;
+  Result.SummariesRecomputed = Result.Iterations;
+  Result.Seconds = T.seconds();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// SeqSession: cross-query incremental solving
+//===----------------------------------------------------------------------===//
+
+struct SeqSession::Impl {
+  const bp::ProgramCfg &Cfg;
+  SeqOptions Opts;
+  SeqEngine Engine;
+  BddManager Mgr;
+  Evaluator Ev;
+  /// Persistent rounds + rings of the main relation (EF algorithms).
+  IncrementalFixpoint Fix;
+
+  // SummarySimple solves to a full (target-independent) fixpoint once;
+  // these cache the two relation values and the counts a fresh solve of
+  // any target would report.
+  bool SimpleSolved = false;
+  Bdd SimpleSummary, SimpleEntries;
+  bool SimpleHitLimit = false;
+  uint64_t SimpleIterations = 0, SimpleDeltaRounds = 0;
+  size_t SimpleSummaryNodes = 0;
+
+  /// Witness queries go through a persistent extractor session (solves
+  /// the EntryForward system with rings once, extracts per target);
+  /// created on the first witness query.
+  std::unique_ptr<WitnessSession> Witness;
+
+  Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
+      : Cfg(Cfg), Opts(Opts), Engine(Cfg, Opts.Alg), Mgr(0, Opts.CacheBits),
+        Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
+           Opts.Strategy, Opts.FrontierCofactor) {
+    Mgr.setGcThreshold(Opts.GcThreshold);
+    // The target relation is declared but read by no clause, so one
+    // targetless binding serves every query; rebinding per target would
+    // needlessly drop the evaluator's memo layers.
+    Engine.encoder().bind(Ev, ~0u, 0);
+  }
+};
+
+SeqSession::SeqSession(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
+    : I(std::make_unique<Impl>(Cfg, Opts)) {}
+
+SeqSession::~SeqSession() = default;
+
+const SeqOptions &SeqSession::options() const { return I->Opts; }
+
+void SeqSession::clearComputedCache() {
+  I->Mgr.clearComputedCache();
+  // The witness sub-session runs its own manager (the ring-recording
+  // entry-forward solve); the memory valve must reach it too.
+  if (I->Witness)
+    I->Witness->clearComputedCache();
+}
+
+SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
+  Impl &S = *I;
+  if (!S.Opts.ReuseSolvedState) {
+    // Ablation / differential baseline: every query pays a fresh solve.
+    return checkReachability(S.Cfg, ProcId, Pc, S.Opts);
+  }
+
+  SeqResult Result;
+  Timer T;
+  BddStats Before = S.Mgr.stats();
+  fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
+
+  const sym::ConfVars &Conf = S.Engine.conf();
+  Bdd TargetStates = S.Ev.encodeEqConst(Conf.Mod, ProcId) &
+                     S.Ev.encodeEqConst(Conf.Pc, Pc);
+
+  if (S.Opts.Alg == SeqAlgorithm::SummarySimple) {
+    bool FirstQuery = !S.SimpleSolved;
+    if (FirstQuery) {
+      // Same flow as the one-shot solve: no early stop in this branch, so
+      // both values are target-independent and fully reusable.
+      EvalOptions EOpts;
+      EOpts.MaxIterations = S.Opts.MaxIterations;
+      EvalResult Summaries = S.Ev.evaluate(S.Engine.mainRel(), EOpts);
+      EvalResult Entries = S.Ev.evaluate(S.Engine.reachEntryRel(), EOpts);
+      S.SimpleSummary = Summaries.Value;
+      S.SimpleEntries = Entries.Value;
+      S.SimpleHitLimit =
+          Summaries.HitIterationLimit || Entries.HitIterationLimit;
+      S.SimpleSummaryNodes = Summaries.Value.nodeCount();
+      const auto &Stats = S.Ev.stats();
+      auto It = Stats.find(
+          S.Engine.system().relation(S.Engine.mainRel()).Name);
+      if (It != Stats.end()) {
+        S.SimpleIterations = It->second.Iterations;
+        S.SimpleDeltaRounds = It->second.DeltaRounds;
+      }
+      S.SimpleSolved = true;
+    }
+    Bdd Hits = (S.SimpleSummary & S.SimpleEntries) & TargetStates;
+    Result.Reachable = !Hits.isZero();
+    Result.HitIterationLimit = S.SimpleHitLimit;
+    Result.Iterations = S.SimpleIterations;
+    Result.DeltaRounds = S.SimpleDeltaRounds;
+    Result.SummaryNodes = S.SimpleSummaryNodes;
+    (FirstQuery ? Result.SummariesRecomputed : Result.SummariesReused) =
+        S.SimpleIterations;
+  } else {
+    bool EarlyStop = S.Opts.EarlyStop;
+    IncrementalFixpoint::Answer A =
+        S.Fix.query(S.Ev, S.Engine.mainRel(), TargetStates, EarlyStop,
+                    S.Opts.MaxIterations);
+    Result.Reachable = A.Reachable;
+    Result.HitIterationLimit = A.HitIterationLimit;
+    Result.Iterations = A.Iterations;
+    Result.SummaryNodes = A.Value.nodeCount();
+    // A fresh solve's DeltaRounds is Iterations - 1 whenever the delta
+    // core runs (every round after the first is a delta round, however
+    // the solve stops), and 0 under the naive scheme.
+    bool DeltaCore = S.Opts.Strategy == EvalStrategy::SemiNaive &&
+                     S.Ev.plan(S.Engine.mainRel()).SemiNaive;
+    Result.DeltaRounds =
+        DeltaCore && A.Iterations > 0 ? A.Iterations - 1 : 0;
+    Result.SummariesReused = A.RoundsReused;
+    Result.SummariesRecomputed = A.RoundsComputed;
+  }
+
+  // Session statistics are cumulative where fresh solves report
+  // per-solve numbers: Relations accumulates across queries, and the
+  // BDD counters are reported as this query's delta on the shared
+  // manager (peaks stay absolute).
+  Result.Relations = S.Ev.stats();
+  Result.Cofactor = S.Ev.cofactorStats();
+  Result.Cofactor.Applications -= CfBefore.Applications;
+  Result.Cofactor.SupportBefore -= CfBefore.SupportBefore;
+  Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
+  Result.Bdd = S.Mgr.stats().since(Before);
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
   Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = T.seconds();
   return Result;
+}
+
+SeqResult SeqSession::solveLabel(const std::string &Label) {
+  unsigned ProcId = 0, Pc = 0;
+  if (!I->Cfg.findLabelPc(Label, ProcId, Pc)) {
+    SeqResult Result;
+    Result.TargetFound = false;
+    return Result;
+  }
+  return solve(ProcId, Pc);
+}
+
+WitnessResult SeqSession::solveWithWitness(unsigned ProcId, unsigned Pc) {
+  if (!I->Opts.ReuseSolvedState)
+    return checkReachabilityWithWitness(I->Cfg, ProcId, Pc, I->Opts);
+  if (!I->Witness)
+    I->Witness = std::make_unique<WitnessSession>(I->Cfg, I->Opts);
+  return I->Witness->query(ProcId, Pc);
+}
+
+bool SeqSession::answersFromState(unsigned ProcId, unsigned Pc,
+                                  bool Witness) {
+  Impl &S = *I;
+  if (!S.Opts.ReuseSolvedState)
+    return false;
+  if (Witness)
+    // Once the witness sub-session has solved its rings, any target is a
+    // pure extraction.
+    return S.Witness && S.Witness->solved();
+  if (S.Opts.Alg == SeqAlgorithm::SummarySimple)
+    return S.SimpleSolved;
+  const sym::ConfVars &Conf = S.Engine.conf();
+  Bdd TargetStates = S.Ev.encodeEqConst(Conf.Mod, ProcId) &
+                     S.Ev.encodeEqConst(Conf.Pc, Pc);
+  return S.Fix.answersFromState(TargetStates, S.Opts.EarlyStop,
+                                S.Opts.MaxIterations);
 }
 
 SeqResult reach::checkReachability(const bp::ProgramCfg &Cfg, unsigned ProcId,

@@ -34,10 +34,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 namespace getafix {
 namespace reach {
+
+struct WitnessResult; // reach/Witness.h
 
 enum class SeqAlgorithm {
   SummarySimple,
@@ -64,9 +67,14 @@ struct SeqOptions {
   /// Automatic garbage-collection threshold (live nodes); 0 disables.
   size_t GcThreshold = 1u << 22;
   /// Coudert–Madre care-set minimization of relational-product operands
-  /// in narrow delta rounds. Results are bit-identical either way; the
-  /// knob exists for ablation.
-  bool ConstrainFrontier = true;
+  /// in narrow delta rounds: off, `constrain` (maximal simplification,
+  /// the default), or `restrict` (support never grows). Results are
+  /// bit-identical under all three; the knob exists for ablation.
+  fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
+  /// Session mode (`SeqSession`): reuse rounds and summaries solved by
+  /// earlier queries. Off = every query re-solves from scratch (ablation /
+  /// differential-testing baseline). One-shot solves ignore this.
+  bool ReuseSolvedState = true;
 };
 
 struct SeqResult {
@@ -89,6 +97,14 @@ struct SeqResult {
   double Seconds = 0.0;      ///< Wall-clock solve time (excludes parsing).
   /// Per-relation evaluator statistics, keyed by relation name.
   std::map<std::string, fpc::RelStats> Relations;
+  /// Narrow-round generalized-cofactor counters (restrict-vs-constrain
+  /// A/B): applications and summed operand support sizes before/after.
+  fpc::CofactorStats Cofactor;
+  /// Session mode only: fixpoint rounds of this query that were served
+  /// from state persisted by earlier queries, vs rounds newly evaluated.
+  /// A one-shot solve reports (0, Iterations).
+  uint64_t SummariesReused = 0;
+  uint64_t SummariesRecomputed = 0;
 };
 
 /// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.
@@ -99,6 +115,53 @@ SeqResult checkReachability(const bp::ProgramCfg &Cfg, unsigned ProcId,
 SeqResult checkReachabilityOfLabel(const bp::ProgramCfg &Cfg,
                                    const std::string &Label,
                                    const SeqOptions &Opts);
+
+/// Cross-query incremental solving over one program: the equation system,
+/// BDD manager, evaluator memos, and the fixpoint rounds ("onion rings")
+/// computed so far persist across queries. Each `solve` first *replays*
+/// the recorded rounds against the new target — answering entirely from
+/// state when an early stop (or the iteration cap) would have fired within
+/// them — and only then resumes live iteration where the last query left
+/// off. Because the round sequence is deterministic and target-independent
+/// (the early-stop target only decides *when to stop*, never what a round
+/// computes), every query's verdict, iteration count, and round values are
+/// bit-identical to a fresh `checkReachability` with the same options.
+/// The caller keeps \p Cfg alive for the session's lifetime. Options are
+/// fixed at construction; only the target varies per query.
+class SeqSession {
+public:
+  SeqSession(const bp::ProgramCfg &Cfg, const SeqOptions &Opts);
+  ~SeqSession();
+  SeqSession(const SeqSession &) = delete;
+  SeqSession &operator=(const SeqSession &) = delete;
+
+  SeqResult solve(unsigned ProcId, unsigned Pc);
+  /// Label query; `TargetFound` false when the label does not exist.
+  SeqResult solveLabel(const std::string &Label);
+  /// Witness query, matching `checkReachabilityWithWitness` (which solves
+  /// the EntryForward system with ring recording): the session's witness
+  /// sub-session solves that system once and extracts a trace per target.
+  WitnessResult solveWithWitness(unsigned ProcId, unsigned Pc);
+
+  /// Would a solve of (ProcId, Pc) — witness extraction included when
+  /// \p Witness — be answered entirely from already-solved state, without
+  /// evaluating new fixpoint rounds? (Batch drivers serve such targets
+  /// first. Non-const: probing encodes the target over the session's
+  /// manager.)
+  bool answersFromState(unsigned ProcId, unsigned Pc, bool Witness = false);
+
+  /// Drops the BDD computed cache (a pure performance valve for
+  /// long-lived sessions under memory pressure); all solved state —
+  /// summaries, rounds, memos — is kept and later queries remain
+  /// bit-identical to fresh solves.
+  void clearComputedCache();
+
+  const SeqOptions &options() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// Renders the fixed-point equation system the given algorithm would solve
 /// for \p Cfg (the paper's "one page of formulae"), for documentation and

@@ -27,8 +27,10 @@ struct InstState {
   }
 };
 
-/// Re-solves the entry-forward fixpoint with ring recording and
-/// reconstructs a run backwards through the rings.
+/// Solves the entry-forward fixpoint with ring recording and reconstructs
+/// runs backwards through the rings. The solve is target-independent, so
+/// one extractor serves any number of target queries (`WitnessSession`);
+/// the one-shot `checkReachabilityWithWitness` is a single-query instance.
 class WitnessExtractor {
 public:
   WitnessExtractor(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
@@ -38,9 +40,16 @@ public:
     Mgr.setGcThreshold(Opts.GcThreshold);
   }
 
-  WitnessResult run(unsigned ProcId, unsigned Pc);
+  WitnessResult query(unsigned ProcId, unsigned Pc);
+
+  bool solved() const { return Ev != nullptr; }
+
+  void clearComputedCache() { Mgr.clearComputedCache(); }
 
 private:
+  /// Runs the ring-recording solve on first use and snapshots the
+  /// target-independent result fields (ring count, counters, stats).
+  void ensureSolved();
   Bdd eq(VarId V, uint64_t Value) { return Ev->encodeEqConst(V, Value); }
 
   /// Renames a relation BDD from one set of calculus variables to another
@@ -127,6 +136,11 @@ private:
   SeqEngine::ScratchVars X;
   const ProgramEncoder::FormalSets &F;
   std::vector<WitnessStep> Steps;
+
+  // Persisted across queries, filled by ensureSolved.
+  Bdd Solved;         ///< Final value of the summary relation.
+  Bdd TargetDomains;  ///< Domain constraints of the target coordinates.
+  WitnessResult Base; ///< Target-independent result fields.
 };
 
 } // namespace
@@ -318,13 +332,16 @@ bool WitnessExtractor::appendEntryChain(unsigned Mod, uint64_t EntryL,
   return true;
 }
 
-WitnessResult WitnessExtractor::run(unsigned ProcId, unsigned Pc) {
-  WitnessResult Result;
-
+void WitnessExtractor::ensureSolved() {
+  if (Ev)
+    return;
   Layout L = Engine.factory().makeLayout(Mgr);
   Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
-                                   Opts.Strategy, Opts.ConstrainFrontier);
-  Engine.encoder().bind(*Ev, ProcId, Pc);
+                                   Opts.Strategy, Opts.FrontierCofactor);
+  // The target relation is declared but read by no clause; the solve (and
+  // therefore every ring) is target-independent, which is what makes one
+  // solve serve every later target query.
+  Engine.encoder().bind(*Ev, ~0u, 0);
 
   // The "onion rings" are the per-round values of the summary relation;
   // the semi-naive core produces the identical ring sequence (it computes
@@ -333,25 +350,32 @@ WitnessResult WitnessExtractor::run(unsigned ProcId, unsigned Pc) {
   EvalOptions EOpts;
   EOpts.Rings = &Rings;
   EOpts.MaxIterations = Opts.MaxIterations;
-  EvalResult Solved = Ev->evaluate(Engine.mainRel(), EOpts);
-  Result.HitIterationLimit = Solved.HitIterationLimit;
-  Result.Iterations = Rings.size();
-  Result.SummaryNodes = Solved.Value.nodeCount();
-  Result.Relations = Ev->stats();
-  auto StatsIt = Result.Relations.find(
+  EvalResult R = Ev->evaluate(Engine.mainRel(), EOpts);
+  Solved = R.Value;
+  TargetDomains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
+  Base.HitIterationLimit = R.HitIterationLimit;
+  Base.Iterations = Rings.size();
+  Base.SummaryNodes = Solved.nodeCount();
+  Base.Relations = Ev->stats();
+  auto StatsIt = Base.Relations.find(
       Engine.system().relation(Engine.mainRel()).Name);
-  if (StatsIt != Result.Relations.end())
-    Result.DeltaRounds = StatsIt->second.DeltaRounds;
-  // Counters cover the ring-recording solve (reconstruction below only
-  // walks the recorded rings).
-  Result.Bdd = Mgr.stats();
-  Result.PeakLiveNodes = Result.Bdd.PeakNodes;
-  Result.BddNodesCreated = Result.Bdd.NodesCreated;
-  Result.BddCacheLookups = Result.Bdd.CacheLookups;
-  Result.BddCacheHits = Result.Bdd.CacheHits;
+  if (StatsIt != Base.Relations.end())
+    Base.DeltaRounds = StatsIt->second.DeltaRounds;
+  // Counters cover the ring-recording solve (reconstruction only walks
+  // the recorded rings).
+  Base.Bdd = Mgr.stats();
+  Base.PeakLiveNodes = Base.Bdd.PeakNodes;
+  Base.BddNodesCreated = Base.Bdd.NodesCreated;
+  Base.BddCacheLookups = Base.Bdd.CacheLookups;
+  Base.BddCacheHits = Base.Bdd.CacheHits;
+}
 
-  Bdd Domains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
-  Bdd Hits = Solved.Value & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & Domains;
+WitnessResult WitnessExtractor::query(unsigned ProcId, unsigned Pc) {
+  ensureSolved();
+  WitnessResult Result = Base;
+  Steps.clear();
+
+  Bdd Hits = Solved & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & TargetDomains;
   if (Hits.isZero())
     return Result;
   Result.Reachable = true;
@@ -385,7 +409,29 @@ WitnessResult reach::checkReachabilityWithWitness(const bp::ProgramCfg &Cfg,
                                                   unsigned Pc,
                                                   const SeqOptions &Opts) {
   WitnessExtractor Extractor(Cfg, Opts);
-  return Extractor.run(ProcId, Pc);
+  return Extractor.query(ProcId, Pc);
+}
+
+struct WitnessSession::Impl {
+  WitnessExtractor Extractor;
+  Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
+      : Extractor(Cfg, Opts) {}
+};
+
+WitnessSession::WitnessSession(const bp::ProgramCfg &Cfg,
+                               const SeqOptions &Opts)
+    : I(std::make_unique<Impl>(Cfg, Opts)) {}
+
+WitnessSession::~WitnessSession() = default;
+
+WitnessResult WitnessSession::query(unsigned ProcId, unsigned Pc) {
+  return I->Extractor.query(ProcId, Pc);
+}
+
+bool WitnessSession::solved() const { return I->Extractor.solved(); }
+
+void WitnessSession::clearComputedCache() {
+  I->Extractor.clearComputedCache();
 }
 
 WitnessResult

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,35 @@ WitnessResult checkReachabilityWithWitness(const bp::ProgramCfg &Cfg,
 WitnessResult checkReachabilityOfLabelWithWitness(const bp::ProgramCfg &Cfg,
                                                   const std::string &Label,
                                                   const SeqOptions &Opts);
+
+/// Cross-query witness extraction over one program. The ring-recording
+/// solve is target-independent (it always runs the entry-forward system to
+/// its full fixpoint), so a session solves it once and reconstructs a
+/// trace per queried target by walking the recorded rings — each query's
+/// verdict, ring count, and trace are bit-identical to a fresh
+/// `checkReachabilityWithWitness` with the same options. The caller keeps
+/// \p Cfg alive for the session's lifetime.
+class WitnessSession {
+public:
+  WitnessSession(const bp::ProgramCfg &Cfg, const SeqOptions &Opts);
+  ~WitnessSession();
+  WitnessSession(const WitnessSession &) = delete;
+  WitnessSession &operator=(const WitnessSession &) = delete;
+
+  WitnessResult query(unsigned ProcId, unsigned Pc);
+
+  /// Has the (lazy) ring-recording solve run? Once true, every query is a
+  /// pure extraction from recorded state.
+  bool solved() const;
+
+  /// Drops the BDD computed cache; solved rings are kept (performance
+  /// valve, bit-identical results).
+  void clearComputedCache();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// Replays \p Steps against the explicit statement semantics. Checks that
 /// the run starts at main's entry, every step is a valid transition (for

@@ -1,0 +1,43 @@
+//===- Strings.h - Small string helpers -------------------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String utilities shared by the command-line tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_STRINGS_H
+#define GETAFIX_SUPPORT_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace getafix {
+
+/// Splits \p Text on \p Sep, dropping empty pieces ("a,,b" -> {a, b}).
+/// Used by the tools' comma-separated list flags (`getafix --targets`,
+/// `fpsolve --eval`).
+inline std::vector<std::string> splitList(const std::string &Text,
+                                          char Sep = ',') {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == Sep) {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_STRINGS_H

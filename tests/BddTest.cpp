@@ -489,6 +489,48 @@ TEST(BddTest, CacheStressResultsIdenticalAcrossGeometries) {
   }
 }
 
+/// The conflict-heavy hot-set workload of bench_bdd, shrunk to test
+/// scale: a hot set of pairs re-queried every round while a stream of
+/// single-use pairs churns the same 2^10-slot cache. Returns a per-round
+/// fingerprint of the hot results.
+std::vector<double> runConflictHotSetScript(BddManager &Mgr) {
+  Rng R(1311);
+  std::vector<Bdd> Pool;
+  for (unsigned I = 0; I < 72; ++I)
+    Pool.push_back(randomFunction(Mgr, R, 6, 5).first);
+  std::vector<double> Trace;
+  for (unsigned Round = 0; Round < 24; ++Round) {
+    // Hot pairs: the same 12 conjunctions every round.
+    for (unsigned I = 0; I + 1 < 24; I += 2) {
+      Bdd Out = Pool[I] & Pool[I + 1];
+      Trace.push_back(Out.satCount(6) * 1000.0 + double(Out.nodeCount()));
+    }
+    // Streaming pairs: a fresh slice per round.
+    for (unsigned K = 0; K < 16; ++K) {
+      unsigned A = (Round * 16 + K) % 48 + 24;
+      unsigned B = (Round * 7 + K * 3) % 48 + 24;
+      Bdd Out = Pool[A].andExists(Pool[B], Mgr.makeCube({0, 2, 4}));
+      Trace.push_back(Out.satCount(6) * 1000.0 + double(Out.nodeCount()));
+    }
+  }
+  return Trace;
+}
+
+TEST(BddTest, ConflictPressureResultsIdenticalAcrossWays) {
+  // The associativity lever's value regime (ROADMAP: conflict-heavy hot
+  // sets at 2^10 slots) must stay a pure performance property: the
+  // hot/streaming mix produces bit-identical per-round results whether
+  // the cache is direct-mapped or 4-way, with replacement (and promotion)
+  // policies differing underneath.
+  BddManager Reference(6, 18, 4);
+  std::vector<double> Expected = runConflictHotSetScript(Reference);
+  for (unsigned Ways : {1u, 4u}) {
+    BddManager Mgr(6, 10, Ways);
+    EXPECT_EQ(runConflictHotSetScript(Mgr), Expected) << "ways " << Ways;
+    EXPECT_GT(Mgr.stats().CacheLookups, 0u);
+  }
+}
+
 TEST(BddTest, PerOpCacheCountersSplitTheAggregate) {
   BddManager Mgr(6);
   Rng R(17);

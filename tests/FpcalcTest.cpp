@@ -448,10 +448,10 @@ StrategyRun runGraph(GraphFixture &G,
                      unsigned InitNode, EvalStrategy Strategy,
                      unsigned CacheBits, bool WithEarlyStop = false,
                      uint64_t MaxIterations = 0, uint64_t NumNodes = 8,
-                     bool ConstrainFrontier = true) {
+                     CofactorMode Cofactor = CofactorMode::Constrain) {
   BddManager Mgr(0, CacheBits);
   Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr), Strategy,
-               ConstrainFrontier);
+               Cofactor);
   Ev.bindInput(G.Init, Ev.encodeEqConst(G.U, InitNode));
   Bdd TransBdd = Mgr.zero();
   for (auto [From, To] : Edges)
@@ -511,12 +511,12 @@ TEST(StrategyDifferentialTest, RandomGraphsAgreeOnEverything) {
   }
 }
 
-TEST(StrategyDifferentialTest, ConstrainKnobChangesNothingObservable) {
+TEST(StrategyDifferentialTest, CofactorModeChangesNothingObservable) {
   // The Coudert–Madre frontier product rewrites an andExists operand only
   // within its care set, so every observable — ring sizes per round, sat
-  // count, iteration and delta-round counts — must be identical with the
-  // knob on and off, at a cache small enough to force narrow rounds and
-  // at the default size.
+  // count, iteration and delta-round counts — must be identical across
+  // all three cofactor modes (off / constrain / restrict), at a cache
+  // small enough to force narrow rounds and at the default size.
   for (uint64_t Seed : {9u, 23u}) {
     GraphFixture G(64);
     Rng R(Seed);
@@ -524,16 +524,22 @@ TEST(StrategyDifferentialTest, ConstrainKnobChangesNothingObservable) {
     for (unsigned N = 0; N + 1 < 64; N += 1)
       Edges.emplace_back(N, N + 1);
     for (unsigned CacheBits : {6u, 18u}) {
-      StrategyRun On = runGraph(G, Edges, 0, EvalStrategy::SemiNaive,
-                                CacheBits, false, 0, 64, true);
       StrategyRun Off = runGraph(G, Edges, 0, EvalStrategy::SemiNaive,
-                                 CacheBits, false, 0, 64, false);
-      EXPECT_EQ(On.Iterations, Off.Iterations)
-          << "seed " << Seed << " cache " << CacheBits;
-      EXPECT_EQ(On.DeltaRounds, Off.DeltaRounds)
-          << "seed " << Seed << " cache " << CacheBits;
-      EXPECT_EQ(On.RingCounts, Off.RingCounts)
-          << "seed " << Seed << " cache " << CacheBits;
+                                 CacheBits, false, 0, 64, CofactorMode::Off);
+      for (CofactorMode Mode :
+           {CofactorMode::Constrain, CofactorMode::Restrict}) {
+        StrategyRun On = runGraph(G, Edges, 0, EvalStrategy::SemiNaive,
+                                  CacheBits, false, 0, 64, Mode);
+        EXPECT_EQ(On.Iterations, Off.Iterations)
+            << cofactorModeName(Mode) << " seed " << Seed << " cache "
+            << CacheBits;
+        EXPECT_EQ(On.DeltaRounds, Off.DeltaRounds)
+            << cofactorModeName(Mode) << " seed " << Seed << " cache "
+            << CacheBits;
+        EXPECT_EQ(On.RingCounts, Off.RingCounts)
+            << cofactorModeName(Mode) << " seed " << Seed << " cache "
+            << CacheBits;
+      }
     }
   }
 }

@@ -7,26 +7,35 @@
 /// \file
 /// The MUCKE stand-in as a standalone tool: reads a textual fixed-point
 /// system (domains, input relations with `fact` tuples, `mu`/`nu`
-/// equations), solves a requested relation symbolically, and prints its
-/// tuples. This is the right-hand box of Figure 1 taken by itself — the
-/// getafix front-end emits such files (`getafix --print-formula`), and any
-/// analysis expressible in the calculus can be run directly, Datalog-style.
+/// equations), solves the requested relations symbolically, and prints
+/// their tuples. This is the right-hand box of Figure 1 taken by itself —
+/// the getafix front-end emits such files (`getafix --print-formula`), and
+/// any analysis expressible in the calculus can be run directly,
+/// Datalog-style.
 ///
 ///   fpsolve [options] <system.mu>
-///     --eval <R>      relation to solve (default: the last defined one)
-///     --count         print only the tuple count
-///     --stats         print iteration/delta counts per relation
+///     --eval <R[,S,...]>  relations to solve (default: the last defined
+///                     one). Several relations run through ONE evaluator,
+///                     so later queries reuse the summaries (completed
+///                     SCCs) the earlier ones solved — the tool-level
+///                     form of cross-query incrementality
+///     --count         print only the tuple counts
+///     --stats         print per-query and cumulative iteration/delta
+///                     counts per relation
 ///     --strategy <s>  naive or semi-naive (default) fixpoint iteration
 ///     --cache-bits n  BDD computed cache of 2^n entries (default 18)
-///     --no-constrain  disable care-set minimization (ablation)
+///     --frontier-cofactor {constrain,restrict,off}
+///                     generalized cofactor of narrow delta rounds
+///     --no-constrain  alias for --frontier-cofactor off
 ///
-/// Exit code: 0 if the solved relation is non-empty, 1 if empty, 2 on
-/// usage or input errors.
+/// Exit code: 0 if every solved relation is non-empty, 1 if any is empty,
+/// 2 on usage or input errors.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "fpcalc/Evaluator.h"
 #include "fpcalc/Parser.h"
+#include "support/Strings.h"
 
 #include <cstdio>
 #include <cmath>
@@ -41,9 +50,11 @@ using namespace getafix::fpc;
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: fpsolve [--eval R] [--count] [--stats] "
-                       "[--strategy naive|semi-naive] [--cache-bits n] "
-                       "[--no-constrain] <system.mu>\n");
+  std::fprintf(stderr,
+               "usage: fpsolve [--eval R[,S,...]] [--count] [--stats] "
+               "[--strategy naive|semi-naive] [--cache-bits n] "
+               "[--frontier-cofactor constrain|restrict|off] "
+               "[--no-constrain] <system.mu>\n");
   return 2;
 }
 
@@ -98,7 +109,8 @@ uint64_t printTuples(Evaluator &Ev, const System &Sys, RelId Rel,
 
 int main(int Argc, char **Argv) {
   std::string File, EvalRel;
-  bool CountOnly = false, Stats = false, ConstrainFrontier = true;
+  bool CountOnly = false, Stats = false;
+  CofactorMode Cofactor = CofactorMode::Constrain;
   unsigned CacheBits = 18;
   EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
@@ -128,8 +140,11 @@ int main(int Argc, char **Argv) {
       if (Bits < 2 || Bits > 30)
         return usage();
       CacheBits = unsigned(Bits);
+    } else if (Arg == "--frontier-cofactor") {
+      if (I + 1 >= Argc || !parseCofactorMode(Argv[++I], Cofactor))
+        return usage();
     } else if (Arg == "--no-constrain") {
-      ConstrainFrontier = false;
+      Cofactor = CofactorMode::Off;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -155,70 +170,105 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  // Pick the relation to solve: named, or the last defined one.
-  RelId Rel = 0;
+  // Pick the relations to solve: the comma-separated --eval list, or the
+  // last defined one. All of them run through ONE evaluator, so a later
+  // relation's solve reuses every completed SCC (summary) an earlier one
+  // left in the memo — the tool-level form of cross-query incrementality.
+  std::vector<RelId> Rels;
   if (!EvalRel.empty()) {
-    if (!Sys->hasRel(EvalRel)) {
-      std::fprintf(stderr, "error: unknown relation '%s'\n",
-                   EvalRel.c_str());
-      return 2;
-    }
-    Rel = Sys->relId(EvalRel);
-    if (Sys->relation(Rel).isInput()) {
-      std::fprintf(stderr, "error: '%s' is an input relation\n",
-                   EvalRel.c_str());
-      return 2;
+    for (const std::string &Name : splitList(EvalRel)) {
+      if (!Sys->hasRel(Name)) {
+        std::fprintf(stderr, "error: unknown relation '%s'\n", Name.c_str());
+        return 2;
+      }
+      RelId Rel = Sys->relId(Name);
+      if (Sys->relation(Rel).isInput()) {
+        std::fprintf(stderr, "error: '%s' is an input relation\n",
+                     Name.c_str());
+        return 2;
+      }
+      Rels.push_back(Rel);
     }
   } else {
     bool Found = false;
+    RelId Last = 0;
     for (RelId R = 0; R < Sys->numRels(); ++R)
       if (!Sys->relation(R).isInput()) {
-        Rel = R;
+        Last = R;
         Found = true;
       }
     if (!Found) {
       std::fprintf(stderr, "error: no defined relation to solve\n");
       return 2;
     }
+    Rels.push_back(Last);
   }
 
   BddManager Mgr(0, CacheBits);
   Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy,
-               ConstrainFrontier);
+               Cofactor);
   bindFacts(Ev, *Sys, Facts);
 
-  EvalResult Result = Ev.evaluate(Rel);
+  bool AnyEmpty = false;
+  std::map<std::string, RelStats> PrevStats;
+  for (size_t QueryIdx = 0; QueryIdx < Rels.size(); ++QueryIdx) {
+    RelId Rel = Rels[QueryIdx];
+    const std::string &RelName = Sys->relation(Rel).Name;
+    if (Rels.size() > 1)
+      std::printf("== %s ==\n", RelName.c_str());
 
-  // Constrain each formal to its domain, and count over the formals' bits
-  // only (all other manager variables are don't-care).
-  Bdd Constrained = Result.Value;
-  unsigned TupleBits = 0;
-  for (VarId V : Sys->relation(Rel).Formals) {
-    Constrained &= Ev.domainConstraint(V);
-    TupleBits += unsigned(Ev.layout().bits(V).size());
+    EvalResult Result = Ev.evaluate(Rel);
+
+    // Constrain each formal to its domain, and count over the formals'
+    // bits only (all other manager variables are don't-care).
+    Bdd Constrained = Result.Value;
+    unsigned TupleBits = 0;
+    for (VarId V : Sys->relation(Rel).Formals) {
+      Constrained &= Ev.domainConstraint(V);
+      TupleBits += unsigned(Ev.layout().bits(V).size());
+    }
+    double Exact = Constrained.satCount(Mgr.numVars()) /
+                   std::pow(2.0, double(Mgr.numVars() - TupleBits));
+    uint64_t Count = uint64_t(Exact + 0.5);
+    AnyEmpty |= Count == 0;
+
+    // Enumerating the domain product is only sensible for narrow tuples;
+    // wide bit-vector relations report their count instead.
+    const uint64_t PrintLimit = 10000;
+    if (CountOnly || TupleBits > 24) {
+      std::printf("%llu tuples\n", (unsigned long long)Count);
+    } else {
+      uint64_t Printed = printTuples(Ev, *Sys, Rel, Constrained, PrintLimit);
+      if (Printed > PrintLimit)
+        std::printf("... (%llu tuples total)\n", (unsigned long long)Count);
+    }
+
+    if (Stats) {
+      // Per-query deltas against the last query's snapshot: relations a
+      // query served purely from memo show up with zero new iterations.
+      for (const auto &[Name, RS] : Ev.stats()) {
+        RelStats Prev = PrevStats.count(Name) ? PrevStats[Name] : RelStats();
+        std::printf("# %s: %llu iterations (%llu delta rounds), "
+                    "%llu solves, %zu nodes\n",
+                    Name.c_str(),
+                    (unsigned long long)(RS.Iterations - Prev.Iterations),
+                    (unsigned long long)(RS.DeltaRounds - Prev.DeltaRounds),
+                    (unsigned long long)(RS.Evaluations - Prev.Evaluations),
+                    RS.FinalNodes);
+      }
+      PrevStats = Ev.stats();
+    }
   }
-  double Exact = Constrained.satCount(Mgr.numVars()) /
-                 std::pow(2.0, double(Mgr.numVars() - TupleBits));
-  uint64_t Count = uint64_t(Exact + 0.5);
 
-  // Enumerating the domain product is only sensible for narrow tuples;
-  // wide bit-vector relations report their count instead.
-  const uint64_t PrintLimit = 10000;
-  if (CountOnly || TupleBits > 24) {
-    std::printf("%llu tuples\n", (unsigned long long)Count);
-  } else {
-    uint64_t Printed = printTuples(Ev, *Sys, Rel, Constrained, PrintLimit);
-    if (Printed > PrintLimit)
-      std::printf("... (%llu tuples total)\n", (unsigned long long)Count);
-  }
-
-  if (Stats)
+  if (Stats && Rels.size() > 1) {
+    std::printf("== cumulative ==\n");
     for (const auto &[Name, RS] : Ev.stats())
       std::printf("# %s: %llu iterations (%llu delta rounds), %llu solves, "
                   "%zu nodes\n",
                   Name.c_str(), (unsigned long long)RS.Iterations,
                   (unsigned long long)RS.DeltaRounds,
                   (unsigned long long)RS.Evaluations, RS.FinalNodes);
+  }
 
-  return Count > 0 ? 0 : 1;
+  return AnyEmpty ? 1 : 0;
 }

@@ -12,6 +12,13 @@
 ///
 ///   getafix [options] <program.bp>
 ///     --label <L>        target label (default ERR)
+///     --targets a,b,c    answer several labels through one SolverSession
+///                        (cross-query incremental mode: the compiled
+///                        calculus and solved summary rounds are reused
+///                        across the queries; one "LABEL: VERDICT" line
+///                        per target)
+///     --no-reuse         session mode: solve every target from scratch
+///                        (ablation baseline for --targets)
 ///     --algo <name>      engine to run (see --list-algos; default: ef-opt
 ///                        for sequential programs, conc for concurrent)
 ///     --list-algos       print the registered engines and exit
@@ -25,24 +32,30 @@
 ///     --max-iterations n cap fixpoint rounds; a hit limit prints UNKNOWN
 ///                        (exit 3) unless the target was already found
 ///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
-///     --no-constrain     disable the Coudert–Madre frontier-aware
-///                        relational product (ablation; results identical)
+///     --frontier-cofactor {constrain,restrict,off}
+///                        generalized cofactor applied in narrow delta
+///                        rounds (ablation; results identical)
+///     --no-constrain     alias for --frontier-cofactor off
 ///     --witness          print a counterexample trace when the target is
 ///                        reachable (engines that support extraction)
 ///     --print-formula    dump the fixed-point equation system and exit
 ///     --stats            print solver statistics as a JSON object (cache
 ///                        hit-rate split per BDD operation, GC/peak-node
-///                        counters, per-relation iteration/delta counts)
+///                        counters, per-relation iteration/delta counts);
+///                        with --targets, one object per query plus the
+///                        session's cumulative reuse counters
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/Solver.h"
+#include "support/Strings.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace getafix;
 
@@ -51,12 +64,14 @@ namespace {
 struct CliOptions {
   std::string File;
   std::string Label = "ERR";
+  std::vector<std::string> Targets; ///< Non-empty: session (multi) mode.
   std::string Algo; ///< Empty: the facade picks the query-kind default.
   unsigned ContextBound = 2;
   unsigned Rounds = 0; ///< 0 means "not given".
   uint64_t MaxIterations = 0;
   unsigned CacheBits = 18;
-  bool ConstrainFrontier = true;
+  fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
+  bool SessionReuse = true;
   fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   bool RoundRobin = false;
   bool Witness = false;
@@ -66,12 +81,14 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: getafix [--label L] [--algo %s]\n"
+               "usage: getafix [--label L | --targets a,b,c] [--algo %s]\n"
                "               [--list-algos] [--context-bound k] "
                "[--rounds r] [--round-robin]\n"
                "               [--strategy naive|semi-naive] "
                "[--max-iterations n]\n"
-               "               [--cache-bits n] [--no-constrain]\n"
+               "               [--cache-bits n] "
+               "[--frontier-cofactor constrain|restrict|off]\n"
+               "               [--no-constrain] [--no-reuse]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
                Solver::engineList("|").c_str());
@@ -102,67 +119,159 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-void printStatsJson(const CliOptions &Opts, const std::string &Engine,
-                    const SolveResult &R) {
-  std::printf("{\n");
-  std::printf("  \"engine\": \"%s\",\n", jsonEscape(Engine).c_str());
-  std::printf("  \"strategy\": \"%s\",\n", fpc::strategyName(Opts.Strategy));
-  std::printf("  \"reachable\": %s,\n", R.Reachable ? "true" : "false");
-  std::printf("  \"hit_iteration_limit\": %s,\n",
+/// The body of one result's stats object, without the enclosing braces.
+/// \p Pad is the indentation of each field (session mode nests the
+/// per-query objects one level deeper).
+void printStatsBody(const CliOptions &Opts, const std::string &Engine,
+                    const SolveResult &R, const char *Pad) {
+  std::printf("%s\"engine\": \"%s\",\n", Pad, jsonEscape(Engine).c_str());
+  std::printf("%s\"strategy\": \"%s\",\n", Pad,
+              fpc::strategyName(Opts.Strategy));
+  std::printf("%s\"reachable\": %s,\n", Pad, R.Reachable ? "true" : "false");
+  std::printf("%s\"hit_iteration_limit\": %s,\n", Pad,
               R.HitIterationLimit ? "true" : "false");
-  std::printf("  \"iterations\": %llu,\n",
+  std::printf("%s\"iterations\": %llu,\n", Pad,
               (unsigned long long)R.Iterations);
-  std::printf("  \"delta_rounds\": %llu,\n",
+  std::printf("%s\"delta_rounds\": %llu,\n", Pad,
               (unsigned long long)R.DeltaRounds);
-  std::printf("  \"summary_nodes\": %zu,\n", R.SummaryNodes);
-  std::printf("  \"peak_live_nodes\": %zu,\n", R.PeakLiveNodes);
-  std::printf("  \"bdd_nodes_created\": %llu,\n",
+  std::printf("%s\"summaries_reused\": %llu,\n", Pad,
+              (unsigned long long)R.SummariesReused);
+  std::printf("%s\"summaries_recomputed\": %llu,\n", Pad,
+              (unsigned long long)R.SummariesRecomputed);
+  std::printf("%s\"summary_nodes\": %zu,\n", Pad, R.SummaryNodes);
+  std::printf("%s\"peak_live_nodes\": %zu,\n", Pad, R.PeakLiveNodes);
+  std::printf("%s\"bdd_nodes_created\": %llu,\n", Pad,
               (unsigned long long)R.BddNodesCreated);
-  std::printf("  \"bdd_cache_lookups\": %llu,\n",
+  std::printf("%s\"bdd_cache_lookups\": %llu,\n", Pad,
               (unsigned long long)R.BddCacheLookups);
-  std::printf("  \"bdd_cache_hits\": %llu,\n",
+  std::printf("%s\"bdd_cache_hits\": %llu,\n", Pad,
               (unsigned long long)R.BddCacheHits);
-  std::printf("  \"bdd_cache_hit_rate\": %.4f,\n", R.bddCacheHitRate());
+  std::printf("%s\"bdd_cache_hit_rate\": %.4f,\n", Pad, R.bddCacheHitRate());
   // Per-operation split of the aggregate probe/hit counters, so ablation
   // drivers no longer re-derive them from deltas between runs. Ops the
   // solve never issued are omitted.
-  std::printf("  \"bdd_cache_ops\": {");
+  std::printf("%s\"bdd_cache_ops\": {", Pad);
   bool FirstOp = true;
   for (unsigned OpIdx = 0; OpIdx < NumBddOps; ++OpIdx) {
     if (R.Bdd.OpLookups[OpIdx] == 0)
       continue;
-    std::printf("%s\n    \"%s\": {\"lookups\": %llu, \"hits\": %llu}",
-                FirstOp ? "" : ",", bddOpName(BddOp(OpIdx)),
+    std::printf("%s\n%s  \"%s\": {\"lookups\": %llu, \"hits\": %llu}",
+                FirstOp ? "" : ",", Pad, bddOpName(BddOp(OpIdx)),
                 (unsigned long long)R.Bdd.OpLookups[OpIdx],
                 (unsigned long long)R.Bdd.OpHits[OpIdx]);
     FirstOp = false;
   }
-  std::printf("%s},\n", FirstOp ? "" : "\n  ");
-  std::printf("  \"gc_runs\": %llu,\n", (unsigned long long)R.Bdd.GcRuns);
-  std::printf("  \"gc_reclaimed\": %llu,\n",
+  std::printf("%s%s},\n", FirstOp ? "" : "\n", FirstOp ? "" : Pad);
+  std::printf("%s\"gc_runs\": %llu,\n", Pad,
+              (unsigned long long)R.Bdd.GcRuns);
+  std::printf("%s\"gc_reclaimed\": %llu,\n", Pad,
               (unsigned long long)R.Bdd.GcReclaimed);
-  std::printf("  \"peak_nodes\": %zu,\n", R.Bdd.PeakNodes);
+  std::printf("%s\"peak_nodes\": %zu,\n", Pad, R.Bdd.PeakNodes);
+  if (R.Cofactor.Applications) {
+    std::printf("%s\"cofactor\": {\"mode\": \"%s\", \"applications\": %llu, "
+                "\"support_before\": %llu, \"support_after\": %llu},\n",
+                Pad, fpc::cofactorModeName(Opts.FrontierCofactor),
+                (unsigned long long)R.Cofactor.Applications,
+                (unsigned long long)R.Cofactor.SupportBefore,
+                (unsigned long long)R.Cofactor.SupportAfter);
+  }
   if (R.ReachStates != 0.0)
-    std::printf("  \"reach_states\": %.0f,\n", R.ReachStates);
+    std::printf("%s\"reach_states\": %.0f,\n", Pad, R.ReachStates);
   if (R.TransformedGlobals)
-    std::printf("  \"transformed_globals\": %zu,\n", R.TransformedGlobals);
+    std::printf("%s\"transformed_globals\": %zu,\n", Pad,
+                R.TransformedGlobals);
   if (R.HasWitness)
-    std::printf("  \"witness_steps\": %zu,\n", R.Witness.size());
-  std::printf("  \"seconds\": %.6f,\n", R.Seconds);
-  std::printf("  \"relations\": {");
+    std::printf("%s\"witness_steps\": %zu,\n", Pad, R.Witness.size());
+  std::printf("%s\"seconds\": %.6f,\n", Pad, R.Seconds);
+  std::printf("%s\"relations\": {", Pad);
   bool First = true;
   for (const auto &[Name, RS] : R.Relations) {
-    std::printf("%s\n    \"%s\": {\"iterations\": %llu, "
+    std::printf("%s\n%s  \"%s\": {\"iterations\": %llu, "
                 "\"delta_rounds\": %llu, \"evaluations\": %llu, "
                 "\"final_nodes\": %zu}",
-                First ? "" : ",", jsonEscape(Name).c_str(),
+                First ? "" : ",", Pad, jsonEscape(Name).c_str(),
                 (unsigned long long)RS.Iterations,
                 (unsigned long long)RS.DeltaRounds,
                 (unsigned long long)RS.Evaluations, RS.FinalNodes);
     First = false;
   }
-  std::printf("%s}\n", First ? "" : "\n  ");
+  std::printf("%s%s}\n", First ? "" : "\n", First ? "" : Pad);
+}
+
+void printStatsJson(const CliOptions &Opts, const std::string &Engine,
+                    const SolveResult &R) {
+  std::printf("{\n");
+  printStatsBody(Opts, Engine, R, "  ");
   std::printf("}\n");
+}
+
+/// One "LABEL: VERDICT" line for multi-target mode. Returns true when the
+/// verdict is inconclusive (iteration limit hit short of the target).
+bool printVerdictLine(const std::string &Label, const SolveResult &R) {
+  bool Unknown = R.HitIterationLimit && !R.Reachable;
+  std::printf("%s: %s\n", Label.c_str(),
+              Unknown       ? "UNKNOWN (iteration limit)"
+              : R.Reachable ? "YES"
+                            : "NO");
+  if (R.HasWitness)
+    std::printf("%s", R.WitnessText.c_str());
+  return Unknown;
+}
+
+/// Multi-target mode: one SolverSession over the program, solveAll over
+/// the labels, per-target verdict lines, optional per-query + cumulative
+/// stats JSON. Exit: 2 on errors, 3 when any verdict is UNKNOWN, else 0.
+int runSession(const CliOptions &Opts, const std::string &Source,
+               const SolverOptions &SO) {
+  Query Program = Query::fromSource(Source);
+  std::unique_ptr<SolverSession> Session = Solver::open(Program, SO);
+  if (!Session->ok()) {
+    std::fprintf(stderr, "error: %s\n", Session->error().c_str());
+    return 2;
+  }
+
+  std::vector<Query> Queries;
+  Queries.reserve(Opts.Targets.size());
+  for (const std::string &Label : Opts.Targets)
+    Queries.push_back(
+        Query::fromSource("").target(Label).witness(Opts.Witness));
+
+  std::vector<SolveResult> Results = Session->solveAll(Queries);
+  bool AnyUnknown = false;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (!Results[I].ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", Opts.Targets[I].c_str(),
+                   Results[I].Error.c_str());
+      return 2;
+    }
+    AnyUnknown |= printVerdictLine(Opts.Targets[I], Results[I]);
+  }
+
+  if (Opts.Stats) {
+    const SolverSession::SessionStats &SS = Session->stats();
+    std::string Engine =
+        Opts.Algo.empty() ? std::string("(default)") : Opts.Algo;
+    std::printf("{\n  \"targets\": %zu,\n", Opts.Targets.size());
+    std::printf("  \"session\": {\"queries\": %llu, "
+                "\"session_solves\": %llu, \"fresh_solves\": %llu, "
+                "\"dedup_hits\": %llu, \"summaries_reused\": %llu, "
+                "\"summaries_recomputed\": %llu},\n",
+                (unsigned long long)SS.Queries,
+                (unsigned long long)SS.SessionSolves,
+                (unsigned long long)SS.FreshSolves,
+                (unsigned long long)SS.DedupHits,
+                (unsigned long long)SS.SummariesReused,
+                (unsigned long long)SS.SummariesRecomputed);
+    std::printf("  \"queries\": [\n");
+    for (size_t I = 0; I < Results.size(); ++I) {
+      std::printf("    {\n      \"label\": \"%s\",\n",
+                  jsonEscape(Opts.Targets[I]).c_str());
+      printStatsBody(Opts, Engine, Results[I], "      ");
+      std::printf("    }%s\n", I + 1 < Results.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
+  return AnyUnknown ? 3 : 0;
 }
 
 } // namespace
@@ -179,6 +288,13 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage();
       Opts.Label = V;
+    } else if (Arg == "--targets") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.Targets = splitList(V);
+      if (Opts.Targets.empty())
+        return usage();
     } else if (Arg == "--algo") {
       const char *V = Next();
       if (!V)
@@ -222,8 +338,14 @@ int main(int Argc, char **Argv) {
       if (Bits < 2 || Bits > 30)
         return usage();
       Opts.CacheBits = unsigned(Bits);
+    } else if (Arg == "--frontier-cofactor") {
+      const char *V = Next();
+      if (!V || !fpc::parseCofactorMode(V, Opts.FrontierCofactor))
+        return usage();
     } else if (Arg == "--no-constrain") {
-      Opts.ConstrainFrontier = false;
+      Opts.FrontierCofactor = fpc::CofactorMode::Off;
+    } else if (Arg == "--no-reuse") {
+      Opts.SessionReuse = false;
     } else if (Arg == "--witness") {
       Opts.Witness = true;
     } else if (Arg == "--print-formula") {
@@ -247,9 +369,6 @@ int main(int Argc, char **Argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  Query Q = Query::fromSource(Buffer.str())
-                .target(Opts.Label)
-                .witness(Opts.Witness);
   SolverOptions SO;
   SO.Engine = Opts.Algo;
   SO.ContextBound = Opts.ContextBound;
@@ -258,7 +377,15 @@ int main(int Argc, char **Argv) {
   SO.Strategy = Opts.Strategy;
   SO.MaxIterations = Opts.MaxIterations;
   SO.CacheBits = Opts.CacheBits;
-  SO.ConstrainFrontier = Opts.ConstrainFrontier;
+  SO.FrontierCofactor = Opts.FrontierCofactor;
+  SO.SessionReuse = Opts.SessionReuse;
+
+  if (!Opts.Targets.empty() && !Opts.PrintFormula)
+    return runSession(Opts, Buffer.str(), SO);
+
+  Query Q = Query::fromSource(Buffer.str())
+                .target(Opts.Label)
+                .witness(Opts.Witness);
 
   if (Opts.PrintFormula) {
     std::string Error;
