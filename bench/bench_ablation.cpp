@@ -11,7 +11,9 @@
 //   - the evaluator's semi-naive (delta) core versus the paper's literal
 //     naive semantics, on the terminator and bluetooth suites,
 //   - the Coudert–Madre constrain-based frontier product versus the plain
-//     relational product (same semi-naive core, knob off).
+//     relational product (same semi-naive core, knob off),
+//   - parallel SCC scheduling (--threads) on multi-SCC calculus systems
+//     at 1/2/4/8 workers, gated on bit-identical counts/rounds/BDD sizes.
 //
 // Pass --smoke to shrink every workload for a seconds-long CI run,
 // --cache-bits n to size the BDD computed cache for every solve, and
@@ -21,8 +23,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "fpcalc/Evaluator.h"
+#include "fpcalc/Parser.h"
 #include "gen/Workloads.h"
+#include "support/Timer.h"
 
+#include <cmath>
 #include <cstring>
 
 using namespace getafix;
@@ -32,6 +38,11 @@ namespace {
 
 /// Knobs shared by every solve in this driver.
 unsigned CacheBits = 18;
+/// --threads: applied to every facade solve in the driver (the dedicated
+/// parallel-scaling section keeps its own explicit thread counts). CI
+/// runs the smoke at 1 and 4 and diffs verdicts/rounds, exactly like the
+/// cache-size drift check.
+unsigned GlobalThreads = 1;
 JsonReport Report;
 bool WantJson = false;
 
@@ -96,13 +107,20 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       CacheBits = unsigned(Bits);
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      int N = std::atoi(Argv[++I]);
+      if (N < 1 || N > 256) {
+        std::fprintf(stderr, "--threads must be in [1, 256]\n");
+        return 2;
+      }
+      GlobalThreads = unsigned(N);
     } else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
       JsonPath = Argv[++I];
       WantJson = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_ablation [--smoke] [--cache-bits n] "
-                   "[--json FILE]\n");
+                   "[--threads n] [--json FILE]\n");
       return 2;
     }
   }
@@ -122,6 +140,7 @@ int main(int Argc, char **Argv) {
 
     SolverOptions Opts;
     Opts.CacheBits = CacheBits;
+    Opts.Threads = GlobalThreads;
     EngineRow Unsplit = runEngine(Parsed.Cfg, W.TargetLabel, "ef", Opts);
     EngineRow Split = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
     EngineRow Opt = runEngine(Parsed.Cfg, W.TargetLabel, "ef-opt", Opts);
@@ -148,6 +167,7 @@ int main(int Argc, char **Argv) {
     ParsedProgram Parsed = parseOrDie(W.Source);
     SolverOptions Opts;
     Opts.CacheBits = CacheBits;
+    Opts.Threads = GlobalThreads;
     EngineRow Fast = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
     Opts.EarlyStop = false;
     EngineRow Full = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
@@ -177,6 +197,7 @@ int main(int Argc, char **Argv) {
     ParsedProgram Parsed = parseOrDie(W.Source);
     SolverOptions Opts;
     Opts.CacheBits = CacheBits;
+    Opts.Threads = GlobalThreads;
     Opts.Strategy = fpc::EvalStrategy::Naive;
     EngineRow Naive = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
     Opts.Strategy = fpc::EvalStrategy::SemiNaive;
@@ -199,6 +220,7 @@ int main(int Argc, char **Argv) {
           parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
       SolverOptions Opts;
       Opts.CacheBits = CacheBits;
+      Opts.Threads = GlobalThreads;
       Opts.ContextBound = C.Switches;
       Opts.EarlyStop = false; // Figure 3 reports the full reachable set.
       Opts.Strategy = fpc::EvalStrategy::Naive;
@@ -259,6 +281,7 @@ int main(int Argc, char **Argv) {
           parseConcOrDie(gen::bluetoothModel(C.Adders, C.Stoppers));
       SolverOptions Opts;
       Opts.CacheBits = CacheBits;
+      Opts.Threads = GlobalThreads;
       Opts.ContextBound = C.Switches;
       Opts.EarlyStop = false;
       Opts.FrontierCofactor = fpc::CofactorMode::Off;
@@ -283,6 +306,7 @@ int main(int Argc, char **Argv) {
       ParsedProgram Parsed = parseOrDie(W.Source);
       SolverOptions Opts;
       Opts.CacheBits = CacheBits;
+      Opts.Threads = GlobalThreads;
       Opts.FrontierCofactor = fpc::CofactorMode::Off;
       EngineRow Off = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
       Opts.FrontierCofactor = fpc::CofactorMode::Constrain;
@@ -325,6 +349,7 @@ int main(int Argc, char **Argv) {
       C.Name = W.Name + "-multi";
       C.Source = W.Source;
       C.Opts.CacheBits = CacheBits;
+      C.Opts.Threads = GlobalThreads;
       C.Queries.push_back(Query::fromSource("").target(W.TargetLabel));
       unsigned NumPcs = Parsed.Cfg.Procs[0].NumPcs;
       for (unsigned I = 1; I <= 5; ++I)
@@ -342,6 +367,7 @@ int main(int Argc, char **Argv) {
       C.Name = Smoke ? "bluetooth-1a1s-k3-multi" : "bluetooth-1a1s-k4-multi";
       C.Source = gen::bluetoothModel(1, 1);
       C.Opts.CacheBits = CacheBits;
+      C.Opts.Threads = GlobalThreads;
       C.Opts.EarlyStop = false;
       C.Opts.ContextBound = Smoke ? 3 : 4;
       C.Queries.push_back(Query::fromSource("").target("ERR"));
@@ -419,6 +445,189 @@ int main(int Argc, char **Argv) {
             .field("summaries_recomputed", Recomputed);
         Report.add(Row);
       }
+    }
+  }
+
+  // Parallel SCC scheduling: multi-SCC calculus systems (K independent
+  // recursive relations under a Root union) solved at 1/2/4/8 worker
+  // threads. Every thread count must report the identical root tuple
+  // count, root BDD size, and per-relation iteration totals — parallel
+  // scheduling is a pure wall-clock lever (per-worker managers, canonical
+  // import-back), so any disagreement is a correctness bug and exits 1.
+  // The engine-level rows exercise the same knob through the Solver
+  // facade (the engines' systems have few independent SCCs, so no speedup
+  // is claimed there — the gate is bit-identical verdicts/rounds).
+  std::printf("\n--- parallel SCC scheduling (--threads) ---\n");
+  std::printf("%-26s %8s %10s %10s %8s %6s\n", "case", "threads", "seconds",
+              "vs-t1", "sccs-par", "root");
+  {
+    std::vector<unsigned> ThreadCounts =
+        Smoke ? std::vector<unsigned>{1u, 4u}
+              : std::vector<unsigned>{1u, 2u, 4u, 8u};
+
+    struct FpCase {
+      std::string Name;
+      gen::MultiSccParams Params;
+    };
+    std::vector<FpCase> FpCases;
+    {
+      FpCase T;
+      T.Name = "multi-scc-terminator";
+      T.Params.Style = gen::MultiSccStyle::Lockstep;
+      T.Params.Relations = 8;
+      T.Params.Bits = Smoke ? 6 : 8;
+      FpCases.push_back(T);
+      FpCase G;
+      G.Name = "multi-scc-gen";
+      G.Params.Style = gen::MultiSccStyle::Graph;
+      G.Params.Relations = 8;
+      G.Params.Bits = Smoke ? 6 : 8;
+      G.Params.ExtraEdges = 32;
+      FpCases.push_back(G);
+    }
+
+    for (const FpCase &C : FpCases) {
+      std::string Src = gen::multiSccFixpointSystem(C.Params);
+      DiagnosticEngine Diags;
+      std::vector<fpc::Fact> Facts;
+      auto Sys = fpc::parseSystem(Src, Diags, &Facts);
+      if (!Sys) {
+        std::fprintf(stderr, "%s failed to parse:\n%s", C.Name.c_str(),
+                     Diags.str().c_str());
+        return 1;
+      }
+      fpc::RelId Root = Sys->relId("Root");
+
+      struct ThreadRow {
+        unsigned Threads = 0;
+        double Seconds = 0;
+        uint64_t RootCount = 0;
+        size_t RootNodes = 0;
+        uint64_t Iterations = 0; ///< Summed over all relations.
+        uint64_t SccsParallel = 0;
+        EngineRow Row;
+      };
+      std::vector<ThreadRow> Rows;
+      for (unsigned T : ThreadCounts) {
+        BddManager Mgr(0, CacheBits);
+        fpc::Evaluator Ev(*Sys, Mgr, fpc::Layout::sequential(*Sys, Mgr));
+        Ev.setThreads(T);
+        fpc::bindFacts(Ev, *Sys, Facts);
+        Timer Tm;
+        fpc::EvalResult R = Ev.evaluate(Root);
+        ThreadRow TR;
+        TR.Threads = T;
+        TR.Seconds = Tm.seconds();
+        TR.RootNodes = R.Value.nodeCount();
+        // Count over the formals' bits only (other variables don't-care).
+        Bdd Constrained = R.Value;
+        unsigned TupleBits = 0;
+        for (fpc::VarId V : Sys->relation(Root).Formals) {
+          Constrained &= Ev.domainConstraint(V);
+          TupleBits += unsigned(Ev.layout().bits(V).size());
+        }
+        double Exact =
+            Constrained.satCount(Mgr.numVars()) /
+            std::pow(2.0, double(Mgr.numVars() - TupleBits));
+        TR.RootCount = uint64_t(Exact + 0.5);
+        uint64_t DeltaRounds = 0;
+        for (const auto &[Name, RS] : Ev.stats()) {
+          TR.Iterations += RS.Iterations;
+          DeltaRounds += RS.DeltaRounds;
+        }
+        TR.Row.DeltaRounds = DeltaRounds;
+        TR.SccsParallel = Ev.parallelStats().SccsSolvedParallel;
+        BddStats BS = Mgr.stats();
+        BS.merge(Ev.workerBddStats());
+        TR.Row.Reachable = TR.RootCount != 0;
+        TR.Row.Seconds = TR.Seconds;
+        TR.Row.Nodes = TR.RootNodes;
+        TR.Row.Iterations = TR.Iterations;
+        TR.Row.NodesCreated = BS.NodesCreated;
+        TR.Row.PeakLiveNodes = BS.PeakNodes;
+        TR.Row.CacheHitRate = BS.CacheLookups
+                                  ? double(BS.CacheHits) /
+                                        double(BS.CacheLookups)
+                                  : 0.0;
+        Rows.push_back(TR);
+      }
+      const ThreadRow &Base = Rows.front();
+      for (const ThreadRow &TR : Rows) {
+        if (TR.RootCount != Base.RootCount ||
+            TR.RootNodes != Base.RootNodes ||
+            TR.Iterations != Base.Iterations) {
+          std::fprintf(stderr,
+                       "%s: threads=%u DISAGREES with threads=1 "
+                       "(count %llu/%llu, nodes %zu/%zu, rounds "
+                       "%llu/%llu)\n",
+                       C.Name.c_str(), TR.Threads,
+                       (unsigned long long)TR.RootCount,
+                       (unsigned long long)Base.RootCount, TR.RootNodes,
+                       Base.RootNodes, (unsigned long long)TR.Iterations,
+                       (unsigned long long)Base.Iterations);
+          std::exit(1);
+        }
+        double Speedup = TR.Seconds > 0 ? Base.Seconds / TR.Seconds : 0.0;
+        std::printf("%-26s %8u %9.3fs %9.2fx %8llu %6llu\n", C.Name.c_str(),
+                    TR.Threads, TR.Seconds, Speedup,
+                    (unsigned long long)TR.SccsParallel,
+                    (unsigned long long)TR.RootCount);
+        // One row per measurement: the recordRow fields (the drift
+        // extract and trajectory gate read those) plus the scaling
+        // extras on the same row.
+        if (WantJson) {
+          char Variant[32];
+          std::snprintf(Variant, sizeof(Variant), "threads-%u",
+                        TR.Threads);
+          JsonReport::Row Row;
+          Row.field("section", "threads")
+              .field("case", C.Name)
+              .field("variant", Variant)
+              .field("reachable", TR.Row.Reachable)
+              .field("iterations", TR.Row.Iterations)
+              .field("delta_rounds", TR.Row.DeltaRounds)
+              .field("nodes_created", TR.Row.NodesCreated)
+              .field("peak_live_nodes", TR.Row.PeakLiveNodes)
+              .field("cache_hit_rate", TR.Row.CacheHitRate)
+              .field("seconds", TR.Row.Seconds)
+              .field("threads", TR.Threads)
+              .field("speedup_vs_t1", Speedup)
+              .field("sccs_parallel", TR.SccsParallel);
+          Report.add(Row);
+        }
+      }
+    }
+
+    // Engine-level plumbing rows: identical verdicts/rounds through the
+    // facade at threads 1 vs 4 (terminator ef-split + bluetooth conc).
+    {
+      gen::TerminatorParams P;
+      P.CounterBits = Smoke ? 4 : 5;
+      P.NumDeadVars = 4;
+      P.Style = gen::DeadVarStyle::Iterative;
+      P.Reachable = false;
+      gen::Workload W = gen::terminatorProgram(P);
+      ParsedProgram Parsed = parseOrDie(W.Source);
+      SolverOptions Opts;
+      Opts.CacheBits = CacheBits;
+      EngineRow T1 = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      Opts.Threads = 4;
+      EngineRow T4 = runEngine(Parsed.Cfg, W.TargetLabel, "ef-split", Opts);
+      if (T1.Reachable != T4.Reachable || T1.Iterations != T4.Iterations ||
+          T1.Nodes != T4.Nodes) {
+        std::fprintf(stderr,
+                     "%s: engine threads ablation DISAGREES (verdict "
+                     "%d/%d, rounds %llu/%llu)\n",
+                     W.Name.c_str(), T1.Reachable, T4.Reachable,
+                     (unsigned long long)T1.Iterations,
+                     (unsigned long long)T4.Iterations);
+        std::exit(1);
+      }
+      std::printf("%-26s %8s %9.3fs %9.3fs (verdict/rounds identical)\n",
+                  (W.Name + "-engine").c_str(), "1-vs-4", T1.Seconds,
+                  T4.Seconds);
+      recordRow("threads", (W.Name + "-engine").c_str(), "threads-1", T1);
+      recordRow("threads", (W.Name + "-engine").c_str(), "threads-4", T4);
     }
   }
 

@@ -16,7 +16,10 @@
 #include "bdd/Bdd.h"
 #include "support/Rng.h"
 
+#include <array>
 #include <benchmark/benchmark.h>
+#include <mutex>
+#include <vector>
 
 using namespace getafix;
 
@@ -332,6 +335,112 @@ void BM_BddGc(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_BddGc);
+
+//===----------------------------------------------------------------------===//
+// Parallel-BDD spike: per-worker managers vs lock-striped shared table
+//===----------------------------------------------------------------------===//
+//
+// The parallel SCC scheduler had two candidate substrates: (a) per-worker
+// managers with a cached cross-manager import, (b) one shared manager with
+// a lock-striped unique table and per-thread computed caches. These
+// benchmarks put numbers on the decision:
+//
+//   - BM_BddImportThroughput prices option (a)'s only extra cost — the
+//     structural copy of solved SCC values between managers (paid once per
+//     SCC, off the solve's hot path).
+//   - BM_SpikeUniqueTable{Private,Striped} price option (b)'s *best case*:
+//     the same open-chaining insert/lookup loop `makeNode` runs, with and
+//     without an uncontended striped mutex per operation. The striped
+//     variant's overhead is paid on EVERY node created or found by EVERY
+//     operation of the solve — millions of times per round — before any
+//     actual contention, cache-line ping-pong, or the (stop-the-world)
+//     GC/resize coordination a shared table would also need.
+
+/// Structural copy throughput between managers (option (a)'s toll). The
+/// destination lives across iterations (manager construction is not the
+/// import), the importer does not: every iteration re-walks the source
+/// structure cold, the way each export of a freshly solved SCC does.
+void BM_BddImportThroughput(benchmark::State &State) {
+  BddManager Src(64);
+  BddManager Dst(64);
+  Rng R(7);
+  Bdd F = randomFunction(Src, R, 0, 64, 200);
+  size_t Nodes = F.nodeCount();
+  for (auto _ : State) {
+    BddImporter Imp(Src, Dst);
+    benchmark::DoNotOptimize(Imp.import(F));
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Nodes));
+}
+BENCHMARK(BM_BddImportThroughput);
+
+/// A stand-alone replica of the unique-table hot loop (hash, chain walk,
+/// append), so the spike measures the table discipline rather than the
+/// whole operation stack.
+struct SpikeTable {
+  struct Node {
+    uint32_t Var, Low, High, Next;
+  };
+  std::vector<Node> Nodes;
+  std::vector<uint32_t> Buckets;
+  explicit SpikeTable(size_t BucketCount)
+      : Buckets(BucketCount, UINT32_MAX) {
+    Nodes.reserve(1u << 20);
+  }
+  uint32_t makeNode(uint32_t Var, uint32_t Low, uint32_t High) {
+    uint64_t H = (uint64_t(Var) * 0x9e3779b97f4a7c15ull) ^
+                 (uint64_t(Low) << 32 | High);
+    H ^= H >> 29;
+    size_t B = H & (Buckets.size() - 1);
+    for (uint32_t N = Buckets[B]; N != UINT32_MAX; N = Nodes[N].Next)
+      if (Nodes[N].Var == Var && Nodes[N].Low == Low &&
+          Nodes[N].High == High)
+        return N;
+    uint32_t N = uint32_t(Nodes.size());
+    Nodes.push_back({Var, Low, High, Buckets[B]});
+    Buckets[B] = N;
+    return N;
+  }
+};
+
+constexpr unsigned SpikeOps = 1u << 18;
+
+void BM_SpikeUniqueTablePrivate(benchmark::State &State) {
+  for (auto _ : State) {
+    SpikeTable T(1u << 20);
+    Rng R(11);
+    uint32_t Acc = 0;
+    for (unsigned I = 0; I < SpikeOps; ++I)
+      Acc ^= T.makeNode(unsigned(R.below(64)), unsigned(R.below(1u << 16)),
+                        unsigned(R.below(1u << 16)));
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * SpikeOps);
+}
+BENCHMARK(BM_SpikeUniqueTablePrivate);
+
+void BM_SpikeUniqueTableStriped(benchmark::State &State) {
+  // 64 stripes is generous (CUDD-style packages stripe far coarser); the
+  // point is that even an *uncontended* lock acquisition on this path
+  // costs a measurable fraction of the whole makeNode.
+  constexpr unsigned Stripes = 64;
+  for (auto _ : State) {
+    SpikeTable T(1u << 20);
+    std::array<std::mutex, Stripes> Locks;
+    Rng R(11);
+    uint32_t Acc = 0;
+    for (unsigned I = 0; I < SpikeOps; ++I) {
+      uint32_t Var = unsigned(R.below(64));
+      uint32_t Low = unsigned(R.below(1u << 16));
+      uint32_t High = unsigned(R.below(1u << 16));
+      std::lock_guard<std::mutex> G(Locks[(Var ^ Low ^ High) % Stripes]);
+      Acc ^= T.makeNode(Var, Low, High);
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * SpikeOps);
+}
+BENCHMARK(BM_SpikeUniqueTableStriped);
 
 } // namespace
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench-trajectory gate: compare fresh BENCH_*.json reports against a
+baseline and fail on wall-clock regressions.
+
+Usage: check_trajectory.py BASELINE.json CURRENT.json [MORE.json ...]
+       [--threshold 0.25] [--min-seconds 0.01]
+
+All CURRENT reports are merged (rows keyed by (section, case, variant);
+sections keep the reports disjoint), so the baseline can be one committed
+file covering the regression suite and the ablation smoke. A row
+regresses when its `seconds` exceeds the baseline by more than THRESHOLD
+(relative) AND both sides are above MIN_SECONDS (sub-10ms rows — the
+whole regression feature suite — are timer noise on shared CI runners;
+they participate through the verdict check instead). Verdict drift
+(`reachable` differing from the baseline) fails unconditionally — the
+trajectory gate doubles as a cross-run correctness diff. New rows (no
+baseline entry) and removed rows only warn: adding or retiring benchmarks
+must not require regenerating the baseline in the same PR.
+
+Exit codes: 0 ok, 1 regression/drift, 2 usage or malformed input.
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in report.get("rows", []):
+        key = (row.get("section"), row.get("case"), row.get("variant"))
+        rows[key] = row
+    return rows
+
+
+def main(argv):
+    rest = argv[1:]
+    args = []
+    threshold = 0.25
+    min_seconds = 0.01
+    i = 0
+    while i < len(rest):
+        if rest[i] in ("--threshold", "--min-seconds"):
+            if i + 1 >= len(rest):
+                print(f"error: {rest[i]} needs a value", file=sys.stderr)
+                return 2
+            value = float(rest[i + 1])
+            if rest[i] == "--threshold":
+                threshold = value
+            else:
+                min_seconds = value
+            i += 2
+        else:
+            args.append(rest[i])
+            i += 1
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline = load_rows(args[0])
+    current = {}
+    for path in args[1:]:
+        current.update(load_rows(path))
+    failures = []
+    checked = 0
+
+    for key, row in sorted(current.items()):
+        base = baseline.get(key)
+        name = "/".join(str(k) for k in key)
+        if base is None:
+            print(f"note: new row (no baseline): {name}")
+            continue
+        if "reachable" in base and row.get("reachable") != base.get(
+            "reachable"
+        ):
+            failures.append(
+                f"VERDICT DRIFT {name}: baseline "
+                f"{base.get('reachable')} vs current {row.get('reachable')}"
+            )
+            continue
+        bs, cs = base.get("seconds"), row.get("seconds")
+        if bs is None or cs is None:
+            continue
+        checked += 1
+        if cs > min_seconds and bs > min_seconds and cs > bs * (
+            1.0 + threshold
+        ):
+            failures.append(
+                f"REGRESSION {name}: {bs:.3f}s -> {cs:.3f}s "
+                f"(+{(cs / bs - 1) * 100:.0f}%, threshold "
+                f"{threshold * 100:.0f}%)"
+            )
+
+    for key in sorted(set(baseline) - set(current)):
+        print(f"note: row removed since baseline: {'/'.join(map(str, key))}")
+
+    print(f"trajectory: {checked} rows compared against baseline")
+    if failures:
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print("trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

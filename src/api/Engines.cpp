@@ -57,6 +57,7 @@ reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
   SO.GcThreshold = Opts.GcThreshold;
   SO.FrontierCofactor = Opts.FrontierCofactor;
   SO.ReuseSolvedState = Opts.SessionReuse;
+  SO.Threads = Opts.Threads;
   return SO;
 }
 
@@ -75,6 +76,7 @@ void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
   Out.Cofactor = R.Cofactor;
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
+  Out.SccsSolvedParallel = R.SccsSolvedParallel;
   Out.Seconds = R.Seconds;
 }
 
@@ -261,6 +263,7 @@ conc::ConcOptions concOptionsFor(const SolverOptions &Opts,
   CO.GcThreshold = Opts.GcThreshold;
   CO.FrontierCofactor = Opts.FrontierCofactor;
   CO.ReuseSolvedState = Opts.SessionReuse;
+  CO.Threads = Opts.Threads;
   return CO;
 }
 
@@ -279,6 +282,7 @@ void fillFromConc(SolveResult &Out, conc::ConcResult &&R) {
   Out.Cofactor = R.Cofactor;
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
+  Out.SccsSolvedParallel = R.SccsSolvedParallel;
   Out.ReachStates = R.ReachStates;
   Out.Seconds = R.Seconds;
 }

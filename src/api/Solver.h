@@ -155,6 +155,13 @@ struct SolverOptions {
   /// solve (the differential-testing / ablation baseline). One-shot
   /// `Solver::solve` calls ignore this.
   bool SessionReuse = true;
+  /// Worker threads for the fixed-point evaluator's parallel SCC
+  /// scheduling (1 = sequential). Independent SCCs of the equation
+  /// system's dependency condensation are solved on a work-stealing pool
+  /// over per-worker BDD managers; verdicts, iteration counts, and
+  /// witnesses are bit-identical at any setting (enforced by the parallel
+  /// differential tests). Non-BDD engines (moped, bebop) ignore it.
+  unsigned Threads = 1;
 
   // Concurrent knobs.
   unsigned ContextBound = 2; ///< Max context switches k.
@@ -210,6 +217,10 @@ struct SolveResult {
   /// One-shot solves report (0, Iterations) for fixed-point engines.
   uint64_t SummariesReused = 0;
   uint64_t SummariesRecomputed = 0;
+  /// Dependency SCCs solved on the evaluator's worker pool
+  /// (`SolverOptions::Threads > 1` only); the per-worker BDD counters are
+  /// folded into `Bdd`.
+  uint64_t SccsSolvedParallel = 0;
   double Seconds = 0.0; ///< Wall-clock solve time (excludes parsing).
 
   /// Witness trace, when requested and the engine supports extraction.

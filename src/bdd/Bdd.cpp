@@ -881,3 +881,39 @@ uint32_t BddManager::renameRec(uint32_t F, uint32_t PermId) {
   cacheInsert(Op::Rename, F, PermId, 0, Result);
   return Result;
 }
+
+//===----------------------------------------------------------------------===//
+// BddImporter
+//===----------------------------------------------------------------------===//
+
+Bdd BddImporter::import(const Bdd &F) {
+  if (F.isNull())
+    return Bdd();
+  assert(F.manager() == &Src && "importing a foreign manager's BDD");
+  // A source collection may have freed (and later reused) node indices the
+  // memo still mentions; translations keyed on them would silently map a
+  // *different* function. Entries are only trusted within one source
+  // generation.
+  if (Src.Stats.GcRuns != SrcGcRuns) {
+    Memo.clear();
+    SrcGcRuns = Src.Stats.GcRuns;
+  }
+  return Bdd(&Dst, importRec(F.rawIndex()));
+}
+
+uint32_t BddImporter::importRec(uint32_t N) {
+  if (N <= 1)
+    return N; // Terminals share indices 0/1 in every manager.
+  auto It = Memo.find(N);
+  if (It != Memo.end())
+    return It->second.Idx;
+  const BddManager::Node &Node = Src.Nodes[N];
+  // Post-order: children are memoized (hence externally referenced in the
+  // destination) before the parent is built, so nothing here can be
+  // collected mid-import — and makeNode never runs GC anyway.
+  uint32_t Low = importRec(Node.Low);
+  uint32_t High = importRec(Node.High);
+  uint32_t Result = Dst.makeNode(Node.Var, Low, High);
+  Memo.emplace(N, Bdd(&Dst, Result));
+  return Result;
+}

@@ -34,6 +34,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace getafix {
@@ -165,6 +166,7 @@ public:
 
 private:
   friend class BddManager;
+  friend class BddImporter;
   Bdd(BddManager *Mgr, uint32_t Idx);
 
   BddManager *Mgr = nullptr;
@@ -185,6 +187,25 @@ struct BddStats {
   uint64_t GcReclaimed = 0;
   size_t LiveNodes = 0;
   size_t PeakNodes = 0;
+
+  /// Accumulates \p Other into *this: counters are summed, and the gauges
+  /// (LiveNodes, PeakNodes) are summed too — merging per-worker managers
+  /// reports the *total* footprint across managers, which is the number a
+  /// memory budget cares about (the per-manager peaks need not have
+  /// coincided, so the sum is an upper bound on the simultaneous peak).
+  void merge(const BddStats &Other) {
+    CacheLookups += Other.CacheLookups;
+    CacheHits += Other.CacheHits;
+    for (unsigned I = 0; I < NumBddOps; ++I) {
+      OpLookups[I] += Other.OpLookups[I];
+      OpHits[I] += Other.OpHits[I];
+    }
+    NodesCreated += Other.NodesCreated;
+    GcRuns += Other.GcRuns;
+    GcReclaimed += Other.GcReclaimed;
+    LiveNodes += Other.LiveNodes;
+    PeakNodes += Other.PeakNodes;
+  }
 
   /// The counter delta `*this - Before` for the monotonically increasing
   /// counters; gauges (LiveNodes, PeakNodes) keep this snapshot's values.
@@ -252,6 +273,10 @@ public:
   /// Sets the live-node threshold that triggers automatic gc at operation
   /// entry. Zero disables automatic collection.
   void setGcThreshold(size_t Nodes) { GcThreshold = Nodes; }
+  /// The current automatic-gc threshold (collection runs may have raised
+  /// it past the configured value). Per-worker managers of a parallel
+  /// solve are sized from the main manager's knobs via this getter.
+  size_t gcThreshold() const { return GcThreshold; }
 
   /// Number of computed-cache slots (2^CacheBits). Callers that adapt
   /// their algorithms to cache pressure compare working-set sizes to this.
@@ -381,6 +406,55 @@ private:
 
   size_t GcThreshold = 1u << 22;
   BddStats Stats;
+
+  friend class BddImporter;
+};
+
+/// Cached cross-manager import: copies BDDs from one manager into another
+/// that shares the same variable order (variable index == level in both).
+/// This is the translation layer under the parallel SCC scheduler's
+/// per-worker managers — a worker solves its SCC in isolation, then its
+/// relation values are imported into the main manager, where canonicity
+/// makes them bit-identical to the BDDs a sequential solve would have
+/// built (the imported function is the same, the order is the same, and a
+/// ROBDD is unique for a function and an order).
+///
+/// The memo maps source node index -> destination *handle*: every
+/// destination node an import built stays externally referenced for the
+/// importer's lifetime, so destination GC can never invalidate an entry.
+/// Source-side validity is generation-checked instead: a source GC may
+/// free and later reuse node indices, so the whole memo is dropped
+/// whenever the source manager's collection count changes.
+///
+/// Thread discipline: an importer (and both its managers) must be
+/// externally synchronized — the parallel scheduler serializes every
+/// main-manager touch (imports of inputs, exports of solved SCCs) behind
+/// one mutex, while worker managers are only ever touched by the worker
+/// that owns them.
+class BddImporter {
+public:
+  BddImporter(BddManager &Src, BddManager &Dst) : Src(Src), Dst(Dst) {
+    assert(&Src != &Dst && "importing within one manager is the identity");
+    assert(Src.numVars() <= Dst.numVars() &&
+           "destination must know every source variable");
+  }
+
+  /// Copies \p F (a BDD of the source manager) into the destination
+  /// manager; null imports as null.
+  Bdd import(const Bdd &F);
+
+  /// Memoized translations currently held (and kept alive in the
+  /// destination).
+  size_t memoSize() const { return Memo.size(); }
+  void clear() { Memo.clear(); }
+
+private:
+  uint32_t importRec(uint32_t N);
+
+  BddManager &Src;
+  BddManager &Dst;
+  std::unordered_map<uint32_t, Bdd> Memo;
+  uint64_t SrcGcRuns = 0;
 };
 
 } // namespace getafix

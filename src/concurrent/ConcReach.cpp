@@ -471,6 +471,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   Mgr.setGcThreshold(Opts.GcThreshold);
   Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy,
                Opts.FrontierCofactor);
+  Ev.setThreads(Opts.Threads);
   bindInputs(Ev, Thread, ProcId, Pc);
 
   Bdd TargetStates = targetStates(Ev, Thread, ProcId, Pc);
@@ -494,6 +495,8 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   }
   Result.Cofactor = Ev.cofactorStats();
   Result.Bdd = Mgr.stats();
+  Result.Bdd.merge(Ev.workerBddStats());
+  Result.SccsSolvedParallel = Ev.parallelStats().SccsSolvedParallel;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
@@ -545,6 +548,9 @@ struct ConcSession::Impl {
         Ev(Engine.system(), Mgr, Engine.makeLayout(Mgr), Opts.Strategy,
            Opts.FrontierCofactor) {
     Mgr.setGcThreshold(Opts.GcThreshold);
+    // The worker pool is session state: it persists (warm) across
+    // queries; queries themselves stay serialized.
+    Ev.setThreads(Opts.Threads);
     // Targetless binding: the per-thread target relations are read by no
     // clause, so one binding serves every query of the session.
     Engine.bindInputs(Ev, ~0u, ~0u, 0);
@@ -570,6 +576,8 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   ConcResult Result;
   Timer Tm;
   BddStats Before = S.Mgr.stats();
+  BddStats WorkerBefore = S.Ev.workerBddStats();
+  fpc::ParallelStats ParBefore = S.Ev.parallelStats();
   fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
 
   Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
@@ -596,6 +604,9 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Result.Cofactor.SupportBefore -= CfBefore.SupportBefore;
   Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
   Result.Bdd = S.Mgr.stats().since(Before);
+  Result.Bdd.merge(S.Ev.workerBddStats().since(WorkerBefore));
+  Result.SccsSolvedParallel =
+      S.Ev.parallelStats().since(ParBefore).SccsSolvedParallel;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;

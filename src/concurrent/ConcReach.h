@@ -67,6 +67,9 @@ struct ConcOptions {
   /// queries. Off = every query re-solves from scratch (ablation /
   /// differential baseline). One-shot solves ignore this.
   bool ReuseSolvedState = true;
+  /// Worker threads for the evaluator's parallel SCC scheduling (1 =
+  /// sequential). Results are bit-identical at any setting.
+  unsigned Threads = 1;
 };
 
 struct ConcResult {
@@ -95,6 +98,8 @@ struct ConcResult {
   /// earlier queries, vs rounds newly evaluated for this query.
   uint64_t SummariesReused = 0;
   uint64_t SummariesRecomputed = 0;
+  /// Dependency SCCs solved on the worker pool (`Threads > 1` only).
+  uint64_t SccsSolvedParallel = 0;
 };
 
 /// Is (Thread, ProcId, Pc) reachable within k context switches?

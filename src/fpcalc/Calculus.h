@@ -171,6 +171,11 @@ public:
   /// through defined relations)?
   bool dependsOn(RelId Rel, RelId Target) const;
 
+  /// Appends every relation applied anywhere inside \p F (with
+  /// repetition; callers dedupe). The one formula walker for dependency
+  /// collection — the parallel scheduler's needs analysis uses it too.
+  void collectRels(const Formula &F, std::vector<RelId> &Out) const;
+
   /// Renders the whole system in a MUCKE-like concrete syntax.
   std::string print() const;
   std::string printFormula(const Formula &F) const;
@@ -179,7 +184,6 @@ private:
   Formula *make(FormulaKind Kind);
   bool validateFormula(const Formula &F, DiagnosticEngine &Diags,
                        const std::string &Context) const;
-  void collectRels(const Formula &F, std::vector<RelId> &Out) const;
 
   std::vector<Domain> Domains;
   std::vector<Var> Vars;

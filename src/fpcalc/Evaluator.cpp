@@ -2,10 +2,62 @@
 
 #include "fpcalc/Evaluator.h"
 
+#include "fpcalc/Parallel.h"
+
 #include <algorithm>
+#include <mutex>
+#include <set>
 
 using namespace getafix;
 using namespace getafix::fpc;
+
+//===----------------------------------------------------------------------===//
+// Parallel context: worker pool + per-worker BDD managers
+//===----------------------------------------------------------------------===//
+
+namespace getafix {
+namespace fpc {
+
+/// One worker's private solving state: a BDD manager sharing the main
+/// manager's variable order and cache geometry, an evaluator over the same
+/// system/layout, and the two cached cross-manager importers (main->worker
+/// for inputs and seeded dependencies, worker->main for solved SCC
+/// values). Owned by exactly one pool worker — only the main-manager
+/// touches (both importers' main side) need the scheduler's lock.
+struct WorkerContext {
+  BddManager Mgr;
+  Evaluator Ev;
+  BddImporter In;  ///< Main -> worker.
+  BddImporter Out; ///< Worker -> main.
+
+  WorkerContext(const System &Sys, BddManager &Main, const Layout &L,
+                EvalStrategy Strategy, CofactorMode Cofactor,
+                unsigned CacheBits)
+      : Mgr(Main.numVars(), CacheBits, Main.cacheWays()),
+        Ev(Sys, Mgr, L, Strategy, Cofactor), In(Main, Mgr), Out(Mgr, Main) {
+    Mgr.setGcThreshold(Main.gcThreshold());
+  }
+};
+
+struct ParallelContext {
+  std::vector<std::unique_ptr<WorkerContext>> Workers;
+  /// Serializes every main-manager access during a parallel schedule:
+  /// imports of inputs/dependencies, exports of solved values, and the
+  /// shared solved-value map (main-manager `Bdd` handles mutate external
+  /// refcounts even when copied, so handle lifetime is locked too).
+  std::mutex MainLock;
+  /// Last member on purpose: destroyed *first*, so the pool stops and
+  /// joins its threads while the worker contexts (and this struct's
+  /// other members) any in-flight task touches are still alive. Today
+  /// runDag always drains before returning, but destruction order is
+  /// the cheap armor against a future early-exit path.
+  support::ThreadPool Pool;
+
+  explicit ParallelContext(unsigned Threads) : Pool(Threads) {}
+};
+
+} // namespace fpc
+} // namespace getafix
 
 //===----------------------------------------------------------------------===//
 // Layout
@@ -60,6 +112,67 @@ Evaluator::Evaluator(const System &Sys, BddManager &Mgr, Layout L,
     : Sys(Sys), Mgr(Mgr), L(std::move(L)), Strategy(Strategy),
       Cofactor(Cofactor) {}
 
+// Out-of-line: ParallelContext is incomplete in the header.
+Evaluator::~Evaluator() = default;
+
+void Evaluator::setThreads(unsigned N) {
+  if (N == 0)
+    N = 1;
+  if (N == Threads)
+    return;
+  Threads = N;
+  ParStats.Threads = N;
+  // A differently-sized pool is rebuilt lazily on the next parallel
+  // schedule; dropping it here keeps exactly one set of worker managers
+  // alive. Their counters retire into the accumulator so
+  // `workerBddStats()` stays monotone across pool rebuilds (callers
+  // subtract snapshots via BddStats::since).
+  if (Par) {
+    for (const std::unique_ptr<WorkerContext> &W : Par->Workers)
+      if (W)
+        RetiredWorkerBdd.merge(W->Mgr.stats());
+    Par.reset();
+  }
+}
+
+void Evaluator::ensureParallelContext() {
+  if (Par)
+    return;
+  Par = std::make_unique<ParallelContext>(Threads);
+  // One slot per pool worker; the contexts themselves (each a BDD
+  // manager with a main-sized computed cache — megabytes) are built
+  // lazily by the worker that first receives a task, so `--threads 64`
+  // on a three-SCC system pays for three managers, not 64. A slot is
+  // only ever touched by its owning worker, so creation needs no lock.
+  Par->Workers.resize(Threads);
+}
+
+WorkerContext &Evaluator::workerContext(unsigned Worker) {
+  std::unique_ptr<WorkerContext> &Slot = Par->Workers[Worker];
+  if (!Slot) {
+    // Clone the main manager's cache geometry so the frontier-width
+    // policy (keyed on cacheSlots) behaves the same way per worker. The
+    // main-manager reads here (numVars, cache geometry, gc threshold)
+    // are all fields no concurrent import/export mutates.
+    unsigned CacheBits = 0;
+    while ((size_t(1) << CacheBits) < Mgr.cacheSlots())
+      ++CacheBits;
+    Slot = std::make_unique<WorkerContext>(Sys, Mgr, L, Strategy, Cofactor,
+                                           CacheBits);
+  }
+  return *Slot;
+}
+
+BddStats Evaluator::workerBddStats() const {
+  BddStats S = RetiredWorkerBdd;
+  if (!Par)
+    return S;
+  for (const std::unique_ptr<WorkerContext> &W : Par->Workers)
+    if (W)
+      S.merge(W->Mgr.stats());
+  return S;
+}
+
 void Evaluator::bindInput(RelId Rel, Bdd Value) {
   assert(Sys.relation(Rel).isInput() && "binding a defined relation");
   assert(InFlight.empty() && "rebinding an input mid-evaluation");
@@ -73,6 +186,7 @@ void Evaluator::bindInput(RelId Rel, Bdd Value) {
     // defined relation was solved under them. Serving either after a
     // rebind would silently answer the old query.
     Completed.clear();
+    resetWorkerMemos();
   }
   StaticCache.clear(); // Cached composites may mention this relation.
 }
@@ -80,6 +194,35 @@ void Evaluator::bindInput(RelId Rel, Bdd Value) {
 void Evaluator::invalidate() {
   Completed.clear();
   StaticCache.clear();
+  resetWorkerMemos();
+}
+
+void Evaluator::resetWorkerMemos() {
+  // The per-worker evaluators persist across schedules, so their memo
+  // layers hold values solved under the *previous* bindings. Task seeding
+  // refreshes everything a task reads from outside its SCC (inputs and
+  // lower-SCC values are re-imported and overwritten every task), but a
+  // worker that solved a now-pending member keeps its own solution and
+  // would skip the re-solve — serving the old binding's answer. Dropping
+  // the workers' memos whenever the main memos drop restores the
+  // invariant that a worker Completed entry is never staler than the
+  // main one. (No worker can be running here: memo drops happen only
+  // from top-level, non-solving entry points.)
+  if (!Par)
+    return;
+  for (std::unique_ptr<WorkerContext> &W : Par->Workers) {
+    if (!W)
+      continue;
+    W->Ev.Inputs.clear();
+    W->Ev.Completed.clear();
+    W->Ev.StaticCache.clear();
+    // The importer memos hold external references on both sides (worker
+    // nodes in In, main-manager nodes in Out); translations of values
+    // the rebind just invalidated would otherwise pin dead BDDs for the
+    // evaluator's lifetime, growing memory with every rebind cycle.
+    W->In.clear();
+    W->Out.clear();
+  }
 }
 
 const DependencyGraph &Evaluator::dependencies() {
@@ -383,11 +526,163 @@ void Evaluator::scheduleDependencies(RelId Rel) {
   // members are excluded: they see Rel in flight and must be re-solved per
   // round (the paper's algorithmic semantics). Relations that can see an
   // *outer* in-flight relation stay lazy for the same reason.
-  for (RelId T : dependencies().scheduleFor(Rel)) {
-    if (Completed.count(T) || dependsOnInFlight(T))
+  std::vector<RelId> Pending;
+  for (RelId T : dependencies().scheduleFor(Rel))
+    if (!Completed.count(T) && !dependsOnInFlight(T))
+      Pending.push_back(T);
+  if (Pending.empty())
+    return;
+  // Parallel scheduling is a top-level-only move: a nested solve runs
+  // inside a worker or inside a caller's round, where the in-flight
+  // environment (and the pool itself) is not shareable.
+  if (Threads > 1 && InFlight.empty() && Pending.size() > 1 &&
+      scheduleDependenciesParallel(Pending))
+    return;
+  for (RelId T : Pending) {
+    // A solve may complete later list entries transitively (nested
+    // non-volatile evaluations are memoized); re-check.
+    if (Completed.count(T))
       continue;
     Completed[T] = evalFixpoint(T, nullptr, nullptr, nullptr);
   }
+}
+
+bool Evaluator::scheduleDependenciesParallel(
+    const std::vector<RelId> &Pending) {
+  const DependencyGraph &G = dependencies();
+
+  // Group the pending relations into SCC tasks, preserving the
+  // callees-first order within each task (members of one SCC are solved
+  // sequentially by one worker, in the same order the sequential
+  // scheduler uses — the nested re-solve cadence inside an SCC is part of
+  // the algorithmic semantics).
+  std::vector<unsigned> TaskScc;
+  std::map<unsigned, unsigned> TaskOf; ///< Condensation index -> task.
+  std::vector<std::vector<RelId>> Members;
+  for (RelId T : Pending) {
+    auto [It, New] = TaskOf.emplace(G.sccOf(T), unsigned(Members.size()));
+    if (New) {
+      TaskScc.push_back(G.sccOf(T));
+      Members.emplace_back();
+    }
+    Members[It->second].push_back(T);
+  }
+  if (Members.size() < 2)
+    return false; // A single SCC gains nothing from the pool.
+
+  // Task-level dependency edges, via the members' direct dependencies.
+  // Dependencies on SCCs outside the schedule are already Completed and
+  // need no edge.
+  std::vector<std::vector<unsigned>> Deps(Members.size());
+  for (unsigned Task = 0; Task < Members.size(); ++Task) {
+    std::set<unsigned> Ds;
+    for (RelId M : Members[Task])
+      for (RelId D : G.directDeps(M)) {
+        auto It = TaskOf.find(G.sccOf(D));
+        if (It != TaskOf.end() && It->second != Task)
+          Ds.insert(It->second);
+      }
+    Deps[Task].assign(Ds.begin(), Ds.end());
+  }
+
+  ensureParallelContext();
+  ParallelContext &PC = *Par;
+
+  /// Solved SCC values as main-manager BDDs; written by workers under
+  /// MainLock, merged into Completed by this thread after the run.
+  std::map<RelId, Bdd> Solved;
+
+  DagRunStats DS = runDag(
+      PC.Pool, unsigned(Members.size()), Deps,
+      [&](unsigned Task, unsigned Worker) {
+        WorkerContext &W = workerContext(Worker);
+        Evaluator &WE = W.Ev;
+
+        // What this task needs from outside. Collected over *all* members
+        // of the condensation SCC — a member already Completed on the
+        // main side is still re-solved nested (volatile) by the worker,
+        // so its body's needs count too.
+        //
+        //   - Every *transitively* reachable lower-SCC defined relation
+        //     (the member's own `scheduleFor` closure) is seeded as a
+        //     worker Completed value, so the worker's scheduler solves
+        //     nothing below this SCC — each such value was either
+        //     Completed before the run or produced by an earlier task
+        //     (the DAG edges chain transitively, so it is in Solved).
+        //   - The inputs the SCC members' bodies apply directly; seeded
+        //     dependencies never evaluate their bodies, so deeper inputs
+        //     are not needed.
+        std::set<RelId> NeedInputs;
+        std::set<RelId> NeedDefined;
+        for (RelId M : G.sccs()[TaskScc[Task]]) {
+          std::vector<RelId> Applied;
+          Sys.collectRels(*Sys.relation(M).Def, Applied);
+          for (RelId A : Applied)
+            if (Sys.relation(A).isInput())
+              NeedInputs.insert(A);
+          for (RelId D : G.scheduleFor(M))
+            NeedDefined.insert(D);
+        }
+        {
+          std::lock_guard<std::mutex> Lock(PC.MainLock);
+          for (RelId A : NeedInputs) {
+            auto It = Inputs.find(A);
+            assert(It != Inputs.end() && "input relation not bound");
+            WE.bindInput(A, W.In.import(It->second));
+          }
+          for (RelId D : NeedDefined) {
+            auto SIt = Solved.find(D);
+            const Bdd &V =
+                SIt != Solved.end() ? SIt->second : Completed.at(D);
+            WE.Completed[D] = W.In.import(V);
+          }
+        }
+
+        // Solve the scheduled members, callees-first, worker-locally.
+        for (RelId M : Members[Task])
+          if (!WE.Completed.count(M))
+            WE.Completed[M] =
+                WE.evalFixpoint(M, nullptr, nullptr, nullptr);
+
+        // Export the solved values into the main manager. Canonicity
+        // makes each imported BDD bit-identical to what a sequential
+        // solve would have stored.
+        {
+          std::lock_guard<std::mutex> Lock(PC.MainLock);
+          for (RelId M : Members[Task])
+            Solved[M] = W.Out.import(WE.Completed[M]);
+        }
+      });
+
+  // Single-threaded from here: fold the run back into the main state.
+  for (auto &[R, V] : Solved)
+    Completed[R] = std::move(V);
+  ParStats.SccsSolvedParallel += DS.TasksRun;
+  ParStats.Steals += DS.Steals;
+  ++ParStats.Schedules;
+  for (std::unique_ptr<WorkerContext> &WPtr : PC.Workers) {
+    if (!WPtr)
+      continue;
+    Evaluator &WE = WPtr->Ev;
+    // Per-relation stats merge (then reset, so the next schedule's merge
+    // does not double-count). The parallel totals equal the sequential
+    // ones: every scheduled relation runs the same deterministic rounds,
+    // wherever it runs.
+    for (auto &[Name, RS] : WE.Stats) {
+      RelStats &Main = Stats[Name];
+      Main.Iterations += RS.Iterations;
+      Main.Evaluations += RS.Evaluations;
+      Main.DeltaRounds += RS.DeltaRounds;
+      if (RS.FinalNodes)
+        Main.FinalNodes = RS.FinalNodes;
+    }
+    WE.Stats.clear();
+    CfStats.Applications += WE.CfStats.Applications;
+    CfStats.SupportBefore += WE.CfStats.SupportBefore;
+    CfStats.SupportAfter += WE.CfStats.SupportAfter;
+    WE.CfStats = CofactorStats();
+  }
+  return true;
 }
 
 Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
@@ -415,18 +710,24 @@ Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
   InDeltaRound = false;
 
   FixpointState St;
-  if (Strategy == EvalStrategy::SemiNaive) {
+  // Both strategies pre-solve the lower dependency SCCs callees-first at
+  // the top level (in parallel under Threads > 1). The naive scheme used
+  // to discover them lazily inside the first round; eager scheduling
+  // computes the identical values (a scheduled relation sees no
+  // in-flight environment either way), it only moves the solves ahead of
+  // the iteration — which is what gives the scheduler whole SCCs to
+  // dispatch. Nested naive re-solves keep their historical lazy
+  // discovery: their schedule is empty from round two on, and paying a
+  // per-round no-op sweep would skew the naive ablation baseline.
+  if (InFlight.empty() || Strategy == EvalStrategy::SemiNaive)
     scheduleDependencies(Rel);
-    // Non-monotone or nu equations run the exact naive scheme; monotone mu
-    // equations take the delta-propagating core (which degrades gracefully
-    // to per-round full evaluation for opaque disjuncts).
-    if (plan(Rel).SemiNaive)
-      runFixpointSemiNaive(Rel, St, Opts, HitLimit, Stopped, RS);
-    else
-      runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
-  } else {
+  // Non-monotone or nu equations run the exact naive scheme; monotone mu
+  // equations take the delta-propagating core (which degrades gracefully
+  // to per-round full evaluation for opaque disjuncts).
+  if (Strategy == EvalStrategy::SemiNaive && plan(Rel).SemiNaive)
+    runFixpointSemiNaive(Rel, St, Opts, HitLimit, Stopped, RS);
+  else
     runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
-  }
   RS.FinalNodes = St.Value.nodeCount();
 
   DeltaApp = SavedApp;
@@ -735,18 +1036,13 @@ EvalResult Evaluator::resume(RelId Rel, FixpointState &State,
     ++RS.Evaluations;
 
   EvalResult Result;
-  if (Strategy == EvalStrategy::SemiNaive) {
-    scheduleDependencies(Rel);
-    if (plan(Rel).SemiNaive)
-      runFixpointSemiNaive(Rel, State, &Opts, &Result.HitIterationLimit,
-                           &Result.EarlyStopped, RS);
-    else
-      runFixpointNaive(Rel, State, &Opts, &Result.HitIterationLimit,
-                       &Result.EarlyStopped, RS);
-  } else {
+  scheduleDependencies(Rel);
+  if (Strategy == EvalStrategy::SemiNaive && plan(Rel).SemiNaive)
+    runFixpointSemiNaive(Rel, State, &Opts, &Result.HitIterationLimit,
+                         &Result.EarlyStopped, RS);
+  else
     runFixpointNaive(Rel, State, &Opts, &Result.HitIterationLimit,
                      &Result.EarlyStopped, RS);
-  }
   RS.FinalNodes = State.Value.nodeCount();
   Result.Value = State.Value;
   // A saturated state is a complete solve: a valid memo for nested uses by

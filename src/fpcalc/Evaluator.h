@@ -97,6 +97,26 @@ struct FixpointState {
 };
 
 class Evaluator;
+struct ParallelContext; // Evaluator.cpp: worker pool + per-worker managers.
+struct WorkerContext;   // Evaluator.cpp: one worker's solving state.
+
+/// Counters of the evaluator's parallel SCC scheduling (zero until a
+/// `Threads > 1` solve actually dispatched work). Cumulative over the
+/// evaluator's lifetime, like `stats()`.
+struct ParallelStats {
+  uint64_t SccsSolvedParallel = 0; ///< SCC tasks run on the worker pool.
+  uint64_t Schedules = 0;          ///< Parallel scheduling rounds.
+  uint64_t Steals = 0;             ///< Pool-level work-stealing events.
+  unsigned Threads = 1;            ///< Configured worker count.
+
+  ParallelStats since(const ParallelStats &Before) const {
+    ParallelStats D = *this;
+    D.SccsSolvedParallel -= Before.SccsSolvedParallel;
+    D.Schedules -= Before.Schedules;
+    D.Steals -= Before.Steals;
+    return D;
+  }
+};
 
 /// A `FixpointState` bundled with its recorded per-round values (the
 /// "onion rings") and the cross-query replay logic: given a new target,
@@ -153,6 +173,26 @@ public:
   Evaluator(const System &Sys, BddManager &Mgr, Layout L,
             EvalStrategy Strategy = EvalStrategy::SemiNaive,
             CofactorMode Cofactor = CofactorMode::Constrain);
+  ~Evaluator();
+
+  /// Solves independent dependency SCCs of a top-level fixpoint on \p N
+  /// worker threads (1 = sequential, the default). Each worker owns a
+  /// private `BddManager` sharing the main manager's variable order;
+  /// solved SCC values are imported back into the main manager, where
+  /// ROBDD canonicity makes every downstream round bit-identical to a
+  /// sequential solve (the schedule respects dependencies, and an SCC's
+  /// solution is a pure function of its callees' values). The worker pool
+  /// is created lazily on the first parallel schedule and persists across
+  /// solves and `resume` calls, so query sessions keep it for their
+  /// lifetime.
+  void setThreads(unsigned N);
+  unsigned threads() const { return Threads; }
+  /// Parallel-scheduling counters (cumulative, like `stats()`).
+  const ParallelStats &parallelStats() const { return ParStats; }
+  /// Aggregate BDD counters of the per-worker managers (all zero until a
+  /// parallel schedule ran). Monotone; callers report per-query work via
+  /// `BddStats::since`.
+  BddStats workerBddStats() const;
 
   EvalStrategy strategy() const { return Strategy; }
   CofactorMode cofactorMode() const { return Cofactor; }
@@ -221,8 +261,25 @@ private:
                             bool *Stopped, RelStats &RS);
   /// Pre-solves (and memoizes) the defined relations \p Rel depends on
   /// that cannot see any in-flight relation, SCC-by-SCC in topological
-  /// order, so the main iteration never discovers them mid-round.
+  /// order, so the main iteration never discovers them mid-round. Under
+  /// `Threads > 1` (top level only), independent SCCs are dispatched onto
+  /// the worker pool instead of solved in sequence.
   void scheduleDependencies(RelId Rel);
+  /// The parallel core of `scheduleDependencies`: solves \p Pending
+  /// (callees-first, no member Completed or volatile) as an SCC-task DAG
+  /// on the worker pool. Returns false — leaving every relation unsolved —
+  /// when the schedule has no exploitable parallelism (fewer than two
+  /// SCCs).
+  bool scheduleDependenciesParallel(const std::vector<RelId> &Pending);
+  void ensureParallelContext();
+  /// The per-worker solving state for pool worker \p Worker, built on its
+  /// first task (each slot is touched only by its owning worker).
+  WorkerContext &workerContext(unsigned Worker);
+  /// Drops every worker evaluator's memo layers; must accompany any drop
+  /// of this evaluator's own Completed/StaticCache (rebind, invalidate),
+  /// or the next parallel schedule could export values solved under the
+  /// old bindings.
+  void resetWorkerMemos();
   Bdd evalFormula(const Formula &F);
   Bdd evalFormulaUncached(const Formula &F);
   bool isStatic(const Formula &F);
@@ -237,6 +294,16 @@ private:
   EvalStrategy Strategy;
   CofactorMode Cofactor;
   CofactorStats CfStats;
+
+  /// Parallel SCC scheduling (Threads > 1): the work-stealing pool plus
+  /// per-worker BDD managers/evaluators/importers. Lazily created,
+  /// persistent across solves (sessions keep their pool warm).
+  unsigned Threads = 1;
+  std::unique_ptr<ParallelContext> Par;
+  ParallelStats ParStats;
+  /// Counters of worker managers retired by `setThreads` pool rebuilds,
+  /// so `workerBddStats()` stays monotone for `since`-style callers.
+  BddStats RetiredWorkerBdd;
 
   std::map<RelId, Bdd> Inputs;
   std::map<RelId, Bdd> InFlight;  ///< Current interpretation per Section 3.

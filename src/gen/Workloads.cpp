@@ -3,6 +3,8 @@
 #include "gen/Workloads.h"
 #include "support/Rng.h"
 
+#include <cassert>
+
 using namespace getafix;
 using namespace getafix::gen;
 
@@ -538,5 +540,65 @@ end
     Src += IoProcs;
     Src += "end\n";
   }
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-SCC fixed-point systems (parallel-scheduler workloads)
+//===----------------------------------------------------------------------===//
+
+std::string gen::multiSccFixpointSystem(const MultiSccParams &P) {
+  assert(P.Relations >= 1 && P.Bits >= 2 && P.Bits <= 16 &&
+         "unreasonable multi-SCC shape");
+  Rng R(P.Seed * 0x9e3779b97f4a7c15ull + P.Relations * 131u + P.Bits);
+  uint64_t N = uint64_t(1) << P.Bits;
+
+  std::string Src = "domain D [" + std::to_string(N) + "];\n";
+  std::string RootDef;
+
+  for (unsigned I = 0; I < P.Relations; ++I) {
+    std::string Id = std::to_string(I);
+    if (P.Style == MultiSccStyle::Graph) {
+      // A stride ring (odd stride generates all of Z_N, so the diameter
+      // is N and reachability needs many rounds) plus random chords that
+      // fatten the reachable sets mid-solve.
+      uint64_t Stride = R.below(N / 2) * 2 + 1;
+      Src += "input bool E" + Id + "(D a, D b);\n";
+      for (uint64_t V = 0; V < N; ++V)
+        Src += "fact E" + Id + "(" + std::to_string(V) + ", " +
+               std::to_string((V + Stride) % N) + ");\n";
+      for (unsigned C = 0; C < P.ExtraEdges; ++C) {
+        // Two draws in one expression would leave the (src, dst) order
+        // to the compiler's unspecified evaluation order; determinism
+        // across toolchains needs sequenced statements.
+        uint64_t ChordSrc = R.below(N);
+        uint64_t ChordDst = R.below(N);
+        Src += "fact E" + Id + "(" + std::to_string(ChordSrc) + ", " +
+               std::to_string(ChordDst) + ");\n";
+      }
+      Src += "mu bool R" + Id + "(D a, D b) := a = b | (exists D c . (R" +
+             Id + "(a, c) & E" + Id + "(c, b)));\n";
+    } else {
+      // Lockstep counter pair: two private odd strides walked together
+      // from (0, 0). Odd strides have order N in Z_N, so the walk visits
+      // N distinct pairs before closing — terminator-style long loops.
+      uint64_t SA = R.below(N / 2) * 2 + 1;
+      uint64_t SB = R.below(N / 2) * 2 + 1;
+      Src += "input bool A" + Id + "(D a, D b);\n";
+      Src += "input bool B" + Id + "(D a, D b);\n";
+      for (uint64_t V = 0; V < N; ++V) {
+        Src += "fact A" + Id + "(" + std::to_string(V) + ", " +
+               std::to_string((V + SA) % N) + ");\n";
+        Src += "fact B" + Id + "(" + std::to_string(V) + ", " +
+               std::to_string((V + SB) % N) + ");\n";
+      }
+      Src += "mu bool R" + Id +
+             "(D a, D b) := (a = 0 & b = 0) | (exists D c . exists D d . "
+             "(R" +
+             Id + "(c, d) & A" + Id + "(c, a) & B" + Id + "(d, b)));\n";
+    }
+    RootDef += (I ? " | R" : "R") + Id + "(a, b)";
+  }
+  Src += "mu bool Root(D a, D b) := " + RootDef + ";\n";
   return Src;
 }

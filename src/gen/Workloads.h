@@ -78,6 +78,34 @@ Workload terminatorProgram(const TerminatorParams &P);
 /// (2,1) fails at >= 4; (2,2) fails at >= 3.
 std::string bluetoothModel(unsigned NumAdders, unsigned NumStoppers);
 
+/// Multi-SCC fixed-point systems for the evaluator's parallel SCC
+/// scheduler: `Relations` *independent* recursive relations (each its own
+/// SCC of the dependency condensation) plus a `Root` union relation
+/// depending on all of them, rendered in the MUCKE-like concrete syntax
+/// (parse with fpc::parseSystem; solve `Root`). Two shapes:
+///
+///   - `Graph` — each SCC is transitive-closure reachability over its own
+///     deterministically random edge relation (stride rings plus random
+///     chords; long diameter, so many fixpoint rounds over non-trivial
+///     BDDs) — the gen-family shape.
+///   - `Lockstep` — each SCC walks a pair of counters by private odd
+///     strides until the cyclic group closes (terminator-style: wide
+///     counters advanced by a loop, 2^bits rounds to saturation).
+enum class MultiSccStyle { Graph, Lockstep };
+
+struct MultiSccParams {
+  unsigned Relations = 8; ///< Independent SCCs under Root.
+  /// Domain is [0, 2^Bits): graph nodes or counter values.
+  unsigned Bits = 8;
+  /// Graph style: random chord edges added on top of the stride ring.
+  unsigned ExtraEdges = 32;
+  MultiSccStyle Style = MultiSccStyle::Graph;
+  uint64_t Seed = 1;
+};
+
+/// Returns the `.mu` source text; the relation to solve is `Root`.
+std::string multiSccFixpointSystem(const MultiSccParams &P);
+
 } // namespace gen
 } // namespace getafix
 

@@ -391,6 +391,7 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   Layout L = Factory.makeLayout(Mgr);
   Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy,
                Opts.FrontierCofactor);
+  Ev.setThreads(Opts.Threads);
   Enc->bind(Ev, ProcId, Pc);
 
   // Target states over the head tuple (plus don't-care fr for the opt
@@ -430,6 +431,11 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   }
   Result.Cofactor = Ev.cofactorStats();
   Result.Bdd = Mgr.stats();
+  // Fold the per-worker managers' counters into the snapshot so a
+  // parallel solve reports its whole BDD workload, not just the main
+  // manager's share.
+  Result.Bdd.merge(Ev.workerBddStats());
+  Result.SccsSolvedParallel = Ev.parallelStats().SccsSolvedParallel;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
@@ -471,6 +477,11 @@ struct SeqSession::Impl {
         Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
            Opts.Strategy, Opts.FrontierCofactor) {
     Mgr.setGcThreshold(Opts.GcThreshold);
+    // The worker pool (Threads > 1) lives inside the evaluator, so it is
+    // part of the session's persistent state: later queries resume over
+    // the same per-worker managers. Queries themselves stay serialized —
+    // one session serves one caller at a time.
+    Ev.setThreads(Opts.Threads);
     // The target relation is declared but read by no clause, so one
     // targetless binding serves every query; rebinding per target would
     // needlessly drop the evaluator's memo layers.
@@ -503,6 +514,8 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   SeqResult Result;
   Timer T;
   BddStats Before = S.Mgr.stats();
+  BddStats WorkerBefore = S.Ev.workerBddStats();
+  fpc::ParallelStats ParBefore = S.Ev.parallelStats();
   fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
 
   const sym::ConfVars &Conf = S.Engine.conf();
@@ -570,6 +583,9 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   Result.Cofactor.SupportBefore -= CfBefore.SupportBefore;
   Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
   Result.Bdd = S.Mgr.stats().since(Before);
+  Result.Bdd.merge(S.Ev.workerBddStats().since(WorkerBefore));
+  Result.SccsSolvedParallel =
+      S.Ev.parallelStats().since(ParBefore).SccsSolvedParallel;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;

@@ -75,6 +75,11 @@ struct SeqOptions {
   /// earlier queries. Off = every query re-solves from scratch (ablation /
   /// differential-testing baseline). One-shot solves ignore this.
   bool ReuseSolvedState = true;
+  /// Worker threads for the evaluator's parallel SCC scheduling (1 =
+  /// sequential). Independent dependency SCCs of the fixpoint system are
+  /// solved on a work-stealing pool over per-worker BDD managers;
+  /// verdicts, rounds, and witnesses are bit-identical at any setting.
+  unsigned Threads = 1;
 };
 
 struct SeqResult {
@@ -105,6 +110,9 @@ struct SeqResult {
   /// A one-shot solve reports (0, Iterations).
   uint64_t SummariesReused = 0;
   uint64_t SummariesRecomputed = 0;
+  /// Dependency SCCs solved on the worker pool (`Threads > 1` only; the
+  /// per-worker BDD counters are folded into `Bdd` via BddStats::merge).
+  uint64_t SccsSolvedParallel = 0;
 };
 
 /// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.

@@ -338,6 +338,7 @@ void WitnessExtractor::ensureSolved() {
   Layout L = Engine.factory().makeLayout(Mgr);
   Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
                                    Opts.Strategy, Opts.FrontierCofactor);
+  Ev->setThreads(Opts.Threads);
   // The target relation is declared but read by no clause; the solve (and
   // therefore every ring) is target-independent, which is what makes one
   // solve serve every later target query.

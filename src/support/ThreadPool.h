@@ -1,0 +1,132 @@
+//===- ThreadPool.h - Work-stealing worker pool -----------------*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool: each worker owns a deque, `run`
+/// pushes to the deques round-robin, a worker pops from the *back* of its
+/// own deque (LIFO, cache-warm) and steals from the *front* of a victim's
+/// (FIFO, oldest task — the classic Arora/Blumofe/Plumb discipline, here
+/// behind one pool mutex rather than lock-free deques: tasks in this
+/// codebase are whole SCC fixpoint solves, so task granularity dwarfs a
+/// mutex acquisition and the simple scheme is the TSAN-friendly one).
+///
+/// Tasks receive the index of the worker executing them, so callers can
+/// attach per-worker state (the parallel evaluator keys its per-worker BDD
+/// managers this way). The pool is agnostic of task ordering constraints —
+/// dependency scheduling lives in fpc::runDag, which only submits tasks
+/// whose dependencies already completed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_THREADPOOL_H
+#define GETAFIX_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace getafix {
+namespace support {
+
+class ThreadPool {
+public:
+  using Task = std::function<void(unsigned Worker)>;
+
+  explicit ThreadPool(unsigned Threads)
+      : Queues(Threads == 0 ? 1 : Threads) {
+    unsigned N = unsigned(Queues.size());
+    Workers.reserve(N);
+    for (unsigned W = 0; W < N; ++W)
+      Workers.emplace_back([this, W] { workerLoop(W); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stop = true;
+    }
+    Wake.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return unsigned(Workers.size()); }
+
+  /// Enqueues \p T. Tasks may themselves call `run` (the DAG runner's
+  /// completion handler submits newly unblocked tasks from worker
+  /// threads).
+  void run(Task T) {
+    unsigned Home = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                    unsigned(Queues.size());
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queues[Home].push_back(std::move(T));
+    }
+    Wake.notify_one();
+  }
+
+  /// Tasks executed after being stolen from another worker's deque (a
+  /// utilization signal for the scheduler's counters).
+  uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
+
+private:
+  void workerLoop(unsigned W) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (true) {
+      Task T;
+      bool Stolen = false;
+      if (!Queues[W].empty()) {
+        T = std::move(Queues[W].back());
+        Queues[W].pop_back();
+      } else {
+        for (size_t I = 1; I < Queues.size() && !T; ++I) {
+          std::deque<Task> &Victim = Queues[(W + I) % Queues.size()];
+          if (!Victim.empty()) {
+            T = std::move(Victim.front());
+            Victim.pop_front();
+            Stolen = true;
+          }
+        }
+      }
+      if (T) {
+        Lock.unlock();
+        if (Stolen)
+          Steals.fetch_add(1, std::memory_order_relaxed);
+        T(W);
+        Lock.lock();
+        continue;
+      }
+      if (Stop)
+        return;
+      Wake.wait(Lock);
+    }
+  }
+
+  /// One mutex for all deques: contended only at task push/pop boundaries,
+  /// which for SCC-sized tasks is noise — and it makes the
+  /// empty-check-then-sleep race impossible by construction.
+  std::mutex Mutex;
+  std::condition_variable Wake;
+  std::vector<std::deque<Task>> Queues;
+  std::vector<std::thread> Workers;
+  std::atomic<unsigned> NextQueue{0};
+  std::atomic<uint64_t> Steals{0};
+  bool Stop = false;
+};
+
+} // namespace support
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_THREADPOOL_H

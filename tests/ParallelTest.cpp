@@ -1,0 +1,470 @@
+//===- ParallelTest.cpp - Parallel SCC scheduling differential tests ------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness contract of `--threads N`: bit-identical results to a
+/// sequential solve, everywhere. Covers
+///
+///   - `BddImporter` in isolation (truth-table equality, canonical node
+///     identity against natively-rebuilt functions, survival of source-
+///     and destination-side GCs),
+///   - multi-SCC calculus systems solved at threads {1, 2, 4}: identical
+///     relation values (compared exactly, via import into one manager),
+///     identical per-relation iteration counts, both strategies,
+///   - every registered engine through the Solver facade at threads 1 vs
+///     4 — both strategies, all three cofactor modes, witness queries,
+///   - sessions under `Threads > 1`: solve/solveAll bit-identical to
+///     fresh solves and to a `Threads = 1` session, with and without
+///     state reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Solver.h"
+#include "bdd/Bdd.h"
+#include "fpcalc/Evaluator.h"
+#include "fpcalc/Parser.h"
+#include "gen/Workloads.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace getafix;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BddImporter
+//===----------------------------------------------------------------------===//
+
+/// A random function over \p NumVars variables as an OR of random cubes.
+Bdd randomFunction(BddManager &Mgr, Rng &R, unsigned NumVars,
+                   unsigned Terms) {
+  Bdd F = Mgr.zero();
+  for (unsigned T = 0; T < Terms; ++T) {
+    Bdd Cube = Mgr.one();
+    for (unsigned V = 0; V < NumVars; ++V) {
+      switch (R.below(3)) {
+      case 0:
+        Cube &= Mgr.var(V);
+        break;
+      case 1:
+        Cube &= Mgr.nvar(V);
+        break;
+      default:
+        break; // Don't-care.
+      }
+    }
+    F |= Cube;
+  }
+  return F;
+}
+
+void expectSameTruthTable(const Bdd &A, const Bdd &B, unsigned NumVars) {
+  ASSERT_LE(NumVars, 12u);
+  for (uint64_t Bits = 0; Bits < (uint64_t(1) << NumVars); ++Bits) {
+    std::vector<bool> Assignment(NumVars);
+    for (unsigned V = 0; V < NumVars; ++V)
+      Assignment[V] = (Bits >> V) & 1;
+    ASSERT_EQ(A.eval(Assignment), B.eval(Assignment)) << "at " << Bits;
+  }
+}
+
+TEST(BddImporterTest, ImportPreservesFunctionsAndCanonicity) {
+  constexpr unsigned NumVars = 10;
+  BddManager Src(NumVars), Dst(NumVars);
+  BddImporter Imp(Src, Dst);
+  Rng R(3);
+  for (unsigned I = 0; I < 20; ++I) {
+    Bdd F = randomFunction(Src, R, NumVars, 1 + unsigned(R.below(12)));
+    Bdd G = Imp.import(F);
+    ASSERT_EQ(G.manager(), &Dst);
+    expectSameTruthTable(F, G, NumVars);
+    EXPECT_EQ(F.nodeCount(), G.nodeCount());
+    EXPECT_EQ(F.support(), G.support());
+  }
+  // Terminals import as themselves.
+  EXPECT_TRUE(Imp.import(Src.zero()).isZero());
+  EXPECT_TRUE(Imp.import(Src.one()).isOne());
+  EXPECT_TRUE(Imp.import(Bdd()).isNull());
+}
+
+TEST(BddImporterTest, ImportedBddIsCanonicallyIdenticalToNativeBuild) {
+  // Build the same function natively in both managers; the import of one
+  // must be *the same node* as the other (ROBDD canonicity is what makes
+  // parallel results bit-identical).
+  constexpr unsigned NumVars = 8;
+  BddManager Src(NumVars), Dst(NumVars);
+  Rng RA(11), RB(11); // Same seed: same construction sequence.
+  Bdd F = randomFunction(Src, RA, NumVars, 9);
+  Bdd Native = randomFunction(Dst, RB, NumVars, 9);
+  BddImporter Imp(Src, Dst);
+  EXPECT_EQ(Imp.import(F), Native);
+}
+
+TEST(BddImporterTest, MemoSurvivesDestinationGcAndInvalidatesOnSourceGc) {
+  constexpr unsigned NumVars = 10;
+  BddManager Src(NumVars), Dst(NumVars);
+  BddImporter Imp(Src, Dst);
+  Rng R(5);
+  Bdd Keep = randomFunction(Src, R, NumVars, 8);
+  Bdd KeptDst = Imp.import(Keep);
+  EXPECT_GT(Imp.memoSize(), 0u);
+
+  // Destination-side GC: memo entries hold external refs, so the
+  // translations stay valid (and canonical) afterwards.
+  { Bdd Garbage = randomFunction(Dst, R, NumVars, 10); }
+  Dst.gc();
+  EXPECT_EQ(Imp.import(Keep), KeptDst);
+  expectSameTruthTable(Keep, KeptDst, NumVars);
+
+  // Source-side GC: freed source indices may be recycled; the importer
+  // must drop its memo and still translate correctly.
+  { Bdd Garbage = randomFunction(Src, R, NumVars, 10); }
+  Src.gc();
+  Bdd Fresh = randomFunction(Src, R, NumVars, 7);
+  expectSameTruthTable(Fresh, Imp.import(Fresh), NumVars);
+  EXPECT_EQ(Imp.import(Keep), KeptDst);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-SCC calculus systems: threads {1, 2, 4} differential
+//===----------------------------------------------------------------------===//
+
+struct FpSolve {
+  std::unique_ptr<BddManager> Mgr;
+  std::unique_ptr<fpc::Evaluator> Ev;
+  Bdd Root;
+  std::map<std::string, fpc::RelStats> Stats;
+  uint64_t SccsParallel = 0;
+};
+
+FpSolve solveRoot(const fpc::System &Sys,
+                  const std::vector<fpc::Fact> &Facts, unsigned Threads,
+                  fpc::EvalStrategy Strategy) {
+  FpSolve S;
+  S.Mgr = std::make_unique<BddManager>(0, /*CacheBits=*/14);
+  S.Ev = std::make_unique<fpc::Evaluator>(
+      Sys, *S.Mgr, fpc::Layout::sequential(Sys, *S.Mgr), Strategy);
+  S.Ev->setThreads(Threads);
+  fpc::bindFacts(*S.Ev, Sys, Facts);
+  S.Root = S.Ev->evaluate(Sys.relId("Root")).Value;
+  S.Stats = S.Ev->stats();
+  S.SccsParallel = S.Ev->parallelStats().SccsSolvedParallel;
+  return S;
+}
+
+void expectSameRelStats(const std::map<std::string, fpc::RelStats> &A,
+                        const std::map<std::string, fpc::RelStats> &B,
+                        const std::string &Context) {
+  ASSERT_EQ(A.size(), B.size()) << Context;
+  for (const auto &[Name, RA] : A) {
+    auto It = B.find(Name);
+    ASSERT_NE(It, B.end()) << Context << ": " << Name;
+    EXPECT_EQ(RA.Iterations, It->second.Iterations) << Context << " " << Name;
+    EXPECT_EQ(RA.Evaluations, It->second.Evaluations)
+        << Context << " " << Name;
+    EXPECT_EQ(RA.FinalNodes, It->second.FinalNodes) << Context << " " << Name;
+  }
+}
+
+TEST(ParallelSccTest, MultiSccSystemsBitIdenticalAcrossThreadCounts) {
+  for (gen::MultiSccStyle Style :
+       {gen::MultiSccStyle::Graph, gen::MultiSccStyle::Lockstep}) {
+    for (fpc::EvalStrategy Strategy :
+         {fpc::EvalStrategy::SemiNaive, fpc::EvalStrategy::Naive}) {
+      gen::MultiSccParams P;
+      P.Style = Style;
+      P.Relations = 5;
+      P.Bits = 4;
+      P.ExtraEdges = 6;
+      P.Seed = 13;
+      std::string Src = gen::multiSccFixpointSystem(P);
+      DiagnosticEngine Diags;
+      std::vector<fpc::Fact> Facts;
+      auto Sys = fpc::parseSystem(Src, Diags, &Facts);
+      ASSERT_TRUE(Sys) << Diags.str();
+
+      std::string Ctx =
+          std::string(Style == gen::MultiSccStyle::Graph ? "graph"
+                                                         : "lockstep") +
+          "/" + fpc::strategyName(Strategy);
+      FpSolve Base = solveRoot(*Sys, Facts, 1, Strategy);
+      EXPECT_EQ(Base.SccsParallel, 0u);
+      for (unsigned Threads : {2u, 4u}) {
+        FpSolve Par = solveRoot(*Sys, Facts, Threads, Strategy);
+        // Exact value equality, cross-manager: import into the baseline
+        // manager and compare canonical nodes.
+        BddImporter Imp(*Par.Mgr, *Base.Mgr);
+        EXPECT_EQ(Imp.import(Par.Root), Base.Root)
+            << Ctx << " threads=" << Threads;
+        expectSameRelStats(Base.Stats, Par.Stats,
+                           Ctx + " threads=" + std::to_string(Threads));
+        EXPECT_EQ(Par.SccsParallel, uint64_t(P.Relations))
+            << Ctx << " threads=" << Threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelSccTest, RandomizedSystemsAndRepeatedSolvesAreDeterministic) {
+  Rng R(99);
+  for (unsigned Round = 0; Round < 3; ++Round) {
+    gen::MultiSccParams P;
+    P.Style = R.flip() ? gen::MultiSccStyle::Graph
+                       : gen::MultiSccStyle::Lockstep;
+    P.Relations = 2 + unsigned(R.below(5));
+    P.Bits = 3 + unsigned(R.below(2));
+    P.ExtraEdges = unsigned(R.below(8));
+    P.Seed = R.next();
+    std::string Src = gen::multiSccFixpointSystem(P);
+    DiagnosticEngine Diags;
+    std::vector<fpc::Fact> Facts;
+    auto Sys = fpc::parseSystem(Src, Diags, &Facts);
+    ASSERT_TRUE(Sys) << Diags.str();
+
+    FpSolve Base = solveRoot(*Sys, Facts, 1, fpc::EvalStrategy::SemiNaive);
+    FpSolve A = solveRoot(*Sys, Facts, 4, fpc::EvalStrategy::SemiNaive);
+    FpSolve B = solveRoot(*Sys, Facts, 4, fpc::EvalStrategy::SemiNaive);
+    BddImporter ImpA(*A.Mgr, *Base.Mgr);
+    BddImporter ImpB(*B.Mgr, *Base.Mgr);
+    EXPECT_EQ(ImpA.import(A.Root), Base.Root) << "round " << Round;
+    EXPECT_EQ(ImpB.import(B.Root), Base.Root) << "round " << Round;
+    expectSameRelStats(A.Stats, B.Stats, "repeat run");
+  }
+}
+
+TEST(ParallelSccTest, RebindAndInvalidateDropWorkerMemos) {
+  // Regression test: the persistent worker evaluators must not serve
+  // relation values solved under an earlier input binding. The shape is
+  // adversarial: M's SCC applies no input *directly* (the binding flows
+  // through L), so task seeding alone would never refresh a stale
+  // worker-side M.
+  using namespace getafix::fpc;
+  System Sys;
+  DomainId D = Sys.addDomain("D", 8);
+  VarId A = Sys.addVar("a", D);
+  RelId I = Sys.declareRel("I", {A});
+  RelId L = Sys.declareRel("L", {A});
+  Sys.define(L, Sys.applyVars(I, {A}));
+  RelId M = Sys.declareRel("M", {A});
+  Sys.define(M, Sys.mkOr({Sys.applyVars(L, {A}), Sys.applyVars(M, {A})}));
+  RelId R2 = Sys.declareRel("R2", {A});
+  Sys.define(R2, Sys.mkOr({Sys.eqConst(A, 1), Sys.applyVars(R2, {A})}));
+  RelId Root = Sys.declareRel("Root", {A});
+  Sys.define(Root,
+             Sys.mkOr({Sys.applyVars(M, {A}), Sys.applyVars(R2, {A})}));
+
+  BddManager Mgr(0, 12);
+  Evaluator Ev(Sys, Mgr, Layout::sequential(Sys, Mgr));
+  Ev.setThreads(2);
+  // Several rebind rounds: task-to-worker placement varies, so one round
+  // might miss the stale worker by luck.
+  for (uint64_t V = 0; V < 6; ++V) {
+    Ev.bindInput(I, Ev.encodeEqConst(A, V));
+    Bdd Expected = Ev.encodeEqConst(A, V) | Ev.encodeEqConst(A, 1);
+    EXPECT_EQ(Ev.evaluate(Root).Value, Expected) << "rebind to " << V;
+  }
+  // invalidate() must reach the workers too.
+  Ev.invalidate();
+  EXPECT_EQ(Ev.evaluate(Root).Value,
+            Ev.encodeEqConst(A, 5) | Ev.encodeEqConst(A, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Engine differential: threads 1 vs 4 through the Solver facade
+//===----------------------------------------------------------------------===//
+
+const char *FixtureBody = R"(
+main() begin
+  locked := F;
+  call work(F);
+end
+work(nested) begin
+  if (locked) then
+    ERR: skip;
+  else
+    locked := T;
+  fi
+  if (!nested) then
+    call work(T);
+  fi
+  if (locked & !locked) then
+    SAFE: skip;
+  fi
+  locked := F;
+end
+)";
+
+std::string seqFixture() { return std::string("decl locked;\n") + FixtureBody; }
+
+std::string concFixture() {
+  return std::string("shared decl locked;\nthread\n") + FixtureBody + "end\n";
+}
+
+/// The observables that must be bit-identical across thread counts.
+void expectSameCore(const SolveResult &A, const SolveResult &B,
+                    const std::string &Context) {
+  EXPECT_EQ(A.Status, B.Status) << Context;
+  EXPECT_EQ(A.Reachable, B.Reachable) << Context;
+  EXPECT_EQ(A.HitIterationLimit, B.HitIterationLimit) << Context;
+  EXPECT_EQ(A.Iterations, B.Iterations) << Context;
+  EXPECT_EQ(A.DeltaRounds, B.DeltaRounds) << Context;
+  EXPECT_EQ(A.SummaryNodes, B.SummaryNodes) << Context;
+  EXPECT_DOUBLE_EQ(A.ReachStates, B.ReachStates) << Context;
+  EXPECT_EQ(A.HasWitness, B.HasWitness) << Context;
+  EXPECT_EQ(A.WitnessText, B.WitnessText) << Context;
+}
+
+TEST(ParallelEngineTest, AllEnginesAllStrategiesAllCofactorsThreads1Vs4) {
+  for (const api::Engine *E : Solver::engines()) {
+    std::string Source =
+        E->handlesConcurrent() ? concFixture() : seqFixture();
+    for (fpc::EvalStrategy Strategy :
+         {fpc::EvalStrategy::SemiNaive, fpc::EvalStrategy::Naive}) {
+      for (fpc::CofactorMode Mode :
+           {fpc::CofactorMode::Constrain, fpc::CofactorMode::Restrict,
+            fpc::CofactorMode::Off}) {
+        for (const char *Label : {"ERR", "SAFE"}) {
+          SolverOptions Opts;
+          Opts.Engine = E->name();
+          Opts.Strategy = Strategy;
+          Opts.FrontierCofactor = Mode;
+          Query Q = Query::fromSource(Source).target(Label);
+          SolveResult T1 = Solver::solve(Q, Opts);
+          Opts.Threads = 4;
+          SolveResult T4 = Solver::solve(Q, Opts);
+          expectSameCore(T1, T4,
+                         std::string(E->name()) + "/" +
+                             fpc::strategyName(Strategy) + "/" +
+                             fpc::cofactorModeName(Mode) + "/" + Label);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEngineTest, WitnessQueriesIdenticalAcrossThreads) {
+  for (const api::Engine *E : Solver::engines()) {
+    if (!E->supportsWitness() || E->handlesConcurrent())
+      continue;
+    SolverOptions Opts;
+    Opts.Engine = E->name();
+    Query Q = Query::fromSource(seqFixture()).target("ERR").witness();
+    SolveResult T1 = Solver::solve(Q, Opts);
+    Opts.Threads = 4;
+    SolveResult T4 = Solver::solve(Q, Opts);
+    expectSameCore(T1, T4, std::string(E->name()) + "/witness");
+    EXPECT_TRUE(T4.HasWitness) << E->name();
+  }
+}
+
+TEST(ParallelEngineTest, GeneratedProgramsIdenticalAcrossThreads) {
+  // Generator output (driver + terminator shapes) through the default
+  // engines, threads 1 vs 4.
+  std::vector<gen::Workload> Cases;
+  {
+    gen::DriverParams P;
+    P.NumProcs = 8;
+    P.StmtsPerProc = 8;
+    P.Reachable = true;
+    P.Seed = 3;
+    Cases.push_back(gen::driverProgram(P));
+    gen::TerminatorParams T;
+    T.CounterBits = 4;
+    T.NumDeadVars = 3;
+    T.Reachable = false;
+    Cases.push_back(gen::terminatorProgram(T));
+  }
+  for (const gen::Workload &W : Cases) {
+    for (const char *EngineName : {"summary", "ef-split", "ef-opt"}) {
+      SolverOptions Opts;
+      Opts.Engine = EngineName;
+      Query Q = Query::fromSource(W.Source).target(W.TargetLabel);
+      SolveResult T1 = Solver::solve(Q, Opts);
+      Opts.Threads = 4;
+      SolveResult T4 = Solver::solve(Q, Opts);
+      expectSameCore(T1, T4, W.Name + "/" + EngineName);
+      if (W.ExpectKnown)
+        EXPECT_EQ(T4.Reachable, W.ExpectReachable) << W.Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sessions under Threads > 1
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSessionTest, SessionsBitIdenticalAcrossThreadsAndReuse) {
+  for (const api::Engine *E : Solver::engines()) {
+    std::string Source =
+        E->handlesConcurrent() ? concFixture() : seqFixture();
+    std::vector<Query> Queries;
+    for (const char *Label : {"ERR", "SAFE", "ERR"})
+      Queries.push_back(Query::fromSource("").target(Label));
+
+    SolverOptions T1Opts;
+    T1Opts.Engine = E->name();
+    SolverOptions T4Opts = T1Opts;
+    T4Opts.Threads = 4;
+
+    // Fresh per-query baselines at threads 1.
+    std::vector<SolveResult> Fresh;
+    for (const Query &Q : Queries) {
+      Query FQ = Q;
+      FQ.Source = Source;
+      Fresh.push_back(Solver::solve(FQ, T1Opts));
+      ASSERT_TRUE(Fresh.back().ok()) << E->name();
+    }
+
+    for (bool Reuse : {true, false}) {
+      SolverOptions Opts = T4Opts;
+      Opts.SessionReuse = Reuse;
+      auto Session = Solver::open(Query::fromSource(Source), Opts);
+      ASSERT_TRUE(Session->ok()) << E->name() << ": " << Session->error();
+      // Individual solves, then a solveAll batch on a second session.
+      for (size_t I = 0; I < Queries.size(); ++I) {
+        SolveResult R = Session->solve(Queries[I]);
+        expectSameCore(Fresh[I], R, std::string(E->name()) +
+                                        "/t4-session reuse=" +
+                                        (Reuse ? "on" : "off"));
+      }
+      auto Batch = Solver::open(Query::fromSource(Source), Opts);
+      ASSERT_TRUE(Batch->ok());
+      std::vector<SolveResult> All = Batch->solveAll(Queries);
+      ASSERT_EQ(All.size(), Queries.size());
+      for (size_t I = 0; I < All.size(); ++I)
+        expectSameCore(Fresh[I], All[I],
+                       std::string(E->name()) + "/t4-solveAll");
+    }
+  }
+}
+
+TEST(ParallelSessionTest, MidSessionCacheClearStaysIdentical) {
+  SolverOptions Opts;
+  Opts.Engine = "ef-split";
+  Opts.Threads = 4;
+  auto Session = Solver::open(Query::fromSource(seqFixture()), Opts);
+  ASSERT_TRUE(Session->ok());
+  SolveResult A = Session->solve(Query::fromSource("").target("ERR"));
+  Session->clearComputedCache();
+  SolveResult B = Session->solve(Query::fromSource("").target("SAFE"));
+
+  SolverOptions Seq = Opts;
+  Seq.Threads = 1;
+  SolveResult FA =
+      Solver::solve(Query::fromSource(seqFixture()).target("ERR"), Seq);
+  SolveResult FB =
+      Solver::solve(Query::fromSource(seqFixture()).target("SAFE"), Seq);
+  expectSameCore(FA, A, "clear/ERR");
+  expectSameCore(FB, B, "clear/SAFE");
+}
+
+} // namespace

@@ -23,6 +23,10 @@
 ///     --stats         print per-query and cumulative iteration/delta
 ///                     counts per relation
 ///     --strategy <s>  naive or semi-naive (default) fixpoint iteration
+///     --threads n     worker threads for parallel SCC scheduling: the
+///                     requested relation's independent dependency SCCs
+///                     are solved on a work-stealing pool over per-worker
+///                     BDD managers (default 1; results bit-identical)
 ///     --cache-bits n  BDD computed cache of 2^n entries (default 18)
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                     generalized cofactor of narrow delta rounds
@@ -52,7 +56,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fpsolve [--eval R[,S,...]] [--count] [--stats] "
-               "[--strategy naive|semi-naive] [--cache-bits n] "
+               "[--strategy naive|semi-naive] [--threads n] [--cache-bits n] "
                "[--frontier-cofactor constrain|restrict|off] "
                "[--no-constrain] <system.mu>\n");
   return 2;
@@ -112,6 +116,7 @@ int main(int Argc, char **Argv) {
   bool CountOnly = false, Stats = false;
   CofactorMode Cofactor = CofactorMode::Constrain;
   unsigned CacheBits = 18;
+  unsigned Threads = 1;
   EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -140,6 +145,13 @@ int main(int Argc, char **Argv) {
       if (Bits < 2 || Bits > 30)
         return usage();
       CacheBits = unsigned(Bits);
+    } else if (Arg == "--threads") {
+      if (I + 1 >= Argc)
+        return usage();
+      int N = std::atoi(Argv[++I]);
+      if (N < 1 || N > 256)
+        return usage();
+      Threads = unsigned(N);
     } else if (Arg == "--frontier-cofactor") {
       if (I + 1 >= Argc || !parseCofactorMode(Argv[++I], Cofactor))
         return usage();
@@ -207,6 +219,7 @@ int main(int Argc, char **Argv) {
   BddManager Mgr(0, CacheBits);
   Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy,
                Cofactor);
+  Ev.setThreads(Threads);
   bindFacts(Ev, *Sys, Facts);
 
   bool AnyEmpty = false;
@@ -268,6 +281,14 @@ int main(int Argc, char **Argv) {
                   Name.c_str(), (unsigned long long)RS.Iterations,
                   (unsigned long long)RS.DeltaRounds,
                   (unsigned long long)RS.Evaluations, RS.FinalNodes);
+  }
+  if (Stats && Threads > 1) {
+    const fpc::ParallelStats &PS = Ev.parallelStats();
+    std::printf("# parallel: %llu sccs on %u threads, %llu schedules, "
+                "%llu steals\n",
+                (unsigned long long)PS.SccsSolvedParallel, PS.Threads,
+                (unsigned long long)PS.Schedules,
+                (unsigned long long)PS.Steals);
   }
 
   return AnyEmpty ? 1 : 0;

@@ -31,6 +31,9 @@
 ///                        Section-3 semantics; ablation/debugging)
 ///     --max-iterations n cap fixpoint rounds; a hit limit prints UNKNOWN
 ///                        (exit 3) unless the target was already found
+///     --threads n        worker threads for the evaluator's parallel SCC
+///                        scheduling (default 1; results bit-identical at
+///                        any setting)
 ///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                        generalized cofactor applied in narrow delta
@@ -69,6 +72,7 @@ struct CliOptions {
   unsigned ContextBound = 2;
   unsigned Rounds = 0; ///< 0 means "not given".
   uint64_t MaxIterations = 0;
+  unsigned Threads = 1;
   unsigned CacheBits = 18;
   fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
   bool SessionReuse = true;
@@ -86,7 +90,7 @@ int usage() {
                "[--rounds r] [--round-robin]\n"
                "               [--strategy naive|semi-naive] "
                "[--max-iterations n]\n"
-               "               [--cache-bits n] "
+               "               [--threads n] [--cache-bits n] "
                "[--frontier-cofactor constrain|restrict|off]\n"
                "               [--no-constrain] [--no-reuse]\n"
                "               [--witness] [--print-formula] [--stats] "
@@ -138,6 +142,9 @@ void printStatsBody(const CliOptions &Opts, const std::string &Engine,
               (unsigned long long)R.SummariesReused);
   std::printf("%s\"summaries_recomputed\": %llu,\n", Pad,
               (unsigned long long)R.SummariesRecomputed);
+  std::printf("%s\"threads\": %u,\n", Pad, Opts.Threads);
+  std::printf("%s\"sccs_solved_parallel\": %llu,\n", Pad,
+              (unsigned long long)R.SccsSolvedParallel);
   std::printf("%s\"summary_nodes\": %zu,\n", Pad, R.SummaryNodes);
   std::printf("%s\"peak_live_nodes\": %zu,\n", Pad, R.PeakLiveNodes);
   std::printf("%s\"bdd_nodes_created\": %llu,\n", Pad,
@@ -330,6 +337,14 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage();
       Opts.MaxIterations = uint64_t(std::atoll(V));
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      int N = std::atoi(V);
+      if (N < 1 || N > 256)
+        return usage();
+      Opts.Threads = unsigned(N);
     } else if (Arg == "--cache-bits") {
       const char *V = Next();
       if (!V)
@@ -379,6 +394,7 @@ int main(int Argc, char **Argv) {
   SO.CacheBits = Opts.CacheBits;
   SO.FrontierCofactor = Opts.FrontierCofactor;
   SO.SessionReuse = Opts.SessionReuse;
+  SO.Threads = Opts.Threads;
 
   if (!Opts.Targets.empty() && !Opts.PrintFormula)
     return runSession(Opts, Buffer.str(), SO);
