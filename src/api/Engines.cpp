@@ -131,6 +131,12 @@ public:
 
   void clearComputedCache() override { Session.clearComputedCache(); }
 
+  size_t liveNodes() const override { return Session.liveNodes(); }
+  size_t peakLiveNodes() const override { return Session.peakLiveNodes(); }
+  size_t memoryFootprint() const override {
+    return Session.memoryFootprint();
+  }
+
 private:
   const bp::ProgramCfg &Cfg;
   reach::SeqSession Session;
@@ -304,6 +310,12 @@ public:
   }
 
   void clearComputedCache() override { Session.clearComputedCache(); }
+
+  size_t liveNodes() const override { return Session.liveNodes(); }
+  size_t peakLiveNodes() const override { return Session.peakLiveNodes(); }
+  size_t memoryFootprint() const override {
+    return Session.memoryFootprint();
+  }
 
 private:
   conc::ConcSession Session;

@@ -406,6 +406,18 @@ void SolverSession::clearComputedCache() {
     Session->clearComputedCache();
 }
 
+size_t SolverSession::liveNodes() const {
+  return Session ? Session->liveNodes() : 0;
+}
+
+size_t SolverSession::peakLiveNodes() const {
+  return Session ? Session->peakLiveNodes() : 0;
+}
+
+size_t SolverSession::memoryFootprint() const {
+  return Session ? Session->memoryFootprint() : 0;
+}
+
 std::string Solver::formulaText(const Query &Q, const SolverOptions &Opts,
                                 std::string *Error) {
   // The equation system does not depend on the target, so a missing label

@@ -315,6 +315,18 @@ public:
   /// Drops BDD computed caches (a memory valve for long-lived sessions);
   /// solved state is kept and later queries stay bit-identical.
   virtual void clearComputedCache() {}
+
+  /// Live BDD nodes currently held by the session's managers, and the
+  /// lifetime peak of that count. 0 for engines without persistent BDD
+  /// state.
+  virtual size_t liveNodes() const { return 0; }
+  virtual size_t peakLiveNodes() const { return 0; }
+
+  /// Cheap estimate (bytes) of the session's resident solver state: live
+  /// nodes times their storage share plus the computed caches, with a
+  /// cleared-and-untouched cache discounted. This is the signal a
+  /// memory-budgeted session pool evicts on — an estimate, not RSS.
+  virtual size_t memoryFootprint() const { return 0; }
 };
 
 /// A pluggable reachability backend. Implementations translate
@@ -435,6 +447,14 @@ public:
   /// long-lived sessions); solved state is kept and later queries stay
   /// bit-identical.
   void clearComputedCache();
+
+  /// Session memory introspection (see `EngineSession`): live/peak BDD
+  /// node counts and a bytes estimate of the resident solver state. All
+  /// 0 for engines that fall back to fresh per-query solves (they hold
+  /// no state) and before the engine state is first opened.
+  size_t liveNodes() const;
+  size_t peakLiveNodes() const;
+  size_t memoryFootprint() const;
 
   /// Cross-query bookkeeping.
   struct SessionStats {

@@ -303,6 +303,19 @@ public:
   }
   size_t liveNodeCount() const;
 
+  /// Estimated heap bytes of this manager's live working set: live nodes
+  /// times their storage share (node record + external refcount + unique
+  /// table bucket) plus the computed cache. With \p CountCache false the
+  /// cache is discounted — callers that just issued `clearComputedCache`
+  /// hold an allocated-but-dead cache whose contents no longer back any
+  /// working set (the long-lived-session memory budget counts it that
+  /// way). An estimate, not RSS: free-listed node slots and the interned
+  /// cube/permutation tables are deliberately ignored.
+  size_t memoryEstimate(bool CountCache = true) const {
+    return liveNodeCount() * (sizeof(Node) + 2 * sizeof(uint32_t)) +
+           (CountCache ? Cache.size() * sizeof(CacheEntry) : 0);
+  }
+
 private:
   friend class Bdd;
 

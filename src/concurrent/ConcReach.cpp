@@ -6,6 +6,7 @@
 #include "support/Timer.h"
 #include "symbolic/Encode.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace getafix;
@@ -541,6 +542,11 @@ struct ConcSession::Impl {
   Evaluator Ev;
   IncrementalFixpoint Fix;
 
+  /// True between a `clearComputedCache` and the next query: the cache
+  /// is allocated but holds no live working set, so the footprint
+  /// estimate discounts it.
+  bool CacheCold = false;
+
   Impl(const bp::ConcurrentProgram &Conc,
        const std::vector<bp::ProgramCfg> &Cfgs, const ConcOptions &Opts)
       : Conc(Conc), Cfgs(Cfgs), Opts(Opts), Engine(Conc, Cfgs, Opts),
@@ -566,7 +572,25 @@ ConcSession::~ConcSession() = default;
 
 const ConcOptions &ConcSession::options() const { return I->Opts; }
 
-void ConcSession::clearComputedCache() { I->Mgr.clearComputedCache(); }
+void ConcSession::clearComputedCache() {
+  I->Mgr.clearComputedCache();
+  I->CacheCold = true;
+}
+
+size_t ConcSession::liveNodes() const {
+  return I->Mgr.liveNodeCount() + I->Ev.workerBddStats().LiveNodes;
+}
+
+size_t ConcSession::peakLiveNodes() const {
+  return std::max(I->Mgr.stats().PeakNodes,
+                  I->Ev.workerBddStats().PeakNodes);
+}
+
+size_t ConcSession::memoryFootprint() const {
+  constexpr size_t BytesPerWorkerNode = 24; // node + refcount + bucket.
+  return I->Mgr.memoryEstimate(/*CountCache=*/!I->CacheCold) +
+         I->Ev.workerBddStats().LiveNodes * BytesPerWorkerNode;
+}
 
 ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Impl &S = *I;
@@ -575,6 +599,7 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
 
   ConcResult Result;
   Timer Tm;
+  S.CacheCold = false; // Encoding/solving repopulates the computed cache.
   BddStats Before = S.Mgr.stats();
   BddStats WorkerBefore = S.Ev.workerBddStats();
   fpc::ParallelStats ParBefore = S.Ev.parallelStats();
@@ -620,6 +645,7 @@ bool ConcSession::answersFromState(unsigned Thread, unsigned ProcId,
   Impl &S = *I;
   if (!S.Opts.ReuseSolvedState)
     return false;
+  S.CacheCold = false; // Probing encodes the target over the manager.
   Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
   return S.Fix.answersFromState(TargetStates, S.Opts.EarlyStop,
                                 S.Opts.MaxIterations);

@@ -149,6 +149,15 @@ public:
   /// valve, bit-identical results).
   void clearComputedCache();
 
+  /// Session memory introspection (see `reach::SeqSession` for the exact
+  /// semantics): live/peak BDD node counts across the session's managers
+  /// and a cheap bytes estimate of resident state, with a cleared and
+  /// since-untouched computed cache discounted. Feeds the query server's
+  /// session-pool memory budget.
+  size_t liveNodes() const;
+  size_t peakLiveNodes() const;
+  size_t memoryFootprint() const;
+
   const ConcOptions &options() const;
 
 private:

@@ -441,6 +441,14 @@ Workload gen::terminatorProgram(const TerminatorParams &P) {
     }
   }
   Src += "  od;\n";
+  // Serving workloads: extra per-program targets after the loop, half
+  // trivially reachable (tautology guard), half not (contradiction) —
+  // all answerable from the one fixpoint the counter loop forces.
+  for (unsigned J = 0; J < P.LabeledCheckpoints; ++J) {
+    std::string Id = std::to_string(J);
+    Src += "  if (par | !par) then\n    CP" + Id + ": skip;\n  fi;\n";
+    Src += "  if (par & !par) then\n    DEAD" + Id + ": skip;\n  fi;\n";
+  }
   // 2^B - 1 increments happened, so parity must be odd; the negative
   // target sits behind the (provably false) even-parity claim.
   if (P.Reachable)
@@ -465,7 +473,8 @@ Workload gen::terminatorProgram(const TerminatorParams &P) {
 // Bluetooth driver model (Section 6.2 / Figure 3)
 //===----------------------------------------------------------------------===//
 
-std::string gen::bluetoothModel(unsigned NumAdders, unsigned NumStoppers) {
+std::string gen::bluetoothModel(unsigned NumAdders, unsigned NumStoppers,
+                                bool Labeled) {
   // Shared state: init latch, 2-bit pendingIo counter, stopping flag,
   // stopping event, driver-stopped flag, plus two scratch flags to match
   // the published model's 8 shared globals.
@@ -512,31 +521,45 @@ end
 )";
 
   for (unsigned I = 0; I < NumAdders; ++I) {
+    std::string Id = std::to_string(I);
     Src += "thread\n";
     Src += "main() begin\n  decl status;\n";
     Src += InitBlock;
-    Src += R"(  status := ioInc();
-  if (status) then
-    if (stopped) then
-      ERR: skip;
-    fi;
-  fi;
-  call ioDec();
-end
-)";
+    if (Labeled)
+      Src += "  INIT_A" + Id + ": skip;\n";
+    Src += "  status := ioInc();\n"
+           "  if (status) then\n";
+    if (Labeled)
+      Src += "    OK_A" + Id + ": skip;\n";
+    Src += "    if (stopped) then\n"
+           "      ERR: skip;\n"
+           "    fi;\n"
+           "  fi;\n"
+           "  call ioDec();\n";
+    if (Labeled) {
+      Src += "  DEC_A" + Id + ": skip;\n";
+      Src += "  if (scr1 & !scr1) then\n    DEAD_A" + Id + ": skip;\n  fi;\n";
+    }
+    Src += "end\n";
     Src += IoProcs;
     Src += "end\n";
   }
   for (unsigned I = 0; I < NumStoppers; ++I) {
+    std::string Id = std::to_string(I);
     Src += "thread\n";
     Src += "main() begin\n";
     Src += InitBlock;
-    Src += R"(  stopF := T;
-  call ioDec();
-  assume(stopE);
-  stopped := T;
-end
-)";
+    Src += "  stopF := T;\n";
+    if (Labeled)
+      Src += "  STOP_S" + Id + ": skip;\n";
+    Src += "  call ioDec();\n"
+           "  assume(stopE);\n"
+           "  stopped := T;\n";
+    if (Labeled) {
+      Src += "  DONE_S" + Id + ": skip;\n";
+      Src += "  if (scr2 & !scr2) then\n    DEAD_S" + Id + ": skip;\n  fi;\n";
+    }
+    Src += "end\n";
     Src += IoProcs;
     Src += "end\n";
   }

@@ -70,13 +70,28 @@ struct TerminatorParams {
   DeadVarStyle Style = DeadVarStyle::Schoose;
   bool Reachable = false;
   uint64_t Seed = 1;
+  /// When nonzero, adds `2 * LabeledCheckpoints` extra target labels to
+  /// `main` after the counter loop: `CP<j>` behind a tautology (reachable)
+  /// and `DEAD<j>` behind a contradiction (unreachable). Multi-target
+  /// serving workloads (getafixd / getafix_load) query them all against
+  /// one session; 0 (the default) generates byte-identical output to
+  /// before this knob existed.
+  unsigned LabeledCheckpoints = 0;
 };
 Workload terminatorProgram(const TerminatorParams &P);
 
 /// Concurrent Bluetooth driver model: parse with parseConcurrentProgram.
 /// Figure-3 configurations: (1,1) safe; (1,2) fails at >= 3 switches;
 /// (2,1) fails at >= 4; (2,2) fails at >= 3.
-std::string bluetoothModel(unsigned NumAdders, unsigned NumStoppers);
+///
+/// \p Labeled adds per-thread target labels for multi-target serving
+/// workloads — in each adder thread i: `INIT_A<i>` (after the init latch),
+/// `OK_A<i>` (I/O accepted), `DEC_A<i>` (exit path), `DEAD_A<i>` (behind a
+/// contradiction, unreachable); in each stopper thread i: `STOP_S<i>`,
+/// `DONE_S<i>`, `DEAD_S<i>`. False (the default) generates byte-identical
+/// output to the unlabeled model.
+std::string bluetoothModel(unsigned NumAdders, unsigned NumStoppers,
+                           bool Labeled = false);
 
 /// Multi-SCC fixed-point systems for the evaluator's parallel SCC
 /// scheduler: `Relations` *independent* recursive relations (each its own

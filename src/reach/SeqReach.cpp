@@ -8,6 +8,8 @@
 #include "support/Timer.h"
 #include "symbolic/Encode.h"
 
+#include <algorithm>
+
 using namespace getafix;
 using namespace getafix::reach;
 using namespace getafix::fpc;
@@ -472,6 +474,11 @@ struct SeqSession::Impl {
   /// created on the first witness query.
   std::unique_ptr<WitnessSession> Witness;
 
+  /// True between a `clearComputedCache` and the next query: the main
+  /// manager's cache is allocated but holds no live working set, so the
+  /// footprint estimate discounts it.
+  bool CacheCold = false;
+
   Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
       : Cfg(Cfg), Opts(Opts), Engine(Cfg, Opts.Alg), Mgr(0, Opts.CacheBits),
         Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
@@ -498,10 +505,31 @@ const SeqOptions &SeqSession::options() const { return I->Opts; }
 
 void SeqSession::clearComputedCache() {
   I->Mgr.clearComputedCache();
+  I->CacheCold = true;
   // The witness sub-session runs its own manager (the ring-recording
   // entry-forward solve); the memory valve must reach it too.
   if (I->Witness)
     I->Witness->clearComputedCache();
+}
+
+size_t SeqSession::liveNodes() const {
+  // Parallel worker managers are session state too (warm across
+  // queries); their merged gauge is the sum of per-worker live counts.
+  return I->Mgr.liveNodeCount() + I->Ev.workerBddStats().LiveNodes +
+         (I->Witness ? I->Witness->liveNodes() : 0);
+}
+
+size_t SeqSession::peakLiveNodes() const {
+  return std::max(I->Mgr.stats().PeakNodes,
+                  I->Ev.workerBddStats().PeakNodes) +
+         (I->Witness ? I->Witness->peakLiveNodes() : 0);
+}
+
+size_t SeqSession::memoryFootprint() const {
+  constexpr size_t BytesPerWorkerNode = 24; // node + refcount + bucket.
+  return I->Mgr.memoryEstimate(/*CountCache=*/!I->CacheCold) +
+         I->Ev.workerBddStats().LiveNodes * BytesPerWorkerNode +
+         (I->Witness ? I->Witness->memoryFootprint() : 0);
 }
 
 SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
@@ -513,6 +541,7 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
 
   SeqResult Result;
   Timer T;
+  S.CacheCold = false; // Encoding/solving repopulates the computed cache.
   BddStats Before = S.Mgr.stats();
   BddStats WorkerBefore = S.Ev.workerBddStats();
   fpc::ParallelStats ParBefore = S.Ev.parallelStats();
@@ -623,6 +652,7 @@ bool SeqSession::answersFromState(unsigned ProcId, unsigned Pc,
     return S.Witness && S.Witness->solved();
   if (S.Opts.Alg == SeqAlgorithm::SummarySimple)
     return S.SimpleSolved;
+  S.CacheCold = false; // Probing encodes the target over the manager.
   const sym::ConfVars &Conf = S.Engine.conf();
   Bdd TargetStates = S.Ev.encodeEqConst(Conf.Mod, ProcId) &
                      S.Ev.encodeEqConst(Conf.Pc, Pc);

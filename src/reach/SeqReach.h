@@ -164,6 +164,20 @@ public:
   /// bit-identical to fresh solves.
   void clearComputedCache();
 
+  /// Session memory introspection, for callers that budget many resident
+  /// sessions (the query server's pool). `liveNodes` counts live BDD
+  /// nodes across the session's managers (main, witness sub-session, and
+  /// parallel worker managers); `peakLiveNodes` is the lifetime peak of
+  /// the same sum. `memoryFootprint` is a cheap bytes estimate of the
+  /// resident solver state: live nodes times their storage share plus the
+  /// computed caches — a cache that was `clearComputedCache`d and not
+  /// touched since is discounted (allocated but dead). Estimates, not
+  /// RSS; they exist so an eviction policy has a monotone-ish signal,
+  /// not for accounting.
+  size_t liveNodes() const;
+  size_t peakLiveNodes() const;
+  size_t memoryFootprint() const;
+
   const SeqOptions &options() const;
 
 private:

@@ -44,7 +44,21 @@ public:
 
   bool solved() const { return Ev != nullptr; }
 
-  void clearComputedCache() { Mgr.clearComputedCache(); }
+  void clearComputedCache() {
+    Mgr.clearComputedCache();
+    CacheCold = true;
+  }
+
+  size_t liveNodes() const { return Mgr.liveNodeCount(); }
+  size_t peakLiveNodes() const { return Mgr.stats().PeakNodes; }
+  size_t memoryFootprint() const {
+    return Mgr.memoryEstimate(/*CountCache=*/!CacheCold);
+  }
+
+  /// True between a `clearComputedCache` and the next query: the cache is
+  /// allocated but holds no live working set, so the footprint estimate
+  /// discounts it.
+  bool CacheCold = false;
 
 private:
   /// Runs the ring-recording solve on first use and snapshots the
@@ -373,6 +387,7 @@ void WitnessExtractor::ensureSolved() {
 
 WitnessResult WitnessExtractor::query(unsigned ProcId, unsigned Pc) {
   ensureSolved();
+  CacheCold = false; // Extraction repopulates the computed cache.
   WitnessResult Result = Base;
   Steps.clear();
 
@@ -433,6 +448,16 @@ bool WitnessSession::solved() const { return I->Extractor.solved(); }
 
 void WitnessSession::clearComputedCache() {
   I->Extractor.clearComputedCache();
+}
+
+size_t WitnessSession::liveNodes() const { return I->Extractor.liveNodes(); }
+
+size_t WitnessSession::peakLiveNodes() const {
+  return I->Extractor.peakLiveNodes();
+}
+
+size_t WitnessSession::memoryFootprint() const {
+  return I->Extractor.memoryFootprint();
 }
 
 WitnessResult

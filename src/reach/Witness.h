@@ -114,6 +114,14 @@ public:
   /// valve, bit-identical results).
   void clearComputedCache();
 
+  /// Live / peak node counts of the extractor's BDD manager (0 before the
+  /// lazy solve has run), and the estimated bytes of resident state — a
+  /// cleared-and-untouched computed cache is discounted. These feed the
+  /// owning session's `memoryFootprint`.
+  size_t liveNodes() const;
+  size_t peakLiveNodes() const;
+  size_t memoryFootprint() const;
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;

@@ -1,0 +1,516 @@
+//===- Protocol.cpp - getafixd line-oriented JSON protocol ----------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace getafix {
+namespace server {
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void escapeTo(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+void numberTo(double V, std::string &Out) {
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 9e15) {
+    char B[32];
+    std::snprintf(B, sizeof(B), "%lld", static_cast<long long>(V));
+    Out += B;
+    return;
+  }
+  char B[64];
+  std::snprintf(B, sizeof(B), "%.6f", std::isfinite(V) ? V : 0.0);
+  Out += B;
+}
+
+void dumpTo(const Json &J, std::string &Out) {
+  switch (J.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Number:
+    numberTo(J.asNumber(), Out);
+    break;
+  case Json::Kind::String:
+    escapeTo(J.asString(), Out);
+    break;
+  case Json::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Json &E : J.items()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpTo(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &F : J.fields()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      escapeTo(F.first, Out);
+      Out += ':';
+      dumpTo(F.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &F : Fields)
+    if (F.first == Key)
+      return &F.second;
+  return nullptr;
+}
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpTo(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over a complete request line. Depth-capped:
+/// protocol values are flat, and the cap keeps a hostile deeply-nested
+/// line from overflowing the stack.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : S(Text), Error(Error) {}
+
+  bool run(Json &Out) {
+    skipWs();
+    if (!value(Out, 0))
+      return false;
+    skipWs();
+    if (P != S.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 32;
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(P);
+    return false;
+  }
+
+  void skipWs() {
+    while (P < S.size() && (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' ||
+                            S[P] == '\r'))
+      ++P;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = 0;
+    while (Lit[N])
+      ++N;
+    if (S.compare(P, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    P += N;
+    return true;
+  }
+
+  bool value(Json &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (P >= S.size())
+      return fail("unexpected end of input");
+    switch (S[P]) {
+    case '{':
+      return object(Out, Depth);
+    case '[':
+      return array(Out, Depth);
+    case '"': {
+      std::string V;
+      if (!string(V))
+        return false;
+      Out = Json::str(std::move(V));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Json::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Json::boolean(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Json::null();
+      return true;
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(Json &Out, int Depth) {
+    ++P; // '{'
+    Out = Json::object();
+    skipWs();
+    if (P < S.size() && S[P] == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (P >= S.size() || S[P] != '"')
+        return fail("expected object key");
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (P >= S.size() || S[P] != ':')
+        return fail("expected ':'");
+      ++P;
+      skipWs();
+      Json V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (P >= S.size())
+        return fail("unterminated object");
+      if (S[P] == ',') {
+        ++P;
+        continue;
+      }
+      if (S[P] == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(Json &Out, int Depth) {
+    ++P; // '['
+    Out = Json::array();
+    skipWs();
+    if (P < S.size() && S[P] == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Json V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.add(std::move(V));
+      skipWs();
+      if (P >= S.size())
+        return fail("unterminated array");
+      if (S[P] == ',') {
+        ++P;
+        continue;
+      }
+      if (S[P] == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      if (P >= S.size())
+        return fail("truncated \\u escape");
+      char C = S[P++];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("bad \\u escape digit");
+      Out = Out * 16 + D;
+    }
+    return true;
+  }
+
+  void appendUtf8(unsigned Cp, std::string &Out) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xC0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      Out += static_cast<char>(0xE0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++P; // '"'
+    Out.clear();
+    while (P < S.size()) {
+      char C = S[P];
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C == '\\') {
+        ++P;
+        if (P >= S.size())
+          return fail("truncated escape");
+        char E = S[P++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          unsigned Cp;
+          if (!hex4(Cp))
+            return false;
+          appendUtf8(Cp, Out);
+          break;
+        }
+        default:
+          return fail("bad escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      Out += C;
+      ++P;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Json &Out) {
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    if (P < S.size() && S[P] == '.') {
+      ++P;
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+        ++P;
+    }
+    if (P < S.size() && (S[P] == 'e' || S[P] == 'E')) {
+      ++P;
+      if (P < S.size() && (S[P] == '+' || S[P] == '-'))
+        ++P;
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+        ++P;
+    }
+    if (P == Start || (P == Start + 1 && S[Start] == '-'))
+      return fail("bad number");
+    char *End = nullptr;
+    std::string Tok = S.substr(Start, P - Start);
+    double V = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("bad number");
+    Out = Json::number(V);
+    return true;
+  }
+
+  const std::string &S;
+  std::string &Error;
+  size_t P = 0;
+};
+
+} // namespace
+
+bool Json::parse(const std::string &Text, Json &Out, std::string &Error) {
+  return Parser(Text, Error).run(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool getString(const Json &Obj, const char *Key, std::string &Out,
+               std::string &Error) {
+  const Json *V = Obj.find(Key);
+  if (!V)
+    return true; // Optional; leave Out unchanged.
+  if (!V->isString()) {
+    Error = std::string("field '") + Key + "' must be a string";
+    return false;
+  }
+  Out = V->asString();
+  return true;
+}
+
+} // namespace
+
+bool parseRequest(const std::string &Line, Request &Out, std::string &Error) {
+  Json J;
+  if (!Json::parse(Line, J, Error)) {
+    Error = "malformed JSON: " + Error;
+    return false;
+  }
+  if (!J.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  const Json *OpV = J.find("op");
+  if (!OpV || !OpV->isString()) {
+    Error = "missing string field 'op'";
+    return false;
+  }
+  const std::string &Op = OpV->asString();
+  if (Op == "solve")
+    Out.Op = Verb::Solve;
+  else if (Op == "stats")
+    Out.Op = Verb::Stats;
+  else if (Op == "evict")
+    Out.Op = Verb::Evict;
+  else if (Op == "shutdown")
+    Out.Op = Verb::Shutdown;
+  else if (Op == "ping")
+    Out.Op = Verb::Ping;
+  else {
+    Error = "unknown op '" + Op + "'";
+    return false;
+  }
+
+  if (!getString(J, "program", Out.Program, Error) ||
+      !getString(J, "source", Out.Source, Error) ||
+      !getString(J, "engine", Out.Engine, Error))
+    return false;
+
+  if (const Json *W = J.find("witness")) {
+    if (!W->isBool()) {
+      Error = "field 'witness' must be a boolean";
+      return false;
+    }
+    Out.Witness = W->asBool();
+  }
+
+  if (const Json *T = J.find("targets")) {
+    if (!T->isArray()) {
+      Error = "field 'targets' must be an array of strings";
+      return false;
+    }
+    for (const Json &E : T->items()) {
+      if (!E.isString()) {
+        Error = "field 'targets' must be an array of strings";
+        return false;
+      }
+      Out.Targets.push_back(E.asString());
+    }
+  }
+
+  if (Out.Op == Verb::Solve) {
+    if (Out.Program.empty() && Out.Source.empty()) {
+      Error = "solve needs 'program' (path) or 'source' (inline text)";
+      return false;
+    }
+    if (!Out.Program.empty() && !Out.Source.empty()) {
+      Error = "solve takes 'program' or 'source', not both";
+      return false;
+    }
+    if (Out.Targets.empty()) {
+      Error = "solve needs a non-empty 'targets' array";
+      return false;
+    }
+  }
+  return true;
+}
+
+Json errorResponse(const std::string &Message) {
+  return Json::object()
+      .set("ok", Json::boolean(false))
+      .set("error", Json::str(Message));
+}
+
+} // namespace server
+} // namespace getafix

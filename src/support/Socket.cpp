@@ -1,0 +1,238 @@
+//===- Socket.cpp - POSIX socket plumbing ---------------------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace getafix {
+namespace support {
+
+namespace {
+
+void setError(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What + ": " + std::strerror(errno);
+}
+
+bool parseHost(const std::string &Host, sockaddr_in &Addr,
+               std::string *Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  const char *H = Host.empty() ? "127.0.0.1" : Host.c_str();
+  if (inet_pton(AF_INET, H, &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad IPv4 address '" + Host + "'";
+    return false;
+  }
+  return true;
+}
+
+bool fillUnixAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string *Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "unix socket path too long: " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Socket listenTcp(const std::string &Host, unsigned Port, unsigned *ActualPort,
+                 std::string *Error) {
+  sockaddr_in Addr;
+  if (!parseHost(Host, Addr, Error))
+    return Socket();
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    setError(Error, "socket");
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(Error, "bind");
+    return Socket();
+  }
+  if (::listen(S.fd(), 64) != 0) {
+    setError(Error, "listen");
+    return Socket();
+  }
+  if (ActualPort) {
+    sockaddr_in Bound;
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(S.fd(), reinterpret_cast<sockaddr *>(&Bound), &Len) !=
+        0) {
+      setError(Error, "getsockname");
+      return Socket();
+    }
+    *ActualPort = ntohs(Bound.sin_port);
+  }
+  return S;
+}
+
+Socket listenUnix(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return Socket();
+  ::unlink(Path.c_str()); // Stale socket from a previous run.
+
+  Socket S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    setError(Error, "socket");
+    return Socket();
+  }
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(Error, "bind " + Path);
+    return Socket();
+  }
+  if (::listen(S.fd(), 64) != 0) {
+    setError(Error, "listen");
+    return Socket();
+  }
+  return S;
+}
+
+Socket acceptOn(int ListenFd, std::string *Error) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Socket(Fd);
+    if (errno == EINTR)
+      continue;
+    setError(Error, "accept");
+    return Socket();
+  }
+}
+
+Socket connectTcp(const std::string &Host, unsigned Port, std::string *Error) {
+  sockaddr_in Addr;
+  if (!parseHost(Host, Addr, Error))
+    return Socket();
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    setError(Error, "socket");
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    setError(Error, "connect");
+    return Socket();
+  }
+  return S;
+}
+
+Socket connectUnix(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, Error))
+    return Socket();
+  Socket S(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    setError(Error, "socket");
+    return Socket();
+  }
+  if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    setError(Error, "connect " + Path);
+    return Socket();
+  }
+  return S;
+}
+
+bool writeAll(int Fd, const std::string &Data, std::string *Error) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+#ifdef MSG_NOSIGNAL
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+#else
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+#endif
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setError(Error, "write");
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::readLine(std::string &Out, int TimeoutMs) {
+  for (;;) {
+    size_t Nl = Buf.find('\n', Pos);
+    if (Nl != std::string::npos) {
+      size_t End = Nl;
+      if (End > Pos && Buf[End - 1] == '\r')
+        --End;
+      Out.assign(Buf, Pos, End - Pos);
+      Pos = Nl + 1;
+      if (Pos == Buf.size()) {
+        Buf.clear();
+        Pos = 0;
+      }
+      return Status::Line;
+    }
+    // Compact the consumed prefix before growing the buffer.
+    if (Pos > 0) {
+      Buf.erase(0, Pos);
+      Pos = 0;
+    }
+
+    pollfd Pfd;
+    Pfd.fd = Fd;
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    int R = ::poll(&Pfd, 1, TimeoutMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::Error;
+    }
+    if (R == 0)
+      return Status::Timeout;
+
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::Error;
+    }
+    if (N == 0)
+      return Status::Closed;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+} // namespace support
+} // namespace getafix

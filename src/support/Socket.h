@@ -1,0 +1,107 @@
+//===- Socket.h - POSIX socket plumbing for the query server ----*- C++ -*-===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over the POSIX socket calls the `getafixd` query
+/// server and the `getafix_load` driver need: TCP (loopback by default)
+/// and Unix-domain listeners/connectors, a write-everything helper, and a
+/// buffered line reader whose reads poll with a timeout so server workers
+/// can observe a shutdown flag between lines. No external dependencies —
+/// just `<sys/socket.h>` and friends, which every target platform of this
+/// repository ships.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GETAFIX_SUPPORT_SOCKET_H
+#define GETAFIX_SUPPORT_SOCKET_H
+
+#include <string>
+#include <utility>
+
+namespace getafix {
+namespace support {
+
+/// Owning file-descriptor handle; closes on destruction. Move-only.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  /// Releases ownership without closing.
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Opens a TCP listener on \p Host:\p Port (port 0 = kernel-assigned;
+/// the actual port is written to \p ActualPort when non-null). Invalid
+/// socket + \p Error on failure.
+Socket listenTcp(const std::string &Host, unsigned Port, unsigned *ActualPort,
+                 std::string *Error);
+
+/// Opens a Unix-domain listener at \p Path (unlinking any stale socket
+/// file first). Invalid socket + \p Error on failure.
+Socket listenUnix(const std::string &Path, std::string *Error);
+
+/// Blocking accept on \p ListenFd. Invalid socket on error or when the
+/// listener was closed (the server's shutdown path).
+Socket acceptOn(int ListenFd, std::string *Error);
+
+Socket connectTcp(const std::string &Host, unsigned Port, std::string *Error);
+Socket connectUnix(const std::string &Path, std::string *Error);
+
+/// Writes all of \p Data, retrying on short writes and EINTR. SIGPIPE is
+/// suppressed (the peer hanging up surfaces as `false`, not a signal).
+bool writeAll(int Fd, const std::string &Data, std::string *Error = nullptr);
+
+/// Buffered newline-delimited reader over a socket. `readLine` polls with
+/// a caller-chosen timeout so a server worker can check its stop flag
+/// between lines instead of blocking in `read` forever.
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  enum class Status {
+    Line,    ///< A complete line was read into the out-parameter.
+    Closed,  ///< Peer closed the connection (any partial line is dropped).
+    Timeout, ///< No complete line within the timeout; call again.
+    Error,   ///< Read failed.
+  };
+
+  /// Reads the next '\n'-terminated line (terminator and any trailing
+  /// '\r' stripped). \p TimeoutMs < 0 blocks indefinitely.
+  Status readLine(std::string &Out, int TimeoutMs = -1);
+
+private:
+  int Fd;
+  std::string Buf;
+  size_t Pos = 0; ///< Consumed prefix of Buf.
+};
+
+} // namespace support
+} // namespace getafix
+
+#endif // GETAFIX_SUPPORT_SOCKET_H

@@ -1,0 +1,559 @@
+//===- getafix_load.cpp - Load driver for the getafixd server -------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a mixed multi-program query workload against a running
+/// `getafixd` and reports client-side latency percentiles, throughput,
+/// and the server's pool counters (hits, reopens, cache-clears,
+/// evictions).
+///
+///   getafix_load --port N [--host H] | --socket PATH
+///     --program FILE=L1,L2,...  program + its target labels (repeatable)
+///     --clients N        concurrent client connections (default 4)
+///     --requests M       requests per client (default 16)
+///     --rate R           open-loop arrival rate in req/s across all
+///                        clients (default: closed loop, back-to-back)
+///     --engine NAME      per-request engine override
+///     --witness          request counterexample traces
+///     --json PATH        write a BENCH_server.json report (bench row
+///                        schema: per-target verdict rows keyed
+///                        section/case/variant plus summary rows)
+///     --verdicts PATH    write sorted "program label verdict" lines (CI
+///                        diffs these against the offline getafix tool)
+///     --emit-workloads DIR
+///                        generate the labeled serving workloads
+///                        (terminator + bluetooth) into DIR, print one
+///                        "path label,label,..." manifest line per
+///                        program, and exit — no server needed
+///
+/// Each client cycles through the programs; every fourth request sends
+/// the program's full target batch (exercising the server's `solveAll`
+/// path), the others a single rotating target. Verdicts observed by
+/// different clients for the same (program, target) are checked for
+/// consistency — any disagreement is a pooling bug and exits nonzero.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Workloads.h"
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace getafix;
+
+namespace {
+
+struct ProgramSpec {
+  std::string Path;
+  std::vector<std::string> Targets;
+};
+
+struct CliOptions {
+  std::string Host = "127.0.0.1";
+  unsigned Port = 0;
+  std::string UnixPath;
+  std::vector<ProgramSpec> Programs;
+  unsigned Clients = 4;
+  unsigned Requests = 16;
+  double Rate = 0.0; ///< 0 = closed loop.
+  std::string Engine;
+  bool Witness = false;
+  std::string JsonPath;
+  std::string VerdictsPath;
+  std::string EmitDir;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: getafix_load (--port N [--host H] | --socket PATH)\n"
+      "                    --program FILE=L1,L2,... [--program ...]\n"
+      "                    [--clients N] [--requests M] [--rate R]\n"
+      "                    [--engine NAME] [--witness]\n"
+      "                    [--json PATH] [--verdicts PATH]\n"
+      "       getafix_load --emit-workloads DIR\n");
+  return 2;
+}
+
+/// One observed verdict, with the solver-side seconds of the last
+/// observation (for the bench report).
+struct Observation {
+  std::string Verdict;
+  double SolverSeconds = 0.0;
+  uint64_t Count = 0;
+};
+
+struct SharedResults {
+  std::mutex Mu;
+  std::vector<double> LatenciesMs;
+  std::map<std::pair<std::string, std::string>, Observation> Verdicts;
+  uint64_t Requests = 0;
+  uint64_t TargetRows = 0;
+  uint64_t Errors = 0;
+  bool Inconsistent = false;
+  std::string FirstError;
+
+  void noteError(const std::string &E) {
+    std::lock_guard<std::mutex> G(Mu);
+    ++Errors;
+    if (FirstError.empty())
+      FirstError = E;
+  }
+};
+
+server::Json buildSolveRequest(const CliOptions &Opts, const ProgramSpec &P,
+                               const std::vector<std::string> &Targets) {
+  server::Json Req = server::Json::object()
+                         .set("op", server::Json::str("solve"))
+                         .set("program", server::Json::str(P.Path));
+  server::Json Ts = server::Json::array();
+  for (const std::string &T : Targets)
+    Ts.add(server::Json::str(T));
+  Req.set("targets", std::move(Ts));
+  if (Opts.Witness)
+    Req.set("witness", server::Json::boolean(true));
+  if (!Opts.Engine.empty())
+    Req.set("engine", server::Json::str(Opts.Engine));
+  return Req;
+}
+
+support::Socket connectServer(const CliOptions &Opts, std::string &Error) {
+  if (!Opts.UnixPath.empty())
+    return support::connectUnix(Opts.UnixPath, &Error);
+  return support::connectTcp(Opts.Host, Opts.Port, &Error);
+}
+
+/// Sends one request line and decodes the one response line.
+bool roundTrip(support::Socket &Conn, support::LineReader &Reader,
+               const server::Json &Req, server::Json &Resp,
+               std::string &Error) {
+  if (!support::writeAll(Conn.fd(), Req.dump() + "\n", &Error))
+    return false;
+  std::string Line;
+  support::LineReader::Status St = Reader.readLine(Line, -1);
+  if (St != support::LineReader::Status::Line) {
+    Error = "connection closed mid-request";
+    return false;
+  }
+  if (!server::Json::parse(Line, Resp, Error)) {
+    Error = "bad response JSON: " + Error;
+    return false;
+  }
+  return true;
+}
+
+void clientLoop(const CliOptions &Opts, unsigned ClientIdx,
+                SharedResults &Results) {
+  std::string Error;
+  support::Socket Conn = connectServer(Opts, Error);
+  if (!Conn.valid()) {
+    Results.noteError("client " + std::to_string(ClientIdx) +
+                      ": " + Error);
+    return;
+  }
+  support::LineReader Reader(Conn.fd());
+
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned R = 0; R < Opts.Requests; ++R) {
+    // Open loop: pace request R of this client at its scheduled arrival
+    // time; closed loop sends back-to-back.
+    if (Opts.Rate > 0.0) {
+      double PerClientRate = Opts.Rate / double(Opts.Clients);
+      auto Due = Start + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 double(R) / PerClientRate));
+      std::this_thread::sleep_until(Due);
+    }
+
+    // Program rotation is offset per client so concurrent clients hit
+    // both the same and different programs over the run.
+    const ProgramSpec &P =
+        Opts.Programs[(R + ClientIdx) % Opts.Programs.size()];
+    std::vector<std::string> Targets;
+    if (R % 4 == 0) {
+      Targets = P.Targets; // Full batch through the server's solveAll.
+    } else {
+      Targets.push_back(
+          P.Targets[(R + ClientIdx) % P.Targets.size()]);
+    }
+
+    server::Json Req = buildSolveRequest(Opts, P, Targets);
+    server::Json Resp;
+    auto T0 = std::chrono::steady_clock::now();
+    if (!roundTrip(Conn, Reader, Req, Resp, Error)) {
+      Results.noteError("client " + std::to_string(ClientIdx) + ": " +
+                        Error);
+      return;
+    }
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+
+    const server::Json *Ok = Resp.find("ok");
+    if (!Ok || !Ok->isBool() || !Ok->asBool()) {
+      const server::Json *E = Resp.find("error");
+      Results.noteError("server error: " +
+                        (E && E->isString() ? E->asString()
+                                            : std::string("(unknown)")));
+      continue;
+    }
+
+    std::lock_guard<std::mutex> G(Results.Mu);
+    Results.LatenciesMs.push_back(Ms);
+    ++Results.Requests;
+    const server::Json *Rows = Resp.find("rows");
+    if (!Rows || !Rows->isArray())
+      continue;
+    for (const server::Json &Row : Rows->items()) {
+      const server::Json *Target = Row.find("target");
+      if (!Target || !Target->isString())
+        continue;
+      ++Results.TargetRows;
+      const server::Json *Verdict = Row.find("verdict");
+      const server::Json *RowErr = Row.find("error");
+      std::string V = Verdict && Verdict->isString()
+                          ? Verdict->asString()
+                          : "ERROR:" + (RowErr && RowErr->isString()
+                                            ? RowErr->asString()
+                                            : std::string("?"));
+      auto Key = std::make_pair(P.Path, Target->asString());
+      auto It = Results.Verdicts.find(Key);
+      if (It == Results.Verdicts.end()) {
+        Observation O;
+        O.Verdict = V;
+        const server::Json *Secs = Row.find("seconds");
+        O.SolverSeconds = Secs && Secs->isNumber() ? Secs->asNumber() : 0.0;
+        O.Count = 1;
+        Results.Verdicts.emplace(std::move(Key), std::move(O));
+      } else {
+        ++It->second.Count;
+        if (It->second.Verdict != V) {
+          // Two clients saw different verdicts for the same target —
+          // the pooled session leaked state between programs.
+          Results.Inconsistent = true;
+          if (Results.FirstError.empty())
+            Results.FirstError = "verdict drift on " + P.Path + " " +
+                                 Target->asString() + ": '" +
+                                 It->second.Verdict + "' vs '" + V + "'";
+        }
+      }
+    }
+  }
+}
+
+double percentile(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = size_t(Q * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+std::string baseName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+/// Final `stats` verb on a fresh connection; best-effort (zeros on
+/// failure).
+bool fetchServerStats(const CliOptions &Opts, server::Json &Out) {
+  std::string Error;
+  support::Socket Conn = connectServer(Opts, Error);
+  if (!Conn.valid())
+    return false;
+  support::LineReader Reader(Conn.fd());
+  server::Json Req =
+      server::Json::object().set("op", server::Json::str("stats"));
+  return roundTrip(Conn, Reader, Req, Out, Error);
+}
+
+double poolCounter(const server::Json &Stats, const char *Name) {
+  const server::Json *Pool = Stats.find("pool");
+  if (!Pool)
+    return 0.0;
+  const server::Json *V = Pool->find(Name);
+  return V && V->isNumber() ? V->asNumber() : 0.0;
+}
+
+int emitWorkloads(const std::string &Dir) {
+  // The serving workload pair: one sequential TERMINATOR-shaped program
+  // and one concurrent bluetooth model, each with >= 8 target labels of
+  // mixed verdicts. Kept small enough for CI smoke runs.
+  gen::TerminatorParams TP;
+  TP.CounterBits = 6;
+  TP.NumDeadVars = 4;
+  TP.Style = gen::DeadVarStyle::Schoose;
+  TP.Reachable = false;
+  TP.LabeledCheckpoints = 4;
+  gen::Workload T = gen::terminatorProgram(TP);
+
+  std::string Bt = gen::bluetoothModel(1, 1, /*Labeled=*/true);
+
+  struct Out {
+    const char *File;
+    const std::string &Source;
+    std::vector<std::string> Targets;
+  } Outs[] = {
+      {"terminator.bp", T.Source,
+       {"CP0", "CP1", "CP2", "CP3", "DEAD0", "DEAD1", "DEAD2", "DEAD3",
+        "ERR"}},
+      {"bluetooth.bp", Bt,
+       {"INIT_A0", "OK_A0", "DEC_A0", "DEAD_A0", "STOP_S0", "DONE_S0",
+        "DEAD_S0", "ERR"}},
+  };
+
+  for (const Out &O : Outs) {
+    std::string Path = Dir + "/" + O.File;
+    std::ofstream F(Path);
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return 2;
+    }
+    F << O.Source;
+    F.close();
+    std::string Labels;
+    for (const std::string &L : O.Targets)
+      Labels += (Labels.empty() ? "" : ",") + L;
+    std::printf("%s %s\n", Path.c_str(), Labels.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V;
+    if (Arg == "--host") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Host = V;
+    } else if (Arg == "--port") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Port = unsigned(std::atoi(V));
+    } else if (Arg == "--socket") {
+      if (!(V = Next()))
+        return usage();
+      Opts.UnixPath = V;
+    } else if (Arg == "--program") {
+      if (!(V = Next()))
+        return usage();
+      std::string Spec = V;
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos || Eq == 0 || Eq + 1 >= Spec.size())
+        return usage();
+      ProgramSpec P;
+      P.Path = Spec.substr(0, Eq);
+      std::string Labels = Spec.substr(Eq + 1);
+      size_t Pos = 0;
+      while (Pos <= Labels.size()) {
+        size_t Comma = Labels.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = Labels.size();
+        if (Comma > Pos)
+          P.Targets.push_back(Labels.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+      if (P.Targets.empty())
+        return usage();
+      Opts.Programs.push_back(std::move(P));
+    } else if (Arg == "--clients") {
+      if (!(V = Next()))
+        return usage();
+      int N = std::atoi(V);
+      if (N < 1 || N > 256)
+        return usage();
+      Opts.Clients = unsigned(N);
+    } else if (Arg == "--requests") {
+      if (!(V = Next()))
+        return usage();
+      int N = std::atoi(V);
+      if (N < 1)
+        return usage();
+      Opts.Requests = unsigned(N);
+    } else if (Arg == "--rate") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Rate = std::atof(V);
+    } else if (Arg == "--engine") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Engine = V;
+    } else if (Arg == "--witness") {
+      Opts.Witness = true;
+    } else if (Arg == "--json") {
+      if (!(V = Next()))
+        return usage();
+      Opts.JsonPath = V;
+    } else if (Arg == "--verdicts") {
+      if (!(V = Next()))
+        return usage();
+      Opts.VerdictsPath = V;
+    } else if (Arg == "--emit-workloads") {
+      if (!(V = Next()))
+        return usage();
+      Opts.EmitDir = V;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!Opts.EmitDir.empty())
+    return emitWorkloads(Opts.EmitDir);
+  if (Opts.Programs.empty() || (Opts.Port == 0 && Opts.UnixPath.empty()))
+    return usage();
+
+  SharedResults Results;
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Clients;
+  Clients.reserve(Opts.Clients);
+  for (unsigned C = 0; C < Opts.Clients; ++C)
+    Clients.emplace_back(
+        [&Opts, C, &Results] { clientLoop(Opts, C, Results); });
+  for (std::thread &T : Clients)
+    T.join();
+  double WallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+
+  std::sort(Results.LatenciesMs.begin(), Results.LatenciesMs.end());
+  double P50 = percentile(Results.LatenciesMs, 0.50);
+  double P95 = percentile(Results.LatenciesMs, 0.95);
+  double P99 = percentile(Results.LatenciesMs, 0.99);
+  double Throughput =
+      WallSeconds > 0.0 ? double(Results.Requests) / WallSeconds : 0.0;
+
+  server::Json ServerStats;
+  bool HaveStats = fetchServerStats(Opts, ServerStats);
+
+  std::printf("requests %llu  targets %llu  errors %llu\n",
+              (unsigned long long)Results.Requests,
+              (unsigned long long)Results.TargetRows,
+              (unsigned long long)Results.Errors);
+  std::printf("latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n", P50, P95, P99);
+  std::printf("throughput %.1f req/s over %.2f s\n", Throughput,
+              WallSeconds);
+  if (HaveStats)
+    std::printf("pool  hits %.0f  opens %.0f  reopens %.0f  "
+                "cache-clears %.0f  evictions %.0f  resident %.0f\n",
+                poolCounter(ServerStats, "hits"),
+                poolCounter(ServerStats, "opens"),
+                poolCounter(ServerStats, "reopens"),
+                poolCounter(ServerStats, "cache_clears"),
+                poolCounter(ServerStats, "evictions"),
+                poolCounter(ServerStats, "resident_sessions"));
+
+  // "program label verdict" lines, sorted (std::map iteration), for the
+  // CI diff against the offline tool.
+  if (!Opts.VerdictsPath.empty()) {
+    std::ofstream VF(Opts.VerdictsPath);
+    if (!VF) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.VerdictsPath.c_str());
+      return 2;
+    }
+    for (const auto &KV : Results.Verdicts)
+      VF << baseName(KV.first.first) << " " << KV.first.second << " "
+         << KV.second.Verdict << "\n";
+  }
+
+  if (!Opts.JsonPath.empty()) {
+    // Hand-rolled flat-row report matching bench/BenchUtil.h's JsonReport
+    // format ({"rows": [...]}) so bench/check_trajectory.py can ingest
+    // it: per-target verdict rows plus latency/pool summary rows.
+    std::ofstream JF(Opts.JsonPath);
+    if (!JF) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.JsonPath.c_str());
+      return 2;
+    }
+    std::string Rows;
+    auto AddRow = [&Rows](const server::Json &Row) {
+      Rows += Rows.empty() ? "  " : ",\n  ";
+      Rows += Row.dump();
+    };
+    for (const auto &KV : Results.Verdicts) {
+      bool IsError = KV.second.Verdict.rfind("ERROR:", 0) == 0;
+      server::Json Row =
+          server::Json::object()
+              .set("section", server::Json::str("server"))
+              .set("case", server::Json::str(baseName(KV.first.first)))
+              .set("variant", server::Json::str(KV.first.second))
+              .set("verdict", server::Json::str(KV.second.Verdict))
+              .set("reachable",
+                   server::Json::boolean(KV.second.Verdict == "YES"))
+              .set("error", server::Json::boolean(IsError))
+              .set("observations",
+                   server::Json::number(double(KV.second.Count)))
+              .set("seconds",
+                   server::Json::number(KV.second.SolverSeconds));
+      AddRow(Row);
+    }
+    server::Json Latency =
+        server::Json::object()
+            .set("section", server::Json::str("server"))
+            .set("case", server::Json::str("summary"))
+            .set("variant", server::Json::str("latency"))
+            .set("clients", server::Json::number(double(Opts.Clients)))
+            .set("requests", server::Json::number(double(Results.Requests)))
+            .set("errors", server::Json::number(double(Results.Errors)))
+            .set("p50_ms", server::Json::number(P50))
+            .set("p95_ms", server::Json::number(P95))
+            .set("p99_ms", server::Json::number(P99))
+            .set("throughput_rps", server::Json::number(Throughput))
+            .set("seconds", server::Json::number(WallSeconds));
+    AddRow(Latency);
+    if (HaveStats) {
+      server::Json Pool =
+          server::Json::object()
+              .set("section", server::Json::str("server"))
+              .set("case", server::Json::str("summary"))
+              .set("variant", server::Json::str("pool"))
+              .set("lookups",
+                   server::Json::number(poolCounter(ServerStats, "lookups")))
+              .set("hits",
+                   server::Json::number(poolCounter(ServerStats, "hits")))
+              .set("opens",
+                   server::Json::number(poolCounter(ServerStats, "opens")))
+              .set("reopens",
+                   server::Json::number(poolCounter(ServerStats, "reopens")))
+              .set("cache_clears",
+                   server::Json::number(
+                       poolCounter(ServerStats, "cache_clears")))
+              .set("evictions",
+                   server::Json::number(
+                       poolCounter(ServerStats, "evictions")))
+              .set("footprint_bytes",
+                   server::Json::number(
+                       poolCounter(ServerStats, "footprint_bytes")))
+              .set("seconds", server::Json::number(0.0));
+      AddRow(Pool);
+    }
+    JF << "{\"rows\": [\n" << Rows << "\n]}\n";
+  }
+
+  if (Results.Inconsistent || !Results.FirstError.empty()) {
+    std::fprintf(stderr, "error: %s\n", Results.FirstError.c_str());
+    return 2;
+  }
+  return 0;
+}

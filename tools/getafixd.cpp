@@ -1,0 +1,213 @@
+//===- getafixd.cpp - The Getafix query-server daemon ---------------------===//
+//
+// Part of the Getafix reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Long-lived multi-program reachability server. Accepts the line-oriented
+/// JSON protocol of src/server/Protocol.h on a loopback TCP port or a
+/// Unix-domain socket and answers `solve` requests through a
+/// memory-budgeted pool of `SolverSession`s, so repeated queries against
+/// the same program reuse its compiled calculus and solved summaries.
+///
+///   getafixd [options]
+///     --port N           TCP port (default 0 = kernel-assigned; the bound
+///                        port is printed on stdout as "listening PORT")
+///     --host H           bind address (default 127.0.0.1)
+///     --socket PATH      serve a Unix-domain socket instead of TCP
+///     --port-file PATH   also write the bound port to PATH (for scripts)
+///     --workers N        connection worker threads (default 4)
+///     --budget-mb N      session-pool memory budget; over it, LRU
+///                        sessions first get their computed cache cleared,
+///                        then are evicted (0 = unbounded, the default)
+///     --max-sessions N   hard cap on resident sessions (0 = unbounded)
+///     --no-inline        reject requests with inline 'source' text
+///     --algo NAME        default engine for every session
+///     --threads N        evaluator worker threads per solve
+///     --cache-bits N     BDD computed cache of 2^N entries
+///     --context-bound K / --rounds R / --round-robin
+///                        concurrent-program knobs (as in getafix)
+///     --strategy S       naive | semi-naive
+///     --max-iterations N cap fixpoint rounds per query
+///
+/// SIGINT/SIGTERM shut down gracefully: stop accepting, drain in-flight
+/// requests, print final statistics, exit 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace getafix;
+
+namespace {
+
+server::Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  // Async-signal-safe: one write to the server's self-pipe.
+  if (ActiveServer)
+    ActiveServer->notifyShutdownFromSignal();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: getafixd [--port N] [--host H] [--socket PATH] "
+      "[--port-file PATH]\n"
+      "                [--workers N] [--budget-mb N] [--max-sessions N] "
+      "[--no-inline]\n"
+      "                [--algo NAME] [--threads N] [--cache-bits N]\n"
+      "                [--context-bound K] [--rounds R] [--round-robin]\n"
+      "                [--strategy naive|semi-naive] [--max-iterations N]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  server::ServerOptions Opts;
+  std::string PortFile;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V;
+    if (Arg == "--port") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Port = unsigned(std::atoi(V));
+    } else if (Arg == "--host") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Host = V;
+    } else if (Arg == "--socket") {
+      if (!(V = Next()))
+        return usage();
+      Opts.UnixPath = V;
+    } else if (Arg == "--port-file") {
+      if (!(V = Next()))
+        return usage();
+      PortFile = V;
+    } else if (Arg == "--workers") {
+      if (!(V = Next()))
+        return usage();
+      int N = std::atoi(V);
+      if (N < 1 || N > 256)
+        return usage();
+      Opts.Workers = unsigned(N);
+    } else if (Arg == "--budget-mb") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.MemoryBudgetBytes = size_t(std::atoll(V)) * 1024 * 1024;
+    } else if (Arg == "--budget-bytes") {
+      // Undocumented fine-grained knob for tests/CI (small budgets that
+      // force the valve and eviction on tiny programs).
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.MemoryBudgetBytes = size_t(std::atoll(V));
+    } else if (Arg == "--max-sessions") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.MaxResidentSessions = size_t(std::atoll(V));
+    } else if (Arg == "--no-inline") {
+      Opts.AllowInlineSource = false;
+    } else if (Arg == "--algo") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.Solver.Engine = V;
+    } else if (Arg == "--threads") {
+      if (!(V = Next()))
+        return usage();
+      int N = std::atoi(V);
+      if (N < 1 || N > 256)
+        return usage();
+      Opts.Pool.Solver.Threads = unsigned(N);
+    } else if (Arg == "--cache-bits") {
+      if (!(V = Next()))
+        return usage();
+      int Bits = std::atoi(V);
+      if (Bits < 2 || Bits > 30)
+        return usage();
+      Opts.Pool.Solver.CacheBits = unsigned(Bits);
+    } else if (Arg == "--context-bound") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.Solver.ContextBound = unsigned(std::atoi(V));
+    } else if (Arg == "--rounds") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.Solver.Rounds = unsigned(std::atoi(V));
+      Opts.Pool.Solver.RoundRobin = true;
+    } else if (Arg == "--round-robin") {
+      Opts.Pool.Solver.RoundRobin = true;
+    } else if (Arg == "--strategy") {
+      if (!(V = Next()))
+        return usage();
+      if (std::string(V) == "naive")
+        Opts.Pool.Solver.Strategy = fpc::EvalStrategy::Naive;
+      else if (std::string(V) == "semi-naive")
+        Opts.Pool.Solver.Strategy = fpc::EvalStrategy::SemiNaive;
+      else
+        return usage();
+    } else if (Arg == "--max-iterations") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.Solver.MaxIterations = uint64_t(std::atoll(V));
+    } else {
+      return usage();
+    }
+  }
+
+  server::Server S(Opts);
+  std::string Error;
+  if (!S.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  ActiveServer = &S;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  if (Opts.UnixPath.empty()) {
+    std::printf("listening %u\n", S.port());
+    if (!PortFile.empty()) {
+      std::ofstream PF(PortFile);
+      PF << S.port() << "\n";
+    }
+  } else {
+    std::printf("listening %s\n", Opts.UnixPath.c_str());
+  }
+  std::fflush(stdout);
+
+  S.wait(); // Returns after graceful drain.
+  ActiveServer = nullptr;
+
+  server::ServerStats SS = S.stats();
+  server::PoolStats PS = S.pool().stats();
+  std::printf("shutdown: %llu connections, %llu requests, %llu solves, "
+              "%llu targets; pool: %llu opens, %llu reopens, "
+              "%llu cache-clears, %llu evictions\n",
+              (unsigned long long)SS.Connections,
+              (unsigned long long)SS.Requests,
+              (unsigned long long)SS.SolveRequests,
+              (unsigned long long)SS.TargetsSolved,
+              (unsigned long long)PS.Opens, (unsigned long long)PS.Reopens,
+              (unsigned long long)PS.CacheClears,
+              (unsigned long long)PS.Evictions);
+  return 0;
+}
