@@ -58,6 +58,7 @@ reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
   SO.FrontierCofactor = Opts.FrontierCofactor;
   SO.ReuseSolvedState = Opts.SessionReuse;
   SO.Threads = Opts.Threads;
+  SO.DisjunctParallelThreshold = Opts.DisjunctParallelThreshold;
   return SO;
 }
 
@@ -77,6 +78,9 @@ void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
   Out.SccsSolvedParallel = R.SccsSolvedParallel;
+  Out.RoundsParallel = R.RoundsParallel;
+  Out.DisjunctsParallel = R.DisjunctsParallel;
+  Out.ImportedNodes = R.ImportedNodes;
   Out.Seconds = R.Seconds;
 }
 
@@ -270,6 +274,7 @@ conc::ConcOptions concOptionsFor(const SolverOptions &Opts,
   CO.FrontierCofactor = Opts.FrontierCofactor;
   CO.ReuseSolvedState = Opts.SessionReuse;
   CO.Threads = Opts.Threads;
+  CO.DisjunctParallelThreshold = Opts.DisjunctParallelThreshold;
   return CO;
 }
 
@@ -289,6 +294,9 @@ void fillFromConc(SolveResult &Out, conc::ConcResult &&R) {
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
   Out.SccsSolvedParallel = R.SccsSolvedParallel;
+  Out.RoundsParallel = R.RoundsParallel;
+  Out.DisjunctsParallel = R.DisjunctsParallel;
+  Out.ImportedNodes = R.ImportedNodes;
   Out.ReachStates = R.ReachStates;
   Out.Seconds = R.Seconds;
 }

@@ -161,7 +161,18 @@ struct SolverOptions {
   /// over per-worker BDD managers; verdicts, iteration counts, and
   /// witnesses are bit-identical at any setting (enforced by the parallel
   /// differential tests). Non-BDD engines (moped, bebop) ignore it.
+  /// `Threads > 1` also enables intra-SCC parallelism: heavy semi-naive
+  /// rounds fan their distributive disjunct products out over the same
+  /// pool (see `DisjunctParallelThreshold`).
   unsigned Threads = 1;
+  /// Cost gate of the intra-SCC disjunct parallelism: a semi-naive round
+  /// runs its distributive products on the worker pool only when the
+  /// previous round allocated at least this many BDD nodes, so light
+  /// rounds never pay cross-manager import overhead. 0 = auto (the
+  /// evaluator's `cacheSlots()/2` valve, the same scale the wide/narrow
+  /// frontier policy keys on). Purely a performance knob — results are
+  /// bit-identical at any value.
+  uint64_t DisjunctParallelThreshold = 0;
 
   // Concurrent knobs.
   unsigned ContextBound = 2; ///< Max context switches k.
@@ -221,6 +232,14 @@ struct SolveResult {
   /// (`SolverOptions::Threads > 1` only); the per-worker BDD counters are
   /// folded into `Bdd`.
   uint64_t SccsSolvedParallel = 0;
+  /// Intra-SCC parallelism (`Threads > 1` only): semi-naive rounds whose
+  /// distributive disjunct products ran on the worker pool, the products
+  /// dispatched across all such rounds, and the BDD nodes the cached
+  /// importers translated across manager boundaries (the import overhead
+  /// the `DisjunctParallelThreshold` cost gate bounds).
+  uint64_t RoundsParallel = 0;
+  uint64_t DisjunctsParallel = 0;
+  uint64_t ImportedNodes = 0;
   double Seconds = 0.0; ///< Wall-clock solve time (excludes parsing).
 
   /// Witness trace, when requested and the engine supports extraction.

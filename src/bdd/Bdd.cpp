@@ -915,5 +915,6 @@ uint32_t BddImporter::importRec(uint32_t N) {
   uint32_t High = importRec(Node.High);
   uint32_t Result = Dst.makeNode(Node.Var, Low, High);
   Memo.emplace(N, Bdd(&Dst, Result));
+  ++NumTranslations;
   return Result;
 }

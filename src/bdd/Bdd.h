@@ -461,6 +461,12 @@ public:
   size_t memoSize() const { return Memo.size(); }
   void clear() { Memo.clear(); }
 
+  /// Cumulative count of source nodes translated into the destination over
+  /// the importer's lifetime (memo hits are free and not counted). This is
+  /// the per-node cost of crossing the manager boundary; the parallel
+  /// evaluator samples it to report import overhead.
+  uint64_t translations() const { return NumTranslations; }
+
 private:
   uint32_t importRec(uint32_t N);
 
@@ -468,6 +474,7 @@ private:
   BddManager &Dst;
   std::unordered_map<uint32_t, Bdd> Memo;
   uint64_t SrcGcRuns = 0;
+  uint64_t NumTranslations = 0;
 };
 
 } // namespace getafix

@@ -473,6 +473,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy,
                Opts.FrontierCofactor);
   Ev.setThreads(Opts.Threads);
+  Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
   bindInputs(Ev, Thread, ProcId, Pc);
 
   Bdd TargetStates = targetStates(Ev, Thread, ProcId, Pc);
@@ -498,6 +499,9 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   Result.Bdd = Mgr.stats();
   Result.Bdd.merge(Ev.workerBddStats());
   Result.SccsSolvedParallel = Ev.parallelStats().SccsSolvedParallel;
+  Result.RoundsParallel = Ev.parallelStats().RoundsParallel;
+  Result.DisjunctsParallel = Ev.parallelStats().DisjunctsParallel;
+  Result.ImportedNodes = Ev.parallelStats().ImportedNodes;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
@@ -557,6 +561,7 @@ struct ConcSession::Impl {
     // The worker pool is session state: it persists (warm) across
     // queries; queries themselves stay serialized.
     Ev.setThreads(Opts.Threads);
+    Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
     // Targetless binding: the per-thread target relations are read by no
     // clause, so one binding serves every query of the session.
     Engine.bindInputs(Ev, ~0u, ~0u, 0);
@@ -630,8 +635,11 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
   Result.Bdd = S.Mgr.stats().since(Before);
   Result.Bdd.merge(S.Ev.workerBddStats().since(WorkerBefore));
-  Result.SccsSolvedParallel =
-      S.Ev.parallelStats().since(ParBefore).SccsSolvedParallel;
+  fpc::ParallelStats ParDelta = S.Ev.parallelStats().since(ParBefore);
+  Result.SccsSolvedParallel = ParDelta.SccsSolvedParallel;
+  Result.RoundsParallel = ParDelta.RoundsParallel;
+  Result.DisjunctsParallel = ParDelta.DisjunctsParallel;
+  Result.ImportedNodes = ParDelta.ImportedNodes;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;

@@ -67,9 +67,14 @@ struct ConcOptions {
   /// queries. Off = every query re-solves from scratch (ablation /
   /// differential baseline). One-shot solves ignore this.
   bool ReuseSolvedState = true;
-  /// Worker threads for the evaluator's parallel SCC scheduling (1 =
-  /// sequential). Results are bit-identical at any setting.
+  /// Worker threads for the evaluator's parallel SCC scheduling and
+  /// intra-SCC disjunct parallelism (1 = sequential). Results are
+  /// bit-identical at any setting.
   unsigned Threads = 1;
+  /// Cost gate of the intra-SCC disjunct parallelism: a semi-naive round
+  /// fans out only when the previous round allocated at least this many
+  /// BDD nodes. 0 = auto (`cacheSlots()/2`); results are bit-identical.
+  uint64_t DisjunctParallelThreshold = 0;
 };
 
 struct ConcResult {
@@ -100,6 +105,12 @@ struct ConcResult {
   uint64_t SummariesRecomputed = 0;
   /// Dependency SCCs solved on the worker pool (`Threads > 1` only).
   uint64_t SccsSolvedParallel = 0;
+  /// Intra-SCC parallelism (`Threads > 1` only): semi-naive rounds whose
+  /// distributive products ran on the pool, the products dispatched, and
+  /// the nodes the cached importers translated across managers.
+  uint64_t RoundsParallel = 0;
+  uint64_t DisjunctsParallel = 0;
+  uint64_t ImportedNodes = 0;
 };
 
 /// Is (Thread, ProcId, Pc) reachable within k context switches?

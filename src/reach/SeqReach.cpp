@@ -394,6 +394,7 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy,
                Opts.FrontierCofactor);
   Ev.setThreads(Opts.Threads);
+  Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
   Enc->bind(Ev, ProcId, Pc);
 
   // Target states over the head tuple (plus don't-care fr for the opt
@@ -438,6 +439,9 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   // manager's share.
   Result.Bdd.merge(Ev.workerBddStats());
   Result.SccsSolvedParallel = Ev.parallelStats().SccsSolvedParallel;
+  Result.RoundsParallel = Ev.parallelStats().RoundsParallel;
+  Result.DisjunctsParallel = Ev.parallelStats().DisjunctsParallel;
+  Result.ImportedNodes = Ev.parallelStats().ImportedNodes;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
@@ -489,6 +493,7 @@ struct SeqSession::Impl {
     // the same per-worker managers. Queries themselves stay serialized —
     // one session serves one caller at a time.
     Ev.setThreads(Opts.Threads);
+    Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
     // The target relation is declared but read by no clause, so one
     // targetless binding serves every query; rebinding per target would
     // needlessly drop the evaluator's memo layers.
@@ -613,8 +618,11 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   Result.Cofactor.SupportAfter -= CfBefore.SupportAfter;
   Result.Bdd = S.Mgr.stats().since(Before);
   Result.Bdd.merge(S.Ev.workerBddStats().since(WorkerBefore));
-  Result.SccsSolvedParallel =
-      S.Ev.parallelStats().since(ParBefore).SccsSolvedParallel;
+  fpc::ParallelStats ParDelta = S.Ev.parallelStats().since(ParBefore);
+  Result.SccsSolvedParallel = ParDelta.SccsSolvedParallel;
+  Result.RoundsParallel = ParDelta.RoundsParallel;
+  Result.DisjunctsParallel = ParDelta.DisjunctsParallel;
+  Result.ImportedNodes = ParDelta.ImportedNodes;
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
   Result.BddCacheLookups = Result.Bdd.CacheLookups;

@@ -75,11 +75,19 @@ struct SeqOptions {
   /// earlier queries. Off = every query re-solves from scratch (ablation /
   /// differential-testing baseline). One-shot solves ignore this.
   bool ReuseSolvedState = true;
-  /// Worker threads for the evaluator's parallel SCC scheduling (1 =
-  /// sequential). Independent dependency SCCs of the fixpoint system are
-  /// solved on a work-stealing pool over per-worker BDD managers;
+  /// Worker threads for the evaluator's parallel SCC scheduling and
+  /// intra-SCC disjunct parallelism (1 = sequential). Independent
+  /// dependency SCCs of the fixpoint system are solved on a work-stealing
+  /// pool over per-worker BDD managers, and heavy semi-naive rounds fan
+  /// their distributive disjunct products out over the same pool;
   /// verdicts, rounds, and witnesses are bit-identical at any setting.
   unsigned Threads = 1;
+  /// Cost gate of the intra-SCC disjunct parallelism: a semi-naive round
+  /// goes parallel only when the previous round allocated at least this
+  /// many BDD nodes, so light rounds never pay cross-manager import
+  /// overhead. 0 = auto (the evaluator's built-in `cacheSlots()/2`
+  /// valve). Purely a performance knob — results are bit-identical.
+  uint64_t DisjunctParallelThreshold = 0;
 };
 
 struct SeqResult {
@@ -113,6 +121,13 @@ struct SeqResult {
   /// Dependency SCCs solved on the worker pool (`Threads > 1` only; the
   /// per-worker BDD counters are folded into `Bdd` via BddStats::merge).
   uint64_t SccsSolvedParallel = 0;
+  /// Intra-SCC parallelism (`Threads > 1` only): semi-naive rounds whose
+  /// distributive products ran on the pool, the products dispatched, and
+  /// the BDD nodes the cached importers translated across manager
+  /// boundaries (the overhead the cost gate bounds).
+  uint64_t RoundsParallel = 0;
+  uint64_t DisjunctsParallel = 0;
+  uint64_t ImportedNodes = 0;
 };
 
 /// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.

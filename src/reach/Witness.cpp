@@ -353,6 +353,7 @@ void WitnessExtractor::ensureSolved() {
   Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
                                    Opts.Strategy, Opts.FrontierCofactor);
   Ev->setThreads(Opts.Threads);
+  Ev->setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
   // The target relation is declared but read by no clause; the solve (and
   // therefore every ring) is target-independent, which is what makes one
   // solve serve every later target query.

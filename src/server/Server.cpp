@@ -349,7 +349,12 @@ Json Server::handleStats() {
                .set("requests", Json::number(double(SS.Requests)))
                .set("solves", Json::number(double(SS.SolveRequests)))
                .set("targets", Json::number(double(SS.TargetsSolved)))
-               .set("errors", Json::number(double(SS.Errors))))
+               .set("errors", Json::number(double(SS.Errors)))
+               // The per-solve evaluator parallelism every pooled session
+               // is opened with (`getafixd --threads`); clients use it to
+               // tell a sequential deployment from a parallel one.
+               .set("threads",
+                    Json::number(double(Opts.Pool.Solver.Threads))))
       .set("pool",
            Json::object()
                .set("lookups", Json::number(double(PS.Lookups)))

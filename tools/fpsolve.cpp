@@ -23,10 +23,16 @@
 ///     --stats         print per-query and cumulative iteration/delta
 ///                     counts per relation
 ///     --strategy <s>  naive or semi-naive (default) fixpoint iteration
-///     --threads n     worker threads for parallel SCC scheduling: the
-///                     requested relation's independent dependency SCCs
-///                     are solved on a work-stealing pool over per-worker
-///                     BDD managers (default 1; results bit-identical)
+///     --threads n     worker threads for parallel SCC scheduling and
+///                     intra-SCC disjunct parallelism: independent
+///                     dependency SCCs — and heavy semi-naive rounds'
+///                     distributive products — run on a work-stealing pool
+///                     over per-worker BDD managers (default 1; results
+///                     bit-identical)
+///     --disjunct-threshold n
+///                     cost gate of the intra-SCC parallelism: fan a round
+///                     out only when the previous round allocated >= n BDD
+///                     nodes (0 = auto, cacheSlots()/2)
 ///     --cache-bits n  BDD computed cache of 2^n entries (default 18)
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                     generalized cofactor of narrow delta rounds
@@ -56,7 +62,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fpsolve [--eval R[,S,...]] [--count] [--stats] "
-               "[--strategy naive|semi-naive] [--threads n] [--cache-bits n] "
+               "[--strategy naive|semi-naive] [--threads n] "
+               "[--disjunct-threshold n] [--cache-bits n] "
                "[--frontier-cofactor constrain|restrict|off] "
                "[--no-constrain] <system.mu>\n");
   return 2;
@@ -117,6 +124,7 @@ int main(int Argc, char **Argv) {
   CofactorMode Cofactor = CofactorMode::Constrain;
   unsigned CacheBits = 18;
   unsigned Threads = 1;
+  uint64_t DisjunctThreshold = 0; ///< 0 = auto (cacheSlots()/2).
   EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -152,6 +160,10 @@ int main(int Argc, char **Argv) {
       if (N < 1 || N > 256)
         return usage();
       Threads = unsigned(N);
+    } else if (Arg == "--disjunct-threshold") {
+      if (I + 1 >= Argc)
+        return usage();
+      DisjunctThreshold = uint64_t(std::atoll(Argv[++I]));
     } else if (Arg == "--frontier-cofactor") {
       if (I + 1 >= Argc || !parseCofactorMode(Argv[++I], Cofactor))
         return usage();
@@ -220,6 +232,7 @@ int main(int Argc, char **Argv) {
   Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy,
                Cofactor);
   Ev.setThreads(Threads);
+  Ev.setDisjunctParallelThreshold(DisjunctThreshold);
   bindFacts(Ev, *Sys, Facts);
 
   bool AnyEmpty = false;
@@ -289,6 +302,11 @@ int main(int Argc, char **Argv) {
                 (unsigned long long)PS.SccsSolvedParallel, PS.Threads,
                 (unsigned long long)PS.Schedules,
                 (unsigned long long)PS.Steals);
+    std::printf("# parallel: %llu rounds, %llu disjuncts, "
+                "%llu imported nodes\n",
+                (unsigned long long)PS.RoundsParallel,
+                (unsigned long long)PS.DisjunctsParallel,
+                (unsigned long long)PS.ImportedNodes);
   }
 
   return AnyEmpty ? 1 : 0;

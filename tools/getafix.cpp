@@ -32,8 +32,14 @@
 ///     --max-iterations n cap fixpoint rounds; a hit limit prints UNKNOWN
 ///                        (exit 3) unless the target was already found
 ///     --threads n        worker threads for the evaluator's parallel SCC
-///                        scheduling (default 1; results bit-identical at
-///                        any setting)
+///                        scheduling and intra-SCC disjunct parallelism
+///                        (default 1; results bit-identical at any setting)
+///     --disjunct-threshold n
+///                        cost gate of the intra-SCC parallelism: a
+///                        semi-naive round fans its disjunct products out
+///                        over the pool only when the previous round
+///                        allocated >= n BDD nodes (0 = auto,
+///                        cacheSlots()/2; performance knob only)
 ///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                        generalized cofactor applied in narrow delta
@@ -73,6 +79,7 @@ struct CliOptions {
   unsigned Rounds = 0; ///< 0 means "not given".
   uint64_t MaxIterations = 0;
   unsigned Threads = 1;
+  uint64_t DisjunctThreshold = 0; ///< 0 = auto.
   unsigned CacheBits = 18;
   fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
   bool SessionReuse = true;
@@ -90,8 +97,9 @@ int usage() {
                "[--rounds r] [--round-robin]\n"
                "               [--strategy naive|semi-naive] "
                "[--max-iterations n]\n"
-               "               [--threads n] [--cache-bits n] "
-               "[--frontier-cofactor constrain|restrict|off]\n"
+               "               [--threads n] [--disjunct-threshold n] "
+               "[--cache-bits n]\n"
+               "               [--frontier-cofactor constrain|restrict|off]\n"
                "               [--no-constrain] [--no-reuse]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
@@ -145,6 +153,12 @@ void printStatsBody(const CliOptions &Opts, const std::string &Engine,
   std::printf("%s\"threads\": %u,\n", Pad, Opts.Threads);
   std::printf("%s\"sccs_solved_parallel\": %llu,\n", Pad,
               (unsigned long long)R.SccsSolvedParallel);
+  std::printf("%s\"rounds_parallel\": %llu,\n", Pad,
+              (unsigned long long)R.RoundsParallel);
+  std::printf("%s\"disjuncts_parallel\": %llu,\n", Pad,
+              (unsigned long long)R.DisjunctsParallel);
+  std::printf("%s\"imported_nodes\": %llu,\n", Pad,
+              (unsigned long long)R.ImportedNodes);
   std::printf("%s\"summary_nodes\": %zu,\n", Pad, R.SummaryNodes);
   std::printf("%s\"peak_live_nodes\": %zu,\n", Pad, R.PeakLiveNodes);
   std::printf("%s\"bdd_nodes_created\": %llu,\n", Pad,
@@ -345,6 +359,11 @@ int main(int Argc, char **Argv) {
       if (N < 1 || N > 256)
         return usage();
       Opts.Threads = unsigned(N);
+    } else if (Arg == "--disjunct-threshold") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.DisjunctThreshold = uint64_t(std::atoll(V));
     } else if (Arg == "--cache-bits") {
       const char *V = Next();
       if (!V)
@@ -395,6 +414,7 @@ int main(int Argc, char **Argv) {
   SO.FrontierCofactor = Opts.FrontierCofactor;
   SO.SessionReuse = Opts.SessionReuse;
   SO.Threads = Opts.Threads;
+  SO.DisjunctParallelThreshold = Opts.DisjunctThreshold;
 
   if (!Opts.Targets.empty() && !Opts.PrintFormula)
     return runSession(Opts, Buffer.str(), SO);

@@ -24,7 +24,14 @@
 ///     --max-sessions N   hard cap on resident sessions (0 = unbounded)
 ///     --no-inline        reject requests with inline 'source' text
 ///     --algo NAME        default engine for every session
-///     --threads N        evaluator worker threads per solve
+///     --threads N        evaluator worker threads per solve (parallel
+///                        SCC scheduling + intra-SCC disjunct fan-out);
+///                        pooled sessions keep their worker pool warm
+///                        across queries, and the `stats` response reports
+///                        the setting
+///     --disjunct-threshold N
+///                        cost gate of the intra-SCC parallelism (0 =
+///                        auto; see getafix --disjunct-threshold)
 ///     --cache-bits N     BDD computed cache of 2^N entries
 ///     --context-bound K / --rounds R / --round-robin
 ///                        concurrent-program knobs (as in getafix)
@@ -64,7 +71,8 @@ int usage() {
       "[--port-file PATH]\n"
       "                [--workers N] [--budget-mb N] [--max-sessions N] "
       "[--no-inline]\n"
-      "                [--algo NAME] [--threads N] [--cache-bits N]\n"
+      "                [--algo NAME] [--threads N] "
+      "[--disjunct-threshold N] [--cache-bits N]\n"
       "                [--context-bound K] [--rounds R] [--round-robin]\n"
       "                [--strategy naive|semi-naive] [--max-iterations N]\n");
   return 2;
@@ -132,6 +140,11 @@ int main(int Argc, char **Argv) {
       if (N < 1 || N > 256)
         return usage();
       Opts.Pool.Solver.Threads = unsigned(N);
+    } else if (Arg == "--disjunct-threshold") {
+      if (!(V = Next()))
+        return usage();
+      Opts.Pool.Solver.DisjunctParallelThreshold =
+          uint64_t(std::atoll(V));
     } else if (Arg == "--cache-bits") {
       if (!(V = Next()))
         return usage();
