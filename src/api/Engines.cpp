@@ -46,6 +46,57 @@ namespace {
 // Option / result mapping shared by the one-shot and session paths
 //===----------------------------------------------------------------------===//
 
+/// Per-solve governor wiring: when any governance knob of \p Opts is set,
+/// arms `Opts.Governor` (or an internal governor living in this scope)
+/// with the limits and exposes the pointer for the engine's native
+/// options. Governors are one-shot, so one scope serves exactly one solve
+/// attempt; the native solvers uninstall the raw pointer from their
+/// managers before returning, so the scope may die right after.
+class GovernorScope {
+public:
+  explicit GovernorScope(const SolverOptions &Opts) {
+    if (!Opts.governed())
+      return;
+    G = Opts.Governor ? Opts.Governor : &Local;
+    if (Opts.TimeoutMs != 0)
+      G->setDeadlineIn(static_cast<int64_t>(Opts.TimeoutMs));
+    if (Opts.NodeBudget != 0)
+      G->setNodeBudget(Opts.NodeBudget);
+    if (Opts.CancelFlag)
+      G->setCancelFlag(Opts.CancelFlag);
+  }
+  GovernorScope(const GovernorScope &) = delete;
+  GovernorScope &operator=(const GovernorScope &) = delete;
+
+  /// Null when the solve is ungoverned.
+  support::ResourceGovernor *get() { return G; }
+
+private:
+  support::ResourceGovernor Local;
+  support::ResourceGovernor *G = nullptr;
+};
+
+/// Maps a tripped native-result limit onto the facade status + error
+/// text. No-op for `ResourceLimit::None`.
+void applyLimit(SolveResult &Out, support::ResourceLimit L) {
+  if (L == support::ResourceLimit::None)
+    return;
+  Out.Status = statusForLimit(L);
+  switch (L) {
+  case support::ResourceLimit::Deadline:
+    Out.Error = "solve stopped: wall-clock deadline exceeded";
+    break;
+  case support::ResourceLimit::NodeBudget:
+    Out.Error = "solve stopped: BDD node budget exhausted";
+    break;
+  case support::ResourceLimit::Cancelled:
+    Out.Error = "solve stopped: cancelled";
+    break;
+  case support::ResourceLimit::None:
+    break;
+  }
+}
+
 reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
                                 const SolverOptions &Opts) {
   reach::SeqOptions SO;
@@ -63,6 +114,7 @@ reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
 }
 
 void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
+  applyLimit(Out, R.Limit);
   Out.Reachable = R.Reachable;
   Out.HitIterationLimit = R.HitIterationLimit;
   Out.Iterations = R.Iterations;
@@ -86,6 +138,7 @@ void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
 
 void fillFromWitness(SolveResult &Out, const bp::ProgramCfg &Cfg,
                      reach::WitnessResult &&W, double Seconds) {
+  applyLimit(Out, W.Limit);
   Out.Reachable = W.Reachable;
   Out.HitIterationLimit = W.HitIterationLimit;
   Out.Iterations = W.Iterations;
@@ -133,6 +186,10 @@ public:
     return Session.answersFromState(Q.procId(), Q.pc(), Q.wantWitness());
   }
 
+  void setGovernor(support::ResourceGovernor *G) override {
+    Session.setGovernor(G);
+  }
+
   void clearComputedCache() override { Session.clearComputedCache(); }
 
   size_t liveNodes() const override { return Session.liveNodes(); }
@@ -160,6 +217,8 @@ public:
   SolveResult run(const CompiledQuery &Q,
                   const SolverOptions &Opts) const override {
     reach::SeqOptions SO = seqOptionsFor(Alg, Opts);
+    GovernorScope GS(Opts);
+    SO.Governor = GS.get();
 
     SolveResult Out;
     if (Q.wantWitness()) {
@@ -211,9 +270,12 @@ public:
     BO.EarlyStop = Opts.EarlyStop;
     BO.CacheBits = Opts.CacheBits;
     BO.GcThreshold = Opts.GcThreshold;
+    GovernorScope GS(Opts);
+    BO.Governor = GS.get();
     reach::BaselineResult R =
         reach::mopedPostStar(Q.cfg(), Q.procId(), Q.pc(), BO);
     SolveResult Out;
+    applyLimit(Out, R.Limit);
     Out.Reachable = R.Reachable;
     Out.Iterations = R.Iterations;
     Out.SummaryNodes = R.SummaryNodes;
@@ -237,10 +299,14 @@ public:
 
   SolveResult run(const CompiledQuery &Q,
                   const SolverOptions &Opts) const override {
-    (void)Opts; // Enumerative: no BDD knobs apply.
+    // Enumerative: no BDD knobs apply, but the deadline/cancel limits do.
+    reach::BaselineOptions BO;
+    GovernorScope GS(Opts);
+    BO.Governor = GS.get();
     reach::BaselineResult R =
-        reach::bebopTabulate(Q.cfg(), Q.procId(), Q.pc());
+        reach::bebopTabulate(Q.cfg(), Q.procId(), Q.pc(), BO);
     SolveResult Out;
+    applyLimit(Out, R.Limit);
     Out.Reachable = R.Reachable;
     Out.Iterations = R.Iterations;
     Out.Seconds = R.Seconds;
@@ -279,6 +345,7 @@ conc::ConcOptions concOptionsFor(const SolverOptions &Opts,
 }
 
 void fillFromConc(SolveResult &Out, conc::ConcResult &&R) {
+  applyLimit(Out, R.Limit);
   Out.Reachable = R.Reachable;
   Out.HitIterationLimit = R.HitIterationLimit;
   Out.Iterations = R.Iterations;
@@ -317,6 +384,10 @@ public:
     return Session.answersFromState(Q.thread(), Q.procId(), Q.pc());
   }
 
+  void setGovernor(support::ResourceGovernor *G) override {
+    Session.setGovernor(G);
+  }
+
   void clearComputedCache() override { Session.clearComputedCache(); }
 
   size_t liveNodes() const override { return Session.liveNodes(); }
@@ -342,6 +413,8 @@ public:
                   const SolverOptions &Opts) const override {
     conc::ConcOptions CO =
         concOptionsFor(Opts, Q.concurrent().numThreads());
+    GovernorScope GS(Opts);
+    CO.Governor = GS.get();
     SolveResult Out;
     fillFromConc(Out,
                  conc::checkConcReachability(Q.concurrent(), Q.threadCfgs(),
@@ -407,6 +480,10 @@ public:
 
     reach::SeqOptions SO =
         seqOptionsFor(reach::SeqAlgorithm::EntryForwardSplit, Opts);
+    // The (fast, purely syntactic) sequentialization above is ungoverned;
+    // the limits govern the solve of the transformed program.
+    GovernorScope GS(Opts);
+    SO.Governor = GS.get();
     reach::SeqResult R =
         reach::checkReachabilityOfLabel(SeqCfg, conc::lalRepsGoalLabel(), SO);
 

@@ -288,15 +288,49 @@ SolveResult SolverSession::solveCompiled(const CompiledQuery &Q) {
   if (Opts.SessionReuse && !OpenAttempted) {
     OpenAttempted = true;
     Session = Eng->open(*Program, Opts);
+    if (Session && Gov)
+      Session->setGovernor(Gov);
+  }
+
+  // Resolve the governor for this attempt: a per-request governor
+  // (setResourceGovernor) wins; otherwise options-level limits arm a
+  // fresh one-shot governor per solve (governors latch, so the one fixed
+  // at open cannot be reused across queries).
+  support::ResourceGovernor LocalGov;
+  support::ResourceGovernor *Active = Gov;
+  if (!Active && Opts.governed()) {
+    Active = Opts.Governor ? Opts.Governor : &LocalGov;
+    if (Opts.TimeoutMs != 0)
+      Active->setDeadlineIn(static_cast<int64_t>(Opts.TimeoutMs));
+    if (Opts.NodeBudget != 0)
+      Active->setNodeBudget(Opts.NodeBudget);
+    if (Opts.CancelFlag)
+      Active->setCancelFlag(Opts.CancelFlag);
   }
 
   SolveResult R;
   if (Session) {
     ++Stats.SessionSolves;
+    if (Active != Gov)
+      Session->setGovernor(Active);
     R = Session->solve(Q);
+    if (Active != Gov)
+      Session->setGovernor(Gov); // LocalGov dies with this frame.
   } else {
     ++Stats.FreshSolves;
-    R = Eng->run(Q, Opts);
+    if (Active) {
+      // Fresh-fallback engines take the governor through the options;
+      // zero the scalar limits so the engine does not re-arm the
+      // already-armed governor.
+      SolverOptions O = Opts;
+      O.Governor = Active;
+      O.TimeoutMs = 0;
+      O.NodeBudget = 0;
+      O.CancelFlag = nullptr;
+      R = Eng->run(Q, O);
+    } else {
+      R = Eng->run(Q, Opts);
+    }
   }
   Stats.SummariesReused += R.SummariesReused;
   Stats.SummariesRecomputed += R.SummariesRecomputed;
@@ -367,6 +401,8 @@ SolverSession::solveAll(const std::vector<Query> &Qs) {
   if (Opts.SessionReuse && ok() && !OpenAttempted) {
     OpenAttempted = true;
     Session = Eng->open(*Program, Opts);
+    if (Session && Gov)
+      Session->setGovernor(Gov);
   }
   while (Remaining != 0) {
     bool Progress = false;
@@ -399,6 +435,12 @@ SolverSession::solveAll(const std::vector<Query> &Qs) {
       Results[I] = Results[Twin[I]];
     }
   return Results;
+}
+
+void SolverSession::setResourceGovernor(support::ResourceGovernor *G) {
+  Gov = G;
+  if (Session)
+    Session->setGovernor(G);
 }
 
 void SolverSession::clearComputedCache() {

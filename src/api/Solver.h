@@ -36,7 +36,9 @@
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
 #include "reach/Witness.h"
+#include "support/ResourceGovernor.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -180,6 +182,33 @@ struct SolverOptions {
   /// `RoundRobin` and overrides `ContextBound`).
   unsigned Rounds = 0;
   bool RoundRobin = false; ///< Restrict schedules to round-robin order.
+
+  // Resource governance (see support/ResourceGovernor.h). When any of
+  // these is set, the solve runs under a governor and a tripped limit is
+  // reported as SolveStatus::HitDeadline / HitNodeBudget / Cancelled —
+  // stopped at a completed round boundary, so a session retry with a
+  // larger (or no) budget resumes the deterministic round chain and stays
+  // bit-identical to an uninterrupted solve.
+  /// Wall-clock deadline for one solve, in milliseconds; 0 = none.
+  uint64_t TimeoutMs = 0;
+  /// Cap on BDD nodes allocated during one solve (shared across the main
+  /// and worker managers); 0 = unlimited. Enumerative engines (bebop)
+  /// allocate no BDD nodes, so only the deadline/cancel limits apply.
+  uint64_t NodeBudget = 0;
+  /// External cooperative-cancellation flag (not owned; may be set from
+  /// any thread). Null = none.
+  const std::atomic<bool> *CancelFlag = nullptr;
+  /// Caller-provided governor (not owned; one-shot — fresh per attempt).
+  /// When set, the limits above are installed on *this* governor so the
+  /// caller can also cancel() it directly; otherwise a governor is
+  /// created internally per solve when any limit is set.
+  support::ResourceGovernor *Governor = nullptr;
+
+  /// True when any governance knob is active.
+  bool governed() const {
+    return TimeoutMs != 0 || NodeBudget != 0 || CancelFlag != nullptr ||
+           Governor != nullptr;
+  }
 };
 
 enum class SolveStatus {
@@ -188,7 +217,35 @@ enum class SolveStatus {
   UnknownEngine,  ///< No registered engine has the requested name.
   TargetNotFound, ///< The target label does not exist in the program.
   BadQuery,       ///< Query/engine mismatch (see `Error`).
+  // Resource-limit terminal statuses (`ok()` false; no verdict). The
+  // solve stopped at a completed round boundary, so a session retry with
+  // a larger budget resumes bit-identically.
+  HitDeadline,    ///< `SolverOptions::TimeoutMs` expired.
+  HitNodeBudget,  ///< `SolverOptions::NodeBudget` exhausted.
+  Cancelled,      ///< The cancel flag (or `ResourceGovernor::cancel`) fired.
 };
+
+/// Maps a tripped governor limit to its terminal status;
+/// `ResourceLimit::None` maps to `Ok`.
+inline SolveStatus statusForLimit(support::ResourceLimit L) {
+  switch (L) {
+  case support::ResourceLimit::None:
+    return SolveStatus::Ok;
+  case support::ResourceLimit::Deadline:
+    return SolveStatus::HitDeadline;
+  case support::ResourceLimit::NodeBudget:
+    return SolveStatus::HitNodeBudget;
+  case support::ResourceLimit::Cancelled:
+    return SolveStatus::Cancelled;
+  }
+  return SolveStatus::Ok;
+}
+
+/// True for the three resource-limit terminal statuses.
+inline bool isResourceLimit(SolveStatus S) {
+  return S == SolveStatus::HitDeadline || S == SolveStatus::HitNodeBudget ||
+         S == SolveStatus::Cancelled;
+}
 
 /// The union of every engine's statistics; fields an engine does not
 /// produce keep their zero defaults.
@@ -331,6 +388,14 @@ public:
     return false;
   }
 
+  /// Installs (or clears, with null) a per-attempt resource governor on
+  /// the session's solving state; the next `solve` runs under it and, on
+  /// a tripped limit, stops at a completed round boundary leaving the
+  /// session valid for a bit-identical retry. Default: engines without
+  /// governor support ignore it (their options-level limits still apply
+  /// on fresh solves).
+  virtual void setGovernor(support::ResourceGovernor *G) { (void)G; }
+
   /// Drops BDD computed caches (a memory valve for long-lived sessions);
   /// solved state is kept and later queries stay bit-identical.
   virtual void clearComputedCache() {}
@@ -462,6 +527,18 @@ public:
   /// the `solve` calls individually (in any order).
   std::vector<SolveResult> solveAll(const std::vector<Query> &Qs);
 
+  /// Installs (or clears, with null) a per-request resource governor:
+  /// subsequent `solve`/`solveAll` calls run under it until it is
+  /// replaced or cleared. Governors are one-shot — install a fresh one
+  /// per attempt. A tripped limit surfaces as a resource-limit status
+  /// (HitDeadline / HitNodeBudget / Cancelled) with the session stopped
+  /// at a completed round boundary, so a retry under a larger (or no)
+  /// budget resumes the deterministic chain bit-identically. The caller
+  /// owns the governor and must keep it alive across the governed calls.
+  /// This is how a server applies per-request limits to pooled sessions
+  /// whose options are fixed at `open`.
+  void setResourceGovernor(support::ResourceGovernor *G);
+
   /// Drops the engine's BDD computed caches (a memory valve for
   /// long-lived sessions); solved state is kept and later queries stay
   /// bit-identical.
@@ -503,6 +580,9 @@ private:
   /// The engine's persistent state; null for fresh-fallback engines.
   std::unique_ptr<EngineSession> Session;
   bool OpenAttempted = false;
+  /// Per-request governor (not owned); forwarded to the engine session,
+  /// including at lazy open, and to fresh-fallback solves.
+  support::ResourceGovernor *Gov = nullptr;
   SessionStats Stats;
 };
 

@@ -7,6 +7,8 @@
 #include "bdd/Bdd.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -299,6 +301,11 @@ BddManager::BddManager(unsigned NumVars, unsigned CacheBits,
   uintptr_t Addr = reinterpret_cast<uintptr_t>(Cache.data());
   CacheBase = Cache.data() + ((64 - (Addr & 63)) & 63) / sizeof(CacheEntry);
   CacheBucketMask = (uint64_t(1) << (CacheBits - WayBits)) - 1;
+
+  // Whole-process fault drills: every manager born while the variable is
+  // set fails its K-th allocation (see setFailAfterAllocations).
+  if (const char *Fault = std::getenv("GETAFIX_FAULT_ALLOC_AFTER"))
+    FaultFailAfter = std::strtoull(Fault, nullptr, 10);
 }
 
 BddManager::~BddManager() = default;
@@ -383,6 +390,12 @@ uint64_t BddManager::hashTriple(uint32_t A, uint32_t B, uint32_t C) {
 }
 
 uint32_t BddManager::makeNode(uint32_t Var, uint32_t Low, uint32_t High) {
+  // Governor probe: one compare when ungoverned. Probing at entry (before
+  // any mutation) makes the throw trivially safe; the poll charges the
+  // allocations since the previous poll, so a budget is overrun by at
+  // most one probe period per governed manager before tripping.
+  if (GovCountdown != 0 && --GovCountdown == 0)
+    pollGovernor();
   if (Low == High)
     return Low;
   assert(isTerminal(Low) || varOf(Low) > Var);
@@ -405,7 +418,18 @@ uint32_t BddManager::makeNode(uint32_t Var, uint32_t Low, uint32_t High) {
   return N;
 }
 
+void BddManager::pollGovernor() {
+  GovCountdown = Gov->probePeriod();
+  uint64_t New = Stats.NodesCreated - GovLastCharged;
+  GovLastCharged = Stats.NodesCreated;
+  Gov->check(New);
+}
+
 uint32_t BddManager::allocNode() {
+  // Deterministic OOM drill: fail the K-th allocation exactly, before any
+  // structure is touched, as a real allocator would.
+  if (FaultFailAfter != 0 && ++FaultAllocs >= FaultFailAfter)
+    throw std::bad_alloc();
   if (FreeList != Invalid) {
     uint32_t N = FreeList;
     FreeList = Nodes[N].Low;

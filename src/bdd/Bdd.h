@@ -31,6 +31,8 @@
 #ifndef GETAFIX_BDD_BDD_H
 #define GETAFIX_BDD_BDD_H
 
+#include "support/ResourceGovernor.h"
+
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -284,6 +286,33 @@ public:
   /// Associativity of the computed cache (ways per bucket).
   unsigned cacheWays() const { return CacheWays; }
 
+  /// Installs (or, with null, removes) a resource governor. `makeNode`
+  /// then probes it every `probePeriod()` calls — charging the batch to
+  /// the governor's shared node counter and throwing `ResourceInterrupt`
+  /// when a deadline, node budget, or cancel flag has tripped. A throw
+  /// from `makeNode` is safe: the manager's structures are consistent at
+  /// every makeNode entry and GC never runs mid-recursion, so any partial
+  /// operation's nodes are simply unreferenced garbage for the next
+  /// collection. With no governor the probe is one compare of a zero
+  /// counter per call.
+  void setGovernor(support::ResourceGovernor *G) {
+    Gov = G;
+    GovCountdown = G ? G->probePeriod() : 0;
+    GovLastCharged = Stats.NodesCreated;
+  }
+  support::ResourceGovernor *governor() const { return Gov; }
+
+  /// Deterministic fault injection: the \p K-th `allocNode` from now (and
+  /// every allocation after it) throws `std::bad_alloc`, emulating memory
+  /// exhaustion at an exact, reproducible point. 0 disarms. Also armed at
+  /// construction from the environment variable
+  /// `GETAFIX_FAULT_ALLOC_AFTER=K` so whole-process fault drills (the CI
+  /// daemon smoke) need no code changes.
+  void setFailAfterAllocations(uint64_t K) {
+    FaultFailAfter = K;
+    FaultAllocs = 0;
+  }
+
   /// Invalidates every computed-cache entry by bumping the cache
   /// generation (an O(1) operation — entries stamped with an older
   /// generation read as empty). Results computed before and after the
@@ -372,6 +401,9 @@ private:
 
   uint32_t makeNode(uint32_t Var, uint32_t Low, uint32_t High);
   uint32_t allocNode();
+  /// Re-arms the probe countdown and forwards the elapsed batch to the
+  /// governor (which throws `ResourceInterrupt` on a tripped limit).
+  void pollGovernor();
   void growUniqueTable();
   static uint64_t hashTriple(uint32_t A, uint32_t B, uint32_t C);
 
@@ -419,6 +451,17 @@ private:
 
   size_t GcThreshold = 1u << 22;
   BddStats Stats;
+
+  /// Resource governance: probe every `Gov->probePeriod()` makeNode calls.
+  /// `GovCountdown == 0` means "no governor" so the ungoverned hot path
+  /// pays one compare, never a decrement.
+  support::ResourceGovernor *Gov = nullptr;
+  uint32_t GovCountdown = 0;
+  uint64_t GovLastCharged = 0; ///< NodesCreated at the previous poll.
+
+  /// Fault injection (deterministic alloc-failure drills); 0 = disarmed.
+  uint64_t FaultFailAfter = 0;
+  uint64_t FaultAllocs = 0;
 
   friend class BddImporter;
 };

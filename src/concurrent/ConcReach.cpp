@@ -470,24 +470,32 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
 
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
+  if (Opts.Governor)
+    Mgr.setGovernor(Opts.Governor);
   Evaluator Ev(Sys, Mgr, Factory.makeLayout(Mgr), Opts.Strategy,
                Opts.FrontierCofactor);
   Ev.setThreads(Opts.Threads);
   Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
-  bindInputs(Ev, Thread, ProcId, Pc);
+  try {
+    bindInputs(Ev, Thread, ProcId, Pc);
 
-  Bdd TargetStates = targetStates(Ev, Thread, ProcId, Pc);
+    Bdd TargetStates = targetStates(Ev, Thread, ProcId, Pc);
 
-  EvalOptions EOpts;
-  EOpts.MaxIterations = Opts.MaxIterations;
-  if (Opts.EarlyStop)
-    EOpts.EarlyStop = &TargetStates;
+    EvalOptions EOpts;
+    EOpts.MaxIterations = Opts.MaxIterations;
+    if (Opts.EarlyStop)
+      EOpts.EarlyStop = &TargetStates;
 
-  EvalResult R = Ev.evaluate(Reach, EOpts);
-  Result.HitIterationLimit = R.HitIterationLimit;
-  Result.Reachable = !(R.Value & TargetStates).isZero();
-  Result.ReachNodes = R.Value.nodeCount();
-  Result.ReachStates = reachStatesOf(Ev, R.Value);
+    EvalResult R = Ev.evaluate(Reach, EOpts);
+    Result.HitIterationLimit = R.HitIterationLimit;
+    Result.Reachable = !(R.Value & TargetStates).isZero();
+    Result.ReachNodes = R.Value.nodeCount();
+    Result.ReachStates = reachStatesOf(Ev, R.Value);
+  } catch (const support::ResourceInterrupt &RI) {
+    // One-shot solve: state is discarded, so only the limit and the work
+    // counters below are reported.
+    Result.Limit = RI.Limit;
+  }
 
   Result.Relations = Ev.stats();
   auto StatsIt = Result.Relations.find("Reach");
@@ -551,6 +559,10 @@ struct ConcSession::Impl {
   /// estimate discounts it.
   bool CacheCold = false;
 
+  /// Per-attempt resource governor for the next solve (not owned; see
+  /// ConcSession::setGovernor).
+  support::ResourceGovernor *Gov = nullptr;
+
   Impl(const bp::ConcurrentProgram &Conc,
        const std::vector<bp::ProgramCfg> &Cfgs, const ConcOptions &Opts)
       : Conc(Conc), Cfgs(Cfgs), Opts(Opts), Engine(Conc, Cfgs, Opts),
@@ -577,6 +589,8 @@ ConcSession::~ConcSession() = default;
 
 const ConcOptions &ConcSession::options() const { return I->Opts; }
 
+void ConcSession::setGovernor(support::ResourceGovernor *G) { I->Gov = G; }
+
 void ConcSession::clearComputedCache() {
   I->Mgr.clearComputedCache();
   I->CacheCold = true;
@@ -599,8 +613,11 @@ size_t ConcSession::memoryFootprint() const {
 
 ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Impl &S = *I;
-  if (!S.Opts.ReuseSolvedState)
-    return checkConcReachability(S.Conc, S.Cfgs, Thread, ProcId, Pc, S.Opts);
+  if (!S.Opts.ReuseSolvedState) {
+    ConcOptions O = S.Opts;
+    O.Governor = S.Gov;
+    return checkConcReachability(S.Conc, S.Cfgs, Thread, ProcId, Pc, O);
+  }
 
   ConcResult Result;
   Timer Tm;
@@ -610,23 +627,35 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   fpc::ParallelStats ParBefore = S.Ev.parallelStats();
   fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
 
-  Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
-  IncrementalFixpoint::Answer A =
-      S.Fix.query(S.Ev, S.Engine.reachRel(), TargetStates, S.Opts.EarlyStop,
-                  S.Opts.MaxIterations);
-  Result.Reachable = A.Reachable;
-  Result.HitIterationLimit = A.HitIterationLimit;
-  Result.Iterations = A.Iterations;
-  Result.ReachNodes = A.Value.nodeCount();
-  Result.ReachStates = S.Engine.reachStatesOf(S.Ev, A.Value);
-  // The Section-5 Reach system is monotone and fully distributive, so a
-  // fresh solve's delta-round count is Iterations - 1 under the
-  // semi-naive strategy and 0 under naive.
-  bool DeltaCore = S.Opts.Strategy == EvalStrategy::SemiNaive &&
-                   S.Ev.plan(S.Engine.reachRel()).SemiNaive;
-  Result.DeltaRounds = DeltaCore && A.Iterations > 0 ? A.Iterations - 1 : 0;
-  Result.SummariesReused = A.RoundsReused;
-  Result.SummariesRecomputed = A.RoundsComputed;
+  if (S.Gov)
+    S.Mgr.setGovernor(S.Gov);
+  try {
+    Bdd TargetStates = S.Engine.targetStates(S.Ev, Thread, ProcId, Pc);
+    IncrementalFixpoint::Answer A =
+        S.Fix.query(S.Ev, S.Engine.reachRel(), TargetStates,
+                    S.Opts.EarlyStop, S.Opts.MaxIterations);
+    Result.Reachable = A.Reachable;
+    Result.HitIterationLimit = A.HitIterationLimit;
+    Result.Iterations = A.Iterations;
+    Result.ReachNodes = A.Value.nodeCount();
+    Result.ReachStates = S.Engine.reachStatesOf(S.Ev, A.Value);
+    // The Section-5 Reach system is monotone and fully distributive, so a
+    // fresh solve's delta-round count is Iterations - 1 under the
+    // semi-naive strategy and 0 under naive.
+    bool DeltaCore = S.Opts.Strategy == EvalStrategy::SemiNaive &&
+                     S.Ev.plan(S.Engine.reachRel()).SemiNaive;
+    Result.DeltaRounds =
+        DeltaCore && A.Iterations > 0 ? A.Iterations - 1 : 0;
+    Result.SummariesReused = A.RoundsReused;
+    Result.SummariesRecomputed = A.RoundsComputed;
+  } catch (const support::ResourceInterrupt &RI) {
+    // The evaluator wrote the fixpoint state back at the last completed
+    // round boundary, so the session stays valid: a retry resumes the
+    // deterministic round chain bit-identically.
+    Result.Limit = RI.Limit;
+    Result.Iterations = S.Fix.state().Rounds;
+  }
+  S.Mgr.setGovernor(nullptr);
 
   Result.Relations = S.Ev.stats();
   Result.Cofactor = S.Ev.cofactorStats();

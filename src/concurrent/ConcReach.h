@@ -31,6 +31,7 @@
 #include "bdd/Bdd.h"
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdint>
 #include <map>
@@ -75,11 +76,22 @@ struct ConcOptions {
   /// fans out only when the previous round allocated at least this many
   /// BDD nodes. 0 = auto (`cacheSlots()/2`); results are bit-identical.
   uint64_t DisjunctParallelThreshold = 0;
+  /// Resource governor for this solve attempt (deadline / node budget /
+  /// cancel flag; see support/ResourceGovernor.h). Not owned; governors
+  /// are one-shot — install a fresh one per attempt. A tripped limit is
+  /// reported in `ConcResult::Limit` with the state stopped at a
+  /// completed round boundary, so a retry resumes the deterministic chain
+  /// bit-identically. Null = ungoverned.
+  support::ResourceGovernor *Governor = nullptr;
 };
 
 struct ConcResult {
   bool Reachable = false;
   bool TargetFound = true;
+  /// Which governor limit stopped the solve (`None` = ran to completion).
+  /// When set, `Reachable` and the iteration counts reflect only the
+  /// completed rounds; other counters still cover the work done.
+  support::ResourceLimit Limit = support::ResourceLimit::None;
   /// Stopped at ConcOptions::MaxIterations before converging.
   bool HitIterationLimit = false;
   uint64_t Iterations = 0;
@@ -155,6 +167,14 @@ public:
   /// rounds? (Non-const: probing encodes the target over the session's
   /// manager.)
   bool answersFromState(unsigned Thread, unsigned ProcId, unsigned Pc);
+
+  /// Installs (or clears, with null) a per-attempt resource governor: the
+  /// next solve runs under it and stops at a completed round boundary
+  /// when a limit trips, leaving the session valid — a retry under a
+  /// fresh (or no) governor resumes the deterministic chain
+  /// bit-identically. The caller owns the governor and must keep it alive
+  /// across the governed solve.
+  void setGovernor(support::ResourceGovernor *G);
 
   /// Drops the BDD computed cache; all solved state is kept (performance
   /// valve, bit-identical results).

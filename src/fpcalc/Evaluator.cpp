@@ -5,6 +5,8 @@
 #include "fpcalc/Parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <mutex>
 #include <set>
 
@@ -593,11 +595,24 @@ bool Evaluator::scheduleDependenciesParallel(
   /// MainLock, merged into Completed by this thread after the run.
   std::map<RelId, Bdd> Solved;
 
+  // Containment: runDag's Run must not throw, so each task catches its
+  // own failures. A governor trip latches the first limit here (the
+  // shared governor then trips the remaining workers at their next
+  // probes, draining the fan-out); any other exception is kept and
+  // rethrown after the join. Either way the failed task exports nothing.
+  std::atomic<int> TrippedLimit{0};
+  std::exception_ptr FirstError;
+  std::mutex ErrMu;
+
   DagRunStats DS = runDag(
       PC.Pool, unsigned(Members.size()), Deps,
       [&](unsigned Task, unsigned Worker) {
         WorkerContext &W = workerContext(Worker);
         Evaluator &WE = W.Ev;
+        // Re-installed per task: governors are one-shot per solve
+        // attempt, and worker contexts persist across solves.
+        W.Mgr.setGovernor(Mgr.governor());
+        try {
 
         // What this task needs from outside. Collected over *all* members
         // of the condensation SCC — a member already Completed on the
@@ -653,9 +668,21 @@ bool Evaluator::scheduleDependenciesParallel(
           for (RelId M : Members[Task])
             Solved[M] = W.Out.import(WE.Completed[M]);
         }
+        } catch (const support::ResourceInterrupt &RI) {
+          int Expected = 0;
+          TrippedLimit.compare_exchange_strong(Expected,
+                                               static_cast<int>(RI.Limit));
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ErrMu);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
       });
 
   // Single-threaded from here: fold the run back into the main state.
+  // Exported SCC values are complete, valid solutions even when the run
+  // as a whole aborted (each is a pure function of its callees), so they
+  // are kept — a retry re-derives only what is missing, bit-identically.
   for (auto &[R, V] : Solved)
     Completed[R] = std::move(V);
   ParStats.SccsSolvedParallel += DS.TasksRun;
@@ -663,6 +690,15 @@ bool Evaluator::scheduleDependenciesParallel(
   ++ParStats.Schedules;
   ParStats.ImportedNodes += importerTranslations() - ImportsBefore;
   mergeWorkerStats();
+  // Drop the per-task governor installs before leaving: the governor is
+  // owned by this solve attempt and worker managers outlive it.
+  for (const std::unique_ptr<WorkerContext> &W : Par->Workers)
+    if (W)
+      W->Mgr.setGovernor(nullptr);
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+  if (int L = TrippedLimit.load())
+    throw support::ResourceInterrupt{static_cast<support::ResourceLimit>(L)};
   return true;
 }
 
@@ -747,15 +783,28 @@ Bdd Evaluator::evalFixpoint(RelId Rel, const EvalOptions *Opts,
   // dispatch. Nested naive re-solves keep their historical lazy
   // discovery: their schedule is empty from round two on, and paying a
   // per-round no-op sweep would skew the naive ablation baseline.
-  if (InFlight.empty() || Strategy == EvalStrategy::SemiNaive)
-    scheduleDependencies(Rel);
-  // Non-monotone or nu equations run the exact naive scheme; monotone mu
-  // equations take the delta-propagating core (which degrades gracefully
-  // to per-round full evaluation for opaque disjuncts).
-  if (Strategy == EvalStrategy::SemiNaive && plan(Rel).SemiNaive)
-    runFixpointSemiNaive(Rel, St, Opts, HitLimit, Stopped, RS);
-  else
-    runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
+  try {
+    if (InFlight.empty() || Strategy == EvalStrategy::SemiNaive)
+      scheduleDependencies(Rel);
+    // Non-monotone or nu equations run the exact naive scheme; monotone mu
+    // equations take the delta-propagating core (which degrades gracefully
+    // to per-round full evaluation for opaque disjuncts).
+    if (Strategy == EvalStrategy::SemiNaive && plan(Rel).SemiNaive)
+      runFixpointSemiNaive(Rel, St, Opts, HitLimit, Stopped, RS);
+    else
+      runFixpointNaive(Rel, St, Opts, HitLimit, Stopped, RS);
+  } catch (...) {
+    // Restore the caller's delta context before propagating — a nested
+    // re-solve interrupted mid-round must not clobber the enclosing
+    // round's occurrence substitution or per-round memo (the enclosing
+    // loop's own catch then discards its round and rethrows further).
+    DeltaApp = SavedApp;
+    DeltaPath = SavedPath;
+    DeltaValue = std::move(SavedValue);
+    InDeltaRound = SavedInRound;
+    RoundCache.swap(SavedRoundCache);
+    throw;
+  }
   RS.FinalNodes = St.Value.nodeCount();
 
   DeltaApp = SavedApp;
@@ -788,29 +837,47 @@ void Evaluator::runFixpointNaive(RelId Rel, FixpointState &St,
     S = St.Value;
   }
   uint64_t Iter = St.Rounds;
-  while (true) {
-    InFlight[Rel] = S;
-    Bdd Next = evalFormula(*R.Def);
+  try {
+    while (true) {
+      // Round-boundary governor check: a limit that fired between
+      // makeNode probes (or a pure deadline expiry during cheap rounds)
+      // stops here, before the next round starts, so the state written
+      // back below is always a completed round.
+      if (support::ResourceGovernor *G = Mgr.governor())
+        G->check();
+      InFlight[Rel] = S;
+      Bdd Next = evalFormula(*R.Def);
+      InFlight.erase(Rel);
+      ++Iter;
+      ++RS.Iterations;
+      if (Next == S) {
+        St.Saturated = true;
+        break;
+      }
+      S = std::move(Next);
+      if (Opts && Opts->Rings)
+        Opts->Rings->push_back(S);
+      if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
+        if (Stopped)
+          *Stopped = true;
+        break;
+      }
+      if (Opts && Opts->MaxIterations != 0 && Iter >= Opts->MaxIterations) {
+        if (HitLimit)
+          *HitLimit = true;
+        break;
+      }
+    }
+  } catch (...) {
+    // A governor interrupt (or an injected fault) landed mid-round. The
+    // aborted round's partial values are unreferenced garbage; the locals
+    // still hold the last *completed* round, so writing them back leaves
+    // the state at a round boundary and a retry resumes the deterministic
+    // chain bit-identically to an uninterrupted solve.
     InFlight.erase(Rel);
-    ++Iter;
-    ++RS.Iterations;
-    if (Next == S) {
-      St.Saturated = true;
-      break;
-    }
-    S = std::move(Next);
-    if (Opts && Opts->Rings)
-      Opts->Rings->push_back(S);
-    if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
-      if (Stopped)
-        *Stopped = true;
-      break;
-    }
-    if (Opts && Opts->MaxIterations != 0 && Iter >= Opts->MaxIterations) {
-      if (HitLimit)
-        *HitLimit = true;
-      break;
-    }
+    St.Value = std::move(S);
+    St.Rounds = Iter;
+    throw;
   }
   St.Value = std::move(S);
   St.Rounds = Iter;
@@ -897,7 +964,12 @@ void Evaluator::runFixpointSemiNaive(RelId Rel, FixpointState &St,
     S = St.Value;
     Delta = St.Delta;
   }
+  try {
   while (true) {
+    // Round-boundary governor check (see runFixpointNaive): guarantees
+    // the catch below always writes back a completed round.
+    if (support::ResourceGovernor *G = Mgr.governor())
+      G->check();
     InFlight[Rel] = S;
     uint64_t RoundStart = Mgr.stats().NodesCreated;
     uint64_t WorkerCreated = 0;
@@ -1005,6 +1077,23 @@ void Evaluator::runFixpointSemiNaive(RelId Rel, FixpointState &St,
       break;
     }
   }
+  } catch (...) {
+    // Mid-round interrupt: discard the aborted round, reset the delta
+    // context it may have left armed, and write back the last completed
+    // round (S/Delta/Iter are only advanced at round completion, and
+    // St.LastRoundCreated likewise, so a resumed solve gates and iterates
+    // exactly like an uninterrupted one).
+    InFlight.erase(Rel);
+    DeltaApp = nullptr;
+    DeltaPath = nullptr;
+    DeltaValue = Bdd();
+    InDeltaRound = false;
+    RoundCache.clear();
+    St.Value = std::move(S);
+    St.Delta = std::move(Delta);
+    St.Rounds = Iter;
+    throw;
+  }
   St.Value = std::move(S);
   St.Delta = std::move(Delta);
   St.Rounds = Iter;
@@ -1022,6 +1111,15 @@ uint64_t Evaluator::evalDisjunctsParallel(
   /// under MainLock, read by the reduction after the run has joined.
   std::vector<Bdd> Products(Units.size());
 
+  // Containment mirrors scheduleDependenciesParallel: tasks never throw
+  // into runDag; a governor trip latches and drains the round, any other
+  // fault is rethrown after the join. The aborted round's products are
+  // discarded wholesale (the caller's round loop rolls back to the last
+  // completed round), so partially-filled Products never reduce.
+  std::atomic<int> TrippedLimit{0};
+  std::exception_ptr FirstError;
+  std::mutex ErrMu;
+
   // A flat dependency list: the products of one round are mutually
   // independent, so this is a plain parallel-for over the pool.
   std::vector<std::vector<unsigned>> Deps(Units.size());
@@ -1031,6 +1129,8 @@ uint64_t Evaluator::evalDisjunctsParallel(
         WorkerContext &W = workerContext(Worker);
         Evaluator &WE = W.Ev;
         const DisjunctUnit &U = Units[Task];
+        W.Mgr.setGovernor(Mgr.governor());
+        try {
 
         // Seed everything this product reads from outside the worker:
         // the inputs and completed lower relations its disjunct applies
@@ -1082,9 +1182,48 @@ uint64_t Evaluator::evalDisjunctsParallel(
         WE.RoundCache.clear();
         WE.InFlight.erase(Rel);
 
-        std::lock_guard<std::mutex> Lock(PC.MainLock);
-        Products[Task] = W.Out.import(V);
+        {
+          std::lock_guard<std::mutex> Lock(PC.MainLock);
+          Products[Task] = W.Out.import(V);
+        }
+        } catch (const support::ResourceInterrupt &RI) {
+          // Reset the worker state the aborted pass left armed; the
+          // worker's evaluator stays reusable for the retry.
+          WE.DeltaApp = nullptr;
+          WE.DeltaPath = nullptr;
+          WE.DeltaValue = Bdd();
+          WE.InDeltaRound = false;
+          WE.RoundCache.clear();
+          WE.InFlight.erase(Rel);
+          int Expected = 0;
+          TrippedLimit.compare_exchange_strong(Expected,
+                                               static_cast<int>(RI.Limit));
+        } catch (...) {
+          WE.DeltaApp = nullptr;
+          WE.DeltaPath = nullptr;
+          WE.DeltaValue = Bdd();
+          WE.InDeltaRound = false;
+          WE.RoundCache.clear();
+          WE.InFlight.erase(Rel);
+          std::lock_guard<std::mutex> Lock(ErrMu);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
       });
+
+  if (FirstError || TrippedLimit.load() != 0) {
+    // Keep the counters coherent before unwinding — the round is being
+    // rolled back, but the work (and its import overhead) happened.
+    ParStats.ImportedNodes += importerTranslations() - ImportsBefore;
+    mergeWorkerStats();
+    for (const std::unique_ptr<WorkerContext> &W : Par->Workers)
+      if (W)
+        W->Mgr.setGovernor(nullptr);
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+    throw support::ResourceInterrupt{
+        static_cast<support::ResourceLimit>(TrippedLimit.load())};
+  }
 
   // Single-threaded from here. Deterministic balanced disjunction tree in
   // fixed unit order: each level ORs adjacent pairs, an odd tail rides
@@ -1111,6 +1250,9 @@ uint64_t Evaluator::evalDisjunctsParallel(
   // evaluator's exactly (each on-path product is cofactored once per
   // occurrence pass per round, wherever it runs).
   mergeWorkerStats();
+  for (const std::unique_ptr<WorkerContext> &W : Par->Workers)
+    if (W)
+      W->Mgr.setGovernor(nullptr);
   return workerNodesCreated() - CreatedBefore;
 }
 

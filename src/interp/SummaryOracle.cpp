@@ -57,9 +57,10 @@ struct ExitState {
 
 class Tabulator {
 public:
-  Tabulator(const ProgramCfg &Cfg, unsigned TargetProcId, unsigned TargetPc)
+  Tabulator(const ProgramCfg &Cfg, unsigned TargetProcId, unsigned TargetPc,
+            support::ResourceGovernor *Governor)
       : Cfg(Cfg), Prog(*Cfg.Prog), TargetProcId(TargetProcId),
-        TargetPc(TargetPc) {}
+        TargetPc(TargetPc), Governor(Governor) {}
 
   OracleResult run();
 
@@ -78,6 +79,7 @@ private:
   const Program &Prog;
   unsigned TargetProcId;
   unsigned TargetPc;
+  support::ResourceGovernor *Governor;
 
   std::unordered_set<std::array<uint32_t, 6>, ArrayHash> Seen;
   std::deque<std::array<uint32_t, 6>> Worklist;
@@ -233,7 +235,14 @@ OracleResult Tabulator::run() {
     for (uint32_t L = 0; L < (1u << MainLocalBits); ++L)
       addPathEdge(Prog.MainId, L, G, 0, L, G);
 
+  // The oracle allocates no BDD nodes, so the manager-side probes never
+  // fire here; poll the governor explicitly every 1024 worklist pops
+  // (deadline and cancellation — a node budget cannot trip in this
+  // engine). A trip propagates as support::ResourceInterrupt.
+  uint64_t Pops = 0;
   while (!Worklist.empty() && !Found) {
+    if (Governor && (++Pops & 1023u) == 0)
+      Governor->check();
     std::array<uint32_t, 6> Edge = Worklist.front();
     Worklist.pop_front();
     process(Edge);
@@ -248,15 +257,17 @@ OracleResult Tabulator::run() {
 
 OracleResult interp::summaryReachability(const ProgramCfg &Cfg,
                                          unsigned TargetProcId,
-                                         unsigned TargetPc) {
-  return Tabulator(Cfg, TargetProcId, TargetPc).run();
+                                         unsigned TargetPc,
+                                         support::ResourceGovernor *Governor) {
+  return Tabulator(Cfg, TargetProcId, TargetPc, Governor).run();
 }
 
 OracleResult
 interp::summaryReachabilityOfLabel(const ProgramCfg &Cfg,
-                                   const std::string &Label) {
+                                   const std::string &Label,
+                                   support::ResourceGovernor *Governor) {
   unsigned ProcId = 0, Pc = 0;
   if (!Cfg.findLabelPc(Label, ProcId, Pc))
     return OracleResult{};
-  return summaryReachability(Cfg, ProcId, Pc);
+  return summaryReachability(Cfg, ProcId, Pc, Governor);
 }

@@ -25,6 +25,7 @@
 
 #include "bp/Cfg.h"
 #include "interp/Eval.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdint>
 #include <set>
@@ -45,14 +46,21 @@ struct OracleResult {
 ///
 /// When \p TargetProcId is ~0u the engine runs to completion and reports
 /// statistics only (Reachable stays false).
+///
+/// \p Governor, when non-null, is polled periodically over the worklist
+/// (the oracle is enumerative — no BDD allocations fire its probes, so it
+/// checks explicitly) and a tripped limit propagates as
+/// support::ResourceInterrupt.
 OracleResult summaryReachability(const bp::ProgramCfg &Cfg,
                                  unsigned TargetProcId = ~0u,
-                                 unsigned TargetPc = 0);
+                                 unsigned TargetPc = 0,
+                                 support::ResourceGovernor *Governor = nullptr);
 
 /// Convenience: reachability of a statement label. Returns false if the
 /// label does not exist.
 OracleResult summaryReachabilityOfLabel(const bp::ProgramCfg &Cfg,
-                                        const std::string &Label);
+                                        const std::string &Label,
+                                        support::ResourceGovernor *Governor = nullptr);
 
 } // namespace interp
 } // namespace getafix

@@ -20,9 +20,11 @@ class PostStarSolver {
 public:
   PostStarSolver(const bp::ProgramCfg &Cfg, unsigned ProcId, unsigned Pc,
                  const BaselineOptions &Opts)
-      : Cfg(Cfg), Factory(Sys), Mgr(0, Opts.CacheBits), Opts(Opts) {
+      : Cfg(Cfg), Factory(Sys), Mgr(0, Opts.CacheBits), Opts(Opts),
+        TargetProcId(ProcId), TargetPc(Pc) {
     Mgr.setGcThreshold(Opts.GcThreshold);
-    build(ProcId, Pc);
+    if (Opts.Governor)
+      Mgr.setGovernor(Opts.Governor);
   }
 
   BaselineResult run();
@@ -44,6 +46,8 @@ private:
   BddManager Mgr;
   std::unique_ptr<Evaluator> Ev;
   BaselineOptions Opts;
+  unsigned TargetProcId;
+  unsigned TargetPc;
 
   // State tuple and temporaries (mirrors the formula engine's layout).
   ConfVars S;
@@ -213,23 +217,35 @@ BaselineResult PostStarSolver::run() {
   BaselineResult Result;
   Timer T;
 
-  Bdd Reach = InitStates;
-  Bdd Frontier = Reach;
-  while (!Frontier.isZero()) {
-    ++Result.Iterations;
-    if (Opts.EarlyStop && !(Frontier & TargetStates).isZero()) {
-      Result.Reachable = true;
-      break;
+  Bdd Reach, Frontier;
+  try {
+    build(TargetProcId, TargetPc);
+    Reach = InitStates;
+    Frontier = Reach;
+    while (!Frontier.isZero()) {
+      if (support::ResourceGovernor *G = Mgr.governor())
+        G->check();
+      ++Result.Iterations;
+      if (Opts.EarlyStop && !(Frontier & TargetStates).isZero()) {
+        Result.Reachable = true;
+        break;
+      }
+      Bdd New = internalImage(Frontier) | callImage(Frontier) |
+                returnImage(Frontier, Reach) | returnImage(Reach, Frontier);
+      Bdd Fresh = New & !Reach;
+      Reach |= Fresh;
+      Frontier = std::move(Fresh);
     }
-    Bdd New = internalImage(Frontier) | callImage(Frontier) |
-              returnImage(Frontier, Reach) | returnImage(Reach, Frontier);
-    Bdd Fresh = New & !Reach;
-    Reach |= Fresh;
-    Frontier = std::move(Fresh);
+    if (!Result.Reachable)
+      Result.Reachable = !(Reach & TargetStates).isZero();
+  } catch (const support::ResourceInterrupt &RI) {
+    // A mid-iteration trip leaves Reach at the last completed round;
+    // report what was found so far plus the limit. The manager stays
+    // consistent (partial operation results are unreferenced garbage).
+    Result.Limit = RI.Limit;
+    Result.Reachable = !Reach.isNull() && !(Reach & TargetStates).isZero();
   }
-  if (!Result.Reachable)
-    Result.Reachable = !(Reach & TargetStates).isZero();
-  Result.SummaryNodes = Reach.nodeCount();
+  Result.SummaryNodes = Reach.isNull() ? 0 : Reach.nodeCount();
   Result.Bdd = Mgr.stats();
   Result.PeakLiveNodes = Result.Bdd.PeakNodes;
   Result.BddNodesCreated = Result.Bdd.NodesCreated;
@@ -263,23 +279,30 @@ BaselineResult reach::mopedPostStarLabel(const bp::ProgramCfg &Cfg,
 }
 
 BaselineResult reach::bebopTabulate(const bp::ProgramCfg &Cfg,
-                                    unsigned ProcId, unsigned Pc) {
+                                    unsigned ProcId, unsigned Pc,
+                                    const BaselineOptions &Opts) {
   BaselineResult Result;
   Timer T;
-  interp::OracleResult R = interp::summaryReachability(Cfg, ProcId, Pc);
-  Result.Reachable = R.Reachable;
-  Result.Iterations = R.PathEdges;
+  try {
+    interp::OracleResult R =
+        interp::summaryReachability(Cfg, ProcId, Pc, Opts.Governor);
+    Result.Reachable = R.Reachable;
+    Result.Iterations = R.PathEdges;
+  } catch (const support::ResourceInterrupt &RI) {
+    Result.Limit = RI.Limit;
+  }
   Result.Seconds = T.seconds();
   return Result;
 }
 
 BaselineResult reach::bebopTabulateLabel(const bp::ProgramCfg &Cfg,
-                                         const std::string &Label) {
+                                         const std::string &Label,
+                                         const BaselineOptions &Opts) {
   unsigned ProcId = 0, Pc = 0;
   if (!Cfg.findLabelPc(Label, ProcId, Pc)) {
     BaselineResult Result;
     Result.TargetFound = false;
     return Result;
   }
-  return bebopTabulate(Cfg, ProcId, Pc);
+  return bebopTabulate(Cfg, ProcId, Pc, Opts);
 }

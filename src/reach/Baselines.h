@@ -27,6 +27,7 @@
 
 #include "bdd/Bdd.h"
 #include "bp/Cfg.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdint>
 #include <string>
@@ -37,6 +38,9 @@ namespace reach {
 struct BaselineResult {
   bool Reachable = false;
   bool TargetFound = true;
+  /// Which governor limit stopped the solve (`None` = ran to completion).
+  /// When set, `Reachable` reflects only the states found so far.
+  support::ResourceLimit Limit = support::ResourceLimit::None;
   uint64_t Iterations = 0;  ///< Fixpoint rounds / worklist steps.
   size_t SummaryNodes = 0;  ///< Final BDD size (moped only).
   size_t PeakLiveNodes = 0; ///< Peak BDD nodes (moped only; bebop is
@@ -54,6 +58,10 @@ struct BaselineOptions {
   bool EarlyStop = true;
   unsigned CacheBits = 18;
   size_t GcThreshold = 1u << 22;
+  /// Resource governor for this solve (not owned; one-shot per attempt;
+  /// see support/ResourceGovernor.h). A tripped limit is reported in
+  /// `BaselineResult::Limit`. Null = ungoverned.
+  support::ResourceGovernor *Governor = nullptr;
 };
 
 /// Moped-style native symbolic solver (see file comment).
@@ -65,12 +73,16 @@ BaselineResult
 mopedPostStarLabel(const bp::ProgramCfg &Cfg, const std::string &Label,
                    const BaselineOptions &Opts = BaselineOptions());
 
-/// Bebop-style explicit tabulation (see file comment).
+/// Bebop-style explicit tabulation (see file comment). Only
+/// `BaselineOptions::Governor` applies (the engine is enumerative — no
+/// caches or GC, and a node budget cannot trip).
 BaselineResult bebopTabulate(const bp::ProgramCfg &Cfg, unsigned ProcId,
-                             unsigned Pc);
+                             unsigned Pc,
+                             const BaselineOptions &Opts = BaselineOptions());
 
-BaselineResult bebopTabulateLabel(const bp::ProgramCfg &Cfg,
-                                  const std::string &Label);
+BaselineResult
+bebopTabulateLabel(const bp::ProgramCfg &Cfg, const std::string &Label,
+                   const BaselineOptions &Opts = BaselineOptions());
 
 } // namespace reach
 } // namespace getafix

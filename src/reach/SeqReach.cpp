@@ -390,40 +390,49 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
 
   BddManager Mgr(0, Opts.CacheBits);
   Mgr.setGcThreshold(Opts.GcThreshold);
+  if (Opts.Governor)
+    Mgr.setGovernor(Opts.Governor);
   Layout L = Factory.makeLayout(Mgr);
   Evaluator Ev(Sys, Mgr, std::move(L), Opts.Strategy,
                Opts.FrontierCofactor);
   Ev.setThreads(Opts.Threads);
   Ev.setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
-  Enc->bind(Ev, ProcId, Pc);
 
-  // Target states over the head tuple (plus don't-care fr for the opt
-  // algorithm, whose head has the mark in front).
-  Bdd TargetStates =
-      Ev.encodeEqConst(S.Mod, ProcId) & Ev.encodeEqConst(S.Pc, Pc);
+  try {
+    Enc->bind(Ev, ProcId, Pc);
 
-  EvalOptions EOpts;
-  EOpts.MaxIterations = Opts.MaxIterations;
-  if (Opts.EarlyStop && Alg != SeqAlgorithm::SummarySimple)
-    EOpts.EarlyStop = &TargetStates;
+    // Target states over the head tuple (plus don't-care fr for the opt
+    // algorithm, whose head has the mark in front).
+    Bdd TargetStates =
+        Ev.encodeEqConst(S.Mod, ProcId) & Ev.encodeEqConst(S.Pc, Pc);
 
-  if (Alg == SeqAlgorithm::SummarySimple) {
-    // Query: ∃s. ReachEntry(s.mod, s.ECL, s.ECG) ∧ Summary(s) ∧ target.
-    // Summary is solved first; ReachEntry reuses it as a memoized nested
-    // relation. EOpts carries no EarlyStop in this branch, so it is the
-    // right options set for both solves.
-    EvalResult Summaries = Ev.evaluate(Main, EOpts);
-    EvalResult Entries = Ev.evaluate(ReachEntry, EOpts);
-    Result.HitIterationLimit =
-        Summaries.HitIterationLimit || Entries.HitIterationLimit;
-    Bdd Hits = (Summaries.Value & Entries.Value) & TargetStates;
-    Result.Reachable = !Hits.isZero();
-    Result.SummaryNodes = Summaries.Value.nodeCount();
-  } else {
-    EvalResult R = Ev.evaluate(Main, EOpts);
-    Result.HitIterationLimit = R.HitIterationLimit;
-    Result.Reachable = !(R.Value & TargetStates).isZero();
-    Result.SummaryNodes = R.Value.nodeCount();
+    EvalOptions EOpts;
+    EOpts.MaxIterations = Opts.MaxIterations;
+    if (Opts.EarlyStop && Alg != SeqAlgorithm::SummarySimple)
+      EOpts.EarlyStop = &TargetStates;
+
+    if (Alg == SeqAlgorithm::SummarySimple) {
+      // Query: ∃s. ReachEntry(s.mod, s.ECL, s.ECG) ∧ Summary(s) ∧ target.
+      // Summary is solved first; ReachEntry reuses it as a memoized nested
+      // relation. EOpts carries no EarlyStop in this branch, so it is the
+      // right options set for both solves.
+      EvalResult Summaries = Ev.evaluate(Main, EOpts);
+      EvalResult Entries = Ev.evaluate(ReachEntry, EOpts);
+      Result.HitIterationLimit =
+          Summaries.HitIterationLimit || Entries.HitIterationLimit;
+      Bdd Hits = (Summaries.Value & Entries.Value) & TargetStates;
+      Result.Reachable = !Hits.isZero();
+      Result.SummaryNodes = Summaries.Value.nodeCount();
+    } else {
+      EvalResult R = Ev.evaluate(Main, EOpts);
+      Result.HitIterationLimit = R.HitIterationLimit;
+      Result.Reachable = !(R.Value & TargetStates).isZero();
+      Result.SummaryNodes = R.Value.nodeCount();
+    }
+  } catch (const support::ResourceInterrupt &RI) {
+    // Clean limit stop: the verdict is indeterminate, but every counter
+    // harvested below still covers the completed rounds' work.
+    Result.Limit = RI.Limit;
   }
 
   Result.Relations = Ev.stats();
@@ -483,6 +492,10 @@ struct SeqSession::Impl {
   /// footprint estimate discounts it.
   bool CacheCold = false;
 
+  /// Per-attempt resource governor (`setGovernor`; null = ungoverned).
+  /// Installed on the manager around each solve, never across solves.
+  support::ResourceGovernor *Gov = nullptr;
+
   Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
       : Cfg(Cfg), Opts(Opts), Engine(Cfg, Opts.Alg), Mgr(0, Opts.CacheBits),
         Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
@@ -507,6 +520,12 @@ SeqSession::SeqSession(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
 SeqSession::~SeqSession() = default;
 
 const SeqOptions &SeqSession::options() const { return I->Opts; }
+
+void SeqSession::setGovernor(support::ResourceGovernor *G) {
+  I->Gov = G;
+  if (I->Witness)
+    I->Witness->setGovernor(G);
+}
 
 void SeqSession::clearComputedCache() {
   I->Mgr.clearComputedCache();
@@ -541,7 +560,9 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   Impl &S = *I;
   if (!S.Opts.ReuseSolvedState) {
     // Ablation / differential baseline: every query pays a fresh solve.
-    return checkReachability(S.Cfg, ProcId, Pc, S.Opts);
+    SeqOptions O = S.Opts;
+    O.Governor = S.Gov;
+    return checkReachability(S.Cfg, ProcId, Pc, O);
   }
 
   SeqResult Result;
@@ -552,6 +573,12 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   fpc::ParallelStats ParBefore = S.Ev.parallelStats();
   fpc::CofactorStats CfBefore = S.Ev.cofactorStats();
 
+  // The governor spans exactly this query; an interrupted query leaves
+  // the session's persistent state (rings, summaries, memos) at the last
+  // completed round, valid for a retry.
+  if (S.Gov)
+    S.Mgr.setGovernor(S.Gov);
+  try {
   const sym::ConfVars &Conf = S.Engine.conf();
   Bdd TargetStates = S.Ev.encodeEqConst(Conf.Mod, ProcId) &
                      S.Ev.encodeEqConst(Conf.Pc, Pc);
@@ -606,6 +633,10 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
     Result.SummariesReused = A.RoundsReused;
     Result.SummariesRecomputed = A.RoundsComputed;
   }
+  } catch (const support::ResourceInterrupt &RI) {
+    Result.Limit = RI.Limit;
+  }
+  S.Mgr.setGovernor(nullptr);
 
   // Session statistics are cumulative where fresh solves report
   // per-solve numbers: Relations accumulates across queries, and the
@@ -642,10 +673,15 @@ SeqResult SeqSession::solveLabel(const std::string &Label) {
 }
 
 WitnessResult SeqSession::solveWithWitness(unsigned ProcId, unsigned Pc) {
-  if (!I->Opts.ReuseSolvedState)
-    return checkReachabilityWithWitness(I->Cfg, ProcId, Pc, I->Opts);
-  if (!I->Witness)
+  if (!I->Opts.ReuseSolvedState) {
+    SeqOptions O = I->Opts;
+    O.Governor = I->Gov;
+    return checkReachabilityWithWitness(I->Cfg, ProcId, Pc, O);
+  }
+  if (!I->Witness) {
     I->Witness = std::make_unique<WitnessSession>(I->Cfg, I->Opts);
+    I->Witness->setGovernor(I->Gov);
+  }
   return I->Witness->query(ProcId, Pc);
 }
 

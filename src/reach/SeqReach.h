@@ -31,6 +31,7 @@
 #include "bdd/Bdd.h"
 #include "bp/Cfg.h"
 #include "fpcalc/Calculus.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdint>
 #include <map>
@@ -88,11 +89,22 @@ struct SeqOptions {
   /// overhead. 0 = auto (the evaluator's built-in `cacheSlots()/2`
   /// valve). Purely a performance knob — results are bit-identical.
   uint64_t DisjunctParallelThreshold = 0;
+  /// Resource governor for this solve attempt (deadline / node budget /
+  /// cancel flag; see support/ResourceGovernor.h). Not owned; governors
+  /// are one-shot — install a fresh one per attempt. A tripped limit is
+  /// reported in `SeqResult::Limit` with the state stopped at a completed
+  /// round boundary, so a retry resumes the deterministic chain
+  /// bit-identically. Null = ungoverned.
+  support::ResourceGovernor *Governor = nullptr;
 };
 
 struct SeqResult {
   bool Reachable = false;
   bool TargetFound = true;   ///< False if the label did not exist.
+  /// Which governor limit stopped the solve (`None` = ran to completion).
+  /// When set, `Reachable` and the iteration counts reflect only the
+  /// completed rounds; other counters still cover the work done.
+  support::ResourceLimit Limit = support::ResourceLimit::None;
   /// The solver stopped at SeqOptions::MaxIterations before converging;
   /// `Reachable` then only reflects the states found so far.
   bool HitIterationLimit = false;
@@ -172,6 +184,14 @@ public:
   /// first. Non-const: probing encodes the target over the session's
   /// manager.)
   bool answersFromState(unsigned ProcId, unsigned Pc, bool Witness = false);
+
+  /// Installs (or clears, with null) a per-attempt resource governor on
+  /// this session's solving state: the next solve runs under it and stops
+  /// at a completed round boundary when a limit trips, leaving the
+  /// session valid — a retry under a fresh (or no) governor resumes the
+  /// deterministic chain bit-identically. The caller owns the governor
+  /// and must keep it alive across the governed solve.
+  void setGovernor(support::ResourceGovernor *G);
 
   /// Drops the BDD computed cache (a pure performance valve for
   /// long-lived sessions under memory pressure); all solved state —

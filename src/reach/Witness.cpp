@@ -35,14 +35,16 @@ class WitnessExtractor {
 public:
   WitnessExtractor(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
       : Engine(Cfg, SeqAlgorithm::EntryForward), Opts(Opts),
-        Mgr(0, Opts.CacheBits), S(Engine.conf()), X(Engine.scratch()),
-        F(Engine.encoder().formals()) {
+        Mgr(0, Opts.CacheBits), Gov(Opts.Governor), S(Engine.conf()),
+        X(Engine.scratch()), F(Engine.encoder().formals()) {
     Mgr.setGcThreshold(Opts.GcThreshold);
   }
 
   WitnessResult query(unsigned ProcId, unsigned Pc);
 
-  bool solved() const { return Ev != nullptr; }
+  bool solved() const { return SolveDone; }
+
+  void setGovernor(support::ResourceGovernor *G) { Gov = G; }
 
   void clearComputedCache() {
     Mgr.clearComputedCache();
@@ -144,7 +146,15 @@ private:
   SeqEngine Engine;
   SeqOptions Opts;
   BddManager Mgr;
+  /// Per-attempt governor (null = ungoverned), installed around each
+  /// query. Not owned.
+  support::ResourceGovernor *Gov = nullptr;
   std::unique_ptr<Evaluator> Ev;
+  /// Persistent fixpoint state of the ring-recording solve, so an
+  /// interrupted solve resumes from its last completed round (the rings
+  /// recorded so far stay valid) instead of re-recording from scratch.
+  FixpointState FixSt;
+  bool SolveDone = false; ///< The ring solve ran to its stopping point.
   std::vector<Bdd> Rings;
   ConfVars S;
   SeqEngine::ScratchVars X;
@@ -347,26 +357,51 @@ bool WitnessExtractor::appendEntryChain(unsigned Mod, uint64_t EntryL,
 }
 
 void WitnessExtractor::ensureSolved() {
-  if (Ev)
+  if (SolveDone)
     return;
-  Layout L = Engine.factory().makeLayout(Mgr);
-  Ev = std::make_unique<Evaluator>(Engine.system(), Mgr, std::move(L),
-                                   Opts.Strategy, Opts.FrontierCofactor);
-  Ev->setThreads(Opts.Threads);
-  Ev->setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
-  // The target relation is declared but read by no clause; the solve (and
-  // therefore every ring) is target-independent, which is what makes one
-  // solve serve every later target query.
-  Engine.encoder().bind(*Ev, ~0u, 0);
+  if (!Ev) {
+    // One-time setup, ungoverned like the sibling sessions' constructors:
+    // layout variable allocation cannot be rolled back, so a mid-setup
+    // trip would leave no consistent state to resume from (a redone
+    // makeLayout would shift the variable order and break the
+    // bit-identical-resume contract). Limits apply from the first
+    // fixpoint round on. `Ev` commits only after the inputs are fully
+    // bound, so a genuine fault mid-bind leaves the next attempt able to
+    // tell setup never finished instead of reading unbound inputs.
+    support::ResourceGovernor *Installed = Mgr.governor();
+    Mgr.setGovernor(nullptr);
+    try {
+      Layout L = Engine.factory().makeLayout(Mgr);
+      auto NewEv = std::make_unique<Evaluator>(
+          Engine.system(), Mgr, std::move(L), Opts.Strategy,
+          Opts.FrontierCofactor);
+      NewEv->setThreads(Opts.Threads);
+      NewEv->setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
+      // The target relation is declared but read by no clause; the solve
+      // (and therefore every ring) is target-independent, which is what
+      // makes one solve serve every later target query.
+      Engine.encoder().bind(*NewEv, ~0u, 0);
+      Ev = std::move(NewEv);
+    } catch (...) {
+      Mgr.setGovernor(Installed);
+      throw;
+    }
+    Mgr.setGovernor(Installed);
+  }
 
   // The "onion rings" are the per-round values of the summary relation;
   // the semi-naive core produces the identical ring sequence (it computes
   // the same S_r per round, only cheaper), so reconstruction is oblivious
-  // to the strategy.
+  // to the strategy. Iterating through `resume` over persistent state
+  // (rather than a one-shot `evaluate`) computes the identical rounds but
+  // lets a governor-interrupted solve keep its completed rounds and carry
+  // on from them on retry — the recorded rings stay consistent either
+  // way.
   EvalOptions EOpts;
   EOpts.Rings = &Rings;
   EOpts.MaxIterations = Opts.MaxIterations;
-  EvalResult R = Ev->evaluate(Engine.mainRel(), EOpts);
+  EvalResult R = Ev->resume(Engine.mainRel(), FixSt, EOpts);
+  SolveDone = true;
   Solved = R.Value;
   TargetDomains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
   Base.HitIterationLimit = R.HitIterationLimit;
@@ -387,33 +422,51 @@ void WitnessExtractor::ensureSolved() {
 }
 
 WitnessResult WitnessExtractor::query(unsigned ProcId, unsigned Pc) {
-  ensureSolved();
-  CacheCold = false; // Extraction repopulates the computed cache.
-  WitnessResult Result = Base;
-  Steps.clear();
+  WitnessResult Result;
+  if (Gov)
+    Mgr.setGovernor(Gov);
+  try {
+    ensureSolved();
+    CacheCold = false; // Extraction repopulates the computed cache.
+    Result = Base;
+    Steps.clear();
 
-  Bdd Hits = Solved & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & TargetDomains;
-  if (Hits.isZero())
-    return Result;
-  Result.Reachable = true;
+    Bdd Hits = Solved & eq(S.Mod, ProcId) & eq(S.Pc, Pc) & TargetDomains;
+    if (!Hits.isZero()) {
+      Result.Reachable = true;
 
-  std::vector<int8_t> Path = Hits.onePath();
-  InstState Target;
-  Target.Pc = Pc;
-  Target.Locals = decode(Path, S.CL);
-  Target.Globals = decode(Path, S.CG);
-  uint64_t EntryL = decode(Path, S.ECL);
-  uint64_t EntryG = decode(Path, S.ECG);
+      std::vector<int8_t> Path = Hits.onePath();
+      InstState Target;
+      Target.Pc = Pc;
+      Target.Locals = decode(Path, S.CL);
+      Target.Globals = decode(Path, S.CG);
+      uint64_t EntryL = decode(Path, S.ECL);
+      uint64_t EntryG = decode(Path, S.ECG);
 
-  if (!appendEntryChain(ProcId, EntryL, EntryG) ||
-      !appendProcPath(ProcId, EntryL, EntryG, Target)) {
-    // Reconstruction failure indicates an engine bug; report reachable
-    // with an empty trace rather than a bogus one.
-    assert(false && "witness reconstruction failed on a reachable target");
-    Result.Steps.clear();
-    return Result;
+      if (!appendEntryChain(ProcId, EntryL, EntryG) ||
+          !appendProcPath(ProcId, EntryL, EntryG, Target)) {
+        // Reconstruction failure indicates an engine bug; report reachable
+        // with an empty trace rather than a bogus one.
+        assert(false &&
+               "witness reconstruction failed on a reachable target");
+        Result.Steps.clear();
+      } else {
+        Result.Steps = std::move(Steps);
+      }
+    }
+  } catch (const support::ResourceInterrupt &RI) {
+    // Clean limit stop mid-solve or mid-extraction: completed rounds (and
+    // their rings) persist, so a retry resumes where this attempt stopped.
+    Result = WitnessResult();
+    Result.Limit = RI.Limit;
+    Result.Iterations = Rings.size();
+    Result.Bdd = Mgr.stats();
+    Result.PeakLiveNodes = Result.Bdd.PeakNodes;
+    Result.BddNodesCreated = Result.Bdd.NodesCreated;
+    Result.BddCacheLookups = Result.Bdd.CacheLookups;
+    Result.BddCacheHits = Result.Bdd.CacheHits;
   }
-  Result.Steps = std::move(Steps);
+  Mgr.setGovernor(nullptr);
   return Result;
 }
 
@@ -446,6 +499,10 @@ WitnessResult WitnessSession::query(unsigned ProcId, unsigned Pc) {
 }
 
 bool WitnessSession::solved() const { return I->Extractor.solved(); }
+
+void WitnessSession::setGovernor(support::ResourceGovernor *G) {
+  I->Extractor.setGovernor(G);
+}
 
 void WitnessSession::clearComputedCache() {
   I->Extractor.clearComputedCache();

@@ -60,6 +60,9 @@ struct WitnessStep {
 struct WitnessResult {
   bool Reachable = false;
   bool TargetFound = true;            ///< False if the label did not exist.
+  /// Which governor limit stopped the ring-recording solve (`None` = ran
+  /// to completion). When set, no trace is extracted.
+  support::ResourceLimit Limit = support::ResourceLimit::None;
   /// The ring-recording solve stopped at SeqOptions::MaxIterations before
   /// converging; `Reachable` then only reflects the rings recorded so far.
   bool HitIterationLimit = false;
@@ -109,6 +112,11 @@ public:
   /// Has the (lazy) ring-recording solve run? Once true, every query is a
   /// pure extraction from recorded state.
   bool solved() const;
+
+  /// Per-attempt resource governor for the next query (null = ungoverned;
+  /// see SeqSession::setGovernor). An interrupted ring-recording solve
+  /// keeps its completed rounds and resumes bit-identically on retry.
+  void setGovernor(support::ResourceGovernor *G);
 
   /// Drops the BDD computed cache; solved rings are kept (performance
   /// valve, bit-identical results).

@@ -429,6 +429,20 @@ bool getString(const Json &Obj, const char *Key, std::string &Out,
   return true;
 }
 
+bool getCount(const Json &Obj, const char *Key, uint64_t &Out,
+              std::string &Error) {
+  const Json *V = Obj.find(Key);
+  if (!V)
+    return true; // Optional; leave Out unchanged.
+  if (!V->isNumber() || V->asNumber() < 0 ||
+      V->asNumber() != std::floor(V->asNumber())) {
+    Error = std::string("field '") + Key + "' must be a non-negative integer";
+    return false;
+  }
+  Out = static_cast<uint64_t>(V->asNumber());
+  return true;
+}
+
 } // namespace
 
 bool parseRequest(const std::string &Line, Request &Out, std::string &Error) {
@@ -465,6 +479,10 @@ bool parseRequest(const std::string &Line, Request &Out, std::string &Error) {
   if (!getString(J, "program", Out.Program, Error) ||
       !getString(J, "source", Out.Source, Error) ||
       !getString(J, "engine", Out.Engine, Error))
+    return false;
+
+  if (!getCount(J, "timeout_ms", Out.TimeoutMs, Error) ||
+      !getCount(J, "node_budget", Out.NodeBudget, Error))
     return false;
 
   if (const Json *W = J.find("witness")) {

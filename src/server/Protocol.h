@@ -15,7 +15,8 @@
 /// Requests:
 ///
 ///   {"op":"solve","program":PATH,"targets":["L1","L2"],
-///    "witness":false,"engine":"ef-opt"?,"source":TEXT?}
+///    "witness":false,"engine":"ef-opt"?,"source":TEXT?,
+///    "timeout_ms":N?,"node_budget":N?}
 ///   {"op":"stats"}
 ///   {"op":"evict","program":PATH?}        // no program = evict all
 ///   {"op":"ping"}
@@ -23,7 +24,13 @@
 ///
 /// `source` inlines the program text instead of a server-side path (the
 /// session is then keyed by a hash of the text). `engine` overrides the
-/// server's default engine for this program's session.
+/// server's default engine for this program's session. `timeout_ms` and
+/// `node_budget` bound one request's solving work (clamped by the
+/// server's `--max-timeout-ms` / `--node-budget` caps); a request that
+/// trips a limit gets a structured error row with
+/// `"status":"hit_deadline"|"hit_node_budget"|"cancelled"`, the session
+/// stopped at a completed round boundary, and a retry under a larger
+/// budget resumes bit-identically.
 ///
 /// The JSON support here is deliberately minimal — objects, arrays,
 /// strings with \uXXXX escapes, numbers, booleans, null — because the
@@ -35,6 +42,7 @@
 #ifndef GETAFIX_SERVER_PROTOCOL_H
 #define GETAFIX_SERVER_PROTOCOL_H
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -148,6 +156,13 @@ struct Request {
   std::string Engine;  ///< Optional engine override for this program.
   std::vector<std::string> Targets; ///< Labels to solve (solve verb).
   bool Witness = false; ///< Request counterexample traces.
+  /// Per-request wall-clock deadline in milliseconds; 0 = use the
+  /// server's default (`--default-timeout-ms`, itself 0 = none). Clamped
+  /// by `--max-timeout-ms`.
+  uint64_t TimeoutMs = 0;
+  /// Per-request BDD node budget; 0 = use the server's `--node-budget`
+  /// cap (itself 0 = unlimited). Clamped by that cap.
+  uint64_t NodeBudget = 0;
 };
 
 /// Decodes one request line. False + \p Error on malformed JSON, unknown

@@ -66,9 +66,20 @@ const char *statusName(api::SolveStatus S) {
     return "target-not-found";
   case api::SolveStatus::BadQuery:
     return "bad-query";
+  case api::SolveStatus::HitDeadline:
+    return "hit_deadline";
+  case api::SolveStatus::HitNodeBudget:
+    return "hit_node_budget";
+  case api::SolveStatus::Cancelled:
+    return "cancelled";
   }
   return "error";
 }
+
+/// How long past its deadline a request may run before the watchdog trips
+/// its cancel latch. The in-band deadline probe normally fires first;
+/// the watchdog is the backstop for a solve stuck between probes.
+constexpr int64_t WatchdogGraceMs = 250;
 
 } // namespace
 
@@ -84,6 +95,8 @@ Server::~Server() {
   for (std::thread &T : Threads)
     if (T.joinable())
       T.join();
+  if (WatchThread.joinable())
+    WatchThread.join();
   for (int &Fd : WakePipe)
     if (Fd >= 0) {
       ::close(Fd);
@@ -104,6 +117,7 @@ bool Server::start(std::string *Error) {
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Threads.emplace_back([this] { workerLoop(); });
+  WatchThread = std::thread([this] { watchdogLoop(); });
   return true;
 }
 
@@ -114,6 +128,7 @@ void Server::requestShutdown() {
   // stays valid for any worker mid-call.
   if (Listener.valid())
     ::shutdown(Listener.fd(), SHUT_RDWR);
+  WatchCv.notify_all();
   notifyShutdownFromSignal();
 }
 
@@ -148,11 +163,66 @@ void Server::wait() {
     if (T.joinable())
       T.join();
   Threads.clear();
+  if (WatchThread.joinable())
+    WatchThread.join();
 }
 
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> G(StatsMu);
   return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+uint64_t Server::registerWatch(support::ResourceGovernor *Gov,
+                               uint64_t TimeoutMs) {
+  if (!Gov || TimeoutMs == 0)
+    return 0;
+  std::lock_guard<std::mutex> G(WatchMu);
+  uint64_t Id = ++NextWatchId;
+  WatchEntry &W = WatchMap[Id];
+  W.Gov = Gov;
+  W.CancelAt = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(
+                   static_cast<int64_t>(TimeoutMs) + WatchdogGraceMs);
+  WatchCv.notify_all();
+  return Id;
+}
+
+void Server::unregisterWatch(uint64_t Id) {
+  if (Id == 0)
+    return;
+  std::lock_guard<std::mutex> G(WatchMu);
+  WatchMap.erase(Id);
+}
+
+void Server::watchdogLoop() {
+  std::unique_lock<std::mutex> L(WatchMu);
+  while (!stopping()) {
+    auto Now = std::chrono::steady_clock::now();
+    auto Next = Now + std::chrono::milliseconds(200);
+    unsigned Fired = 0;
+    for (auto It = WatchMap.begin(); It != WatchMap.end();) {
+      if (It->second.CancelAt <= Now) {
+        // The governor lives on the worker's stack but stays valid while
+        // registered (the worker unregisters before destroying it).
+        It->second.Gov->cancel();
+        ++Fired;
+        It = WatchMap.erase(It);
+      } else {
+        if (It->second.CancelAt < Next)
+          Next = It->second.CancelAt;
+        ++It;
+      }
+    }
+    if (Fired) {
+      std::lock_guard<std::mutex> G(StatsMu);
+      Stats.WatchdogCancels += Fired;
+    }
+    WatchCv.wait_until(L, Next);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -203,7 +273,16 @@ void Server::serveConnection(support::Socket Conn) {
     if (!parseRequest(Line, R, Err)) {
       Resp = errorResponse(Err);
     } else {
-      Resp = handle(R, ShutdownRequested);
+      // Last line of defense: no request — however it fails — may take
+      // the daemon down. handleSolve contains solver faults itself (so
+      // it can poison the session); this catches everything else.
+      try {
+        Resp = handle(R, ShutdownRequested);
+      } catch (const std::exception &Ex) {
+        Resp = errorResponse(std::string("internal error: ") + Ex.what());
+      } catch (...) {
+        Resp = errorResponse("internal error: unknown exception");
+      }
     }
     const Json *Ok = Resp.find("ok");
     if (Ok && Ok->isBool() && !Ok->asBool()) {
@@ -287,17 +366,77 @@ Json Server::handleSolve(const Request &R) {
     Qs.push_back(std::move(Q));
   }
 
+  // Resolve this request's resource envelope: the client's limits,
+  // defaulted and clamped by the server-wide caps. MaxTimeoutMs binds
+  // even a request that asked for no deadline at all.
+  uint64_t TimeoutMs = R.TimeoutMs ? R.TimeoutMs : Opts.DefaultTimeoutMs;
+  if (Opts.MaxTimeoutMs != 0 &&
+      (TimeoutMs == 0 || TimeoutMs > Opts.MaxTimeoutMs))
+    TimeoutMs = Opts.MaxTimeoutMs;
+  uint64_t NodeBudget = R.NodeBudget ? R.NodeBudget : Opts.NodeBudgetCap;
+  if (Opts.NodeBudgetCap != 0 && NodeBudget > Opts.NodeBudgetCap)
+    NodeBudget = Opts.NodeBudgetCap;
+
+  // One governor covers the whole batch (the deadline is absolute, the
+  // budget request-wide); once tripped, remaining targets report the
+  // same limit immediately. The watchdog is the out-of-band backstop.
+  support::ResourceGovernor Gov;
+  if (TimeoutMs != 0)
+    Gov.setDeadlineIn(static_cast<int64_t>(TimeoutMs));
+  if (NodeBudget != 0)
+    Gov.setNodeBudget(NodeBudget);
+  bool Governed = TimeoutMs != 0 || NodeBudget != 0;
+  if (Governed)
+    S.setResourceGovernor(&Gov);
+  uint64_t WatchId = registerWatch(Governed ? &Gov : nullptr, TimeoutMs);
+
+  // A real fault (injected or genuine OOM, broken invariant) escaping
+  // the engines is contained to this request: detach the governor,
+  // poison the session so its state is never reused, and keep serving.
+  auto containFault = [&](const std::string &What) {
+    unregisterWatch(WatchId);
+    if (Governed)
+      S.setResourceGovernor(nullptr);
+    Lease.markPoisoned();
+    {
+      std::lock_guard<std::mutex> G(StatsMu);
+      ++Stats.SolveRequests;
+      ++Stats.ContainedFaults;
+    }
+    return errorResponse("solve failed: " + What + " (session evicted)");
+  };
+
   auto T0 = std::chrono::steady_clock::now();
-  std::vector<api::SolveResult> Results = S.solveAll(Qs);
+  std::vector<api::SolveResult> Results;
+  try {
+    Results = S.solveAll(Qs);
+  } catch (const std::exception &Ex) {
+    return containFault(Ex.what());
+  } catch (...) {
+    return containFault("unknown fault");
+  }
+  unregisterWatch(WatchId);
+  if (Governed)
+    S.setResourceGovernor(nullptr);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
 
+  uint64_t LimitRows = 0;
   Json Rows = Json::array();
   for (size_t I = 0; I < Results.size(); ++I) {
     const api::SolveResult &Res = Results[I];
     Json Row = Json::object().set("target", Json::str(R.Targets[I]));
-    if (!Res.ok()) {
+    if (api::isResourceLimit(Res.Status)) {
+      // A limit stop is structured data, not a failure: the session
+      // halted at a completed round boundary and a retry with a larger
+      // budget resumes bit-identically.
+      ++LimitRows;
+      Row.set("error", Json::str(Res.Error))
+          .set("status", Json::str(statusName(Res.Status)))
+          .set("iterations", Json::number(double(Res.Iterations)))
+          .set("seconds", Json::number(Res.Seconds));
+    } else if (!Res.ok()) {
       // A bad target is an error row, not a dead connection — the rest
       // of the batch still gets verdicts.
       Row.set("error", Json::str(Res.Error))
@@ -321,6 +460,7 @@ Json Server::handleSolve(const Request &R) {
     std::lock_guard<std::mutex> G(StatsMu);
     ++Stats.SolveRequests;
     Stats.TargetsSolved += Results.size();
+    Stats.LimitStops += LimitRows;
   }
 
   return Json::object()
@@ -350,6 +490,17 @@ Json Server::handleStats() {
                .set("solves", Json::number(double(SS.SolveRequests)))
                .set("targets", Json::number(double(SS.TargetsSolved)))
                .set("errors", Json::number(double(SS.Errors)))
+               .set("limit_stops", Json::number(double(SS.LimitStops)))
+               .set("watchdog_cancels",
+                    Json::number(double(SS.WatchdogCancels)))
+               .set("contained_faults",
+                    Json::number(double(SS.ContainedFaults)))
+               .set("default_timeout_ms",
+                    Json::number(double(Opts.DefaultTimeoutMs)))
+               .set("max_timeout_ms",
+                    Json::number(double(Opts.MaxTimeoutMs)))
+               .set("node_budget",
+                    Json::number(double(Opts.NodeBudgetCap)))
                // The per-solve evaluator parallelism every pooled session
                // is opened with (`getafixd --threads`); clients use it to
                // tell a sequential deployment from a parallel one.
@@ -363,6 +514,8 @@ Json Server::handleStats() {
                .set("reopens", Json::number(double(PS.Reopens)))
                .set("evictions", Json::number(double(PS.Evictions)))
                .set("cache_clears", Json::number(double(PS.CacheClears)))
+               .set("poisoned_evictions",
+                    Json::number(double(PS.PoisonedEvictions)))
                .set("resident_sessions",
                     Json::number(double(PS.ResidentSessions)))
                .set("total_programs",

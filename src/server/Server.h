@@ -15,6 +15,18 @@
 /// programs comes from multiple workers, and concurrent clients of the
 /// same program serialize on its pooled session.
 ///
+/// Every solve request runs under a `ResourceGovernor`: its deadline and
+/// node budget come from the request's `timeout_ms`/`node_budget` fields
+/// clamped by the server-wide caps (`DefaultTimeoutMs`, `MaxTimeoutMs`,
+/// `NodeBudgetCap`), and a watchdog thread cancels any request still in
+/// flight past its deadline plus a grace period — an overdue lease is
+/// stopped at the next governor probe instead of pinning the pool. A
+/// limit stop is a structured error row (`hit_deadline` /
+/// `hit_node_budget` / `cancelled`) and leaves the session valid at a
+/// completed round boundary; a solve that escapes with a *real*
+/// exception (e.g. an allocation failure) is contained per-request —
+/// error response, poisoned-session eviction, daemon keeps serving.
+///
 /// Shutdown is graceful by design: `requestShutdown()` (or the `shutdown`
 /// protocol verb, or a signal via `notifyShutdownFromSignal`) stops the
 /// accept loop, lets every in-flight request finish and its response
@@ -28,10 +40,14 @@
 
 #include "server/Protocol.h"
 #include "server/SessionPool.h"
+#include "support/ResourceGovernor.h"
 #include "support/Socket.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -50,6 +66,16 @@ struct ServerOptions {
   /// Accept `source` (inline program text) requests. Off restricts
   /// clients to server-side program paths.
   bool AllowInlineSource = true;
+  /// Deadline applied to solve requests that carry no `timeout_ms`;
+  /// 0 = none.
+  uint64_t DefaultTimeoutMs = 0;
+  /// Upper bound on any request's effective deadline (client-supplied or
+  /// defaulted); 0 = uncapped. When set, even a request with no timeout
+  /// is clamped to this, so no request can pin a session forever.
+  uint64_t MaxTimeoutMs = 0;
+  /// BDD node budget applied to every solve request; a client's
+  /// `node_budget` may only lower it. 0 = unlimited.
+  uint64_t NodeBudgetCap = 0;
   PoolOptions Pool;
 };
 
@@ -60,6 +86,9 @@ struct ServerStats {
   uint64_t SolveRequests = 0; ///< `solve` verbs served.
   uint64_t TargetsSolved = 0; ///< Verdict rows produced.
   uint64_t Errors = 0;        ///< `{"ok":false}` responses sent.
+  uint64_t LimitStops = 0;    ///< Rows stopped by deadline/budget/cancel.
+  uint64_t WatchdogCancels = 0; ///< Overdue requests cancelled by the watchdog.
+  uint64_t ContainedFaults = 0; ///< Solves that escaped with a real exception.
 };
 
 class Server {
@@ -104,13 +133,33 @@ private:
   Json handleStats();
   Json handleEvict(const Request &R);
 
+  /// Registers an in-flight governor with the watchdog: if still
+  /// registered past its deadline plus a grace period, the watchdog
+  /// trips its cancel latch so the lease cannot pin the pool. Returns a
+  /// handle for unregisterWatch; 0 when \p TimeoutMs is 0.
+  uint64_t registerWatch(support::ResourceGovernor *Gov, uint64_t TimeoutMs);
+  void unregisterWatch(uint64_t Id);
+  void watchdogLoop();
+
   ServerOptions Opts;
   SessionPool Pool;
   support::Socket Listener;
   unsigned BoundPort = 0;
   std::vector<std::thread> Threads;
+  std::thread WatchThread;
   std::atomic<bool> Stopping{false};
   int WakePipe[2] = {-1, -1}; ///< Self-pipe; [1] written by signal handler.
+
+  /// One watched in-flight request: cancel its governor at CancelAt if
+  /// the worker has not unregistered it by then.
+  struct WatchEntry {
+    support::ResourceGovernor *Gov = nullptr;
+    std::chrono::steady_clock::time_point CancelAt;
+  };
+  std::mutex WatchMu; ///< Guards WatchMap/NextWatchId; never under StatsMu.
+  std::condition_variable WatchCv;
+  std::map<uint64_t, WatchEntry> WatchMap;
+  uint64_t NextWatchId = 0;
 
   mutable std::mutex StatsMu;
   ServerStats Stats;

@@ -59,8 +59,10 @@ SessionPool::Lease &SessionPool::Lease::operator=(Lease &&O) noexcept {
     E = std::move(O.E);
     Err = std::move(O.Err);
     Reopened = O.Reopened;
+    Poisoned = O.Poisoned;
     O.Pool = nullptr;
     O.E.reset();
+    O.Poisoned = false;
   }
   return *this;
 }
@@ -76,10 +78,14 @@ void SessionPool::Lease::release() {
     return;
   }
   SessionPool *P = Pool;
-  P->noteRelease(*E);
+  if (Poisoned)
+    P->notePoisonedRelease(*E);
+  else
+    P->noteRelease(*E);
   E->Mu.unlock();
   E.reset();
   Pool = nullptr;
+  Poisoned = false;
   P->enforceBudget();
 }
 
@@ -169,6 +175,20 @@ void SessionPool::noteRelease(Entry &E) {
   E.Footprint = Foot;
   E.Leased = false;
   E.LastUse = ++Tick;
+}
+
+void SessionPool::notePoisonedRelease(Entry &E) {
+  // The lease still holds E.Mu, so destroying the session here races with
+  // nobody; do it before touching PoolMu so the (potentially large) BDD
+  // manager teardown happens outside the pool lock.
+  E.S.reset();
+  std::lock_guard<std::mutex> G(PoolMu);
+  E.Resident = false;
+  E.Footprint = 0;
+  E.ValveCold = false;
+  E.Leased = false;
+  E.LastUse = ++Tick;
+  ++Stats.PoisonedEvictions;
 }
 
 //===----------------------------------------------------------------------===//

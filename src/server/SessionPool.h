@@ -23,6 +23,11 @@
 ///      The entry (program text, options, statistics) stays; the next
 ///      acquire transparently reopens and re-solves, bit-identical.
 ///
+/// A third, fault-driven path bypasses the budget: a lease whose solve
+/// escaped with a real exception (injected or genuine OOM) is marked
+/// poisoned, and release destroys that session eagerly — poisoned state
+/// is never returned to the pool (`markPoisoned`, `poisoned_evictions`).
+///
 /// Concurrency: each entry carries a mutex held for the whole lease, so
 /// concurrent clients querying the same program serialize on its one
 /// session and share solved state; clients on different programs run in
@@ -66,6 +71,9 @@ struct PoolStats {
   uint64_t Reopens = 0;     ///< Transparent reopens after eviction.
   uint64_t Evictions = 0;   ///< Sessions dropped by the budget (phase 2).
   uint64_t CacheClears = 0; ///< Computed-cache valve firings (phase 1).
+  /// Sessions destroyed eagerly because their lease was marked poisoned
+  /// (a solve escaped with a real fault, e.g. an allocation failure).
+  uint64_t PoisonedEvictions = 0;
   size_t ResidentSessions = 0; ///< Entries currently holding a session.
   size_t TotalPrograms = 0;    ///< Entries ever created (incl. evicted).
   size_t FootprintBytes = 0;   ///< Summed footprint of resident sessions.
@@ -104,6 +112,14 @@ public:
     api::SolverSession &session();
     /// This acquire reopened a previously-evicted session.
     bool reopened() const { return Reopened; }
+    /// Marks the leased session as poisoned: a solve escaped with a real
+    /// fault (an allocation failure, a corrupted invariant), so its state
+    /// cannot be trusted. Release then destroys the session eagerly
+    /// instead of returning it to the pool — it is never reused; the next
+    /// acquire of the key transparently reopens from source. Clean
+    /// resource-limit stops (deadline, node budget, cancel) must NOT be
+    /// marked: they leave the session at a completed round boundary.
+    void markPoisoned() { Poisoned = true; }
     /// Releases early (destructor otherwise does it).
     void release();
 
@@ -113,6 +129,7 @@ public:
     std::shared_ptr<Entry> E;
     std::string Err;
     bool Reopened = false;
+    bool Poisoned = false;
   };
 
   /// Acquires the session for \p Key, opening it (via \p LoadSource) on
@@ -139,6 +156,9 @@ public:
 
 private:
   void noteRelease(Entry &E);
+  /// Destroys a poisoned session under the (still-held) entry mutex and
+  /// drops the entry to non-resident. The entry itself survives.
+  void notePoisonedRelease(Entry &E);
   /// Two-phase reclamation toward the budget; skips leased entries.
   /// Caller must NOT hold PoolMu or any entry mutex.
   void enforceBudget();

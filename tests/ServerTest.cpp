@@ -16,9 +16,12 @@
 
 #include "server/Server.h"
 
+#include "gen/Workloads.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -350,4 +353,86 @@ TEST(ServerTest, SignalNotifyDrainsAndStops) {
   S.notifyShutdownFromSignal();
   Waiter.join(); // Must return promptly; a hang here fails via timeout.
   EXPECT_TRUE(S.stopping());
+}
+
+//===----------------------------------------------------------------------===//
+// Resource limits and fault containment
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, TimeoutRequestYieldsStructuredLimitRowThenResumes) {
+  TestServer T;
+  Client C(T.S.port());
+  ASSERT_TRUE(C.connected());
+
+  // The bluetooth model takes well over a millisecond to solve, so a 1ms
+  // per-request deadline deterministically stops at a round boundary.
+  std::string Src = gen::bluetoothModel(2, 2);
+  Json Req = Json::object()
+                 .set("op", Json::str("solve"))
+                 .set("source", Json::str(Src))
+                 .set("timeout_ms", Json::number(1));
+  Json Ts = Json::array();
+  Ts.add(Json::str("ERR"));
+  Req.set("targets", std::move(Ts));
+
+  Json Resp = C.call(Req.dump());
+  ASSERT_TRUE(okOf(Resp)) << errorOf(Resp);
+  const Json *Rows = Resp.find("rows");
+  ASSERT_NE(Rows, nullptr);
+  ASSERT_EQ(Rows->items().size(), 1u);
+  const Json *Status = Rows->items()[0].find("status");
+  ASSERT_NE(Status, nullptr);
+  EXPECT_EQ(Status->asString(), "hit_deadline");
+  EXPECT_NE(Rows->items()[0].find("error"), nullptr);
+  // A limit stop is a row, never a verdict.
+  EXPECT_EQ(verdictOf(Resp, 0), "<missing>");
+
+  // The same session retried without a deadline resumes and answers.
+  Json Retry = C.call(solveRequest(Src, {"ERR"}));
+  ASSERT_TRUE(okOf(Retry)) << errorOf(Retry);
+  EXPECT_EQ(verdictOf(Retry, 0), "NO");
+
+  Json Stats = C.call(R"({"op":"stats"})");
+  ASSERT_TRUE(okOf(Stats));
+  const Json *Srv = Stats.find("server");
+  ASSERT_NE(Srv, nullptr);
+  const Json *LimitStops = Srv->find("limit_stops");
+  ASSERT_NE(LimitStops, nullptr);
+  EXPECT_GE(LimitStops->asNumber(), 1.0);
+}
+
+TEST(ServerTest, InjectedOomIsContainedSessionEvictedDaemonServesOn) {
+  TestServer T;
+  Client C(T.S.port());
+  ASSERT_TRUE(C.connected());
+
+  // Arm deterministic allocation failure; the session's BddManager reads
+  // the variable when the pool opens it during this request.
+  ::setenv("GETAFIX_FAULT_ALLOC_AFTER", "50", 1);
+  Json Resp = C.call(solveRequest(Fixture, {"ERR"}));
+  ::unsetenv("GETAFIX_FAULT_ALLOC_AFTER");
+
+  EXPECT_FALSE(okOf(Resp));
+  EXPECT_NE(errorOf(Resp).find("session evicted"), std::string::npos)
+      << errorOf(Resp);
+
+  // The daemon is still serving: ping answers, and the same program
+  // reopens cleanly now that the fault is unarmed.
+  EXPECT_TRUE(okOf(C.call(R"({"op":"ping"})")));
+  Json Retry = C.call(solveRequest(Fixture, {"ERR"}));
+  ASSERT_TRUE(okOf(Retry)) << errorOf(Retry);
+  EXPECT_EQ(verdictOf(Retry, 0), "YES");
+
+  Json Stats = C.call(R"({"op":"stats"})");
+  ASSERT_TRUE(okOf(Stats));
+  const Json *Srv = Stats.find("server");
+  ASSERT_NE(Srv, nullptr);
+  const Json *Contained = Srv->find("contained_faults");
+  ASSERT_NE(Contained, nullptr);
+  EXPECT_GE(Contained->asNumber(), 1.0);
+  const Json *Pool = Stats.find("pool");
+  ASSERT_NE(Pool, nullptr);
+  const Json *Poisoned = Pool->find("poisoned_evictions");
+  ASSERT_NE(Poisoned, nullptr);
+  EXPECT_GE(Poisoned->asNumber(), 1.0);
 }

@@ -385,3 +385,48 @@ TEST(SessionPoolTest, EvictAllDropsEverything) {
   ASSERT_TRUE(L.ok());
   EXPECT_TRUE(L.reopened());
 }
+
+//===----------------------------------------------------------------------===//
+// Poisoned-lease eviction (fault containment)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionPoolTest, PoisonedLeaseIsEvictedEagerlyAndNeverReused) {
+  SessionPool Pool({});
+  {
+    SessionPool::Lease L = Pool.acquire("fixture", loaderFor(seqFixture()));
+    ASSERT_TRUE(L.ok());
+    EXPECT_TRUE(solveLabel(L.session(), "ERR").Reachable);
+    // A fault escaped this session (simulated): mark the lease poisoned.
+    // Release must destroy the session instead of returning it.
+    L.markPoisoned();
+  }
+  EXPECT_FALSE(Pool.isResident("fixture"));
+  PoolStats PS = Pool.stats();
+  EXPECT_EQ(PS.PoisonedEvictions, 1u);
+  // Poisoned eviction is accounted separately from budget eviction.
+  EXPECT_EQ(PS.Evictions, 0u);
+  EXPECT_EQ(PS.ResidentSessions, 0u);
+  EXPECT_EQ(PS.FootprintBytes, 0u);
+}
+
+TEST(SessionPoolTest, ReopenAfterPoisonedEvictionIsBitIdenticalToFresh) {
+  api::SolveResult Fresh =
+      api::Solver::solve(api::Query::fromSource(seqFixture()).target("ERR"),
+                         api::SolverOptions());
+  ASSERT_TRUE(Fresh.ok());
+
+  SessionPool Pool({});
+  {
+    SessionPool::Lease L = Pool.acquire("fixture", loaderFor(seqFixture()));
+    ASSERT_TRUE(L.ok());
+    solveLabel(L.session(), "ERR");
+    L.markPoisoned();
+  }
+  SessionPool::Lease L = Pool.acquire("fixture", loaderFor(seqFixture()));
+  ASSERT_TRUE(L.ok());
+  EXPECT_TRUE(L.reopened());
+  api::SolveResult After = solveLabel(L.session(), "ERR");
+  expectSameCore(Fresh, After, "post-poisoned-reopen vs fresh");
+  EXPECT_EQ(Pool.stats().PoisonedEvictions, 1u);
+  EXPECT_EQ(Pool.stats().Reopens, 1u);
+}

@@ -37,14 +37,18 @@
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                     generalized cofactor of narrow delta rounds
 ///     --no-constrain  alias for --frontier-cofactor off
+///     --timeout-ms n  wall-clock deadline for the whole run (0 = none)
+///     --node-budget n cap on BDD nodes allocated (0 = unlimited)
 ///
 /// Exit code: 0 if every solved relation is non-empty, 1 if any is empty,
-/// 2 on usage or input errors.
+/// 2 on usage or input errors, 4 when the deadline expired, 5 when the
+/// node budget was exhausted.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "fpcalc/Evaluator.h"
 #include "fpcalc/Parser.h"
+#include "support/ResourceGovernor.h"
 #include "support/Strings.h"
 
 #include <cstdio>
@@ -65,7 +69,8 @@ int usage() {
                "[--strategy naive|semi-naive] [--threads n] "
                "[--disjunct-threshold n] [--cache-bits n] "
                "[--frontier-cofactor constrain|restrict|off] "
-               "[--no-constrain] <system.mu>\n");
+               "[--no-constrain] [--timeout-ms n] [--node-budget n] "
+               "<system.mu>\n");
   return 2;
 }
 
@@ -125,6 +130,8 @@ int main(int Argc, char **Argv) {
   unsigned CacheBits = 18;
   unsigned Threads = 1;
   uint64_t DisjunctThreshold = 0; ///< 0 = auto (cacheSlots()/2).
+  uint64_t TimeoutMs = 0;
+  uint64_t NodeBudget = 0;
   EvalStrategy Strategy = EvalStrategy::SemiNaive;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -164,6 +171,14 @@ int main(int Argc, char **Argv) {
       if (I + 1 >= Argc)
         return usage();
       DisjunctThreshold = uint64_t(std::atoll(Argv[++I]));
+    } else if (Arg == "--timeout-ms") {
+      if (I + 1 >= Argc)
+        return usage();
+      TimeoutMs = uint64_t(std::atoll(Argv[++I]));
+    } else if (Arg == "--node-budget") {
+      if (I + 1 >= Argc)
+        return usage();
+      NodeBudget = uint64_t(std::atoll(Argv[++I]));
     } else if (Arg == "--frontier-cofactor") {
       if (I + 1 >= Argc || !parseCofactorMode(Argv[++I], Cofactor))
         return usage();
@@ -229,6 +244,14 @@ int main(int Argc, char **Argv) {
   }
 
   BddManager Mgr(0, CacheBits);
+  support::ResourceGovernor Gov;
+  if (TimeoutMs != 0 || NodeBudget != 0) {
+    if (TimeoutMs != 0)
+      Gov.setDeadlineIn(int64_t(TimeoutMs));
+    if (NodeBudget != 0)
+      Gov.setNodeBudget(NodeBudget);
+    Mgr.setGovernor(&Gov);
+  }
   Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr), Strategy,
                Cofactor);
   Ev.setThreads(Threads);
@@ -243,7 +266,14 @@ int main(int Argc, char **Argv) {
     if (Rels.size() > 1)
       std::printf("== %s ==\n", RelName.c_str());
 
-    EvalResult Result = Ev.evaluate(Rel);
+    EvalResult Result;
+    try {
+      Result = Ev.evaluate(Rel);
+    } catch (const support::ResourceInterrupt &RI) {
+      std::fprintf(stderr, "fpsolve: solve of '%s' stopped: %s\n",
+                   RelName.c_str(), support::resourceLimitName(RI.Limit));
+      return RI.Limit == support::ResourceLimit::NodeBudget ? 5 : 4;
+    }
 
     // Constrain each formal to its domain, and count over the formals'
     // bits only (all other manager variables are don't-care).

@@ -41,6 +41,13 @@
 ///                        allocated >= n BDD nodes (0 = auto,
 ///                        cacheSlots()/2; performance knob only)
 ///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
+///     --timeout-ms n     wall-clock deadline per solve in milliseconds
+///                        (0 = none); a hit deadline prints
+///                        "TIMEOUT (deadline)" and exits 4
+///     --node-budget n    cap on BDD nodes allocated per solve (0 =
+///                        unlimited); exhaustion prints
+///                        "TIMEOUT (node budget)" and exits 5 (a solve
+///                        cancelled through the API exits 6)
 ///     --frontier-cofactor {constrain,restrict,off}
 ///                        generalized cofactor applied in narrow delta
 ///                        rounds (ablation; results identical)
@@ -81,6 +88,8 @@ struct CliOptions {
   unsigned Threads = 1;
   uint64_t DisjunctThreshold = 0; ///< 0 = auto.
   unsigned CacheBits = 18;
+  uint64_t TimeoutMs = 0;
+  uint64_t NodeBudget = 0;
   fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
   bool SessionReuse = true;
   fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
@@ -100,6 +109,7 @@ int usage() {
                "               [--threads n] [--disjunct-threshold n] "
                "[--cache-bits n]\n"
                "               [--frontier-cofactor constrain|restrict|off]\n"
+               "               [--timeout-ms n] [--node-budget n]\n"
                "               [--no-constrain] [--no-reuse]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
@@ -226,9 +236,42 @@ void printStatsJson(const CliOptions &Opts, const std::string &Engine,
   std::printf("}\n");
 }
 
+/// Verdict text for a resource-limit terminal status; null otherwise.
+const char *limitVerdict(SolveStatus S) {
+  switch (S) {
+  case SolveStatus::HitDeadline:
+    return "TIMEOUT (deadline)";
+  case SolveStatus::HitNodeBudget:
+    return "TIMEOUT (node budget)";
+  case SolveStatus::Cancelled:
+    return "CANCELLED";
+  default:
+    return nullptr;
+  }
+}
+
+/// Process exit code for a resource-limit terminal status: 4 deadline,
+/// 5 node budget, 6 cancelled. 0 otherwise.
+int limitExitCode(SolveStatus S) {
+  switch (S) {
+  case SolveStatus::HitDeadline:
+    return 4;
+  case SolveStatus::HitNodeBudget:
+    return 5;
+  case SolveStatus::Cancelled:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
 /// One "LABEL: VERDICT" line for multi-target mode. Returns true when the
 /// verdict is inconclusive (iteration limit hit short of the target).
 bool printVerdictLine(const std::string &Label, const SolveResult &R) {
+  if (const char *Limit = limitVerdict(R.Status)) {
+    std::printf("%s: %s\n", Label.c_str(), Limit);
+    return false;
+  }
   bool Unknown = R.HitIterationLimit && !R.Reachable;
   std::printf("%s: %s\n", Label.c_str(),
               Unknown       ? "UNKNOWN (iteration limit)"
@@ -259,12 +302,15 @@ int runSession(const CliOptions &Opts, const std::string &Source,
 
   std::vector<SolveResult> Results = Session->solveAll(Queries);
   bool AnyUnknown = false;
+  int LimitExit = 0;
   for (size_t I = 0; I < Results.size(); ++I) {
-    if (!Results[I].ok()) {
+    if (!Results[I].ok() && !limitVerdict(Results[I].Status)) {
       std::fprintf(stderr, "error: %s: %s\n", Opts.Targets[I].c_str(),
                    Results[I].Error.c_str());
       return 2;
     }
+    if (LimitExit == 0)
+      LimitExit = limitExitCode(Results[I].Status);
     AnyUnknown |= printVerdictLine(Opts.Targets[I], Results[I]);
   }
 
@@ -292,6 +338,8 @@ int runSession(const CliOptions &Opts, const std::string &Source,
     }
     std::printf("  ]\n}\n");
   }
+  if (LimitExit != 0)
+    return LimitExit;
   return AnyUnknown ? 3 : 0;
 }
 
@@ -372,6 +420,16 @@ int main(int Argc, char **Argv) {
       if (Bits < 2 || Bits > 30)
         return usage();
       Opts.CacheBits = unsigned(Bits);
+    } else if (Arg == "--timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.TimeoutMs = uint64_t(std::atoll(V));
+    } else if (Arg == "--node-budget") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Opts.NodeBudget = uint64_t(std::atoll(V));
     } else if (Arg == "--frontier-cofactor") {
       const char *V = Next();
       if (!V || !fpc::parseCofactorMode(V, Opts.FrontierCofactor))
@@ -415,6 +473,8 @@ int main(int Argc, char **Argv) {
   SO.SessionReuse = Opts.SessionReuse;
   SO.Threads = Opts.Threads;
   SO.DisjunctParallelThreshold = Opts.DisjunctThreshold;
+  SO.TimeoutMs = Opts.TimeoutMs;
+  SO.NodeBudget = Opts.NodeBudget;
 
   if (!Opts.Targets.empty() && !Opts.PrintFormula)
     return runSession(Opts, Buffer.str(), SO);
@@ -435,6 +495,12 @@ int main(int Argc, char **Argv) {
   }
 
   SolveResult R = Solver::solve(Q, SO);
+  if (const char *Limit = limitVerdict(R.Status)) {
+    std::printf("%s\n", Limit);
+    if (Opts.Stats)
+      printStatsJson(Opts, Opts.Algo.empty() ? "(default)" : Opts.Algo, R);
+    return limitExitCode(R.Status);
+  }
   if (!R.ok()) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return 2;

@@ -18,6 +18,11 @@
 ///                        clients (default: closed loop, back-to-back)
 ///     --engine NAME      per-request engine override
 ///     --witness          request counterexample traces
+///     --timeout-ms N     per-request `timeout_ms` deadline; rows the
+///                        server stops at the limit are counted as
+///                        timeouts (not errors, not drift) and reported
+///     --retries N        bounded retry budget per connect/request
+///                        failure, with exponential backoff (default 3)
 ///     --json PATH        write a BENCH_server.json report (bench row
 ///                        schema: per-target verdict rows keyed
 ///                        section/case/variant plus summary rows)
@@ -47,6 +52,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -71,6 +77,8 @@ struct CliOptions {
   double Rate = 0.0; ///< 0 = closed loop.
   std::string Engine;
   bool Witness = false;
+  uint64_t TimeoutMs = 0; ///< Per-request deadline; 0 = none.
+  unsigned Retries = 3;   ///< Retry budget per failed connect/request.
   std::string JsonPath;
   std::string VerdictsPath;
   std::string EmitDir;
@@ -83,6 +91,7 @@ int usage() {
       "                    --program FILE=L1,L2,... [--program ...]\n"
       "                    [--clients N] [--requests M] [--rate R]\n"
       "                    [--engine NAME] [--witness]\n"
+      "                    [--timeout-ms N] [--retries N]\n"
       "                    [--json PATH] [--verdicts PATH]\n"
       "       getafix_load --emit-workloads DIR\n");
   return 2;
@@ -103,6 +112,8 @@ struct SharedResults {
   uint64_t Requests = 0;
   uint64_t TargetRows = 0;
   uint64_t Errors = 0;
+  uint64_t Retries = 0;     ///< Connect/request attempts that were retried.
+  uint64_t TimeoutRows = 0; ///< Rows the server stopped at a resource limit.
   bool Inconsistent = false;
   std::string FirstError;
 
@@ -112,7 +123,23 @@ struct SharedResults {
     if (FirstError.empty())
       FirstError = E;
   }
+
+  void noteRetry() {
+    std::lock_guard<std::mutex> G(Mu);
+    ++Retries;
+  }
 };
+
+/// A row the server stopped at its resource envelope rather than solved.
+/// Expected under deadline-driven load, so excluded from the cross-client
+/// verdict-drift check (whether a given row trips is timing-dependent).
+bool isLimitRow(const server::Json &Row) {
+  const server::Json *Status = Row.find("status");
+  if (!Status || !Status->isString())
+    return false;
+  const std::string &S = Status->asString();
+  return S == "hit_deadline" || S == "hit_node_budget" || S == "cancelled";
+}
 
 server::Json buildSolveRequest(const CliOptions &Opts, const ProgramSpec &P,
                                const std::vector<std::string> &Targets) {
@@ -127,6 +154,8 @@ server::Json buildSolveRequest(const CliOptions &Opts, const ProgramSpec &P,
     Req.set("witness", server::Json::boolean(true));
   if (!Opts.Engine.empty())
     Req.set("engine", server::Json::str(Opts.Engine));
+  if (Opts.TimeoutMs != 0)
+    Req.set("timeout_ms", server::Json::number(double(Opts.TimeoutMs)));
   return Req;
 }
 
@@ -158,13 +187,33 @@ bool roundTrip(support::Socket &Conn, support::LineReader &Reader,
 void clientLoop(const CliOptions &Opts, unsigned ClientIdx,
                 SharedResults &Results) {
   std::string Error;
-  support::Socket Conn = connectServer(Opts, Error);
-  if (!Conn.valid()) {
+  support::Socket Conn;
+  std::unique_ptr<support::LineReader> Reader;
+
+  // Bounded exponential backoff: 50ms doubling per attempt. A daemon
+  // mid-restart or a dropped connection is a retry, not a run failure.
+  auto backoff = [](unsigned Attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50u << Attempt));
+  };
+  auto connectWithRetry = [&]() -> bool {
+    for (unsigned A = 0;; ++A) {
+      Conn = connectServer(Opts, Error);
+      if (Conn.valid()) {
+        Reader.reset(new support::LineReader(Conn.fd()));
+        return true;
+      }
+      if (A >= Opts.Retries)
+        return false;
+      Results.noteRetry();
+      backoff(A);
+    }
+  };
+
+  if (!connectWithRetry()) {
     Results.noteError("client " + std::to_string(ClientIdx) +
                       ": " + Error);
     return;
   }
-  support::LineReader Reader(Conn.fd());
 
   auto Start = std::chrono::steady_clock::now();
   for (unsigned R = 0; R < Opts.Requests; ++R) {
@@ -194,7 +243,22 @@ void clientLoop(const CliOptions &Opts, unsigned ClientIdx,
     server::Json Req = buildSolveRequest(Opts, P, Targets);
     server::Json Resp;
     auto T0 = std::chrono::steady_clock::now();
-    if (!roundTrip(Conn, Reader, Req, Resp, Error)) {
+    bool Sent = false;
+    for (unsigned A = 0;; ++A) {
+      if (roundTrip(Conn, *Reader, Req, Resp, Error)) {
+        Sent = true;
+        break;
+      }
+      if (A >= Opts.Retries)
+        break;
+      Results.noteRetry();
+      backoff(A);
+      // The connection may be dead (daemon restart, dropped peer);
+      // reconnect before the next attempt, spending the same budget.
+      if (!connectWithRetry())
+        break;
+    }
+    if (!Sent) {
       Results.noteError("client " + std::to_string(ClientIdx) + ": " +
                         Error);
       return;
@@ -223,6 +287,10 @@ void clientLoop(const CliOptions &Opts, unsigned ClientIdx,
       if (!Target || !Target->isString())
         continue;
       ++Results.TargetRows;
+      if (isLimitRow(Row)) {
+        ++Results.TimeoutRows;
+        continue;
+      }
       const server::Json *Verdict = Row.find("verdict");
       const server::Json *RowErr = Row.find("error");
       std::string V = Verdict && Verdict->isString()
@@ -400,6 +468,17 @@ int main(int Argc, char **Argv) {
       Opts.Engine = V;
     } else if (Arg == "--witness") {
       Opts.Witness = true;
+    } else if (Arg == "--timeout-ms") {
+      if (!(V = Next()))
+        return usage();
+      Opts.TimeoutMs = uint64_t(std::atoll(V));
+    } else if (Arg == "--retries") {
+      if (!(V = Next()))
+        return usage();
+      int N = std::atoi(V);
+      if (N < 0 || N > 16)
+        return usage();
+      Opts.Retries = unsigned(N);
     } else if (Arg == "--json") {
       if (!(V = Next()))
         return usage();
@@ -445,10 +524,13 @@ int main(int Argc, char **Argv) {
   server::Json ServerStats;
   bool HaveStats = fetchServerStats(Opts, ServerStats);
 
-  std::printf("requests %llu  targets %llu  errors %llu\n",
+  std::printf("requests %llu  targets %llu  errors %llu  retries %llu  "
+              "timeouts %llu\n",
               (unsigned long long)Results.Requests,
               (unsigned long long)Results.TargetRows,
-              (unsigned long long)Results.Errors);
+              (unsigned long long)Results.Errors,
+              (unsigned long long)Results.Retries,
+              (unsigned long long)Results.TimeoutRows);
   std::printf("latency ms  p50 %.3f  p95 %.3f  p99 %.3f\n", P50, P95, P99);
   std::printf("throughput %.1f req/s over %.2f s\n", Throughput,
               WallSeconds);
@@ -516,6 +598,11 @@ int main(int Argc, char **Argv) {
             .set("clients", server::Json::number(double(Opts.Clients)))
             .set("requests", server::Json::number(double(Results.Requests)))
             .set("errors", server::Json::number(double(Results.Errors)))
+            .set("retries", server::Json::number(double(Results.Retries)))
+            .set("timeout_rows",
+                 server::Json::number(double(Results.TimeoutRows)))
+            .set("timeout_ms",
+                 server::Json::number(double(Opts.TimeoutMs)))
             .set("p50_ms", server::Json::number(P50))
             .set("p95_ms", server::Json::number(P95))
             .set("p99_ms", server::Json::number(P99))

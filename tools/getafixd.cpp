@@ -23,6 +23,18 @@
 ///                        then are evicted (0 = unbounded, the default)
 ///     --max-sessions N   hard cap on resident sessions (0 = unbounded)
 ///     --no-inline        reject requests with inline 'source' text
+///     --default-timeout-ms N
+///                        deadline for solve requests that carry no
+///                        `timeout_ms` field (0 = none, the default)
+///     --max-timeout-ms N upper bound on any request's deadline; binds
+///                        even requests that asked for none, so no client
+///                        can pin a session forever (0 = uncapped)
+///     --node-budget N    BDD node budget per solve request; a client's
+///                        `node_budget` may only lower it (0 = unlimited).
+///                        A tripped limit yields a structured error row
+///                        (`hit_deadline` / `hit_node_budget` /
+///                        `cancelled`); the session stays valid and a
+///                        retry with a larger budget resumes exactly
 ///     --algo NAME        default engine for every session
 ///     --threads N        evaluator worker threads per solve (parallel
 ///                        SCC scheduling + intra-SCC disjunct fan-out);
@@ -71,6 +83,8 @@ int usage() {
       "[--port-file PATH]\n"
       "                [--workers N] [--budget-mb N] [--max-sessions N] "
       "[--no-inline]\n"
+      "                [--default-timeout-ms N] [--max-timeout-ms N] "
+      "[--node-budget N]\n"
       "                [--algo NAME] [--threads N] "
       "[--disjunct-threshold N] [--cache-bits N]\n"
       "                [--context-bound K] [--rounds R] [--round-robin]\n"
@@ -129,6 +143,18 @@ int main(int Argc, char **Argv) {
       Opts.Pool.MaxResidentSessions = size_t(std::atoll(V));
     } else if (Arg == "--no-inline") {
       Opts.AllowInlineSource = false;
+    } else if (Arg == "--default-timeout-ms") {
+      if (!(V = Next()))
+        return usage();
+      Opts.DefaultTimeoutMs = uint64_t(std::atoll(V));
+    } else if (Arg == "--max-timeout-ms") {
+      if (!(V = Next()))
+        return usage();
+      Opts.MaxTimeoutMs = uint64_t(std::atoll(V));
+    } else if (Arg == "--node-budget") {
+      if (!(V = Next()))
+        return usage();
+      Opts.NodeBudgetCap = uint64_t(std::atoll(V));
     } else if (Arg == "--algo") {
       if (!(V = Next()))
         return usage();
@@ -213,14 +239,19 @@ int main(int Argc, char **Argv) {
   server::ServerStats SS = S.stats();
   server::PoolStats PS = S.pool().stats();
   std::printf("shutdown: %llu connections, %llu requests, %llu solves, "
-              "%llu targets; pool: %llu opens, %llu reopens, "
-              "%llu cache-clears, %llu evictions\n",
+              "%llu targets, %llu limit-stops, %llu watchdog-cancels, "
+              "%llu contained-faults; pool: %llu opens, %llu reopens, "
+              "%llu cache-clears, %llu evictions, %llu poisoned\n",
               (unsigned long long)SS.Connections,
               (unsigned long long)SS.Requests,
               (unsigned long long)SS.SolveRequests,
               (unsigned long long)SS.TargetsSolved,
+              (unsigned long long)SS.LimitStops,
+              (unsigned long long)SS.WatchdogCancels,
+              (unsigned long long)SS.ContainedFaults,
               (unsigned long long)PS.Opens, (unsigned long long)PS.Reopens,
               (unsigned long long)PS.CacheClears,
-              (unsigned long long)PS.Evictions);
+              (unsigned long long)PS.Evictions,
+              (unsigned long long)PS.PoisonedEvictions);
   return 0;
 }
