@@ -446,7 +446,11 @@ int main(int Argc, char **Argv) {
             .field("session_seconds", SessTotal)
             .field("speedup", Speedup)
             .field("summaries_reused", Reused)
-            .field("summaries_recomputed", Recomputed);
+            .field("summaries_recomputed", Recomputed)
+            // Retained (reachable-only) nodes, sampled at query
+            // boundaries — the whole-session memory gauge the
+            // trajectory check gates on.
+            .field("peak_live_nodes", uint64_t(S->peakLiveNodes()));
         Report.add(Row);
       }
     }

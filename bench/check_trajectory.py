@@ -3,7 +3,7 @@
 baseline and fail on wall-clock regressions.
 
 Usage: check_trajectory.py BASELINE.json CURRENT.json [MORE.json ...]
-       [--threshold 0.25] [--min-seconds 0.01]
+       [--threshold 0.25] [--min-seconds 0.01] [--mem-threshold 0.25]
 
 All CURRENT reports are merged (rows keyed by (section, case, variant);
 sections keep the reports disjoint), so the baseline can be one committed
@@ -11,7 +11,12 @@ file covering the regression suite and the ablation smoke. A row
 regresses when its `seconds` exceeds the baseline by more than THRESHOLD
 (relative) AND both sides are above MIN_SECONDS (sub-10ms rows — the
 whole regression feature suite — are timer noise on shared CI runners;
-they participate through the verdict check instead). Verdict drift
+they participate through the verdict check instead). Rows carrying
+`peak_live_nodes` (retained-node high-water marks; deterministic, so no
+noise floor) additionally fail when the count exceeds the baseline by
+more than MEM_THRESHOLD — the memory companion to the wall gate, added
+so a session-retention regression can't hide behind flat wall-clock.
+Verdict drift
 (`reachable` differing from the baseline) fails unconditionally — the
 trajectory gate doubles as a cross-run correctness diff. New rows (no
 baseline entry) and removed rows only warn: adding or retiring benchmarks
@@ -43,17 +48,20 @@ def main(argv):
     args = []
     threshold = 0.25
     min_seconds = 0.01
+    mem_threshold = 0.25
     i = 0
     while i < len(rest):
-        if rest[i] in ("--threshold", "--min-seconds"):
+        if rest[i] in ("--threshold", "--min-seconds", "--mem-threshold"):
             if i + 1 >= len(rest):
                 print(f"error: {rest[i]} needs a value", file=sys.stderr)
                 return 2
             value = float(rest[i + 1])
             if rest[i] == "--threshold":
                 threshold = value
-            else:
+            elif rest[i] == "--min-seconds":
                 min_seconds = value
+            else:
+                mem_threshold = value
             i += 2
         else:
             args.append(rest[i])
@@ -68,6 +76,7 @@ def main(argv):
         current.update(load_rows(path))
     failures = []
     checked = 0
+    mem_checked = 0
 
     for key, row in sorted(current.items()):
         base = baseline.get(key)
@@ -83,6 +92,16 @@ def main(argv):
                 f"{base.get('reachable')} vs current {row.get('reachable')}"
             )
             continue
+        bn, cn = base.get("peak_live_nodes"), row.get("peak_live_nodes")
+        if bn and cn:
+            mem_checked += 1
+            if cn > bn * (1.0 + mem_threshold):
+                failures.append(
+                    f"MEMORY REGRESSION {name}: peak_live_nodes "
+                    f"{bn} -> {cn} (+{(cn / bn - 1) * 100:.0f}%, "
+                    f"threshold {mem_threshold * 100:.0f}%)"
+                )
+                continue
         bs, cs = base.get("seconds"), row.get("seconds")
         if bs is None or cs is None:
             continue
@@ -99,7 +118,10 @@ def main(argv):
     for key in sorted(set(baseline) - set(current)):
         print(f"note: row removed since baseline: {'/'.join(map(str, key))}")
 
-    print(f"trajectory: {checked} rows compared against baseline")
+    print(
+        f"trajectory: {checked} wall rows and {mem_checked} memory rows "
+        f"compared against baseline"
+    )
     if failures:
         for f in failures:
             print(f, file=sys.stderr)

@@ -110,6 +110,7 @@ reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
   SO.ReuseSolvedState = Opts.SessionReuse;
   SO.Threads = Opts.Threads;
   SO.DisjunctParallelThreshold = Opts.DisjunctParallelThreshold;
+  SO.RingKeyframeInterval = Opts.RingKeyframeInterval;
   return SO;
 }
 
@@ -341,6 +342,7 @@ conc::ConcOptions concOptionsFor(const SolverOptions &Opts,
   CO.ReuseSolvedState = Opts.SessionReuse;
   CO.Threads = Opts.Threads;
   CO.DisjunctParallelThreshold = Opts.DisjunctParallelThreshold;
+  CO.RingKeyframeInterval = Opts.RingKeyframeInterval;
   return CO;
 }
 

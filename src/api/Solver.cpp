@@ -334,6 +334,10 @@ SolveResult SolverSession::solveCompiled(const CompiledQuery &Q) {
   }
   Stats.SummariesReused += R.SummariesReused;
   Stats.SummariesRecomputed += R.SummariesRecomputed;
+  // Keep the lock-free footprint gauge current: a pool budgeting many
+  // sessions reads it for leased-out sessions it cannot safely sample.
+  if (Session)
+    FootGauge.store(Session->memoryFootprint(), std::memory_order_relaxed);
   return R;
 }
 
@@ -444,8 +448,10 @@ void SolverSession::setResourceGovernor(support::ResourceGovernor *G) {
 }
 
 void SolverSession::clearComputedCache() {
-  if (Session)
+  if (Session) {
     Session->clearComputedCache();
+    FootGauge.store(Session->memoryFootprint(), std::memory_order_relaxed);
+  }
 }
 
 size_t SolverSession::liveNodes() const {
@@ -457,7 +463,9 @@ size_t SolverSession::peakLiveNodes() const {
 }
 
 size_t SolverSession::memoryFootprint() const {
-  return Session ? Session->memoryFootprint() : 0;
+  size_t F = Session ? Session->memoryFootprint() : 0;
+  FootGauge.store(F, std::memory_order_relaxed);
+  return F;
 }
 
 std::string Solver::formulaText(const Query &Q, const SolverOptions &Opts,

@@ -175,6 +175,14 @@ struct SolverOptions {
   /// frontier policy keys on). Purely a performance knob — results are
   /// bit-identical at any value.
   uint64_t DisjunctParallelThreshold = 0;
+  /// Session ring retention (BDD engines; see fpc::RingLog): fixpoint
+  /// rounds recorded for replay and witness extraction are stored as
+  /// exact deltas with a full keyframe every this many rounds, bounding
+  /// the memory a long-lived session retains. 1 keeps every round full
+  /// (the pre-diet baseline); 0 keeps only the first round full. Purely a
+  /// memory knob — verdicts, rounds, and witnesses are bit-identical at
+  /// any value.
+  uint64_t RingKeyframeInterval = 8;
 
   // Concurrent knobs.
   unsigned ContextBound = 2; ///< Max context switches k.
@@ -552,6 +560,17 @@ public:
   size_t peakLiveNodes() const;
   size_t memoryFootprint() const;
 
+  /// The footprint estimate sampled at the end of the last query (or
+  /// cache clear / footprint call) on this session, readable without
+  /// touching the engine state. A memory-budgeted pool reads this for
+  /// sessions currently *leased out* — their engine state may be mid-query
+  /// on another thread, so calling `memoryFootprint()` would race, but the
+  /// end-of-last-query sample is exactly the growth the pool would
+  /// otherwise not see until the lease is released. 0 until a query runs.
+  size_t lastSampledFootprint() const {
+    return FootGauge.load(std::memory_order_relaxed);
+  }
+
   /// Cross-query bookkeeping.
   struct SessionStats {
     uint64_t Queries = 0;       ///< Total queries answered.
@@ -584,6 +603,9 @@ private:
   /// including at lazy open, and to fresh-fallback solves.
   support::ResourceGovernor *Gov = nullptr;
   SessionStats Stats;
+  /// Backs `lastSampledFootprint`; updated at the end of every query,
+  /// cache clear, and `memoryFootprint` call.
+  mutable std::atomic<size_t> FootGauge{0};
 };
 
 //===----------------------------------------------------------------------===//

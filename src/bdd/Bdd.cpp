@@ -466,13 +466,7 @@ void BddManager::deref(uint32_t N) {
 
 size_t BddManager::liveNodeCount() const { return Nodes.size() - 2 - NumFree; }
 
-void BddManager::maybeGc() {
-  if (GcThreshold != 0 && liveNodeCount() > GcThreshold)
-    gc();
-}
-
-void BddManager::gc() {
-  ++Stats.GcRuns;
+std::vector<uint8_t> BddManager::markReachable() const {
   std::vector<uint8_t> Marked(Nodes.size(), 0);
   Marked[0] = Marked[1] = 1;
   std::vector<uint32_t> Stack;
@@ -488,6 +482,25 @@ void BddManager::gc() {
     Stack.push_back(Nodes[N].Low);
     Stack.push_back(Nodes[N].High);
   }
+  return Marked;
+}
+
+size_t BddManager::reachableNodeCount() const {
+  std::vector<uint8_t> Marked = markReachable();
+  size_t Count = 0;
+  for (uint32_t N = 2; N < Nodes.size(); ++N)
+    Count += Marked[N];
+  return Count;
+}
+
+void BddManager::maybeGc() {
+  if (GcThreshold != 0 && liveNodeCount() > GcThreshold)
+    gc();
+}
+
+void BddManager::gc() {
+  ++Stats.GcRuns;
+  std::vector<uint8_t> Marked = markReachable();
 
   std::fill(Buckets.begin(), Buckets.end(), Invalid);
   FreeList = Invalid;

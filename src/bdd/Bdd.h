@@ -332,6 +332,16 @@ public:
   }
   size_t liveNodeCount() const;
 
+  /// Number of nodes reachable from external references right now — the
+  /// count `gc()` would leave behind, computed by a mark-only pass with
+  /// no sweep, no free-list churn, and no cache invalidation.
+  /// `liveNodeCount()` also counts garbage that merely awaits the next
+  /// collection, which badly inflates long-lived sessions whose
+  /// automatic-gc threshold is never reached; resident-memory gauges
+  /// should use this instead. Costs a mark pass over the node table —
+  /// call it at query boundaries, not per operation.
+  size_t reachableNodeCount() const;
+
   /// Estimated heap bytes of this manager's live working set: live nodes
   /// times their storage share (node record + external refcount + unique
   /// table bucket) plus the computed cache. With \p CountCache false the
@@ -342,6 +352,14 @@ public:
   /// cube/permutation tables are deliberately ignored.
   size_t memoryEstimate(bool CountCache = true) const {
     return liveNodeCount() * (sizeof(Node) + 2 * sizeof(uint32_t)) +
+           (CountCache ? Cache.size() * sizeof(CacheEntry) : 0);
+  }
+
+  /// `memoryEstimate` computed over `reachableNodeCount()` instead of
+  /// `liveNodeCount()`: uncollected garbage is excluded, so this is the
+  /// number a session memory budget should charge.
+  size_t reachableMemoryEstimate(bool CountCache = true) const {
+    return reachableNodeCount() * (sizeof(Node) + 2 * sizeof(uint32_t)) +
            (CountCache ? Cache.size() * sizeof(CacheEntry) : 0);
   }
 
@@ -424,6 +442,10 @@ private:
   uint32_t restrictRec(uint32_t F, uint32_t C);
 
   void maybeGc();
+  /// Mark phase shared by `gc()` and `reachableNodeCount()`: a byte per
+  /// node slot, 1 where the node is reachable from an external reference
+  /// (terminals included).
+  std::vector<uint8_t> markReachable() const;
   void ref(uint32_t N);
   void deref(uint32_t N);
 

@@ -559,6 +559,10 @@ struct ConcSession::Impl {
   /// estimate discounts it.
   bool CacheCold = false;
 
+  /// High-water mark of retained (reachable) nodes, sampled at the end
+  /// of every query; `peakLiveNodes()` reports it (see SeqSession).
+  size_t PeakLive = 0;
+
   /// Per-attempt resource governor for the next solve (not owned; see
   /// ConcSession::setGovernor).
   support::ResourceGovernor *Gov = nullptr;
@@ -570,6 +574,7 @@ struct ConcSession::Impl {
         Ev(Engine.system(), Mgr, Engine.makeLayout(Mgr), Opts.Strategy,
            Opts.FrontierCofactor) {
     Mgr.setGcThreshold(Opts.GcThreshold);
+    Fix.setKeyframeInterval(Opts.RingKeyframeInterval);
     // The worker pool is session state: it persists (warm) across
     // queries; queries themselves stay serialized.
     Ev.setThreads(Opts.Threads);
@@ -597,17 +602,19 @@ void ConcSession::clearComputedCache() {
 }
 
 size_t ConcSession::liveNodes() const {
-  return I->Mgr.liveNodeCount() + I->Ev.workerBddStats().LiveNodes;
+  // Reachable-only count: garbage awaiting the next collection says
+  // nothing about what the session retains (see SeqSession::liveNodes).
+  return I->Mgr.reachableNodeCount() + I->Ev.workerBddStats().LiveNodes;
 }
 
 size_t ConcSession::peakLiveNodes() const {
-  return std::max(I->Mgr.stats().PeakNodes,
-                  I->Ev.workerBddStats().PeakNodes);
+  // Peak *retained* state, sampled at query boundaries.
+  return std::max(I->PeakLive, liveNodes());
 }
 
 size_t ConcSession::memoryFootprint() const {
   constexpr size_t BytesPerWorkerNode = 24; // node + refcount + bucket.
-  return I->Mgr.memoryEstimate(/*CountCache=*/!I->CacheCold) +
+  return I->Mgr.reachableMemoryEstimate(/*CountCache=*/!I->CacheCold) +
          I->Ev.workerBddStats().LiveNodes * BytesPerWorkerNode;
 }
 
@@ -674,6 +681,7 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
   Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = Tm.seconds();
+  S.PeakLive = std::max(S.PeakLive, liveNodes());
   return Result;
 }
 

@@ -76,6 +76,12 @@ struct ConcOptions {
   /// fans out only when the previous round allocated at least this many
   /// BDD nodes. 0 = auto (`cacheSlots()/2`); results are bit-identical.
   uint64_t DisjunctParallelThreshold = 0;
+  /// Session ring retention (see fpc::RingLog): recorded rounds are
+  /// stored as exact deltas with a full keyframe every this many rounds.
+  /// 1 keeps every round full (the pre-diet baseline); 0 keeps only the
+  /// first round full. Purely a memory knob — results are bit-identical
+  /// at any value.
+  uint64_t RingKeyframeInterval = 8;
   /// Resource governor for this solve attempt (deadline / node budget /
   /// cancel flag; see support/ResourceGovernor.h). Not owned; governors
   /// are one-shot — install a fresh one per attempt. A tripped limit is
@@ -181,10 +187,11 @@ public:
   void clearComputedCache();
 
   /// Session memory introspection (see `reach::SeqSession` for the exact
-  /// semantics): live/peak BDD node counts across the session's managers
-  /// and a cheap bytes estimate of resident state, with a cleared and
-  /// since-untouched computed cache discounted. Feeds the query server's
-  /// session-pool memory budget.
+  /// semantics): reachable-only live/peak BDD node counts across the
+  /// session's managers (uncollected garbage excluded; peak sampled at
+  /// query boundaries) and a bytes estimate of resident state, with a
+  /// cleared and since-untouched computed cache discounted. Feeds the
+  /// query server's session-pool memory budget.
   size_t liveNodes() const;
   size_t peakLiveNodes() const;
   size_t memoryFootprint() const;

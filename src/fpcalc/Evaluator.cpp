@@ -856,7 +856,7 @@ void Evaluator::runFixpointNaive(RelId Rel, FixpointState &St,
       }
       S = std::move(Next);
       if (Opts && Opts->Rings)
-        Opts->Rings->push_back(S);
+        Opts->Rings->append(S);
       if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
         if (Stopped)
           *Stopped = true;
@@ -1065,7 +1065,7 @@ void Evaluator::runFixpointSemiNaive(RelId Rel, FixpointState &St,
     Delta = Narrow ? Next.frontier(S) : Next;
     S = std::move(Next);
     if (Opts && Opts->Rings)
-      Opts->Rings->push_back(S);
+      Opts->Rings->append(S);
     if (Opts && Opts->EarlyStop && !(S & *Opts->EarlyStop).isZero()) {
       if (Stopped)
         *Stopped = true;
@@ -1287,24 +1287,34 @@ bool IncrementalFixpoint::tryReplay(const Bdd &Target, bool EarlyStop,
   // round first tests the early-stop target, then the iteration cap. The
   // saturation round (no change) breaks before either check. Replaying the
   // identical checks against the recorded ring values reproduces the fresh
-  // stop round and verdict exactly.
-  for (size_t Ri = 0; Ri < Rings.size(); ++Ri) {
-    uint64_t Round = Ri + 1;
-    if (EarlyStop && !(Rings[Ri] & Target).isZero()) {
-      A.Iterations = Round;
-      A.Reachable = true;
-      A.EarlyStopped = true;
-      A.Value = Rings[Ri];
-      A.RoundsReused = Round;
-      return true;
-    }
-    if (MaxIterations != 0 && Round >= MaxIterations) {
-      A.Iterations = Round;
-      A.Reachable = !(Rings[Ri] & Target).isZero();
-      A.HitIterationLimit = true;
-      A.Value = Rings[Ri];
-      A.RoundsReused = Round;
-      return true;
+  // stop round and verdict exactly. The rings are stored delta-compressed:
+  // the scan for the first target-intersecting round runs over the stored
+  // pieces directly (exact for arbitrary chains — see
+  // RingLog::firstIntersecting), and at most one full ring is
+  // reconstituted: the one whose value the answer carries. Reconstituted
+  // rings are canonically identical to the recorded rounds, so answers
+  // stay bit-for-bit those of a full-ring log.
+  if (EarlyStop || MaxIterations != 0) {
+    const size_t Hit = Rings.firstIntersecting(Target);
+    for (size_t Ri = 0; Ri < Rings.size(); ++Ri) {
+      uint64_t Round = Ri + 1;
+      if (EarlyStop && Hit == Ri) {
+        A.Iterations = Round;
+        A.Reachable = true;
+        A.EarlyStopped = true;
+        A.Value = Rings.ring(Ri);
+        A.RoundsReused = Round;
+        return true;
+      }
+      if (MaxIterations != 0 && Round >= MaxIterations) {
+        Bdd V = Rings.ring(Ri);
+        A.Iterations = Round;
+        A.Reachable = !(V & Target).isZero();
+        A.HitIterationLimit = true;
+        A.Value = std::move(V);
+        A.RoundsReused = Round;
+        return true;
+      }
     }
   }
   if (St.Saturated) {
@@ -1345,6 +1355,24 @@ IncrementalFixpoint::query(Evaluator &Ev, RelId Rel, const Bdd &Target,
   A.RoundsReused = Before;
   A.RoundsComputed = St.Rounds - Before;
   return A;
+}
+
+EvalResult IncrementalFixpoint::complete(Evaluator &Ev, RelId Rel,
+                                         uint64_t MaxIterations) {
+  // Already at the target-independent stopping point (saturated, or every
+  // allowed round recorded): answer from state without touching the
+  // evaluator. The deterministic round chain means the recorded state is
+  // exactly what a fresh uninterrupted ring-recording solve would hold.
+  if (St.Saturated || (MaxIterations != 0 && St.Rounds >= MaxIterations)) {
+    EvalResult R;
+    R.Value = St.Value;
+    R.HitIterationLimit = !St.Saturated;
+    return R;
+  }
+  EvalOptions Opts;
+  Opts.MaxIterations = MaxIterations;
+  Opts.Rings = &Rings;
+  return Ev.resume(Rel, St, Opts);
 }
 
 EvalResult Evaluator::resume(RelId Rel, FixpointState &State,

@@ -26,6 +26,7 @@
 
 #include "bdd/Bdd.h"
 #include "fpcalc/Calculus.h"
+#include "fpcalc/RingLog.h"
 
 #include <algorithm>
 #include <map>
@@ -69,8 +70,10 @@ struct EvalOptions {
   uint64_t MaxIterations = 0;
   /// When non-null, receives the requested relation's value after every
   /// outer Tarski round (the "onion rings" witness extraction walks
-  /// backwards through; see reach::checkReachabilityWithWitness).
-  std::vector<Bdd> *Rings = nullptr;
+  /// backwards through; see reach::checkReachabilityWithWitness). The log
+  /// stores rounds delta-compressed and reconstitutes full rings on
+  /// demand, bit-identically (see RingLog.h).
+  RingLog *Rings = nullptr;
 };
 
 struct EvalResult {
@@ -167,8 +170,18 @@ public:
   bool answersFromState(const Bdd &Target, bool EarlyStop,
                         uint64_t MaxIterations) const;
 
-  const std::vector<Bdd> &rings() const { return Rings; }
+  /// Drives the recorded iteration to its target-independent stopping
+  /// point — saturation, or the \p MaxIterations cap — with no early-stop
+  /// target, recording every round. This is the witness extractor's solve:
+  /// idempotent over an already-complete state, so one recorded chain
+  /// serves any number of witness extractions *and* plain replay queries
+  /// (one solve per session, ever).
+  EvalResult complete(Evaluator &Ev, RelId Rel, uint64_t MaxIterations);
+
+  const RingLog &rings() const { return Rings; }
   const FixpointState &state() const { return St; }
+  /// Keyframe interval of the delta-compressed ring log (see RingLog.h).
+  void setKeyframeInterval(uint64_t K) { Rings.setKeyframeInterval(K); }
 
 private:
   /// Replay core: true when the recorded state determines the answer.
@@ -176,7 +189,7 @@ private:
                  Answer &A) const;
 
   FixpointState St;
-  std::vector<Bdd> Rings;
+  RingLog Rings;
 };
 
 class Evaluator {

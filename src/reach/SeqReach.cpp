@@ -492,6 +492,13 @@ struct SeqSession::Impl {
   /// footprint estimate discounts it.
   bool CacheCold = false;
 
+  /// High-water mark of retained (reachable) nodes, sampled at the end
+  /// of every query; `peakLiveNodes()` reports it. Allocation high-water
+  /// (`BddStats::PeakNodes`) would also count uncollected garbage, which
+  /// the retention diet deliberately produces more of in exchange for
+  /// retaining far less.
+  size_t PeakLive = 0;
+
   /// Per-attempt resource governor (`setGovernor`; null = ungoverned).
   /// Installed on the manager around each solve, never across solves.
   support::ResourceGovernor *Gov = nullptr;
@@ -501,6 +508,7 @@ struct SeqSession::Impl {
         Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
            Opts.Strategy, Opts.FrontierCofactor) {
     Mgr.setGcThreshold(Opts.GcThreshold);
+    Fix.setKeyframeInterval(Opts.RingKeyframeInterval);
     // The worker pool (Threads > 1) lives inside the evaluator, so it is
     // part of the session's persistent state: later queries resume over
     // the same per-worker managers. Queries themselves stay serialized —
@@ -537,21 +545,25 @@ void SeqSession::clearComputedCache() {
 }
 
 size_t SeqSession::liveNodes() const {
-  // Parallel worker managers are session state too (warm across
-  // queries); their merged gauge is the sum of per-worker live counts.
-  return I->Mgr.liveNodeCount() + I->Ev.workerBddStats().LiveNodes +
+  // Reachable-only count: the session's automatic-gc threshold is rarely
+  // reached, so `liveNodeCount()` would also charge garbage that merely
+  // awaits the next collection — transient solve intermediates that say
+  // nothing about what the session retains. Parallel worker managers are
+  // session state too (warm across queries); their merged gauge is the
+  // sum of per-worker live counts.
+  return I->Mgr.reachableNodeCount() + I->Ev.workerBddStats().LiveNodes +
          (I->Witness ? I->Witness->liveNodes() : 0);
 }
 
 size_t SeqSession::peakLiveNodes() const {
-  return std::max(I->Mgr.stats().PeakNodes,
-                  I->Ev.workerBddStats().PeakNodes) +
-         (I->Witness ? I->Witness->peakLiveNodes() : 0);
+  // Peak *retained* state, sampled at query boundaries (plus the current
+  // value, so the gauge never under-reports a freshly grown session).
+  return std::max(I->PeakLive, liveNodes());
 }
 
 size_t SeqSession::memoryFootprint() const {
   constexpr size_t BytesPerWorkerNode = 24; // node + refcount + bucket.
-  return I->Mgr.memoryEstimate(/*CountCache=*/!I->CacheCold) +
+  return I->Mgr.reachableMemoryEstimate(/*CountCache=*/!I->CacheCold) +
          I->Ev.workerBddStats().LiveNodes * BytesPerWorkerNode +
          (I->Witness ? I->Witness->memoryFootprint() : 0);
 }
@@ -659,6 +671,7 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   Result.BddCacheLookups = Result.Bdd.CacheLookups;
   Result.BddCacheHits = Result.Bdd.CacheHits;
   Result.Seconds = T.seconds();
+  S.PeakLive = std::max(S.PeakLive, liveNodes());
   return Result;
 }
 
@@ -679,10 +692,27 @@ WitnessResult SeqSession::solveWithWitness(unsigned ProcId, unsigned Pc) {
     return checkReachabilityWithWitness(I->Cfg, ProcId, Pc, O);
   }
   if (!I->Witness) {
-    I->Witness = std::make_unique<WitnessSession>(I->Cfg, I->Opts);
+    // The EF algorithms run the very system the extractor walks, so hand
+    // it the session's own engine, manager, evaluator, and recorded rings
+    // (borrowed mode): witness and plain queries then share one solve and
+    // one copy of every round, instead of the witness sub-session
+    // re-solving EntryForward on a second manager. The other algorithms
+    // solve a different system, so they keep an owned (delta-ringed)
+    // sub-session.
+    bool Shared = I->Opts.Alg == SeqAlgorithm::EntryForward ||
+                  I->Opts.Alg == SeqAlgorithm::EntryForwardSplit;
+    if (Shared)
+      I->Witness = std::make_unique<WitnessSession>(I->Engine, I->Mgr, I->Ev,
+                                                    I->Fix, I->Opts);
+    else
+      I->Witness = std::make_unique<WitnessSession>(I->Cfg, I->Opts);
     I->Witness->setGovernor(I->Gov);
   }
-  return I->Witness->query(ProcId, Pc);
+  I->CacheCold = false; // Extraction repopulates the main computed cache
+                        // in shared mode; harmless to assume otherwise.
+  WitnessResult R = I->Witness->query(ProcId, Pc);
+  I->PeakLive = std::max(I->PeakLive, liveNodes());
+  return R;
 }
 
 bool SeqSession::answersFromState(unsigned ProcId, unsigned Pc,

@@ -89,6 +89,13 @@ struct SeqOptions {
   /// overhead. 0 = auto (the evaluator's built-in `cacheSlots()/2`
   /// valve). Purely a performance knob — results are bit-identical.
   uint64_t DisjunctParallelThreshold = 0;
+  /// Session / witness ring retention (see fpc::RingLog): recorded rounds
+  /// are stored as exact deltas with a full keyframe every this many
+  /// rounds, bounding both retained nodes and ring-reconstitution cost.
+  /// 1 keeps every round full (the pre-diet baseline); 0 keeps only the
+  /// first round full (maximal compression). Purely a memory knob —
+  /// verdicts, rounds, and witnesses are bit-identical at any value.
+  uint64_t RingKeyframeInterval = 8;
   /// Resource governor for this solve attempt (deadline / node budget /
   /// cancel flag; see support/ResourceGovernor.h). Not owned; governors
   /// are one-shot — install a fresh one per attempt. A tripped limit is
@@ -200,15 +207,19 @@ public:
   void clearComputedCache();
 
   /// Session memory introspection, for callers that budget many resident
-  /// sessions (the query server's pool). `liveNodes` counts live BDD
-  /// nodes across the session's managers (main, witness sub-session, and
-  /// parallel worker managers); `peakLiveNodes` is the lifetime peak of
-  /// the same sum. `memoryFootprint` is a cheap bytes estimate of the
-  /// resident solver state: live nodes times their storage share plus the
-  /// computed caches — a cache that was `clearComputedCache`d and not
-  /// touched since is discounted (allocated but dead). Estimates, not
-  /// RSS; they exist so an eviction policy has a monotone-ish signal,
-  /// not for accounting.
+  /// sessions (the query server's pool). `liveNodes` counts *reachable*
+  /// BDD nodes across the session's managers (main, witness sub-session,
+  /// and parallel worker managers) — garbage awaiting the next collection
+  /// is excluded, so the gauge reflects what the session actually
+  /// retains, not how much the last solve churned. `peakLiveNodes` is the
+  /// high-water mark of that retained count, sampled at query boundaries.
+  /// `memoryFootprint` is a bytes estimate of the same resident state:
+  /// reachable nodes times their storage share plus the computed caches —
+  /// a cache that was `clearComputedCache`d and not touched since is
+  /// discounted (allocated but dead). Estimates, not RSS; they exist so
+  /// an eviction policy has a monotone-ish signal, not for accounting.
+  /// Each read costs a mark pass over the node table — query-boundary
+  /// cheap, not per-operation cheap.
   size_t liveNodes() const;
   size_t peakLiveNodes() const;
   size_t memoryFootprint() const;

@@ -7,6 +7,7 @@
 #include "reach/SeqEngine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 using namespace getafix;
 using namespace getafix::reach;
@@ -27,17 +28,42 @@ struct InstState {
   }
 };
 
-/// Solves the entry-forward fixpoint with ring recording and reconstructs
-/// runs backwards through the rings. The solve is target-independent, so
-/// one extractor serves any number of target queries (`WitnessSession`);
-/// the one-shot `checkReachabilityWithWitness` is a single-query instance.
+/// Completes the entry-forward fixpoint with ring recording and
+/// reconstructs runs backwards through the rings. The solve is
+/// target-independent, so one extractor serves any number of target
+/// queries (`WitnessSession`); the one-shot `checkReachabilityWithWitness`
+/// is a single-query instance.
+///
+/// Two ownership modes:
+///   - *Owned* (program ctor): the extractor builds its own EntryForward
+///     engine, BDD manager, and ring log — the pre-existing behavior.
+///   - *Borrowed* (engine ctor): the extractor walks an owning
+///     `SeqSession`'s engine/manager/evaluator and completes *its*
+///     `IncrementalFixpoint` in place, so witness and plain queries share
+///     one solve and one copy of every recorded round.
 class WitnessExtractor {
 public:
   WitnessExtractor(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
-      : Engine(Cfg, SeqAlgorithm::EntryForward), Opts(Opts),
-        Mgr(0, Opts.CacheBits), Gov(Opts.Governor), S(Engine.conf()),
-        X(Engine.scratch()), F(Engine.encoder().formals()) {
-    Mgr.setGcThreshold(Opts.GcThreshold);
+      : OwnEngine(
+            std::make_unique<SeqEngine>(Cfg, SeqAlgorithm::EntryForward)),
+        OwnMgr(std::make_unique<BddManager>(0, Opts.CacheBits)),
+        Engine(OwnEngine.get()), Mgr(OwnMgr.get()), Opts(Opts),
+        Gov(Opts.Governor), Fix(&OwnFix), S(Engine->conf()),
+        X(Engine->scratch()), F(Engine->encoder().formals()) {
+    Mgr->setGcThreshold(Opts.GcThreshold);
+    OwnFix.setKeyframeInterval(Opts.RingKeyframeInterval);
+  }
+
+  WitnessExtractor(SeqEngine &SharedEngine, BddManager &SharedMgr,
+                   Evaluator &SharedEv, IncrementalFixpoint &SharedFix,
+                   const SeqOptions &Opts)
+      : Engine(&SharedEngine), Mgr(&SharedMgr), Opts(Opts),
+        Gov(Opts.Governor), Ev(&SharedEv), Fix(&SharedFix), Borrowed(true),
+        S(Engine->conf()), X(Engine->scratch()),
+        F(Engine->encoder().formals()) {
+    assert((Engine->algorithm() == SeqAlgorithm::EntryForward ||
+            Engine->algorithm() == SeqAlgorithm::EntryForwardSplit) &&
+           "borrowed witness extraction needs an entry-forward system");
   }
 
   WitnessResult query(unsigned ProcId, unsigned Pc);
@@ -47,20 +73,36 @@ public:
   void setGovernor(support::ResourceGovernor *G) { Gov = G; }
 
   void clearComputedCache() {
-    Mgr.clearComputedCache();
+    if (Borrowed)
+      return; // The owner's valve clears the shared manager.
+    Mgr->clearComputedCache();
     CacheCold = true;
   }
 
-  size_t liveNodes() const { return Mgr.liveNodeCount(); }
-  size_t peakLiveNodes() const { return Mgr.stats().PeakNodes; }
+  // In borrowed mode the gauges report 0: the owning session already
+  // counts the shared manager, and double-counting would inflate the
+  // server pool's budget math. Counts are reachable-only (garbage
+  // awaiting collection excluded); the peak is the retained high-water
+  // sampled at query boundaries.
+  size_t liveNodes() const {
+    return Borrowed ? 0 : Mgr->reachableNodeCount();
+  }
+  size_t peakLiveNodes() const {
+    return Borrowed ? 0 : std::max(PeakLive, liveNodes());
+  }
   size_t memoryFootprint() const {
-    return Mgr.memoryEstimate(/*CountCache=*/!CacheCold);
+    return Borrowed ? 0
+                    : Mgr->reachableMemoryEstimate(/*CountCache=*/!CacheCold);
   }
 
   /// True between a `clearComputedCache` and the next query: the cache is
   /// allocated but holds no live working set, so the footprint estimate
   /// discounts it.
   bool CacheCold = false;
+
+  /// High-water mark of retained (reachable) nodes, sampled at the end
+  /// of every owned-mode query; `peakLiveNodes()` reports it.
+  size_t PeakLive = 0;
 
 private:
   /// Runs the ring-recording solve on first use and snapshots the
@@ -82,7 +124,7 @@ private:
         if (FromBits[B] != ToBits[B])
           Pairs.emplace_back(FromBits[B], ToBits[B]);
     }
-    return Pairs.empty() ? Value : Value.permute(Mgr.makePermutation(Pairs));
+    return Pairs.empty() ? Value : Value.permute(Mgr->makePermutation(Pairs));
   }
 
   uint64_t decode(const std::vector<int8_t> &Path, VarId V) const {
@@ -101,17 +143,22 @@ private:
            eq(S.CG, St.Globals) & eq(S.ECL, EntryL) & eq(S.ECG, EntryG);
   }
 
-  /// Index of the first ring containing \p T (which must be in some ring).
+  /// Index of the first ring containing \p T. A tuple drawn from solved
+  /// state that no recorded ring contains breaks the backward walk's
+  /// well-foundedness, so it is a hard diagnostic error (an engine
+  /// invariant violation), not a recoverable miss — the old out-of-range
+  /// sentinel return silently corrupted the walk in release builds.
   size_t rankOf(const Bdd &T) const {
-    for (size_t I = 0; I < Rings.size(); ++I)
-      if (!(Rings[I] & T).isZero())
-        return I;
-    assert(false && "tuple not present in any ring");
-    return Rings.size();
+    const RingLog &Rings = Fix->rings();
+    size_t I = Rings.firstIntersecting(T);
+    if (I == Rings.size())
+      throw std::logic_error("witness reconstruction: tuple not present in "
+                             "any recorded ring (engine invariant violation)");
+    return I;
   }
 
   bool isInitSeed(unsigned Mod, uint64_t EntryL) {
-    return !(Ev->input(Engine.encoder().InitRel) & eq(F.NMod, Mod) &
+    return !(Ev->input(Engine->encoder().InitRel) & eq(F.NMod, Mod) &
              eq(F.NPc, 0) & eq(F.NL, EntryL))
                 .isZero();
   }
@@ -143,19 +190,30 @@ private:
   /// init step for main, or recursively the caller's run plus a call step.
   bool appendEntryChain(unsigned Mod, uint64_t EntryL, uint64_t EntryG);
 
-  SeqEngine Engine;
+  /// Owned mode only (null in borrowed mode): the extractor's private
+  /// EntryForward engine and BDD manager.
+  std::unique_ptr<SeqEngine> OwnEngine;
+  std::unique_ptr<BddManager> OwnMgr;
+  SeqEngine *Engine;
+  BddManager *Mgr;
   SeqOptions Opts;
-  BddManager Mgr;
   /// Per-attempt governor (null = ungoverned), installed around each
   /// query. Not owned.
   support::ResourceGovernor *Gov = nullptr;
-  std::unique_ptr<Evaluator> Ev;
-  /// Persistent fixpoint state of the ring-recording solve, so an
-  /// interrupted solve resumes from its last completed round (the rings
+  /// Owned mode only: lazily-built evaluator backing `Ev`.
+  std::unique_ptr<Evaluator> OwnEv;
+  /// The evaluator the walk reads from — `OwnEv` once built, or the
+  /// owning session's evaluator in borrowed mode.
+  Evaluator *Ev = nullptr;
+  /// Owned mode only: the extractor's private fixpoint state + ring log.
+  IncrementalFixpoint OwnFix;
+  /// The fixpoint whose rings the walk reconstitutes — `OwnFix`, or the
+  /// owning session's in borrowed mode. Its persistent state lets an
+  /// interrupted solve resume from its last completed round (the rings
   /// recorded so far stay valid) instead of re-recording from scratch.
-  FixpointState FixSt;
+  IncrementalFixpoint *Fix;
+  bool Borrowed = false;
   bool SolveDone = false; ///< The ring solve ran to its stopping point.
-  std::vector<Bdd> Rings;
   ConfVars S;
   SeqEngine::ScratchVars X;
   const ProgramEncoder::FormalSets &F;
@@ -174,7 +232,7 @@ bool WitnessExtractor::internalPred(const Bdd &Ring, unsigned Mod,
                                     const InstState &To, InstState &From) {
   // programInt constrained to land on `To`, renamed so its source state
   // lands on the summary tuple's current-state variables.
-  Bdd Step = Ev->input(Engine.encoder().ProgramInt) & eq(F.IMod, Mod) &
+  Bdd Step = Ev->input(Engine->encoder().ProgramInt) & eq(F.IMod, Mod) &
              eq(F.IPcTo, To.Pc) & eq(F.ILTo, To.Locals) &
              eq(F.IGTo, To.Globals);
   Step = renamed(Step, {{F.IPcFrom, S.Pc}, {F.ILFrom, S.CL},
@@ -194,7 +252,7 @@ bool WitnessExtractor::skipPred(const Bdd &Ring, unsigned Mod,
                                 uint64_t EntryL, uint64_t EntryG,
                                 const InstState &To, InstState &From,
                                 SkipInfo &Skip) {
-  ProgramEncoder &Enc = Engine.encoder();
+  ProgramEncoder &Enc = Engine->encoder();
 
   // Caller summary tuple, renamed onto the t.* scratch variables.
   Bdd Caller = Ring & eq(S.Mod, Mod) & eq(S.ECL, EntryL) & eq(S.ECG, EntryG);
@@ -269,7 +327,7 @@ bool WitnessExtractor::appendProcPath(unsigned Mod, uint64_t EntryL,
     size_t Rank = rankOf(tuple(Mod, Cur, EntryL, EntryG));
     if (Rank == 0)
       return false; // Only seeds live in ring 0; Cur is not the entry.
-    const Bdd &Prev = Rings[Rank - 1];
+    Bdd Prev = Fix->rings().ring(Rank - 1);
     RevStep Step;
     Step.State = Cur;
     if (internalPred(Prev, Mod, EntryL, EntryG, Cur, Step.From)) {
@@ -320,9 +378,9 @@ bool WitnessExtractor::appendEntryChain(unsigned Mod, uint64_t EntryL,
   size_t Rank = rankOf(tuple(Mod, Entry, EntryL, EntryG));
   if (Rank == 0)
     return false;
-  const Bdd &Prev = Rings[Rank - 1];
+  Bdd Prev = Fix->rings().ring(Rank - 1);
 
-  ProgramEncoder &Enc = Engine.encoder();
+  ProgramEncoder &Enc = Engine->encoder();
   Bdd CallerRing = Prev & eq(S.CG, EntryG);
   CallerRing = renamed(CallerRing, {{S.Mod, X.DMod},
                                     {S.Pc, X.DPc},
@@ -360,61 +418,65 @@ void WitnessExtractor::ensureSolved() {
   if (SolveDone)
     return;
   if (!Ev) {
-    // One-time setup, ungoverned like the sibling sessions' constructors:
-    // layout variable allocation cannot be rolled back, so a mid-setup
-    // trip would leave no consistent state to resume from (a redone
-    // makeLayout would shift the variable order and break the
+    // One-time setup (owned mode only — borrowed mode arrives with the
+    // owner's evaluator), ungoverned like the sibling sessions'
+    // constructors: layout variable allocation cannot be rolled back, so
+    // a mid-setup trip would leave no consistent state to resume from (a
+    // redone makeLayout would shift the variable order and break the
     // bit-identical-resume contract). Limits apply from the first
     // fixpoint round on. `Ev` commits only after the inputs are fully
     // bound, so a genuine fault mid-bind leaves the next attempt able to
     // tell setup never finished instead of reading unbound inputs.
-    support::ResourceGovernor *Installed = Mgr.governor();
-    Mgr.setGovernor(nullptr);
+    support::ResourceGovernor *Installed = Mgr->governor();
+    Mgr->setGovernor(nullptr);
     try {
-      Layout L = Engine.factory().makeLayout(Mgr);
+      Layout L = Engine->factory().makeLayout(*Mgr);
       auto NewEv = std::make_unique<Evaluator>(
-          Engine.system(), Mgr, std::move(L), Opts.Strategy,
+          Engine->system(), *Mgr, std::move(L), Opts.Strategy,
           Opts.FrontierCofactor);
       NewEv->setThreads(Opts.Threads);
       NewEv->setDisjunctParallelThreshold(Opts.DisjunctParallelThreshold);
       // The target relation is declared but read by no clause; the solve
       // (and therefore every ring) is target-independent, which is what
       // makes one solve serve every later target query.
-      Engine.encoder().bind(*NewEv, ~0u, 0);
-      Ev = std::move(NewEv);
+      Engine->encoder().bind(*NewEv, ~0u, 0);
+      OwnEv = std::move(NewEv);
+      Ev = OwnEv.get();
     } catch (...) {
-      Mgr.setGovernor(Installed);
+      Mgr->setGovernor(Installed);
       throw;
     }
-    Mgr.setGovernor(Installed);
+    Mgr->setGovernor(Installed);
   }
 
   // The "onion rings" are the per-round values of the summary relation;
   // the semi-naive core produces the identical ring sequence (it computes
   // the same S_r per round, only cheaper), so reconstruction is oblivious
-  // to the strategy. Iterating through `resume` over persistent state
-  // (rather than a one-shot `evaluate`) computes the identical rounds but
-  // lets a governor-interrupted solve keep its completed rounds and carry
-  // on from them on retry — the recorded rings stay consistent either
-  // way.
-  EvalOptions EOpts;
-  EOpts.Rings = &Rings;
-  EOpts.MaxIterations = Opts.MaxIterations;
-  EvalResult R = Ev->resume(Engine.mainRel(), FixSt, EOpts);
+  // to the strategy. `complete` drives the persistent fixpoint to its
+  // stopping point (saturation or the iteration cap), recording every
+  // value-changing round — in borrowed mode this *finishes the owner's
+  // solve in place*, so rounds an earlier plain query already computed
+  // are never recomputed and later plain queries replay the rounds
+  // recorded here: one solve per session, ever. A governor-interrupted
+  // solve keeps its completed rounds and carries on from them on retry —
+  // the recorded rings stay consistent either way.
+  EvalResult R = Fix->complete(*Ev, Engine->mainRel(), Opts.MaxIterations);
   SolveDone = true;
   Solved = R.Value;
   TargetDomains = Ev->domainConstraint(S.Mod) & Ev->domainConstraint(S.Pc);
   Base.HitIterationLimit = R.HitIterationLimit;
-  Base.Iterations = Rings.size();
+  Base.Iterations = Fix->rings().size();
   Base.SummaryNodes = Solved.nodeCount();
   Base.Relations = Ev->stats();
   auto StatsIt = Base.Relations.find(
-      Engine.system().relation(Engine.mainRel()).Name);
+      Engine->system().relation(Engine->mainRel()).Name);
   if (StatsIt != Base.Relations.end())
     Base.DeltaRounds = StatsIt->second.DeltaRounds;
   // Counters cover the ring-recording solve (reconstruction only walks
-  // the recorded rings).
-  Base.Bdd = Mgr.stats();
+  // the recorded rings). In borrowed mode they cover the shared manager
+  // and evaluator — i.e. all rounds of the session's one solve, whichever
+  // query drove them.
+  Base.Bdd = Mgr->stats();
   Base.PeakLiveNodes = Base.Bdd.PeakNodes;
   Base.BddNodesCreated = Base.Bdd.NodesCreated;
   Base.BddCacheLookups = Base.Bdd.CacheLookups;
@@ -424,7 +486,7 @@ void WitnessExtractor::ensureSolved() {
 WitnessResult WitnessExtractor::query(unsigned ProcId, unsigned Pc) {
   WitnessResult Result;
   if (Gov)
-    Mgr.setGovernor(Gov);
+    Mgr->setGovernor(Gov);
   try {
     ensureSolved();
     CacheCold = false; // Extraction repopulates the computed cache.
@@ -459,14 +521,16 @@ WitnessResult WitnessExtractor::query(unsigned ProcId, unsigned Pc) {
     // their rings) persist, so a retry resumes where this attempt stopped.
     Result = WitnessResult();
     Result.Limit = RI.Limit;
-    Result.Iterations = Rings.size();
-    Result.Bdd = Mgr.stats();
+    Result.Iterations = Fix->rings().size();
+    Result.Bdd = Mgr->stats();
     Result.PeakLiveNodes = Result.Bdd.PeakNodes;
     Result.BddNodesCreated = Result.Bdd.NodesCreated;
     Result.BddCacheLookups = Result.Bdd.CacheLookups;
     Result.BddCacheHits = Result.Bdd.CacheHits;
   }
-  Mgr.setGovernor(nullptr);
+  Mgr->setGovernor(nullptr);
+  if (!Borrowed)
+    PeakLive = std::max(PeakLive, Mgr->reachableNodeCount());
   return Result;
 }
 
@@ -486,11 +550,20 @@ struct WitnessSession::Impl {
   WitnessExtractor Extractor;
   Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
       : Extractor(Cfg, Opts) {}
+  Impl(SeqEngine &Engine, BddManager &Mgr, Evaluator &Ev,
+       IncrementalFixpoint &Fix, const SeqOptions &Opts)
+      : Extractor(Engine, Mgr, Ev, Fix, Opts) {}
 };
 
 WitnessSession::WitnessSession(const bp::ProgramCfg &Cfg,
                                const SeqOptions &Opts)
     : I(std::make_unique<Impl>(Cfg, Opts)) {}
+
+WitnessSession::WitnessSession(SeqEngine &Engine, BddManager &Mgr,
+                               fpc::Evaluator &Ev,
+                               fpc::IncrementalFixpoint &Fix,
+                               const SeqOptions &Opts)
+    : I(std::make_unique<Impl>(Engine, Mgr, Ev, Fix, Opts)) {}
 
 WitnessSession::~WitnessSession() = default;
 

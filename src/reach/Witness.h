@@ -37,7 +37,15 @@
 #include <vector>
 
 namespace getafix {
+
+namespace fpc {
+class Evaluator;
+class IncrementalFixpoint;
+} // namespace fpc
+
 namespace reach {
+
+class SeqEngine; // reach/SeqEngine.h (internal)
 
 enum class WitnessStepKind {
   Init,     ///< The run starts here (main's entry).
@@ -103,6 +111,18 @@ WitnessResult checkReachabilityOfLabelWithWitness(const bp::ProgramCfg &Cfg,
 class WitnessSession {
 public:
   WitnessSession(const bp::ProgramCfg &Cfg, const SeqOptions &Opts);
+  /// Borrowed mode: extract witnesses from an *owning session's* solver
+  /// state instead of running a second solve. \p Engine must be an
+  /// entry-forward (or entry-forward-split) engine whose main relation
+  /// records its rounds into \p Fix — the extractor completes that
+  /// fixpoint in place (one solve per session, ever) and walks its rings.
+  /// The caller keeps all four references alive for the session's
+  /// lifetime and serializes queries against its own use of \p Mgr.
+  /// `liveNodes`/`peakLiveNodes`/`memoryFootprint` report 0 in this mode
+  /// (the owner already counts the shared manager) and
+  /// `clearComputedCache` is a no-op (the owner's valve clears it).
+  WitnessSession(SeqEngine &Engine, BddManager &Mgr, fpc::Evaluator &Ev,
+                 fpc::IncrementalFixpoint &Fix, const SeqOptions &Opts);
   ~WitnessSession();
   WitnessSession(const WitnessSession &) = delete;
   WitnessSession &operator=(const WitnessSession &) = delete;
@@ -122,8 +142,9 @@ public:
   /// valve, bit-identical results).
   void clearComputedCache();
 
-  /// Live / peak node counts of the extractor's BDD manager (0 before the
-  /// lazy solve has run), and the estimated bytes of resident state — a
+  /// Reachable-only live / peak node counts of the extractor's BDD
+  /// manager (0 before the lazy solve has run; peak sampled at query
+  /// boundaries), and the estimated bytes of resident state — a
   /// cleared-and-untouched computed cache is discounted. These feed the
   /// owning session's `memoryFootprint`.
   size_t liveNodes() const;

@@ -5,14 +5,18 @@
 //===----------------------------------------------------------------------===//
 //
 // Locking discipline: PoolMu guards the key map, the LRU clock, the
-// statistics, and every entry's metadata (Resident/Leased/Footprint/
-// LastUse/ValveCold). Each entry's own mutex guards its SolverSession and
-// is held for the full duration of a lease. Lock order is Entry::Mu
-// before PoolMu — acquire takes PoolMu, drops it, blocks on Entry::Mu,
-// then retakes PoolMu for metadata. Budget enforcement, which scans
-// entries while holding PoolMu, only ever try_locks an entry mutex, so
-// the inverted order cannot deadlock and a leased session is never
-// touched.
+// statistics, every entry's metadata (Resident/Leased/Footprint/
+// LastUse/ValveCold), and every mutation of the entry's session
+// *pointer* (E.S). Each entry's own mutex guards the SolverSession
+// object behind that pointer and is held for the full duration of a
+// lease. Lock order is Entry::Mu before PoolMu — acquire takes PoolMu,
+// drops it, blocks on Entry::Mu, then retakes PoolMu for metadata.
+// Budget enforcement, which scans entries while holding PoolMu, only
+// ever try_locks an entry mutex, so the inverted order cannot deadlock
+// and a leased session's state is never touched — for leased entries it
+// reads only the session's lock-free footprint gauge, which is why the
+// pointer itself must be PoolMu-stable. Expensive session open/teardown
+// stays outside PoolMu; only the pointer swap happens under it.
 //
 //===----------------------------------------------------------------------===//
 
@@ -147,12 +151,15 @@ SessionPool::Lease SessionPool::acquire(const std::string &Key,
       E->SourceLoaded = true;
     }
     // Open (or transparently reopen) the session. Expensive — runs
-    // under the entry mutex only. A failed open (parse error, unknown
-    // engine) still yields a session; it reports its error from every
-    // solve, and the near-empty footprint is harmless to keep pooled.
-    E->S = api::Solver::open(api::Query::fromSource(E->Source), E->Opts);
+    // under the entry mutex only; the pointer install happens under
+    // PoolMu so budget scans can read it safely. A failed open (parse
+    // error, unknown engine) still yields a session; it reports its
+    // error from every solve, and the near-empty footprint is harmless
+    // to keep pooled.
+    auto NewS = api::Solver::open(api::Query::fromSource(E->Source), E->Opts);
     {
       std::lock_guard<std::mutex> G(PoolMu);
+      E->S = std::move(NewS);
       E->Resident = true;
       if (E->OpenCount == 0)
         ++Stats.Opens;
@@ -178,17 +185,20 @@ void SessionPool::noteRelease(Entry &E) {
 }
 
 void SessionPool::notePoisonedRelease(Entry &E) {
-  // The lease still holds E.Mu, so destroying the session here races with
-  // nobody; do it before touching PoolMu so the (potentially large) BDD
-  // manager teardown happens outside the pool lock.
-  E.S.reset();
-  std::lock_guard<std::mutex> G(PoolMu);
-  E.Resident = false;
-  E.Footprint = 0;
-  E.ValveCold = false;
-  E.Leased = false;
-  E.LastUse = ++Tick;
-  ++Stats.PoisonedEvictions;
+  // Detach the session pointer under PoolMu (budget scans read it there)
+  // but run the (potentially large) BDD manager teardown after the lock
+  // is gone. The lease still holds E.Mu, so nobody else uses the object.
+  std::unique_ptr<api::SolverSession> Dead;
+  {
+    std::lock_guard<std::mutex> G(PoolMu);
+    Dead = std::move(E.S);
+    E.Resident = false;
+    E.Footprint = 0;
+    E.ValveCold = false;
+    E.Leased = false;
+    E.LastUse = ++Tick;
+    ++Stats.PoisonedEvictions;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -203,6 +213,27 @@ void SessionPool::enforceBudget() {
     bool Acted = false;
     {
       std::lock_guard<std::mutex> G(PoolMu);
+      // Re-sample every resident entry before deciding anything: the
+      // cached release-time sample goes stale the moment a session grows
+      // *during* a lease (e.g. a later query triggers its witness solve),
+      // and a budget decision on stale numbers under-reclaims. Unleased
+      // entries are sampled exactly (their mutex is free); leased ones —
+      // and the rare unleased entry whose try_lock loses a race — are
+      // read through the session's lock-free gauge, updated by the API
+      // layer at the end of every query. Gated on an actual byte budget;
+      // the count-only policy never reads footprints.
+      if (Opts.MemoryBudgetBytes != 0)
+        for (const auto &KV : Map) {
+          Entry &E = *KV.second;
+          if (!E.Resident || !E.S)
+            continue;
+          if (!E.Leased && E.Mu.try_lock()) {
+            E.Footprint = E.S->memoryFootprint();
+            E.Mu.unlock();
+          } else if (size_t Gauge = E.S->lastSampledFootprint()) {
+            E.Footprint = Gauge;
+          }
+        }
       size_t Total = 0, Resident = 0;
       for (const auto &KV : Map)
         if (KV.second->Resident) {

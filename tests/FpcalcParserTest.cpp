@@ -565,17 +565,18 @@ mu bool Reach(Node u) :=
   Evaluator Ev(*Sys, Mgr, Layout::sequential(*Sys, Mgr));
   bindFacts(Ev, *Sys, Facts);
 
-  std::vector<Bdd> Rings;
+  RingLog Rings;
   EvalOptions Opts;
   Opts.Rings = &Rings;
   EvalResult R = Ev.evaluate(Sys->relId("Reach"), Opts);
 
   // One new node per round: rings 0..3, converging at the fixpoint.
   ASSERT_EQ(Rings.size(), 4u);
-  EXPECT_EQ(Rings.back(), R.Value);
+  EXPECT_EQ(Rings.last(), R.Value);
+  EXPECT_EQ(Rings.ring(Rings.size() - 1), R.Value);
   for (size_t I = 1; I < Rings.size(); ++I) {
     // Ring I contains ring I-1 strictly (until convergence).
-    EXPECT_TRUE((Rings[I - 1] & !Rings[I]).isZero());
-    EXPECT_NE(Rings[I - 1], Rings[I]);
+    EXPECT_TRUE((Rings.ring(I - 1) & !Rings.ring(I)).isZero());
+    EXPECT_NE(Rings.ring(I - 1), Rings.ring(I));
   }
 }

@@ -458,7 +458,7 @@ StrategyRun runGraph(GraphFixture &G,
     TransBdd |= Ev.encodeEqConst(G.X, From) & Ev.encodeEqConst(G.U, To);
   Ev.bindInput(G.Trans, TransBdd);
 
-  std::vector<Bdd> Rings;
+  RingLog Rings;
   Bdd Stop = Ev.encodeEqConst(G.U, unsigned(NumNodes - 1));
   EvalOptions Opts;
   Opts.Rings = &Rings;
@@ -471,8 +471,10 @@ StrategyRun runGraph(GraphFixture &G,
   Out.Value = R.Value;
   Out.EarlyStopped = R.EarlyStopped;
   Out.HitLimit = R.HitIterationLimit;
-  for (const Bdd &Ring : Rings)
-    Out.RingCounts.push_back(Ring.nodeCount());
+  // Reconstituted rings are canonically identical to the recorded rounds,
+  // so per-round dag sizes remain a strategy-differential observable.
+  for (size_t I = 0; I < Rings.size(); ++I)
+    Out.RingCounts.push_back(Rings.ring(I).nodeCount());
   const RelStats &RS = Ev.stats().at("Reach");
   Out.Iterations = RS.Iterations;
   Out.DeltaRounds = RS.DeltaRounds;
@@ -706,4 +708,165 @@ TEST(EvaluatorTest, ZeroArityRelation) {
   Ev.invalidate();
   Ev.bindInput(In, Ev.encodeEqConst(X, 1));
   EXPECT_TRUE(Ev.evaluate(Any).Value.isOne());
+}
+
+//===----------------------------------------------------------------------===//
+// RingLog: delta-compressed round retention
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A monotone chain of "first N nodes" sets over one variable, the shape
+/// fixpoint rounds actually take.
+std::vector<Bdd> monotoneChain(Evaluator &Ev, VarId U, unsigned Rounds) {
+  std::vector<Bdd> Chain;
+  Bdd S = Ev.encodeEqConst(U, 0);
+  Chain.push_back(S);
+  for (unsigned R = 1; R < Rounds; ++R) {
+    S |= Ev.encodeEqConst(U, R);
+    Chain.push_back(S);
+  }
+  return Chain;
+}
+
+} // namespace
+
+TEST(RingLogTest, ReconstitutesExactRingsAtEveryKeyframeInterval) {
+  GraphFixture G(32);
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  std::vector<Bdd> Full = monotoneChain(Ev, G.U, 17);
+  for (uint64_t K : {uint64_t(1), uint64_t(4), uint64_t(8), uint64_t(0)}) {
+    RingLog Rings;
+    Rings.setKeyframeInterval(K);
+    for (const Bdd &R : Full)
+      Rings.append(R);
+    ASSERT_EQ(Rings.size(), Full.size()) << "K=" << K;
+    // Canonicity: the reconstituted OR chain lands on the *same* BDD node
+    // the full log would hold, not merely an equal set.
+    for (size_t I = 0; I < Full.size(); ++I)
+      EXPECT_EQ(Rings.ring(I), Full[I]) << "K=" << K << " ring " << I;
+    EXPECT_EQ(Rings.last(), Full.back()) << "K=" << K;
+    if (K == 1)
+      EXPECT_EQ(Rings.keyframes(), Full.size());
+    else if (K == 0)
+      EXPECT_EQ(Rings.keyframes(), 1u);
+    else
+      EXPECT_EQ(Rings.keyframes(), (Full.size() + K - 1) / K);
+  }
+}
+
+TEST(RingLogTest, FirstIntersectingMatchesFullRingScan) {
+  GraphFixture G(32);
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  std::vector<Bdd> Full = monotoneChain(Ev, G.U, 24);
+  RingLog Rings;
+  Rings.setKeyframeInterval(5);
+  for (const Bdd &R : Full)
+    Rings.append(R);
+  for (unsigned N = 0; N < 32; ++N) {
+    Bdd T = Ev.encodeEqConst(G.U, N);
+    size_t Expect = Full.size();
+    for (size_t I = 0; I < Full.size(); ++I)
+      if (!(Full[I] & T).isZero()) {
+        Expect = I;
+        break;
+      }
+    EXPECT_EQ(Rings.firstIntersecting(T), Expect) << "target " << N;
+  }
+}
+
+TEST(RingLogTest, NonMonotoneRoundForcesAKeyframeAndStaysExact) {
+  // Delta-compression assumes nothing about monotonicity: a round that
+  // *drops* tuples (the ef-opt Relevant shape) cannot be stored as
+  // `R & !Last`, so the log must detect it and store the round whole.
+  GraphFixture G(16);
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  auto Set = [&](std::initializer_list<unsigned> Ns) {
+    Bdd S = Mgr.zero();
+    for (unsigned N : Ns)
+      S |= Ev.encodeEqConst(G.U, N);
+    return S;
+  };
+  std::vector<Bdd> Rounds = {Set({0}), Set({0, 1}), Set({1, 2}),
+                             Set({1, 2, 3}), Set({0, 3})};
+  RingLog Rings;
+  Rings.setKeyframeInterval(100); // Interval alone would never keyframe.
+  for (const Bdd &R : Rounds)
+    Rings.append(R);
+  for (size_t I = 0; I < Rounds.size(); ++I)
+    EXPECT_EQ(Rings.ring(I), Rounds[I]) << "ring " << I;
+  // Rounds 2 and 4 are non-monotone steps, each forced full.
+  EXPECT_EQ(Rings.keyframes(), 3u);
+}
+
+TEST(RingLogTest, DeltaStorageRetainsFewerNodesThanFullRings) {
+  // Scattered accumulation order, so intermediate rings are irregular
+  // sets with real dag size (an in-order chain degenerates to interval
+  // BDDs, which are as small as their deltas).
+  GraphFixture G(64);
+  BddManager Mgr;
+  Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+  std::vector<unsigned> Order(64);
+  for (unsigned N = 0; N < 64; ++N)
+    Order[N] = N;
+  Rng R(7);
+  for (unsigned N = 63; N > 0; --N)
+    std::swap(Order[N], Order[R.below(N + 1)]);
+  std::vector<Bdd> Full;
+  Bdd S = Mgr.zero();
+  for (unsigned N = 0; N < 48; ++N) {
+    S |= Ev.encodeEqConst(G.U, Order[N]);
+    Full.push_back(S);
+  }
+  size_t FullNodes = 0;
+  for (const Bdd &R : Full)
+    FullNodes += R.nodeCount();
+  RingLog Rings;
+  Rings.setKeyframeInterval(8);
+  for (const Bdd &R : Full)
+    Rings.append(R);
+  EXPECT_LT(Rings.storedNodes(), FullNodes);
+}
+
+TEST(IncrementalFixpointTest, ReplayStaysExactAfterComputedCacheClear) {
+  // Regression (satellite of the session memory diet): reconstituting a
+  // ring is an OR fold over live BDDs, so clearing the computed cache
+  // between recording and replay must change nothing — neither verdicts
+  // nor the reconstituted values. A stale-cache dependence here would
+  // break the server's cache-clear valve.
+  GraphFixture G(32);
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned N = 0; N + 1 < 32; ++N)
+    Edges.emplace_back(N, N + 1);
+
+  auto run = [&](bool ClearBetween) {
+    BddManager Mgr;
+    Evaluator Ev(G.Sys, Mgr, Layout::sequential(G.Sys, Mgr));
+    Ev.bindInput(G.Init, Ev.encodeEqConst(G.U, 0));
+    Bdd TransBdd = Mgr.zero();
+    for (auto [From, To] : Edges)
+      TransBdd |= Ev.encodeEqConst(G.X, From) & Ev.encodeEqConst(G.U, To);
+    Ev.bindInput(G.Trans, TransBdd);
+
+    IncrementalFixpoint Fix;
+    Fix.setKeyframeInterval(4);
+    // Record rounds up to node 20's discovery.
+    IncrementalFixpoint::Answer First = Fix.query(
+        Ev, G.Reach, Ev.encodeEqConst(G.U, 20), /*EarlyStop=*/true, 0);
+    EXPECT_TRUE(First.Reachable);
+    if (ClearBetween)
+      Mgr.clearComputedCache();
+    // Replayed from recorded rings (no new rounds), reconstitution live.
+    IncrementalFixpoint::Answer Second = Fix.query(
+        Ev, G.Reach, Ev.encodeEqConst(G.U, 10), /*EarlyStop=*/true, 0);
+    EXPECT_EQ(Second.RoundsComputed, 0u);
+    return std::make_tuple(Second.Iterations, Second.Reachable,
+                           Second.Value.nodeCount(),
+                           uint64_t(Second.Value.satCount(Mgr.numVars())));
+  };
+
+  EXPECT_EQ(run(false), run(true));
 }

@@ -267,6 +267,75 @@ TEST(SessionPoolTest, CacheClearValveFiresBeforeEviction) {
   EXPECT_FALSE(solveLabel(L.session(), "SAFE").Reachable);
 }
 
+TEST(SessionPoolTest, BudgetSeesMidLeaseGrowthThroughTheGauge) {
+  // The regression this pins: the pool used to budget on footprints
+  // cached at lease *release*, so a session that grew during a later
+  // lease (here: a witness query arriving on an already-open session)
+  // was charged at its old, small number until that lease ended — and
+  // the valve made under-reclaiming decisions on the stale sample. The
+  // enforcement path must instead re-sample every resident entry, via
+  // the session's lock-free gauge when the entry is leased out.
+  std::string ASrc = driverSource(21, true);
+  std::string BSrc = seqFixture();
+
+  // Deterministic footprints, measured outside the pool: A after one
+  // cheap early-stopped query, A after the witness query that completes
+  // the solve, and B warm.
+  size_t ASmall, ABig, BFoot;
+  {
+    auto S = api::Solver::open(api::Query::fromSource(ASrc), {});
+    ASSERT_TRUE(S->ok());
+    ASSERT_TRUE(solveLabel(*S, "ERR").Reachable);
+    ASmall = S->memoryFootprint();
+    ASSERT_TRUE(
+        S->solve(api::Query::fromSource("").target("ERR").witness()).ok());
+    ABig = S->memoryFootprint();
+  }
+  {
+    auto S = api::Solver::open(api::Query::fromSource(BSrc), {});
+    ASSERT_TRUE(S->ok());
+    ASSERT_TRUE(solveLabel(*S, "ERR").Reachable);
+    BFoot = S->memoryFootprint();
+  }
+  ASSERT_GT(ABig, ASmall);
+
+  // Small-A plus B fits with margin; grown-A plus B does not.
+  PoolOptions Opts;
+  Opts.MemoryBudgetBytes = ASmall + BFoot + (ABig - ASmall) / 2;
+  SessionPool Pool(Opts);
+
+  // Prime A and release: the release-time sample is the small number.
+  {
+    SessionPool::Lease LA = Pool.acquire("A", loaderFor(ASrc));
+    ASSERT_TRUE(LA.ok());
+    EXPECT_TRUE(solveLabel(LA.session(), "ERR").Reachable);
+  }
+  EXPECT_EQ(Pool.stats().CacheClears + Pool.stats().Evictions, 0u);
+
+  // Grow A mid-lease and keep holding the lease; only the session's own
+  // gauge knows the new size.
+  SessionPool::Lease LA = Pool.acquire("A", loaderFor(ASrc));
+  ASSERT_TRUE(LA.ok());
+  ASSERT_TRUE(
+      LA.session()
+          .solve(api::Query::fromSource("").target("ERR").witness())
+          .ok());
+
+  // B's release runs budget enforcement while A is still leased out. On
+  // the stale release-time numbers the pool would see small-A + B, stay
+  // "under budget", and do nothing; through the gauge it must see the
+  // growth and reclaim.
+  {
+    SessionPool::Lease LB = Pool.acquire("B", loaderFor(BSrc));
+    ASSERT_TRUE(LB.ok());
+    EXPECT_TRUE(solveLabel(LB.session(), "ERR").Reachable);
+  }
+  PoolStats PS = Pool.stats();
+  EXPECT_GE(PS.CacheClears + PS.Evictions, 1u);
+  // The refreshed accounting carries A at its grown size.
+  EXPECT_GE(PS.FootprintBytes, ABig);
+}
+
 TEST(SessionPoolTest, ImpossibleBudgetClearsThenEvictsThenReopens) {
   // A one-byte budget: the valve fires first (phase 1), cannot help, and
   // the session is evicted (phase 2). The next acquire reopens and the

@@ -620,3 +620,213 @@ TEST(SessionTest, ErrorPathsBehaveLikeTheFacade) {
   EXPECT_FALSE(Mismatch->ok());
   EXPECT_EQ(Mismatch->status(), api::SolveStatus::BadQuery);
 }
+
+//===----------------------------------------------------------------------===//
+// Ring diet: delta-compressed round retention (keyframe intervals)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, KeyframeIntervalsAreBitIdenticalForEveryEngine) {
+  // The ring diet is a pure memory knob: K=1 stores every round full (the
+  // pre-diet baseline), K=4 exercises mid-chain reconstitution, K=0 keeps
+  // only the first round full (maximal compression). Every engine, both
+  // strategies, mixed plain/witness streams in several orders must be
+  // bit-identical across all three settings.
+  for (const api::Engine *E : Solver::engines()) {
+    std::string Src = E->handlesConcurrent() ? concFixture() : seqFixture();
+    bool Witness = E->supportsWitness() && !E->handlesConcurrent();
+    std::vector<Query> Queries = {
+        Query::fromSource("").target("ERR"),
+        Query::fromSource("").target("SAFE"),
+        Query::fromSource("").target("ERR"),
+    };
+    if (Witness) {
+      Queries.push_back(Query::fromSource("").target("ERR").witness());
+      Queries.push_back(Query::fromSource("").target("SAFE").witness());
+    }
+    // Forward, reverse, and a rotation (witness-first when present).
+    std::vector<std::vector<size_t>> Orders;
+    std::vector<size_t> Fwd(Queries.size());
+    for (size_t I = 0; I < Fwd.size(); ++I)
+      Fwd[I] = I;
+    Orders.push_back(Fwd);
+    std::vector<size_t> Rev(Fwd.rbegin(), Fwd.rend());
+    Orders.push_back(Rev);
+    std::vector<size_t> Rot(Fwd.begin() + Fwd.size() / 2, Fwd.end());
+    Rot.insert(Rot.end(), Fwd.begin(), Fwd.begin() + Fwd.size() / 2);
+    Orders.push_back(Rot);
+
+    for (fpc::EvalStrategy Strategy :
+         {fpc::EvalStrategy::SemiNaive, fpc::EvalStrategy::Naive}) {
+      for (const std::vector<size_t> &Order : Orders) {
+        std::vector<SolveResult> Baseline(Queries.size());
+        for (uint64_t K : {uint64_t(1), uint64_t(4), uint64_t(0)}) {
+          SolverOptions Opts;
+          Opts.Engine = E->name();
+          Opts.Strategy = Strategy;
+          Opts.RingKeyframeInterval = K;
+          std::unique_ptr<SolverSession> S =
+              Solver::open(Query::fromSource(Src), Opts);
+          ASSERT_TRUE(S->ok()) << E->name() << ": " << S->error();
+          for (size_t I : Order) {
+            SolveResult R = S->solve(Queries[I]);
+            if (K == 1)
+              Baseline[I] = R;
+            else
+              expectSameCore(Baseline[I], R,
+                             std::string(E->name()) + " K=" +
+                                 std::to_string(K) + " query " +
+                                 std::to_string(I));
+          }
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// One solve per session: witness and plain queries share the EF fixpoint
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, EfWitnessAndPlainQueriesShareOneSolve) {
+  std::string Src = seqFixture();
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(Src, Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.str();
+  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+  unsigned ErrProc = 0, ErrPc = 0;
+  ASSERT_TRUE(Cfg.findLabelPc("ERR", ErrProc, ErrPc));
+  unsigned SafeProc = 0, SafePc = 0;
+  ASSERT_TRUE(Cfg.findLabelPc("SAFE", SafeProc, SafePc));
+
+  for (reach::SeqAlgorithm Alg : {reach::SeqAlgorithm::EntryForward,
+                                  reach::SeqAlgorithm::EntryForwardSplit}) {
+    reach::SeqOptions Opts;
+    Opts.Alg = Alg;
+    // One solve's worth of rounds, from the pre-existing one-shot path.
+    reach::WitnessResult FreshW =
+        reach::checkReachabilityWithWitness(Cfg, ErrProc, ErrPc, Opts);
+    ASSERT_TRUE(FreshW.Reachable);
+    uint64_t OneSolveRounds = FreshW.Relations.at("SummaryEF").Iterations;
+
+    // Witness-first: the extractor completes the session's own fixpoint
+    // in place, so plain queries of any target are then answerable from
+    // state and replay without computing a single new round.
+    reach::SeqSession S(Cfg, Opts);
+    reach::WitnessResult W = S.solveWithWitness(ErrProc, ErrPc);
+    ASSERT_TRUE(W.Reachable);
+    EXPECT_EQ(W.Steps.size(), FreshW.Steps.size());
+    EXPECT_EQ(W.Relations.at("SummaryEF").Iterations, OneSolveRounds);
+    EXPECT_TRUE(S.answersFromState(SafeProc, SafePc));
+    reach::SeqResult P = S.solve(SafeProc, SafePc);
+    EXPECT_FALSE(P.Reachable);
+    EXPECT_EQ(P.SummariesRecomputed, 0u);
+    EXPECT_EQ(P.SummariesReused, P.Iterations);
+
+    // Plain-first: the early-stopped prefix is *resumed* by the witness
+    // query, never redone — the shared evaluator's cumulative round count
+    // stays exactly one solve's worth.
+    reach::SeqSession S2(Cfg, Opts);
+    reach::SeqResult P1 = S2.solve(ErrProc, ErrPc);
+    EXPECT_TRUE(P1.Reachable);
+    reach::WitnessResult W2 = S2.solveWithWitness(ErrProc, ErrPc);
+    ASSERT_TRUE(W2.Reachable);
+    EXPECT_EQ(W2.Steps.size(), FreshW.Steps.size());
+    EXPECT_EQ(W2.Relations.at("SummaryEF").Iterations, OneSolveRounds);
+    std::string Error;
+    EXPECT_TRUE(
+        reach::verifyWitness(Cfg, W2.Steps, ErrProc, ErrPc, &Error))
+        << Error;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The diet measurably shrinks long-lived sessions
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, RingDietShrinksLongLivedSessionMemory) {
+  // Two long-lived sessions solving the identical sweep, one at the
+  // pre-diet K=1 full-ring baseline and one at the default keyframe
+  // interval: every result bit-identical, resident nodes strictly lower,
+  // peak no higher.
+  auto sweep = [](const std::string &Src, const char *Engine,
+                  unsigned ContextBound, const std::vector<Query> &Queries,
+                  const std::string &Tag) {
+    SolverOptions Base;
+    Base.Engine = Engine;
+    Base.ContextBound = ContextBound;
+    Base.RingKeyframeInterval = 1;
+    SolverOptions Diet = Base;
+    Diet.RingKeyframeInterval = SolverOptions().RingKeyframeInterval;
+    std::unique_ptr<SolverSession> SBase =
+        Solver::open(Query::fromSource(Src), Base);
+    std::unique_ptr<SolverSession> SDiet =
+        Solver::open(Query::fromSource(Src), Diet);
+    ASSERT_TRUE(SBase->ok() && SDiet->ok())
+        << Tag << ": " << SBase->error() << SDiet->error();
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      SolveResult RB = SBase->solve(Queries[I]);
+      SolveResult RD = SDiet->solve(Queries[I]);
+      ASSERT_TRUE(RB.ok()) << Tag << " query " << I << ": " << RB.Error;
+      expectSameCore(RB, RD, Tag + " query " + std::to_string(I));
+    }
+    EXPECT_LT(SDiet->liveNodes(), SBase->liveNodes()) << Tag;
+    EXPECT_LE(SDiet->peakLiveNodes(), SBase->peakLiveNodes()) << Tag;
+  };
+
+  // Long bluetooth sweep through the conc engine.
+  sweep(gen::bluetoothModel(2, 1), "conc", 3,
+        {Query::fromSource("").target("ERR"),
+         Query::fromSource("").targetPoint(0, 1, 0),
+         Query::fromSource("").targetPoint(0, 0, 1),
+         Query::fromSource("").targetPoint(1, 0, 1),
+         Query::fromSource("").targetPoint(0, 0, 0)},
+        "conc bluetooth");
+
+  // Witness-heavy ef sweep, measured against the *seed architecture*: a
+  // plain full-ring session plus a separate full-ring witness solver on
+  // its own manager — which is what every ef session used to pay the
+  // moment a witness query arrived (a second EntryForward solve, a
+  // second copy of every round). The shared-state diet session serves
+  // the identical mixed stream from one solve on one manager and must
+  // retain strictly less than the pair, at matching results.
+  gen::DriverParams P;
+  P.NumProcs = 8;
+  P.StmtsPerProc = 8;
+  P.Reachable = true;
+  P.Seed = 11;
+  gen::Workload W = gen::driverProgram(P);
+  DiagnosticEngine Diags;
+  auto Prog = bp::parseProgram(W.Source, Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.str();
+  bp::ProgramCfg Cfg = bp::buildCfg(*Prog);
+  unsigned ErrProc = 0, ErrPc = 0;
+  ASSERT_TRUE(Cfg.findLabelPc(W.TargetLabel, ErrProc, ErrPc));
+
+  reach::SeqOptions Seed;
+  Seed.Alg = reach::SeqAlgorithm::EntryForward;
+  Seed.RingKeyframeInterval = 1; // Pre-diet retention: every round full.
+  reach::SeqSession SeedPlain(Cfg, Seed);
+  reach::WitnessSession SeedWitness(Cfg, Seed); // The duplicate solver.
+
+  reach::SeqOptions Diet;
+  Diet.Alg = reach::SeqAlgorithm::EntryForward;
+  reach::SeqSession SDiet(Cfg, Diet);
+
+  const std::pair<unsigned, unsigned> Targets[] = {
+      {ErrProc, ErrPc}, {0, 1}, {1, 0}, {2, 0}};
+  for (auto [TP, TPc] : Targets) {
+    reach::WitnessResult WSeed = SeedWitness.query(TP, TPc);
+    reach::WitnessResult WDiet = SDiet.solveWithWitness(TP, TPc);
+    EXPECT_EQ(WSeed.Reachable, WDiet.Reachable) << TP << ":" << TPc;
+    EXPECT_EQ(WSeed.Steps.size(), WDiet.Steps.size()) << TP << ":" << TPc;
+    reach::SeqResult PSeed = SeedPlain.solve(TP, TPc);
+    reach::SeqResult PDiet = SDiet.solve(TP, TPc);
+    EXPECT_EQ(PSeed.Reachable, PDiet.Reachable) << TP << ":" << TPc;
+    EXPECT_EQ(WSeed.Reachable, PSeed.Reachable) << TP << ":" << TPc;
+  }
+
+  size_t SeedLive = SeedPlain.liveNodes() + SeedWitness.liveNodes();
+  size_t SeedPeak = SeedPlain.peakLiveNodes() + SeedWitness.peakLiveNodes();
+  EXPECT_LT(SDiet.liveNodes(), SeedLive) << "ef witness sweep";
+  EXPECT_LT(SDiet.peakLiveNodes(), SeedPeak) << "ef witness sweep";
+}
