@@ -86,6 +86,12 @@ struct EngineRow {
   /// Session mode: rounds served from persisted state vs newly evaluated.
   uint64_t SummariesReused = 0;
   uint64_t SummariesRecomputed = 0;
+  /// Per-procedure summary split: condensation width of the compiled
+  /// system, number of summary relations, and SCC tasks the DAG
+  /// scheduler actually ran on the worker pool.
+  unsigned CondensationWidth = 0;
+  unsigned SummaryRelations = 0;
+  uint64_t SccsSolvedParallel = 0;
 
   /// Average operand support growth factor of the cofactor rewrite
   /// (restrict is ≤ 1 by construction; constrain may exceed 1).
@@ -118,6 +124,9 @@ inline EngineRow rowOrDie(const SolveResult &R, const char *Engine) {
   Row.CofactorSupportAfter = R.Cofactor.SupportAfter;
   Row.SummariesReused = R.SummariesReused;
   Row.SummariesRecomputed = R.SummariesRecomputed;
+  Row.CondensationWidth = R.CondensationWidth;
+  Row.SummaryRelations = R.SummaryRelations;
+  Row.SccsSolvedParallel = R.SccsSolvedParallel;
   return Row;
 }
 

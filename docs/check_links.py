@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Link and source-anchor checker for the repo documentation.
+
+Scans README.md, ROADMAP.md, and docs/*.md for
+
+  1. relative markdown links `[text](path)` whose target file does not
+     exist (external http(s)/mailto links and pure #fragments are
+     skipped), and
+  2. stale source anchors: inline-code references like
+     `src/reach/SeqReach.cpp:123` whose file is missing or whose line
+     number is past the end of the file. Only paths under the known
+     top-level directories (src/, tools/, tests/, bench/, docs/,
+     .github/) and the well-known root files are treated as anchors, so
+     prose mentioning hypothetical files stays legal.
+
+Exits 1 with one line per problem — CI runs this on every push so the
+architecture docs cannot silently rot as the code moves underneath them.
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = sorted(
+    glob.glob(os.path.join(REPO, "docs", "*.md"))
+    + [os.path.join(REPO, "README.md"), os.path.join(REPO, "ROADMAP.md")]
+)
+
+# Markdown inline links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Inline-code source anchors: `path/to/file.ext` or `path/to/file.ext:123`.
+ANCHOR_RE = re.compile(
+    r"`([A-Za-z0-9_./-]+\.(?:h|cpp|py|md|txt|yml|json|cmake))(?::(\d+))?`"
+)
+
+# Prefixes/names that make a backticked path a checkable repo anchor.
+ANCHOR_PREFIXES = ("src/", "tools/", "tests/", "bench/", "docs/", ".github/")
+ANCHOR_ROOT_FILES = {
+    "README.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "CHANGES.md",
+    "CMakeLists.txt",
+}
+
+
+def line_count(path, cache={}):
+    if path not in cache:
+        with open(path, "rb") as f:
+            cache[path] = f.read().count(b"\n") + 1
+    return cache[path]
+
+
+def main():
+    problems = []
+    for doc in DOC_FILES:
+        rel_doc = os.path.relpath(doc, REPO)
+        if not os.path.exists(doc):
+            problems.append(f"{rel_doc}: listed doc file is missing")
+            continue
+        with open(doc, encoding="utf-8") as f:
+            lines = f.readlines()
+        for lineno, line in enumerate(lines, 1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(doc), path)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel_doc}:{lineno}: dead link '{target}'"
+                    )
+            for m in ANCHOR_RE.finditer(line):
+                path, anchor_line = m.group(1), m.group(2)
+                if not (
+                    path.startswith(ANCHOR_PREFIXES)
+                    or path in ANCHOR_ROOT_FILES
+                ):
+                    continue
+                resolved = os.path.join(REPO, path)
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel_doc}:{lineno}: stale anchor '{path}' "
+                        "(file does not exist)"
+                    )
+                elif anchor_line is not None:
+                    n = line_count(resolved)
+                    if int(anchor_line) > n:
+                        problems.append(
+                            f"{rel_doc}:{lineno}: stale anchor "
+                            f"'{path}:{anchor_line}' (file has {n} lines)"
+                        )
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(DOC_FILES)} docs: all links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

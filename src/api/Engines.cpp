@@ -111,6 +111,7 @@ reach::SeqOptions seqOptionsFor(reach::SeqAlgorithm Alg,
   SO.Threads = Opts.Threads;
   SO.DisjunctParallelThreshold = Opts.DisjunctParallelThreshold;
   SO.RingKeyframeInterval = Opts.RingKeyframeInterval;
+  SO.MonolithicSummary = Opts.MonolithicSummary;
   return SO;
 }
 
@@ -131,6 +132,8 @@ void fillFromSeq(SolveResult &Out, reach::SeqResult &&R) {
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
   Out.SccsSolvedParallel = R.SccsSolvedParallel;
+  Out.CondensationWidth = R.CondensationWidth;
+  Out.SummaryRelations = R.SummaryRelations;
   Out.RoundsParallel = R.RoundsParallel;
   Out.DisjunctsParallel = R.DisjunctsParallel;
   Out.ImportedNodes = R.ImportedNodes;
@@ -243,8 +246,9 @@ public:
                                               seqOptionsFor(Alg, Opts));
   }
 
-  std::string formulaText(const CompiledQuery &Q) const override {
-    return reach::formulaText(Q.cfg(), Alg);
+  std::string formulaText(const CompiledQuery &Q,
+                          const SolverOptions &Opts) const override {
+    return reach::formulaText(Q.cfg(), seqOptionsFor(Alg, Opts));
   }
 
 private:
@@ -363,6 +367,8 @@ void fillFromConc(SolveResult &Out, conc::ConcResult &&R) {
   Out.SummariesReused = R.SummariesReused;
   Out.SummariesRecomputed = R.SummariesRecomputed;
   Out.SccsSolvedParallel = R.SccsSolvedParallel;
+  Out.CondensationWidth = R.CondensationWidth;
+  Out.SummaryRelations = R.SummaryRelations;
   Out.RoundsParallel = R.RoundsParallel;
   Out.DisjunctsParallel = R.DisjunctsParallel;
   Out.ImportedNodes = R.ImportedNodes;
@@ -482,6 +488,16 @@ public:
 
     reach::SeqOptions SO =
         seqOptionsFor(reach::SeqAlgorithm::EntryForwardSplit, Opts);
+    // Always solve the transformed program monolithically. The eager
+    // reduction multiplies the globals by O(k) copies, so its reachable
+    // entries are a vanishing fraction of all entries — the per-procedure
+    // split's all-entries seeds forfeit entry-forward pruning and slow
+    // these solves ~16x (LalRepsTest seeds: 16s -> 260s). Entry-pruned
+    // split relations are not an option either: entries flow caller ->
+    // callee while summaries flow callee -> caller, so pruned groups
+    // collapse into one condensation SCC the evaluator would solve by
+    // nested re-evaluation.
+    SO.MonolithicSummary = true;
     // The (fast, purely syntactic) sequentialization above is ungoverned;
     // the limits govern the solve of the transformed program.
     GovernorScope GS(Opts);

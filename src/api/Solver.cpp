@@ -485,7 +485,7 @@ std::string Solver::formulaText(const Query &Q, const SolverOptions &Opts,
       *Error = R.Error;
     return "";
   }
-  std::string Text = E->formulaText(*C.Query);
+  std::string Text = E->formulaText(*C.Query, Opts);
   if (Text.empty() && Error)
     *Error = std::string("engine '") + E->name() +
              "' does not expose its equation system";

@@ -157,6 +157,16 @@ struct SolverOptions {
   /// solve (the differential-testing / ablation baseline). One-shot
   /// `Solver::solve` calls ignore this.
   bool SessionReuse = true;
+  /// Sequential summary engines: compile the paper's single whole-program
+  /// summary relation instead of the default per-procedure split (one
+  /// `Summary_<proc>` / `ReachEntry_<proc>` pair per call-graph SCC).
+  /// The split widens the equation system's dependency condensation to
+  /// the call graph's SCC count, so `Threads > 1` schedules independent
+  /// procedures in parallel; verdicts, witnesses, and per-query answers
+  /// are bit-identical either way (round accounting differs — see
+  /// `SolveResult::CondensationWidth`). Escape hatch for A/B comparison;
+  /// non-summary engines (moped, bebop, conc) ignore it.
+  bool MonolithicSummary = false;
   /// Worker threads for the fixed-point evaluator's parallel SCC
   /// scheduling (1 = sequential). Independent SCCs of the equation
   /// system's dependency condensation are solved on a work-stealing pool
@@ -297,6 +307,16 @@ struct SolveResult {
   /// (`SolverOptions::Threads > 1` only); the per-worker BDD counters are
   /// folded into `Bdd`.
   uint64_t SccsSolvedParallel = 0;
+  /// Width of the equation system's dependency condensation — the number
+  /// of SCCs `fpc::runDag`'s scheduler can in principle overlap. Equals
+  /// the call graph's SCC count under the per-procedure summary split and
+  /// the (narrow, 1–4) defined-relation SCC count under
+  /// `SolverOptions::MonolithicSummary`. 0 for non-fixed-point engines.
+  unsigned CondensationWidth = 0;
+  /// Number of summary relations the engine compiled: the call graph's
+  /// SCC count under the split, 1 monolithic, 0 for engines with no
+  /// summary relation.
+  unsigned SummaryRelations = 0;
   /// Intra-SCC parallelism (`Threads > 1` only): semi-naive rounds whose
   /// distributive disjunct products ran on the worker pool, the products
   /// dispatched across all such rounds, and the BDD nodes the cached
@@ -454,10 +474,13 @@ public:
     return nullptr;
   }
 
-  /// The fixed-point equation system this engine would solve for \p Q (the
-  /// paper's "one page of formulae"); empty for natively-coded engines.
-  virtual std::string formulaText(const CompiledQuery &Q) const {
+  /// The fixed-point equation system this engine would solve for \p Q
+  /// under \p Opts (the paper's "one page of formulae" monolithically, the
+  /// per-procedure split by default); empty for natively-coded engines.
+  virtual std::string formulaText(const CompiledQuery &Q,
+                                  const SolverOptions &Opts) const {
     (void)Q;
+    (void)Opts;
     return "";
   }
 };

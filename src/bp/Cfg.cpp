@@ -2,6 +2,8 @@
 
 #include "bp/Cfg.h"
 
+#include <algorithm>
+
 using namespace getafix;
 using namespace getafix::bp;
 
@@ -188,4 +190,94 @@ bool ProgramCfg::findLabelPc(const std::string &Label, unsigned &ProcId,
     }
   }
   return false;
+}
+
+CallGraph bp::buildCallGraph(const ProgramCfg &Cfg) {
+  CallGraph G;
+  const size_t N = Cfg.Procs.size();
+  G.Callees.assign(N, {});
+  G.Callers.assign(N, {});
+  for (const ProcCfg &P : Cfg.Procs)
+    for (const CfgEdge &E : P.Edges)
+      if (E.K == CfgEdge::Kind::Call) {
+        auto &Cs = G.Callees[P.ProcId];
+        if (std::find(Cs.begin(), Cs.end(), E.CalleeId) == Cs.end()) {
+          Cs.push_back(E.CalleeId);
+          G.Callers[E.CalleeId].push_back(P.ProcId);
+        }
+      }
+
+  // Iterative Tarjan. SCCs pop only after every SCC they reach has
+  // popped, so assigning indices in pop order yields the callees-first
+  // numbering CallGraph documents.
+  G.SccOf.assign(N, ~0u);
+  std::vector<unsigned> Index(N, ~0u), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  unsigned Next = 0;
+  struct Frame {
+    unsigned Proc;
+    size_t EdgeIdx;
+  };
+  std::vector<Frame> Dfs;
+  for (unsigned Root = 0; Root < N; ++Root) {
+    if (Index[Root] != ~0u)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[Root] = Low[Root] = Next++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      if (F.EdgeIdx < G.Callees[F.Proc].size()) {
+        unsigned Callee = G.Callees[F.Proc][F.EdgeIdx++];
+        if (Index[Callee] == ~0u) {
+          Dfs.push_back({Callee, 0});
+          Index[Callee] = Low[Callee] = Next++;
+          Stack.push_back(Callee);
+          OnStack[Callee] = true;
+        } else if (OnStack[Callee]) {
+          Low[F.Proc] = std::min(Low[F.Proc], Index[Callee]);
+        }
+        continue;
+      }
+      unsigned Proc = F.Proc;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().Proc] = std::min(Low[Dfs.back().Proc], Low[Proc]);
+      if (Low[Proc] == Index[Proc]) {
+        unsigned Scc = static_cast<unsigned>(G.SccMembers.size());
+        G.SccMembers.push_back({});
+        while (true) {
+          unsigned Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          G.SccOf[Member] = Scc;
+          G.SccMembers.back().push_back(Member);
+          if (Member == Proc)
+            break;
+        }
+        std::sort(G.SccMembers.back().begin(), G.SccMembers.back().end());
+      }
+    }
+  }
+
+  G.SccCallees.assign(G.SccMembers.size(), {});
+  G.SccCallers.assign(G.SccMembers.size(), {});
+  for (unsigned Proc = 0; Proc < N; ++Proc)
+    for (unsigned Callee : G.Callees[Proc]) {
+      unsigned A = G.SccOf[Proc], B = G.SccOf[Callee];
+      if (A == B)
+        continue;
+      auto &Out = G.SccCallees[A];
+      if (std::find(Out.begin(), Out.end(), B) == Out.end()) {
+        Out.push_back(B);
+        G.SccCallers[B].push_back(A);
+      }
+    }
+  for (auto &V : G.SccCallees)
+    std::sort(V.begin(), V.end());
+  for (auto &V : G.SccCallers)
+    std::sort(V.begin(), V.end());
+  return G;
 }

@@ -108,6 +108,37 @@ struct ProgramCfg {
 /// Lowers \p Prog (must be successfully analyzed) to CFGs.
 ProgramCfg buildCfg(const Program &Prog);
 
+/// The program's call graph together with its SCC condensation. The
+/// per-procedure summary split (reach/SeqEngine) emits one summary
+/// relation per condensation node: procedures in the same SCC are
+/// mutually recursive and must share a fixed point, while edges between
+/// SCCs become acyclic relation dependencies the evaluator's DAG
+/// scheduler can run in parallel.
+struct CallGraph {
+  /// Deduplicated callee / caller procedure ids, indexed by ProcId.
+  std::vector<std::vector<unsigned>> Callees;
+  std::vector<std::vector<unsigned>> Callers;
+
+  /// SCC index per procedure. SCCs are numbered in *callees-first*
+  /// (reverse topological) order: if some procedure of SCC a calls into a
+  /// different SCC b, then b < a. Leaf procedures come first, `main`'s
+  /// SCC last.
+  std::vector<unsigned> SccOf;
+  /// Member procedures per SCC, ascending by ProcId.
+  std::vector<std::vector<unsigned>> SccMembers;
+
+  /// Deduplicated SCC-level edges: SccCallees[a] lists the SCCs b != a
+  /// that procedures of SCC a call into (each b < a by the numbering);
+  /// SccCallers is the transpose.
+  std::vector<std::vector<unsigned>> SccCallees;
+  std::vector<std::vector<unsigned>> SccCallers;
+
+  size_t numSccs() const { return SccMembers.size(); }
+};
+
+/// Builds the call graph of \p Cfg from its Call edges.
+CallGraph buildCallGraph(const ProgramCfg &Cfg);
+
 } // namespace bp
 } // namespace getafix
 

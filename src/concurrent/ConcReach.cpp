@@ -48,6 +48,8 @@ public:
   RelId reachRel() const { return Reach; }
   Layout makeLayout(BddManager &Mgr) const { return Factory.makeLayout(Mgr); }
   const System &system() const { return Sys; }
+  /// See ConcResult::CondensationWidth (computed once in buildSystem).
+  unsigned condensationWidth() const { return Width; }
 
 private:
   void buildSystem();
@@ -102,6 +104,7 @@ private:
   std::vector<RelId> RInt, RCall, RSkip, RRet1, RRet2, RExit, RInit;
 
   RelId Reach = 0;
+  unsigned Width = 0; ///< Dependency-condensation width (see buildSystem).
 };
 
 } // namespace
@@ -418,6 +421,17 @@ void ConcEngine::buildSystem() {
   }
   Sys.define(Reach, Def);
 
+  // The sequential engines' per-procedure summary split does not transfer
+  // here: the context-switch clauses make Reach read every thread's
+  // transition relations under every context, so a per-procedure (or
+  // per-thread) relation family would still collapse into one dependency
+  // SCC. A genuine widening would need per-(thread, context) summary
+  // relations with switch points as interface tuples — this clause builder
+  // is the seam. Until then the condensation width is reported honestly
+  // from the dependency analysis (Reach is the only defined relation: 1).
+  DependencyGraph Deps(Sys);
+  Width = definedCondensationWidth(Sys, Deps);
+
 #ifndef NDEBUG
   DiagnosticEngine Diags;
   assert(Sys.validate(Diags) && "concurrent formulae must type-check");
@@ -507,6 +521,7 @@ ConcResult ConcEngine::solve(unsigned Thread, unsigned ProcId, unsigned Pc,
   Result.Bdd = Mgr.stats();
   Result.Bdd.merge(Ev.workerBddStats());
   Result.SccsSolvedParallel = Ev.parallelStats().SccsSolvedParallel;
+  Result.CondensationWidth = Width;
   Result.RoundsParallel = Ev.parallelStats().RoundsParallel;
   Result.DisjunctsParallel = Ev.parallelStats().DisjunctsParallel;
   Result.ImportedNodes = Ev.parallelStats().ImportedNodes;
@@ -673,6 +688,7 @@ ConcResult ConcSession::solve(unsigned Thread, unsigned ProcId, unsigned Pc) {
   Result.Bdd.merge(S.Ev.workerBddStats().since(WorkerBefore));
   fpc::ParallelStats ParDelta = S.Ev.parallelStats().since(ParBefore);
   Result.SccsSolvedParallel = ParDelta.SccsSolvedParallel;
+  Result.CondensationWidth = S.Engine.condensationWidth();
   Result.RoundsParallel = ParDelta.RoundsParallel;
   Result.DisjunctsParallel = ParDelta.DisjunctsParallel;
   Result.ImportedNodes = ParDelta.ImportedNodes;

@@ -123,6 +123,16 @@ struct ConcResult {
   uint64_t SummariesRecomputed = 0;
   /// Dependency SCCs solved on the worker pool (`Threads > 1` only).
   uint64_t SccsSolvedParallel = 0;
+  /// Width of the equation system's dependency condensation. The
+  /// concurrent encoding cannot adopt the sequential engines' per-procedure
+  /// summary split — its context-switch clauses read every thread's
+  /// summary, so all Summary/Reach relations form one dependency SCC and
+  /// the split would not decompose it. (A genuine widening would need a
+  /// per-(thread, context) relation family; the seam is the clause builder
+  /// in ConcReach.cpp.) Reported honestly from the dependency analysis.
+  unsigned CondensationWidth = 0;
+  /// Always 1: one whole-program summary relation per thread group.
+  unsigned SummaryRelations = 1;
   /// Intra-SCC parallelism (`Threads > 1` only): semi-naive rounds whose
   /// distributive products ran on the pool, the products dispatched, and
   /// the nodes the cached importers translated across managers.

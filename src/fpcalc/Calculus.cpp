@@ -533,6 +533,22 @@ std::vector<RelId> DependencyGraph::scheduleFor(RelId Rel) const {
   return Out;
 }
 
+unsigned fpc::definedCondensationWidth(const System &Sys,
+                                       const DependencyGraph &Deps) {
+  std::vector<bool> Seen(Deps.sccs().size(), false);
+  unsigned Width = 0;
+  for (RelId R = 0; R < Sys.numRels(); ++R) {
+    if (Sys.relation(R).isInput())
+      continue;
+    unsigned S = Deps.sccOf(R);
+    if (!Seen[S]) {
+      Seen[S] = true;
+      ++Width;
+    }
+  }
+  return Width;
+}
+
 namespace {
 
 /// Does \p F transitively depend on \p Rel? (Direct application, or an

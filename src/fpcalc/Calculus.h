@@ -317,6 +317,13 @@ private:
   std::vector<std::vector<RelId>> Closure;
 };
 
+/// Number of condensation SCCs containing at least one *defined*
+/// relation — the width the DAG scheduler has to play with. Input-only
+/// relations cost no fixpoint work, so they are excluded; what remains is
+/// the count of independent solve units (`condensation_width` in stats).
+unsigned definedCondensationWidth(const System &Sys,
+                                  const DependencyGraph &Deps);
+
 /// Classification of one top-level disjunct of a defining equation, with
 /// respect to the relation being iterated.
 enum class DisjunctKind {

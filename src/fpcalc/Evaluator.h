@@ -271,6 +271,18 @@ public:
   EvalResult resume(RelId Rel, FixpointState &State,
                     const EvalOptions &Opts = EvalOptions());
 
+  /// Pins \p Value as the completed-solve memo for \p Rel, as if a
+  /// top-level solve had produced it. For drivers that iterate a
+  /// relation *chain* under per-relation round caps (the per-procedure
+  /// summary split with MaxIterations): a capped, unsaturated lower
+  /// relation is not memoized by `resume`, but higher relations must
+  /// read exactly its truncated value rather than re-solving it to
+  /// saturation behind the driver's back. Top-level use only.
+  void pinCompleted(RelId Rel, const Bdd &Value) {
+    assert(InFlight.empty() && "pin is a top-level operation");
+    Completed[Rel] = Value;
+  }
+
   /// Resets memoized values of defined relations (bindings stay).
   void invalidate();
 

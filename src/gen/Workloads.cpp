@@ -416,30 +416,41 @@ Workload gen::terminatorProgram(const TerminatorParams &P) {
   Src += Body;
   Src += "end\n";
 
+  // One procedure per dead-variable phase, TERMINATOR-style: real programs
+  // kill their dead state in many small helpers, so the call graph has
+  // `2 + NumDeadVars` SCCs (inc, the phases, main) and the per-procedure
+  // summary split gets real scheduler width on this workload. All state is
+  // global, so hoisting the phase bodies out of main's loop preserves the
+  // semantics statement-for-statement.
+  for (unsigned I = 0; I < P.NumDeadVars; ++I) {
+    std::string D = "d" + std::to_string(I);
+    std::string CBit = "c" + std::to_string(R.below(P.CounterBits));
+    std::string CBit2 = "c" + std::to_string(R.below(P.CounterBits));
+    Src += "phase" + std::to_string(I) + "() begin\n";
+    Src += "  " + D + " := " + CBit + " & !" + CBit2 + " | par;\n";
+    if (P.Style == DeadVarStyle::Iterative) {
+      // `dead d` modelled by iterated conditional nondet assignment.
+      Src += "  if (*) then\n    " + D + " := T;\n  else\n    " + D +
+             " := F;\n  fi;\n";
+    } else if (P.Style == DeadVarStyle::Schoose) {
+      Src += "  " + D + " := *;\n"; // schoose-style kill.
+    } else {
+      Src += "  dead " + D + ";\n"; // Native dead statement.
+    }
+    Src += "end\n";
+  }
+
   Src += "main() begin\n";
   // Zero the counter and parity.
   Src += "  par := F;\n";
   for (unsigned I = 0; I < P.CounterBits; ++I)
     Src += "  c" + std::to_string(I) + " := F;\n";
-  // Walk the counter to all-ones; the dead variables get correlated with
-  // counter bits and then killed in the style under test.
+  // Walk the counter to all-ones; each phase procedure correlates its dead
+  // variable with counter bits and then kills it in the style under test.
   Src += "  while (!(" + AllOnes() + ")) do\n";
   Src += "    call inc();\n";
-  for (unsigned I = 0; I < P.NumDeadVars; ++I) {
-    std::string D = "d" + std::to_string(I);
-    std::string CBit = "c" + std::to_string(R.below(P.CounterBits));
-    std::string CBit2 = "c" + std::to_string(R.below(P.CounterBits));
-    Src += "    " + D + " := " + CBit + " & !" + CBit2 + " | par;\n";
-    if (P.Style == DeadVarStyle::Iterative) {
-      // `dead d` modelled by iterated conditional nondet assignment.
-      Src += "    if (*) then\n      " + D + " := T;\n    else\n      " + D +
-             " := F;\n    fi;\n";
-    } else if (P.Style == DeadVarStyle::Schoose) {
-      Src += "    " + D + " := *;\n"; // schoose-style kill.
-    } else {
-      Src += "    dead " + D + ";\n"; // Native dead statement.
-    }
-  }
+  for (unsigned I = 0; I < P.NumDeadVars; ++I)
+    Src += "    call phase" + std::to_string(I) + "();\n";
   Src += "  od;\n";
   // Serving workloads: extra per-program targets after the loop, half
   // trivially reachable (tautology guard), half not (contradiction) —
@@ -491,15 +502,16 @@ std::string gen::bluetoothModel(unsigned NumAdders, unsigned NumStoppers,
   // The increment path checks the stopping flag only *after* bumping the
   // counter, and its failure path decrements — while the caller's shared
   // exit path decrements again. That reference miscount is the bug that a
-  // second adder exposes (Figure 3's two-adders row).
+  // second adder exposes (Figure 3's two-adders row). The raw counter
+  // bump/drop live in their own helpers (pendInc / pendDec), like the
+  // published driver's HBUSY manipulation routines: every thread's call
+  // graph then has five SCCs (main, ioInc, ioDec, pendInc, pendDec), which
+  // gives the per-procedure summary split real scheduler width on this
+  // model. All state touched is shared, so the factoring only adds
+  // call/return sequencing between the same shared accesses — k-bounded
+  // reachability is unchanged for every context bound.
   const char *IoProcs = R"(ioInc() begin
-  if (!p0) then
-    p0 := T;
-  else
-    if (!p1) then
-      p0, p1 := F, T;
-    fi;
-  fi;
+  call pendInc();
   if (stopF) then
     call ioDec();
     return F;
@@ -507,15 +519,27 @@ std::string gen::bluetoothModel(unsigned NumAdders, unsigned NumStoppers,
   return T;
 end
 ioDec() begin
+  call pendDec();
+  if (!p0 & !p1) then
+    stopE := T;
+  fi;
+end
+pendInc() begin
+  if (!p0) then
+    p0 := T;
+  else
+    if (!p1) then
+      p0, p1 := F, T;
+    fi;
+  fi;
+end
+pendDec() begin
   if (p0) then
     p0 := F;
   else
     if (p1) then
       p0, p1 := T, F;
     fi;
-  fi;
-  if (!p0 & !p1) then
-    stopE := T;
   fi;
 end
 )";

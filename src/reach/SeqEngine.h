@@ -30,8 +30,15 @@ namespace reach {
 /// re-solve with ring recording and query the input-relation BDDs.
 class SeqEngine {
 public:
-  SeqEngine(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg)
-      : Cfg(Cfg), Alg(Alg), Factory(Sys) {
+  /// \p SplitSummaries selects the per-procedure compilation: one
+  /// `Summary_<proc>` / `ReachEntry_<proc>` relation pair per call-graph
+  /// SCC plus the `Hits` / `SummaryAll` roots, instead of the paper's
+  /// single whole-program summary relation. The witness extractor always
+  /// builds the monolithic EntryForward system (its ring walk is defined
+  /// over one relation), hence the default.
+  SeqEngine(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg,
+            bool SplitSummaries = false)
+      : Cfg(Cfg), Alg(Alg), Split(SplitSummaries), Factory(Sys) {
     buildSystem();
   }
 
@@ -49,6 +56,21 @@ public:
   SeqAlgorithm algorithm() const { return Alg; }
   const bp::ProgramCfg &cfg() const { return Cfg; }
 
+  // Per-procedure split (SplitSummaries) ------------------------------------
+  bool split() const { return Split; }
+  /// Split mode: `Hits = ⋁_X Summary_X ∧ ReachEntry_X` — the verdict root.
+  fpc::RelId hitsRel() const { return Hits; }
+  /// Split mode: `SummaryAll = ⋁_X Summary_X` — the union the stats (and
+  /// the differential tests' bit-identity check) report on.
+  fpc::RelId summaryAllRel() const { return SummaryAll; }
+  /// Every defined relation in callees-first (dependency-topological)
+  /// order — the resume chain sessions and capped solves drive.
+  const std::vector<fpc::RelId> &solveOrder() const { return Order; }
+  /// See SeqResult::CondensationWidth / SummaryRelations.
+  unsigned condensationWidth() const { return Width; }
+  unsigned summaryRelations() const { return NumSummaryRels; }
+  const bp::CallGraph &callGraph() const { return CG; }
+
   /// Scratch variables of the return clause (t.*, u.*) and the entry-
   /// discovery clause (d.*); witness queries rebind relation BDDs onto
   /// them so joint predecessor queries can be expressed directly.
@@ -64,6 +86,7 @@ public:
 
 private:
   void buildSystem();
+  void buildSplitSystem();
 #ifndef NDEBUG
   /// Debug-only cross-check: the dependency analysis must classify each
   /// algorithm's disjuncts exactly as the clause builders intend
@@ -80,13 +103,22 @@ private:
   fpc::Formula *internalClause(fpc::RelId Head, int Mark);
   fpc::Formula *entryDiscoveryClause(fpc::RelId Head, int Mark,
                                      bool RelevantGuard);
-  fpc::Formula *returnClauseUnsplit(fpc::RelId Head, int Mark);
-  fpc::Formula *returnClauseSplit(fpc::RelId Head, int Mark,
+  /// The return clauses take the caller-side and callee-side summary
+  /// heads separately: monolithic callers pass the same relation twice,
+  /// the split passes `Summary_X` (caller group) and `Summary_Y` (callee
+  /// group).
+  fpc::Formula *returnClauseUnsplit(fpc::RelId CallerHead,
+                                    fpc::RelId CalleeHead, int Mark);
+  fpc::Formula *returnClauseSplit(fpc::RelId CallerHead,
+                                  fpc::RelId CalleeHead, int Mark,
                                   bool RelevantGuard);
   fpc::Formula *allEntriesClause();
+  /// `⋁_{p ∈ SCC Scc} s.mod = p` — pins a split relation to its group.
+  fpc::Formula *modInGroup(unsigned Scc);
 
   const bp::ProgramCfg &Cfg;
   SeqAlgorithm Alg;
+  bool Split = false;
   fpc::System Sys;
   sym::VarFactory Factory;
   sym::StateDomains Doms;
@@ -109,6 +141,15 @@ private:
   fpc::RelId Relevant = 0; ///< EntryForwardOpt only.
   fpc::RelId New1 = 0, New2 = 0;
   fpc::RelId ReachEntry = 0; ///< SummarySimple only.
+
+  // Split mode state.
+  bp::CallGraph CG;
+  std::vector<fpc::RelId> GroupSummary; ///< Summary_<proc>, by SCC index.
+  std::vector<fpc::RelId> GroupEntry;   ///< ReachEntry_<proc>, by SCC index.
+  fpc::RelId Hits = 0, SummaryAll = 0;
+  std::vector<fpc::RelId> Order;
+  unsigned Width = 0;
+  unsigned NumSummaryRels = 1;
 };
 
 } // namespace reach

@@ -117,7 +117,8 @@ Formula *SeqEngine::entryDiscoveryClause(RelId Head, int Mark,
 /// [Return, unsplit] one big relational product combining the caller
 /// summary, the callee summary and the full Return relation — the form the
 /// paper identifies as the conjunction bottleneck.
-Formula *SeqEngine::returnClauseUnsplit(RelId Head, int Mark) {
+Formula *SeqEngine::returnClauseUnsplit(RelId CallerHead, RelId CalleeHead,
+                                        int Mark) {
   ConfVars Caller = S;
   Caller.Pc = RTPc;
   Caller.CL = RTCL;
@@ -134,10 +135,10 @@ Formula *SeqEngine::returnClauseUnsplit(RelId Head, int Mark) {
   return Sys.exists(
       {RTPc, RTCL, RTCG, RUMod, RUPcX, RULX, RUGX, RUECL},
       Sys.mkAnd({
-          Sys.apply(Head, headArgs(Caller, Mark)),
+          Sys.apply(CallerHead, headArgs(Caller, Mark)),
           Sys.applyVars(Enc->ProgramCall,
                         {S.Mod, RUMod, RTPc, RTCL, RUECL, RTCG}),
-          Sys.apply(Head, headArgs(Callee, Mark)),
+          Sys.apply(CalleeHead, headArgs(Callee, Mark)),
           Sys.applyVars(Enc->ExitRel, {RUMod, RUPcX}),
           Sys.applyVars(Enc->SkipCall, {S.Mod, RTPc, S.Pc}),
           Sys.applyVars(Enc->SetReturn, {S.Mod, RUMod, RTPc, RUPcX, RTCL,
@@ -148,8 +149,8 @@ Formula *SeqEngine::returnClauseUnsplit(RelId Head, int Mark) {
 /// [Return, split — the Appendix formula] groups (A) caller-side and (B)
 /// exit-side constraints so each summary BDD first meets only small
 /// relations; the two groups share {tPc, tCG, uMod, uPcX, uECL}.
-Formula *SeqEngine::returnClauseSplit(RelId Head, int Mark,
-                                      bool RelevantGuard) {
+Formula *SeqEngine::returnClauseSplit(RelId CallerHead, RelId CalleeHead,
+                                      int Mark, bool RelevantGuard) {
   ConfVars Caller = S;
   Caller.Pc = RTPc;
   Caller.CL = RTCL;
@@ -166,7 +167,7 @@ Formula *SeqEngine::returnClauseSplit(RelId Head, int Mark,
   Formula *GroupA = Sys.exists(
       {RTCL},
       Sys.mkAnd({
-          Sys.apply(Head, headArgs(Caller, Mark)),
+          Sys.apply(CallerHead, headArgs(Caller, Mark)),
           Sys.applyVars(Enc->SkipCall, {S.Mod, RTPc, S.Pc}),
           Sys.applyVars(Enc->SetReturn1,
                         {S.Mod, RUMod, RTPc, RTCL, S.CL}),
@@ -177,7 +178,7 @@ Formula *SeqEngine::returnClauseSplit(RelId Head, int Mark,
   Formula *GroupB = Sys.exists(
       {RULX, RUGX},
       Sys.mkAnd({
-          Sys.apply(Head, headArgs(Callee, Mark)),
+          Sys.apply(CalleeHead, headArgs(Callee, Mark)),
           Sys.applyVars(Enc->ExitRel, {RUMod, RUPcX}),
           Sys.applyVars(Enc->SetReturn2, {S.Mod, RUMod, RTPc, RUPcX, RULX,
                                           S.CL, RUGX, S.CG}),
@@ -189,6 +190,134 @@ Formula *SeqEngine::returnClauseSplit(RelId Head, int Mark,
                               Sys.applyVars(Relevant, {RUMod, RUPcX})}));
 
   return Sys.exists({RTPc, RTCG, RUMod, RUPcX, RUECL}, Sys.mkAnd(Outer));
+}
+
+Formula *SeqEngine::modInGroup(unsigned Scc) {
+  std::vector<Formula *> Cases;
+  for (unsigned Proc : CG.SccMembers[Scc])
+    Cases.push_back(Sys.eqConst(S.Mod, Proc));
+  return Sys.mkOr(Cases);
+}
+
+/// The per-procedure compilation: the skeleton of SummarySimple
+/// (Section 4.1's all-entries summaries, completed by a reachable-entries
+/// fixpoint) instantiated once per call-graph SCC, so the relation
+/// condensation is as wide as the program's call graph and the DAG
+/// scheduler has real independent work. Per group X:
+///
+///   Summary_X    = (s.mod ∈ X ∧ allEntries)
+///                ∨ internal(Summary_X)
+///                ∨ ⋁_{Y callee group of X} return(Summary_X, Summary_Y)
+///   ReachEntry_X = [X = main's group] init-seed
+///                ∨ ⋁_{W caller group of X} (s.mod ∈ X ∧ step via
+///                      ReachEntry_W ∧ Summary_W ∧ programCall)
+///
+/// with the verdict and stats roots
+///
+///   Hits       = ⋁_X Summary_X ∧ ReachEntry_X
+///   SummaryAll = ⋁_X Summary_X.
+///
+/// The mod ∈ X guards pin each relation to its group's modules without
+/// adding variables, so the BDD layout (and hence every per-relation round
+/// value) is independent of the grouping; summary tuples then stay in
+/// their group by induction (internal/return clauses preserve s.mod, and
+/// a callee application Summary_Y only admits mod ∈ Y tuples). Cross-group
+/// dependencies point strictly at lower (callee) SCCs, so every defined
+/// relation is its own condensation node. The algorithm still selects the
+/// return-clause flavour (unsplit for summary/ef, the Appendix A/B split
+/// for ef-split/ef-opt); EF-opt's Relevant-mark machinery is a monolithic
+/// round-scheduling device subsumed by per-SCC semi-naive evaluation, so
+/// its split compiles without it — and every split system is monotone.
+void SeqEngine::buildSplitSystem() {
+  const bp::Program &Prog = *Cfg.Prog;
+  std::vector<VarId> ConfFormals{S.Mod, S.Pc, S.CL, S.CG, S.ECL, S.ECG};
+  const unsigned NumGroups = unsigned(CG.numSccs());
+  const bool SplitRet = Alg == SeqAlgorithm::EntryForwardSplit ||
+                        Alg == SeqAlgorithm::EntryForwardOpt;
+  const unsigned MainScc = CG.SccOf[Prog.MainId];
+
+  // Declare everything first: return/step clauses reference other groups.
+  GroupSummary.resize(NumGroups);
+  GroupEntry.resize(NumGroups);
+  for (unsigned X = 0; X < NumGroups; ++X) {
+    // Mutually-recursive groups are named after their lowest-id member;
+    // proc names are unique, so so are these.
+    const std::string &Name = Prog.proc(CG.SccMembers[X].front()).Name;
+    GroupSummary[X] = Sys.declareRel("Summary_" + Name, ConfFormals);
+    GroupEntry[X] =
+        Sys.declareRel("ReachEntry_" + Name, {S.Mod, S.ECL, S.ECG});
+  }
+  Hits = Sys.declareRel("Hits", ConfFormals);
+  SummaryAll = Sys.declareRel("SummaryAll", ConfFormals);
+  Main = Hits;
+
+  for (unsigned X = 0; X < NumGroups; ++X) {
+    // Does some procedure of X call back into X (self- or mutual
+    // recursion)? Then X is among its own caller/callee groups.
+    bool IntraCalls = false;
+    for (unsigned Proc : CG.SccMembers[X])
+      for (unsigned Callee : CG.Callees[Proc])
+        IntraCalls |= CG.SccOf[Callee] == X;
+
+    std::vector<Formula *> Clauses;
+    Clauses.push_back(Sys.mkAnd({modInGroup(X), allEntriesClause()}));
+    Clauses.push_back(internalClause(GroupSummary[X], -1));
+    std::vector<unsigned> CalleeGroups = CG.SccCallees[X];
+    if (IntraCalls)
+      CalleeGroups.push_back(X);
+    for (unsigned Y : CalleeGroups)
+      Clauses.push_back(
+          SplitRet
+              ? returnClauseSplit(GroupSummary[X], GroupSummary[Y], -1,
+                                  false)
+              : returnClauseUnsplit(GroupSummary[X], GroupSummary[Y], -1));
+    Sys.define(GroupSummary[X], Sys.mkOr(Clauses));
+
+    std::vector<Formula *> Entry;
+    if (X == MainScc)
+      Entry.push_back(Sys.apply(
+          Enc->InitRel,
+          {Term::var(S.Mod), Term::constant(0), Term::var(S.ECL)}));
+    std::vector<unsigned> CallerGroups = CG.SccCallers[X];
+    if (IntraCalls)
+      CallerGroups.push_back(X);
+    for (unsigned W : CallerGroups) {
+      ConfVars Caller;
+      Caller.Mod = DMod;
+      Caller.Pc = DPc;
+      Caller.CL = DL;
+      Caller.CG = S.ECG; // Callee entry globals = caller globals at call.
+      Caller.ECL = DEL;
+      Caller.ECG = DEG;
+      Entry.push_back(Sys.mkAnd({
+          // programCall alone would admit any callee of W; pin to X.
+          modInGroup(X),
+          Sys.exists(
+              {DMod, DPc, DL, DEL, DEG},
+              Sys.mkAnd({
+                  Sys.applyVars(GroupEntry[W], {DMod, DEL, DEG}),
+                  Sys.apply(GroupSummary[W], headArgs(Caller, -1)),
+                  Sys.applyVars(Enc->ProgramCall,
+                                {DMod, S.Mod, DPc, DL, S.ECL, S.ECG}),
+              })),
+      }));
+    }
+    // A group nobody calls (and that is not main's) has no reachable
+    // instantiation at all.
+    Sys.define(GroupEntry[X],
+               Entry.empty() ? Sys.bottom() : Sys.mkOr(Entry));
+  }
+
+  std::vector<Formula *> HitsDisj, AllDisj;
+  for (unsigned X = 0; X < NumGroups; ++X) {
+    HitsDisj.push_back(Sys.mkAnd({
+        Sys.apply(GroupSummary[X], headArgs(S, -1)),
+        Sys.applyVars(GroupEntry[X], {S.Mod, S.ECL, S.ECG}),
+    }));
+    AllDisj.push_back(Sys.apply(GroupSummary[X], headArgs(S, -1)));
+  }
+  Sys.define(Hits, Sys.mkOr(HitsDisj));
+  Sys.define(SummaryAll, Sys.mkOr(AllDisj));
 }
 
 void SeqEngine::buildSystem() {
@@ -226,15 +355,20 @@ void SeqEngine::buildSystem() {
   RUGX = Factory.makeVar("u.CG", Doms.GVec);
   RUECL = Factory.makeVar("u.ECL", Doms.LVec);
 
+  CG = bp::buildCallGraph(Cfg);
+
   std::vector<VarId> ConfFormals{S.Mod, S.Pc, S.CL, S.CG, S.ECL, S.ECG};
 
+  if (Split) {
+    buildSplitSystem();
+  } else
   switch (Alg) {
   case SeqAlgorithm::SummarySimple: {
     Main = Sys.declareRel("Summary", ConfFormals);
     Sys.define(Main, Sys.mkOr({
                          allEntriesClause(),
                          internalClause(Main, -1),
-                         returnClauseUnsplit(Main, -1),
+                         returnClauseUnsplit(Main, Main, -1),
                      }));
     // Reachable module instantiations: ReachEntry(mod, entryL, entryG).
     ReachEntry = Sys.declareRel("ReachEntry", {S.Mod, S.ECL, S.ECG});
@@ -263,15 +397,15 @@ void SeqEngine::buildSystem() {
   }
   case SeqAlgorithm::EntryForward:
   case SeqAlgorithm::EntryForwardSplit: {
-    bool Split = Alg == SeqAlgorithm::EntryForwardSplit;
+    bool SplitRet = Alg == SeqAlgorithm::EntryForwardSplit;
     Main = Sys.declareRel("SummaryEF", ConfFormals);
     Sys.define(Main,
                Sys.mkOr({
                    initClause(Main, -1),
                    internalClause(Main, -1),
                    entryDiscoveryClause(Main, -1, false),
-                   Split ? returnClauseSplit(Main, -1, false)
-                         : returnClauseUnsplit(Main, -1),
+                   SplitRet ? returnClauseSplit(Main, Main, -1, false)
+                            : returnClauseUnsplit(Main, Main, -1),
                }));
     break;
   }
@@ -311,7 +445,7 @@ void SeqEngine::buildSystem() {
     // PC (clauses 7-11).
     Sys.define(New2, Sys.mkOr({
                          entryDiscoveryClause(Main, 1, true),
-                         returnClauseSplit(Main, 1, true),
+                         returnClauseSplit(Main, Main, 1, true),
                      }));
 
     // SummaryEFopt (clauses 1-3): re-seed init, demote last round's marks,
@@ -332,6 +466,21 @@ void SeqEngine::buildSystem() {
   }
   }
 
+  // Solve order, condensation width, and relation count — computed here
+  // once so solves and sessions read them for free. The order is every
+  // defined relation in callees-first (dependency-topological) sequence;
+  // in split mode the resume-chain paths drive it directly.
+  {
+    fpc::DependencyGraph G(Sys);
+    for (const std::vector<RelId> &Members : G.sccs())
+      for (RelId R : Members)
+        if (!Sys.relation(R).isInput())
+          Order.push_back(R);
+    Width = Split ? unsigned(CG.numSccs())
+                  : fpc::definedCondensationWidth(Sys, G);
+    NumSummaryRels = Split ? unsigned(CG.numSccs()) : 1;
+  }
+
 #ifndef NDEBUG
   DiagnosticEngine Diags;
   assert(Sys.validate(Diags) && "algorithm formulae must type-check");
@@ -348,6 +497,27 @@ void SeqEngine::buildSystem() {
 void SeqEngine::verifyEquationPlan() const {
   using fpc::DisjunctKind;
   fpc::DependencyGraph G(Sys);
+
+  if (Split) {
+    // Every split relation — any algorithm — must be monotone (semi-naive
+    // applicable) with no opaque disjuncts: cross-group applications hit
+    // completed lower relations, intra-group recursion is direct and
+    // positive. Each defined relation must also be its own condensation
+    // node (Summary never reads ReachEntry, so no cross pairing).
+    for (RelId R : Order) {
+      fpc::EquationPlan P = fpc::planEquation(Sys, G, R);
+      assert(P.SemiNaive && "split relations must be monotone");
+      for (const fpc::DisjunctPlan &D : P.Disjuncts)
+        assert(D.Kind != DisjunctKind::Opaque &&
+               "split clauses must be non-recursive or distributive");
+      assert(G.sccs()[G.sccOf(R)].size() == 1 &&
+             "split relations must be singleton condensation nodes");
+      (void)P;
+    }
+    assert(Width == CG.numSccs());
+    return;
+  }
+
   fpc::EquationPlan P = fpc::planEquation(Sys, G, Main);
 
   switch (Alg) {
@@ -408,10 +578,42 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
 
     EvalOptions EOpts;
     EOpts.MaxIterations = Opts.MaxIterations;
-    if (Opts.EarlyStop && Alg != SeqAlgorithm::SummarySimple)
+    if (Opts.EarlyStop && !Split && Alg != SeqAlgorithm::SummarySimple)
       EOpts.EarlyStop = &TargetStates;
 
-    if (Alg == SeqAlgorithm::SummarySimple) {
+    if (Split) {
+      // Per-procedure mode: Hits is the verdict root, SummaryAll the
+      // stats root. Early stop does not apply — the roots are
+      // non-recursive, so all summary work happens while their
+      // dependencies are pre-solved (in parallel under Threads > 1).
+      if (Opts.MaxIterations == 0) {
+        EvalOptions Plain;
+        EvalResult H = Ev.evaluate(Hits, Plain);
+        EvalResult All = Ev.evaluate(SummaryAll, Plain);
+        Result.Reachable = !(H.Value & TargetStates).isZero();
+        Result.SummaryNodes = All.Value.nodeCount();
+      } else {
+        // An iteration cap must truncate every relation of the chain, but
+        // `evaluate` pre-solves dependencies uncapped. Drive the chain
+        // relation-by-relation instead, pinning each capped value so
+        // higher relations read the truncation.
+        std::map<RelId, FixpointState> States;
+        bool HitLimit = false;
+        for (RelId R : Order) {
+          FixpointState &St = States[R];
+          EvalOptions RO;
+          RO.MaxIterations = Opts.MaxIterations;
+          EvalResult ER = Ev.resume(R, St, RO);
+          HitLimit |= ER.HitIterationLimit;
+          if (!St.Saturated)
+            Ev.pinCompleted(R, St.Value);
+        }
+        Result.HitIterationLimit = HitLimit;
+        Result.Reachable =
+            !(States[Hits].Value & TargetStates).isZero();
+        Result.SummaryNodes = States[SummaryAll].Value.nodeCount();
+      }
+    } else if (Alg == SeqAlgorithm::SummarySimple) {
       // Query: ∃s. ReachEntry(s.mod, s.ECL, s.ECG) ∧ Summary(s) ∧ target.
       // Summary is solved first; ReachEntry reuses it as a memoized nested
       // relation. EOpts carries no EarlyStop in this branch, so it is the
@@ -436,11 +638,27 @@ SeqResult SeqEngine::solve(unsigned ProcId, unsigned Pc,
   }
 
   Result.Relations = Ev.stats();
-  auto StatsIt = Result.Relations.find(Sys.relation(Main).Name);
-  if (StatsIt != Result.Relations.end()) {
-    Result.Iterations = StatsIt->second.Iterations;
-    Result.DeltaRounds = StatsIt->second.DeltaRounds;
+  if (Split) {
+    // Per-relation rounds are deterministic however the DAG schedules
+    // them, so these aggregates are identical across thread counts and
+    // across fresh/session solves: Iterations is the longest per-relation
+    // Tarski chain, DeltaRounds the total delta work.
+    for (RelId R : Order) {
+      auto It = Result.Relations.find(Sys.relation(R).Name);
+      if (It == Result.Relations.end())
+        continue;
+      Result.Iterations = std::max(Result.Iterations, It->second.Iterations);
+      Result.DeltaRounds += It->second.DeltaRounds;
+    }
+  } else {
+    auto StatsIt = Result.Relations.find(Sys.relation(Main).Name);
+    if (StatsIt != Result.Relations.end()) {
+      Result.Iterations = StatsIt->second.Iterations;
+      Result.DeltaRounds = StatsIt->second.DeltaRounds;
+    }
   }
+  Result.CondensationWidth = Width;
+  Result.SummaryRelations = NumSummaryRels;
   Result.Cofactor = Ev.cofactorStats();
   Result.Bdd = Mgr.stats();
   // Fold the per-worker managers' counters into the snapshot so a
@@ -482,6 +700,23 @@ struct SeqSession::Impl {
   uint64_t SimpleIterations = 0, SimpleDeltaRounds = 0;
   size_t SimpleSummaryNodes = 0;
 
+  // Per-procedure split mode (any algorithm): the whole relation chain is
+  // target-independent, so the first query solves it once — driving each
+  // relation through `Evaluator::resume` over these caller-held states,
+  // callees-first — and every later query is a conjunction against the
+  // cached Hits value. A governor interrupt leaves the current relation
+  // at its last completed round; the retry loop skips the already
+  // saturated prefix and resumes the chain bit-identically. This
+  // per-relation state is also the seam for future *partial*
+  // invalidation: editing one procedure body need only clear the states
+  // (and downstream memos) of its call-graph ancestors, not the world.
+  bool SplitSolved = false;
+  std::map<RelId, FixpointState> SplitStates;
+  bool SplitHitLimit = false;
+  uint64_t SplitIterations = 0, SplitDeltaRounds = 0;
+  size_t SplitSummaryNodes = 0;
+  Bdd SplitHits;
+
   /// Witness queries go through a persistent extractor session (solves
   /// the EntryForward system with rings once, extracts per target);
   /// created on the first witness query.
@@ -504,7 +739,9 @@ struct SeqSession::Impl {
   support::ResourceGovernor *Gov = nullptr;
 
   Impl(const bp::ProgramCfg &Cfg, const SeqOptions &Opts)
-      : Cfg(Cfg), Opts(Opts), Engine(Cfg, Opts.Alg), Mgr(0, Opts.CacheBits),
+      : Cfg(Cfg), Opts(Opts),
+        Engine(Cfg, Opts.Alg, !Opts.MonolithicSummary),
+        Mgr(0, Opts.CacheBits),
         Ev(Engine.system(), Mgr, Engine.factory().makeLayout(Mgr),
            Opts.Strategy, Opts.FrontierCofactor) {
     Mgr.setGcThreshold(Opts.GcThreshold);
@@ -595,7 +832,50 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   Bdd TargetStates = S.Ev.encodeEqConst(Conf.Mod, ProcId) &
                      S.Ev.encodeEqConst(Conf.Pc, Pc);
 
-  if (S.Opts.Alg == SeqAlgorithm::SummarySimple) {
+  if (S.Engine.split()) {
+    bool FirstQuery = !S.SplitSolved;
+    if (FirstQuery) {
+      const uint64_t Cap = S.Opts.MaxIterations;
+      for (RelId R : S.Engine.solveOrder()) {
+        FixpointState &St = S.SplitStates[R];
+        if (St.Saturated)
+          continue; // Solved by an earlier (interrupted) attempt.
+        if (Cap != 0 && St.Rounds >= Cap) {
+          // Already truncated at the cap by an earlier attempt; resuming
+          // would run extra rounds past it.
+          S.SplitHitLimit = true;
+          S.Ev.pinCompleted(R, St.Value);
+          continue;
+        }
+        EvalOptions RO;
+        RO.MaxIterations = Cap;
+        EvalResult ER = S.Ev.resume(R, St, RO);
+        S.SplitHitLimit |= ER.HitIterationLimit;
+        if (!St.Saturated)
+          S.Ev.pinCompleted(R, St.Value);
+      }
+      S.SplitHits = S.SplitStates[S.Engine.hitsRel()].Value;
+      S.SplitSummaryNodes =
+          S.SplitStates[S.Engine.summaryAllRel()].Value.nodeCount();
+      const auto &Stats = S.Ev.stats();
+      for (RelId R : S.Engine.solveOrder()) {
+        auto It = Stats.find(S.Engine.system().relation(R).Name);
+        if (It == Stats.end())
+          continue;
+        S.SplitIterations =
+            std::max(S.SplitIterations, It->second.Iterations);
+        S.SplitDeltaRounds += It->second.DeltaRounds;
+      }
+      S.SplitSolved = true;
+    }
+    Result.Reachable = !(S.SplitHits & TargetStates).isZero();
+    Result.HitIterationLimit = S.SplitHitLimit;
+    Result.Iterations = S.SplitIterations;
+    Result.DeltaRounds = S.SplitDeltaRounds;
+    Result.SummaryNodes = S.SplitSummaryNodes;
+    (FirstQuery ? Result.SummariesRecomputed : Result.SummariesReused) =
+        S.SplitIterations;
+  } else if (S.Opts.Alg == SeqAlgorithm::SummarySimple) {
     bool FirstQuery = !S.SimpleSolved;
     if (FirstQuery) {
       // Same flow as the one-shot solve: no early stop in this branch, so
@@ -655,6 +935,8 @@ SeqResult SeqSession::solve(unsigned ProcId, unsigned Pc) {
   // BDD counters are reported as this query's delta on the shared
   // manager (peaks stay absolute).
   Result.Relations = S.Ev.stats();
+  Result.CondensationWidth = S.Engine.condensationWidth();
+  Result.SummaryRelations = S.Engine.summaryRelations();
   Result.Cofactor = S.Ev.cofactorStats();
   Result.Cofactor.Applications -= CfBefore.Applications;
   Result.Cofactor.SupportBefore -= CfBefore.SupportBefore;
@@ -699,8 +981,12 @@ WitnessResult SeqSession::solveWithWitness(unsigned ProcId, unsigned Pc) {
     // re-solving EntryForward on a second manager. The other algorithms
     // solve a different system, so they keep an owned (delta-ringed)
     // sub-session.
-    bool Shared = I->Opts.Alg == SeqAlgorithm::EntryForward ||
-                  I->Opts.Alg == SeqAlgorithm::EntryForwardSplit;
+    // The split compiles a different system than the (monolithic
+    // EntryForward) extractor walks, so split sessions always use an
+    // owned witness sub-session.
+    bool Shared = I->Opts.MonolithicSummary &&
+                  (I->Opts.Alg == SeqAlgorithm::EntryForward ||
+                   I->Opts.Alg == SeqAlgorithm::EntryForwardSplit);
     if (Shared)
       I->Witness = std::make_unique<WitnessSession>(I->Engine, I->Mgr, I->Ev,
                                                     I->Fix, I->Opts);
@@ -724,6 +1010,10 @@ bool SeqSession::answersFromState(unsigned ProcId, unsigned Pc,
     // Once the witness sub-session has solved its rings, any target is a
     // pure extraction.
     return S.Witness && S.Witness->solved();
+  if (S.Engine.split())
+    // The split chain is target-independent: once solved, every query is
+    // a conjunction against the cached Hits value.
+    return S.SplitSolved;
   if (S.Opts.Alg == SeqAlgorithm::SummarySimple)
     return S.SimpleSolved;
   S.CacheCold = false; // Probing encodes the target over the manager.
@@ -736,7 +1026,7 @@ bool SeqSession::answersFromState(unsigned ProcId, unsigned Pc,
 
 SeqResult reach::checkReachability(const bp::ProgramCfg &Cfg, unsigned ProcId,
                                    unsigned Pc, const SeqOptions &Opts) {
-  SeqEngine Engine(Cfg, Opts.Alg);
+  SeqEngine Engine(Cfg, Opts.Alg, !Opts.MonolithicSummary);
   return Engine.solve(ProcId, Pc, Opts);
 }
 
@@ -754,5 +1044,11 @@ SeqResult reach::checkReachabilityOfLabel(const bp::ProgramCfg &Cfg,
 
 std::string reach::formulaText(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg) {
   SeqEngine Engine(Cfg, Alg);
+  return Engine.text();
+}
+
+std::string reach::formulaText(const bp::ProgramCfg &Cfg,
+                               const SeqOptions &Opts) {
+  SeqEngine Engine(Cfg, Opts.Alg, !Opts.MonolithicSummary);
   return Engine.text();
 }

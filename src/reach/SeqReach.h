@@ -103,6 +103,15 @@ struct SeqOptions {
   /// round boundary, so a retry resumes the deterministic chain
   /// bit-identically. Null = ungoverned.
   support::ResourceGovernor *Governor = nullptr;
+  /// Compile the single whole-program summary relation of the paper's
+  /// formulae instead of the default per-procedure split (one
+  /// `Summary_<proc>` relation per call-graph SCC, giving the evaluator's
+  /// DAG scheduler call-graph-wide parallelism). Verdicts, witnesses, and
+  /// per-query answers are identical either way; round counts and the
+  /// early-stop behaviour differ (the split always solves the full
+  /// fixpoint — per-relation work replaces the monolithic early out).
+  /// Escape hatch for A/B comparison (`--monolithic-summary`).
+  bool MonolithicSummary = false;
 };
 
 struct SeqResult {
@@ -147,6 +156,15 @@ struct SeqResult {
   uint64_t RoundsParallel = 0;
   uint64_t DisjunctsParallel = 0;
   uint64_t ImportedNodes = 0;
+  /// Width of the solved fixpoint condensation: the number of independent
+  /// solve units the evaluator's DAG scheduler had to play with. Under
+  /// the per-procedure split this equals the program's call-graph SCC
+  /// count; the monolithic compilation reports the (1–4 wide) relation
+  /// condensation of the paper's formulae.
+  unsigned CondensationWidth = 0;
+  /// Number of summary relations compiled (call-graph SCCs under the
+  /// split, 1 monolithic).
+  unsigned SummaryRelations = 0;
 };
 
 /// Checks whether (ProcId, Pc) is reachable in \p Cfg's program.
@@ -232,9 +250,14 @@ private:
 };
 
 /// Renders the fixed-point equation system the given algorithm would solve
-/// for \p Cfg (the paper's "one page of formulae"), for documentation and
-/// golden tests.
+/// for \p Cfg in its *monolithic* compilation (the paper's "one page of
+/// formulae"), for documentation and golden tests.
 std::string formulaText(const bp::ProgramCfg &Cfg, SeqAlgorithm Alg);
+
+/// Options-aware variant: renders the system \p Opts would actually solve,
+/// including the per-procedure split compilation when
+/// `Opts.MonolithicSummary` is false.
+std::string formulaText(const bp::ProgramCfg &Cfg, const SeqOptions &Opts);
 
 } // namespace reach
 } // namespace getafix

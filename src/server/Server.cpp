@@ -461,6 +461,11 @@ Json Server::handleSolve(const Request &R) {
     ++Stats.SolveRequests;
     Stats.TargetsSolved += Results.size();
     Stats.LimitStops += LimitRows;
+    for (const api::SolveResult &Res : Results)
+      if (Res.CondensationWidth != 0) {
+        Stats.CondensationWidth = Res.CondensationWidth;
+        Stats.SummaryRelations = Res.SummaryRelations;
+      }
   }
 
   return Json::object()
@@ -505,7 +510,17 @@ Json Server::handleStats() {
                // is opened with (`getafixd --threads`); clients use it to
                // tell a sequential deployment from a parallel one.
                .set("threads",
-                    Json::number(double(Opts.Pool.Solver.Threads))))
+                    Json::number(double(Opts.Pool.Solver.Threads)))
+               // Summary compilation shape: whether --monolithic-summary
+               // pinned the paper's single relation, plus the width /
+               // relation count of the most recent fixed-point solve
+               // (0 until one runs).
+               .set("monolithic_summary",
+                    Json::boolean(Opts.Pool.Solver.MonolithicSummary))
+               .set("condensation_width",
+                    Json::number(double(SS.CondensationWidth)))
+               .set("summary_relations",
+                    Json::number(double(SS.SummaryRelations))))
       .set("pool",
            Json::object()
                .set("lookups", Json::number(double(PS.Lookups)))

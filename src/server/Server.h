@@ -89,6 +89,13 @@ struct ServerStats {
   uint64_t LimitStops = 0;    ///< Rows stopped by deadline/budget/cancel.
   uint64_t WatchdogCancels = 0; ///< Overdue requests cancelled by the watchdog.
   uint64_t ContainedFaults = 0; ///< Solves that escaped with a real exception.
+  /// Dependency-condensation width / summary-relation count of the most
+  /// recent fixed-point solve (0 until one runs). Under the default
+  /// per-procedure summary split the width equals the program's call-graph
+  /// SCC count; `--monolithic-summary` pins both back to the paper's
+  /// single-relation shape.
+  unsigned CondensationWidth = 0;
+  unsigned SummaryRelations = 0;
 };
 
 class Server {

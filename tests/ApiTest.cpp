@@ -239,12 +239,22 @@ end
 }
 
 TEST(ApiTest, FormulaTextComesThroughTheFacade) {
+  // The printed system tracks the compilation the options select: the
+  // per-procedure split by default, the paper's monolithic relation under
+  // MonolithicSummary.
   SolverOptions Opts;
   Opts.Engine = "ef-split";
   std::string Error;
   std::string Text = Solver::formulaText(
       Query::fromSource(seqFixture()).target("ERR"), Opts, &Error);
+  EXPECT_NE(Text.find("mu bool Summary_"), std::string::npos) << Error;
+  EXPECT_EQ(Text.find("mu bool SummaryEF"), std::string::npos);
+
+  Opts.MonolithicSummary = true;
+  Text = Solver::formulaText(Query::fromSource(seqFixture()).target("ERR"),
+                             Opts, &Error);
   EXPECT_NE(Text.find("mu bool SummaryEF"), std::string::npos) << Error;
+  Opts.MonolithicSummary = false;
 
   // The formula does not depend on the target, so a program without the
   // queried label still prints one.
@@ -252,7 +262,7 @@ TEST(ApiTest, FormulaTextComesThroughTheFacade) {
   Text = Solver::formulaText(
       Query::fromSource("main() begin skip; end").target("ERR"), Opts,
       &Error);
-  EXPECT_NE(Text.find("mu bool SummaryEF"), std::string::npos) << Error;
+  EXPECT_NE(Text.find("mu bool Summary_"), std::string::npos) << Error;
 
   // Natively coded engines have no formula; the error says so.
   Opts.Engine = "moped";

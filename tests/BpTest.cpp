@@ -309,3 +309,83 @@ end
   EXPECT_EQ(ProcId, Prog->ProcIds.at("f"));
   EXPECT_FALSE(Cfg.findLabelPc("Missing", ProcId, Pc));
 }
+
+//===----------------------------------------------------------------------===//
+// Call graph + SCC condensation (per-procedure summary split substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, DiamondIsFourSingletonSccsCalleesFirst) {
+  auto Prog = parseOk(R"(
+main() begin
+  call a();
+  call b();
+end
+a() begin
+  call c();
+end
+b() begin
+  call c();
+end
+c() begin
+  skip;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  CallGraph CG = buildCallGraph(Cfg);
+  ASSERT_EQ(CG.numSccs(), 4u);
+  // Callees-first numbering: if SCC a calls SCC b then b < a, so the
+  // shared leaf c comes before both callers and main's SCC is last.
+  unsigned MainScc = CG.SccOf[Prog->MainId];
+  unsigned CScc = CG.SccOf[Prog->ProcIds.at("c")];
+  EXPECT_EQ(MainScc, CG.numSccs() - 1);
+  for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc)
+    for (unsigned Callee : CG.SccCallees[Scc])
+      EXPECT_LT(Callee, Scc);
+  EXPECT_LT(CScc, CG.SccOf[Prog->ProcIds.at("a")]);
+  EXPECT_LT(CScc, CG.SccOf[Prog->ProcIds.at("b")]);
+  // Edge lists are deduplicated: main calls a and b once each.
+  EXPECT_EQ(CG.Callees[Prog->MainId].size(), 2u);
+}
+
+TEST(CallGraphTest, MutualRecursionCollapsesToOneScc) {
+  auto Prog = parseOk(R"(
+decl g;
+main() begin
+  call even();
+end
+even() begin
+  if (g) then call odd(); fi;
+end
+odd() begin
+  if (g) then call even(); fi;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  CallGraph CG = buildCallGraph(Cfg);
+  ASSERT_EQ(CG.numSccs(), 2u);
+  unsigned EvenScc = CG.SccOf[Prog->ProcIds.at("even")];
+  EXPECT_EQ(EvenScc, CG.SccOf[Prog->ProcIds.at("odd")]);
+  EXPECT_NE(EvenScc, CG.SccOf[Prog->MainId]);
+  // Members are listed in ascending procedure id.
+  ASSERT_EQ(CG.SccMembers[EvenScc].size(), 2u);
+  EXPECT_LT(CG.SccMembers[EvenScc][0], CG.SccMembers[EvenScc][1]);
+}
+
+TEST(CallGraphTest, SelfRecursionIsItsOwnScc) {
+  auto Prog = parseOk(R"(
+main() begin
+  call dig();
+end
+dig() begin
+  if (*) then call dig(); fi;
+end
+)");
+  ProgramCfg Cfg = buildCfg(*Prog);
+  CallGraph CG = buildCallGraph(Cfg);
+  ASSERT_EQ(CG.numSccs(), 2u);
+  unsigned Dig = Prog->ProcIds.at("dig");
+  EXPECT_EQ(CG.SccMembers[CG.SccOf[Dig]].size(), 1u);
+  // The self loop appears in the proc-level edges but not the SCC edges.
+  EXPECT_EQ(CG.Callees[Dig].size(), 1u);
+  EXPECT_TRUE(CG.SccCallees[CG.SccOf[Dig]].empty());
+}

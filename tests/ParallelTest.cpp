@@ -503,6 +503,12 @@ TEST(DisjunctParallelTest, ThresholdGatesFanout) {
 
   SolverOptions Base;
   Base.Engine = "summary";
+  // Pin the monolithic compilation: the intra-SCC disjunct fan-out under
+  // test fires on a single heavy relation's top-level semi-naive rounds.
+  // Under the per-procedure split the same work runs as independent SCC
+  // tasks on the pool (counted in SccsSolvedParallel, covered by the
+  // split differential tests), so no top-level round crosses the gate.
+  Base.MonolithicSummary = true;
   SolveResult Seq = Solver::solve(Q, Base);
 
   SolverOptions Forced = Base;
@@ -595,3 +601,86 @@ TEST(ParallelSessionTest, MidSessionCacheClearStaysIdentical) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-procedure summary split under the parallel scheduler
+//===----------------------------------------------------------------------===//
+
+/// The split's whole point: at Threads=4 the per-procedure relations are
+/// independent dependency SCCs, so the scheduler dispatches real work —
+/// and the verdict stays bit-identical to both the single-threaded split
+/// and the monolithic compilation at either thread count.
+TEST(SplitSummaryParallelTest, SplitGivesSchedulerWidthAndStaysIdentical) {
+  gen::TerminatorParams T;
+  T.CounterBits = 4;
+  T.NumDeadVars = 3;
+  T.Reachable = false;
+  gen::Workload W = gen::terminatorProgram(T);
+  Query Q = Query::fromSource(W.Source).target(W.TargetLabel);
+
+  for (const char *Engine : {"summary", "ef", "ef-split", "ef-opt"}) {
+    SolverOptions Split1;
+    Split1.Engine = Engine;
+    SolveResult S1 = Solver::solve(Q, Split1);
+    ASSERT_TRUE(S1.ok()) << Engine;
+    EXPECT_GT(S1.CondensationWidth, 4u) << Engine;
+
+    SolverOptions Split4 = Split1;
+    Split4.Threads = 4;
+    SolveResult S4 = Solver::solve(Q, Split4);
+    expectSameCore(S1, S4, std::string(Engine) + "/split-1v4");
+    // Real width reaches the pool: independent summary SCCs get
+    // dispatched instead of one serialized chain.
+    EXPECT_GT(S4.SccsSolvedParallel, 0u) << Engine;
+
+    SolverOptions Mono4 = Split4;
+    Mono4.MonolithicSummary = true;
+    SolveResult M4 = Solver::solve(Q, Mono4);
+    ASSERT_TRUE(M4.ok()) << Engine;
+    EXPECT_EQ(M4.Reachable, S4.Reachable) << Engine;
+    EXPECT_EQ(M4.SummaryRelations, 1u) << Engine;
+    EXPECT_EQ(S4.SummaryRelations, S4.CondensationWidth) << Engine;
+  }
+}
+
+/// Split sessions across thread counts and reuse modes: per-query answers
+/// must match the monolithic session bit for bit, including witnesses.
+TEST(SplitSummaryParallelTest, SplitSessionsMatchMonolithicAcrossThreads) {
+  gen::TerminatorParams T;
+  T.CounterBits = 3;
+  T.NumDeadVars = 2;
+  T.Reachable = true;
+  T.LabeledCheckpoints = 1;
+  gen::Workload W = gen::terminatorProgram(T);
+
+  std::vector<Query> Queries;
+  for (const char *Label : {"CP0", "ERR", "DEAD0", "ERR"})
+    Queries.push_back(Query::fromSource("").target(Label));
+  // One witness query on the reachable target exercises the split
+  // session's owned witness sub-session.
+  Queries.push_back(Query::fromSource("").target("ERR").witness(true));
+
+  for (const char *Engine : {"summary", "ef", "ef-split", "ef-opt"})
+    for (unsigned Threads : {1u, 4u}) {
+      SolverOptions Opts;
+      Opts.Engine = Engine;
+      Opts.Threads = Threads;
+
+      Opts.MonolithicSummary = false;
+      auto Split = Solver::open(Query::fromSource(W.Source), Opts);
+      Opts.MonolithicSummary = true;
+      auto Mono = Solver::open(Query::fromSource(W.Source), Opts);
+      ASSERT_TRUE(Split->ok() && Mono->ok()) << Engine;
+
+      for (const Query &Q : Queries) {
+        SolveResult S = Split->solve(Q);
+        SolveResult M = Mono->solve(Q);
+        std::string Ctx = std::string(Engine) + "/t" +
+                          std::to_string(Threads) + "/" + Q.Label;
+        ASSERT_TRUE(S.ok() && M.ok()) << Ctx;
+        EXPECT_EQ(S.Reachable, M.Reachable) << Ctx;
+        EXPECT_EQ(S.HasWitness, M.HasWitness) << Ctx;
+        EXPECT_EQ(S.WitnessText, M.WitnessText) << Ctx;
+      }
+    }
+}

@@ -219,3 +219,252 @@ end
   for (const char *Engine : AllEngines)
     EXPECT_TRUE(solveVia(Cfg, "ERR", Engine).Reachable) << Engine;
 }
+
+//===----------------------------------------------------------------------===//
+// Per-procedure summary split vs the monolithic compilation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Programs whose call-graph shapes stress the split: self recursion,
+/// mutual recursion (a non-trivial SCC group), and a diamond (a shared
+/// callee reached on two paths, where a naive per-caller re-derivation
+/// would double work or lose tuples).
+struct ShapedProgram {
+  const char *Name;
+  const char *Source;
+  bool ExpectReachable;
+};
+
+const ShapedProgram ShapedPrograms[] = {
+    {"recursive",
+     R"(
+decl g;
+main() begin
+  g := F;
+  call dig();
+  if (g) then ERR: skip; fi;
+end
+dig() begin
+  if (*) then
+    call dig();
+  else
+    g := T;
+  fi;
+end
+)",
+     true},
+    {"mutually_recursive",
+     R"(
+decl g, n0, n1;
+main() begin
+  g := F;
+  n0 := T; n1 := T;
+  call even();
+  if (g & !n0 & !n1) then ERR: skip; fi;
+end
+even() begin
+  if (n0 | n1) then
+    n0, n1 := !n0, n0 & !n1 | !n0 & n1;
+    call odd();
+  else
+    g := T;
+  fi;
+end
+odd() begin
+  call even();
+end
+)",
+     true},
+    {"call_graph_diamond",
+     R"(
+decl g, h;
+main() begin
+  g := F; h := F;
+  call a();
+  call b();
+  if (g & !h) then ERR: skip; fi;
+end
+a() begin
+  call c();
+  g := g | h;
+end
+b() begin
+  call c();
+end
+c() begin
+  if (*) then g := T; fi;
+  h := g;
+end
+)",
+     false},
+};
+
+/// One solve through the facade with the split/monolithic switch and the
+/// ablation knobs exposed.
+SolveResult solveShaped(const bp::ProgramCfg &Cfg, const char *Engine,
+                        bool Monolithic, fpc::EvalStrategy Strategy,
+                        fpc::CofactorMode Cofactor, bool EarlyStop) {
+  SolverOptions Opts;
+  Opts.Engine = Engine;
+  Opts.MonolithicSummary = Monolithic;
+  Opts.Strategy = Strategy;
+  Opts.FrontierCofactor = Cofactor;
+  Opts.EarlyStop = EarlyStop;
+  return Solver::solve(Query::fromCfg(Cfg).target("ERR"), Opts);
+}
+
+} // namespace
+
+/// engine x strategy x cofactor mode: the split and monolithic
+/// compilations must produce the same verdict everywhere (round counts
+/// may differ; the verdict may not).
+TEST(SplitSummaryTest, SplitAndMonolithicAgreeAcrossAllKnobs) {
+  for (const ShapedProgram &SP : ShapedPrograms) {
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(SP.Source, Prog);
+    for (const char *Engine : AllEngines)
+      for (auto Strategy :
+           {fpc::EvalStrategy::SemiNaive, fpc::EvalStrategy::Naive})
+        for (auto Cofactor :
+             {fpc::CofactorMode::Constrain, fpc::CofactorMode::Restrict,
+              fpc::CofactorMode::Off})
+          for (bool EarlyStop : {false, true}) {
+            SolveResult Split = solveShaped(Cfg, Engine, /*Monolithic=*/false,
+                                            Strategy, Cofactor, EarlyStop);
+            SolveResult Mono = solveShaped(Cfg, Engine, /*Monolithic=*/true,
+                                           Strategy, Cofactor, EarlyStop);
+            ASSERT_TRUE(Split.ok() && Mono.ok()) << SP.Name << "/" << Engine;
+            EXPECT_EQ(Split.Reachable, SP.ExpectReachable)
+                << SP.Name << "/" << Engine << " (split)";
+            EXPECT_EQ(Split.Reachable, Mono.Reachable)
+                << SP.Name << "/" << Engine;
+          }
+  }
+}
+
+/// The summary engine computes the same all-entries summary either way, so
+/// the union of the per-procedure relations must be *bit-identical* to the
+/// monolithic relation — same BDD, hence the same node count under the
+/// identical variable layout. (The EF flavors legitimately differ: their
+/// monolithic relation is entry-forward-pruned while the split keeps the
+/// SummarySimple decomposition, so only the verdict is pinned there.)
+TEST(SplitSummaryTest, SummaryUnionBitIdenticalToMonolithicRelation) {
+  for (const ShapedProgram &SP : ShapedPrograms) {
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(SP.Source, Prog);
+    SolveResult Split =
+        solveShaped(Cfg, "summary", false, fpc::EvalStrategy::SemiNaive,
+                    fpc::CofactorMode::Constrain, /*EarlyStop=*/false);
+    SolveResult Mono =
+        solveShaped(Cfg, "summary", true, fpc::EvalStrategy::SemiNaive,
+                    fpc::CofactorMode::Constrain, /*EarlyStop=*/false);
+    ASSERT_TRUE(Split.ok() && Mono.ok()) << SP.Name;
+    EXPECT_EQ(Split.SummaryNodes, Mono.SummaryNodes) << SP.Name;
+  }
+}
+
+/// The reported condensation width must equal the program's call-graph
+/// SCC count under the split and collapse back to the narrow monolithic
+/// band (1-4 defined relations) under the escape hatch.
+TEST(SplitSummaryTest, CondensationWidthMatchesCallGraph) {
+  for (const ShapedProgram &SP : ShapedPrograms) {
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(SP.Source, Prog);
+    bp::CallGraph CG = bp::buildCallGraph(Cfg);
+    for (const char *Engine : AllEngines) {
+      SolveResult Split =
+          solveShaped(Cfg, Engine, false, fpc::EvalStrategy::SemiNaive,
+                      fpc::CofactorMode::Constrain, true);
+      EXPECT_EQ(Split.CondensationWidth, CG.numSccs())
+          << SP.Name << "/" << Engine;
+      EXPECT_EQ(Split.SummaryRelations, CG.numSccs())
+          << SP.Name << "/" << Engine;
+      SolveResult Mono =
+          solveShaped(Cfg, Engine, true, fpc::EvalStrategy::SemiNaive,
+                      fpc::CofactorMode::Constrain, true);
+      EXPECT_GE(Mono.CondensationWidth, 1u) << SP.Name << "/" << Engine;
+      EXPECT_LE(Mono.CondensationWidth, 4u) << SP.Name << "/" << Engine;
+      EXPECT_EQ(Mono.SummaryRelations, 1u) << SP.Name << "/" << Engine;
+    }
+  }
+}
+
+/// Terminator workloads carry one procedure per dead-variable phase, so
+/// the split's width clears the acceptance bar (> 4) while the verdict
+/// stays pinned to the parity argument.
+TEST(SplitSummaryTest, TerminatorWidthExceedsFour) {
+  gen::TerminatorParams P;
+  P.CounterBits = 3;
+  P.NumDeadVars = 3;
+  P.Reachable = false;
+  gen::Workload W = gen::terminatorProgram(P);
+  std::unique_ptr<bp::Program> Prog;
+  bp::ProgramCfg Cfg = parseCfg(W.Source, Prog);
+  bp::CallGraph CG = bp::buildCallGraph(Cfg);
+  EXPECT_GT(CG.numSccs(), 4u);
+  SolveResult R = solveShaped(Cfg, "summary", false,
+                              fpc::EvalStrategy::SemiNaive,
+                              fpc::CofactorMode::Constrain, true);
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Reachable);
+  EXPECT_EQ(R.CondensationWidth, CG.numSccs());
+  EXPECT_GT(R.CondensationWidth, 4u);
+}
+
+/// Witness extraction must yield the identical trace whether the solve
+/// side runs split or monolithic (the extractor's ring walk is shared).
+TEST(SplitSummaryTest, WitnessesBitIdenticalAcrossCompilations) {
+  for (const ShapedProgram &SP : ShapedPrograms) {
+    if (!SP.ExpectReachable)
+      continue;
+    std::unique_ptr<bp::Program> Prog;
+    bp::ProgramCfg Cfg = parseCfg(SP.Source, Prog);
+    for (const char *Engine : AllEngines) {
+      SolverOptions Opts;
+      Opts.Engine = Engine;
+      Query Q = Query::fromCfg(Cfg).target("ERR").witness(true);
+      Opts.MonolithicSummary = false;
+      SolveResult Split = Solver::solve(Q, Opts);
+      Opts.MonolithicSummary = true;
+      SolveResult Mono = Solver::solve(Q, Opts);
+      ASSERT_TRUE(Split.ok() && Mono.ok()) << SP.Name << "/" << Engine;
+      ASSERT_TRUE(Split.HasWitness) << SP.Name << "/" << Engine;
+      ASSERT_TRUE(Mono.HasWitness) << SP.Name << "/" << Engine;
+      EXPECT_EQ(Split.WitnessText, Mono.WitnessText)
+          << SP.Name << "/" << Engine;
+    }
+  }
+}
+
+/// Session mode: per-query answers across a target batch must match
+/// between the compilations, with reuse both on and off.
+TEST(SplitSummaryTest, SessionAnswersMatchMonolithic) {
+  gen::TerminatorParams P;
+  P.CounterBits = 3;
+  P.NumDeadVars = 2;
+  P.Reachable = false;
+  P.LabeledCheckpoints = 2;
+  gen::Workload W = gen::terminatorProgram(P);
+  for (const char *Engine : AllEngines)
+    for (bool Reuse : {true, false}) {
+      SolverOptions Opts;
+      Opts.Engine = Engine;
+      Opts.SessionReuse = Reuse;
+      std::vector<Query> Qs;
+      for (const char *Label : {"CP0", "DEAD0", "ERR", "CP1", "DEAD1"})
+        Qs.push_back(Query::fromSource("").target(Label));
+
+      Opts.MonolithicSummary = false;
+      auto SplitSession = Solver::open(Query::fromSource(W.Source), Opts);
+      Opts.MonolithicSummary = true;
+      auto MonoSession = Solver::open(Query::fromSource(W.Source), Opts);
+      ASSERT_TRUE(SplitSession->ok() && MonoSession->ok()) << Engine;
+      for (const Query &Q : Qs) {
+        SolveResult S = SplitSession->solve(Q);
+        SolveResult M = MonoSession->solve(Q);
+        ASSERT_TRUE(S.ok() && M.ok()) << Engine << "/" << Q.Label;
+        EXPECT_EQ(S.Reachable, M.Reachable) << Engine << "/" << Q.Label;
+      }
+    }
+}

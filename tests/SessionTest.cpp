@@ -702,6 +702,10 @@ TEST(SessionTest, EfWitnessAndPlainQueriesShareOneSolve) {
                                   reach::SeqAlgorithm::EntryForwardSplit}) {
     reach::SeqOptions Opts;
     Opts.Alg = Alg;
+    // The borrowed-witness architecture under test is specific to the
+    // monolithic compilation: the extractor walks the very relation the
+    // plain queries solve. (Split sessions keep an owned sub-session.)
+    Opts.MonolithicSummary = true;
     // One solve's worth of rounds, from the pre-existing one-shot path.
     reach::WitnessResult FreshW =
         reach::checkReachabilityWithWitness(Cfg, ErrProc, ErrPc, Opts);
@@ -804,12 +808,17 @@ TEST(SessionTest, RingDietShrinksLongLivedSessionMemory) {
 
   reach::SeqOptions Seed;
   Seed.Alg = reach::SeqAlgorithm::EntryForward;
+  // The shared-solve diet being measured is the monolithic borrowed-
+  // witness architecture; the per-procedure split always pays an owned
+  // witness sub-session, so it is not the subject of this comparison.
+  Seed.MonolithicSummary = true;
   Seed.RingKeyframeInterval = 1; // Pre-diet retention: every round full.
   reach::SeqSession SeedPlain(Cfg, Seed);
   reach::WitnessSession SeedWitness(Cfg, Seed); // The duplicate solver.
 
   reach::SeqOptions Diet;
   Diet.Alg = reach::SeqAlgorithm::EntryForward;
+  Diet.MonolithicSummary = true;
   reach::SeqSession SDiet(Cfg, Diet);
 
   const std::pair<unsigned, unsigned> Targets[] = {

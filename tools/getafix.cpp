@@ -40,6 +40,13 @@
 ///                        over the pool only when the previous round
 ///                        allocated >= n BDD nodes (0 = auto,
 ///                        cacheSlots()/2; performance knob only)
+///     --monolithic-summary
+///                        sequential summary engines: compile the paper's
+///                        single whole-program summary relation instead
+///                        of the default per-procedure split (one
+///                        Summary_<proc> per call-graph SCC; verdicts and
+///                        witnesses are bit-identical either way — A/B
+///                        escape hatch; see --stats condensation_width)
 ///     --cache-bits n     BDD computed cache of 2^n entries (default 18)
 ///     --timeout-ms n     wall-clock deadline per solve in milliseconds
 ///                        (0 = none); a hit deadline prints
@@ -92,6 +99,7 @@ struct CliOptions {
   uint64_t NodeBudget = 0;
   fpc::CofactorMode FrontierCofactor = fpc::CofactorMode::Constrain;
   bool SessionReuse = true;
+  bool MonolithicSummary = false;
   fpc::EvalStrategy Strategy = fpc::EvalStrategy::SemiNaive;
   bool RoundRobin = false;
   bool Witness = false;
@@ -110,7 +118,8 @@ int usage() {
                "[--cache-bits n]\n"
                "               [--frontier-cofactor constrain|restrict|off]\n"
                "               [--timeout-ms n] [--node-budget n]\n"
-               "               [--no-constrain] [--no-reuse]\n"
+               "               [--no-constrain] [--no-reuse] "
+               "[--monolithic-summary]\n"
                "               [--witness] [--print-formula] [--stats] "
                "<program.bp>\n",
                Solver::engineList("|").c_str());
@@ -161,6 +170,8 @@ void printStatsBody(const CliOptions &Opts, const std::string &Engine,
   std::printf("%s\"summaries_recomputed\": %llu,\n", Pad,
               (unsigned long long)R.SummariesRecomputed);
   std::printf("%s\"threads\": %u,\n", Pad, Opts.Threads);
+  std::printf("%s\"condensation_width\": %u,\n", Pad, R.CondensationWidth);
+  std::printf("%s\"summary_relations\": %u,\n", Pad, R.SummaryRelations);
   std::printf("%s\"sccs_solved_parallel\": %llu,\n", Pad,
               (unsigned long long)R.SccsSolvedParallel);
   std::printf("%s\"rounds_parallel\": %llu,\n", Pad,
@@ -438,6 +449,8 @@ int main(int Argc, char **Argv) {
       Opts.FrontierCofactor = fpc::CofactorMode::Off;
     } else if (Arg == "--no-reuse") {
       Opts.SessionReuse = false;
+    } else if (Arg == "--monolithic-summary") {
+      Opts.MonolithicSummary = true;
     } else if (Arg == "--witness") {
       Opts.Witness = true;
     } else if (Arg == "--print-formula") {
@@ -473,6 +486,7 @@ int main(int Argc, char **Argv) {
   SO.SessionReuse = Opts.SessionReuse;
   SO.Threads = Opts.Threads;
   SO.DisjunctParallelThreshold = Opts.DisjunctThreshold;
+  SO.MonolithicSummary = Opts.MonolithicSummary;
   SO.TimeoutMs = Opts.TimeoutMs;
   SO.NodeBudget = Opts.NodeBudget;
 

@@ -44,6 +44,12 @@
 ///     --disjunct-threshold N
 ///                        cost gate of the intra-SCC parallelism (0 =
 ///                        auto; see getafix --disjunct-threshold)
+///     --monolithic-summary
+///                        compile the single whole-program summary
+///                        relation instead of the default per-procedure
+///                        split (see getafix --monolithic-summary); the
+///                        `stats` response reports the resulting
+///                        condensation width
 ///     --cache-bits N     BDD computed cache of 2^N entries
 ///     --context-bound K / --rounds R / --round-robin
 ///                        concurrent-program knobs (as in getafix)
@@ -88,6 +94,7 @@ int usage() {
       "                [--algo NAME] [--threads N] "
       "[--disjunct-threshold N] [--cache-bits N]\n"
       "                [--context-bound K] [--rounds R] [--round-robin]\n"
+      "                [--monolithic-summary]\n"
       "                [--strategy naive|semi-naive] [--max-iterations N]\n");
   return 2;
 }
@@ -189,6 +196,8 @@ int main(int Argc, char **Argv) {
       Opts.Pool.Solver.RoundRobin = true;
     } else if (Arg == "--round-robin") {
       Opts.Pool.Solver.RoundRobin = true;
+    } else if (Arg == "--monolithic-summary") {
+      Opts.Pool.Solver.MonolithicSummary = true;
     } else if (Arg == "--strategy") {
       if (!(V = Next()))
         return usage();
